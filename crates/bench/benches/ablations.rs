@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the `(ℓ, d)` trade-off of footnote 1 (base-2 vs base-16 vs √u);
+//! * the sparse-vs-dense prover fold (`O(min(u, n log(u/n)))` claim);
+//! * moments of increasing order `k` (communication `O(k·log u)`);
+//! * heavy-hitters threshold scaling;
+//! * GKR vs the specialised F₂ protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_core::fold::FoldVector;
+use sip_core::heavy_hitters::run_heavy_hitters;
+use sip_core::sumcheck::general_ell::run_general_f2;
+use sip_core::sumcheck::moments::run_moment;
+use sip_field::{Fp61, PrimeField};
+use sip_gkr::{builders, run_streaming_gkr};
+use sip_lde::LdeParams;
+use sip_streaming::{workloads, FrequencyVector};
+
+fn ell_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ell_tradeoff");
+    group.sample_size(10);
+    let log_u = 12u32;
+    let stream = workloads::paper_f2(1 << log_u, 1);
+    for (ell, d) in [(2u64, 12u32), (4, 6), (16, 3), (64, 2)] {
+        group.bench_function(BenchmarkId::new("ell", ell), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let params = LdeParams::new(ell, d);
+            b.iter(|| run_general_f2::<Fp61, _>(params, &stream, &mut rng).unwrap().value);
+        });
+    }
+    group.finish();
+}
+
+fn sparse_vs_dense_prover(c: &mut Criterion) {
+    // Same universe, different support: the sparse fold should win for
+    // n ≪ u (the Appendix B.1 time bound).
+    let mut group = c.benchmark_group("ablation_prover_fold");
+    group.sample_size(10);
+    let bits = 20u32;
+    let mut rng = StdRng::seed_from_u64(2);
+    for support in [100usize, 10_000, 1 << 19] {
+        let stream = workloads::uniform(support, 1 << bits, 5, 3);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        group.bench_function(BenchmarkId::new("support", support), |b| {
+            b.iter(|| {
+                let mut fold = FoldVector::<Fp61>::from_frequency(&fv, bits);
+                for _ in 0..bits {
+                    fold.bind(Fp61::random(&mut rng));
+                }
+                fold.scalar()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn moment_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_moment_order");
+    group.sample_size(10);
+    let log_u = 12u32;
+    let stream = workloads::uniform(2_000, 1 << log_u, 10, 4);
+    for k in [2u32, 3, 5, 8] {
+        group.bench_function(BenchmarkId::new("k", k), |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| run_moment::<Fp61, _>(k, log_u, &stream, &mut rng).unwrap().value);
+        });
+    }
+    group.finish();
+}
+
+fn heavy_hitter_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hh_threshold");
+    group.sample_size(10);
+    let log_u = 14u32;
+    let stream = workloads::zipf(100_000, 1 << log_u, 1.2, 6);
+    let n: u64 = stream.iter().map(|u| u.delta as u64).sum();
+    for inv_phi in [20u64, 100, 500] {
+        group.bench_function(BenchmarkId::new("inv_phi", inv_phi), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                run_heavy_hitters::<Fp61, _>(log_u, &stream, n / inv_phi, &mut rng)
+                    .unwrap()
+                    .items
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn gkr_vs_specialised(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gkr_vs_f2");
+    group.sample_size(10);
+    let log_u = 10u32;
+    let stream = workloads::paper_f2(1 << log_u, 8);
+    group.bench_function("gkr_f2_circuit", |b| {
+        let circuit = builders::f2_circuit(log_u);
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng)
+                .unwrap()
+                .0[0]
+        });
+    });
+    group.bench_function("specialised_f2", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            sip_core::sumcheck::f2::run_f2::<Fp61, _>(log_u, &stream, &mut rng)
+                .unwrap()
+                .value
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ell_tradeoff,
+    sparse_vs_dense_prover,
+    moment_order,
+    heavy_hitter_threshold,
+    gkr_vs_specialised
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Field-arithmetic microbenches: the paper's claim that `p = 2^61 − 1`
+//! enables "native 64-bit arithmetic" and that upgrading soundness to
+//! `p = 2^127 − 1` costs 128-bit arithmetic. Also benches the χ-weight
+//! computation that dominates the verifier's per-update cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_field::{Fp127, Fp61, PrimeField};
+use sip_lde::{LdeParams, StreamingLdeEvaluator};
+use sip_streaming::Update;
+
+fn mul_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_mul");
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs61: Vec<Fp61> = (0..1024).map(|_| Fp61::random(&mut rng)).collect();
+    let xs127: Vec<Fp127> = (0..1024).map(|_| Fp127::random(&mut rng)).collect();
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("fp61", |b| {
+        b.iter(|| xs61.iter().copied().fold(Fp61::ONE, |a, x| a * x))
+    });
+    group.bench_function("fp127", |b| {
+        b.iter(|| xs127.iter().copied().fold(Fp127::ONE, |a, x| a * x))
+    });
+    group.finish();
+}
+
+fn inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_inverse");
+    let mut rng = StdRng::seed_from_u64(2);
+    let x61 = Fp61::random_nonzero(&mut rng);
+    let x127 = Fp127::random_nonzero(&mut rng);
+    group.bench_function("fp61", |b| b.iter(|| x61.inverse().unwrap()));
+    group.bench_function("fp127", |b| b.iter(|| x127.inverse().unwrap()));
+    group.finish();
+}
+
+fn lde_update(c: &mut Criterion) {
+    // The verifier's hot path: one χ-weight product per stream update.
+    let mut group = c.benchmark_group("lde_update_per_item");
+    let mut rng = StdRng::seed_from_u64(3);
+    for log_u in [16u32, 24, 32] {
+        let params = LdeParams::binary(log_u);
+        let mut eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("log_u_{log_u}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 12345) & ((1 << log_u) - 1);
+                eval.update(Update::new(i, 7));
+            });
+        });
+        std::hint::black_box(eval.value());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mul_throughput, inverse, lde_update);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches behind Figure 2: F₂ verifier stream processing
+//! (2a), prover proof generation (2b), for both the multi-round protocol
+//! and the one-round [6] baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_core::one_round::{OneRoundF2Prover, OneRoundF2Verifier};
+use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
+use sip_core::sumcheck::{drive_sumcheck, SumCheckVerifierCore};
+use sip_core::CostReport;
+use sip_field::Fp61;
+use sip_streaming::{workloads, FrequencyVector};
+
+fn verifier_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_verifier_stream");
+    for log_u in [14u32, 16, 18] {
+        let n = 1u64 << log_u;
+        let stream = workloads::paper_f2(n, log_u as u64);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("multi_round", log_u), &stream, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut v = F2Verifier::<Fp61>::new(log_u, &mut rng);
+                v.update_all(s);
+                std::hint::black_box(v.space_words())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("one_round", log_u), &stream, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut v = OneRoundF2Verifier::<Fp61>::new(log_u, &mut rng);
+                v.update_all(s);
+                std::hint::black_box(v.space_words())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn prover_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_prover");
+    group.sample_size(10);
+    for log_u in [12u32, 14, 16] {
+        let u = 1u64 << log_u;
+        let stream = workloads::paper_f2(u, log_u as u64);
+        let fv = FrequencyVector::from_stream(u, &stream);
+        group.throughput(Throughput::Elements(u));
+
+        // Multi-round: complete proof generation (all d rounds).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        verifier.update_all(&stream);
+        let (core_proto, expected) = verifier.into_session();
+        group.bench_function(BenchmarkId::new("multi_round", log_u), |b| {
+            b.iter(|| {
+                let mut prover = F2Prover::new(&fv, log_u);
+                let mut core: SumCheckVerifierCore<Fp61> = core_proto.clone();
+                let mut report = CostReport::default();
+                drive_sumcheck(&mut prover, &mut core, expected, &mut report, None).unwrap()
+            });
+        });
+
+        // One-round baseline: the Θ(u^{3/2}) single message.
+        if log_u <= 14 {
+            let ell = 1u64 << log_u.div_ceil(2);
+            let fv_padded = FrequencyVector::from_stream(ell * ell, &stream);
+            group.bench_function(BenchmarkId::new("one_round", log_u), |b| {
+                let prover = OneRoundF2Prover::<Fp61>::new(&fv_padded, log_u);
+                b.iter(|| std::hint::black_box(prover.proof().len()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verifier_stream, prover_proof);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches behind Figure 3: SUB-VECTOR verifier streaming and
+//! the full prover interaction at the paper's range length of 1000, plus
+//! the reporting-query family built on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_core::reporting::{run_index, run_predecessor};
+use sip_core::subvector::{run_subvector, SubVectorVerifier};
+use sip_field::Fp61;
+use sip_streaming::workloads;
+
+fn verifier_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_verifier_stream");
+    for log_u in [14u32, 16, 18] {
+        let n = 1u64 << log_u;
+        let stream = workloads::paper_f2(n, log_u as u64);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("tree_hash", log_u), &stream, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut v = SubVectorVerifier::<Fp61>::new(log_u, &mut rng);
+                v.update_all(s);
+                std::hint::black_box(v.space_words())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn full_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_full_protocol_range1000");
+    group.sample_size(10);
+    for log_u in [14u32, 16] {
+        let u = 1u64 << log_u;
+        let stream = workloads::paper_f2(u, log_u as u64);
+        let q_l = u / 2;
+        let q_r = q_l + 999;
+        group.bench_function(BenchmarkId::new("subvector", log_u), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                run_subvector::<Fp61, _>(log_u, &stream, q_l, q_r, &mut rng)
+                    .unwrap()
+                    .entries
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn reporting_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reporting_queries");
+    group.sample_size(10);
+    let log_u = 16u32;
+    let stream = workloads::distinct_keys(10_000, 1 << log_u, 3);
+    group.bench_function("index", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| run_index::<Fp61, _>(log_u, &stream, 12345, &mut rng).unwrap().value);
+    });
+    group.bench_function("predecessor", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            run_predecessor::<Fp61, _>(log_u, &stream, 40_000, &mut rng)
+                .unwrap()
+                .value
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, verifier_stream, full_protocol, reporting_queries);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 2(b): prover's proof-generation time vs universe size `u`.
+//!
+//! The paper's headline separation: the multi-round prover is linear in
+//! `u` (≈20M updates/s) while the one-round prover grows as `u^{3/2}`
+//! ("doubling the input size increases the cost by a factor of 2.8").
+//!
+//! Run: `cargo run --release -p sip-bench --bin fig2b [--max-log-u 20]`
+//! (the one-round prover is skipped above `--max-one-round 20` to keep the
+//! run short; raise it to feel the u^{3/2} pain yourself)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_u32, csv_header, mitems_per_sec, time_once};
+use sip_core::one_round::{OneRoundF2Prover, OneRoundF2Verifier};
+use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
+use sip_core::sumcheck::{drive_sumcheck, RoundProver};
+use sip_core::CostReport;
+use sip_field::Fp61;
+use sip_streaming::{workloads, FrequencyVector};
+
+fn main() {
+    let max_log_u = arg_u32("--max-log-u", 22);
+    let max_one_round = arg_u32("--max-one-round", 20).min(max_log_u);
+    println!("# Figure 2(b): prover's time to generate the proof (u = n)");
+    csv_header(&[
+        "log_u",
+        "u",
+        "multi_round_secs",
+        "multi_round_mupdates_per_s",
+        "one_round_secs",
+        "one_round_growth_vs_prev",
+    ]);
+    let mut rng = StdRng::seed_from_u64(2012);
+    let mut prev_single: Option<f64> = None;
+    for log_u in (12..=max_log_u).step_by(2) {
+        let u = 1u64 << log_u;
+        let stream = workloads::paper_f2(u, log_u as u64);
+        let fv = FrequencyVector::from_stream(u, &stream);
+
+        // Multi-round: time the full d-round proof generation by driving
+        // the interaction (verifier checks included; they are negligible,
+        // "less than a millisecond across all data sizes").
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        verifier.update_all(&stream);
+        let mut prover = F2Prover::new(&fv, log_u);
+        let (mut core, expected) = verifier.into_session();
+        let mut report = CostReport::default();
+        let (res, t_multi) =
+            time_once(|| drive_sumcheck(&mut prover, &mut core, expected, &mut report, None));
+        res.expect("honest prover accepted");
+
+        // One-round baseline: one huge message, Θ(u^{3/2}) to build.
+        let (t_single_str, growth) = if log_u <= max_one_round {
+            let or_verifier = OneRoundF2Verifier::<Fp61>::new(log_u, &mut rng);
+            let ell = or_verifier.ell();
+            let fv_padded = FrequencyVector::from_stream(ell * ell, &stream);
+            let or_prover = OneRoundF2Prover::<Fp61>::new(&fv_padded, log_u);
+            let (proof, t_single) = time_once(|| or_prover.proof());
+            std::hint::black_box(proof.len());
+            let growth = prev_single
+                .map(|p| format!("{:.2}", t_single.as_secs_f64() / p))
+                .unwrap_or_else(|| "-".into());
+            prev_single = Some(t_single.as_secs_f64());
+            (format!("{:.6}", t_single.as_secs_f64()), growth)
+        } else {
+            prev_single = None;
+            ("skipped".into(), "-".into())
+        };
+
+        println!(
+            "{log_u},{u},{:.6},{:.1},{t_single_str},{growth}",
+            t_multi.as_secs_f64(),
+            mitems_per_sec(u, t_multi),
+        );
+        let _ = prover.degree();
+    }
+    println!("# paper: multi-round linear (~20M/s); one-round grows ~2.8x per doubling");
+}

@@ -1,0 +1,85 @@
+//! Figure 2(c): verifier working space and total communication (bytes) vs
+//! universe size, one-round vs multi-round F₂.
+//!
+//! The paper: one-round grows as `√u` ("comfortably under a megabyte" at
+//! u ≈ 10⁹) while multi-round "space required and proof size are never more
+//! than 1KB even when handling gigabytes of data".
+//!
+//! Run: `cargo run --release -p sip-bench --bin fig2c [--max-log-u 30]`
+//! (exact costs are computed from the protocol parameters — no data needs
+//! to be streamed, so this sweep extends to the paper's u = 2^30 cheaply;
+//! small sizes are cross-checked against real runs)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_u32, csv_header};
+use sip_core::one_round::run_one_round_f2;
+use sip_core::sumcheck::f2::run_f2;
+use sip_field::{Fp61, PrimeField};
+use sip_streaming::workloads;
+
+const WORD: usize = 8; // bytes per Z_{2^61-1} word, as in the paper
+
+fn main() {
+    let max_log_u = arg_u32("--max-log-u", 30);
+    println!("# Figure 2(c): verifier space and communication (bytes), F2 protocols");
+    csv_header(&[
+        "log_u",
+        "u",
+        "multi_space_bytes",
+        "multi_comm_bytes",
+        "one_round_space_bytes",
+        "one_round_comm_bytes",
+    ]);
+
+    // Cross-check the analytic formulas against measured runs at small u.
+    let mut rng = StdRng::seed_from_u64(3);
+    for log_u in [10u32, 14, 18] {
+        let stream = workloads::paper_f2(1 << log_u, 9);
+        let multi = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().report;
+        let single = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng)
+            .unwrap()
+            .report;
+        assert_eq!(multi.verifier_space_words, multi_space_words(log_u));
+        assert_eq!(multi.total_words(), multi_comm_words(log_u));
+        assert_eq!(single.verifier_space_words, one_round_space_words(log_u));
+        assert_eq!(single.total_words(), one_round_comm_words(log_u));
+    }
+
+    for log_u in (10..=max_log_u).step_by(2) {
+        let u = 1u128 << log_u;
+        println!(
+            "{log_u},{u},{},{},{},{}",
+            multi_space_words(log_u) * WORD,
+            multi_comm_words(log_u) * WORD,
+            one_round_space_words(log_u) * WORD,
+            one_round_comm_words(log_u) * WORD,
+        );
+    }
+    println!(
+        "# paper: one-round ∝ √u (≈1MB at u=2^30); multi-round ≤ 1KB throughout"
+    );
+    let _ = Fp61::BITS;
+}
+
+/// d+1 LDE words + 3 session words (see `F2Verifier::space_words`).
+fn multi_space_words(log_u: u32) -> usize {
+    log_u as usize + 1 + 3
+}
+
+/// 3 words per round down, d−1 challenges up.
+fn multi_comm_words(log_u: u32) -> usize {
+    3 * log_u as usize + log_u as usize - 1
+}
+
+/// w table (ℓ) + r1 + χ table (ℓ).
+fn one_round_space_words(log_u: u32) -> usize {
+    let ell = 1usize << log_u.div_ceil(2);
+    2 * ell + 1
+}
+
+/// One message of 2ℓ−1 evaluations.
+fn one_round_comm_words(log_u: u32) -> usize {
+    let ell = 1usize << log_u.div_ceil(2);
+    2 * ell - 1
+}

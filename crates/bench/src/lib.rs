@@ -1,0 +1,71 @@
+//! Shared measurement harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure (or in-text claim) of
+//! the paper's Section 5 experimental study, printing the same series the
+//! paper plots as CSV rows (and a human-readable summary). See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Times a closure once, returning its result and the wall time.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times a closure with enough repetitions to exceed `min_total`, returning
+/// the mean per-iteration duration. Used for the fast verifier-side
+/// measurements where a single run is below timer resolution.
+pub fn time_mean<R>(min_total: Duration, mut f: impl FnMut() -> R) -> Duration {
+    let mut iters = 0u32;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= min_total {
+            return elapsed / iters;
+        }
+    }
+}
+
+/// Parses `--max-log-u N` style overrides from `std::env::args`.
+pub fn arg_u32(name: &str, default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Throughput in millions of items per second.
+pub fn mitems_per_sec(items: u64, d: Duration) -> f64 {
+    items as f64 / d.as_secs_f64() / 1e6
+}
+
+/// Prints a CSV header then returns a row printer.
+pub fn csv_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_args() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        let mean = time_mean(Duration::from_micros(100), || std::hint::black_box(1 + 1));
+        assert!(mean.as_nanos() < 1_000_000);
+        assert_eq!(arg_u32("--definitely-not-passed", 9), 9);
+        assert!(mitems_per_sec(2_000_000, Duration::from_secs(1)) > 1.9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cost accounting: the paper's `(s, t)` measures.
+//!
+//! The paper measures protocols in *words*, "where each word can represent
+//! quantities polynomial in u" — concretely one field element. Every
+//! orchestrated protocol run fills in a [`CostReport`]; the figure binaries
+//! convert words to bytes exactly like the paper's Figures 2(c) and 3(b).
+
+/// Costs of one protocol execution.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Number of message exchanges (a round = one message in each
+    /// direction; the initial un-prompted prover message counts as one).
+    pub rounds: usize,
+    /// Words sent from prover to verifier (the proof).
+    pub p_to_v_words: usize,
+    /// Words sent from verifier to prover (challenges and queries).
+    pub v_to_p_words: usize,
+    /// Verifier working memory in words (the paper's `s`).
+    pub verifier_space_words: usize,
+}
+
+impl CostReport {
+    /// Total communication `t` in words.
+    pub fn total_words(&self) -> usize {
+        self.p_to_v_words + self.v_to_p_words
+    }
+
+    /// Communication in bytes for a field of `bits`-bit elements, rounded up
+    /// per word (the paper stores `2^61 − 1` residues in 8-byte words).
+    pub fn comm_bytes(&self, bits: u32) -> usize {
+        self.total_words() * Self::word_bytes(bits)
+    }
+
+    /// Verifier space in bytes.
+    pub fn space_bytes(&self, bits: u32) -> usize {
+        self.verifier_space_words * Self::word_bytes(bits)
+    }
+
+    fn word_bytes(bits: u32) -> usize {
+        (bits as usize).div_ceil(8)
+    }
+
+    /// Accumulates another report (used when a protocol composes
+    /// sub-protocols, e.g. frequency-based functions = heavy hitters +
+    /// sum-check).
+    pub fn absorb(&mut self, other: &CostReport) {
+        self.rounds += other.rounds;
+        self.p_to_v_words += other.p_to_v_words;
+        self.v_to_p_words += other.v_to_p_words;
+        self.verifier_space_words += other.verifier_space_words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversion() {
+        let r = CostReport {
+            rounds: 10,
+            p_to_v_words: 30,
+            v_to_p_words: 9,
+            verifier_space_words: 21,
+        };
+        assert_eq!(r.total_words(), 39);
+        assert_eq!(r.comm_bytes(61), 39 * 8);
+        assert_eq!(r.space_bytes(61), 21 * 8);
+        assert_eq!(r.comm_bytes(127), 39 * 16);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = CostReport {
+            rounds: 1,
+            p_to_v_words: 2,
+            v_to_p_words: 3,
+            verifier_space_words: 4,
+        };
+        a.absorb(&CostReport {
+            rounds: 10,
+            p_to_v_words: 20,
+            v_to_p_words: 30,
+            verifier_space_words: 40,
+        });
+        assert_eq!(a.rounds, 11);
+        assert_eq!(a.p_to_v_words, 22);
+        assert_eq!(a.v_to_p_words, 33);
+        assert_eq!(a.verifier_space_words, 44);
+    }
+}

@@ -1,0 +1,131 @@
+//! Rejection reasons.
+//!
+//! A [`Rejection`] is the *success* of the soundness machinery: the verifier
+//! detected an inconsistency and outputs `⊥` (Definition 1 of the paper).
+//! Misuse of the API (wrong message sizes for the negotiated parameters,
+//! messages out of order) is also surfaced as a rejection — a malicious
+//! prover controls the bytes on the wire, so malformed traffic must reject,
+//! not panic.
+
+use core::fmt;
+
+/// Why the verifier output `⊥`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// A round polynomial had the wrong number of evaluations (equivalently,
+    /// too high a degree — "the verifier also rejects if the degree of g is
+    /// too high").
+    WrongMessageLength {
+        /// Round in which the bad message arrived (1-based).
+        round: usize,
+        /// Number of evaluations the verifier expected.
+        expected: usize,
+        /// Number received.
+        got: usize,
+    },
+    /// `Σ_{x∈[ℓ]} g_j(x) ≠ g_{j−1}(r_{j−1})` — the new round polynomial is
+    /// inconsistent with the previous claim.
+    RoundSumMismatch {
+        /// Round of the inconsistent polynomial (1-based).
+        round: usize,
+    },
+    /// The last round polynomial disagreed with the verifier's own streaming
+    /// evaluation (`g_d(r_d) ≠ f(r)`).
+    FinalCheckFailed,
+    /// The reconstructed hash-tree root differs from the streamed root
+    /// (SUB-VECTOR / heavy hitters).
+    RootMismatch,
+    /// A reported item fell outside the queried range, arrived out of
+    /// order, or duplicated a previous item.
+    MalformedAnswer {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The prover sent more than the protocol's communication budget allows
+    /// (e.g. more than the verified count of nonzero entries).
+    AnswerTooLarge {
+        /// Number of items the verifier committed to accept.
+        limit: usize,
+        /// Number the prover tried to send.
+        got: usize,
+    },
+    /// A structural claim failed (heavy hitters: a node's count does not
+    /// equal the sum of its children's counts, a claimed-heavy node is
+    /// light, a witness is heavy, the root count is not `n`, …).
+    StructuralCheckFailed {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A sub-protocol this protocol relies on rejected.
+    SubProtocol {
+        /// Which sub-protocol rejected.
+        name: &'static str,
+        /// Its rejection.
+        cause: Box<Rejection>,
+    },
+}
+
+impl Rejection {
+    /// Wraps a rejection from a sub-protocol.
+    pub fn in_subprotocol(name: &'static str, cause: Rejection) -> Self {
+        Rejection::SubProtocol {
+            name,
+            cause: Box::new(cause),
+        }
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::WrongMessageLength {
+                round,
+                expected,
+                got,
+            } => write!(
+                f,
+                "round {round}: message carried {got} evaluations, expected {expected}"
+            ),
+            Rejection::RoundSumMismatch { round } => write!(
+                f,
+                "round {round}: polynomial does not sum to the previous claim"
+            ),
+            Rejection::FinalCheckFailed => {
+                write!(f, "final check failed: g_d(r_d) differs from the streamed LDE")
+            }
+            Rejection::RootMismatch => {
+                write!(f, "reconstructed tree root differs from streamed root")
+            }
+            Rejection::MalformedAnswer { detail } => write!(f, "malformed answer: {detail}"),
+            Rejection::AnswerTooLarge { limit, got } => {
+                write!(f, "prover sent {got} items, budget is {limit}")
+            }
+            Rejection::StructuralCheckFailed { detail } => {
+                write!(f, "structural check failed: {detail}")
+            }
+            Rejection::SubProtocol { name, cause } => {
+                write!(f, "sub-protocol {name} rejected: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let r = Rejection::WrongMessageLength {
+            round: 3,
+            expected: 3,
+            got: 7,
+        };
+        assert!(r.to_string().contains("round 3"));
+        let nested = Rejection::in_subprotocol("heavy-hitters", Rejection::RootMismatch);
+        assert!(nested.to_string().contains("heavy-hitters"));
+        assert!(nested.to_string().contains("root"));
+    }
+}

@@ -1,0 +1,480 @@
+//! The prover's fold engine (Appendix B.1).
+//!
+//! The honest prover's work in every multi-round protocol is dominated by
+//! maintaining the table
+//!
+//! ```text
+//! A_j[v_j … v_d] = Σ_{v_1 … v_{j−1} ∈ [2]^{j−1}}  a_v · Π_{k<j} χ_{v_k}(r_k)
+//! ```
+//!
+//! which halves in size every round via
+//! `A_{j+1}[m] = χ_0(r_j)·A_j[2m] + χ_1(r_j)·A_j[2m+1]`. The same fold with
+//! weights `(1, r_j)` computes the SUB-VECTOR hash tree of Section 4 level
+//! by level.
+//!
+//! [`FoldVector`] keeps the table *sparse* (sorted `(index, value)` runs)
+//! while the support is small and densifies once folding has made the table
+//! comparable to its support — this is what realises the paper's
+//! `O(min(u, n log(u/n)))` prover time.
+
+use sip_field::PrimeField;
+use sip_streaming::FrequencyVector;
+
+/// Size (in entries) below which a fold table is always stored densely.
+const ALWAYS_DENSE: u64 = 1 << 12;
+
+/// A power-of-two-length vector being folded one variable at a time.
+///
+/// Indices are interpreted in binary with the *lowest* bit the next variable
+/// to fold (the paper's `v_j` ordering: least-significant digit first).
+#[derive(Clone, Debug)]
+pub struct FoldVector<F: PrimeField> {
+    /// Number of unbound variables; the logical length is `2^bits`.
+    bits: u32,
+    repr: FoldRepr<F>,
+}
+
+#[derive(Clone, Debug)]
+enum FoldRepr<F> {
+    Dense(Vec<F>),
+    /// Sorted by index, all values nonzero.
+    Sparse(Vec<(u64, F)>),
+}
+
+impl<F: PrimeField> FoldVector<F> {
+    /// Builds the initial table `A_1 = a` from a frequency vector over
+    /// `[2^bits]`.
+    ///
+    /// # Panics
+    /// Panics if the vector's universe exceeds `2^bits`.
+    pub fn from_frequency(fv: &FrequencyVector, bits: u32) -> Self {
+        assert!(bits <= 63);
+        let len = 1u64 << bits;
+        assert!(fv.universe() <= len, "universe larger than 2^bits");
+        let support = fv.support_size();
+        if len <= ALWAYS_DENSE || support.saturating_mul(4) >= len {
+            let mut values = vec![F::ZERO; len as usize];
+            for (i, f) in fv.nonzero() {
+                values[i as usize] = F::from_i64(f);
+            }
+            FoldVector {
+                bits,
+                repr: FoldRepr::Dense(values),
+            }
+        } else {
+            FoldVector {
+                bits,
+                repr: FoldRepr::Sparse(
+                    fv.nonzero().map(|(i, f)| (i, F::from_i64(f))).collect(),
+                ),
+            }
+        }
+    }
+
+    /// Builds a dense table from explicit values (`values.len()` must be a
+    /// power of two).
+    pub fn from_values(values: Vec<F>) -> Self {
+        assert!(values.len().is_power_of_two(), "length must be a power of two");
+        let bits = values.len().trailing_zeros();
+        FoldVector {
+            bits,
+            repr: FoldRepr::Dense(values),
+        }
+    }
+
+    /// Number of unbound variables.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The value at `index` (zero where absent).
+    pub fn get(&self, index: u64) -> F {
+        debug_assert!(index < (1u64 << self.bits));
+        match &self.repr {
+            FoldRepr::Dense(v) => v[index as usize],
+            FoldRepr::Sparse(s) => match s.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(pos) => s[pos].1,
+                Err(_) => F::ZERO,
+            },
+        }
+    }
+
+    /// The fully folded scalar (only valid once `bits == 0`).
+    ///
+    /// # Panics
+    /// Panics if variables remain.
+    pub fn scalar(&self) -> F {
+        assert_eq!(self.bits, 0, "fold incomplete: {} variables left", self.bits);
+        self.get(0)
+    }
+
+    /// Number of explicitly stored entries (table footprint).
+    pub fn stored_len(&self) -> usize {
+        match &self.repr {
+            FoldRepr::Dense(v) => v.len(),
+            FoldRepr::Sparse(s) => s.len(),
+        }
+    }
+
+    /// Whether the table is currently sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, FoldRepr::Sparse(_))
+    }
+
+    /// Visits every index pair `(m, lo, hi) = (m, A[2m], A[2m+1])` with at
+    /// least one nonzero component, in increasing `m`.
+    pub fn for_each_pair(&self, mut f: impl FnMut(u64, F, F)) {
+        match &self.repr {
+            FoldRepr::Dense(v) => {
+                for m in 0..v.len() / 2 {
+                    let lo = v[2 * m];
+                    let hi = v[2 * m + 1];
+                    if !lo.is_zero() || !hi.is_zero() {
+                        f(m as u64, lo, hi);
+                    }
+                }
+            }
+            FoldRepr::Sparse(s) => {
+                let mut idx = 0;
+                while idx < s.len() {
+                    let (i, v) = s[idx];
+                    let m = i >> 1;
+                    if i & 1 == 0 {
+                        // possibly paired with i+1
+                        if idx + 1 < s.len() && s[idx + 1].0 == i + 1 {
+                            f(m, v, s[idx + 1].1);
+                            idx += 2;
+                        } else {
+                            f(m, v, F::ZERO);
+                            idx += 1;
+                        }
+                    } else {
+                        f(m, F::ZERO, v);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every `m` where *either* table has a nonzero child:
+    /// `(m, a_lo, a_hi, b_lo, b_hi)`. Both tables must have the same number
+    /// of unbound variables.
+    pub fn for_each_pair_union(
+        a: &FoldVector<F>,
+        b: &FoldVector<F>,
+        mut f: impl FnMut(u64, F, F, F, F),
+    ) {
+        assert_eq!(a.bits, b.bits, "fold tables out of sync");
+        match (&a.repr, &b.repr) {
+            (FoldRepr::Sparse(_), FoldRepr::Sparse(_)) => {
+                // Merge join over pair indices.
+                let mut av: Vec<(u64, F, F)> = Vec::new();
+                a.for_each_pair(|m, lo, hi| av.push((m, lo, hi)));
+                let mut bv: Vec<(u64, F, F)> = Vec::new();
+                b.for_each_pair(|m, lo, hi| bv.push((m, lo, hi)));
+                let (mut i, mut j) = (0, 0);
+                while i < av.len() || j < bv.len() {
+                    match (av.get(i), bv.get(j)) {
+                        (Some(&(ma, alo, ahi)), Some(&(mb, blo, bhi))) => {
+                            if ma == mb {
+                                f(ma, alo, ahi, blo, bhi);
+                                i += 1;
+                                j += 1;
+                            } else if ma < mb {
+                                f(ma, alo, ahi, F::ZERO, F::ZERO);
+                                i += 1;
+                            } else {
+                                f(mb, F::ZERO, F::ZERO, blo, bhi);
+                                j += 1;
+                            }
+                        }
+                        (Some(&(ma, alo, ahi)), None) => {
+                            f(ma, alo, ahi, F::ZERO, F::ZERO);
+                            i += 1;
+                        }
+                        (None, Some(&(mb, blo, bhi))) => {
+                            f(mb, F::ZERO, F::ZERO, blo, bhi);
+                            j += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+            }
+            _ => {
+                // At least one side dense: visit all pair slots.
+                let half = 1u64 << (a.bits - 1);
+                for m in 0..half {
+                    let alo = a.get(2 * m);
+                    let ahi = a.get(2 * m + 1);
+                    let blo = b.get(2 * m);
+                    let bhi = b.get(2 * m + 1);
+                    if !alo.is_zero() || !ahi.is_zero() || !blo.is_zero() || !bhi.is_zero() {
+                        f(m, alo, ahi, blo, bhi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All nonzero entries with index in `[lo, hi]`, in index order.
+    pub fn nonzero_in_range(&self, lo: u64, hi: u64) -> Vec<(u64, F)> {
+        debug_assert!(lo <= hi && hi < (1u64 << self.bits));
+        match &self.repr {
+            FoldRepr::Dense(v) => (lo..=hi)
+                .filter_map(|i| {
+                    let val = v[i as usize];
+                    (!val.is_zero()).then_some((i, val))
+                })
+                .collect(),
+            FoldRepr::Sparse(s) => {
+                let start = s.partition_point(|&(i, _)| i < lo);
+                s[start..]
+                    .iter()
+                    .take_while(|&&(i, _)| i <= hi)
+                    .copied()
+                    .collect()
+            }
+        }
+    }
+
+    /// Folds the lowest variable with weights `(w0, w1)`:
+    /// `A'[m] = w0·A[2m] + w1·A[2m+1]`.
+    ///
+    /// * sum-check binding at challenge `r`: `(1−r, r)`;
+    /// * hash-tree level combine with key `r` (equation (7)): `(1, r)`.
+    ///
+    /// # Panics
+    /// Panics if no variables remain.
+    pub fn fold(&mut self, w0: F, w1: F) {
+        assert!(self.bits >= 1, "nothing left to fold");
+        let new_bits = self.bits - 1;
+        match &mut self.repr {
+            FoldRepr::Dense(v) => {
+                let half = v.len() / 2;
+                for m in 0..half {
+                    v[m] = w0 * v[2 * m] + w1 * v[2 * m + 1];
+                }
+                v.truncate(half);
+            }
+            FoldRepr::Sparse(s) => {
+                let mut out: Vec<(u64, F)> = Vec::with_capacity(s.len());
+                let mut idx = 0;
+                while idx < s.len() {
+                    let (i, v) = s[idx];
+                    let m = i >> 1;
+                    let combined = if i & 1 == 0 {
+                        if idx + 1 < s.len() && s[idx + 1].0 == i + 1 {
+                            let hi = s[idx + 1].1;
+                            idx += 2;
+                            w0 * v + w1 * hi
+                        } else {
+                            idx += 1;
+                            w0 * v
+                        }
+                    } else {
+                        idx += 1;
+                        w1 * v
+                    };
+                    if !combined.is_zero() {
+                        out.push((m, combined));
+                    }
+                }
+                *s = out;
+                // Densify once the table is no longer meaningfully sparse.
+                let len = 1u64 << new_bits;
+                if len <= ALWAYS_DENSE || (s.len() as u64).saturating_mul(4) >= len {
+                    let mut dense = vec![F::ZERO; len as usize];
+                    for &(i, v) in s.iter() {
+                        dense[i as usize] = v;
+                    }
+                    self.repr = FoldRepr::Dense(dense);
+                }
+            }
+        }
+        self.bits = new_bits;
+    }
+
+    /// Binds the lowest variable to challenge `r` using the multilinear
+    /// basis: weights `(1−r, r)`.
+    pub fn bind(&mut self, r: F) {
+        self.fold(F::ONE - r, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::{Fp61, PrimeField};
+    use sip_lde::reference::naive_multilinear_eval;
+    use sip_streaming::{workloads, FrequencyVector, Update};
+
+    fn field_vec(fv: &FrequencyVector) -> Vec<Fp61> {
+        (0..fv.universe())
+            .map(|i| Fp61::from_i64(fv.get(i)))
+            .collect()
+    }
+
+    #[test]
+    fn full_bind_equals_multilinear_eval() {
+        // Binding all variables at (r_1, …, r_d) must produce f̃_a(r): the
+        // multilinear extension evaluated at r.
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits = 8u32;
+        let stream = workloads::uniform(100, 1 << bits, 50, 7);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let values = field_vec(&fv);
+        let mut fold = FoldVector::from_frequency(&fv, bits);
+        let r: Vec<Fp61> = (0..bits).map(|_| Fp61::random(&mut rng)).collect();
+        for &rj in &r {
+            fold.bind(rj);
+        }
+        assert_eq!(fold.scalar(), naive_multilinear_eval(&values, &r));
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_through_folds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bits = 16u32; // large enough that sparse is chosen
+        let stream = workloads::uniform(40, 1 << bits, 9, 8);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let mut sparse = FoldVector::from_frequency(&fv, bits);
+        assert!(sparse.is_sparse(), "setup should start sparse");
+        let mut dense = FoldVector::from_values(field_vec(&fv));
+        for _ in 0..bits {
+            let r = Fp61::random(&mut rng);
+            // Compare pair walks before folding.
+            let mut sp = Vec::new();
+            sparse.for_each_pair(|m, lo, hi| sp.push((m, lo, hi)));
+            let mut dp = Vec::new();
+            dense.for_each_pair(|m, lo, hi| dp.push((m, lo, hi)));
+            assert_eq!(sp, dp);
+            sparse.bind(r);
+            dense.bind(r);
+        }
+        assert_eq!(sparse.scalar(), dense.scalar());
+    }
+
+    #[test]
+    fn tree_fold_computes_affine_hash() {
+        // Folding with (1, r_j) computes the hash tree of Section 4:
+        // t = Σ_i a_i Π_j r_j^{bit_j(i)} (equation (8)).
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits = 6u32;
+        let stream = workloads::uniform(30, 1 << bits, 100, 9);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let keys: Vec<Fp61> = (0..bits).map(|_| Fp61::random(&mut rng)).collect();
+        let mut fold = FoldVector::from_frequency(&fv, bits);
+        for &k in &keys {
+            fold.fold(Fp61::ONE, k);
+        }
+        let mut expect = Fp61::ZERO;
+        for (i, f) in fv.nonzero() {
+            let mut w = Fp61::from_i64(f);
+            for (j, &k) in keys.iter().enumerate() {
+                if (i >> j) & 1 == 1 {
+                    w *= k;
+                }
+            }
+            expect += w;
+        }
+        assert_eq!(fold.scalar(), expect);
+    }
+
+    #[test]
+    fn pair_union_covers_both_supports() {
+        let a = FrequencyVector::from_stream(
+            1 << 16,
+            &[Update::new(2, 1), Update::new(5, 2), Update::new(40_000, 3)],
+        );
+        let b = FrequencyVector::from_stream(
+            1 << 16,
+            &[Update::new(3, 7), Update::new(5, 1), Update::new(60_001, 4)],
+        );
+        let fa = FoldVector::<Fp61>::from_frequency(&a, 16);
+        let fb = FoldVector::<Fp61>::from_frequency(&b, 16);
+        assert!(fa.is_sparse() && fb.is_sparse());
+        let mut seen = Vec::new();
+        FoldVector::for_each_pair_union(&fa, &fb, |m, alo, ahi, blo, bhi| {
+            seen.push((m, alo, ahi, blo, bhi));
+        });
+        let one = Fp61::from_u64(1);
+        let two = Fp61::from_u64(2);
+        let three = Fp61::from_u64(3);
+        let four = Fp61::from_u64(4);
+        let seven = Fp61::from_u64(7);
+        let z = Fp61::ZERO;
+        assert_eq!(
+            seen,
+            vec![
+                (1, one, z, z, seven),   // a_2 | b_3
+                (2, z, two, z, one),     // a_5 | b_5
+                (20_000, three, z, z, z),
+                (30_000, z, z, z, four), // b at 60_001 (odd)
+            ]
+        );
+    }
+
+    #[test]
+    fn pair_union_mixed_representations() {
+        // One dense, one sparse: same results as both dense.
+        let mut rng = StdRng::seed_from_u64(4);
+        let bits = 13u32;
+        let sa = workloads::uniform(5000, 1 << bits, 5, 10); // dense support
+        let sb = workloads::uniform(20, 1 << bits, 5, 11); // sparse support
+        let a = FrequencyVector::from_stream(1 << bits, &sa);
+        let b = FrequencyVector::from_stream(1 << bits, &sb);
+        let fa = FoldVector::<Fp61>::from_frequency(&a, bits);
+        let fb = FoldVector::<Fp61>::from_frequency(&b, bits);
+        let da = FoldVector::from_values(field_vec(&a));
+        let db = FoldVector::from_values(field_vec(&b));
+        let mut got = Fp61::ZERO;
+        let r = Fp61::random(&mut rng);
+        FoldVector::for_each_pair_union(&fa, &fb, |_, alo, ahi, blo, bhi| {
+            got += (alo + r * ahi) * (blo + r * bhi);
+        });
+        let mut expect = Fp61::ZERO;
+        FoldVector::for_each_pair_union(&da, &db, |_, alo, ahi, blo, bhi| {
+            expect += (alo + r * ahi) * (blo + r * bhi);
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sparse_densifies_as_it_shrinks() {
+        let stream = workloads::uniform(64, 1 << 20, 3, 12);
+        let fv = FrequencyVector::from_stream(1 << 20, &stream);
+        let mut fold = FoldVector::<Fp61>::from_frequency(&fv, 20);
+        assert!(fold.is_sparse());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            fold.bind(Fp61::random(&mut rng));
+        }
+        assert_eq!(fold.bits(), 0);
+        assert!(!fold.is_sparse(), "must densify by the end");
+    }
+
+    #[test]
+    fn zero_cancellation_in_sparse_fold() {
+        // Entries that cancel exactly must be dropped, not stored as zero.
+        let fv = FrequencyVector::from_stream(
+            1 << 16,
+            &[Update::new(8, 1), Update::new(9, 1)],
+        );
+        let mut fold = FoldVector::<Fp61>::from_frequency(&fv, 16);
+        // With weights (1, −1): 1·a[8] + (−1)·a[9] = 0.
+        fold.fold(Fp61::ONE, -Fp61::ONE);
+        assert_eq!(fold.get(4), Fp61::ZERO);
+        assert!(fold.stored_len() <= 1); // nothing (or a densified table)
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing left to fold")]
+    fn over_folding_panics() {
+        let mut fold = FoldVector::from_values(vec![Fp61::ONE, Fp61::ZERO]);
+        fold.bind(Fp61::ONE);
+        fold.bind(Fp61::ONE);
+    }
+}

@@ -1,0 +1,293 @@
+//! The one-round `(√u, √u)` baseline of Chakrabarti–Cormode–McGregor \[6\].
+//!
+//! The paper's experimental study compares its multi-round F₂ protocol to
+//! "the single round protocol given in \[6\], which can be seen as a protocol
+//! in our setting with d = 2 and ℓ = √u": view `a` as a `√u × √u` grid
+//! `a[v₁][v₂]`. The verifier picks a single random `r₁` and streams the
+//! *vector* of partial LDEs
+//!
+//! ```text
+//! w[j] = f_a(r₁, j) = Σ_{v₁} a[v₁][j]·χ_{v₁}(r₁)        (√u words)
+//! ```
+//!
+//! — `O(1)` per update via a χ lookup table, which is why the paper's
+//! Figure 2(a) shows the one-round verifier slightly *faster* per update
+//! than the multi-round one. The prover sends one message: the polynomial
+//!
+//! ```text
+//! g(x) = Σ_{j ∈ [ℓ]} f_a(x, j)²       (degree 2(ℓ−1), 2ℓ−1 words)
+//! ```
+//!
+//! and the verifier accepts iff `g(r₁) = Σ_j w[j]²`, reporting
+//! `F₂ = Σ_{x ∈ [ℓ]} g(x)`. Soundness: `O(√u / p)` by Schwartz–Zippel.
+//!
+//! Space and communication are both `Θ(√u)`, and the honest prover runs in
+//! `Θ(u^{3/2})` — the steeper line of Figure 2(b). This module exists to
+//! regenerate exactly those comparisons.
+
+use rand::Rng;
+use sip_field::lagrange::{chi_all, eval_from_grid_evals};
+use sip_field::PrimeField;
+use sip_streaming::{FrequencyVector, Update};
+
+use crate::channel::CostReport;
+use crate::error::Rejection;
+use crate::sumcheck::moments::VerifiedAggregate;
+
+/// Streaming verifier for the one-round F₂ protocol.
+#[derive(Clone, Debug)]
+pub struct OneRoundF2Verifier<F: PrimeField> {
+    ell: u64,
+    r1: F,
+    /// `χ_k(r₁)` for `k ∈ [ℓ]`.
+    chi_r1: Vec<F>,
+    /// `w[j] = f_a(r₁, j)`.
+    w: Vec<F>,
+}
+
+impl<F: PrimeField> OneRoundF2Verifier<F> {
+    /// Prepares to stream over a universe of at least `2^log_u`
+    /// (`ℓ = 2^⌈log_u/2⌉`).
+    pub fn new<R: Rng + ?Sized>(log_u: u32, rng: &mut R) -> Self {
+        let ell = 1u64 << log_u.div_ceil(2);
+        let r1 = F::random(rng);
+        OneRoundF2Verifier {
+            ell,
+            r1,
+            chi_r1: chi_all(ell, r1),
+            w: vec![F::ZERO; ell as usize],
+        }
+    }
+
+    /// The grid side `ℓ = √u`.
+    pub fn ell(&self) -> u64 {
+        self.ell
+    }
+
+    /// Processes one update in `O(1)` time: `w[v₂] += δ·χ_{v₁}(r₁)`.
+    pub fn update(&mut self, up: Update) {
+        let v1 = (up.index % self.ell) as usize;
+        let v2 = (up.index / self.ell) as usize;
+        assert!(v2 < self.w.len(), "index outside universe");
+        self.w[v2] += F::from_i64(up.delta) * self.chi_r1[v1];
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.update(up);
+        }
+    }
+
+    /// Verifier space in words: `w`, `r₁`, and the χ table.
+    pub fn space_words(&self) -> usize {
+        self.w.len() + 1 + self.chi_r1.len()
+    }
+
+    /// Verifies the prover's single message (`2ℓ−1` evaluations of `g` at
+    /// `0, …, 2ℓ−2`) and returns the verified `F₂`.
+    pub fn verify(&self, proof: &[F]) -> Result<F, Rejection> {
+        let expected_len = 2 * self.ell as usize - 1;
+        if proof.len() != expected_len {
+            return Err(Rejection::WrongMessageLength {
+                round: 1,
+                expected: expected_len,
+                got: proof.len(),
+            });
+        }
+        // g(r₁) must equal Σ_j w[j]² = Σ_j f_a(r₁, j)².
+        let check = self
+            .w
+            .iter()
+            .map(|&wj| wj * wj)
+            .fold(F::ZERO, |a, b| a + b);
+        if eval_from_grid_evals(proof, self.r1) != check {
+            return Err(Rejection::FinalCheckFailed);
+        }
+        // F₂ = Σ_{x ∈ [ℓ]} g(x): the first ℓ grid evaluations.
+        Ok(proof[..self.ell as usize]
+            .iter()
+            .copied()
+            .fold(F::ZERO, |a, b| a + b))
+    }
+}
+
+/// Honest one-round prover: materialises the `√u × √u` grid and evaluates
+/// `g` at `2ℓ−1` points, `Θ(u^{3/2})` time.
+#[derive(Clone, Debug)]
+pub struct OneRoundF2Prover<F: PrimeField> {
+    ell: u64,
+    /// Dense grid in column-major order: `grid[j·ℓ + v₁] = a[v₁][j]`.
+    grid: Vec<F>,
+}
+
+impl<F: PrimeField> OneRoundF2Prover<F> {
+    /// Builds the grid from the materialised frequency vector.
+    pub fn new(fv: &FrequencyVector, log_u: u32) -> Self {
+        let ell = 1u64 << log_u.div_ceil(2);
+        let mut grid = vec![F::ZERO; (ell * ell) as usize];
+        for (i, f) in fv.nonzero() {
+            let v1 = i % ell;
+            let v2 = i / ell;
+            grid[(v2 * ell + v1) as usize] = F::from_i64(f);
+        }
+        OneRoundF2Prover { ell, grid }
+    }
+
+    /// The single proof message: `g` evaluated at `0, …, 2ℓ−2`.
+    pub fn proof(&self) -> Vec<F> {
+        let ell = self.ell as usize;
+        let points = 2 * ell - 1;
+        let mut out = Vec::with_capacity(points);
+        for c in 0..points {
+            let chi_c = chi_all::<F>(self.ell, F::from_u64(c as u64));
+            let mut g_c = F::ZERO;
+            for j in 0..ell {
+                let col = &self.grid[j * ell..(j + 1) * ell];
+                let mut row = F::ZERO;
+                for (v1, &val) in col.iter().enumerate() {
+                    if !val.is_zero() {
+                        row += val * chi_c[v1];
+                    }
+                }
+                g_c += row * row;
+            }
+            out.push(g_c);
+        }
+        out
+    }
+}
+
+/// Runs the complete honest one-round F₂ protocol.
+pub fn run_one_round_f2<F: PrimeField, R: Rng + ?Sized>(
+    log_u: u32,
+    stream: &[Update],
+    rng: &mut R,
+) -> Result<VerifiedAggregate<F>, Rejection> {
+    run_one_round_f2_with_adversary(log_u, stream, rng, None)
+}
+
+/// Message corruption hook for the single proof message.
+pub type OneRoundAdversary<'a, F> = &'a mut dyn FnMut(&mut Vec<F>);
+
+/// Like [`run_one_round_f2`] with a message-corruption hook.
+pub fn run_one_round_f2_with_adversary<F: PrimeField, R: Rng + ?Sized>(
+    log_u: u32,
+    stream: &[Update],
+    rng: &mut R,
+    adversary: Option<OneRoundAdversary<'_, F>>,
+) -> Result<VerifiedAggregate<F>, Rejection> {
+    let mut verifier = OneRoundF2Verifier::<F>::new(log_u, rng);
+    verifier.update_all(stream);
+
+    let u_padded = verifier.ell() * verifier.ell();
+    let fv = FrequencyVector::from_stream(u_padded.max(1 << log_u), stream);
+    let prover = OneRoundF2Prover::new(&fv, log_u);
+    let mut proof = prover.proof();
+    if let Some(adv) = adversary {
+        adv(&mut proof);
+    }
+
+    let report = CostReport {
+        rounds: 1,
+        p_to_v_words: proof.len(),
+        v_to_p_words: 0,
+        verifier_space_words: verifier.space_words(),
+    };
+    let value = verifier.verify(&proof)?;
+    Ok(VerifiedAggregate { value, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::Fp61;
+    use sip_streaming::workloads;
+
+    #[test]
+    fn completeness_even_and_odd_log_u() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for log_u in [4u32, 5, 8, 9] {
+            let stream = workloads::paper_f2(1 << log_u, log_u as u64);
+            let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+            let got = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap();
+            assert_eq!(
+                got.value,
+                Fp61::from_u128(fv.self_join_size() as u128),
+                "log_u={log_u}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_multiround() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream = workloads::uniform(500, 1 << 8, 30, 3);
+        let one = run_one_round_f2::<Fp61, _>(8, &stream, &mut rng).unwrap();
+        let multi = crate::sumcheck::f2::run_f2::<Fp61, _>(8, &stream, &mut rng).unwrap();
+        assert_eq!(one.value, multi.value);
+    }
+
+    #[test]
+    fn costs_are_sqrt_u() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let log_u = 10; // ℓ = 32
+        let stream = workloads::uniform(100, 1 << log_u, 5, 4);
+        let got = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap();
+        assert_eq!(got.report.rounds, 1);
+        assert_eq!(got.report.p_to_v_words, 2 * 32 - 1);
+        assert_eq!(got.report.v_to_p_words, 0);
+        assert_eq!(got.report.verifier_space_words, 32 + 1 + 32);
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let stream = workloads::uniform(200, 1 << 8, 10, 5);
+        for slot in [0usize, 7, 30] {
+            let mut adv = |proof: &mut Vec<Fp61>| {
+                proof[slot] += Fp61::ONE;
+            };
+            let res = run_one_round_f2_with_adversary::<Fp61, _>(
+                8,
+                &stream,
+                &mut rng,
+                Some(&mut adv),
+            );
+            assert!(res.is_err(), "slot={slot}");
+        }
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = workloads::uniform(50, 1 << 6, 5, 6);
+        let mut adv = |proof: &mut Vec<Fp61>| {
+            proof.pop();
+        };
+        let res =
+            run_one_round_f2_with_adversary::<Fp61, _>(6, &stream, &mut rng, Some(&mut adv));
+        assert!(matches!(res, Err(Rejection::WrongMessageLength { .. })));
+    }
+
+    #[test]
+    fn wrong_data_rejected() {
+        // Honest proof over modified data fails the g(r₁) check.
+        let mut rng = StdRng::seed_from_u64(6);
+        let log_u = 8;
+        let stream = workloads::paper_f2(1 << log_u, 7);
+        let mut verifier = OneRoundF2Verifier::<Fp61>::new(log_u, &mut rng);
+        verifier.update_all(&stream);
+        let mut wrong = stream.clone();
+        wrong[3].delta ^= 1;
+        let ell = verifier.ell();
+        let fv = FrequencyVector::from_stream(ell * ell, &wrong);
+        let prover = OneRoundF2Prover::new(&fv, log_u);
+        assert!(matches!(
+            verifier.verify(&prover.proof()),
+            Err(Rejection::FinalCheckFailed)
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! SELF-JOIN SIZE over a general base `ℓ` — footnote 1's trade-off.
+//!
+//! The paper parameterises the sum-check by `(ℓ, d)` with `u = ℓ^d`:
+//! verifier space `O(d + ℓ)`, communication `O(d·ℓ)` over `d` rounds.
+//! `ℓ = 2` is "probably the most economical tradeoff"; footnote 1 notes
+//! that e.g. `ℓ = logᵉ u` trades a bit more communication for a bit less
+//! space, and the one-round baseline of \[6\] is the extreme `d = 2,
+//! ℓ = √u`. This module implements the whole family for F₂ so the
+//! `ell_tradeoff` bench can sweep it.
+//!
+//! Messages carry `2(ℓ−1)+1` evaluations; the verifier checks
+//! `Σ_{x∈[ℓ]} g_j(x) = g_{j−1}(r_{j−1})` and finally
+//! `g_d(r_d) = f_a(r)²`.
+
+use rand::Rng;
+use sip_field::lagrange::{chi_all, eval_from_grid_evals};
+use sip_field::PrimeField;
+use sip_lde::{LdeParams, StreamingLdeEvaluator};
+use sip_streaming::{FrequencyVector, Update};
+
+use crate::channel::CostReport;
+use crate::error::Rejection;
+use crate::sumcheck::moments::VerifiedAggregate;
+
+/// Streaming verifier for F₂ over `[ℓ^d]`.
+#[derive(Clone, Debug)]
+pub struct GeneralF2Verifier<F: PrimeField> {
+    lde: StreamingLdeEvaluator<F>,
+}
+
+impl<F: PrimeField> GeneralF2Verifier<F> {
+    /// Draws the secret point over `[ℓ^d]`.
+    pub fn new<R: Rng + ?Sized>(params: LdeParams, rng: &mut R) -> Self {
+        GeneralF2Verifier {
+            lde: StreamingLdeEvaluator::random(params, rng),
+        }
+    }
+
+    /// Processes one stream update (`O(d)` with cached χ tables).
+    pub fn update(&mut self, up: Update) {
+        self.lde.update(up);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        self.lde.update_all(stream);
+    }
+
+    /// Verifier space in words: point + accumulator + one message buffer of
+    /// `2ℓ−1` evaluations (the paper's `O(d + ℓ)`).
+    pub fn space_words(&self) -> usize {
+        let params = self.lde.params();
+        params.dimension() as usize + 1 + (2 * params.base() as usize - 1) + 3
+    }
+
+    /// Runs the verification conversation against an honest prover.
+    pub fn verify(self, prover: &mut GeneralF2Prover<F>) -> Result<VerifiedAggregate<F>, Rejection> {
+        let params = self.lde.params();
+        let ell = params.base();
+        let d = params.dimension() as usize;
+        let degree = 2 * (ell as usize - 1);
+        let point = self.lde.point().to_vec();
+        let expected = self.lde.value() * self.lde.value();
+        let space = self.space_words();
+
+        let mut report = CostReport {
+            verifier_space_words: space,
+            ..CostReport::default()
+        };
+        let mut output = F::ZERO;
+        let mut claim = F::ZERO;
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..d {
+            let msg = prover.message();
+            report.rounds += 1;
+            report.p_to_v_words += msg.len();
+            if msg.len() != degree + 1 {
+                return Err(Rejection::WrongMessageLength {
+                    round: j + 1,
+                    expected: degree + 1,
+                    got: msg.len(),
+                });
+            }
+            let grid_sum: F = msg[..ell as usize].iter().copied().sum();
+            if j == 0 {
+                output = grid_sum;
+            } else if grid_sum != claim {
+                return Err(Rejection::RoundSumMismatch { round: j + 1 });
+            }
+            claim = eval_from_grid_evals(&msg, point[j]);
+            if j + 1 < d {
+                report.v_to_p_words += 1;
+                prover.bind(point[j]);
+            }
+        }
+        if claim != expected {
+            return Err(Rejection::FinalCheckFailed);
+        }
+        Ok(VerifiedAggregate {
+            value: output,
+            report,
+        })
+    }
+}
+
+/// Honest F₂ prover over base `ℓ`: folds `ℓ` children per step.
+#[derive(Clone, Debug)]
+pub struct GeneralF2Prover<F: PrimeField> {
+    params: LdeParams,
+    /// Dense fold table, length `ℓ^{d−j}`.
+    table: Vec<F>,
+    /// `χ_k(c)` for every evaluation point `c ∈ {0, …, 2(ℓ−1)}`, `k ∈ [ℓ]`.
+    chi_at_points: Vec<Vec<F>>,
+}
+
+impl<F: PrimeField> GeneralF2Prover<F> {
+    /// Builds the prover from the materialised frequency vector.
+    pub fn new(fv: &FrequencyVector, params: LdeParams) -> Self {
+        assert!(fv.universe() <= params.universe());
+        let mut table = vec![F::ZERO; params.universe() as usize];
+        for (i, f) in fv.nonzero() {
+            table[i as usize] = F::from_i64(f);
+        }
+        let ell = params.base();
+        let degree = 2 * (ell as usize - 1);
+        let chi_at_points = (0..=degree as u64)
+            .map(|c| chi_all(ell, F::from_u64(c)))
+            .collect();
+        GeneralF2Prover {
+            params,
+            table,
+            chi_at_points,
+        }
+    }
+
+    /// The round polynomial: `g_j(c) = Σ_m (Σ_k χ_k(c)·A[ℓm+k])²` at
+    /// `c = 0, …, 2(ℓ−1)`.
+    pub fn message(&self) -> Vec<F> {
+        let ell = self.params.base() as usize;
+        self.chi_at_points
+            .iter()
+            .map(|chis| {
+                self.table
+                    .chunks_exact(ell)
+                    .map(|block| {
+                        let v: F = block
+                            .iter()
+                            .zip(chis)
+                            .map(|(&a, &c)| a * c)
+                            .fold(F::ZERO, |x, y| x + y);
+                        v * v
+                    })
+                    .fold(F::ZERO, |x, y| x + y)
+            })
+            .collect()
+    }
+
+    /// Binds the lowest digit to challenge `r`.
+    pub fn bind(&mut self, r: F) {
+        let ell = self.params.base() as usize;
+        let chis = chi_all(self.params.base(), r);
+        let next: Vec<F> = self
+            .table
+            .chunks_exact(ell)
+            .map(|block| {
+                block
+                    .iter()
+                    .zip(&chis)
+                    .map(|(&a, &c)| a * c)
+                    .fold(F::ZERO, |x, y| x + y)
+            })
+            .collect();
+        self.table = next;
+    }
+}
+
+/// Runs the complete honest general-`ℓ` F₂ protocol.
+pub fn run_general_f2<F: PrimeField, R: Rng + ?Sized>(
+    params: LdeParams,
+    stream: &[Update],
+    rng: &mut R,
+) -> Result<VerifiedAggregate<F>, Rejection> {
+    let mut verifier = GeneralF2Verifier::<F>::new(params, rng);
+    verifier.update_all(stream);
+    let fv = FrequencyVector::from_stream(params.universe(), stream);
+    let mut prover = GeneralF2Prover::new(&fv, params);
+    verifier.verify(&mut prover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::Fp61;
+    use sip_streaming::workloads;
+
+    #[test]
+    fn agrees_with_binary_f2_across_bases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stream = workloads::paper_f2(1 << 12, 2);
+        let fv = FrequencyVector::from_stream(1 << 12, &stream);
+        let expect = Fp61::from_u128(fv.self_join_size() as u128);
+        for &(ell, d) in &[(2u64, 12u32), (4, 6), (8, 4), (16, 3), (64, 2)] {
+            let params = LdeParams::new(ell, d);
+            let got = run_general_f2::<Fp61, _>(params, &stream, &mut rng).unwrap();
+            assert_eq!(got.value, expect, "ell={ell}");
+            // Cost shape: d rounds of 2ℓ−1 words.
+            assert_eq!(got.report.rounds, d as usize);
+            assert_eq!(got.report.p_to_v_words, d as usize * (2 * ell as usize - 1));
+        }
+    }
+
+    #[test]
+    fn ell2_matches_specialised_module() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream = workloads::uniform(300, 1 << 8, 20, 3);
+        let gen = run_general_f2::<Fp61, _>(LdeParams::binary(8), &stream, &mut rng).unwrap();
+        let spec = crate::sumcheck::f2::run_f2::<Fp61, _>(8, &stream, &mut rng).unwrap();
+        assert_eq!(gen.value, spec.value);
+        assert_eq!(gen.report.p_to_v_words, spec.report.p_to_v_words);
+    }
+
+    #[test]
+    fn nonbinary_base_with_padding() {
+        // Universe 3^5 = 243 covers a stream over [200].
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = LdeParams::new(3, 5);
+        let stream = workloads::uniform(150, 200, 9, 4);
+        let fv = FrequencyVector::from_stream(243, &stream);
+        let got = run_general_f2::<Fp61, _>(params, &stream, &mut rng).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(fv.self_join_size() as u128));
+    }
+
+    #[test]
+    fn dishonest_round_rejected() {
+        // Tamper by binding the prover to a different stream.
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = LdeParams::new(4, 4);
+        let stream = workloads::uniform(100, 200, 5, 5);
+        let mut verifier = GeneralF2Verifier::<Fp61>::new(params, &mut rng);
+        verifier.update_all(&stream);
+        let mut wrong = stream.clone();
+        wrong[0].delta += 1;
+        let fv = FrequencyVector::from_stream(params.universe(), &wrong);
+        let mut prover = GeneralF2Prover::new(&fv, params);
+        assert!(verifier.verify(&mut prover).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The multi-round sum-check machinery of Section 3.
+//!
+//! All four aggregation protocols (SELF-JOIN SIZE, frequency moments,
+//! INNER PRODUCT, RANGE-SUM) share the same skeleton, run over the
+//! multilinear parameterisation `ℓ = 2`, `d = log₂ u`:
+//!
+//! 1. Before the stream, `V` draws a secret random point
+//!    `r = (r_1, …, r_d) ∈ Z_p^d` and, while observing the stream, evaluates
+//!    the LDE(s) `f(r)` incrementally (Theorem 1).
+//! 2. After the stream, `P` sends a univariate polynomial `g_1` claimed to
+//!    equal the sum of the target polynomial over all but the first
+//!    variable. `V` learns the claimed answer `Σ_{x₁∈[2]} g_1(x₁)`.
+//! 3. In round `j > 1`, `V` reveals `r_{j−1}`; `P` answers with `g_j`; `V`
+//!    checks the *round-sum consistency* `Σ_{x∈[2]} g_j(x) = g_{j−1}(r_{j−1})`.
+//! 4. After round `d`, `V` checks `g_d(r_d)` against its own streamed
+//!    evaluation — `f_a(r)²` for F₂, `f_a(r)·f_b(r)` for inner product, etc.
+//!    `r_d` is never revealed.
+//!
+//! [`SumCheckVerifierCore`] implements steps 2–4 generically;
+//! [`RoundProver`] is the honest-prover interface (each protocol supplies
+//! its own message rule over the shared [`crate::fold::FoldVector`]);
+//! [`drive_sumcheck`] orchestrates an execution, counts costs, and hosts the
+//! failure-injection hook used by the tamper suite.
+
+pub mod f2;
+pub mod general_ell;
+pub mod inner_product;
+pub mod moments;
+pub mod range_sum;
+
+use sip_field::lagrange::eval_from_grid_evals;
+use sip_field::PrimeField;
+
+use crate::channel::CostReport;
+use crate::error::Rejection;
+
+/// The verifier's round-by-round state for a `d`-round sum-check over
+/// `ℓ = 2` with per-round degree bound `degree`.
+#[derive(Clone, Debug)]
+pub struct SumCheckVerifierCore<F: PrimeField> {
+    point: Vec<F>,
+    degree: usize,
+    round: usize,
+    output: F,
+    claim: F,
+}
+
+impl<F: PrimeField> SumCheckVerifierCore<F> {
+    /// Creates the state from the verifier's pre-drawn secret point and the
+    /// per-round degree bound. Messages must carry exactly `degree + 1`
+    /// evaluations (at `0, …, degree`).
+    pub fn new(point: Vec<F>, degree: usize) -> Self {
+        assert!(!point.is_empty());
+        assert!(degree >= 1, "round polynomials must have positive degree");
+        SumCheckVerifierCore {
+            point,
+            degree,
+            round: 0,
+            output: F::ZERO,
+            claim: F::ZERO,
+        }
+    }
+
+    /// Number of rounds `d`.
+    pub fn rounds(&self) -> usize {
+        self.point.len()
+    }
+
+    /// Rounds processed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.round
+    }
+
+    /// The answer claimed by the prover's first message
+    /// (`Σ_{x₁∈[2]} g_1(x₁)`); meaningful only after round 1 and *trusted*
+    /// only after [`Self::finalize`] accepts.
+    pub fn claimed_output(&self) -> F {
+        self.output
+    }
+
+    /// Processes the round-`j` polynomial, sent as `degree + 1` evaluations
+    /// at `0, …, degree`.
+    ///
+    /// Returns the challenge to forward to the prover, or `None` after the
+    /// last round (`r_d` stays secret).
+    pub fn receive(&mut self, evals: &[F]) -> Result<Option<F>, Rejection> {
+        assert!(self.round < self.point.len(), "all rounds already processed");
+        let round = self.round + 1;
+        if evals.len() != self.degree + 1 {
+            return Err(Rejection::WrongMessageLength {
+                round,
+                expected: self.degree + 1,
+                got: evals.len(),
+            });
+        }
+        let grid_sum = evals[0] + evals[1]; // Σ_{x∈[2]} g_j(x)
+        if self.round == 0 {
+            self.output = grid_sum;
+        } else if grid_sum != self.claim {
+            return Err(Rejection::RoundSumMismatch { round });
+        }
+        self.claim = eval_from_grid_evals(evals, self.point[self.round]);
+        self.round += 1;
+        Ok(if self.round < self.point.len() {
+            Some(self.point[self.round - 1])
+        } else {
+            None
+        })
+    }
+
+    /// Final test: after all `d` rounds, `g_d(r_d)` must equal the
+    /// verifier's independently streamed value. On success returns the now
+    /// *verified* output.
+    pub fn finalize(&self, streamed: F) -> Result<F, Rejection> {
+        assert_eq!(
+            self.round,
+            self.point.len(),
+            "finalize called before all rounds were processed"
+        );
+        if self.claim != streamed {
+            return Err(Rejection::FinalCheckFailed);
+        }
+        Ok(self.output)
+    }
+
+    /// Words of working memory attributable to this session: the current
+    /// claim, the output, and a round counter.
+    pub fn space_words(&self) -> usize {
+        3
+    }
+}
+
+/// An honest sum-check prover: produces the round polynomial, then binds
+/// the revealed challenge.
+pub trait RoundProver<F: PrimeField> {
+    /// Per-round degree bound (messages carry `degree() + 1` evaluations).
+    fn degree(&self) -> usize;
+    /// Total number of rounds `d`.
+    fn rounds(&self) -> usize;
+    /// The polynomial for the current round, as evaluations at
+    /// `0, …, degree()`.
+    fn message(&mut self) -> Vec<F>;
+    /// Binds the current variable to the revealed challenge `r_j`.
+    fn bind(&mut self, r: F);
+}
+
+/// A hook mutating prover messages in flight; `round` is 1-based.
+pub type Adversary<'a, F> = &'a mut dyn FnMut(usize, &mut Vec<F>);
+
+/// Runs the interactive phase: prover messages through the verifier core,
+/// challenges back, final check against `streamed`.
+///
+/// `report` accrues the communication; an optional [`Adversary`] corrupts
+/// messages in flight (the honest run passes `None`). On acceptance returns
+/// the verified output.
+pub fn drive_sumcheck<F: PrimeField>(
+    prover: &mut dyn RoundProver<F>,
+    core: &mut SumCheckVerifierCore<F>,
+    streamed: F,
+    report: &mut CostReport,
+    mut adversary: Option<Adversary<'_, F>>,
+) -> Result<F, Rejection> {
+    assert_eq!(prover.rounds(), core.rounds(), "prover/verifier disagree on d");
+    for round in 1..=core.rounds() {
+        let mut msg = prover.message();
+        if let Some(adv) = adversary.as_mut() {
+            adv(round, &mut msg);
+        }
+        report.rounds += 1;
+        report.p_to_v_words += msg.len();
+        if let Some(challenge) = core.receive(&msg)? {
+            report.v_to_p_words += 1;
+            prover.bind(challenge);
+        }
+    }
+    core.finalize(streamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_field::Fp61;
+
+    fn f(x: u64) -> Fp61 {
+        Fp61::from_u64(x)
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut core = SumCheckVerifierCore::new(vec![f(5), f(9)], 2);
+        let err = core.receive(&[f(1), f(2)]).unwrap_err();
+        assert!(matches!(err, Rejection::WrongMessageLength { round: 1, expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn first_round_sets_output_later_rounds_check() {
+        // d = 2, degree 1 polynomials for simplicity of hand computation.
+        let r1 = f(10);
+        let mut core = SumCheckVerifierCore::new(vec![r1, f(3)], 1);
+        // g1 evals (0,1) = (4, 6): output = 10, claim = g1(10) = 4 + 10·2 = 24.
+        let ch = core.receive(&[f(4), f(6)]).unwrap();
+        assert_eq!(ch, Some(r1));
+        assert_eq!(core.claimed_output(), f(10));
+        // round 2 must sum to 24.
+        let err = core.clone().receive(&[f(1), f(2)]).unwrap_err();
+        assert!(matches!(err, Rejection::RoundSumMismatch { round: 2 }));
+        // consistent message: evals (11, 13): sum 24 ✓; claim = 11 + 3·2 = 17.
+        let ch = core.receive(&[f(11), f(13)]).unwrap();
+        assert_eq!(ch, None, "r_d must stay secret");
+        assert_eq!(core.finalize(f(17)).unwrap(), f(10));
+        assert!(matches!(core.finalize(f(18)), Err(Rejection::FinalCheckFailed)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize called before")]
+    fn premature_finalize_panics() {
+        let core = SumCheckVerifierCore::<Fp61>::new(vec![f(1), f(2)], 2);
+        let _ = core.finalize(f(0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Frequency moments `F_k = Σ_i a_iᵏ` for any `k ≥ 1` (Section 3.2).
+//!
+//! "We can simply replace f²_a with fᵏ_a … The communication cost increases
+//! to O(k·log u), since each g_j now has degree O(k) … However, the
+//! verifier's space bound remains at O(log u) words."
+//!
+//! The round polynomial is `g_j(c) = Σ_m (fold_a(c, m))ᵏ` of degree `k`;
+//! messages carry `k + 1` evaluations.
+
+use rand::Rng;
+use sip_field::PrimeField;
+use sip_lde::{LdeParams, StreamingLdeEvaluator};
+use sip_streaming::{FrequencyVector, Update};
+
+use crate::channel::CostReport;
+use crate::error::Rejection;
+use crate::fold::FoldVector;
+
+use super::{drive_sumcheck, Adversary, RoundProver, SumCheckVerifierCore};
+
+/// Streaming verifier state for `F_k` over `[2^log_u]`.
+#[derive(Clone, Debug)]
+pub struct MomentVerifier<F: PrimeField> {
+    k: u32,
+    lde: StreamingLdeEvaluator<F>,
+}
+
+impl<F: PrimeField> MomentVerifier<F> {
+    /// Draws the secret point and prepares to stream; `k ≥ 1`.
+    pub fn new<R: Rng + ?Sized>(k: u32, log_u: u32, rng: &mut R) -> Self {
+        assert!(k >= 1, "moment order must be at least 1");
+        MomentVerifier {
+            k,
+            lde: StreamingLdeEvaluator::random(LdeParams::binary(log_u), rng),
+        }
+    }
+
+    /// Processes one stream update (`O(log u)` time).
+    pub fn update(&mut self, up: Update) {
+        self.lde.update(up);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        self.lde.update_all(stream);
+    }
+
+    /// Verifier space in words: the point, the accumulator, session state.
+    pub fn space_words(&self) -> usize {
+        self.lde.space_words() + 3
+    }
+
+    /// Ends the streaming phase: returns the session state and the value
+    /// the final round must match, `f_a(r)ᵏ`.
+    pub fn into_session(self) -> (SumCheckVerifierCore<F>, F) {
+        let expected = self.lde.value().pow(self.k as u128);
+        (
+            SumCheckVerifierCore::new(self.lde.point().to_vec(), self.k as usize),
+            expected,
+        )
+    }
+}
+
+/// Honest prover for `F_k`: folds the table of Appendix B.1 and raises the
+/// pairwise linear interpolants to the `k`-th power.
+#[derive(Clone, Debug)]
+pub struct MomentProver<F: PrimeField> {
+    k: u32,
+    fold: FoldVector<F>,
+}
+
+impl<F: PrimeField> MomentProver<F> {
+    /// Builds the prover state from the materialised frequency vector.
+    pub fn new(k: u32, fv: &FrequencyVector, log_u: u32) -> Self {
+        assert!(k >= 1);
+        MomentProver {
+            k,
+            fold: FoldVector::from_frequency(fv, log_u),
+        }
+    }
+}
+
+impl<F: PrimeField> RoundProver<F> for MomentProver<F> {
+    fn degree(&self) -> usize {
+        self.k as usize
+    }
+
+    fn rounds(&self) -> usize {
+        self.fold.bits() as usize
+    }
+
+    fn message(&mut self) -> Vec<F> {
+        let deg = self.k as usize;
+        let mut out = vec![F::ZERO; deg + 1];
+        self.fold.for_each_pair(|_, lo, hi| {
+            let diff = hi - lo;
+            // fold(c) = lo + c·diff walks an arithmetic progression in c.
+            let mut val = lo;
+            out[0] += val.pow(self.k as u128);
+            for slot in out.iter_mut().skip(1) {
+                val += diff;
+                *slot += val.pow(self.k as u128);
+            }
+        });
+        out
+    }
+
+    fn bind(&mut self, r: F) {
+        self.fold.bind(r);
+    }
+}
+
+/// Outcome of a verified aggregation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifiedAggregate<F: PrimeField> {
+    /// The verified answer, as a field element (exact whenever the true
+    /// answer is below the field modulus).
+    pub value: F,
+    /// Cost accounting for the run.
+    pub report: CostReport,
+}
+
+/// Runs the complete honest `F_k` protocol over `stream`.
+pub fn run_moment<F: PrimeField, R: Rng + ?Sized>(
+    k: u32,
+    log_u: u32,
+    stream: &[Update],
+    rng: &mut R,
+) -> Result<VerifiedAggregate<F>, Rejection> {
+    run_moment_with_adversary(k, log_u, stream, rng, None)
+}
+
+/// Like [`run_moment`] but with a message-corruption hook (tamper testing).
+pub fn run_moment_with_adversary<F: PrimeField, R: Rng + ?Sized>(
+    k: u32,
+    log_u: u32,
+    stream: &[Update],
+    rng: &mut R,
+    adversary: Option<Adversary<'_, F>>,
+) -> Result<VerifiedAggregate<F>, Rejection> {
+    let mut verifier = MomentVerifier::<F>::new(k, log_u, rng);
+    verifier.update_all(stream);
+    let space = verifier.space_words();
+
+    let fv = FrequencyVector::from_stream(1 << log_u, stream);
+    let mut prover = MomentProver::new(k, &fv, log_u);
+
+    let (mut core, expected) = verifier.into_session();
+    let mut report = CostReport {
+        verifier_space_words: space,
+        ..CostReport::default()
+    };
+    let value = drive_sumcheck(&mut prover, &mut core, expected, &mut report, adversary)?;
+    Ok(VerifiedAggregate { value, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::{Fp127, Fp61};
+    use sip_streaming::workloads;
+
+    #[test]
+    fn completeness_small_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let log_u = 8;
+        let stream = workloads::uniform(300, 1 << log_u, 20, 42);
+        let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+        for k in 1..=5u32 {
+            let got = run_moment::<Fp61, _>(k, log_u, &stream, &mut rng).unwrap();
+            assert_eq!(
+                got.value,
+                Fp61::from_u128(fv.frequency_moment(k) as u128),
+                "k={k}"
+            );
+            // (s, t) accounting: d rounds, (k+1) words down per round,
+            // d − 1 challenges up.
+            assert_eq!(got.report.rounds, log_u as usize);
+            assert_eq!(got.report.p_to_v_words, (k as usize + 1) * log_u as usize);
+            assert_eq!(got.report.v_to_p_words, log_u as usize - 1);
+        }
+    }
+
+    #[test]
+    fn f1_equals_total() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream = workloads::uniform(100, 1 << 6, 9, 3);
+        let fv = FrequencyVector::from_stream(1 << 6, &stream);
+        let got = run_moment::<Fp61, _>(1, 6, &stream, &mut rng).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(fv.total() as u128));
+    }
+
+    #[test]
+    fn works_with_deletions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let stream = workloads::with_deletions(500, 1 << 7, 0.3, 4);
+        let fv = FrequencyVector::from_stream(1 << 7, &stream);
+        let got = run_moment::<Fp61, _>(3, 7, &stream, &mut rng).unwrap();
+        assert_eq!(got.value, Fp61::from_i64(0) + {
+            // F3 with nonnegative counts here
+            Fp61::from_u128(fv.frequency_moment(3) as u128)
+        });
+    }
+
+    #[test]
+    fn works_over_fp127() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let stream = workloads::paper_f2(1 << 6, 5);
+        let fv = FrequencyVector::from_stream(1 << 6, &stream);
+        let got = run_moment::<Fp127, _>(4, 6, &stream, &mut rng).unwrap();
+        assert_eq!(got.value, Fp127::from_u128(fv.frequency_moment(4) as u128));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = workloads::uniform(200, 1 << 8, 10, 6);
+        for bad_round in [1usize, 4, 8] {
+            let mut adv = |round: usize, msg: &mut Vec<Fp61>| {
+                if round == bad_round {
+                    msg[0] += Fp61::ONE;
+                }
+            };
+            let err = run_moment_with_adversary::<Fp61, _>(
+                2,
+                8,
+                &stream,
+                &mut rng,
+                Some(&mut adv),
+            )
+            .unwrap_err();
+            match err {
+                // Corrupting evaluation slot 0 perturbs the grid sum, so the
+                // round's own consistency check trips — except in round 1,
+                // where there is no previous claim and the lie surfaces one
+                // round later.
+                Rejection::RoundSumMismatch { round } => {
+                    assert_eq!(round, if bad_round == 1 { 2 } else { bad_round });
+                }
+                other => panic!("unexpected rejection {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_tampering_of_round1_changes_output_but_fails_later() {
+        // An adversary shifting g_1 by a constant polynomial changes the
+        // claimed output; the protocol must still reject eventually.
+        let mut rng = StdRng::seed_from_u64(6);
+        let stream = workloads::uniform(200, 1 << 8, 10, 7);
+        let mut adv = |round: usize, msg: &mut Vec<Fp61>| {
+            if round == 1 {
+                for e in msg.iter_mut() {
+                    *e += Fp61::from_u64(17);
+                }
+            }
+        };
+        let err =
+            run_moment_with_adversary::<Fp61, _>(2, 8, &stream, &mut rng, Some(&mut adv))
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            Rejection::RoundSumMismatch { .. } | Rejection::FinalCheckFailed
+        ));
+    }
+}

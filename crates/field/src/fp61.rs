@@ -1,0 +1,277 @@
+//! `Fp61`: the Mersenne field `Z_p` with `p = 2^61 − 1`.
+//!
+//! This is the field the paper's experiments use ("computations were made
+//! over the field of size p = 2^61 − 1, giving a probability of
+//! 4·61/p ≈ 10^−16 of the verifier being fooled"). Residues live in a `u64`
+//! in canonical form `[0, p)`; multiplication widens to `u128` and reduces
+//! with the Mersenne identity `2^61 ≡ 1 (mod p)`:
+//! `x ≡ (x mod 2^61) + (x >> 61)`.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+use crate::traits::PrimeField;
+
+/// The modulus `2^61 − 1` (a Mersenne prime).
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// An element of `Z_{2^61−1}` in canonical form.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// Creates an element from a canonical value; debug-asserts canonicity.
+    #[inline]
+    pub const fn new(x: u64) -> Self {
+        debug_assert!(x < P61);
+        Fp61(x)
+    }
+
+    /// Canonical residue in `[0, p)`.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Reduces an arbitrary `u64` (which may exceed `p`).
+    #[inline]
+    pub const fn reduce64(x: u64) -> Self {
+        // x < 2^64 = 8·2^61, so one folding step leaves x < 2^61 + 7,
+        // and a second conditional subtraction finishes.
+        let folded = (x & P61) + (x >> 61);
+        let r = if folded >= P61 { folded - P61 } else { folded };
+        Fp61(r)
+    }
+
+    /// Reduces a `u128` product.
+    #[inline]
+    pub const fn reduce128(x: u128) -> Self {
+        // Split into low 61 bits and high 67 bits. Since 2^61 ≡ 1,
+        // x ≡ lo + hi. hi < 2^67 so recurse once on the 64-bit sum parts.
+        let lo = (x as u64) & P61;
+        let hi = x >> 61;
+        let hi_lo = (hi as u64) & P61;
+        let hi_hi = (hi >> 61) as u64; // < 2^6
+        let mut s = lo + hi_lo + hi_hi;
+        if s >= P61 {
+            s -= P61;
+        }
+        if s >= P61 {
+            s -= P61;
+        }
+        Fp61(s)
+    }
+}
+
+impl PrimeField for Fp61 {
+    const ZERO: Self = Fp61(0);
+    const ONE: Self = Fp61(1);
+    const MODULUS: u128 = P61 as u128;
+    const BITS: u32 = 61;
+
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        Self::reduce64(x)
+    }
+
+    #[inline]
+    fn from_u128(x: u128) -> Self {
+        Self::reduce128(x)
+    }
+
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self.0 as u128
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling from 61 bits keeps the distribution exactly
+        // uniform (acceptance probability 1 − 2^−61).
+        loop {
+            let x = rng.next_u64() >> 3; // 61 random bits
+            if x < P61 {
+                return Fp61(x);
+            }
+        }
+    }
+}
+
+impl Add for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= P61 {
+            s -= P61;
+        }
+        Fp61(s)
+    }
+}
+
+impl Sub for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp61(if borrow { d.wrapping_add(P61) } else { d })
+    }
+}
+
+impl Mul for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::reduce128((self.0 as u128) * (rhs.0 as u128))
+    }
+}
+
+impl Neg for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp61(P61 - self.0)
+        }
+    }
+}
+
+impl AddAssign for Fp61 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp61 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp61 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Fp61 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+impl Product for Fp61 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp61({})", self.0)
+    }
+}
+impl fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(x: u64) -> Self {
+        Self::from_u64(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduce64_boundaries() {
+        assert_eq!(Fp61::reduce64(0).value(), 0);
+        assert_eq!(Fp61::reduce64(P61).value(), 0);
+        assert_eq!(Fp61::reduce64(P61 - 1).value(), P61 - 1);
+        assert_eq!(Fp61::reduce64(P61 + 1).value(), 1);
+        assert_eq!(Fp61::reduce64(u64::MAX).value(), (u64::MAX % P61));
+    }
+
+    #[test]
+    fn reduce128_boundaries() {
+        let naive = |x: u128| (x % (P61 as u128)) as u64;
+        for &x in &[
+            0u128,
+            1,
+            P61 as u128,
+            (P61 as u128) * (P61 as u128),
+            u128::MAX,
+            (P61 as u128 - 1) * (P61 as u128 - 1),
+            1u128 << 122,
+        ] {
+            assert_eq!(Fp61::reduce128(x).value(), naive(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mul_max_operands() {
+        let m = Fp61::new(P61 - 1); // == -1
+        assert_eq!(m * m, Fp61::ONE);
+        assert_eq!(m * Fp61::ZERO, Fp61::ZERO);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = Fp61::random(&mut rng);
+            let b = Fp61::random(&mut rng);
+            assert_eq!(a + b - b, a);
+            assert_eq!(a - b + b, a);
+            assert_eq!(-(-a), a);
+            assert_eq!(a + (-a), Fp61::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverse_random() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let a = Fp61::random_nonzero(&mut rng);
+            assert_eq!(a * a.inverse().unwrap(), Fp61::ONE);
+        }
+        assert_eq!(Fp61::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn distributivity_spot() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let a = Fp61::random(&mut rng);
+            let b = Fp61::random(&mut rng);
+            let c = Fp61::random(&mut rng);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!((a + b) * c, a * c + b * c);
+        }
+    }
+
+    #[test]
+    fn random_is_canonical() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            assert!(Fp61::random(&mut rng).value() < P61);
+        }
+    }
+
+    #[test]
+    fn display_and_from() {
+        let x: Fp61 = 42u64.into();
+        assert_eq!(format!("{x}"), "42");
+        assert_eq!(format!("{x:?}"), "Fp61(42)");
+    }
+}

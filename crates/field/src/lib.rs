@@ -1,0 +1,40 @@
+//! Prime-field arithmetic for streaming interactive proofs.
+//!
+//! The protocols of Cormode–Thaler–Yi (VLDB 2011) work over `Z_p` for a prime
+//! `p` chosen larger than the universe size `u` (and than the answer being
+//! verified). The paper's implementation uses the Mersenne prime
+//! `p = 2^61 − 1`, which admits native 64-bit arithmetic and a two-instruction
+//! modular reduction, and notes that `p = 2^127 − 1` buys failure probability
+//! below `10^-35` at the cost of 128-bit arithmetic. This crate provides both:
+//!
+//! * [`Fp61`] — `Z_{2^61−1}`, the default field used throughout the library;
+//! * [`Fp127`] — `Z_{2^127−1}`, for applications wanting tighter soundness;
+//!
+//! plus the shared machinery every protocol needs:
+//!
+//! * the [`PrimeField`] trait (all protocol code is generic over it);
+//! * dense univariate [`poly::Polynomial`]s with Horner evaluation and
+//!   Lagrange interpolation;
+//! * [`lagrange`] — evaluation of the Lagrange basis `χ_k` over the grid
+//!   `[ℓ] = {0, …, ℓ−1}` (equation (2) of the paper) and batch evaluation of
+//!   all basis polynomials at one point in `O(ℓ)` time.
+//!
+//! Everything here is `forbid(unsafe_code)` and allocation-free on the hot
+//! paths (single multiplications and reductions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fp127;
+pub mod fp61;
+pub mod lagrange;
+pub mod poly;
+pub mod traits;
+
+pub use fp127::Fp127;
+pub use fp61::Fp61;
+pub use poly::Polynomial;
+pub use traits::PrimeField;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,254 @@
+//! Dense univariate polynomials in coefficient form.
+//!
+//! Protocol messages travel in *evaluation* form (see
+//! [`crate::lagrange::eval_from_grid_evals`]); coefficient-form polynomials
+//! are used by tests, by the GKR line-restriction step, and anywhere a
+//! polynomial must be manipulated algebraically rather than just evaluated.
+
+use core::ops::{Add, Mul, Sub};
+
+use crate::traits::{batch_inverse, PrimeField};
+
+/// A dense univariate polynomial `c_0 + c_1 x + … + c_d x^d`.
+///
+/// Invariant: `coeffs` never ends with a zero (the zero polynomial is the
+/// empty vector), so `degree()` is well-defined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Polynomial<F: PrimeField> {
+    coeffs: Vec<F>,
+}
+
+impl<F: PrimeField> Polynomial<F> {
+    /// Builds a polynomial from coefficients (low to high), trimming
+    /// trailing zeros.
+    pub fn new(mut coeffs: Vec<F>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: F) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficients, low to high (empty for zero).
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn evaluate(&self, x: F) -> F {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(F::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluations at the grid `0, 1, …, m−1`.
+    pub fn evaluate_on_grid(&self, m: u64) -> Vec<F> {
+        (0..m).map(|j| self.evaluate(F::from_u64(j))).collect()
+    }
+
+    /// Lagrange interpolation through arbitrary distinct points.
+    ///
+    /// `O(n²)`; fine for the small polynomials protocols exchange.
+    ///
+    /// # Panics
+    /// Panics if two `x` values coincide or `points` is empty.
+    pub fn interpolate(points: &[(F, F)]) -> Self {
+        assert!(!points.is_empty(), "need at least one point");
+        let n = points.len();
+        // Denominators Π_{j≠i}(x_i − x_j), batch-inverted.
+        let mut denoms: Vec<F> = (0..n)
+            .map(|i| {
+                let mut d = F::ONE;
+                for j in 0..n {
+                    if i != j {
+                        let diff = points[i].0 - points[j].0;
+                        assert!(!diff.is_zero(), "duplicate interpolation abscissa");
+                        d *= diff;
+                    }
+                }
+                d
+            })
+            .collect();
+        batch_inverse(&mut denoms);
+        // Accumulate y_i / denom_i · Π_{j≠i}(x − x_j) in coefficient form.
+        let mut acc = Self::zero();
+        for (i, &(_, yi)) in points.iter().enumerate() {
+            let mut basis = Self::constant(yi * denoms[i]);
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i != j {
+                    basis = basis.mul_linear(xj);
+                }
+            }
+            acc = acc + basis;
+        }
+        acc
+    }
+
+    /// Multiplies by the linear factor `(x − root)`.
+    fn mul_linear(&self, root: F) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![F::ZERO; self.coeffs.len() + 1];
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            out[k + 1] += c;
+            out[k] -= c * root;
+        }
+        Self::new(out)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: F) -> Self {
+        Self::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+}
+
+impl<F: PrimeField> Add for Polynomial<F> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let (mut long, short) = if self.coeffs.len() >= rhs.coeffs.len() {
+            (self.coeffs, rhs.coeffs)
+        } else {
+            (rhs.coeffs, self.coeffs)
+        };
+        for (l, s) in long.iter_mut().zip(short) {
+            *l += s;
+        }
+        Self::new(long)
+    }
+}
+
+impl<F: PrimeField> Sub for Polynomial<F> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let mut coeffs = self.coeffs;
+        if coeffs.len() < rhs.coeffs.len() {
+            coeffs.resize(rhs.coeffs.len(), F::ZERO);
+        }
+        for (c, r) in coeffs.iter_mut().zip(rhs.coeffs) {
+            *c -= r;
+        }
+        Self::new(coeffs)
+    }
+}
+
+impl<F: PrimeField> Mul for Polynomial<F> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![F::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Self::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::eval_from_grid_evals;
+    use crate::Fp61;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn poly(cs: &[u64]) -> Polynomial<Fp61> {
+        Polynomial::new(cs.iter().map(|&c| Fp61::from_u64(c)).collect())
+    }
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = poly(&[1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(poly(&[0, 0]).degree(), None);
+        assert!(poly(&[]).is_zero());
+    }
+
+    #[test]
+    fn evaluate_horner() {
+        let p = poly(&[7, 0, 3]); // 3x² + 7
+        assert_eq!(p.evaluate(Fp61::from_u64(2)), Fp61::from_u64(19));
+        assert_eq!(p.evaluate(Fp61::ZERO), Fp61::from_u64(7));
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = poly(&[1, 2, 3]);
+        let b = poly(&[5, 4]);
+        let sum = a.clone() + b.clone();
+        assert_eq!(sum, poly(&[6, 6, 3]));
+        let diff = sum - b.clone();
+        assert_eq!(diff, a);
+        let prod = a.clone() * b.clone();
+        // (3x²+2x+1)(4x+5) = 12x³ + 23x² + 14x + 5
+        assert_eq!(prod, poly(&[5, 14, 23, 12]));
+        // cancellation to zero
+        let z = a.clone() - a;
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn interpolate_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for deg in 0..8usize {
+            let p = Polynomial::new((0..=deg).map(|_| Fp61::random(&mut rng)).collect());
+            let points: Vec<(Fp61, Fp61)> = (0..=deg as u64)
+                .map(|j| {
+                    let x = Fp61::from_u64(j * 3 + 1);
+                    (x, p.evaluate(x))
+                })
+                .collect();
+            let q = Polynomial::interpolate(&points);
+            assert_eq!(p, q, "deg={deg}");
+        }
+    }
+
+    #[test]
+    fn interpolate_agrees_with_grid_eval() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let evals: Vec<Fp61> = (0..5).map(|_| Fp61::random(&mut rng)).collect();
+        let points: Vec<(Fp61, Fp61)> = evals
+            .iter()
+            .enumerate()
+            .map(|(j, &y)| (Fp61::from_u64(j as u64), y))
+            .collect();
+        let p = Polynomial::interpolate(&points);
+        let x = Fp61::random(&mut rng);
+        assert_eq!(p.evaluate(x), eval_from_grid_evals(&evals, x));
+    }
+
+    #[test]
+    fn scale_and_grid() {
+        let p = poly(&[1, 1]); // x + 1
+        let s = p.scale(Fp61::from_u64(4)); // 4x + 4
+        assert_eq!(s.evaluate_on_grid(3), vec![
+            Fp61::from_u64(4),
+            Fp61::from_u64(8),
+            Fp61::from_u64(12)
+        ]);
+    }
+}

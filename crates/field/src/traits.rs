@@ -1,0 +1,203 @@
+//! The [`PrimeField`] trait: the interface every protocol in this workspace
+//! is generic over.
+
+use core::fmt::{Debug, Display};
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+/// A prime field `Z_p` with `p` fitting in 128 bits.
+///
+/// Implementations must be `Copy` value types with canonical internal
+/// representation (two elements compare equal iff they are the same residue).
+/// All arithmetic is total; division by zero is the only panicking operation
+/// (via [`PrimeField::inverse`] returning `None` and callers unwrapping).
+pub trait PrimeField:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// The field modulus, as a `u128`.
+    const MODULUS: u128;
+    /// Number of bits of the modulus (used for cost accounting: one "word" in
+    /// the paper's `(s, t)` accounting is one field element).
+    const BITS: u32;
+
+    /// Embeds an unsigned 64-bit integer (reduced mod `p`).
+    fn from_u64(x: u64) -> Self;
+
+    /// Embeds an unsigned 128-bit integer (reduced mod `p`).
+    fn from_u128(x: u128) -> Self;
+
+    /// Embeds a signed integer (negative values map to `p − |x| mod p`).
+    fn from_i64(x: i64) -> Self {
+        if x >= 0 {
+            Self::from_u64(x as u64)
+        } else {
+            -Self::from_u64(x.unsigned_abs())
+        }
+    }
+
+    /// Canonical residue in `[0, p)`.
+    fn to_u128(self) -> u128;
+
+    /// `self^exp` by square-and-multiply.
+    fn pow(self, mut exp: u128) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// Default implementation uses Fermat's little theorem
+    /// (`x^{p−2} = x^{−1}`); implementations may override with EGCD.
+    fn inverse(self) -> Option<Self> {
+        if self == Self::ZERO {
+            None
+        } else {
+            Some(self.pow(Self::MODULUS - 2))
+        }
+    }
+
+    /// `self * self`, occasionally cheaper than `mul`.
+    fn square(self) -> Self {
+        self * self
+    }
+
+    /// `self == ZERO`.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Doubles the value.
+    fn double(self) -> Self {
+        self + self
+    }
+
+    /// A uniformly random field element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// A uniformly random *nonzero* field element (rejection sampling; the
+    /// zero probability is ~2^-61 so the loop is effectively one iteration).
+    fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let x = Self::random(rng);
+            if !x.is_zero() {
+                return x;
+            }
+        }
+    }
+}
+
+/// Batch inversion via Montgomery's trick: inverts `n` elements with one
+/// field inversion and `3(n−1)` multiplications.
+///
+/// Zero entries are left as zero (matching the convention that `0⁻¹` is
+/// unused by callers; the nonzero entries are still inverted correctly).
+pub fn batch_inverse<F: PrimeField>(values: &mut [F]) {
+    // Prefix products of the nonzero entries.
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = F::ONE;
+    for &v in values.iter() {
+        prefix.push(acc);
+        if !v.is_zero() {
+            acc *= v;
+        }
+    }
+    let mut inv = match acc.inverse() {
+        Some(i) => i,
+        None => return, // acc is ONE only if all entries were zero
+    };
+    for (v, pre) in values.iter_mut().zip(prefix).rev() {
+        if v.is_zero() {
+            continue;
+        }
+        let this = *v;
+        *v = inv * pre;
+        inv *= this;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fp61;
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut vals: Vec<Fp61> = (1u64..20).map(Fp61::from_u64).collect();
+        let expect: Vec<Fp61> = vals.iter().map(|v| v.inverse().unwrap()).collect();
+        batch_inverse(&mut vals);
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn batch_inverse_skips_zeros() {
+        let mut vals = vec![
+            Fp61::from_u64(3),
+            Fp61::ZERO,
+            Fp61::from_u64(7),
+            Fp61::ZERO,
+        ];
+        batch_inverse(&mut vals);
+        assert_eq!(vals[0], Fp61::from_u64(3).inverse().unwrap());
+        assert_eq!(vals[1], Fp61::ZERO);
+        assert_eq!(vals[2], Fp61::from_u64(7).inverse().unwrap());
+        assert_eq!(vals[3], Fp61::ZERO);
+    }
+
+    #[test]
+    fn batch_inverse_all_zero() {
+        let mut vals = vec![Fp61::ZERO; 4];
+        batch_inverse(&mut vals);
+        assert!(vals.iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        assert_eq!(Fp61::from_i64(-1) + Fp61::ONE, Fp61::ZERO);
+        assert_eq!(Fp61::from_i64(-5) + Fp61::from_i64(5), Fp61::ZERO);
+        assert_eq!(Fp61::from_i64(i64::MIN) + Fp61::from_u64(1 << 63), Fp61::ZERO);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let x = Fp61::from_u64(12345);
+        assert_eq!(x.pow(0), Fp61::ONE);
+        assert_eq!(x.pow(1), x);
+        assert_eq!(x.pow(2), x * x);
+        // Fermat: x^{p-1} = 1.
+        assert_eq!(x.pow(Fp61::MODULUS - 1), Fp61::ONE);
+    }
+}

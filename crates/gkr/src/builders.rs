@@ -1,0 +1,135 @@
+//! Circuit builders for the paper's aggregation queries.
+//!
+//! These are the circuits Theorem 3 would hand to GKR for the queries of
+//! Section 1.1 — used here to cross-check GKR against the specialised
+//! Section 3 protocols and to measure the quadratic gap the paper claims
+//! ("Theorem 3 yields a (log² u, log² u)-protocol for F₂, and our protocol
+//! represents a quadratic improvement in both parameters").
+
+use crate::circuit::{Circuit, Gate, GateOp, Layer, LayerKind};
+
+fn square_layer(log_width: u32) -> Layer {
+    Layer {
+        gates: (0..(1u64 << log_width))
+            .map(|g| Gate { op: GateOp::Mul, left: g, right: g })
+            .collect(),
+        kind: LayerKind::Square,
+    }
+}
+
+fn sum_tree_layer(log_width: u32) -> Layer {
+    // width 2^log_width, reading a previous layer of width 2^{log_width+1}
+    Layer {
+        gates: (0..(1u64 << log_width))
+            .map(|g| Gate { op: GateOp::Add, left: 2 * g, right: 2 * g + 1 })
+            .collect(),
+        kind: LayerKind::SumTree,
+    }
+}
+
+fn pairwise_mul_layer(log_width: u32) -> Layer {
+    // width 2^log_width, previous width 2^{log_width+1} split in halves
+    let half = 1u64 << log_width;
+    Layer {
+        gates: (0..half)
+            .map(|g| Gate { op: GateOp::Mul, left: g, right: g + half })
+            .collect(),
+        kind: LayerKind::PairwiseMulHalves,
+    }
+}
+
+/// `Σ_i x_i` over `2^log_n` inputs: a binary addition tree of depth
+/// `log_n`.
+pub fn sum_circuit(log_n: u32) -> Circuit {
+    assert!(log_n >= 1);
+    Circuit {
+        log_input: log_n,
+        layers: (0..log_n).rev().map(sum_tree_layer).collect(),
+    }
+}
+
+/// `F₂ = Σ_i x_i²`: one squaring layer, then the addition tree. This is
+/// the circuit the paper's remark on Theorem 3 refers to ("the
+/// smallest-depth circuit computing F₂ has depth Θ(log u)").
+pub fn f2_circuit(log_n: u32) -> Circuit {
+    assert!(log_n >= 1);
+    let mut layers = vec![square_layer(log_n)];
+    layers.extend((0..log_n).rev().map(sum_tree_layer));
+    Circuit {
+        log_input: log_n,
+        layers,
+    }
+}
+
+/// `F₄ = Σ_i x_i⁴`: two squaring layers, then the addition tree.
+pub fn f4_circuit(log_n: u32) -> Circuit {
+    assert!(log_n >= 1);
+    let mut layers = vec![square_layer(log_n), square_layer(log_n)];
+    layers.extend((0..log_n).rev().map(sum_tree_layer));
+    Circuit {
+        log_input: log_n,
+        layers,
+    }
+}
+
+/// Inner product `Σ_i a_i·b_i` over an input `[a ‖ b]` of length
+/// `2^{log_n+1}`: one pairwise-multiply layer, then the addition tree.
+pub fn inner_product_circuit(log_n: u32) -> Circuit {
+    assert!(log_n >= 1);
+    let mut layers = vec![pairwise_mul_layer(log_n)];
+    layers.extend((0..log_n).rev().map(sum_tree_layer));
+    Circuit {
+        log_input: log_n + 1,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_field::{Fp61, PrimeField};
+
+    fn f(values: &[u64]) -> Vec<Fp61> {
+        values.iter().map(|&x| Fp61::from_u64(x)).collect()
+    }
+
+    #[test]
+    fn sum_circuit_sums() {
+        let c = sum_circuit(3);
+        c.validate();
+        let input = f(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.outputs(&input), vec![Fp61::from_u64(36)]);
+    }
+
+    #[test]
+    fn f2_circuit_computes_f2() {
+        let c = f2_circuit(2);
+        c.validate();
+        let input = f(&[3, 1, 4, 1]);
+        assert_eq!(c.outputs(&input), vec![Fp61::from_u64(9 + 1 + 16 + 1)]);
+    }
+
+    #[test]
+    fn f4_circuit_computes_f4() {
+        let c = f4_circuit(2);
+        c.validate();
+        let input = f(&[1, 2, 3, 0]);
+        assert_eq!(c.outputs(&input), vec![Fp61::from_u64(1 + 16 + 81)]);
+    }
+
+    #[test]
+    fn inner_product_circuit_dots() {
+        let c = inner_product_circuit(2);
+        c.validate();
+        // a = [1,2,3,4], b = [5,6,7,8]: a·b = 5+12+21+32 = 70
+        let input = f(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.outputs(&input), vec![Fp61::from_u64(70)]);
+    }
+
+    #[test]
+    fn depths_are_logarithmic() {
+        assert_eq!(f2_circuit(10).depth(), 11);
+        assert_eq!(sum_circuit(10).depth(), 10);
+        assert_eq!(inner_product_circuit(10).depth(), 11);
+    }
+}

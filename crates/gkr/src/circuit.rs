@@ -1,0 +1,206 @@
+//! Layered arithmetic circuits.
+//!
+//! A [`Circuit`] is a sequence of [`Layer`]s over an input vector of
+//! power-of-two length. Gate `g` of layer `i` reads two wires of layer
+//! `i − 1` (layer 0 being the input) and outputs either their sum or their
+//! product. Every layer's width must be a power of two so its values have a
+//! clean multilinear extension.
+
+use sip_field::PrimeField;
+
+/// The operation of a single gate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GateOp {
+    /// Output `left + right`.
+    Add,
+    /// Output `left · right`.
+    Mul,
+}
+
+/// A fan-in-2 gate reading wires `left` and `right` of the previous layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// The operation.
+    pub op: GateOp,
+    /// Index of the first input wire in the previous layer.
+    pub left: u64,
+    /// Index of the second input wire (may equal `left`, e.g. squaring).
+    pub right: u64,
+}
+
+/// Structural hint used by the verifier to evaluate the layer's wiring
+/// predicates in `O(log S)` instead of `O(S)`.
+///
+/// The GKR verifier must evaluate the multilinear extensions
+/// `ãdd(z, x, y)` and `m̃ul(z, x, y)` of the wiring predicates. For
+/// *log-space uniform* circuits this takes polylogarithmic time — which is
+/// what makes Theorem 3's verifier sublinear. Regular layers get closed
+/// forms; [`LayerKind::Irregular`] falls back to the `O(S)` sum over gates
+/// (still statistically sound, just a slower verifier — see the crate
+/// docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Gate `g = Mul(g, g)` — squares the previous layer (same width).
+    Square,
+    /// Gate `g = Add(2g, 2g+1)` — halves the previous layer by summing
+    /// sibling pairs.
+    SumTree,
+    /// Gate `g = Mul(g, g + w/2)` over previous width `w` — pairwise
+    /// products of the two halves of the previous layer (width `w/2`).
+    PairwiseMulHalves,
+    /// Anything else: predicates evaluated by direct summation over gates.
+    Irregular,
+}
+
+/// One circuit layer.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// The gates, in output-wire order; `gates.len()` must be a power of 2.
+    pub gates: Vec<Gate>,
+    /// Structural hint for fast wiring-predicate evaluation.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// log₂ of the layer width.
+    pub fn log_width(&self) -> u32 {
+        self.gates.len().trailing_zeros()
+    }
+}
+
+/// A layered arithmetic circuit.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    /// log₂ of the input vector length.
+    pub log_input: u32,
+    /// Layers from the input upward; the last layer is the output.
+    pub layers: Vec<Layer>,
+}
+
+impl Circuit {
+    /// Validates widths and wire indices.
+    ///
+    /// # Panics
+    /// Panics on malformed circuits (zero layers, non-power-of-two widths,
+    /// out-of-range wires).
+    pub fn validate(&self) {
+        assert!(!self.layers.is_empty(), "circuit needs at least one layer");
+        let mut prev_width = 1u64 << self.log_input;
+        for (i, layer) in self.layers.iter().enumerate() {
+            assert!(
+                layer.gates.len().is_power_of_two(),
+                "layer {i} width {} not a power of two",
+                layer.gates.len()
+            );
+            for (g, gate) in layer.gates.iter().enumerate() {
+                assert!(
+                    gate.left < prev_width && gate.right < prev_width,
+                    "layer {i} gate {g} reads out-of-range wire"
+                );
+            }
+            prev_width = layer.gates.len() as u64;
+        }
+    }
+
+    /// Depth (number of gate layers).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Width of the output layer.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("validated").gates.len()
+    }
+
+    /// Total number of gates.
+    pub fn size(&self) -> usize {
+        self.layers.iter().map(|l| l.gates.len()).sum()
+    }
+
+    /// Evaluates the circuit, returning every layer's values (including the
+    /// input as element 0).
+    pub fn evaluate<F: PrimeField>(&self, input: &[F]) -> Vec<Vec<F>> {
+        assert_eq!(
+            input.len() as u64,
+            1u64 << self.log_input,
+            "input length mismatch"
+        );
+        let mut values = vec![input.to_vec()];
+        for layer in &self.layers {
+            let prev = values.last().expect("nonempty");
+            let next: Vec<F> = layer
+                .gates
+                .iter()
+                .map(|g| {
+                    let l = prev[g.left as usize];
+                    let r = prev[g.right as usize];
+                    match g.op {
+                        GateOp::Add => l + r,
+                        GateOp::Mul => l * r,
+                    }
+                })
+                .collect();
+            values.push(next);
+        }
+        values
+    }
+
+    /// Evaluates and returns only the output layer.
+    pub fn outputs<F: PrimeField>(&self, input: &[F]) -> Vec<F> {
+        self.evaluate(input).pop().expect("nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use sip_field::{Fp61, PrimeField};
+
+    #[test]
+    fn evaluate_hand_built_circuit() {
+        // (x0 + x1) · (x2 + x3)
+        let circuit = Circuit {
+            log_input: 2,
+            layers: vec![
+                Layer {
+                    gates: vec![
+                        Gate { op: GateOp::Add, left: 0, right: 1 },
+                        Gate { op: GateOp::Add, left: 2, right: 3 },
+                    ],
+                    kind: LayerKind::SumTree,
+                },
+                Layer {
+                    gates: vec![Gate { op: GateOp::Mul, left: 0, right: 1 }],
+                    kind: LayerKind::Irregular,
+                },
+            ],
+        };
+        circuit.validate();
+        let input: Vec<Fp61> = [2u64, 3, 4, 5].iter().map(|&x| Fp61::from_u64(x)).collect();
+        assert_eq!(circuit.outputs(&input), vec![Fp61::from_u64(45)]);
+        assert_eq!(circuit.depth(), 2);
+        assert_eq!(circuit.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range wire")]
+    fn invalid_wire_panics() {
+        let circuit = Circuit {
+            log_input: 1,
+            layers: vec![Layer {
+                gates: vec![Gate { op: GateOp::Add, left: 0, right: 2 }],
+                kind: LayerKind::Irregular,
+            }],
+        };
+        circuit.validate();
+    }
+
+    #[test]
+    fn builders_validate() {
+        builders::f2_circuit(4).validate();
+        builders::sum_circuit(5).validate();
+        builders::f4_circuit(3).validate();
+        builders::inner_product_circuit(4).validate();
+    }
+}

@@ -1,0 +1,224 @@
+//! Multilinear equality predicates and wiring-predicate evaluation.
+//!
+//! `eq̃(a, b) = Π_j (a_j·b_j + (1−a_j)(1−b_j))` is the multilinear
+//! extension of the equality indicator on the Boolean cube; the wiring
+//! predicates of a GKR layer are sums of `eq̃` products over its gates.
+
+use sip_field::PrimeField;
+
+use crate::circuit::{GateOp, Layer, LayerKind};
+
+/// `eq̃(a, b)` for equal-length points (`O(len)`).
+pub fn eq_eval<F: PrimeField>(a: &[F], b: &[F]) -> F {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x * y + (F::ONE - x) * (F::ONE - y))
+        .fold(F::ONE, |acc, t| acc * t)
+}
+
+/// The dense table `[eq̃(z, g)]_{g ∈ {0,1}^k}` for `k = z.len()`
+/// (`O(2^k)` via the standard tensor build).
+///
+/// Index bits are LSB-first: bit `j` of the table index corresponds to
+/// coordinate `z_j` (matching [`bits_of`]).
+pub fn eq_table<F: PrimeField>(z: &[F]) -> Vec<F> {
+    let mut table = vec![F::ONE];
+    // Process coordinates from the last to the first so that the
+    // *innermost* (least significant) index bit tracks z_0.
+    for &zj in z.iter().rev() {
+        let mut next = Vec::with_capacity(table.len() * 2);
+        for &t in &table {
+            next.push(t * (F::ONE - zj));
+            next.push(t * zj);
+        }
+        table = next;
+    }
+    table
+}
+
+/// The Boolean point (bit vector, LSB first) of an index.
+pub fn bits_of<F: PrimeField>(index: u64, len: usize) -> Vec<F> {
+    (0..len)
+        .map(|j| {
+            if (index >> j) & 1 == 1 {
+                F::ONE
+            } else {
+                F::ZERO
+            }
+        })
+        .collect()
+}
+
+/// Evaluates the wiring-predicate MLEs `(ãdd, m̃ul)` of `layer` at
+/// `(z, x, y)`, where `z` has the layer's log-width coordinates and `x, y`
+/// the previous layer's.
+///
+/// Regular layers use their `O(log S)` closed forms; irregular layers fall
+/// back to the `O(S·log S)` sum over gates.
+pub fn wiring_eval<F: PrimeField>(layer: &Layer, z: &[F], x: &[F], y: &[F]) -> (F, F) {
+    match layer.kind {
+        LayerKind::Square => {
+            // gate g = Mul(g, g): m̃ul = Σ_g eq(z,g)eq(x,g)eq(y,g), which
+            // factorises bit by bit.
+            debug_assert_eq!(z.len(), x.len());
+            let mut m = F::ONE;
+            for j in 0..z.len() {
+                m *= z[j] * x[j] * y[j]
+                    + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
+            }
+            (F::ZERO, m)
+        }
+        LayerKind::SumTree => {
+            // gate g = Add(2g, 2g+1): in1 = (0, g), in2 = (1, g) in bits.
+            debug_assert_eq!(x.len(), z.len() + 1);
+            let mut a = (F::ONE - x[0]) * y[0];
+            for j in 0..z.len() {
+                a *= z[j] * x[j + 1] * y[j + 1]
+                    + (F::ONE - z[j]) * (F::ONE - x[j + 1]) * (F::ONE - y[j + 1]);
+            }
+            (a, F::ZERO)
+        }
+        LayerKind::PairwiseMulHalves => {
+            // gate g = Mul(g, g + w/2): in1 = (g, 0), in2 = (g, 1) with the
+            // half-selector in the TOP bit of the previous layer's index.
+            debug_assert_eq!(x.len(), z.len() + 1);
+            let top = x.len() - 1;
+            let mut m = (F::ONE - x[top]) * y[top];
+            for j in 0..z.len() {
+                m *= z[j] * x[j] * y[j]
+                    + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
+            }
+            (F::ZERO, m)
+        }
+        LayerKind::Irregular => {
+            let mut add = F::ZERO;
+            let mut mul = F::ZERO;
+            for (g, gate) in layer.gates.iter().enumerate() {
+                let w = eq_eval(z, &bits_of(g as u64, z.len()))
+                    * eq_eval(x, &bits_of(gate.left, x.len()))
+                    * eq_eval(y, &bits_of(gate.right, y.len()));
+                match gate.op {
+                    GateOp::Add => add += w,
+                    GateOp::Mul => mul += w,
+                }
+            }
+            (add, mul)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::circuit::{Gate, Layer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::Fp61;
+
+    fn rand_point(rng: &mut StdRng, len: usize) -> Vec<Fp61> {
+        (0..len).map(|_| Fp61::random(rng)).collect()
+    }
+
+    #[test]
+    fn eq_is_indicator_on_cube() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let got = eq_eval::<Fp61>(&bits_of(a, 3), &bits_of(b, 3));
+                assert_eq!(got, if a == b { Fp61::ONE } else { Fp61::ZERO });
+            }
+        }
+    }
+
+    #[test]
+    fn eq_table_matches_pointwise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = rand_point(&mut rng, 4);
+        let table = eq_table(&z);
+        for g in 0..16u64 {
+            assert_eq!(table[g as usize], eq_eval(&z, &bits_of(g, 4)));
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_generic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Square layer of width 8.
+        let square = Layer {
+            gates: (0..8)
+                .map(|g| Gate { op: GateOp::Mul, left: g, right: g })
+                .collect(),
+            kind: LayerKind::Square,
+        };
+        let generic = Layer { kind: LayerKind::Irregular, ..square.clone() };
+        for _ in 0..5 {
+            let z = rand_point(&mut rng, 3);
+            let x = rand_point(&mut rng, 3);
+            let y = rand_point(&mut rng, 3);
+            assert_eq!(wiring_eval(&square, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+        }
+        // Sum-tree layer 8 → 4.
+        let tree = Layer {
+            gates: (0..4)
+                .map(|g| Gate { op: GateOp::Add, left: 2 * g, right: 2 * g + 1 })
+                .collect(),
+            kind: LayerKind::SumTree,
+        };
+        let generic = Layer { kind: LayerKind::Irregular, ..tree.clone() };
+        for _ in 0..5 {
+            let z = rand_point(&mut rng, 2);
+            let x = rand_point(&mut rng, 3);
+            let y = rand_point(&mut rng, 3);
+            assert_eq!(wiring_eval(&tree, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+        }
+        // Pairwise-mul layer 8 → 4.
+        let pair = Layer {
+            gates: (0..4)
+                .map(|g| Gate { op: GateOp::Mul, left: g, right: g + 4 })
+                .collect(),
+            kind: LayerKind::PairwiseMulHalves,
+        };
+        let generic = Layer { kind: LayerKind::Irregular, ..pair.clone() };
+        for _ in 0..5 {
+            let z = rand_point(&mut rng, 2);
+            let x = rand_point(&mut rng, 3);
+            let y = rand_point(&mut rng, 3);
+            assert_eq!(wiring_eval(&pair, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+        }
+    }
+
+    #[test]
+    fn builder_layers_have_matching_hints() {
+        // Every hinted layer in the builders must agree with the generic
+        // evaluation — this guards the closed forms end to end.
+        let mut rng = StdRng::seed_from_u64(3);
+        for circuit in [
+            builders::f2_circuit(3),
+            builders::f4_circuit(3),
+            builders::inner_product_circuit(3),
+            builders::sum_circuit(4),
+        ] {
+            for layer in &circuit.layers {
+                if layer.kind == LayerKind::Irregular {
+                    continue;
+                }
+                let generic = Layer { kind: LayerKind::Irregular, ..layer.clone() };
+                let zl = layer.log_width() as usize;
+                let xl = (zl + 1).min(64);
+                // x/y length = previous layer log-width; derive from gates.
+                let xl = match layer.kind {
+                    LayerKind::Square => zl,
+                    _ => xl,
+                };
+                let z = rand_point(&mut rng, zl);
+                let x = rand_point(&mut rng, xl);
+                let y = rand_point(&mut rng, xl);
+                assert_eq!(
+                    wiring_eval(layer, &z, &x, &y),
+                    wiring_eval(&generic, &z, &x, &y)
+                );
+            }
+        }
+    }
+}

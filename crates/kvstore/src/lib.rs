@@ -1,0 +1,905 @@
+//! A verified outsourced key–value store — the paper's motivating example.
+//!
+//! "Consider the motivating example of a cloud computing service which
+//! implements a key-value store. … The data owner sends (key, value) pairs
+//! to the cloud to be stored … the data owner never actually stores all the
+//! data at the same time (this is delegated to the cloud), but does see
+//! each piece as it is uploaded."
+//!
+//! * [`CloudStore`] — the untrusted server: holds all the data, answers
+//!   queries *with proofs* (it plays the prover of every protocol).
+//! * [`Client`] — the data owner: uploads puts while maintaining a handful
+//!   of `O(log u)`-word digests, then issues verified queries:
+//!   `get`, `range`, `predecessor`/`successor` (next/previous key),
+//!   `range_sum`, `heavy_keys`, and `distinct_keys` — exactly the
+//!   operations Section 1's key-value scenario lists.
+//! * [`MaliciousStore`] — a tampering wrapper used by the failure-injection
+//!   tests and the `dishonest_prover` example.
+//!
+//! ## Multiple queries
+//!
+//! Reusing verifier randomness across queries is unsound (Section 7,
+//! "Multiple Queries": "re-running the protocols for a new query with the
+//! same choices of random numbers does not provide the same security
+//! guarantees"). Following the paper's remedy, the client keeps a *budget*
+//! of independent digest copies — each query consumes one — at `O(log u)`
+//! words apiece.
+//!
+//! ## Value encoding
+//!
+//! Values are stored as `value + 1` (the paper's DICTIONARY trick) so a
+//! verified zero decodes to "not found". `range_sum` composes two verified
+//! aggregates — `Σ(value+1)` and the range *count* — to recover the true
+//! sum, and `self_join_size` runs over a third, raw-value vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use sip_core::error::Rejection;
+use sip_core::heavy_hitters::{CountTreeHasher, HhProver, HhStep, LevelDisclosure};
+use sip_core::subvector::{
+    RoundReply, RoundRequest, Step, SubVectorAnswer, SubVectorProver, SubVectorVerifier,
+};
+use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
+use sip_core::sumcheck::range_sum::{RangeSumProver, RangeSumVerifier};
+use sip_core::sumcheck::RoundProver;
+use sip_core::CostReport;
+use sip_field::PrimeField;
+use sip_streaming::{FrequencyVector, Update};
+
+/// How many independent digest copies the client provisions per query
+/// family (each query consumes one copy).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Reporting queries: `get`, `range`, `predecessor`, `successor`.
+    pub reporting: usize,
+    /// Aggregates: `range_sum` (each consumes **two**: sum + count) and
+    /// `self_join_size`.
+    pub aggregate: usize,
+    /// `heavy_keys` queries.
+    pub heavy: usize,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        QueryBudget {
+            reporting: 16,
+            aggregate: 8,
+            heavy: 4,
+        }
+    }
+}
+
+/// The server-side state of one in-flight reporting query.
+pub trait ReportingSession<F: PrimeField> {
+    /// The claimed sub-vector answer.
+    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F>;
+    /// One protocol round.
+    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F>;
+}
+
+/// The server-side state of one in-flight sum-check-style query.
+pub trait SumCheckSession<F: PrimeField> {
+    /// The round polynomial.
+    fn message(&mut self) -> Vec<F>;
+    /// Bind the revealed challenge.
+    fn bind(&mut self, r: F);
+}
+
+/// The server-side state of one in-flight heavy-hitters query.
+pub trait HeavySession<F: PrimeField> {
+    /// The next level disclosure.
+    fn disclose(&self) -> LevelDisclosure<F>;
+    /// Receive the revealed level keys.
+    fn keys(&mut self, level: u32, r: F, s: F);
+}
+
+/// What a key-value server must provide. [`CloudStore`] is the honest
+/// implementation; [`MaliciousStore`] decorates it with lies.
+pub trait KvServer<F: PrimeField> {
+    /// Ingests one uploaded pair (already encoded as a stream update).
+    fn ingest(&mut self, up: Update);
+    /// Starts a reporting query over the `value+1` vector.
+    fn reporting(&self) -> Box<dyn ReportingSession<F>>;
+    /// Starts a range-sum query over the `value+1` vector.
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>>;
+    /// Starts a range-count query (presence vector).
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>>;
+    /// Starts a self-join-size query over the raw value vector.
+    fn self_join(&self) -> Box<dyn SumCheckSession<F>>;
+    /// Starts a heavy-keys query over the `value+1` vector.
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>>;
+    /// The claimed predecessor of `q` (a *claim*, verified by the client).
+    fn claim_predecessor(&self, q: u64) -> Option<u64>;
+    /// The claimed successor of `q`.
+    fn claim_successor(&self, q: u64) -> Option<u64>;
+}
+
+// ---------------------------------------------------------------------
+// Honest server
+// ---------------------------------------------------------------------
+
+/// The honest cloud store: materialises everything, proves everything.
+pub struct CloudStore<F: PrimeField> {
+    log_u: u32,
+    /// `value + 1` per key (0 = absent).
+    encoded: FrequencyVector,
+    /// 1 per present key.
+    presence: FrequencyVector,
+    /// raw value per key.
+    raw: FrequencyVector,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: PrimeField> CloudStore<F> {
+    /// An empty store over keys `[2^log_u]`.
+    pub fn new(log_u: u32) -> Self {
+        let u = 1u64 << log_u;
+        CloudStore {
+            log_u,
+            encoded: FrequencyVector::new(u),
+            presence: FrequencyVector::new(u),
+            raw: FrequencyVector::new(u),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Direct (unverified) lookup — what a trusting client would use.
+    pub fn unverified_get(&self, key: u64) -> Option<u64> {
+        let e = self.encoded.get(key);
+        (e != 0).then(|| (e - 1) as u64)
+    }
+}
+
+struct HonestReporting<F: PrimeField> {
+    prover: SubVectorProver<F>,
+}
+
+impl<F: PrimeField> ReportingSession<F> for HonestReporting<F> {
+    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F> {
+        self.prover.answer(q_l, q_r)
+    }
+    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F> {
+        self.prover.process_round(req)
+    }
+}
+
+struct HonestSumCheck<P> {
+    prover: P,
+}
+
+impl<F: PrimeField, P: RoundProver<F>> SumCheckSession<F> for HonestSumCheck<P> {
+    fn message(&mut self) -> Vec<F> {
+        self.prover.message()
+    }
+    fn bind(&mut self, r: F) {
+        self.prover.bind(r);
+    }
+}
+
+struct HonestHeavy<F: PrimeField> {
+    prover: HhProver<F>,
+}
+
+impl<F: PrimeField> HeavySession<F> for HonestHeavy<F> {
+    fn disclose(&self) -> LevelDisclosure<F> {
+        self.prover.disclose()
+    }
+    fn keys(&mut self, level: u32, r: F, s: F) {
+        self.prover.receive_keys(level, r, s);
+    }
+}
+
+impl<F: PrimeField> KvServer<F> for CloudStore<F> {
+    fn ingest(&mut self, up: Update) {
+        self.encoded.apply(up);
+        self.presence.apply(Update::new(up.index, 1));
+        self.raw.apply(Update::new(up.index, up.delta - 1));
+    }
+
+    fn reporting(&self) -> Box<dyn ReportingSession<F>> {
+        Box::new(HonestReporting {
+            prover: SubVectorProver::new(&self.encoded, self.log_u),
+        })
+    }
+
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+        Box::new(HonestSumCheck {
+            prover: RangeSumProver::new(&self.encoded, self.log_u, q_l, q_r),
+        })
+    }
+
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+        Box::new(HonestSumCheck {
+            prover: RangeSumProver::new(&self.presence, self.log_u, q_l, q_r),
+        })
+    }
+
+    fn self_join(&self) -> Box<dyn SumCheckSession<F>> {
+        Box::new(HonestSumCheck {
+            prover: F2Prover::new(&self.raw, self.log_u),
+        })
+    }
+
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>> {
+        Box::new(HonestHeavy {
+            prover: HhProver::new(&self.encoded, self.log_u, threshold),
+        })
+    }
+
+    fn claim_predecessor(&self, q: u64) -> Option<u64> {
+        self.encoded.predecessor(q)
+    }
+
+    fn claim_successor(&self, q: u64) -> Option<u64> {
+        self.encoded.successor(q)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A verified query result with its protocol cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answer<T> {
+    /// The verified value.
+    pub value: T,
+    /// Cost accounting for the query's protocol run.
+    pub report: CostReport,
+}
+
+/// The data owner: uploads data, keeps digests, issues verified queries.
+pub struct Client<F: PrimeField> {
+    log_u: u32,
+    reporting: Vec<SubVectorVerifier<F>>,
+    range_sums: Vec<RangeSumVerifier<F>>,
+    range_counts: Vec<RangeSumVerifier<F>>,
+    f2s: Vec<F2Verifier<F>>,
+    heavies: Vec<CountTreeHasher<F>>,
+    puts: u64,
+}
+
+impl<F: PrimeField> Client<F> {
+    /// Provisions digests for `budget` queries over keys `[2^log_u]`.
+    pub fn new<R: Rng + ?Sized>(log_u: u32, budget: QueryBudget, rng: &mut R) -> Self {
+        Client {
+            log_u,
+            reporting: (0..budget.reporting)
+                .map(|_| SubVectorVerifier::new(log_u, rng))
+                .collect(),
+            range_sums: (0..budget.aggregate)
+                .map(|_| RangeSumVerifier::new(log_u, rng))
+                .collect(),
+            range_counts: (0..budget.aggregate)
+                .map(|_| RangeSumVerifier::new(log_u, rng))
+                .collect(),
+            f2s: (0..budget.aggregate)
+                .map(|_| F2Verifier::new(log_u, rng))
+                .collect(),
+            heavies: (0..budget.heavy)
+                .map(|_| CountTreeHasher::random(log_u, rng))
+                .collect(),
+            puts: 0,
+        }
+    }
+
+    /// Uploads `(key, value)` to the server while updating every digest.
+    ///
+    /// Each key may be put at most once (the paper's DICTIONARY model);
+    /// overwriting would require a verified read-modify-write.
+    ///
+    /// # Panics
+    /// Panics if the key is out of range.
+    pub fn put(&mut self, key: u64, value: u64, server: &mut dyn KvServer<F>) {
+        assert!(key < (1u64 << self.log_u), "key out of range");
+        let up = Update::new(key, value as i64 + 1);
+        for d in &mut self.reporting {
+            d.update(up);
+        }
+        for d in &mut self.range_sums {
+            d.update(up);
+        }
+        for d in &mut self.range_counts {
+            d.update(Update::new(key, 1));
+        }
+        for d in &mut self.f2s {
+            d.update(Update::new(key, value as i64));
+        }
+        for d in &mut self.heavies {
+            d.update(up);
+        }
+        self.puts += 1;
+        server.ingest(up);
+    }
+
+    /// Remaining query budget `(reporting, aggregate, heavy)`.
+    pub fn remaining_budget(&self) -> (usize, usize, usize) {
+        (
+            self.reporting.len(),
+            self.range_sums.len().min(self.f2s.len()),
+            self.heavies.len(),
+        )
+    }
+
+    /// Client memory in words across all remaining digests.
+    pub fn space_words(&self) -> usize {
+        let d = self.log_u as usize + 1;
+        self.reporting.len() * d
+            + (self.range_sums.len() + self.range_counts.len() + self.f2s.len()) * d
+            + self.heavies.len() * (2 * d)
+    }
+
+    fn take_reporting(&mut self) -> SubVectorVerifier<F> {
+        self.reporting
+            .pop()
+            .expect("reporting query budget exhausted; provision a larger QueryBudget")
+    }
+
+    /// Verified sub-vector query: the raw engine behind `get`/`range`/….
+    fn verified_range_raw(
+        &mut self,
+        q_l: u64,
+        q_r: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Vec<(u64, F)>>, Rejection> {
+        let digest = self.take_reporting();
+        let mut session = digest.into_session(q_l, q_r);
+        let mut sp = server.reporting();
+        let answer = sp.answer(q_l, q_r);
+        let mut report = CostReport {
+            v_to_p_words: 2,
+            p_to_v_words: 2 * answer.entries.len(),
+            rounds: 1,
+            ..CostReport::default()
+        };
+        let mut step = session.receive_answer(&answer, None)?;
+        while let Step::Request(req) = step {
+            report.rounds += 1;
+            report.v_to_p_words += 1;
+            let reply = sp.round(&req);
+            report.p_to_v_words +=
+                reply.left.is_some() as usize + reply.right.is_some() as usize;
+            step = session.receive_reply(&req, &reply)?;
+        }
+        report.verifier_space_words = session.space_words();
+        Ok(Answer {
+            value: session.queried_entries(&answer),
+            report,
+        })
+    }
+
+    /// Verified `get`: the value stored under `key`, or `None`.
+    pub fn get(
+        &mut self,
+        key: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Option<u64>>, Rejection> {
+        let got = self.verified_range_raw(key, key, server)?;
+        let value = got
+            .value
+            .first()
+            .map(|&(_, v)| (v.to_u128() - 1) as u64);
+        Ok(Answer {
+            value,
+            report: got.report,
+        })
+    }
+
+    /// Verified range scan: all `(key, value)` pairs with key in
+    /// `[q_l, q_r]`.
+    pub fn range(
+        &mut self,
+        q_l: u64,
+        q_r: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Vec<(u64, u64)>>, Rejection> {
+        let got = self.verified_range_raw(q_l, q_r, server)?;
+        let value = got
+            .value
+            .iter()
+            .map(|&(k, v)| (k, (v.to_u128() - 1) as u64))
+            .collect();
+        Ok(Answer {
+            value,
+            report: got.report,
+        })
+    }
+
+    /// Verified predecessor (the previous present key ≤ `q`).
+    pub fn predecessor(
+        &mut self,
+        q: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Option<u64>>, Rejection> {
+        let claim = server.claim_predecessor(q);
+        let (lo, hi) = match claim {
+            Some(p) if p <= q => (p, q),
+            Some(p) => {
+                return Err(Rejection::StructuralCheckFailed {
+                    detail: format!("claimed predecessor {p} exceeds query {q}"),
+                })
+            }
+            None => (0, q),
+        };
+        let got = self.verified_range_raw(lo, hi, server)?;
+        match claim {
+            Some(p) => {
+                if got.value.len() != 1 || got.value[0].0 != p {
+                    return Err(Rejection::StructuralCheckFailed {
+                        detail: "predecessor gap not empty".to_string(),
+                    });
+                }
+            }
+            None => {
+                if !got.value.is_empty() {
+                    return Err(Rejection::StructuralCheckFailed {
+                        detail: "claimed no predecessor but keys exist".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Answer {
+            value: claim,
+            report: got.report,
+        })
+    }
+
+    /// Verified successor (the next present key ≥ `q`).
+    pub fn successor(
+        &mut self,
+        q: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Option<u64>>, Rejection> {
+        let u = 1u64 << self.log_u;
+        let claim = server.claim_successor(q);
+        let (lo, hi) = match claim {
+            Some(s) if s >= q && s < u => (q, s),
+            Some(s) => {
+                return Err(Rejection::StructuralCheckFailed {
+                    detail: format!("claimed successor {s} outside [{q}, {u})"),
+                })
+            }
+            None => (q, u - 1),
+        };
+        let got = self.verified_range_raw(lo, hi, server)?;
+        match claim {
+            Some(s) => {
+                if got.value.len() != 1 || got.value[0].0 != s {
+                    return Err(Rejection::StructuralCheckFailed {
+                        detail: "successor gap not empty".to_string(),
+                    });
+                }
+            }
+            None => {
+                if !got.value.is_empty() {
+                    return Err(Rejection::StructuralCheckFailed {
+                        detail: "claimed no successor but keys exist".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Answer {
+            value: claim,
+            report: got.report,
+        })
+    }
+
+    /// Drives one sum-check query to completion.
+    fn drive_aggregate(
+        core: &mut sip_core::sumcheck::SumCheckVerifierCore<F>,
+        expected: F,
+        mut session: Box<dyn SumCheckSession<F>>,
+        report: &mut CostReport,
+    ) -> Result<F, Rejection> {
+        struct Adapter<'a, F: PrimeField>(&'a mut dyn SumCheckSession<F>);
+        impl<F: PrimeField> RoundProver<F> for Adapter<'_, F> {
+            fn degree(&self) -> usize {
+                2
+            }
+            fn rounds(&self) -> usize {
+                0 // unused by drive_sumcheck beyond the assert below
+            }
+            fn message(&mut self) -> Vec<F> {
+                self.0.message()
+            }
+            fn bind(&mut self, r: F) {
+                self.0.bind(r);
+            }
+        }
+        // drive_sumcheck asserts prover.rounds() == core.rounds(); drive
+        // manually instead to keep the trait object simple.
+        let mut adapter = Adapter(session.as_mut());
+        for _ in 0..core.rounds() {
+            let msg = adapter.message();
+            report.rounds += 1;
+            report.p_to_v_words += msg.len();
+            if let Some(ch) = core.receive(&msg)? {
+                report.v_to_p_words += 1;
+                adapter.bind(ch);
+            }
+        }
+        core.finalize(expected)
+    }
+
+    /// Verified sum of the values stored under keys in `[q_l, q_r]`.
+    ///
+    /// Composes two aggregates: `Σ(value+1)` minus the verified count of
+    /// present keys.
+    pub fn range_sum(
+        &mut self,
+        q_l: u64,
+        q_r: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        let sum_digest = self
+            .range_sums
+            .pop()
+            .expect("aggregate budget exhausted");
+        let count_digest = self
+            .range_counts
+            .pop()
+            .expect("aggregate budget exhausted");
+        let mut report = CostReport {
+            v_to_p_words: 2,
+            ..CostReport::default()
+        };
+        let (mut core, expected) = sum_digest.into_session(q_l, q_r);
+        let encoded_sum =
+            Self::drive_aggregate(&mut core, expected, server.range_sum(q_l, q_r), &mut report)?;
+        let (mut core, expected) = count_digest.into_session(q_l, q_r);
+        let count = Self::drive_aggregate(
+            &mut core,
+            expected,
+            server.range_count(q_l, q_r),
+            &mut report,
+        )?;
+        let value = (encoded_sum - count).to_u128() as u64;
+        Ok(Answer { value, report })
+    }
+
+    /// Verified self-join size `Σ value_k²` over all stored values.
+    pub fn self_join_size(
+        &mut self,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        let digest = self.f2s.pop().expect("aggregate budget exhausted");
+        let mut report = CostReport::default();
+        let (mut core, expected) = digest.into_session();
+        let value =
+            Self::drive_aggregate(&mut core, expected, server.self_join(), &mut report)?;
+        Ok(Answer {
+            value: value.to_u128() as u64,
+            report,
+        })
+    }
+
+    /// Verified heavy keys: every key whose stored value (plus one) is at
+    /// least `threshold`. Returns `(key, value)` pairs.
+    pub fn heavy_keys(
+        &mut self,
+        threshold: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<Vec<(u64, u64)>>, Rejection> {
+        assert!(threshold >= 2, "threshold counts the +1 encoding");
+        let digest = self.heavies.pop().expect("heavy budget exhausted");
+        let mut session = digest.into_session(threshold);
+        let mut report = CostReport {
+            v_to_p_words: 1,
+            ..CostReport::default()
+        };
+        if session.trivially_empty() {
+            return Ok(Answer {
+                value: Vec::new(),
+                report,
+            });
+        }
+        let mut sp = server.heavy(threshold);
+        loop {
+            let disc = sp.disclose();
+            report.rounds += 1;
+            report.p_to_v_words += disc
+                .nodes
+                .iter()
+                .map(|n| 2 + n.hash.is_some() as usize)
+                .sum::<usize>();
+            match session.receive_level(&disc)? {
+                HhStep::RevealKeys { level, r, s } => {
+                    report.v_to_p_words += 2;
+                    sp.keys(level, r, s);
+                }
+                HhStep::Accept(items) => {
+                    let value = items
+                        .into_iter()
+                        .map(|(k, enc)| (k, enc - 1))
+                        .collect();
+                    return Ok(Answer { value, report });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malicious server
+// ---------------------------------------------------------------------
+
+/// Which lie the malicious store tells.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Attack {
+    /// Reports a different value for every key in reporting answers.
+    CorruptValues,
+    /// Omits the first entry of every reporting answer.
+    DropFirstEntry,
+    /// Adds 1 to the first evaluation of every sum-check message.
+    SkewAggregates,
+    /// Understates every disclosed heavy-hitter count by 1.
+    UnderstateCounts,
+    /// Claims the predecessor is one key too early (skipping one).
+    LieAboutPredecessor,
+}
+
+/// A server that executes the honest protocol but applies one [`Attack`].
+pub struct MaliciousStore<F: PrimeField> {
+    inner: CloudStore<F>,
+    attack: Attack,
+}
+
+impl<F: PrimeField> MaliciousStore<F> {
+    /// Wraps an honest store with an attack.
+    pub fn new(inner: CloudStore<F>, attack: Attack) -> Self {
+        MaliciousStore { inner, attack }
+    }
+}
+
+struct LyingReporting<F: PrimeField> {
+    inner: Box<dyn ReportingSession<F>>,
+    attack: Attack,
+}
+
+impl<F: PrimeField> ReportingSession<F> for LyingReporting<F> {
+    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F> {
+        let mut ans = self.inner.answer(q_l, q_r);
+        match self.attack {
+            Attack::CorruptValues => {
+                for e in &mut ans.entries {
+                    e.1 += F::ONE;
+                }
+            }
+            Attack::DropFirstEntry if !ans.entries.is_empty() => {
+                ans.entries.remove(0);
+            }
+            _ => {}
+        }
+        ans
+    }
+    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F> {
+        self.inner.round(req)
+    }
+}
+
+struct LyingSumCheck<F: PrimeField> {
+    inner: Box<dyn SumCheckSession<F>>,
+    attack: Attack,
+}
+
+impl<F: PrimeField> SumCheckSession<F> for LyingSumCheck<F> {
+    fn message(&mut self) -> Vec<F> {
+        let mut msg = self.inner.message();
+        if self.attack == Attack::SkewAggregates {
+            msg[0] += F::ONE;
+        }
+        msg
+    }
+    fn bind(&mut self, r: F) {
+        self.inner.bind(r);
+    }
+}
+
+struct LyingHeavy<F: PrimeField> {
+    inner: Box<dyn HeavySession<F>>,
+    attack: Attack,
+}
+
+impl<F: PrimeField> HeavySession<F> for LyingHeavy<F> {
+    fn disclose(&self) -> LevelDisclosure<F> {
+        let mut disc = self.inner.disclose();
+        if self.attack == Attack::UnderstateCounts && disc.level == 0 {
+            for n in &mut disc.nodes {
+                if n.count > 1 {
+                    n.count -= 1;
+                }
+            }
+        }
+        disc
+    }
+    fn keys(&mut self, level: u32, r: F, s: F) {
+        self.inner.keys(level, r, s);
+    }
+}
+
+impl<F: PrimeField> KvServer<F> for MaliciousStore<F> {
+    fn ingest(&mut self, up: Update) {
+        self.inner.ingest(up);
+    }
+    fn reporting(&self) -> Box<dyn ReportingSession<F>> {
+        Box::new(LyingReporting {
+            inner: self.inner.reporting(),
+            attack: self.attack,
+        })
+    }
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+        Box::new(LyingSumCheck {
+            inner: self.inner.range_sum(q_l, q_r),
+            attack: self.attack,
+        })
+    }
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+        Box::new(LyingSumCheck {
+            inner: self.inner.range_count(q_l, q_r),
+            attack: self.attack,
+        })
+    }
+    fn self_join(&self) -> Box<dyn SumCheckSession<F>> {
+        Box::new(LyingSumCheck {
+            inner: self.inner.self_join(),
+            attack: self.attack,
+        })
+    }
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>> {
+        Box::new(LyingHeavy {
+            inner: self.inner.heavy(threshold),
+            attack: self.attack,
+        })
+    }
+    fn claim_predecessor(&self, q: u64) -> Option<u64> {
+        let honest = self.inner.claim_predecessor(q);
+        if self.attack == Attack::LieAboutPredecessor {
+            honest.and_then(|p| self.inner.claim_predecessor(p.checked_sub(1)?))
+        } else {
+            honest
+        }
+    }
+    fn claim_successor(&self, q: u64) -> Option<u64> {
+        self.inner.claim_successor(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sip_field::Fp61;
+
+    type C = Client<Fp61>;
+
+    fn setup(
+        pairs: &[(u64, u64)],
+        log_u: u32,
+        seed: u64,
+    ) -> (C, CloudStore<Fp61>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut client = C::new(log_u, QueryBudget::default(), &mut rng);
+        let mut server = CloudStore::new(log_u);
+        for &(k, v) in pairs {
+            client.put(k, v, &mut server);
+        }
+        (client, server)
+    }
+
+    #[test]
+    fn end_to_end_mixed_queries() {
+        let pairs = [(3u64, 10u64), (17, 0), (40, 999), (41, 7), (200, 55)];
+        let (mut client, server) = setup(&pairs, 8, 1);
+
+        assert_eq!(client.get(3, &server).unwrap().value, Some(10));
+        assert_eq!(client.get(17, &server).unwrap().value, Some(0));
+        assert_eq!(client.get(18, &server).unwrap().value, None);
+
+        let range = client.range(10, 100, &server).unwrap().value;
+        assert_eq!(range, vec![(17, 0), (40, 999), (41, 7)]);
+
+        assert_eq!(client.predecessor(39, &server).unwrap().value, Some(17));
+        assert_eq!(client.successor(42, &server).unwrap().value, Some(200));
+        assert_eq!(client.predecessor(2, &server).unwrap().value, None);
+
+        assert_eq!(
+            client.range_sum(0, 255, &server).unwrap().value,
+            10 + 999 + 7 + 55
+        );
+        assert_eq!(
+            client.self_join_size(&server).unwrap().value,
+            100 + 999 * 999 + 49 + 55 * 55
+        );
+
+        let heavy = client.heavy_keys(56, &server).unwrap().value;
+        assert_eq!(heavy, vec![(40, 999), (200, 55)]);
+    }
+
+    #[test]
+    fn random_workload_against_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let log_u = 10;
+        let pairs: Vec<(u64, u64)> = {
+            let stream = sip_streaming::workloads::distinct_key_values(
+                200, 1 << log_u, 1000, 3,
+            );
+            stream.iter().map(|u| (u.index, u.delta as u64)).collect()
+        };
+        let (mut client, server) = setup(&pairs, log_u, 4);
+        let truth: std::collections::BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        for _ in 0..6 {
+            let k = rng.random_range(0..(1u64 << log_u));
+            assert_eq!(client.get(k, &server).unwrap().value, truth.get(&k).copied());
+        }
+        let (lo, hi) = (100u64, 500u64);
+        let expect: Vec<(u64, u64)> = truth
+            .range(lo..=hi)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(client.range(lo, hi, &server).unwrap().value, expect);
+        let sum: u64 = truth.range(lo..=hi).map(|(_, &v)| v).sum();
+        assert_eq!(client.range_sum(lo, hi, &server).unwrap().value, sum);
+    }
+
+    #[test]
+    fn budget_is_consumed() {
+        let (mut client, server) = setup(&[(1, 2)], 6, 5);
+        let before = client.remaining_budget();
+        client.get(1, &server).unwrap();
+        let after = client.remaining_budget();
+        assert_eq!(after.0, before.0 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn exhausted_budget_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut client = C::new(
+            6,
+            QueryBudget { reporting: 1, aggregate: 1, heavy: 1 },
+            &mut rng,
+        );
+        let mut server = CloudStore::new(6);
+        client.put(1, 2, &mut server);
+        client.get(1, &server).unwrap();
+        client.get(1, &server).unwrap(); // budget gone
+    }
+
+    #[test]
+    fn every_attack_is_caught() {
+        for attack in [
+            Attack::CorruptValues,
+            Attack::DropFirstEntry,
+            Attack::SkewAggregates,
+            Attack::UnderstateCounts,
+            Attack::LieAboutPredecessor,
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut client = C::new(8, QueryBudget::default(), &mut rng);
+            let mut server = MaliciousStore::new(CloudStore::new(8), attack);
+            for (k, v) in [(3u64, 10u64), (17, 5), (40, 999), (200, 55)] {
+                client.put(k, v, &mut server);
+            }
+            let caught = match attack {
+                Attack::CorruptValues | Attack::DropFirstEntry => {
+                    client.range(0, 255, &server).is_err()
+                }
+                Attack::SkewAggregates => client.range_sum(0, 255, &server).is_err(),
+                Attack::UnderstateCounts => client.heavy_keys(56, &server).is_err(),
+                Attack::LieAboutPredecessor => client.predecessor(100, &server).is_err(),
+            };
+            assert!(caught, "{attack:?} went undetected");
+        }
+    }
+
+    #[test]
+    fn honest_store_unverified_get_matches_verified() {
+        let (mut client, server) = setup(&[(9, 42), (10, 0)], 6, 8);
+        assert_eq!(server.unverified_get(9), Some(42));
+        assert_eq!(client.get(9, &server).unwrap().value, Some(42));
+        assert_eq!(server.unverified_get(11), None);
+    }
+}

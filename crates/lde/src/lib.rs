@@ -1,0 +1,350 @@
+//! Streaming evaluation of low-degree extensions (Theorem 1).
+//!
+//! Section 2 of Cormode–Thaler–Yi rearranges the input vector
+//! `a ∈ [u]^u` into a `d`-dimensional array over `[ℓ]^d` (with `u = ℓ^d`)
+//! and defines its *low-degree extension* — the unique polynomial
+//! `f_a : Z_p^d → Z_p` of degree `< ℓ` in each variable with
+//! `f_a(v) = a_v` on the grid:
+//!
+//! ```text
+//! f_a(x) = Σ_{v ∈ [ℓ]^d}  a_v · χ_v(x),     χ_v(x) = Π_j χ_{v_j}(x_j).
+//! ```
+//!
+//! The paper's key observation (Theorem 1) is that for a *fixed* point `r`,
+//! `f_a(r)` is a linear function of `a`, so a verifier can maintain it over
+//! a stream of updates `(i, δ)` via `f_a(r) ← f_a(r) + δ·χ_{v(i)}(r)` using
+//! only `O(d)` words of space and `O(ℓ·d)` time per update — in fact `O(d)`
+//! with the `O(ℓ·d)`-word χ tables precomputed here.
+//!
+//! This crate provides:
+//!
+//! * [`LdeParams`] — the `(ℓ, d)` parameterisation and digit arithmetic;
+//! * [`StreamingLdeEvaluator`] — the Theorem 1 evaluator;
+//! * [`MultiLdeEvaluator`] — several points at once (parallel repetition,
+//!   simultaneous queries — the "Multiple Queries" remark of Section 7);
+//! * [`interval`] — the `O(log² u)` evaluation of the LDE of a 0/1 interval
+//!   indicator via canonical-interval decomposition (Section 3.2,
+//!   RANGE-SUM), shared by the range-sum verifier *and* prover;
+//! * [`reference`] — naive `O(u·ℓ·d)` evaluation for differential testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interval;
+pub mod params;
+pub mod reference;
+
+use rand::Rng;
+use sip_field::lagrange::chi_all;
+use sip_field::PrimeField;
+use sip_streaming::Update;
+
+pub use interval::range_indicator_lde;
+pub use params::LdeParams;
+
+/// Streaming evaluator of `f_a(r)` for one fixed point `r ∈ Z_p^d`
+/// (Theorem 1).
+///
+/// Space: `d + 1` field elements of protocol state (`r` and the running
+/// value) plus the `ℓ·d`-entry χ lookup table. Time per update: `d`
+/// multiplications.
+#[derive(Clone, Debug)]
+pub struct StreamingLdeEvaluator<F: PrimeField> {
+    params: LdeParams,
+    r: Vec<F>,
+    /// `chi_table[j][k] = χ_k(r_j)` for digit position `j`, digit value `k`.
+    chi_table: Vec<Vec<F>>,
+    acc: F,
+}
+
+impl<F: PrimeField> StreamingLdeEvaluator<F> {
+    /// Creates an evaluator at the point `r` (one coordinate per digit).
+    ///
+    /// # Panics
+    /// Panics if `r.len() != params.dimension()`.
+    pub fn new(params: LdeParams, r: Vec<F>) -> Self {
+        assert_eq!(
+            r.len(),
+            params.dimension() as usize,
+            "evaluation point must have d = {} coordinates",
+            params.dimension()
+        );
+        let chi_table = r.iter().map(|&rj| chi_all(params.base(), rj)).collect();
+        StreamingLdeEvaluator {
+            params,
+            r,
+            chi_table,
+            acc: F::ZERO,
+        }
+    }
+
+    /// Creates an evaluator at a uniformly random secret point.
+    pub fn random<R: Rng + ?Sized>(params: LdeParams, rng: &mut R) -> Self {
+        let r = (0..params.dimension()).map(|_| F::random(rng)).collect();
+        Self::new(params, r)
+    }
+
+    /// The parameterisation.
+    pub fn params(&self) -> LdeParams {
+        self.params
+    }
+
+    /// The evaluation point `r`.
+    pub fn point(&self) -> &[F] {
+        &self.r
+    }
+
+    /// `χ_{v(i)}(r)`: the weight index `i` carries at this point.
+    ///
+    /// `O(d)` multiplications (table lookups per digit).
+    pub fn weight(&self, i: u64) -> F {
+        debug_assert!(i < self.params.universe());
+        let ell = self.params.base();
+        let mut rem = i;
+        let mut w = F::ONE;
+        for table in &self.chi_table {
+            let digit = (rem % ell) as usize;
+            rem /= ell;
+            w *= table[digit];
+        }
+        w
+    }
+
+    /// Processes one stream update: `f_a(r) += δ·χ_{v(i)}(r)`.
+    pub fn update(&mut self, up: Update) {
+        self.acc += F::from_i64(up.delta) * self.weight(up.index);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.update(up);
+        }
+    }
+
+    /// Subtracts `c·χ_{v(i)}(r)` — used by the Section 6.2 protocol when the
+    /// verifier "removes" a reported heavy hitter from the LDE.
+    pub fn remove(&mut self, i: u64, c: F) {
+        self.acc -= c * self.weight(i);
+    }
+
+    /// The current value `f_a(r)`.
+    pub fn value(&self) -> F {
+        self.acc
+    }
+
+    /// Verifier space in field elements: `r` plus the accumulator.
+    ///
+    /// The χ table is derived from `r` and could be recomputed per update at
+    /// `O(ℓ·d)` cost; the paper counts space as `d + 1` words, which is what
+    /// this reports. Use [`Self::space_words_with_tables`] for the
+    /// table-cached footprint.
+    pub fn space_words(&self) -> usize {
+        self.r.len() + 1
+    }
+
+    /// Space including the cached χ tables (`d·ℓ + d + 1` words).
+    pub fn space_words_with_tables(&self) -> usize {
+        self.space_words() + self.chi_table.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Streaming evaluation of `f_a` at several points simultaneously.
+///
+/// Used for parallel repetition (driving soundness error down) and for the
+/// "run multiple queries as independent copies" remark in Section 7. Costs
+/// scale linearly in the number of points.
+#[derive(Clone, Debug)]
+pub struct MultiLdeEvaluator<F: PrimeField> {
+    evaluators: Vec<StreamingLdeEvaluator<F>>,
+}
+
+impl<F: PrimeField> MultiLdeEvaluator<F> {
+    /// Evaluators at `points.len()` fixed points.
+    pub fn new(params: LdeParams, points: Vec<Vec<F>>) -> Self {
+        MultiLdeEvaluator {
+            evaluators: points
+                .into_iter()
+                .map(|r| StreamingLdeEvaluator::new(params, r))
+                .collect(),
+        }
+    }
+
+    /// `copies` evaluators at independent random points.
+    pub fn random<R: Rng + ?Sized>(params: LdeParams, copies: usize, rng: &mut R) -> Self {
+        MultiLdeEvaluator {
+            evaluators: (0..copies)
+                .map(|_| StreamingLdeEvaluator::random(params, rng))
+                .collect(),
+        }
+    }
+
+    /// Applies an update to every copy.
+    pub fn update(&mut self, up: Update) {
+        for e in &mut self.evaluators {
+            e.update(up);
+        }
+    }
+
+    /// The individual evaluators.
+    pub fn evaluators(&self) -> &[StreamingLdeEvaluator<F>] {
+        &self.evaluators
+    }
+
+    /// Values at all points.
+    pub fn values(&self) -> Vec<F> {
+        self.evaluators.iter().map(|e| e.value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::Fp61;
+    use sip_streaming::FrequencyVector;
+
+    fn updates(freqs: &[i64]) -> Vec<Update> {
+        freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != 0)
+            .map(|(i, &f)| Update::new(i as u64, f))
+            .collect()
+    }
+
+    #[test]
+    fn lde_agrees_with_vector_on_grid() {
+        // f_a(v) must equal a_v on every grid point, for several (ℓ, d).
+        for &(ell, d) in &[(2u64, 4u32), (4, 3), (8, 2), (3, 3)] {
+            let params = LdeParams::new(ell, d);
+            let u = params.universe();
+            let freqs: Vec<i64> = (0..u).map(|i| ((i * 7 + 3) % 11) as i64 - 5).collect();
+            let ups = updates(&freqs);
+            for trial in 0..10 {
+                let i = (trial * 13 + 5) % u;
+                let point: Vec<Fp61> = params.digits_of(i).map(Fp61::from_u64).collect();
+                let mut eval = StreamingLdeEvaluator::new(params, point);
+                eval.update_all(&ups);
+                assert_eq!(
+                    eval.value(),
+                    Fp61::from_i64(freqs[i as usize]),
+                    "ell={ell} d={d} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_reference_at_random_points() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(ell, d) in &[(2u64, 5u32), (4, 3), (5, 2)] {
+            let params = LdeParams::new(ell, d);
+            let u = params.universe();
+            let freqs: Vec<i64> = (0..u).map(|i| (i as i64 * 3 - 40) % 17).collect();
+            let ups = updates(&freqs);
+            for _ in 0..5 {
+                let mut eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+                eval.update_all(&ups);
+                let expect = reference::naive_lde_eval(&freqs, params, eval.point());
+                assert_eq!(eval.value(), expect, "ell={ell} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_under_deletions() {
+        // Inserting then deleting must return the evaluator to its prior value.
+        let params = LdeParams::new(2, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        eval.update(Update::new(17, 5));
+        let snapshot = eval.value();
+        eval.update(Update::new(40, 9));
+        eval.update(Update::new(40, -9));
+        assert_eq!(eval.value(), snapshot);
+    }
+
+    #[test]
+    fn remove_matches_negative_update() {
+        let params = LdeParams::new(2, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        let mut b = a.clone();
+        a.update(Update::new(11, -3));
+        b.remove(11, Fp61::from_u64(3));
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn update_order_is_irrelevant() {
+        let params = LdeParams::new(2, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = sip_streaming::workloads::uniform(200, params.universe(), 10, 9);
+        let mut fwd = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        let mut rev = StreamingLdeEvaluator::new(params, fwd.point().to_vec());
+        fwd.update_all(&stream);
+        let mut reversed = stream.clone();
+        reversed.reverse();
+        rev.update_all(&reversed);
+        assert_eq!(fwd.value(), rev.value());
+    }
+
+    #[test]
+    fn aggregated_updates_equal_unit_updates() {
+        // (i, 3) must equal three (i, 1) updates: linearity.
+        let params = LdeParams::new(2, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut agg = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        let mut unit = StreamingLdeEvaluator::new(params, agg.point().to_vec());
+        agg.update(Update::new(21, 3));
+        for _ in 0..3 {
+            unit.update(Update::new(21, 1));
+        }
+        assert_eq!(agg.value(), unit.value());
+    }
+
+    #[test]
+    fn multi_evaluator_matches_singles() {
+        let params = LdeParams::new(2, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let stream = sip_streaming::workloads::uniform(500, params.universe(), 100, 11);
+        let mut multi = MultiLdeEvaluator::<Fp61>::random(params, 3, &mut rng);
+        let singles: Vec<_> = multi
+            .evaluators()
+            .iter()
+            .map(|e| StreamingLdeEvaluator::new(params, e.point().to_vec()))
+            .collect();
+        for &up in &stream {
+            multi.update(up);
+        }
+        for (mut single, &expect) in singles.into_iter().zip(multi.values().iter()) {
+            single.update_all(&stream);
+            assert_eq!(single.value(), expect);
+        }
+    }
+
+    #[test]
+    fn space_accounting() {
+        let params = LdeParams::new(2, 20);
+        let mut rng = StdRng::seed_from_u64(8);
+        let eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        assert_eq!(eval.space_words(), 21); // d + 1
+        assert_eq!(eval.space_words_with_tables(), 21 + 40);
+    }
+
+    #[test]
+    fn frequency_vector_consistency() {
+        // Evaluating at a grid point recovers exactly FrequencyVector::get.
+        let params = LdeParams::new(2, 10);
+        let stream = sip_streaming::workloads::with_deletions(3000, params.universe(), 0.3, 12);
+        let fv = FrequencyVector::from_stream(params.universe(), &stream);
+        for i in [0u64, 5, 99, 1023] {
+            let point: Vec<Fp61> = params.digits_of(i).map(Fp61::from_u64).collect();
+            let mut eval = StreamingLdeEvaluator::new(params, point);
+            eval.update_all(&stream);
+            assert_eq!(eval.value(), Fp61::from_i64(fv.get(i)));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Materialised frequency vectors: the honest prover's state and the test
+//! suite's ground-truth oracle.
+
+use std::collections::BTreeMap;
+
+use crate::update::Update;
+
+/// Threshold (in universe size) below which [`FrequencyVector::new`] picks a
+/// dense representation.
+const DENSE_LIMIT: u64 = 1 << 22;
+
+/// The frequency vector `a ∈ Z^u` defined by a stream of updates.
+///
+/// Dense (a `Vec<i64>`) for small universes, sparse (a `BTreeMap`) for large
+/// ones; all queries behave identically. This is what the paper's prover
+/// keeps ("the prover has to retain the input vector a, which can be done
+/// efficiently in space O(min(u, n))").
+#[derive(Clone, Debug)]
+pub struct FrequencyVector {
+    u: u64,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Dense(Vec<i64>),
+    Sparse(BTreeMap<u64, i64>),
+}
+
+impl FrequencyVector {
+    /// An all-zero vector over universe `[u]`; dense below a size threshold.
+    pub fn new(u: u64) -> Self {
+        if u <= DENSE_LIMIT {
+            FrequencyVector {
+                u,
+                repr: Repr::Dense(vec![0; u as usize]),
+            }
+        } else {
+            FrequencyVector {
+                u,
+                repr: Repr::Sparse(BTreeMap::new()),
+            }
+        }
+    }
+
+    /// Forces a sparse representation regardless of universe size.
+    pub fn new_sparse(u: u64) -> Self {
+        FrequencyVector {
+            u,
+            repr: Repr::Sparse(BTreeMap::new()),
+        }
+    }
+
+    /// Builds the vector from a stream.
+    pub fn from_stream(u: u64, stream: &[Update]) -> Self {
+        let mut fv = Self::new(u);
+        for &up in stream {
+            fv.apply(up);
+        }
+        fv
+    }
+
+    /// The universe size `u`.
+    pub fn universe(&self) -> u64 {
+        self.u
+    }
+
+    /// Applies one update `a_i ← a_i + δ`.
+    ///
+    /// # Panics
+    /// Panics if `up.index >= u`.
+    pub fn apply(&mut self, up: Update) {
+        assert!(up.index < self.u, "index {} out of universe [0,{})", up.index, self.u);
+        match &mut self.repr {
+            Repr::Dense(v) => v[up.index as usize] += up.delta,
+            Repr::Sparse(m) => {
+                let e = m.entry(up.index).or_insert(0);
+                *e += up.delta;
+                if *e == 0 {
+                    m.remove(&up.index);
+                }
+            }
+        }
+    }
+
+    /// The frequency `a_i` (zero if never touched).
+    pub fn get(&self, i: u64) -> i64 {
+        assert!(i < self.u, "index {} out of universe [0,{})", i, self.u);
+        match &self.repr {
+            Repr::Dense(v) => v[i as usize],
+            Repr::Sparse(m) => m.get(&i).copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates `(index, frequency)` over nonzero entries in index order.
+    pub fn nonzero(&self) -> Box<dyn Iterator<Item = (u64, i64)> + '_> {
+        match &self.repr {
+            Repr::Dense(v) => Box::new(
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f != 0)
+                    .map(|(i, &f)| (i as u64, f)),
+            ),
+            Repr::Sparse(m) => Box::new(m.iter().map(|(&i, &f)| (i, f))),
+        }
+    }
+
+    /// Number of nonzero entries (`F0` when all deltas are insertions).
+    pub fn support_size(&self) -> u64 {
+        match &self.repr {
+            Repr::Dense(v) => v.iter().filter(|&&f| f != 0).count() as u64,
+            Repr::Sparse(m) => m.len() as u64,
+        }
+    }
+
+    // ---- Ground-truth query evaluation (used by tests and benches) ----
+
+    /// `Σ_i a_i` — the total stream weight `n` (when all δ = 1 this is the
+    /// stream length).
+    pub fn total(&self) -> i128 {
+        self.nonzero().map(|(_, f)| f as i128).sum()
+    }
+
+    /// SELF-JOIN SIZE / second frequency moment `F2 = Σ_i a_i²`.
+    pub fn self_join_size(&self) -> i128 {
+        self.nonzero().map(|(_, f)| (f as i128) * (f as i128)).sum()
+    }
+
+    /// The `k`-th frequency moment `F_k = Σ_i a_iᵏ`.
+    ///
+    /// # Panics
+    /// Panics on `i128` overflow (keep test frequencies modest).
+    pub fn frequency_moment(&self, k: u32) -> i128 {
+        self.nonzero()
+            .map(|(_, f)| (f as i128).checked_pow(k).expect("moment overflow"))
+            .fold(0i128, |a, b| a.checked_add(b).expect("moment overflow"))
+    }
+
+    /// INNER PRODUCT / join size `a · b = Σ_i a_i b_i`.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn inner_product(&self, other: &FrequencyVector) -> i128 {
+        assert_eq!(self.u, other.u, "inner product over mismatched universes");
+        // Iterate the sparser side.
+        let (small, big) = if self.support_size() <= other.support_size() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .nonzero()
+            .map(|(i, f)| (f as i128) * (big.get(i) as i128))
+            .sum()
+    }
+
+    /// RANGE QUERY: all nonzero entries with index in `[q_l, q_r]`.
+    pub fn range_report(&self, q_l: u64, q_r: u64) -> Vec<(u64, i64)> {
+        match &self.repr {
+            Repr::Dense(v) => {
+                let hi = (q_r.min(self.u - 1) + 1) as usize;
+                let lo = (q_l as usize).min(hi);
+                v[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f != 0)
+                    .map(|(off, &f)| (lo as u64 + off as u64, f))
+                    .collect()
+            }
+            Repr::Sparse(m) => m
+                .range(q_l..=q_r)
+                .map(|(&i, &f)| (i, f))
+                .collect(),
+        }
+    }
+
+    /// RANGE-SUM: `Σ_{q_l ≤ i ≤ q_r} a_i`.
+    pub fn range_sum(&self, q_l: u64, q_r: u64) -> i128 {
+        self.range_report(q_l, q_r)
+            .into_iter()
+            .map(|(_, f)| f as i128)
+            .sum()
+    }
+
+    /// PREDECESSOR: the largest present key `p ≤ q` (`None` if none).
+    pub fn predecessor(&self, q: u64) -> Option<u64> {
+        match &self.repr {
+            Repr::Dense(v) => (0..=q.min(self.u - 1))
+                .rev()
+                .find(|&i| v[i as usize] != 0),
+            Repr::Sparse(m) => m.range(..=q).next_back().map(|(&i, _)| i),
+        }
+    }
+
+    /// SUCCESSOR: the smallest present key `s ≥ q` (`None` if none).
+    pub fn successor(&self, q: u64) -> Option<u64> {
+        match &self.repr {
+            Repr::Dense(v) => (q..self.u).find(|&i| v[i as usize] != 0),
+            Repr::Sparse(m) => m.range(q..).next().map(|(&i, _)| i),
+        }
+    }
+
+    /// Items with frequency at least `threshold` (the φ-heavy hitters for
+    /// `threshold = ⌈φ·n⌉`), in index order.
+    pub fn heavy_hitters(&self, threshold: i64) -> Vec<(u64, i64)> {
+        assert!(threshold > 0, "heavy hitter threshold must be positive");
+        self.nonzero().filter(|&(_, f)| f >= threshold).collect()
+    }
+
+    /// `F0`: the number of distinct present items.
+    pub fn f0(&self) -> u64 {
+        self.support_size()
+    }
+
+    /// `F_max`: the largest frequency (zero for an empty vector).
+    pub fn fmax(&self) -> i64 {
+        self.nonzero().map(|(_, f)| f).max().unwrap_or(0)
+    }
+
+    /// Inverse-distribution point query: `#{i : a_i = k}` for `k ≠ 0`.
+    pub fn inverse_distribution(&self, k: i64) -> u64 {
+        assert!(k != 0, "inverse distribution of 0 is u - F0; query nonzero k");
+        self.nonzero().filter(|&(_, f)| f == k).count() as u64
+    }
+
+    /// The `k`-th largest present key (1-indexed): the largest present key
+    /// `p` such that at least `k − 1` larger keys are also present.
+    pub fn kth_largest(&self, k: u64) -> Option<u64> {
+        assert!(k >= 1);
+        let mut seen = 0;
+        match &self.repr {
+            Repr::Dense(v) => {
+                for i in (0..self.u).rev() {
+                    if v[i as usize] != 0 {
+                        seen += 1;
+                        if seen == k {
+                            return Some(i);
+                        }
+                    }
+                }
+                None
+            }
+            Repr::Sparse(m) => {
+                for (&i, _) in m.iter().rev() {
+                    seen += 1;
+                    if seen == k {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrequencyVector {
+        // a = [2, 3, 8, 1, 7, 6, 4, 3] — the paper's Figure 1 vector.
+        let stream: Vec<Update> = [2i64, 3, 8, 1, 7, 6, 4, 3]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Update::new(i as u64, f))
+            .collect();
+        FrequencyVector::from_stream(8, &stream)
+    }
+
+    #[test]
+    fn figure1_vector_queries() {
+        let a = sample();
+        assert_eq!(a.total(), 34);
+        assert_eq!(a.self_join_size(), 4 + 9 + 64 + 1 + 49 + 36 + 16 + 9);
+        assert_eq!(a.frequency_moment(1), 34);
+        assert_eq!(a.frequency_moment(3), 8 + 27 + 512 + 1 + 343 + 216 + 64 + 27);
+        assert_eq!(a.range_sum(1, 5), 3 + 8 + 1 + 7 + 6);
+        assert_eq!(a.f0(), 8);
+        assert_eq!(a.fmax(), 8);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let stream = vec![
+            Update::new(3, 5),
+            Update::new(100, -2),
+            Update::new(3, -5),
+            Update::new(7, 1),
+        ];
+        let mut dense = FrequencyVector::new(128);
+        let mut sparse = FrequencyVector::new_sparse(128);
+        for &u in &stream {
+            dense.apply(u);
+            sparse.apply(u);
+        }
+        assert_eq!(dense.get(3), 0);
+        assert_eq!(sparse.get(3), 0);
+        assert_eq!(dense.get(100), -2);
+        assert_eq!(sparse.get(100), -2);
+        assert_eq!(
+            dense.nonzero().collect::<Vec<_>>(),
+            sparse.nonzero().collect::<Vec<_>>()
+        );
+        assert_eq!(dense.support_size(), 2);
+        assert_eq!(dense.predecessor(50), sparse.predecessor(50));
+        assert_eq!(dense.successor(8), sparse.successor(8));
+        assert_eq!(dense.range_report(0, 127), sparse.range_report(0, 127));
+    }
+
+    #[test]
+    fn predecessor_successor_edges() {
+        let a = FrequencyVector::from_stream(
+            16,
+            &[Update::insert(0), Update::insert(5), Update::insert(12)],
+        );
+        assert_eq!(a.predecessor(4), Some(0));
+        assert_eq!(a.predecessor(5), Some(5));
+        assert_eq!(a.predecessor(15), Some(12));
+        assert_eq!(a.successor(6), Some(12));
+        assert_eq!(a.successor(13), None);
+        assert_eq!(a.successor(0), Some(0));
+        let empty = FrequencyVector::new(16);
+        assert_eq!(empty.predecessor(15), None);
+        assert_eq!(empty.successor(0), None);
+    }
+
+    #[test]
+    fn heavy_hitters_and_inverse() {
+        let a = sample();
+        assert_eq!(a.heavy_hitters(7), vec![(2, 8), (4, 7)]);
+        assert_eq!(a.inverse_distribution(3), 2); // indices 1 and 7
+        assert_eq!(a.inverse_distribution(9), 0);
+    }
+
+    #[test]
+    fn kth_largest_key() {
+        let a = FrequencyVector::from_stream(
+            32,
+            &[Update::insert(3), Update::insert(9), Update::insert(20)],
+        );
+        assert_eq!(a.kth_largest(1), Some(20));
+        assert_eq!(a.kth_largest(2), Some(9));
+        assert_eq!(a.kth_largest(3), Some(3));
+        assert_eq!(a.kth_largest(4), None);
+    }
+
+    #[test]
+    fn inner_product_matches_manual() {
+        let a = FrequencyVector::from_stream(8, &[Update::new(1, 2), Update::new(3, 4)]);
+        let b = FrequencyVector::from_stream(8, &[Update::new(1, 5), Update::new(2, 9)]);
+        assert_eq!(a.inner_product(&b), 10);
+        assert_eq!(b.inner_product(&a), 10);
+    }
+
+    #[test]
+    fn range_report_bounds_clamped() {
+        let a = sample();
+        // qR beyond the universe is clamped.
+        assert_eq!(a.range_report(6, 1000).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_panics() {
+        let mut a = FrequencyVector::new(4);
+        a.apply(Update::insert(4));
+    }
+}

@@ -1,0 +1,50 @@
+//! The stream element type.
+
+/// A single stream update `(i, δ)`, applying `a_i ← a_i + δ`.
+///
+/// The paper's general input model allows arbitrary integer `δ` ("we allow
+/// negative values of δ to capture decrements or deletions"); specific
+/// queries constrain it (e.g. SELF-JOIN SIZE is usually presented with
+/// `δ = 1`, DICTIONARY streams carry `δ = value + 1`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// The key `i ∈ [u]` being updated.
+    pub index: u64,
+    /// The signed increment `δ` applied to `a_i`.
+    pub delta: i64,
+}
+
+impl Update {
+    /// Convenience constructor.
+    pub const fn new(index: u64, delta: i64) -> Self {
+        Update { index, delta }
+    }
+
+    /// An insertion of one occurrence of `index` (`δ = 1`).
+    pub const fn insert(index: u64) -> Self {
+        Update { index, delta: 1 }
+    }
+
+    /// A deletion of one occurrence of `index` (`δ = −1`).
+    pub const fn delete(index: u64) -> Self {
+        Update { index, delta: -1 }
+    }
+}
+
+impl From<(u64, i64)> for Update {
+    fn from((index, delta): (u64, i64)) -> Self {
+        Update { index, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Update::insert(5), Update::new(5, 1));
+        assert_eq!(Update::delete(5), Update::new(5, -1));
+        assert_eq!(Update::from((3, -2)), Update::new(3, -2));
+    }
+}

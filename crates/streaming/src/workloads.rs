@@ -1,0 +1,217 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper's experimental study (Section 5) uses streams with `u = n`
+//! "where the number of occurrences of each item i was picked uniformly in
+//! the range [0, 1000]", observing that "the choice of data does not affect
+//! the behavior of the protocols: their guarantees do not depend on the
+//! data, but rather on the random choices of the verifier". We reproduce
+//! that generator exactly ([`paper_f2`]) and add the generators the other
+//! queries need (key–value streams, skewed streams for heavy hitters,
+//! streams with deletions).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::update::Update;
+
+/// The paper's Section 5 workload: one update per item `i ∈ [u]` with
+/// `δ ~ Uniform[0, 1000]`, in random order.
+///
+/// With this workload `n = u` updates arrive, matching the experiments'
+/// `u = n` regime.
+pub fn paper_f2(u: u64, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream: Vec<Update> = (0..u)
+        .map(|i| Update::new(i, rng.random_range(0..=1000)))
+        .collect();
+    stream.shuffle(&mut rng);
+    stream
+}
+
+/// `n` updates with uniformly random indices in `[u]` and
+/// `δ ~ Uniform[1, max_delta]`.
+pub fn uniform(n: usize, u: u64, max_delta: i64, seed: u64) -> Vec<Update> {
+    assert!(max_delta >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Update::new(rng.random_range(0..u), rng.random_range(1..=max_delta)))
+        .collect()
+}
+
+/// `n` unit insertions with (approximately) Zipf-distributed indices of
+/// parameter `alpha > 0` over `[u]` — a skewed stream with genuine heavy
+/// hitters, as in network-monitoring workloads.
+///
+/// Uses the standard continuous inverse-CDF approximation of the bounded
+/// Zipf distribution; exactness of the skew is irrelevant to the protocols
+/// (only the verifier's randomness matters for soundness).
+pub fn zipf(n: usize, u: u64, alpha: f64, seed: u64) -> Vec<Update> {
+    assert!(alpha > 0.0 && u >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let v: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let idx = if (alpha - 1.0).abs() < 1e-9 {
+                // CDF(k) ≈ ln(k+1)/ln(u+1)
+                ((u as f64 + 1.0).powf(v) - 1.0) as u64
+            } else {
+                // Truncated Pareto inverse CDF.
+                let umax = (u as f64 + 1.0).powf(1.0 - alpha);
+                ((1.0 + v * (umax - 1.0)).powf(1.0 / (1.0 - alpha)) - 1.0) as u64
+            };
+            Update::insert(idx.min(u - 1))
+        })
+        .collect()
+}
+
+/// A key–value stream: `n` *distinct* keys drawn from `[u]`, each appearing
+/// exactly once with a value in `[0, max_value]` (encoded as `δ = value`).
+///
+/// This is the DICTIONARY / RANGE-SUM input model ("a stream of n (key,
+/// value) pairs, where … all keys are distinct"). Returns the stream in
+/// random arrival order.
+pub fn distinct_key_values(n: usize, u: u64, max_value: i64, seed: u64) -> Vec<Update> {
+    assert!(n as u64 <= u, "cannot draw {n} distinct keys from [{u}]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = sample_distinct(&mut rng, n, u);
+    let mut stream: Vec<Update> = keys
+        .into_iter()
+        .map(|k| Update::new(k, rng.random_range(0..=max_value)))
+        .collect();
+    stream.shuffle(&mut rng);
+    stream
+}
+
+/// A set-membership stream: `n` distinct keys from `[u]`, each inserted with
+/// `δ = 1` (the PREDECESSOR / RANGE QUERY input model). Index 0 is always
+/// present, as the paper assumes for PREDECESSOR.
+pub fn distinct_keys(n: usize, u: u64, seed: u64) -> Vec<Update> {
+    assert!(n >= 1 && n as u64 <= u);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = sample_distinct(&mut rng, n - 1, u - 1);
+    for k in &mut keys {
+        *k += 1;
+    }
+    keys.push(0);
+    let mut stream: Vec<Update> = keys.into_iter().map(Update::insert).collect();
+    stream.shuffle(&mut rng);
+    stream
+}
+
+/// A turnstile stream: `n` random insertions interleaved with deletions of
+/// previously inserted items, never driving a frequency negative.
+pub fn with_deletions(n: usize, u: u64, delete_fraction: f64, seed: u64) -> Vec<Update> {
+    assert!((0.0..=1.0).contains(&delete_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::new();
+    let mut stream = Vec::with_capacity(n);
+    for _ in 0..n {
+        let delete = !live.is_empty() && rng.random::<f64>() < delete_fraction;
+        if delete {
+            let pos = rng.random_range(0..live.len());
+            let idx = live.swap_remove(pos);
+            stream.push(Update::delete(idx));
+        } else {
+            let idx = rng.random_range(0..u);
+            live.push(idx);
+            stream.push(Update::insert(idx));
+        }
+    }
+    stream
+}
+
+/// Draws `n` distinct values from `[0, u)`.
+///
+/// Floyd's algorithm when `n ≪ u`; shuffle of the full range when dense.
+fn sample_distinct(rng: &mut StdRng, n: usize, u: u64) -> Vec<u64> {
+    use std::collections::HashSet;
+    if (n as u64) * 4 >= u {
+        let mut all: Vec<u64> = (0..u).collect();
+        all.shuffle(rng);
+        all.truncate(n);
+        return all;
+    }
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    for j in (u - n as u64)..u {
+        let t = rng.random_range(0..=j);
+        let v = if chosen.contains(&t) { j } else { t };
+        chosen.insert(v);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency::FrequencyVector;
+
+    #[test]
+    fn paper_f2_shape() {
+        let s = paper_f2(256, 1);
+        assert_eq!(s.len(), 256);
+        let fv = FrequencyVector::from_stream(256, &s);
+        for (_, f) in fv.nonzero() {
+            assert!((0..=1000).contains(&f));
+        }
+        // Deterministic under the same seed, different under another.
+        assert_eq!(paper_f2(256, 1), s);
+        assert_ne!(paper_f2(256, 2), s);
+    }
+
+    #[test]
+    fn distinct_key_values_are_distinct() {
+        let s = distinct_key_values(100, 1 << 12, 500, 3);
+        let mut keys: Vec<u64> = s.iter().map(|up| up.index).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+        assert!(s.iter().all(|up| (0..=500).contains(&up.delta)));
+    }
+
+    #[test]
+    fn distinct_keys_contains_zero() {
+        let s = distinct_keys(50, 1 << 10, 4);
+        let fv = FrequencyVector::from_stream(1 << 10, &s);
+        assert_eq!(fv.get(0), 1);
+        assert_eq!(fv.support_size(), 50);
+        assert!(fv.nonzero().all(|(_, f)| f == 1));
+    }
+
+    #[test]
+    fn deletions_never_go_negative() {
+        let s = with_deletions(2000, 64, 0.4, 5);
+        let mut fv = FrequencyVector::new(64);
+        for &up in &s {
+            fv.apply(up);
+            assert!(fv.get(up.index) >= 0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let s = zipf(10_000, 1 << 16, 1.1, 6);
+        let fv = FrequencyVector::from_stream(1 << 16, &s);
+        // The most frequent item should dominate the median item by a lot.
+        let fmax = fv.fmax();
+        assert!(fmax > 100, "zipf head too light: {fmax}");
+        assert!(fv.support_size() > 100, "zipf tail too thin");
+    }
+
+    #[test]
+    fn sample_distinct_dense_and_sparse_paths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dense = sample_distinct(&mut rng, 200, 256);
+        let mut d = dense.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 200);
+        let sparse = sample_distinct(&mut rng, 10, 1 << 30);
+        let mut s = sparse.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,73 @@
+//! What happens when the cloud cheats.
+//!
+//! Reproduces the paper's tamper study ("we also tried modifying the
+//! prover's messages, by changing some pieces of the proof, or computing
+//! the proof for a slightly modified stream. In all cases, the protocols
+//! caught the error") interactively: a malicious key-value server mounts
+//! five different attacks; every one is detected.
+//!
+//! Run with: `cargo run --release --example dishonest_prover`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::kvstore::{Attack, Client, CloudStore, MaliciousStore, QueryBudget};
+use sip::streaming::workloads;
+use sip::DefaultField;
+
+fn main() {
+    let log_u = 14;
+    let records = workloads::distinct_key_values(5_000, 1 << log_u, 1_000, 7);
+
+    for attack in [
+        Attack::CorruptValues,
+        Attack::DropFirstEntry,
+        Attack::SkewAggregates,
+        Attack::UnderstateCounts,
+        Attack::LieAboutPredecessor,
+    ] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut client =
+            Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
+        let mut server = MaliciousStore::new(CloudStore::new(log_u), attack);
+        for up in &records {
+            client.put(up.index, up.delta as u64, &mut server);
+        }
+
+        let outcome = match attack {
+            Attack::CorruptValues | Attack::DropFirstEntry => client
+                .range(0, (1 << log_u) - 1, &server)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Attack::SkewAggregates => client
+                .range_sum(0, (1 << log_u) - 1, &server)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Attack::UnderstateCounts => client
+                .heavy_keys(900, &server)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Attack::LieAboutPredecessor => client
+                .predecessor(1 << (log_u - 1), &server)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        };
+
+        match outcome {
+            Ok(()) => println!("{attack:?}: NOT DETECTED — this should never happen!"),
+            Err(reason) => println!("{attack:?}: caught ✓  ({reason})"),
+        }
+    }
+
+    println!("\nand with an honest server the very same queries all verify:");
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut client = Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
+    let mut server = CloudStore::<DefaultField>::new(log_u);
+    for up in &records {
+        client.put(up.index, up.delta as u64, &mut server);
+    }
+    assert!(client.range(0, (1 << log_u) - 1, &server).is_ok());
+    assert!(client.range_sum(0, (1 << log_u) - 1, &server).is_ok());
+    assert!(client.heavy_keys(900, &server).is_ok());
+    assert!(client.predecessor(1 << (log_u - 1), &server).is_ok());
+    println!("honest server: all queries accepted ✓");
+}

@@ -1,0 +1,87 @@
+//! The paper's motivating example: a Dynamo-style outsourced key-value
+//! store with verified gets, range scans, neighbour lookups and aggregates.
+//!
+//! The client uploads (key, value) pairs to the cloud as a stream — it
+//! never holds the dataset — and afterwards issues queries whose answers
+//! are *proved* correct, not just returned.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::kvstore::{Client, CloudStore, QueryBudget};
+use sip::streaming::workloads;
+use sip::DefaultField;
+
+fn main() {
+    let log_u = 20; // key space: 2^20 possible keys
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut client = Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
+    let mut cloud = CloudStore::<DefaultField>::new(log_u);
+
+    // Upload 50k user records (user-id → account balance).
+    println!("uploading 50_000 records to the cloud …");
+    let records = workloads::distinct_key_values(50_000, 1 << log_u, 10_000, 5);
+    for up in &records {
+        client.put(up.index, up.delta as u64, &mut cloud);
+    }
+    println!(
+        "client retains {} words across all digests (~{} KiB) — the data lives in the cloud\n",
+        client.space_words(),
+        client.space_words() * 8 / 1024
+    );
+
+    // Point lookup.
+    let probe = records[123].index;
+    let got = client.get(probe, &cloud).expect("proof verified");
+    println!(
+        "get({probe})            = {:?}   [{} words of proof]",
+        got.value,
+        got.report.total_words()
+    );
+
+    // A key that was never written.
+    let missing = (0..1u64 << log_u)
+        .find(|k| !records.iter().any(|r| r.index == *k))
+        .unwrap();
+    let got = client.get(missing, &cloud).unwrap();
+    println!(
+        "get({missing})                = {:?}      [verified NOT FOUND]",
+        got.value
+    );
+
+    // Range scan: "all accounts with ids in [1000, 3000]".
+    let scan = client.range(1000, 3000, &cloud).unwrap();
+    println!(
+        "range(1000, 3000)     = {} records  [{} words of proof]",
+        scan.value.len(),
+        scan.report.total_words()
+    );
+
+    // Next/previous key — Section 1.1's PREDECESSOR/SUCCESSOR.
+    let pred = client.predecessor(probe.saturating_sub(1), &cloud).unwrap();
+    let succ = client.successor(probe + 1, &cloud).unwrap();
+    println!("predecessor({})  = {:?}", probe - 1, pred.value);
+    println!("successor({})    = {:?}", probe + 1, succ.value);
+
+    // Aggregates.
+    let sum = client.range_sum(0, (1 << log_u) - 1, &cloud).unwrap();
+    println!(
+        "Σ balances            = {}   [{} words of proof]",
+        sum.value,
+        sum.report.total_words()
+    );
+    let f2 = client.self_join_size(&cloud).unwrap();
+    println!("Σ balances²           = {}", f2.value);
+
+    // The whales: accounts with balance ≥ 9900.
+    let whales = client.heavy_keys(9901, &cloud).unwrap();
+    println!(
+        "accounts ≥ 9900       = {} verified heavy keys  [{} words]",
+        whales.value.len(),
+        whales.report.total_words()
+    );
+
+    let (rep, agg, heavy) = client.remaining_budget();
+    println!("\nremaining query budget: {rep} reporting / {agg} aggregate / {heavy} heavy");
+}

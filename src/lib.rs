@@ -1,0 +1,59 @@
+//! # Streaming Interactive Proofs
+//!
+//! A complete Rust implementation of *“Verifying Computations with
+//! Streaming Interactive Proofs”* (Cormode, Thaler, Yi — PVLDB 5(1), 2011):
+//! protocols that let a verifier with **O(log u) memory and one pass over a
+//! data stream** obtain *exact*, *verified* answers to queries that
+//! provably need linear memory without a prover — self-join size, frequency
+//! moments, inner products, range queries and sums, dictionary and
+//! predecessor lookups, heavy hitters, `F₀`, `F_max` and more.
+//!
+//! The guarantee is statistical: an honest prover is always accepted; a
+//! cheating prover — no matter how powerful — is caught except with
+//! probability ≈ `4·log u / p` (about `10⁻¹⁶` over the default field
+//! `Z_{2^61−1}`, below `10⁻³⁵` over `Z_{2^127−1}`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sip::field::Fp61;
+//! use sip::core::sumcheck::f2::run_f2;
+//! use sip::streaming::workloads;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // A stream of (index, delta) updates over a universe of 2^16 keys.
+//! let stream = workloads::paper_f2(1 << 16, 42);
+//! // Verifier streams once in O(log u) space; prover proves F2 exactly.
+//! let verified = run_f2::<Fp61, _>(16, &stream, &mut rng).expect("honest prover accepted");
+//! println!("verified self-join size = {}", verified.value);
+//! println!("communication: {} words over {} rounds",
+//!          verified.report.total_words(), verified.report.rounds);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`field`] | Mersenne fields `Z_{2^61−1}`, `Z_{2^127−1}`, polynomials, Lagrange |
+//! | [`streaming`] | the update-stream input model, workloads, ground truth |
+//! | [`lde`] | Theorem 1: streaming low-degree-extension evaluation |
+//! | [`core`] | the paper's protocols (§3 aggregation, §4 reporting, §6 extensions, one-round baseline) |
+//! | [`gkr`] | Theorem 3: streaming GKR over layered arithmetic circuits |
+//! | [`kvstore`] | the motivating application: a verified outsourced KV store |
+//!
+//! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
+//! for the reproduction of the paper's experimental study (Figures 2–3).
+
+pub use sip_core as core;
+pub use sip_field as field;
+pub use sip_gkr as gkr;
+pub use sip_kvstore as kvstore;
+pub use sip_lde as lde;
+pub use sip_streaming as streaming;
+
+/// The paper's default field: `Z_p` with `p = 2^61 − 1`.
+pub type DefaultField = sip_field::Fp61;
+
+/// The high-soundness field: `Z_p` with `p = 2^127 − 1`.
+pub type WideField = sip_field::Fp127;

@@ -1,0 +1,132 @@
+//! Property-based integration tests across the whole stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::core::reporting::{run_predecessor, run_successor};
+use sip::core::subvector::run_subvector;
+use sip::core::sumcheck::f2::run_f2;
+use sip::core::sumcheck::range_sum::run_range_sum;
+use sip::field::{Fp61, PrimeField};
+use sip::streaming::{FrequencyVector, Update};
+
+fn to_stream(pairs: &[(u64, i64)], u: u64) -> Vec<Update> {
+    pairs
+        .iter()
+        .map(|&(i, d)| Update::new(i % u, d % 1000))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// F2 completeness over arbitrary (turnstile!) streams.
+    #[test]
+    fn f2_matches_ground_truth(
+        pairs in prop::collection::vec((any::<u64>(), any::<i64>()), 0..120),
+        seed in any::<u64>(),
+    ) {
+        let log_u = 7;
+        let u = 1u64 << log_u;
+        let stream = to_stream(&pairs, u);
+        let fv = FrequencyVector::from_stream(u, &stream);
+        // F2 over the integers, embedded into the field (i128 → mod p).
+        let truth = fv.self_join_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let got = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap();
+        prop_assert_eq!(got.value, Fp61::from_u128(truth as u128));
+    }
+
+    /// Sub-vector completeness for arbitrary ranges and streams.
+    #[test]
+    fn subvector_matches_ground_truth(
+        pairs in prop::collection::vec((any::<u64>(), 1i64..50), 0..80),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let log_u = 8;
+        let u = 1u64 << log_u;
+        let stream = to_stream(&pairs, u);
+        let (q_l, q_r) = {
+            let (x, y) = (a % u, b % u);
+            (x.min(y), x.max(y))
+        };
+        let fv = FrequencyVector::from_stream(u, &stream);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let got = run_subvector::<Fp61, _>(log_u, &stream, q_l, q_r, &mut rng).unwrap();
+        let expect: Vec<(u64, Fp61)> = fv
+            .range_report(q_l, q_r)
+            .into_iter()
+            .map(|(i, f)| (i, Fp61::from_i64(f)))
+            .collect();
+        prop_assert_eq!(got.entries, expect);
+    }
+
+    /// Range-sum decomposes: [l, m] + [m+1, r] = [l, r] (verified runs).
+    #[test]
+    fn range_sum_is_additive(
+        pairs in prop::collection::vec((any::<u64>(), 1i64..100), 1..60),
+        cut in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let log_u = 7;
+        let u = 1u64 << log_u;
+        let stream = to_stream(&pairs, u);
+        let m = cut % (u - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = run_range_sum::<Fp61, _>(log_u, &stream, 0, m, &mut rng).unwrap().value;
+        let right = run_range_sum::<Fp61, _>(log_u, &stream, m + 1, u - 1, &mut rng)
+            .unwrap()
+            .value;
+        let whole = run_range_sum::<Fp61, _>(log_u, &stream, 0, u - 1, &mut rng)
+            .unwrap()
+            .value;
+        prop_assert_eq!(left + right, whole);
+    }
+
+    /// Predecessor/successor round-trip: succ(pred(q)+1) > q etc. — and
+    /// both match ground truth.
+    #[test]
+    fn neighbour_queries_match(
+        keys in prop::collection::btree_set(0u64..250, 1..40),
+        q in 0u64..256,
+        seed in any::<u64>(),
+    ) {
+        let log_u = 8;
+        let u = 1u64 << log_u;
+        let stream: Vec<Update> = keys.iter().map(|&k| Update::insert(k)).collect();
+        let fv = FrequencyVector::from_stream(u, &stream);
+        let q = q % u;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pred = run_predecessor::<Fp61, _>(log_u, &stream, q, &mut rng).unwrap().value;
+        let succ = run_successor::<Fp61, _>(log_u, &stream, q, &mut rng).unwrap().value;
+        prop_assert_eq!(pred, fv.predecessor(q));
+        prop_assert_eq!(succ, fv.successor(q));
+    }
+}
+
+/// Statistical sanity check on soundness: across many random corruptions
+/// and independent verifier coins, no forgery slips through.
+#[test]
+fn soundness_monte_carlo() {
+    use sip::core::sumcheck::f2::run_f2_with_adversary;
+    let log_u = 6;
+    let stream = sip::streaming::workloads::paper_f2(1 << log_u, 99);
+    let mut caught = 0;
+    let trials = 300;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(t);
+        let round = (t as usize % log_u as usize) + 1;
+        let slot = (t as usize / log_u as usize) % 3;
+        let mut adv = |r: usize, msg: &mut Vec<Fp61>| {
+            if r == round {
+                msg[slot] += Fp61::from_u64(t + 1);
+            }
+        };
+        if run_f2_with_adversary::<Fp61, _>(log_u, &stream, &mut rng, Some(&mut adv)).is_err() {
+            caught += 1;
+        }
+    }
+    assert_eq!(caught, trials, "some forgery was accepted");
+}

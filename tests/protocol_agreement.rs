@@ -1,0 +1,118 @@
+//! Cross-crate agreement tests: independent protocol implementations must
+//! produce identical verified answers on identical streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::core::one_round::run_one_round_f2;
+use sip::core::reporting::{run_index, run_range_query};
+use sip::core::sumcheck::f2::run_f2;
+use sip::core::sumcheck::inner_product::run_inner_product;
+use sip::core::sumcheck::moments::run_moment;
+use sip::core::sumcheck::range_sum::run_range_sum;
+use sip::field::{Fp127, Fp61, PrimeField};
+use sip::gkr::{builders, run_streaming_gkr};
+use sip::streaming::{workloads, FrequencyVector};
+
+/// Four F2 implementations — multi-round, one-round baseline, general
+/// moment k=2, streaming GKR — agree with each other and the ground truth.
+#[test]
+fn four_f2_implementations_agree() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let log_u = 10;
+    let stream = workloads::paper_f2(1 << log_u, 17);
+    let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
+
+    let multi = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().value;
+    let single = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().value;
+    let moment = run_moment::<Fp61, _>(2, log_u, &stream, &mut rng).unwrap().value;
+    let (gkr_out, _) =
+        run_streaming_gkr::<Fp61, _>(&builders::f2_circuit(log_u), &stream, &mut rng).unwrap();
+
+    let expect = Fp61::from_u128(truth as u128);
+    assert_eq!(multi, expect);
+    assert_eq!(single, expect);
+    assert_eq!(moment, expect);
+    assert_eq!(gkr_out[0], expect);
+}
+
+/// The two fields produce the same canonical integer answers.
+#[test]
+fn fp61_and_fp127_agree() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let log_u = 9;
+    let stream = workloads::uniform(500, 1 << log_u, 40, 3);
+    let a = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().value;
+    let b = run_f2::<Fp127, _>(log_u, &stream, &mut rng).unwrap().value;
+    assert_eq!(a.to_u128(), b.to_u128());
+}
+
+/// RANGE-SUM via the sum-check equals summing a verified RANGE QUERY.
+#[test]
+fn range_sum_agrees_with_reported_range() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let log_u = 11;
+    let stream = workloads::distinct_key_values(700, 1 << log_u, 500, 4);
+    let (q_l, q_r) = (123, 1789);
+
+    let sum = run_range_sum::<Fp61, _>(log_u, &stream, q_l, q_r, &mut rng)
+        .unwrap()
+        .value;
+    let rows = run_range_query::<Fp61, _>(log_u, &stream, q_l, q_r, &mut rng).unwrap();
+    let summed: Fp61 = rows.entries.iter().map(|&(_, v)| v).sum();
+    assert_eq!(sum, summed);
+}
+
+/// INDEX through the hash tree equals the LDE of the vector at that grid
+/// point (two completely different verification mechanisms).
+#[test]
+fn index_agrees_with_frequency_vector() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let log_u = 9;
+    let stream = workloads::with_deletions(2_000, 1 << log_u, 0.25, 5);
+    let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+    for q in [0u64, 77, 400, 511] {
+        let got = run_index::<Fp61, _>(log_u, &stream, q, &mut rng).unwrap().value;
+        assert_eq!(got, Fp61::from_i64(fv.get(q)), "q={q}");
+    }
+}
+
+/// Inner product via sum-check vs the GKR inner-product circuit.
+#[test]
+fn inner_product_sumcheck_vs_gkr() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let log_u = 8;
+    let sa = workloads::uniform(300, 1 << log_u, 20, 6);
+    let sb = workloads::uniform(250, 1 << log_u, 20, 7);
+
+    let ip = run_inner_product::<Fp61, _>(log_u, &sa, &sb, &mut rng).unwrap().value;
+
+    // GKR circuit input = [a ‖ b].
+    let mut stream = sa.clone();
+    stream.extend(
+        sb.iter()
+            .map(|u| sip::streaming::Update::new(u.index + (1 << log_u), u.delta)),
+    );
+    let circuit = builders::inner_product_circuit(log_u);
+    let (outputs, _) = run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng).unwrap();
+    assert_eq!(outputs[0], ip);
+}
+
+/// The (s, t) trade-off of the two F2 protocols: multi-round is
+/// logarithmic in both; one-round pays √u in both (the paper's headline
+/// comparison).
+#[test]
+fn cost_crossover_multi_vs_one_round() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for log_u in [12u32, 14, 18] {
+        let stream = workloads::uniform(200, 1 << log_u, 5, 8);
+        let multi = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().report;
+        let single = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng)
+            .unwrap()
+            .report;
+        let ell = 1usize << log_u.div_ceil(2);
+        assert_eq!(single.p_to_v_words, 2 * ell - 1);
+        assert_eq!(multi.p_to_v_words, 3 * log_u as usize);
+        assert!(multi.verifier_space_words < single.verifier_space_words);
+        assert!(multi.total_words() < single.total_words());
+    }
+}
