@@ -27,7 +27,11 @@ fn ell_tradeoff(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("ell", ell), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             let params = LdeParams::new(ell, d);
-            b.iter(|| run_general_f2::<Fp61, _>(params, &stream, &mut rng).unwrap().value);
+            b.iter(|| {
+                run_general_f2::<Fp61, _>(params, &stream, &mut rng)
+                    .unwrap()
+                    .value
+            });
         });
     }
     group.finish();
@@ -64,7 +68,11 @@ fn moment_order(c: &mut Criterion) {
     for k in [2u32, 3, 5, 8] {
         group.bench_function(BenchmarkId::new("k", k), |b| {
             let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| run_moment::<Fp61, _>(k, log_u, &stream, &mut rng).unwrap().value);
+            b.iter(|| {
+                run_moment::<Fp61, _>(k, log_u, &stream, &mut rng)
+                    .unwrap()
+                    .value
+            });
         });
     }
     group.finish();

@@ -56,7 +56,11 @@ fn reporting_queries(c: &mut Criterion) {
     let stream = workloads::distinct_keys(10_000, 1 << log_u, 3);
     group.bench_function("index", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| run_index::<Fp61, _>(log_u, &stream, 12345, &mut rng).unwrap().value);
+        b.iter(|| {
+            run_index::<Fp61, _>(log_u, &stream, 12345, &mut rng)
+                .unwrap()
+                .value
+        });
     });
     group.bench_function("predecessor", |b| {
         let mut rng = StdRng::seed_from_u64(4);

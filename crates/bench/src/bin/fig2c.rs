@@ -56,9 +56,7 @@ fn main() {
             one_round_comm_words(log_u) * WORD,
         );
     }
-    println!(
-        "# paper: one-round ∝ √u (≈1MB at u=2^30); multi-round ≤ 1KB throughout"
-    );
+    println!("# paper: one-round ∝ √u (≈1MB at u=2^30); multi-round ≤ 1KB throughout");
     let _ = Fp61::BITS;
 }
 

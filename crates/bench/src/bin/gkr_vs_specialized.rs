@@ -37,8 +37,7 @@ fn main() {
         let stream = workloads::paper_f2(1 << log_u, log_u as u64);
 
         let circuit = builders::f2_circuit(log_u);
-        let (gkr, t_gkr) =
-            time_once(|| run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng));
+        let (gkr, t_gkr) = time_once(|| run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng));
         let (gkr_out, gkr_report) = gkr.expect("honest prover accepted");
 
         let (spec, t_spec) = time_once(|| run_f2::<Fp61, _>(log_u, &stream, &mut rng));

@@ -11,8 +11,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sip_bench::{arg_u32, mitems_per_sec, time_once};
-use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
 use sip_core::sumcheck::drive_sumcheck;
+use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
 use sip_core::CostReport;
 use sip_field::Fp61;
 use sip_streaming::{workloads, FrequencyVector};
@@ -47,7 +47,10 @@ fn main() {
     let scale_depth = 128.0 / log_u as f64;
     let predicted = t.as_secs_f64() * scale_items * scale_depth;
     println!("extrapolation to 1TB of IPv6 addresses (6e10 items, 128-bit keys):");
-    println!("    predicted prover time ≈ {predicted:.0} s ({:.0} min)", predicted / 60.0);
+    println!(
+        "    predicted prover time ≈ {predicted:.0} s ({:.0} min)",
+        predicted / 60.0
+    );
     println!("    paper's 2011 extrapolation: ~12,000 s (200 min)");
     println!("    (the shape—linear in n·log u—is the claim; absolute speed reflects hardware)");
 }

@@ -117,7 +117,12 @@ fn main() {
             }
         };
         if run_range_sum_with_adversary::<Fp61, _>(
-            LOG_U, &stream, 100, 2000, &mut rng, Some(&mut adv),
+            LOG_U,
+            &stream,
+            100,
+            2000,
+            &mut rng,
+            Some(&mut adv),
         )
         .is_err()
         {
@@ -141,7 +146,11 @@ fn main() {
             }
         };
         if run_heavy_hitters_with_adversary::<Fp61, _>(
-            LOG_U, &skewed, threshold, &mut rng, Some(&mut adv),
+            LOG_U,
+            &skewed,
+            threshold,
+            &mut rng,
+            Some(&mut adv),
         )
         .is_err()
         {

@@ -1,0 +1,94 @@
+//! Bytes-on-wire vs the paper's word accounting.
+//!
+//! Runs the F₂ and RANGE-SUM protocols against a real TCP prover and
+//! compares the measured interactive-phase traffic (frame headers, tags,
+//! counts and all) with `CostReport::comm_bytes` — the number the paper's
+//! Figures 2(c)/3(b) plot. The wire format is accepted if it stays within
+//! 2× of the word accounting at every size; the binary exits nonzero
+//! otherwise, so it doubles as a check in scripts.
+//!
+//! Usage: `cargo run --release --bin wire_overhead [--max-log-u N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_u32, csv_header};
+use sip_core::sumcheck::f2::F2Verifier;
+use sip_core::sumcheck::range_sum::RangeSumVerifier;
+use sip_field::Fp61;
+use sip_server::client::RawClient;
+use sip_server::{spawn, ServerConfig};
+use sip_streaming::workloads;
+
+fn main() {
+    let max_log_u = arg_u32("--max-log-u", 18);
+    let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    csv_header(&[
+        "protocol",
+        "log_u",
+        "comm_words",
+        "comm_bytes",
+        "wire_bytes",
+        "ratio",
+    ]);
+    let mut worst: f64 = 0.0;
+    for log_u in (8..=max_log_u).step_by(2) {
+        let u = 1u64 << log_u;
+        let stream = workloads::paper_f2(u, log_u as u64);
+        let mut rng = StdRng::seed_from_u64(1);
+
+        // ----- F2 ----------------------------------------------------
+        let mut client: RawClient<Fp61, _> = RawClient::connect(addr, log_u).expect("connect");
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            verifier.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().expect("end stream");
+        let before = client.stats();
+        let verified = client.verify_f2(verifier).expect("honest accept");
+        let after = client.stats();
+        let wire =
+            (after.bytes_sent - before.bytes_sent) + (after.bytes_received - before.bytes_received);
+        let claimed = verified.report.comm_bytes(61);
+        let ratio = wire as f64 / claimed as f64;
+        worst = worst.max(ratio);
+        println!(
+            "f2,{log_u},{},{claimed},{wire},{ratio:.3}",
+            verified.report.total_words()
+        );
+        client.bye().ok();
+
+        // ----- RANGE-SUM ---------------------------------------------
+        let mut client: RawClient<Fp61, _> = RawClient::connect(addr, log_u).expect("connect");
+        let mut verifier = RangeSumVerifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            verifier.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().expect("end stream");
+        let before = client.stats();
+        let verified = client
+            .verify_range_sum(verifier, u / 4, 3 * u / 4)
+            .expect("honest accept");
+        let after = client.stats();
+        let wire =
+            (after.bytes_sent - before.bytes_sent) + (after.bytes_received - before.bytes_received);
+        let claimed = verified.report.comm_bytes(61);
+        let ratio = wire as f64 / claimed as f64;
+        worst = worst.max(ratio);
+        println!(
+            "range_sum,{log_u},{},{claimed},{wire},{ratio:.3}",
+            verified.report.total_words()
+        );
+        client.bye().ok();
+    }
+    server.shutdown();
+
+    eprintln!("# worst wire/word ratio: {worst:.3} (bound: 2.0)");
+    assert!(
+        worst <= 2.0,
+        "wire format overhead {worst:.3}× exceeds the 2× acceptance bound"
+    );
+}

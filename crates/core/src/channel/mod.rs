@@ -1,0 +1,18 @@
+//! The channel between prover and verifier: cost accounting and transports.
+//!
+//! The paper abstracts the conversation as messages of field elements and
+//! measures it in words ([`CostReport`]). This module also provides the
+//! *physical* channel: a [`Transport`] moves opaque frames between the two
+//! parties, either within one process ([`InMemoryTransport`]) or across a
+//! network ([`FramedTcpTransport`]). Every protocol in this workspace is
+//! driven the same way over both — the point of the outsourcing model is
+//! that the prover lives somewhere else.
+
+mod cost;
+mod transport;
+
+pub use cost::CostReport;
+pub use transport::{
+    FramedTcpTransport, InMemoryTransport, Transport, TransportError, TransportStats,
+    DEFAULT_MAX_FRAME,
+};

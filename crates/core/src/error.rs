@@ -91,7 +91,10 @@ impl fmt::Display for Rejection {
                 "round {round}: polynomial does not sum to the previous claim"
             ),
             Rejection::FinalCheckFailed => {
-                write!(f, "final check failed: g_d(r_d) differs from the streamed LDE")
+                write!(
+                    f,
+                    "final check failed: g_d(r_d) differs from the streamed LDE"
+                )
             }
             Rejection::RootMismatch => {
                 write!(f, "reconstructed tree root differs from streamed root")

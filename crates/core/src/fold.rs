@@ -64,9 +64,7 @@ impl<F: PrimeField> FoldVector<F> {
         } else {
             FoldVector {
                 bits,
-                repr: FoldRepr::Sparse(
-                    fv.nonzero().map(|(i, f)| (i, F::from_i64(f))).collect(),
-                ),
+                repr: FoldRepr::Sparse(fv.nonzero().map(|(i, f)| (i, F::from_i64(f))).collect()),
             }
         }
     }
@@ -74,7 +72,10 @@ impl<F: PrimeField> FoldVector<F> {
     /// Builds a dense table from explicit values (`values.len()` must be a
     /// power of two).
     pub fn from_values(values: Vec<F>) -> Self {
-        assert!(values.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            values.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let bits = values.len().trailing_zeros();
         FoldVector {
             bits,
@@ -104,7 +105,11 @@ impl<F: PrimeField> FoldVector<F> {
     /// # Panics
     /// Panics if variables remain.
     pub fn scalar(&self) -> F {
-        assert_eq!(self.bits, 0, "fold incomplete: {} variables left", self.bits);
+        assert_eq!(
+            self.bits, 0,
+            "fold incomplete: {} variables left",
+            self.bits
+        );
         self.get(0)
     }
 
@@ -409,8 +414,8 @@ mod tests {
         assert_eq!(
             seen,
             vec![
-                (1, one, z, z, seven),   // a_2 | b_3
-                (2, z, two, z, one),     // a_5 | b_5
+                (1, one, z, z, seven), // a_2 | b_3
+                (2, z, two, z, one),   // a_5 | b_5
                 (20_000, three, z, z, z),
                 (30_000, z, z, z, four), // b at 60_001 (odd)
             ]
@@ -459,10 +464,7 @@ mod tests {
     #[test]
     fn zero_cancellation_in_sparse_fold() {
         // Entries that cancel exactly must be dropped, not stored as zero.
-        let fv = FrequencyVector::from_stream(
-            1 << 16,
-            &[Update::new(8, 1), Update::new(9, 1)],
-        );
+        let fv = FrequencyVector::from_stream(1 << 16, &[Update::new(8, 1), Update::new(9, 1)]);
         let mut fold = FoldVector::<Fp61>::from_frequency(&fv, 16);
         // With weights (1, −1): 1·a[8] + (−1)·a[9] = 0.
         fold.fold(Fp61::ONE, -Fp61::ONE);

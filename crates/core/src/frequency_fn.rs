@@ -34,9 +34,7 @@ use sip_streaming::{FrequencyVector, Update};
 use crate::channel::CostReport;
 use crate::error::Rejection;
 use crate::fold::FoldVector;
-use crate::heavy_hitters::{
-    run_heavy_hitters_with_adversary, HhAdversary, VerifiedHeavyHitters,
-};
+use crate::heavy_hitters::{run_heavy_hitters_with_adversary, HhAdversary, VerifiedHeavyHitters};
 use crate::sumcheck::{drive_sumcheck, Adversary, RoundProver, SumCheckVerifierCore};
 
 /// Honest prover for the residual sum-check: folds the heavy-removed vector
@@ -192,8 +190,14 @@ pub fn run_frequency_fn_with_adversary<F: PrimeField, R: Rng + ?Sized>(
         verifier_space_words: streaming_space + cap as usize + 3,
         ..CostReport::default()
     };
-    let sum = drive_sumcheck(&mut prover, &mut core, expected_final, &mut report, sc_adversary)
-        .map_err(|e| Rejection::in_subprotocol("residual-sum-check", e))?;
+    let sum = drive_sumcheck(
+        &mut prover,
+        &mut core,
+        expected_final,
+        &mut report,
+        sc_adversary,
+    )
+    .map_err(|e| Rejection::in_subprotocol("residual-sum-check", e))?;
 
     // --- Step 4: combine. ----------------------------------------------
     let h0 = F::from_u64(h(0));
@@ -305,8 +309,7 @@ mod tests {
         let stream = workloads::zipf(2_000, 1 << log_u, 1.1, 4);
         let fv = FrequencyVector::from_stream(1 << log_u, &stream);
         for k in [1u64, 2, 3, 7] {
-            let got =
-                run_inverse_distribution::<Fp61, _>(log_u, &stream, k, 16, &mut rng).unwrap();
+            let got = run_inverse_distribution::<Fp61, _>(log_u, &stream, k, 16, &mut rng).unwrap();
             assert_eq!(
                 got.value,
                 Fp61::from_u64(fv.inverse_distribution(k as i64)),
@@ -335,8 +338,7 @@ mod tests {
         let fv = FrequencyVector::from_stream(1 << log_u, &stream);
         let t = 64u64;
         assert!(fv.fmax() < t as i64);
-        let got =
-            run_frequency_fn::<Fp61, _>(log_u, &stream, &|x| x * x * x, t, &mut rng).unwrap();
+        let got = run_frequency_fn::<Fp61, _>(log_u, &stream, &|x| x * x * x, t, &mut rng).unwrap();
         assert_eq!(got.value, Fp61::from_u128(fv.frequency_moment(3) as u128));
     }
 
@@ -381,7 +383,13 @@ mod tests {
             None,
             Some(&mut adv),
         );
-        assert!(matches!(res, Err(Rejection::SubProtocol { name: "residual-sum-check", .. })));
+        assert!(matches!(
+            res,
+            Err(Rejection::SubProtocol {
+                name: "residual-sum-check",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -404,7 +412,13 @@ mod tests {
             Some(&mut adv),
             None,
         );
-        assert!(matches!(res, Err(Rejection::SubProtocol { name: "heavy-hitters", .. })));
+        assert!(matches!(
+            res,
+            Err(Rejection::SubProtocol {
+                name: "heavy-hitters",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -141,6 +141,18 @@ pub struct LevelDisclosure<F> {
     pub nodes: Vec<DisclosedNode<F>>,
 }
 
+impl<F> LevelDisclosure<F> {
+    /// Communication words this disclosure costs: index and count per node,
+    /// plus the optional witness hash. This is *the* accounting formula —
+    /// every cost report (local, remote client, remote server) uses it.
+    pub fn words(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| 2 + n.hash.is_some() as usize)
+            .sum()
+    }
+}
+
 /// What the verifier does after ingesting a level.
 #[derive(Clone, Debug)]
 pub enum HhStep<F> {
@@ -212,7 +224,10 @@ impl<F: PrimeField> HhSession<F> {
 
     /// Ingests the disclosure for the next level (starting at level 0).
     pub fn receive_level(&mut self, disc: &LevelDisclosure<F>) -> Result<HhStep<F>, Rejection> {
-        assert!(!self.trivially_empty(), "no interaction needed: n < threshold");
+        assert!(
+            !self.trivially_empty(),
+            "no interaction needed: n < threshold"
+        );
         let level = self.next_level;
         assert!(level < self.d, "all levels already processed");
         if disc.level != level {
@@ -288,9 +303,7 @@ impl<F: PrimeField> HhSession<F> {
                 Some(&(c, _)) if c >= self.threshold => {}
                 _ => {
                     return Err(Rejection::StructuralCheckFailed {
-                        detail: format!(
-                            "level {level}: parent of node {i} missing or light"
-                        ),
+                        detail: format!("level {level}: parent of node {i} missing or light"),
                     })
                 }
             }
@@ -318,8 +331,7 @@ impl<F: PrimeField> HhSession<F> {
             });
         }
         let d = self.d as usize;
-        let root =
-            hl + self.keys[d - 1] * hr + self.skeys[d - 1] * F::from_u64(self.n);
+        let root = hl + self.keys[d - 1] * hr + self.skeys[d - 1] * F::from_u64(self.n);
         if root != self.streamed_root {
             return Err(Rejection::RootMismatch);
         }
@@ -415,8 +427,7 @@ impl<F: PrimeField> HhProver<F> {
         let next_counts = &self.counts[level as usize];
         let mut next_hashes: Vec<(u64, F)> = Vec::with_capacity(next_counts.len());
         for &(i, c) in next_counts {
-            let h =
-                self.hash_at(2 * i) + r * self.hash_at(2 * i + 1) + s * F::from_u64(c);
+            let h = self.hash_at(2 * i) + r * self.hash_at(2 * i + 1) + s * F::from_u64(c);
             next_hashes.push((i, h));
         }
         self.hashes = next_hashes;
@@ -480,11 +491,7 @@ pub fn run_heavy_hitters_with_adversary<F: PrimeField, R: Rng + ?Sized>(
             adv(disc.level, &mut disc);
         }
         report.rounds += 1;
-        report.p_to_v_words += disc
-            .nodes
-            .iter()
-            .map(|n| 2 + n.hash.is_some() as usize)
-            .sum::<usize>();
+        report.p_to_v_words += disc.words();
         match session.receive_level(&disc)? {
             HhStep::RevealKeys { level, r, s } => {
                 report.v_to_p_words += 2;
@@ -523,8 +530,7 @@ mod tests {
         let n: i64 = stream.iter().map(|up| up.delta).sum();
         for phi_inv in [10u64, 50, 200] {
             let threshold = (n as u64 / phi_inv).max(1);
-            let got =
-                run_heavy_hitters::<Fp61, _>(log_u, &stream, threshold, &mut rng).unwrap();
+            let got = run_heavy_hitters::<Fp61, _>(log_u, &stream, threshold, &mut rng).unwrap();
             assert_eq!(got.items, truth(&stream, u, threshold), "1/φ = {phi_inv}");
         }
     }
@@ -553,7 +559,10 @@ mod tests {
         let mut stream = vec![Update::new(42, 1000)];
         stream.extend(workloads::distinct_keys(50, 1 << 8, 5));
         let got = run_heavy_hitters::<Fp61, _>(8, &stream, 500, &mut rng).unwrap();
-        assert_eq!(got.items, vec![(42, if got.items[0].1 == 1001 { 1001 } else { 1000 })]);
+        assert_eq!(
+            got.items,
+            vec![(42, if got.items[0].1 == 1001 { 1001 } else { 1000 })]
+        );
     }
 
     #[test]
@@ -562,10 +571,8 @@ mod tests {
         let log_u = 12;
         let stream = workloads::zipf(50_000, 1 << log_u, 1.1, 6);
         let n: u64 = stream.iter().map(|up| up.delta as u64).sum();
-        let coarse =
-            run_heavy_hitters::<Fp61, _>(log_u, &stream, n / 5, &mut rng).unwrap();
-        let fine =
-            run_heavy_hitters::<Fp61, _>(log_u, &stream, n / 500, &mut rng).unwrap();
+        let coarse = run_heavy_hitters::<Fp61, _>(log_u, &stream, n / 5, &mut rng).unwrap();
+        let fine = run_heavy_hitters::<Fp61, _>(log_u, &stream, n / 500, &mut rng).unwrap();
         assert!(coarse.report.p_to_v_words < fine.report.p_to_v_words);
         // Proof stays within the O(1/φ · log u) envelope (constant ≤ 6).
         assert!(
@@ -647,7 +654,10 @@ mod tests {
             // Levels without witnesses leave the disclosure untouched.
             if let Err(e) = res {
                 assert!(
-                    matches!(e, Rejection::RootMismatch | Rejection::StructuralCheckFailed { .. }),
+                    matches!(
+                        e,
+                        Rejection::RootMismatch | Rejection::StructuralCheckFailed { .. }
+                    ),
                     "level={bad_level}: {e:?}"
                 );
             }

@@ -48,5 +48,7 @@ pub mod reporting;
 pub mod subvector;
 pub mod sumcheck;
 
-pub use channel::CostReport;
+pub use channel::{
+    CostReport, FramedTcpTransport, InMemoryTransport, Transport, TransportError, TransportStats,
+};
 pub use error::Rejection;

@@ -96,11 +96,7 @@ impl<F: PrimeField> OneRoundF2Verifier<F> {
             });
         }
         // g(r₁) must equal Σ_j w[j]² = Σ_j f_a(r₁, j)².
-        let check = self
-            .w
-            .iter()
-            .map(|&wj| wj * wj)
-            .fold(F::ZERO, |a, b| a + b);
+        let check = self.w.iter().map(|&wj| wj * wj).fold(F::ZERO, |a, b| a + b);
         if eval_from_grid_evals(proof, self.r1) != check {
             return Err(Rejection::FinalCheckFailed);
         }
@@ -250,12 +246,8 @@ mod tests {
             let mut adv = |proof: &mut Vec<Fp61>| {
                 proof[slot] += Fp61::ONE;
             };
-            let res = run_one_round_f2_with_adversary::<Fp61, _>(
-                8,
-                &stream,
-                &mut rng,
-                Some(&mut adv),
-            );
+            let res =
+                run_one_round_f2_with_adversary::<Fp61, _>(8, &stream, &mut rng, Some(&mut adv));
             assert!(res.is_err(), "slot={slot}");
         }
     }
@@ -267,8 +259,7 @@ mod tests {
         let mut adv = |proof: &mut Vec<Fp61>| {
             proof.pop();
         };
-        let res =
-            run_one_round_f2_with_adversary::<Fp61, _>(6, &stream, &mut rng, Some(&mut adv));
+        let res = run_one_round_f2_with_adversary::<Fp61, _>(6, &stream, &mut rng, Some(&mut adv));
         assert!(matches!(res, Err(Rejection::WrongMessageLength { .. })));
     }
 

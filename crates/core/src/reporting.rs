@@ -58,11 +58,7 @@ pub fn run_index<F: PrimeField, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<VerifiedValue<F>, Rejection> {
     let got = run_subvector::<F, R>(log_u, stream, q, q, rng)?;
-    let value = got
-        .entries
-        .first()
-        .map(|&(_, v)| v)
-        .unwrap_or(F::ZERO);
+    let value = got.entries.first().map(|&(_, v)| v).unwrap_or(F::ZERO);
     Ok(VerifiedValue {
         value,
         report: got.report,
@@ -360,19 +356,16 @@ mod tests {
         let stream = [Update::insert(0), Update::insert(10), Update::insert(20)];
         // True predecessor of 15 is 10.
         // Lie 1: claim 0 (skipping 10) — the gap [0, 15] contains 10.
-        let res =
-            run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(0), &mut rng);
+        let res = run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(0), &mut rng);
         assert!(matches!(res, Err(Rejection::StructuralCheckFailed { .. })));
         // Lie 2: claim 12 (absent key) — [12, 15] contains nothing at 12.
-        let res =
-            run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(12), &mut rng);
+        let res = run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(12), &mut rng);
         assert!(matches!(res, Err(Rejection::StructuralCheckFailed { .. })));
         // Lie 3: claim none — [0, 15] is not empty.
         let res = run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, None, &mut rng);
         assert!(matches!(res, Err(Rejection::StructuralCheckFailed { .. })));
         // Lie 4: claim beyond the query.
-        let res =
-            run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(20), &mut rng);
+        let res = run_predecessor_with_claim::<Fp61, _>(6, &stream, 15, Some(20), &mut rng);
         assert!(matches!(res, Err(Rejection::StructuralCheckFailed { .. })));
     }
 

@@ -166,7 +166,10 @@ mod tests {
             hasher.update(Update::new(i, f));
         }
         assert_eq!(hasher.root(), Fp61::from_u64(34));
-        assert_eq!(explicit_root(&fv, &keys, HashKind::Affine), Fp61::from_u64(34));
+        assert_eq!(
+            explicit_root(&fv, &keys, HashKind::Affine),
+            Fp61::from_u64(34)
+        );
     }
 
     #[test]
@@ -196,10 +199,7 @@ mod tests {
         let mut hasher =
             StreamingRootHasher::<Fp61>::random(log_u, HashKind::Multilinear, &mut rng);
         hasher.update_all(&stream);
-        let mut lde = StreamingLdeEvaluator::new(
-            LdeParams::binary(log_u),
-            hasher.keys().to_vec(),
-        );
+        let mut lde = StreamingLdeEvaluator::new(LdeParams::binary(log_u), hasher.keys().to_vec());
         lde.update_all(&stream);
         assert_eq!(hasher.root(), lde.value());
     }

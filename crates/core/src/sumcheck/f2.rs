@@ -227,8 +227,7 @@ mod tests {
                         msg[slot] += Fp61::from_u64(1);
                     }
                 };
-                let res =
-                    run_f2_with_adversary::<Fp61, _>(6, &stream, &mut rng, Some(&mut adv));
+                let res = run_f2_with_adversary::<Fp61, _>(6, &stream, &mut rng, Some(&mut adv));
                 assert!(res.is_err(), "round={round} slot={slot} accepted!");
             }
         }

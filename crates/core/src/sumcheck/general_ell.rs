@@ -54,7 +54,10 @@ impl<F: PrimeField> GeneralF2Verifier<F> {
     }
 
     /// Runs the verification conversation against an honest prover.
-    pub fn verify(self, prover: &mut GeneralF2Prover<F>) -> Result<VerifiedAggregate<F>, Rejection> {
+    pub fn verify(
+        self,
+        prover: &mut GeneralF2Prover<F>,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
         let params = self.lde.params();
         let ell = params.base();
         let d = params.dimension() as usize;

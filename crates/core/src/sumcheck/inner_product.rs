@@ -194,10 +194,18 @@ mod tests {
         let sb = workloads::uniform(250, 1 << log_u, 10, 6);
         let mut sab = sa.clone();
         sab.extend_from_slice(&sb);
-        let f2a = super::super::f2::run_f2::<Fp61, _>(log_u, &sa, &mut rng).unwrap().value;
-        let f2b = super::super::f2::run_f2::<Fp61, _>(log_u, &sb, &mut rng).unwrap().value;
-        let f2ab = super::super::f2::run_f2::<Fp61, _>(log_u, &sab, &mut rng).unwrap().value;
-        let ip = run_inner_product::<Fp61, _>(log_u, &sa, &sb, &mut rng).unwrap().value;
+        let f2a = super::super::f2::run_f2::<Fp61, _>(log_u, &sa, &mut rng)
+            .unwrap()
+            .value;
+        let f2b = super::super::f2::run_f2::<Fp61, _>(log_u, &sb, &mut rng)
+            .unwrap()
+            .value;
+        let f2ab = super::super::f2::run_f2::<Fp61, _>(log_u, &sab, &mut rng)
+            .unwrap()
+            .value;
+        let ip = run_inner_product::<Fp61, _>(log_u, &sa, &sb, &mut rng)
+            .unwrap()
+            .value;
         assert_eq!(f2ab, f2a + f2b + ip + ip);
     }
 
@@ -211,13 +219,8 @@ mod tests {
                 msg[1] = msg[1] + msg[1]; // double one evaluation
             }
         };
-        let res = run_inner_product_with_adversary::<Fp61, _>(
-            6,
-            &sa,
-            &sb,
-            &mut rng,
-            Some(&mut adv),
-        );
+        let res =
+            run_inner_product_with_adversary::<Fp61, _>(6, &sa, &sb, &mut rng, Some(&mut adv));
         assert!(res.is_err());
     }
 }

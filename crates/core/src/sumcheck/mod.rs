@@ -84,7 +84,10 @@ impl<F: PrimeField> SumCheckVerifierCore<F> {
     /// Returns the challenge to forward to the prover, or `None` after the
     /// last round (`r_d` stays secret).
     pub fn receive(&mut self, evals: &[F]) -> Result<Option<F>, Rejection> {
-        assert!(self.round < self.point.len(), "all rounds already processed");
+        assert!(
+            self.round < self.point.len(),
+            "all rounds already processed"
+        );
         let round = self.round + 1;
         if evals.len() != self.degree + 1 {
             return Err(Rejection::WrongMessageLength {
@@ -160,7 +163,11 @@ pub fn drive_sumcheck<F: PrimeField>(
     report: &mut CostReport,
     mut adversary: Option<Adversary<'_, F>>,
 ) -> Result<F, Rejection> {
-    assert_eq!(prover.rounds(), core.rounds(), "prover/verifier disagree on d");
+    assert_eq!(
+        prover.rounds(),
+        core.rounds(),
+        "prover/verifier disagree on d"
+    );
     for round in 1..=core.rounds() {
         let mut msg = prover.message();
         if let Some(adv) = adversary.as_mut() {
@@ -189,7 +196,14 @@ mod tests {
     fn rejects_wrong_length() {
         let mut core = SumCheckVerifierCore::new(vec![f(5), f(9)], 2);
         let err = core.receive(&[f(1), f(2)]).unwrap_err();
-        assert!(matches!(err, Rejection::WrongMessageLength { round: 1, expected: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            Rejection::WrongMessageLength {
+                round: 1,
+                expected: 3,
+                got: 2
+            }
+        ));
     }
 
     #[test]
@@ -208,7 +222,10 @@ mod tests {
         let ch = core.receive(&[f(11), f(13)]).unwrap();
         assert_eq!(ch, None, "r_d must stay secret");
         assert_eq!(core.finalize(f(17)).unwrap(), f(10));
-        assert!(matches!(core.finalize(f(18)), Err(Rejection::FinalCheckFailed)));
+        assert!(matches!(
+            core.finalize(f(18)),
+            Err(Rejection::FinalCheckFailed)
+        ));
     }
 
     #[test]

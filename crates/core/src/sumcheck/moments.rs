@@ -198,10 +198,13 @@ mod tests {
         let stream = workloads::with_deletions(500, 1 << 7, 0.3, 4);
         let fv = FrequencyVector::from_stream(1 << 7, &stream);
         let got = run_moment::<Fp61, _>(3, 7, &stream, &mut rng).unwrap();
-        assert_eq!(got.value, Fp61::from_i64(0) + {
-            // F3 with nonnegative counts here
-            Fp61::from_u128(fv.frequency_moment(3) as u128)
-        });
+        assert_eq!(
+            got.value,
+            Fp61::from_i64(0) + {
+                // F3 with nonnegative counts here
+                Fp61::from_u128(fv.frequency_moment(3) as u128)
+            }
+        );
     }
 
     #[test]
@@ -223,14 +226,8 @@ mod tests {
                     msg[0] += Fp61::ONE;
                 }
             };
-            let err = run_moment_with_adversary::<Fp61, _>(
-                2,
-                8,
-                &stream,
-                &mut rng,
-                Some(&mut adv),
-            )
-            .unwrap_err();
+            let err = run_moment_with_adversary::<Fp61, _>(2, 8, &stream, &mut rng, Some(&mut adv))
+                .unwrap_err();
             match err {
                 // Corrupting evaluation slot 0 perturbs the grid sum, so the
                 // round's own consistency check trips — except in round 1,
@@ -257,9 +254,8 @@ mod tests {
                 }
             }
         };
-        let err =
-            run_moment_with_adversary::<Fp61, _>(2, 8, &stream, &mut rng, Some(&mut adv))
-                .unwrap_err();
+        let err = run_moment_with_adversary::<Fp61, _>(2, 8, &stream, &mut rng, Some(&mut adv))
+            .unwrap_err();
         assert!(matches!(
             err,
             Rejection::RoundSumMismatch { .. } | Rejection::FinalCheckFailed

@@ -103,7 +103,13 @@ impl<F: PrimeField> RangeSumProver<F> {
     /// The indicator's fold value at table slot `t` after `j` bound
     /// variables: the weighted measure of the range inside block `t`.
     fn b_fold(&self, t: u64) -> F {
-        block_range_weight(self.q_l, self.q_r, &self.challenges, self.challenges.len(), t)
+        block_range_weight(
+            self.q_l,
+            self.q_r,
+            &self.challenges,
+            self.challenges.len(),
+            t,
+        )
     }
 }
 

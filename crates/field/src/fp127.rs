@@ -34,10 +34,7 @@ fn mul_wide(a: u128, b: u128) -> (u128, u128) {
     let hh = a1 * b1;
     let (mid, mid_carry) = lh.overflowing_add(hl);
     let (lo, lo_carry) = ll.overflowing_add(mid << 64);
-    let hi = hh
-        + (mid >> 64)
-        + ((mid_carry as u128) << 64)
-        + lo_carry as u128;
+    let hi = hh + (mid >> 64) + ((mid_carry as u128) << 64) + lo_carry as u128;
     (hi, lo)
 }
 
@@ -59,7 +56,11 @@ impl Fp127 {
     #[inline]
     pub const fn reduce128(x: u128) -> Self {
         let folded = (x & P127) + (x >> 127);
-        let r = if folded >= P127 { folded - P127 } else { folded };
+        let r = if folded >= P127 {
+            folded - P127
+        } else {
+            folded
+        };
         Fp127(r)
     }
 

@@ -44,7 +44,9 @@ pub fn chi<F: PrimeField>(k: u64, ell: u64, x: F) -> F {
         num *= x - jf;
         den *= kf - jf;
     }
-    num * den.inverse().expect("grid points are distinct, denominator nonzero")
+    num * den
+        .inverse()
+        .expect("grid points are distinct, denominator nonzero")
 }
 
 /// Evaluates *all* `ℓ` basis polynomials over `[ℓ]` at `x`, in `O(ℓ)` time.
@@ -174,9 +176,7 @@ mod tests {
     #[test]
     fn eval_from_grid_recovers_polynomial() {
         // Take g(x) = 3x^3 + x + 7, tabulate on {0..3}, evaluate at random x.
-        let g = |x: Fp61| {
-            Fp61::from_u64(3) * x * x * x + x + Fp61::from_u64(7)
-        };
+        let g = |x: Fp61| Fp61::from_u64(3) * x * x * x + x + Fp61::from_u64(7);
         let evals: Vec<Fp61> = (0..4).map(|j| g(Fp61::from_u64(j))).collect();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..50 {
@@ -206,12 +206,7 @@ mod tests {
         for deg in 0..10usize {
             // random coefficients
             let coeffs: Vec<Fp61> = (0..=deg).map(|_| Fp61::random(&mut rng)).collect();
-            let eval = |x: Fp61| {
-                coeffs
-                    .iter()
-                    .rev()
-                    .fold(Fp61::ZERO, |acc, &c| acc * x + c)
-            };
+            let eval = |x: Fp61| coeffs.iter().rev().fold(Fp61::ZERO, |acc, &c| acc * x + c);
             let evals: Vec<Fp61> = (0..=deg as u64).map(|j| eval(Fp61::from_u64(j))).collect();
             let x = Fp61::from_u64(rng.random_range(1000..2000));
             assert_eq!(eval_from_grid_evals(&evals, x), eval(x), "deg={deg}");

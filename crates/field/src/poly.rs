@@ -245,10 +245,9 @@ mod tests {
     fn scale_and_grid() {
         let p = poly(&[1, 1]); // x + 1
         let s = p.scale(Fp61::from_u64(4)); // 4x + 4
-        assert_eq!(s.evaluate_on_grid(3), vec![
-            Fp61::from_u64(4),
-            Fp61::from_u64(8),
-            Fp61::from_u64(12)
-        ]);
+        assert_eq!(
+            s.evaluate_on_grid(3),
+            vec![Fp61::from_u64(4), Fp61::from_u64(8), Fp61::from_u64(12)]
+        );
     }
 }

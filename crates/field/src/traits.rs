@@ -164,12 +164,7 @@ mod tests {
 
     #[test]
     fn batch_inverse_skips_zeros() {
-        let mut vals = vec![
-            Fp61::from_u64(3),
-            Fp61::ZERO,
-            Fp61::from_u64(7),
-            Fp61::ZERO,
-        ];
+        let mut vals = vec![Fp61::from_u64(3), Fp61::ZERO, Fp61::from_u64(7), Fp61::ZERO];
         batch_inverse(&mut vals);
         assert_eq!(vals[0], Fp61::from_u64(3).inverse().unwrap());
         assert_eq!(vals[1], Fp61::ZERO);
@@ -188,7 +183,10 @@ mod tests {
     fn from_i64_negative() {
         assert_eq!(Fp61::from_i64(-1) + Fp61::ONE, Fp61::ZERO);
         assert_eq!(Fp61::from_i64(-5) + Fp61::from_i64(5), Fp61::ZERO);
-        assert_eq!(Fp61::from_i64(i64::MIN) + Fp61::from_u64(1 << 63), Fp61::ZERO);
+        assert_eq!(
+            Fp61::from_i64(i64::MIN) + Fp61::from_u64(1 << 63),
+            Fp61::ZERO
+        );
     }
 
     #[test]

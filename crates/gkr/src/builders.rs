@@ -11,7 +11,11 @@ use crate::circuit::{Circuit, Gate, GateOp, Layer, LayerKind};
 fn square_layer(log_width: u32) -> Layer {
     Layer {
         gates: (0..(1u64 << log_width))
-            .map(|g| Gate { op: GateOp::Mul, left: g, right: g })
+            .map(|g| Gate {
+                op: GateOp::Mul,
+                left: g,
+                right: g,
+            })
             .collect(),
         kind: LayerKind::Square,
     }
@@ -21,7 +25,11 @@ fn sum_tree_layer(log_width: u32) -> Layer {
     // width 2^log_width, reading a previous layer of width 2^{log_width+1}
     Layer {
         gates: (0..(1u64 << log_width))
-            .map(|g| Gate { op: GateOp::Add, left: 2 * g, right: 2 * g + 1 })
+            .map(|g| Gate {
+                op: GateOp::Add,
+                left: 2 * g,
+                right: 2 * g + 1,
+            })
             .collect(),
         kind: LayerKind::SumTree,
     }
@@ -32,7 +40,11 @@ fn pairwise_mul_layer(log_width: u32) -> Layer {
     let half = 1u64 << log_width;
     Layer {
         gates: (0..half)
-            .map(|g| Gate { op: GateOp::Mul, left: g, right: g + half })
+            .map(|g| Gate {
+                op: GateOp::Mul,
+                left: g,
+                right: g + half,
+            })
             .collect(),
         kind: LayerKind::PairwiseMulHalves,
     }

@@ -165,13 +165,25 @@ mod tests {
             layers: vec![
                 Layer {
                     gates: vec![
-                        Gate { op: GateOp::Add, left: 0, right: 1 },
-                        Gate { op: GateOp::Add, left: 2, right: 3 },
+                        Gate {
+                            op: GateOp::Add,
+                            left: 0,
+                            right: 1,
+                        },
+                        Gate {
+                            op: GateOp::Add,
+                            left: 2,
+                            right: 3,
+                        },
                     ],
                     kind: LayerKind::SumTree,
                 },
                 Layer {
-                    gates: vec![Gate { op: GateOp::Mul, left: 0, right: 1 }],
+                    gates: vec![Gate {
+                        op: GateOp::Mul,
+                        left: 0,
+                        right: 1,
+                    }],
                     kind: LayerKind::Irregular,
                 },
             ],
@@ -189,7 +201,11 @@ mod tests {
         let circuit = Circuit {
             log_input: 1,
             layers: vec![Layer {
-                gates: vec![Gate { op: GateOp::Add, left: 0, right: 2 }],
+                gates: vec![Gate {
+                    op: GateOp::Add,
+                    left: 0,
+                    right: 2,
+                }],
                 kind: LayerKind::Irregular,
             }],
         };

@@ -64,8 +64,7 @@ pub fn wiring_eval<F: PrimeField>(layer: &Layer, z: &[F], x: &[F], y: &[F]) -> (
             debug_assert_eq!(z.len(), x.len());
             let mut m = F::ONE;
             for j in 0..z.len() {
-                m *= z[j] * x[j] * y[j]
-                    + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
+                m *= z[j] * x[j] * y[j] + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
             }
             (F::ZERO, m)
         }
@@ -86,8 +85,7 @@ pub fn wiring_eval<F: PrimeField>(layer: &Layer, z: &[F], x: &[F], y: &[F]) -> (
             let top = x.len() - 1;
             let mut m = (F::ONE - x[top]) * y[top];
             for j in 0..z.len() {
-                m *= z[j] * x[j] * y[j]
-                    + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
+                m *= z[j] * x[j] * y[j] + (F::ONE - z[j]) * (F::ONE - x[j]) * (F::ONE - y[j]);
             }
             (F::ZERO, m)
         }
@@ -147,44 +145,74 @@ mod tests {
         // Square layer of width 8.
         let square = Layer {
             gates: (0..8)
-                .map(|g| Gate { op: GateOp::Mul, left: g, right: g })
+                .map(|g| Gate {
+                    op: GateOp::Mul,
+                    left: g,
+                    right: g,
+                })
                 .collect(),
             kind: LayerKind::Square,
         };
-        let generic = Layer { kind: LayerKind::Irregular, ..square.clone() };
+        let generic = Layer {
+            kind: LayerKind::Irregular,
+            ..square.clone()
+        };
         for _ in 0..5 {
             let z = rand_point(&mut rng, 3);
             let x = rand_point(&mut rng, 3);
             let y = rand_point(&mut rng, 3);
-            assert_eq!(wiring_eval(&square, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+            assert_eq!(
+                wiring_eval(&square, &z, &x, &y),
+                wiring_eval(&generic, &z, &x, &y)
+            );
         }
         // Sum-tree layer 8 → 4.
         let tree = Layer {
             gates: (0..4)
-                .map(|g| Gate { op: GateOp::Add, left: 2 * g, right: 2 * g + 1 })
+                .map(|g| Gate {
+                    op: GateOp::Add,
+                    left: 2 * g,
+                    right: 2 * g + 1,
+                })
                 .collect(),
             kind: LayerKind::SumTree,
         };
-        let generic = Layer { kind: LayerKind::Irregular, ..tree.clone() };
+        let generic = Layer {
+            kind: LayerKind::Irregular,
+            ..tree.clone()
+        };
         for _ in 0..5 {
             let z = rand_point(&mut rng, 2);
             let x = rand_point(&mut rng, 3);
             let y = rand_point(&mut rng, 3);
-            assert_eq!(wiring_eval(&tree, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+            assert_eq!(
+                wiring_eval(&tree, &z, &x, &y),
+                wiring_eval(&generic, &z, &x, &y)
+            );
         }
         // Pairwise-mul layer 8 → 4.
         let pair = Layer {
             gates: (0..4)
-                .map(|g| Gate { op: GateOp::Mul, left: g, right: g + 4 })
+                .map(|g| Gate {
+                    op: GateOp::Mul,
+                    left: g,
+                    right: g + 4,
+                })
                 .collect(),
             kind: LayerKind::PairwiseMulHalves,
         };
-        let generic = Layer { kind: LayerKind::Irregular, ..pair.clone() };
+        let generic = Layer {
+            kind: LayerKind::Irregular,
+            ..pair.clone()
+        };
         for _ in 0..5 {
             let z = rand_point(&mut rng, 2);
             let x = rand_point(&mut rng, 3);
             let y = rand_point(&mut rng, 3);
-            assert_eq!(wiring_eval(&pair, &z, &x, &y), wiring_eval(&generic, &z, &x, &y));
+            assert_eq!(
+                wiring_eval(&pair, &z, &x, &y),
+                wiring_eval(&generic, &z, &x, &y)
+            );
         }
     }
 
@@ -203,7 +231,10 @@ mod tests {
                 if layer.kind == LayerKind::Irregular {
                     continue;
                 }
-                let generic = Layer { kind: LayerKind::Irregular, ..layer.clone() };
+                let generic = Layer {
+                    kind: LayerKind::Irregular,
+                    ..layer.clone()
+                };
                 let zl = layer.log_width() as usize;
                 let xl = (zl + 1).min(64);
                 // x/y length = previous layer log-width; derive from gates.

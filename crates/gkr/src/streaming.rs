@@ -78,9 +78,7 @@ pub fn run_streaming_gkr_with_adversary<F: PrimeField, R: Rng + ?Sized>(
 
     // --- The prover materialises the input and evaluates the circuit. ---
     let fv = FrequencyVector::from_stream(1u64 << circuit.log_input, stream);
-    let input: Vec<F> = (0..fv.universe())
-        .map(|i| F::from_i64(fv.get(i)))
-        .collect();
+    let input: Vec<F> = (0..fv.universe()).map(|i| F::from_i64(fv.get(i))).collect();
     let prover = GkrProver::new(circuit, &input);
 
     // --- Interactive phase. ----------------------------------------------
@@ -128,8 +126,7 @@ mod tests {
         let stream = workloads::paper_f2(1 << log_n, 2);
         let fv = FrequencyVector::from_stream(1 << log_n, &stream);
         let circuit = builders::f2_circuit(log_n);
-        let (outputs, report) =
-            run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng).unwrap();
+        let (outputs, report) = run_streaming_gkr::<Fp61, _>(&circuit, &stream, &mut rng).unwrap();
         assert_eq!(outputs, vec![Fp61::from_u128(fv.self_join_size() as u128)]);
         assert!(report.rounds > 0);
     }

@@ -72,48 +72,54 @@ impl Default for QueryBudget {
 }
 
 /// The server-side state of one in-flight reporting query.
+///
+/// Every method is fallible: a *remote* session (`sip-server`) surfaces
+/// transport and decode failures as [`Rejection`]s, so the client treats a
+/// lying network exactly like a lying prover. Honest in-process sessions
+/// never fail.
 pub trait ReportingSession<F: PrimeField> {
     /// The claimed sub-vector answer.
-    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F>;
+    fn answer(&mut self, q_l: u64, q_r: u64) -> Result<SubVectorAnswer<F>, Rejection>;
     /// One protocol round.
-    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F>;
+    fn round(&mut self, req: &RoundRequest<F>) -> Result<RoundReply<F>, Rejection>;
 }
 
 /// The server-side state of one in-flight sum-check-style query.
 pub trait SumCheckSession<F: PrimeField> {
     /// The round polynomial.
-    fn message(&mut self) -> Vec<F>;
+    fn message(&mut self) -> Result<Vec<F>, Rejection>;
     /// Bind the revealed challenge.
-    fn bind(&mut self, r: F);
+    fn bind(&mut self, r: F) -> Result<(), Rejection>;
 }
 
 /// The server-side state of one in-flight heavy-hitters query.
 pub trait HeavySession<F: PrimeField> {
     /// The next level disclosure.
-    fn disclose(&self) -> LevelDisclosure<F>;
+    fn disclose(&mut self) -> Result<LevelDisclosure<F>, Rejection>;
     /// Receive the revealed level keys.
-    fn keys(&mut self, level: u32, r: F, s: F);
+    fn keys(&mut self, level: u32, r: F, s: F) -> Result<(), Rejection>;
 }
 
 /// What a key-value server must provide. [`CloudStore`] is the honest
-/// implementation; [`MaliciousStore`] decorates it with lies.
+/// implementation; [`MaliciousStore`] decorates it with lies, and
+/// `sip-server`'s remote store speaks the same trait over a socket.
 pub trait KvServer<F: PrimeField> {
     /// Ingests one uploaded pair (already encoded as a stream update).
     fn ingest(&mut self, up: Update);
     /// Starts a reporting query over the `value+1` vector.
-    fn reporting(&self) -> Box<dyn ReportingSession<F>>;
+    fn reporting(&self) -> Box<dyn ReportingSession<F> + '_>;
     /// Starts a range-sum query over the `value+1` vector.
-    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>>;
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_>;
     /// Starts a range-count query (presence vector).
-    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>>;
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_>;
     /// Starts a self-join-size query over the raw value vector.
-    fn self_join(&self) -> Box<dyn SumCheckSession<F>>;
+    fn self_join(&self) -> Box<dyn SumCheckSession<F> + '_>;
     /// Starts a heavy-keys query over the `value+1` vector.
-    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>>;
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_>;
     /// The claimed predecessor of `q` (a *claim*, verified by the client).
-    fn claim_predecessor(&self, q: u64) -> Option<u64>;
+    fn claim_predecessor(&self, q: u64) -> Result<Option<u64>, Rejection>;
     /// The claimed successor of `q`.
-    fn claim_successor(&self, q: u64) -> Option<u64>;
+    fn claim_successor(&self, q: u64) -> Result<Option<u64>, Rejection>;
 }
 
 // ---------------------------------------------------------------------
@@ -145,10 +151,48 @@ impl<F: PrimeField> CloudStore<F> {
         }
     }
 
+    /// An empty store with sparse vectors regardless of universe size:
+    /// memory proportional to the keys actually stored, not to `2^log_u`.
+    /// This is what a server should use when `log_u` is chosen by an
+    /// untrusted client — three dense vectors at `log_u = 22` cost ~100 MB
+    /// before a single put arrives.
+    pub fn new_sparse(log_u: u32) -> Self {
+        let u = 1u64 << log_u;
+        CloudStore {
+            log_u,
+            encoded: FrequencyVector::new_sparse(u),
+            presence: FrequencyVector::new_sparse(u),
+            raw: FrequencyVector::new_sparse(u),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
     /// Direct (unverified) lookup — what a trusting client would use.
     pub fn unverified_get(&self, key: u64) -> Option<u64> {
         let e = self.encoded.get(key);
         (e != 0).then(|| (e - 1) as u64)
+    }
+
+    /// Universe size exponent.
+    pub fn log_u(&self) -> u32 {
+        self.log_u
+    }
+
+    /// The `value + 1` vector (0 = absent) — what reporting, range-sum and
+    /// heavy-keys queries prove over. Exposed so out-of-process servers
+    /// (`sip-server`) can build the same provers this crate uses.
+    pub fn encoded_vector(&self) -> &FrequencyVector {
+        &self.encoded
+    }
+
+    /// The 0/1 presence vector (range-count queries).
+    pub fn presence_vector(&self) -> &FrequencyVector {
+        &self.presence
+    }
+
+    /// The raw value vector (self-join-size queries).
+    pub fn raw_vector(&self) -> &FrequencyVector {
+        &self.raw
     }
 }
 
@@ -157,11 +201,11 @@ struct HonestReporting<F: PrimeField> {
 }
 
 impl<F: PrimeField> ReportingSession<F> for HonestReporting<F> {
-    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F> {
-        self.prover.answer(q_l, q_r)
+    fn answer(&mut self, q_l: u64, q_r: u64) -> Result<SubVectorAnswer<F>, Rejection> {
+        Ok(self.prover.answer(q_l, q_r))
     }
-    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F> {
-        self.prover.process_round(req)
+    fn round(&mut self, req: &RoundRequest<F>) -> Result<RoundReply<F>, Rejection> {
+        Ok(self.prover.process_round(req))
     }
 }
 
@@ -170,11 +214,12 @@ struct HonestSumCheck<P> {
 }
 
 impl<F: PrimeField, P: RoundProver<F>> SumCheckSession<F> for HonestSumCheck<P> {
-    fn message(&mut self) -> Vec<F> {
-        self.prover.message()
+    fn message(&mut self) -> Result<Vec<F>, Rejection> {
+        Ok(self.prover.message())
     }
-    fn bind(&mut self, r: F) {
+    fn bind(&mut self, r: F) -> Result<(), Rejection> {
         self.prover.bind(r);
+        Ok(())
     }
 }
 
@@ -183,11 +228,12 @@ struct HonestHeavy<F: PrimeField> {
 }
 
 impl<F: PrimeField> HeavySession<F> for HonestHeavy<F> {
-    fn disclose(&self) -> LevelDisclosure<F> {
-        self.prover.disclose()
+    fn disclose(&mut self) -> Result<LevelDisclosure<F>, Rejection> {
+        Ok(self.prover.disclose())
     }
-    fn keys(&mut self, level: u32, r: F, s: F) {
+    fn keys(&mut self, level: u32, r: F, s: F) -> Result<(), Rejection> {
         self.prover.receive_keys(level, r, s);
+        Ok(())
     }
 }
 
@@ -198,42 +244,42 @@ impl<F: PrimeField> KvServer<F> for CloudStore<F> {
         self.raw.apply(Update::new(up.index, up.delta - 1));
     }
 
-    fn reporting(&self) -> Box<dyn ReportingSession<F>> {
+    fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
         Box::new(HonestReporting {
             prover: SubVectorProver::new(&self.encoded, self.log_u),
         })
     }
 
-    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(HonestSumCheck {
             prover: RangeSumProver::new(&self.encoded, self.log_u, q_l, q_r),
         })
     }
 
-    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(HonestSumCheck {
             prover: RangeSumProver::new(&self.presence, self.log_u, q_l, q_r),
         })
     }
 
-    fn self_join(&self) -> Box<dyn SumCheckSession<F>> {
+    fn self_join(&self) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(HonestSumCheck {
             prover: F2Prover::new(&self.raw, self.log_u),
         })
     }
 
-    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>> {
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_> {
         Box::new(HonestHeavy {
             prover: HhProver::new(&self.encoded, self.log_u, threshold),
         })
     }
 
-    fn claim_predecessor(&self, q: u64) -> Option<u64> {
-        self.encoded.predecessor(q)
+    fn claim_predecessor(&self, q: u64) -> Result<Option<u64>, Rejection> {
+        Ok(self.encoded.predecessor(q))
     }
 
-    fn claim_successor(&self, q: u64) -> Option<u64> {
-        self.encoded.successor(q)
+    fn claim_successor(&self, q: u64) -> Result<Option<u64>, Rejection> {
+        Ok(self.encoded.successor(q))
     }
 }
 
@@ -347,7 +393,7 @@ impl<F: PrimeField> Client<F> {
         let digest = self.take_reporting();
         let mut session = digest.into_session(q_l, q_r);
         let mut sp = server.reporting();
-        let answer = sp.answer(q_l, q_r);
+        let answer = sp.answer(q_l, q_r)?;
         let mut report = CostReport {
             v_to_p_words: 2,
             p_to_v_words: 2 * answer.entries.len(),
@@ -358,9 +404,8 @@ impl<F: PrimeField> Client<F> {
         while let Step::Request(req) = step {
             report.rounds += 1;
             report.v_to_p_words += 1;
-            let reply = sp.round(&req);
-            report.p_to_v_words +=
-                reply.left.is_some() as usize + reply.right.is_some() as usize;
+            let reply = sp.round(&req)?;
+            report.p_to_v_words += reply.left.is_some() as usize + reply.right.is_some() as usize;
             step = session.receive_reply(&req, &reply)?;
         }
         report.verifier_space_words = session.space_words();
@@ -377,10 +422,7 @@ impl<F: PrimeField> Client<F> {
         server: &dyn KvServer<F>,
     ) -> Result<Answer<Option<u64>>, Rejection> {
         let got = self.verified_range_raw(key, key, server)?;
-        let value = got
-            .value
-            .first()
-            .map(|&(_, v)| (v.to_u128() - 1) as u64);
+        let value = got.value.first().map(|&(_, v)| (v.to_u128() - 1) as u64);
         Ok(Answer {
             value,
             report: got.report,
@@ -413,7 +455,7 @@ impl<F: PrimeField> Client<F> {
         q: u64,
         server: &dyn KvServer<F>,
     ) -> Result<Answer<Option<u64>>, Rejection> {
-        let claim = server.claim_predecessor(q);
+        let claim = server.claim_predecessor(q)?;
         let (lo, hi) = match claim {
             Some(p) if p <= q => (p, q),
             Some(p) => {
@@ -453,7 +495,7 @@ impl<F: PrimeField> Client<F> {
         server: &dyn KvServer<F>,
     ) -> Result<Answer<Option<u64>>, Rejection> {
         let u = 1u64 << self.log_u;
-        let claim = server.claim_successor(q);
+        let claim = server.claim_successor(q)?;
         let (lo, hi) = match claim {
             Some(s) if s >= q && s < u => (q, s),
             Some(s) => {
@@ -490,34 +532,16 @@ impl<F: PrimeField> Client<F> {
     fn drive_aggregate(
         core: &mut sip_core::sumcheck::SumCheckVerifierCore<F>,
         expected: F,
-        mut session: Box<dyn SumCheckSession<F>>,
+        mut session: Box<dyn SumCheckSession<F> + '_>,
         report: &mut CostReport,
     ) -> Result<F, Rejection> {
-        struct Adapter<'a, F: PrimeField>(&'a mut dyn SumCheckSession<F>);
-        impl<F: PrimeField> RoundProver<F> for Adapter<'_, F> {
-            fn degree(&self) -> usize {
-                2
-            }
-            fn rounds(&self) -> usize {
-                0 // unused by drive_sumcheck beyond the assert below
-            }
-            fn message(&mut self) -> Vec<F> {
-                self.0.message()
-            }
-            fn bind(&mut self, r: F) {
-                self.0.bind(r);
-            }
-        }
-        // drive_sumcheck asserts prover.rounds() == core.rounds(); drive
-        // manually instead to keep the trait object simple.
-        let mut adapter = Adapter(session.as_mut());
         for _ in 0..core.rounds() {
-            let msg = adapter.message();
+            let msg = session.message()?;
             report.rounds += 1;
             report.p_to_v_words += msg.len();
             if let Some(ch) = core.receive(&msg)? {
                 report.v_to_p_words += 1;
-                adapter.bind(ch);
+                session.bind(ch)?;
             }
         }
         core.finalize(expected)
@@ -533,14 +557,8 @@ impl<F: PrimeField> Client<F> {
         q_r: u64,
         server: &dyn KvServer<F>,
     ) -> Result<Answer<u64>, Rejection> {
-        let sum_digest = self
-            .range_sums
-            .pop()
-            .expect("aggregate budget exhausted");
-        let count_digest = self
-            .range_counts
-            .pop()
-            .expect("aggregate budget exhausted");
+        let sum_digest = self.range_sums.pop().expect("aggregate budget exhausted");
+        let count_digest = self.range_counts.pop().expect("aggregate budget exhausted");
         let mut report = CostReport {
             v_to_p_words: 2,
             ..CostReport::default()
@@ -560,15 +578,11 @@ impl<F: PrimeField> Client<F> {
     }
 
     /// Verified self-join size `Σ value_k²` over all stored values.
-    pub fn self_join_size(
-        &mut self,
-        server: &dyn KvServer<F>,
-    ) -> Result<Answer<u64>, Rejection> {
+    pub fn self_join_size(&mut self, server: &dyn KvServer<F>) -> Result<Answer<u64>, Rejection> {
         let digest = self.f2s.pop().expect("aggregate budget exhausted");
         let mut report = CostReport::default();
         let (mut core, expected) = digest.into_session();
-        let value =
-            Self::drive_aggregate(&mut core, expected, server.self_join(), &mut report)?;
+        let value = Self::drive_aggregate(&mut core, expected, server.self_join(), &mut report)?;
         Ok(Answer {
             value: value.to_u128() as u64,
             report,
@@ -597,23 +611,16 @@ impl<F: PrimeField> Client<F> {
         }
         let mut sp = server.heavy(threshold);
         loop {
-            let disc = sp.disclose();
+            let disc = sp.disclose()?;
             report.rounds += 1;
-            report.p_to_v_words += disc
-                .nodes
-                .iter()
-                .map(|n| 2 + n.hash.is_some() as usize)
-                .sum::<usize>();
+            report.p_to_v_words += disc.words();
             match session.receive_level(&disc)? {
                 HhStep::RevealKeys { level, r, s } => {
                     report.v_to_p_words += 2;
-                    sp.keys(level, r, s);
+                    sp.keys(level, r, s)?;
                 }
                 HhStep::Accept(items) => {
-                    let value = items
-                        .into_iter()
-                        .map(|(k, enc)| (k, enc - 1))
-                        .collect();
+                    let value = items.into_iter().map(|(k, enc)| (k, enc - 1)).collect();
                     return Ok(Answer { value, report });
                 }
             }
@@ -653,14 +660,14 @@ impl<F: PrimeField> MaliciousStore<F> {
     }
 }
 
-struct LyingReporting<F: PrimeField> {
-    inner: Box<dyn ReportingSession<F>>,
+struct LyingReporting<'a, F: PrimeField> {
+    inner: Box<dyn ReportingSession<F> + 'a>,
     attack: Attack,
 }
 
-impl<F: PrimeField> ReportingSession<F> for LyingReporting<F> {
-    fn answer(&self, q_l: u64, q_r: u64) -> SubVectorAnswer<F> {
-        let mut ans = self.inner.answer(q_l, q_r);
+impl<F: PrimeField> ReportingSession<F> for LyingReporting<'_, F> {
+    fn answer(&mut self, q_l: u64, q_r: u64) -> Result<SubVectorAnswer<F>, Rejection> {
+        let mut ans = self.inner.answer(q_l, q_r)?;
         match self.attack {
             Attack::CorruptValues => {
                 for e in &mut ans.entries {
@@ -672,39 +679,39 @@ impl<F: PrimeField> ReportingSession<F> for LyingReporting<F> {
             }
             _ => {}
         }
-        ans
+        Ok(ans)
     }
-    fn round(&mut self, req: &RoundRequest<F>) -> RoundReply<F> {
+    fn round(&mut self, req: &RoundRequest<F>) -> Result<RoundReply<F>, Rejection> {
         self.inner.round(req)
     }
 }
 
-struct LyingSumCheck<F: PrimeField> {
-    inner: Box<dyn SumCheckSession<F>>,
+struct LyingSumCheck<'a, F: PrimeField> {
+    inner: Box<dyn SumCheckSession<F> + 'a>,
     attack: Attack,
 }
 
-impl<F: PrimeField> SumCheckSession<F> for LyingSumCheck<F> {
-    fn message(&mut self) -> Vec<F> {
-        let mut msg = self.inner.message();
+impl<F: PrimeField> SumCheckSession<F> for LyingSumCheck<'_, F> {
+    fn message(&mut self) -> Result<Vec<F>, Rejection> {
+        let mut msg = self.inner.message()?;
         if self.attack == Attack::SkewAggregates {
             msg[0] += F::ONE;
         }
-        msg
+        Ok(msg)
     }
-    fn bind(&mut self, r: F) {
-        self.inner.bind(r);
+    fn bind(&mut self, r: F) -> Result<(), Rejection> {
+        self.inner.bind(r)
     }
 }
 
-struct LyingHeavy<F: PrimeField> {
-    inner: Box<dyn HeavySession<F>>,
+struct LyingHeavy<'a, F: PrimeField> {
+    inner: Box<dyn HeavySession<F> + 'a>,
     attack: Attack,
 }
 
-impl<F: PrimeField> HeavySession<F> for LyingHeavy<F> {
-    fn disclose(&self) -> LevelDisclosure<F> {
-        let mut disc = self.inner.disclose();
+impl<F: PrimeField> HeavySession<F> for LyingHeavy<'_, F> {
+    fn disclose(&mut self) -> Result<LevelDisclosure<F>, Rejection> {
+        let mut disc = self.inner.disclose()?;
         if self.attack == Attack::UnderstateCounts && disc.level == 0 {
             for n in &mut disc.nodes {
                 if n.count > 1 {
@@ -712,10 +719,10 @@ impl<F: PrimeField> HeavySession<F> for LyingHeavy<F> {
                 }
             }
         }
-        disc
+        Ok(disc)
     }
-    fn keys(&mut self, level: u32, r: F, s: F) {
-        self.inner.keys(level, r, s);
+    fn keys(&mut self, level: u32, r: F, s: F) -> Result<(), Rejection> {
+        self.inner.keys(level, r, s)
     }
 }
 
@@ -723,45 +730,49 @@ impl<F: PrimeField> KvServer<F> for MaliciousStore<F> {
     fn ingest(&mut self, up: Update) {
         self.inner.ingest(up);
     }
-    fn reporting(&self) -> Box<dyn ReportingSession<F>> {
+    fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
         Box::new(LyingReporting {
             inner: self.inner.reporting(),
             attack: self.attack,
         })
     }
-    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(LyingSumCheck {
             inner: self.inner.range_sum(q_l, q_r),
             attack: self.attack,
         })
     }
-    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F>> {
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(LyingSumCheck {
             inner: self.inner.range_count(q_l, q_r),
             attack: self.attack,
         })
     }
-    fn self_join(&self) -> Box<dyn SumCheckSession<F>> {
+    fn self_join(&self) -> Box<dyn SumCheckSession<F> + '_> {
         Box::new(LyingSumCheck {
             inner: self.inner.self_join(),
             attack: self.attack,
         })
     }
-    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F>> {
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_> {
         Box::new(LyingHeavy {
             inner: self.inner.heavy(threshold),
             attack: self.attack,
         })
     }
-    fn claim_predecessor(&self, q: u64) -> Option<u64> {
-        let honest = self.inner.claim_predecessor(q);
+    fn claim_predecessor(&self, q: u64) -> Result<Option<u64>, Rejection> {
+        let honest = self.inner.claim_predecessor(q)?;
         if self.attack == Attack::LieAboutPredecessor {
-            honest.and_then(|p| self.inner.claim_predecessor(p.checked_sub(1)?))
+            Ok(honest
+                .and_then(|p| p.checked_sub(1))
+                .map(|p| self.inner.claim_predecessor(p))
+                .transpose()?
+                .flatten())
         } else {
-            honest
+            Ok(honest)
         }
     }
-    fn claim_successor(&self, q: u64) -> Option<u64> {
+    fn claim_successor(&self, q: u64) -> Result<Option<u64>, Rejection> {
         self.inner.claim_successor(q)
     }
 }
@@ -775,11 +786,7 @@ mod tests {
 
     type C = Client<Fp61>;
 
-    fn setup(
-        pairs: &[(u64, u64)],
-        log_u: u32,
-        seed: u64,
-    ) -> (C, CloudStore<Fp61>) {
+    fn setup(pairs: &[(u64, u64)], log_u: u32, seed: u64) -> (C, CloudStore<Fp61>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut client = C::new(log_u, QueryBudget::default(), &mut rng);
         let mut server = CloudStore::new(log_u);
@@ -823,22 +830,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let log_u = 10;
         let pairs: Vec<(u64, u64)> = {
-            let stream = sip_streaming::workloads::distinct_key_values(
-                200, 1 << log_u, 1000, 3,
-            );
+            let stream = sip_streaming::workloads::distinct_key_values(200, 1 << log_u, 1000, 3);
             stream.iter().map(|u| (u.index, u.delta as u64)).collect()
         };
         let (mut client, server) = setup(&pairs, log_u, 4);
         let truth: std::collections::BTreeMap<u64, u64> = pairs.iter().copied().collect();
         for _ in 0..6 {
             let k = rng.random_range(0..(1u64 << log_u));
-            assert_eq!(client.get(k, &server).unwrap().value, truth.get(&k).copied());
+            assert_eq!(
+                client.get(k, &server).unwrap().value,
+                truth.get(&k).copied()
+            );
         }
         let (lo, hi) = (100u64, 500u64);
-        let expect: Vec<(u64, u64)> = truth
-            .range(lo..=hi)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let expect: Vec<(u64, u64)> = truth.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
         assert_eq!(client.range(lo, hi, &server).unwrap().value, expect);
         let sum: u64 = truth.range(lo..=hi).map(|(_, &v)| v).sum();
         assert_eq!(client.range_sum(lo, hi, &server).unwrap().value, sum);
@@ -859,7 +864,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut client = C::new(
             6,
-            QueryBudget { reporting: 1, aggregate: 1, heavy: 1 },
+            QueryBudget {
+                reporting: 1,
+                aggregate: 1,
+                heavy: 1,
+            },
             &mut rng,
         );
         let mut server = CloudStore::new(6);

@@ -113,7 +113,9 @@ mod tests {
     fn brute<F: PrimeField>(q_l: u64, q_r: u64, r: &[F]) -> F {
         let params = LdeParams::binary(r.len() as u32);
         let eval = StreamingLdeEvaluator::new(params, r.to_vec());
-        (q_l..=q_r).map(|i| eval.weight(i)).fold(F::ZERO, |a, b| a + b)
+        (q_l..=q_r)
+            .map(|i| eval.weight(i))
+            .fold(F::ZERO, |a, b| a + b)
     }
 
     #[test]

@@ -24,9 +24,7 @@ impl LdeParams {
         assert!(d >= 1, "dimension must be at least 1");
         let mut u: u64 = 1;
         for _ in 0..d {
-            u = u
-                .checked_mul(ell)
-                .expect("universe ℓ^d must fit in u64");
+            u = u.checked_mul(ell).expect("universe ℓ^d must fit in u64");
         }
         LdeParams { ell, d }
     }
@@ -94,13 +92,10 @@ impl LdeParams {
     /// Reassembles an index from base-`ℓ` digits (least significant first).
     pub fn index_of(&self, digits: &[u64]) -> u64 {
         debug_assert_eq!(digits.len(), self.d as usize);
-        digits
-            .iter()
-            .rev()
-            .fold(0u64, |acc, &dg| {
-                debug_assert!(dg < self.ell);
-                acc * self.ell + dg
-            })
+        digits.iter().rev().fold(0u64, |acc, &dg| {
+            debug_assert!(dg < self.ell);
+            acc * self.ell + dg
+        })
     }
 }
 

@@ -1,0 +1,803 @@
+//! The verifier side of the wire: a [`RemoteStore`] that implements
+//! [`KvServer`] over a socket (so [`sip_kvstore::Client`] runs unchanged
+//! against a remote prover), and a [`RawClient`] driving the aggregate and
+//! reporting protocols over a raw update stream.
+//!
+//! ## Failure philosophy
+//!
+//! Everything the network does wrong — truncated frames, non-canonical
+//! field encodings, out-of-order messages, timeouts, closed sockets — is
+//! mapped to a [`Rejection`]: the remote prover (and every router between
+//! us) is simply part of the untrusted prover, and a verifier faced with a
+//! misbehaving prover outputs `⊥`. No wire fault is ever an accepted
+//! answer, and none is a panic.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sip_core::channel::{FramedTcpTransport, Transport, TransportStats};
+use sip_core::error::Rejection;
+use sip_core::heavy_hitters::{CountTreeHasher, HhStep, LevelDisclosure};
+use sip_core::subvector::{
+    RoundReply, RoundRequest, Step, SubVectorAnswer, SubVectorVerifier, Verified,
+};
+use sip_core::sumcheck::f2::F2Verifier;
+use sip_core::sumcheck::moments::VerifiedAggregate;
+use sip_core::sumcheck::range_sum::RangeSumVerifier;
+use sip_core::sumcheck::SumCheckVerifierCore;
+use sip_core::CostReport;
+use sip_field::PrimeField;
+use sip_kvstore::{HeavySession, KvServer, ReportingSession, SumCheckSession};
+use sip_streaming::Update;
+use sip_wire::{client_handshake, Hello, Msg, MsgChannel, Query, SessionMode, WireError};
+
+/// How many buffered puts trigger an ingest frame.
+const INGEST_BATCH: usize = 512;
+
+/// Default socket read timeout for clients: a prover that stalls the
+/// conversation is treated as refusing to answer (= rejection), not waited
+/// on forever.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn wire_reject(e: WireError) -> Rejection {
+    Rejection::MalformedAnswer {
+        detail: format!("wire: {e}"),
+    }
+}
+
+fn server_reject(detail: String) -> Rejection {
+    Rejection::MalformedAnswer {
+        detail: format!("server refused: {detail}"),
+    }
+}
+
+fn unexpected(expected: &'static str, got: &'static str) -> Rejection {
+    wire_reject(WireError::UnexpectedMessage { expected, got })
+}
+
+/// The connection state shared by a store and its open query sessions.
+struct Conn<F: PrimeField, T: Transport> {
+    chan: MsgChannel<T>,
+    pending: Vec<Update>,
+    /// A fault recorded during buffered ingest, surfaced at the next query.
+    fault: Option<Rejection>,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: PrimeField, T: Transport> Conn<F, T> {
+    fn flush(&mut self) -> Result<(), Rejection> {
+        self.check_fault()?;
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.chan
+            .send(&Msg::<F>::Ingest(batch))
+            .map_err(|e| self.poison(wire_reject(e)))
+    }
+
+    /// Records a wire-level fault and returns it: once the byte stream with
+    /// the server is broken (timeout mid-frame, undecodable reply, server
+    /// error frame), later frames could be misattributed to the wrong
+    /// query, so the whole connection is condemned. Protocol-algebra
+    /// rejections do *not* pass through here — the connection stays usable
+    /// after a query whose proof merely failed.
+    fn poison(&mut self, rejection: Rejection) -> Rejection {
+        self.fault = Some(rejection.clone());
+        rejection
+    }
+
+    fn check_fault(&self) -> Result<(), Rejection> {
+        match &self.fault {
+            Some(fault) => Err(fault.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn ingest(&mut self, up: Update) {
+        if self.fault.is_some() {
+            return;
+        }
+        self.pending.push(up);
+        if self.pending.len() >= INGEST_BATCH {
+            let _ = self.flush();
+        }
+    }
+
+    fn recv(&mut self) -> Result<Msg<F>, Rejection> {
+        self.check_fault()?;
+        match self.chan.recv::<F>() {
+            // The server abandons the connection after an error frame.
+            Ok(Msg::Error(detail)) => Err(self.poison(server_reject(detail))),
+            Ok(msg) => Ok(msg),
+            Err(e) => Err(self.poison(wire_reject(e))),
+        }
+    }
+
+    /// Flush + send + receive one reply.
+    fn request(&mut self, msg: &Msg<F>) -> Result<Msg<F>, Rejection> {
+        self.flush()?;
+        self.chan
+            .send(msg)
+            .map_err(|e| self.poison(wire_reject(e)))?;
+        self.recv()
+    }
+
+    /// Flush + send, no reply expected.
+    fn tell(&mut self, msg: &Msg<F>) -> Result<(), Rejection> {
+        self.flush()?;
+        self.chan.send(msg).map_err(|e| self.poison(wire_reject(e)))
+    }
+}
+
+type SharedConn<F, T> = Arc<Mutex<Conn<F, T>>>;
+
+fn with_conn<F: PrimeField, T: Transport, R>(
+    conn: &SharedConn<F, T>,
+    f: impl FnOnce(&mut Conn<F, T>) -> R,
+) -> R {
+    let mut guard = conn.lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut guard)
+}
+
+// ---------------------------------------------------------------------
+// RemoteStore: KvServer over a transport
+// ---------------------------------------------------------------------
+
+/// A [`KvServer`] whose storage and provers live on the other side of a
+/// transport. Hand it to [`sip_kvstore::Client`] exactly like a
+/// [`sip_kvstore::CloudStore`].
+pub struct RemoteStore<F: PrimeField, T: Transport> {
+    conn: SharedConn<F, T>,
+}
+
+/// Opens a framed, timeout-guarded TCP transport to a prover.
+fn tcp_transport<A: ToSocketAddrs>(
+    addr: A,
+    timeout: Duration,
+) -> Result<FramedTcpTransport, Rejection> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| server_reject(format!("connect failed: {e}")))?;
+    let mut transport = FramedTcpTransport::new(stream)
+        .map_err(|e| server_reject(format!("socket setup failed: {e}")))?;
+    transport
+        .set_timeout(Some(timeout))
+        .map_err(|e| server_reject(format!("socket setup failed: {e}")))?;
+    Ok(transport)
+}
+
+impl<F: PrimeField> RemoteStore<F, FramedTcpTransport> {
+    /// Connects to a [`crate::spawn`]ed server and performs the kv-store
+    /// handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, log_u: u32) -> Result<Self, Rejection> {
+        Self::connect_with_timeout(addr, log_u, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Like [`Self::connect`] with an explicit read timeout: a prover that
+    /// stalls longer than this refuses to answer, which is a rejection.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        log_u: u32,
+        timeout: Duration,
+    ) -> Result<Self, Rejection> {
+        Self::from_transport(tcp_transport(addr, timeout)?, log_u)
+    }
+}
+
+impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
+    /// Performs the kv-store handshake over an already-connected transport.
+    pub fn from_transport(mut transport: T, log_u: u32) -> Result<Self, Rejection> {
+        client_handshake(&mut transport, Hello::new::<F>(SessionMode::KvStore, log_u))
+            .map_err(wire_reject)?;
+        Ok(RemoteStore {
+            conn: Arc::new(Mutex::new(Conn {
+                chan: MsgChannel::new(transport),
+                pending: Vec::new(),
+                fault: None,
+                _marker: core::marker::PhantomData,
+            })),
+        })
+    }
+
+    /// Pushes any buffered puts and marks the stream complete.
+    pub fn end_stream(&self) -> Result<(), Rejection> {
+        with_conn(&self.conn, |c| c.tell(&Msg::EndStream))
+    }
+
+    /// Ends the session politely, collecting the prover's own (advisory)
+    /// cost accounting for everything it served on this connection.
+    pub fn bye(&self) -> Result<CostReport, Rejection> {
+        with_conn(&self.conn, |c| match c.request(&Msg::Bye)? {
+            Msg::Cost(report) => Ok(report),
+            other => Err(unexpected("cost", other.name())),
+        })
+    }
+
+    /// Bytes/frames moved over this connection so far.
+    pub fn stats(&self) -> TransportStats {
+        with_conn(&self.conn, |c| c.chan.stats())
+    }
+}
+
+struct RemoteReporting<F: PrimeField, T: Transport> {
+    conn: SharedConn<F, T>,
+}
+
+impl<F: PrimeField, T: Transport> ReportingSession<F> for RemoteReporting<F, T> {
+    fn answer(&mut self, q_l: u64, q_r: u64) -> Result<SubVectorAnswer<F>, Rejection> {
+        match with_conn(&self.conn, |c| {
+            c.request(&Msg::Query(Query::Report { l: q_l, r: q_r }))
+        })? {
+            Msg::SubVectorAnswer(ans) => Ok(ans),
+            other => Err(unexpected("subvector-answer", other.name())),
+        }
+    }
+
+    fn round(&mut self, req: &RoundRequest<F>) -> Result<RoundReply<F>, Rejection> {
+        match with_conn(&self.conn, |c| c.request(&Msg::SubVectorRound(req.clone())))? {
+            Msg::SubVectorReply(reply) => Ok(reply),
+            other => Err(unexpected("subvector-reply", other.name())),
+        }
+    }
+}
+
+struct RemoteSumCheck<F: PrimeField, T: Transport> {
+    conn: SharedConn<F, T>,
+    query: Query,
+    started: bool,
+    stashed: Option<Vec<F>>,
+}
+
+impl<F: PrimeField, T: Transport> RemoteSumCheck<F, T> {
+    fn open(&mut self) -> Result<Vec<F>, Rejection> {
+        let claimed = match with_conn(&self.conn, |c| c.request(&Msg::Query(self.query)))? {
+            Msg::ClaimedValue(v) => v,
+            other => return Err(unexpected("claimed-value", other.name())),
+        };
+        let poly = match with_conn(&self.conn, |c| c.recv())? {
+            Msg::RoundPoly(p) => p,
+            other => return Err(unexpected("round-poly", other.name())),
+        };
+        // The announced claim must be what g₁ sums to; otherwise the two
+        // messages contradict each other before any round runs. (Length
+        // errors are left to the sum-check core, which reports them with
+        // the proper round number.)
+        if poly.len() >= 2 && poly[0] + poly[1] != claimed {
+            return Err(Rejection::MalformedAnswer {
+                detail: "claimed value disagrees with the first round polynomial".into(),
+            });
+        }
+        self.started = true;
+        Ok(poly)
+    }
+}
+
+impl<F: PrimeField, T: Transport> SumCheckSession<F> for RemoteSumCheck<F, T> {
+    fn message(&mut self) -> Result<Vec<F>, Rejection> {
+        if !self.started {
+            return self.open();
+        }
+        self.stashed
+            .take()
+            .ok_or_else(|| Rejection::MalformedAnswer {
+                detail: "round polynomial requested before a challenge was bound".into(),
+            })
+    }
+
+    fn bind(&mut self, r: F) -> Result<(), Rejection> {
+        match with_conn(&self.conn, |c| c.request(&Msg::Challenge(r)))? {
+            Msg::RoundPoly(p) => {
+                self.stashed = Some(p);
+                Ok(())
+            }
+            other => Err(unexpected("round-poly", other.name())),
+        }
+    }
+}
+
+struct RemoteHeavy<F: PrimeField, T: Transport> {
+    conn: SharedConn<F, T>,
+    threshold: u64,
+    started: bool,
+    stashed: Option<LevelDisclosure<F>>,
+}
+
+impl<F: PrimeField, T: Transport> HeavySession<F> for RemoteHeavy<F, T> {
+    fn disclose(&mut self) -> Result<LevelDisclosure<F>, Rejection> {
+        if !self.started {
+            self.started = true;
+            return match with_conn(&self.conn, |c| {
+                c.request(&Msg::Query(Query::Heavy {
+                    threshold: self.threshold,
+                }))
+            })? {
+                Msg::HhDisclosure(disc) => Ok(disc),
+                other => Err(unexpected("hh-disclosure", other.name())),
+            };
+        }
+        self.stashed
+            .take()
+            .ok_or_else(|| Rejection::MalformedAnswer {
+                detail: "disclosure requested before keys were revealed".into(),
+            })
+    }
+
+    fn keys(&mut self, level: u32, r: F, s: F) -> Result<(), Rejection> {
+        match with_conn(&self.conn, |c| c.request(&Msg::HhKeys { level, r, s }))? {
+            Msg::HhDisclosure(disc) => {
+                self.stashed = Some(disc);
+                Ok(())
+            }
+            other => Err(unexpected("hh-disclosure", other.name())),
+        }
+    }
+}
+
+impl<F: PrimeField, T: Transport + 'static> KvServer<F> for RemoteStore<F, T> {
+    fn ingest(&mut self, up: Update) {
+        with_conn(&self.conn, |c| c.ingest(up));
+    }
+
+    fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
+        Box::new(RemoteReporting {
+            conn: Arc::clone(&self.conn),
+        })
+    }
+
+    fn range_sum(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
+        Box::new(RemoteSumCheck {
+            conn: Arc::clone(&self.conn),
+            query: Query::RangeSum { l: q_l, r: q_r },
+            started: false,
+            stashed: None,
+        })
+    }
+
+    fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_> {
+        Box::new(RemoteSumCheck {
+            conn: Arc::clone(&self.conn),
+            query: Query::RangeCount { l: q_l, r: q_r },
+            started: false,
+            stashed: None,
+        })
+    }
+
+    fn self_join(&self) -> Box<dyn SumCheckSession<F> + '_> {
+        Box::new(RemoteSumCheck {
+            conn: Arc::clone(&self.conn),
+            query: Query::SelfJoin,
+            started: false,
+            stashed: None,
+        })
+    }
+
+    fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_> {
+        Box::new(RemoteHeavy {
+            conn: Arc::clone(&self.conn),
+            threshold,
+            started: false,
+            stashed: None,
+        })
+    }
+
+    fn claim_predecessor(&self, q: u64) -> Result<Option<u64>, Rejection> {
+        match with_conn(&self.conn, |c| {
+            c.request(&Msg::Query(Query::Predecessor { q }))
+        })? {
+            Msg::KeyClaim(claim) => Ok(claim),
+            other => Err(unexpected("key-claim", other.name())),
+        }
+    }
+
+    fn claim_successor(&self, q: u64) -> Result<Option<u64>, Rejection> {
+        match with_conn(&self.conn, |c| {
+            c.request(&Msg::Query(Query::Successor { q }))
+        })? {
+            Msg::KeyClaim(claim) => Ok(claim),
+            other => Err(unexpected("key-claim", other.name())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RawClient: aggregate/reporting protocols over a raw stream
+// ---------------------------------------------------------------------
+
+/// Drives the Section 3/4/6 protocols against a remote prover over a raw
+/// update stream. The caller owns the verifier digests (they must observe
+/// the same updates that are uploaded); this client owns the conversation.
+pub struct RawClient<F: PrimeField, T: Transport> {
+    conn: Conn<F, T>,
+}
+
+impl<F: PrimeField> RawClient<F, FramedTcpTransport> {
+    /// Connects to a [`crate::spawn`]ed server in raw-stream mode.
+    pub fn connect<A: ToSocketAddrs>(addr: A, log_u: u32) -> Result<Self, Rejection> {
+        Self::connect_with_timeout(addr, log_u, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Like [`Self::connect`] with an explicit read timeout.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        log_u: u32,
+        timeout: Duration,
+    ) -> Result<Self, Rejection> {
+        Self::from_transport(tcp_transport(addr, timeout)?, log_u)
+    }
+}
+
+impl<F: PrimeField, T: Transport> RawClient<F, T> {
+    /// Performs the raw-stream handshake over a connected transport.
+    pub fn from_transport(mut transport: T, log_u: u32) -> Result<Self, Rejection> {
+        client_handshake(
+            &mut transport,
+            Hello::new::<F>(SessionMode::RawStream, log_u),
+        )
+        .map_err(wire_reject)?;
+        Ok(RawClient {
+            conn: Conn {
+                chan: MsgChannel::new(transport),
+                pending: Vec::new(),
+                fault: None,
+                _marker: core::marker::PhantomData,
+            },
+        })
+    }
+
+    /// Uploads one update (buffered; remember to feed your digests too).
+    pub fn send_update(&mut self, up: Update) {
+        self.conn.ingest(up);
+    }
+
+    /// Uploads a whole stream.
+    pub fn send_stream(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.send_update(up);
+        }
+    }
+
+    /// Flushes buffered updates and marks the stream complete.
+    pub fn end_stream(&mut self) -> Result<(), Rejection> {
+        self.conn.tell(&Msg::EndStream)
+    }
+
+    /// Ends the session politely, collecting the prover's own (advisory)
+    /// cost accounting for everything it served on this connection.
+    pub fn bye(&mut self) -> Result<CostReport, Rejection> {
+        match self.conn.request(&Msg::Bye)? {
+            Msg::Cost(report) => Ok(report),
+            other => Err(unexpected("cost", other.name())),
+        }
+    }
+
+    /// Bytes/frames moved over this connection so far.
+    pub fn stats(&self) -> TransportStats {
+        self.conn.chan.stats()
+    }
+
+    /// Reports the query verdict to the server (best effort).
+    fn verdict(&mut self, result: &Result<F, Rejection>) {
+        let msg = match result {
+            Ok(_) => Msg::Accept,
+            Err(rej) => Msg::Reject(rej.clone()),
+        };
+        let _ = self.conn.tell(&msg);
+    }
+
+    /// Runs one remote sum-check conversation against `core`/`expected`.
+    fn drive_sumcheck(
+        &mut self,
+        query: Query,
+        mut core: SumCheckVerifierCore<F>,
+        expected: F,
+        report: &mut CostReport,
+    ) -> Result<F, Rejection> {
+        let result = (|| {
+            let claimed = match self.conn.request(&Msg::Query(query))? {
+                Msg::ClaimedValue(v) => v,
+                other => return Err(unexpected("claimed-value", other.name())),
+            };
+            report.p_to_v_words += 1;
+            let mut poly = match self.conn.recv()? {
+                Msg::RoundPoly(p) => p,
+                other => return Err(unexpected("round-poly", other.name())),
+            };
+            loop {
+                report.rounds += 1;
+                report.p_to_v_words += poly.len();
+                match core.receive(&poly)? {
+                    Some(challenge) => {
+                        report.v_to_p_words += 1;
+                        poly = match self.conn.request(&Msg::Challenge(challenge))? {
+                            Msg::RoundPoly(p) => p,
+                            other => return Err(unexpected("round-poly", other.name())),
+                        };
+                    }
+                    None => break,
+                }
+            }
+            let value = core.finalize(expected)?;
+            if value != claimed {
+                return Err(Rejection::MalformedAnswer {
+                    detail: "announced claim differs from the proven value".into(),
+                });
+            }
+            Ok(value)
+        })();
+        self.verdict(&result);
+        result
+    }
+
+    /// Verified SELF-JOIN SIZE over everything uploaded so far. The digest
+    /// must have observed exactly the uploaded stream.
+    pub fn verify_f2(
+        &mut self,
+        verifier: F2Verifier<F>,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
+        let mut report = CostReport {
+            verifier_space_words: verifier.space_words(),
+            ..CostReport::default()
+        };
+        let (core, expected) = verifier.into_session();
+        let value = self.drive_sumcheck(Query::SelfJoin, core, expected, &mut report)?;
+        Ok(VerifiedAggregate { value, report })
+    }
+
+    /// Verified RANGE-SUM over `[q_l, q_r]`.
+    pub fn verify_range_sum(
+        &mut self,
+        verifier: RangeSumVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
+        let mut report = CostReport {
+            verifier_space_words: verifier.space_words(),
+            v_to_p_words: 2,
+            ..CostReport::default()
+        };
+        let (core, expected) = verifier.into_session(q_l, q_r);
+        let value = self.drive_sumcheck(
+            Query::RangeSum { l: q_l, r: q_r },
+            core,
+            expected,
+            &mut report,
+        )?;
+        Ok(VerifiedAggregate { value, report })
+    }
+
+    /// Verified SUB-VECTOR report over `[q_l, q_r]`.
+    pub fn verify_report(
+        &mut self,
+        verifier: SubVectorVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<Verified<F>, Rejection> {
+        let mut session = verifier.into_session(q_l, q_r);
+        let mut report = CostReport {
+            v_to_p_words: 2,
+            rounds: 1,
+            ..CostReport::default()
+        };
+        let result = (|| {
+            let answer = match self
+                .conn
+                .request(&Msg::Query(Query::Report { l: q_l, r: q_r }))?
+            {
+                Msg::SubVectorAnswer(ans) => ans,
+                other => return Err(unexpected("subvector-answer", other.name())),
+            };
+            report.p_to_v_words += 2 * answer.entries.len();
+            let mut step = session.receive_answer(&answer, None)?;
+            while let Step::Request(req) = step {
+                report.rounds += 1;
+                report.v_to_p_words += 1;
+                let reply = match self.conn.request(&Msg::SubVectorRound(req.clone()))? {
+                    Msg::SubVectorReply(reply) => reply,
+                    other => return Err(unexpected("subvector-reply", other.name())),
+                };
+                report.p_to_v_words +=
+                    reply.left.is_some() as usize + reply.right.is_some() as usize;
+                step = session.receive_reply(&req, &reply)?;
+            }
+            Ok(answer)
+        })();
+        let verdict = result.as_ref().map(|_| F::ZERO).map_err(Clone::clone);
+        self.verdict(&verdict);
+        let answer = result?;
+        report.verifier_space_words = session.space_words();
+        Ok(Verified {
+            entries: session.queried_entries(&answer),
+            report,
+        })
+    }
+
+    /// Verified HEAVY HITTERS at absolute `threshold`.
+    pub fn verify_heavy(
+        &mut self,
+        hasher: CountTreeHasher<F>,
+        threshold: u64,
+    ) -> Result<(Vec<(u64, u64)>, CostReport), Rejection> {
+        let streaming_space = hasher.space_words();
+        let mut session = hasher.into_session(threshold);
+        let mut report = CostReport {
+            v_to_p_words: 1,
+            verifier_space_words: streaming_space,
+            ..CostReport::default()
+        };
+        if session.trivially_empty() {
+            return Ok((Vec::new(), report));
+        }
+        let items = {
+            let result = (|| {
+                let mut disc = match self.conn.request(&Msg::Query(Query::Heavy { threshold }))? {
+                    Msg::HhDisclosure(d) => d,
+                    other => return Err(unexpected("hh-disclosure", other.name())),
+                };
+                loop {
+                    report.rounds += 1;
+                    report.p_to_v_words += disc.words();
+                    match session.receive_level(&disc)? {
+                        HhStep::RevealKeys { level, r, s } => {
+                            report.v_to_p_words += 2;
+                            disc = match self.conn.request(&Msg::HhKeys { level, r, s })? {
+                                Msg::HhDisclosure(d) => d,
+                                other => return Err(unexpected("hh-disclosure", other.name())),
+                            };
+                        }
+                        HhStep::Accept(items) => return Ok(items),
+                    }
+                }
+            })();
+            let verdict = result.as_ref().map(|_| F::ZERO).map_err(Clone::clone);
+            self.verdict(&verdict);
+            result?
+        };
+        report.verifier_space_words = streaming_space + session.space_words();
+        Ok((items, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::run_session;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_core::channel::InMemoryTransport;
+    use sip_field::Fp61;
+    use sip_streaming::{workloads, FrequencyVector};
+    use std::thread;
+
+    fn serve(mut transport: InMemoryTransport) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            let hello = sip_wire::server_handshake::<Fp61, _>(&mut transport).unwrap();
+            let _ = run_session::<Fp61, _>(transport, hello.mode, hello.log_u);
+        })
+    }
+
+    fn raw_pair(log_u: u32) -> (RawClient<Fp61, InMemoryTransport>, thread::JoinHandle<()>) {
+        let (a, b) = InMemoryTransport::pair();
+        let server = serve(a);
+        (RawClient::from_transport(b, log_u).unwrap(), server)
+    }
+
+    #[test]
+    fn f2_over_in_memory_transport() {
+        let log_u = 8;
+        let stream = workloads::paper_f2(1 << log_u, 7);
+        let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
+        let mut rng = StdRng::seed_from_u64(1);
+
+        let (mut client, server) = raw_pair(log_u);
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            verifier.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().unwrap();
+        let got = client.verify_f2(verifier).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(truth as u128));
+        assert_eq!(got.report.rounds, log_u as usize);
+        client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn report_and_range_sum_over_in_memory_transport() {
+        let log_u = 8;
+        let u = 1u64 << log_u;
+        let stream = workloads::distinct_key_values(60, u, 100, 3);
+        let fv = FrequencyVector::from_stream(u, &stream);
+        let mut rng = StdRng::seed_from_u64(2);
+
+        let (mut client, server) = raw_pair(log_u);
+        let mut sub = SubVectorVerifier::<Fp61>::new(log_u, &mut rng);
+        let mut rs = RangeSumVerifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            sub.update(up);
+            rs.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().unwrap();
+
+        let (q_l, q_r) = (10, 200);
+        let report = client.verify_report(sub, q_l, q_r).unwrap();
+        let expect: Vec<(u64, Fp61)> = fv
+            .range_report(q_l, q_r)
+            .into_iter()
+            .map(|(i, f)| (i, Fp61::from_i64(f)))
+            .collect();
+        assert_eq!(report.entries, expect);
+        let sum = client.verify_range_sum(rs, q_l, q_r).unwrap();
+        assert_eq!(sum.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+        client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn heavy_over_in_memory_transport() {
+        let log_u = 8;
+        let stream = workloads::zipf(5_000, 1 << log_u, 1.3, 5);
+        let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+        let mut rng = StdRng::seed_from_u64(4);
+        let threshold = 100u64;
+        let truth: Vec<(u64, u64)> = fv
+            .heavy_hitters(threshold as i64)
+            .into_iter()
+            .map(|(i, f)| (i, f as u64))
+            .collect();
+
+        let (mut client, server) = raw_pair(log_u);
+        let mut hasher = CountTreeHasher::<Fp61>::random(log_u, &mut rng);
+        for &up in &stream {
+            hasher.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().unwrap();
+        let (items, report) = client.verify_heavy(hasher, threshold).unwrap();
+        assert_eq!(items, truth);
+        assert!(report.rounds > 0);
+        client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn kv_store_over_in_memory_transport() {
+        use sip_kvstore::{Client, QueryBudget};
+        let log_u = 8;
+        let (a, b) = InMemoryTransport::pair();
+        let server = serve(a);
+        let mut store: RemoteStore<Fp61, _> = RemoteStore::from_transport(b, log_u).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut client = Client::<Fp61>::new(log_u, QueryBudget::default(), &mut rng);
+        for (k, v) in [(3u64, 10u64), (17, 0), (40, 999), (200, 55)] {
+            client.put(k, v, &mut store);
+        }
+        assert_eq!(client.get(3, &store).unwrap().value, Some(10));
+        assert_eq!(client.get(18, &store).unwrap().value, None);
+        assert_eq!(
+            client.range(10, 100, &store).unwrap().value,
+            vec![(17, 0), (40, 999)]
+        );
+        assert_eq!(
+            client.range_sum(0, 255, &store).unwrap().value,
+            10 + 999 + 55
+        );
+        assert_eq!(
+            client.self_join_size(&store).unwrap().value,
+            100 + 999 * 999 + 55 * 55
+        );
+        assert_eq!(client.predecessor(39, &store).unwrap().value, Some(17));
+        assert_eq!(
+            client.heavy_keys(56, &store).unwrap().value,
+            vec![(40, 999), (200, 55)]
+        );
+        let served = store.bye().unwrap();
+        assert!(
+            served.p_to_v_words > 0 && served.rounds > 0,
+            "server-side accounting empty: {served:?}"
+        );
+        server.join().unwrap();
+    }
+}

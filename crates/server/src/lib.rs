@@ -1,0 +1,286 @@
+//! `sip-server`: the prover as a multi-threaded TCP service, plus the
+//! remote verifier client.
+//!
+//! The paper's outsourcing story made concrete: a server accepts verifier
+//! connections, gives each its own [`session`] state machine (stream ingest
+//! → queries → interactive rounds) on its own thread, and drives the
+//! *unchanged* in-process provers behind the wire. On the other side,
+//! [`client::RemoteStore`] implements [`sip_kvstore::KvServer`] over a
+//! socket — so [`sip_kvstore::Client`] runs the same verified queries
+//! against a prover on another machine, byte-for-byte the same algebra as
+//! in-process, and [`client`]'s raw-stream drivers do the same for the
+//! aggregate protocols.
+//!
+//! Soundness does not move an inch: the network is part of the adversary.
+//! Whatever a router, proxy, or the server itself does to the traffic, the
+//! verifier accepts only answers consistent with its streamed digests
+//! (tamper suite: `tests/wire_tamper.rs` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod session;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use sip_core::channel::FramedTcpTransport;
+use sip_field::PrimeField;
+use sip_wire::{server_handshake, Msg, MsgChannel};
+
+use session::{run_session, MAX_LOG_U};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; further connections are turned away.
+    pub max_sessions: usize,
+    /// Per-read socket timeout for sessions (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted frame length.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            // A verifier that goes silent for this long has abandoned its
+            // session; reclaim the thread.
+            read_timeout: Some(Duration::from_secs(30)),
+            max_frame: sip_core::channel::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins it. Running
+    /// sessions finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves sessions over field `F` until shut down.
+///
+/// Each accepted connection is handshaken (version + field + mode), then
+/// runs its [`session`] on a dedicated thread. Handshake rejects and the
+/// session-cap check happen before any protocol state is allocated.
+pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
+    addr: A,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_active = Arc::clone(&active);
+    let accept_thread = thread::Builder::new()
+        .name("sip-accept".into())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                if accept_active.load(Ordering::SeqCst) >= config.max_sessions {
+                    // Over capacity: close immediately; the client sees a
+                    // transport error, not a hang.
+                    drop(stream);
+                    continue;
+                }
+                let config = config.clone();
+                let counter = Arc::clone(&accept_active);
+                counter.fetch_add(1, Ordering::SeqCst);
+                let spawned = thread::Builder::new()
+                    .name("sip-session".into())
+                    .spawn(move || {
+                        let _guard = SessionGuard(counter);
+                        serve_connection::<F>(stream, &config);
+                    });
+                if spawned.is_err() {
+                    accept_active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        active,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+struct SessionGuard(Arc<AtomicUsize>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_connection<F: PrimeField>(stream: TcpStream, config: &ServerConfig) {
+    let Ok(mut transport) = FramedTcpTransport::with_max_frame(stream, config.max_frame) else {
+        return;
+    };
+    if transport.set_timeout(config.read_timeout).is_err() {
+        return;
+    }
+    let hello = match server_handshake::<F, _>(&mut transport) {
+        Ok(hello) => hello,
+        Err(e) => {
+            // Tell the peer why before hanging up (best effort; the frame
+            // may not parse on ancient clients, which is fine).
+            let mut chan = MsgChannel::new(transport);
+            let _ = chan.send(&Msg::<F>::Error(e.to_string()));
+            return;
+        }
+    };
+    if hello.log_u == 0 || hello.log_u > MAX_LOG_U {
+        let mut chan = MsgChannel::new(transport);
+        let _ = chan.send(&Msg::<F>::Error(format!(
+            "log_u must be in [1, {MAX_LOG_U}], got {}",
+            hello.log_u
+        )));
+        return;
+    }
+    let _ = run_session::<F, _>(transport, hello.mode, hello.log_u);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_field::Fp61;
+    use sip_wire::{client_handshake, Hello, SessionMode, WireError, PROTOCOL_VERSION};
+
+    fn connect(addr: SocketAddr) -> FramedTcpTransport {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = FramedTcpTransport::new(stream).unwrap();
+        t.set_timeout(Some(Duration::from_secs(2))).unwrap();
+        t
+    }
+
+    #[test]
+    fn spawn_handshake_shutdown() {
+        let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut t = connect(server.local_addr());
+        let ack = client_handshake(&mut t, Hello::new::<Fp61>(SessionMode::RawStream, 8)).unwrap();
+        assert_eq!(ack.version, PROTOCOL_VERSION);
+        let mut chan = MsgChannel::new(t);
+        chan.send(&Msg::<Fp61>::Bye).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn field_mismatch_refused_with_error() {
+        let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut t = connect(server.local_addr());
+        let err = client_handshake(
+            &mut t,
+            Hello::new::<sip_field::Fp127>(SessionMode::RawStream, 8),
+        );
+        // The server answers with an Error frame (which fails to parse as a
+        // HelloAck) or closes; either way the client sees an error.
+        assert!(err.is_err(), "{err:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_log_u_refused() {
+        let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut t = connect(server.local_addr());
+        client_handshake(&mut t, Hello::new::<Fp61>(SessionMode::RawStream, 63)).unwrap();
+        let mut chan = MsgChannel::new(t);
+        assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_cap_turns_connections_away() {
+        let server = spawn::<Fp61, _>(
+            "127.0.0.1:0",
+            ServerConfig {
+                max_sessions: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut first = connect(server.local_addr());
+        client_handshake(&mut first, Hello::new::<Fp61>(SessionMode::RawStream, 8)).unwrap();
+        // Give the server a moment to hand off the first session.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut second = connect(server.local_addr());
+        let res = client_handshake(&mut second, Hello::new::<Fp61>(SessionMode::RawStream, 8));
+        assert!(
+            matches!(res, Err(WireError::Transport(_))),
+            "expected refusal, got {res:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_sessions_are_isolated() {
+        let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                thread::spawn(move || {
+                    let mut t = connect(addr);
+                    client_handshake(&mut t, Hello::new::<Fp61>(SessionMode::RawStream, 4))
+                        .unwrap();
+                    let mut chan = MsgChannel::new(t);
+                    // Each session streams a different singleton and asks
+                    // for F2: the claims must not bleed across sessions.
+                    chan.send(&Msg::<Fp61>::Ingest(vec![sip_streaming::Update::new(
+                        i % 16,
+                        (i + 1) as i64,
+                    )]))
+                    .unwrap();
+                    chan.send(&Msg::<Fp61>::Query(sip_wire::Query::SelfJoin))
+                        .unwrap();
+                    let Msg::ClaimedValue(claim) = chan.recv::<Fp61>().unwrap() else {
+                        panic!("expected claim");
+                    };
+                    assert_eq!(claim, Fp61::from_u64((i + 1) * (i + 1)));
+                    chan.send(&Msg::<Fp61>::Bye).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

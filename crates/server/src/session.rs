@@ -1,0 +1,523 @@
+//! The per-connection protocol state machine (prover side).
+//!
+//! One session = one verifier connection = one data stream plus any number
+//! of sequential queries over it. The machine is message-driven: every
+//! incoming frame either advances the active query, opens a new one, or is
+//! answered with an [`Msg::Error`] — **never a panic**: the peer is
+//! untrusted by construction, and a prover that can be crashed is a prover
+//! that can be censored.
+//!
+//! ```text
+//! (Ingest | Query → rounds → verdict)* ──Bye/close──▶ done
+//! ```
+//!
+//! Updates and queries may interleave freely — the in-process
+//! [`CloudStore`] has no phases and this server is a drop-in for it.
+//!
+//! The provers driven here are exactly the in-process ones
+//! ([`F2Prover`], [`RangeSumProver`], [`SubVectorProver`], [`HhProver`],
+//! via [`CloudStore`]'s vectors) — outsourcing changes where the prover
+//! runs, not what it computes.
+
+use sip_core::channel::Transport;
+use sip_core::heavy_hitters::HhProver;
+use sip_core::subvector::{RoundRequest, SubVectorProver};
+use sip_core::sumcheck::f2::F2Prover;
+use sip_core::sumcheck::range_sum::RangeSumProver;
+use sip_core::sumcheck::RoundProver;
+use sip_core::CostReport;
+use sip_field::PrimeField;
+use sip_kvstore::{CloudStore, KvServer};
+use sip_streaming::FrequencyVector;
+use sip_wire::{Msg, MsgChannel, Query, SessionMode, WireError};
+
+/// Upper bound on `log_u` a session may request (a 2^40 dense universe is
+/// already far beyond what the dense provers should materialise).
+pub const MAX_LOG_U: u32 = 40;
+
+/// The currently open query, if any.
+enum Active<F: PrimeField> {
+    Idle,
+    /// A sum-check query mid-rounds.
+    SumCheck {
+        prover: Box<dyn RoundProver<F> + Send>,
+        /// Round polynomials already sent.
+        sent: usize,
+        /// Total rounds `d`.
+        rounds: usize,
+    },
+    /// A sub-vector reporting query mid-rounds.
+    SubVector {
+        prover: SubVectorProver<F>,
+        /// The level the next round request must carry.
+        next_level: u32,
+    },
+    /// A heavy-hitters query mid-disclosure.
+    Heavy {
+        prover: HhProver<F>,
+        /// The level the next key reveal must carry.
+        next_level: u32,
+    },
+}
+
+/// What the data of this session is.
+enum Store<F: PrimeField> {
+    /// Raw update stream (frequency-vector semantics).
+    Raw(FrequencyVector),
+    /// Key-value puts (`δ = value + 1` encoding, three derived vectors).
+    Kv(CloudStore<F>),
+}
+
+/// Why the session ended (for logs/tests; the protocol outcome lives with
+/// the verifier).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The peer said [`Msg::Bye`] or closed the connection.
+    PeerDone,
+    /// We sent the peer a protocol error and gave up on the connection.
+    ProtocolError(String),
+    /// The transport failed mid-session.
+    TransportFailed(WireError),
+}
+
+/// Runs one accepted connection to completion. `mode` and `log_u` come from
+/// the already-completed handshake.
+pub fn run_session<F: PrimeField, T: Transport>(
+    transport: T,
+    mode: SessionMode,
+    log_u: u32,
+) -> SessionEnd {
+    let mut session = ServerSession::<F, T>::new(transport, mode, log_u);
+    session.run()
+}
+
+struct ServerSession<F: PrimeField, T: Transport> {
+    chan: MsgChannel<T>,
+    log_u: u32,
+    store: Store<F>,
+    active: Active<F>,
+    /// Cumulative word accounting of everything served on this connection,
+    /// reported back as [`Msg::Cost`] when the verifier says goodbye. The
+    /// verifier keeps its own books; this is the prover's advisory copy.
+    served: CostReport,
+}
+
+impl<F: PrimeField, T: Transport> ServerSession<F, T> {
+    fn new(transport: T, mode: SessionMode, log_u: u32) -> Self {
+        // Sparse storage in both modes: `log_u` is peer-chosen, and dense
+        // vectors would let one idle handshake reserve `O(2^log_u)` memory.
+        let store = match mode {
+            SessionMode::RawStream => Store::Raw(FrequencyVector::new_sparse(1u64 << log_u)),
+            SessionMode::KvStore => Store::Kv(CloudStore::new_sparse(log_u)),
+        };
+        ServerSession {
+            chan: MsgChannel::new(transport),
+            log_u,
+            store,
+            active: Active::Idle,
+            served: CostReport::default(),
+        }
+    }
+
+    fn run(&mut self) -> SessionEnd {
+        loop {
+            let msg = match self.chan.recv::<F>() {
+                Ok(msg) => msg,
+                Err(WireError::Transport(_)) => return SessionEnd::PeerDone,
+                Err(e) => return self.fail(format!("undecodable frame: {e}")),
+            };
+            match self.handle(msg) {
+                Ok(true) => continue,
+                Ok(false) => return SessionEnd::PeerDone,
+                Err(Flow::Protocol(detail)) => return self.fail(detail),
+                Err(Flow::Wire(e)) => return SessionEnd::TransportFailed(e),
+            }
+        }
+    }
+
+    /// Sends a final error frame (best effort) and reports the end state.
+    fn fail(&mut self, detail: String) -> SessionEnd {
+        let _ = self.chan.send(&Msg::<F>::Error(detail.clone()));
+        SessionEnd::ProtocolError(detail)
+    }
+
+    fn send(&mut self, msg: &Msg<F>) -> Result<(), Flow> {
+        self.chan.send(msg).map_err(Flow::Wire)
+    }
+
+    /// Handles one message; `Ok(false)` ends the session cleanly.
+    fn handle(&mut self, msg: Msg<F>) -> Result<bool, Flow> {
+        match msg {
+            Msg::Ingest(ups) => {
+                // Updates are welcome at any point between queries — the
+                // in-process `CloudStore` has no phases, and this server
+                // must be a drop-in for it. (Mid-query they are fine too:
+                // active provers snapshot their fold tables at query
+                // start, and the verifier's digests live client-side.)
+                let u = 1u64 << self.log_u;
+                for up in &ups {
+                    if up.index >= u {
+                        return Err(protocol(format!(
+                            "update index {} outside universe [0, {u})",
+                            up.index
+                        )));
+                    }
+                }
+                match &mut self.store {
+                    Store::Raw(fv) => {
+                        for &up in &ups {
+                            fv.apply(up);
+                        }
+                    }
+                    Store::Kv(store) => {
+                        for &up in &ups {
+                            if up.delta < 1 {
+                                return Err(protocol(format!(
+                                    "kv put with non-positive encoded value {}",
+                                    up.delta
+                                )));
+                            }
+                            store.ingest(up);
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Msg::EndStream => {
+                // Advisory: kept on the wire so a client can mark the
+                // paper's stream/query phase boundary, but the store keeps
+                // accepting updates (see `Msg::Ingest` above).
+                Ok(true)
+            }
+            Msg::Query(q) => {
+                self.active = Active::Idle;
+                self.start_query(q)?;
+                Ok(true)
+            }
+            Msg::Challenge(x) => {
+                let Active::SumCheck {
+                    prover,
+                    sent,
+                    rounds,
+                } = &mut self.active
+                else {
+                    return Err(protocol("challenge without an open sum-check query"));
+                };
+                if *sent >= *rounds {
+                    return Err(protocol("challenge after the final round"));
+                }
+                prover.bind(x);
+                let evals = prover.message();
+                *sent += 1;
+                self.served.rounds += 1;
+                self.served.v_to_p_words += 1;
+                self.served.p_to_v_words += evals.len();
+                let poly = Msg::RoundPoly(evals);
+                self.send(&poly)?;
+                Ok(true)
+            }
+            Msg::SubVectorRound(req) => {
+                let Active::SubVector { prover, next_level } = &mut self.active else {
+                    return Err(protocol("round request without an open reporting query"));
+                };
+                if req.level != *next_level || req.level >= self.log_u {
+                    return Err(protocol(format!(
+                        "round request for level {}, expected {}",
+                        req.level, next_level
+                    )));
+                }
+                // Sibling indices are peer-controlled; at level j valid
+                // node indices are < 2^(log_u − j). Unchecked, they would
+                // index out of the prover's fold table.
+                let width = 1u64 << (self.log_u - req.level);
+                if req.left.is_some_and(|i| i >= width) || req.right.is_some_and(|i| i >= width) {
+                    return Err(protocol(format!(
+                        "sibling index outside level-{} width {width}",
+                        req.level
+                    )));
+                }
+                let reply = prover.process_round(&RoundRequest {
+                    level: req.level,
+                    challenge: req.challenge,
+                    left: req.left,
+                    right: req.right,
+                });
+                *next_level += 1;
+                self.served.rounds += 1;
+                self.served.v_to_p_words += 1;
+                self.served.p_to_v_words +=
+                    reply.left.is_some() as usize + reply.right.is_some() as usize;
+                self.send(&Msg::SubVectorReply(reply))?;
+                Ok(true)
+            }
+            Msg::HhKeys { level, r, s } => {
+                let Active::Heavy { prover, next_level } = &mut self.active else {
+                    return Err(protocol("key reveal without an open heavy-hitters query"));
+                };
+                if level != *next_level || level >= self.log_u {
+                    return Err(protocol(format!(
+                        "key reveal for level {level}, expected {next_level}"
+                    )));
+                }
+                prover.receive_keys(level, r, s);
+                *next_level += 1;
+                let disc = prover.disclose();
+                self.served.rounds += 1;
+                self.served.v_to_p_words += 2;
+                self.served.p_to_v_words += disc.words();
+                let disc = Msg::HhDisclosure(disc);
+                self.send(&disc)?;
+                Ok(true)
+            }
+            Msg::Accept | Msg::Reject(_) => {
+                // The verifier's verdict on the query we just served; both
+                // end the query. (A rejection means *we* were tampered with
+                // in flight, or the verifier is confused — either way the
+                // session can serve the next query.)
+                self.active = Active::Idle;
+                Ok(true)
+            }
+            Msg::Bye => {
+                // Best effort: the report is advisory and the peer may hang
+                // up without reading it — that is still a clean goodbye.
+                let _ = self.chan.send(&Msg::<F>::Cost(self.served));
+                Ok(false)
+            }
+            other => Err(protocol(format!(
+                "{} is a prover-to-verifier message",
+                other.name()
+            ))),
+        }
+    }
+
+    fn start_query(&mut self, q: Query) -> Result<(), Flow> {
+        let u = 1u64 << self.log_u;
+        let check_range = |l: u64, r: u64| -> Result<(), Flow> {
+            if l <= r && r < u {
+                Ok(())
+            } else {
+                Err(protocol(format!("bad range [{l}, {r}] over [0, {u})")))
+            }
+        };
+        match (q, &self.store) {
+            (Query::SelfJoin, store) => {
+                let fv = match store {
+                    Store::Raw(fv) => fv,
+                    Store::Kv(s) => s.raw_vector(),
+                };
+                self.begin_sumcheck(F2Prover::new(fv, self.log_u))
+            }
+            (Query::RangeSum { l, r }, store) => {
+                check_range(l, r)?;
+                let fv = match store {
+                    Store::Raw(fv) => fv,
+                    Store::Kv(s) => s.encoded_vector(),
+                };
+                self.begin_sumcheck(RangeSumProver::new(fv, self.log_u, l, r))
+            }
+            (Query::RangeCount { l, r }, Store::Kv(s)) => {
+                check_range(l, r)?;
+                self.begin_sumcheck(RangeSumProver::new(s.presence_vector(), self.log_u, l, r))
+            }
+            (Query::RangeCount { .. }, Store::Raw(_)) => {
+                Err(protocol("range-count requires a kv-store session"))
+            }
+            (Query::Report { l, r }, store) => {
+                check_range(l, r)?;
+                let fv = match store {
+                    Store::Raw(fv) => fv,
+                    Store::Kv(s) => s.encoded_vector(),
+                };
+                let prover = SubVectorProver::new(fv, self.log_u);
+                let answer = prover.answer(l, r);
+                self.served.rounds += 1;
+                self.served.v_to_p_words += 2;
+                self.served.p_to_v_words += 2 * answer.entries.len();
+                self.active = Active::SubVector {
+                    prover,
+                    next_level: 1,
+                };
+                self.send(&Msg::SubVectorAnswer(answer))
+            }
+            (Query::Heavy { threshold }, store) => {
+                if threshold == 0 {
+                    return Err(protocol("heavy-hitter threshold must be positive"));
+                }
+                let fv = match store {
+                    Store::Raw(fv) => fv,
+                    Store::Kv(s) => s.encoded_vector(),
+                };
+                // The count tree needs the strict turnstile model; check
+                // instead of letting HhProver::new assert.
+                if fv.nonzero().any(|(_, f)| f < 0) {
+                    return Err(protocol(
+                        "heavy hitters need non-negative frequencies".to_string(),
+                    ));
+                }
+                let prover = HhProver::new(fv, self.log_u, threshold);
+                let disc = prover.disclose();
+                self.served.rounds += 1;
+                self.served.v_to_p_words += 1;
+                self.served.p_to_v_words += disc.words();
+                self.active = Active::Heavy {
+                    prover,
+                    next_level: 1,
+                };
+                self.send(&Msg::HhDisclosure(disc))
+            }
+            (Query::Predecessor { q }, Store::Kv(s)) => {
+                if q >= u {
+                    return Err(protocol(format!("probe {q} outside universe")));
+                }
+                let claim = s.encoded_vector().predecessor(q);
+                self.served.v_to_p_words += 1;
+                self.served.p_to_v_words += 1;
+                self.send(&Msg::KeyClaim(claim))
+            }
+            (Query::Successor { q }, Store::Kv(s)) => {
+                if q >= u {
+                    return Err(protocol(format!("probe {q} outside universe")));
+                }
+                let claim = s.encoded_vector().successor(q);
+                self.served.v_to_p_words += 1;
+                self.served.p_to_v_words += 1;
+                self.send(&Msg::KeyClaim(claim))
+            }
+            (Query::Predecessor { .. } | Query::Successor { .. }, Store::Raw(_)) => {
+                Err(protocol("neighbour queries require a kv-store session"))
+            }
+        }
+    }
+
+    /// Opens a sum-check query: announce the claimed value, send `g_1`.
+    fn begin_sumcheck<P: RoundProver<F> + Send + 'static>(
+        &mut self,
+        mut prover: P,
+    ) -> Result<(), Flow> {
+        let rounds = prover.rounds();
+        let g1 = prover.message();
+        // The claimed answer is what g_1 sums to — announced explicitly so
+        // the conversation starts with the claim, as in the paper.
+        let claimed = g1.iter().take(2).fold(F::ZERO, |a, &b| a + b);
+        self.served.rounds += 1;
+        self.served.p_to_v_words += 1 + g1.len();
+        self.active = Active::SumCheck {
+            prover: Box::new(prover),
+            sent: 1,
+            rounds,
+        };
+        self.send(&Msg::ClaimedValue(claimed))?;
+        self.send(&Msg::RoundPoly(g1))
+    }
+}
+
+/// Internal control flow for message handling.
+enum Flow {
+    /// Peer misbehaved at the protocol level; answer with `Error`.
+    Protocol(String),
+    /// The transport died; nothing more to say.
+    Wire(WireError),
+}
+
+fn protocol(detail: impl Into<String>) -> Flow {
+    Flow::Protocol(detail.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_core::channel::InMemoryTransport;
+    use sip_field::Fp61;
+    use sip_streaming::Update;
+    use std::thread;
+
+    fn with_session<R: Send + 'static>(
+        mode: SessionMode,
+        log_u: u32,
+        client: impl FnOnce(MsgChannel<InMemoryTransport>) -> R + Send + 'static,
+    ) -> (SessionEnd, R) {
+        let (a, b) = InMemoryTransport::pair();
+        let server = thread::spawn(move || run_session::<Fp61, _>(a, mode, log_u));
+        let out = client(MsgChannel::new(b));
+        (server.join().unwrap(), out)
+    }
+
+    #[test]
+    fn bye_ends_cleanly() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
+    }
+
+    #[test]
+    fn disconnect_ends_cleanly() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, drop);
+        assert_eq!(end, SessionEnd::PeerDone);
+    }
+
+    #[test]
+    fn out_of_universe_update_is_error_not_panic() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(16, 1)]))
+                .unwrap();
+            let reply = chan.recv::<Fp61>().unwrap();
+            assert!(matches!(reply, Msg::Error(_)), "{reply:?}");
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn challenge_without_query_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::Challenge(Fp61::from_u64(3))).unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn prover_message_from_client_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::RoundPoly(vec![Fp61::ONE])).unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn heavy_on_negative_frequencies_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, -2)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Query(Query::Heavy { threshold: 1 }))
+                .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn f2_query_answers_with_claim_then_polys() {
+        let (end, ()) = with_session(SessionMode::RawStream, 2, |mut chan| {
+            // a = [0, 3, 0, 2]: F2 = 13.
+            chan.send(&Msg::<Fp61>::Ingest(vec![
+                Update::new(1, 3),
+                Update::new(3, 2),
+            ]))
+            .unwrap();
+            chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+            let Msg::ClaimedValue(claimed) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected claim")
+            };
+            assert_eq!(claimed, Fp61::from_u64(13));
+            let Msg::RoundPoly(g1) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g1")
+            };
+            assert_eq!(g1.len(), 3);
+            assert_eq!(g1[0] + g1[1], claimed);
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
+    }
+}

@@ -70,7 +70,12 @@ impl FrequencyVector {
     /// # Panics
     /// Panics if `up.index >= u`.
     pub fn apply(&mut self, up: Update) {
-        assert!(up.index < self.u, "index {} out of universe [0,{})", up.index, self.u);
+        assert!(
+            up.index < self.u,
+            "index {} out of universe [0,{})",
+            up.index,
+            self.u
+        );
         match &mut self.repr {
             Repr::Dense(v) => v[up.index as usize] += up.delta,
             Repr::Sparse(m) => {
@@ -167,10 +172,7 @@ impl FrequencyVector {
                     .map(|(off, &f)| (lo as u64 + off as u64, f))
                     .collect()
             }
-            Repr::Sparse(m) => m
-                .range(q_l..=q_r)
-                .map(|(&i, &f)| (i, f))
-                .collect(),
+            Repr::Sparse(m) => m.range(q_l..=q_r).map(|(&i, &f)| (i, f)).collect(),
         }
     }
 
@@ -185,9 +187,7 @@ impl FrequencyVector {
     /// PREDECESSOR: the largest present key `p ≤ q` (`None` if none).
     pub fn predecessor(&self, q: u64) -> Option<u64> {
         match &self.repr {
-            Repr::Dense(v) => (0..=q.min(self.u - 1))
-                .rev()
-                .find(|&i| v[i as usize] != 0),
+            Repr::Dense(v) => (0..=q.min(self.u - 1)).rev().find(|&i| v[i as usize] != 0),
             Repr::Sparse(m) => m.range(..=q).next_back().map(|(&i, _)| i),
         }
     }
@@ -219,7 +219,10 @@ impl FrequencyVector {
 
     /// Inverse-distribution point query: `#{i : a_i = k}` for `k ≠ 0`.
     pub fn inverse_distribution(&self, k: i64) -> u64 {
-        assert!(k != 0, "inverse distribution of 0 is u - F0; query nonzero k");
+        assert!(
+            k != 0,
+            "inverse distribution of 0 is u - F0; query nonzero k"
+        );
         self.nonzero().filter(|&(_, f)| f == k).count() as u64
     }
 
@@ -273,7 +276,10 @@ mod tests {
         assert_eq!(a.total(), 34);
         assert_eq!(a.self_join_size(), 4 + 9 + 64 + 1 + 49 + 36 + 16 + 9);
         assert_eq!(a.frequency_moment(1), 34);
-        assert_eq!(a.frequency_moment(3), 8 + 27 + 512 + 1 + 343 + 216 + 64 + 27);
+        assert_eq!(
+            a.frequency_moment(3),
+            8 + 27 + 512 + 1 + 343 + 216 + 64 + 27
+        );
         assert_eq!(a.range_sum(1, 5), 3 + 8 + 1 + 7 + 6);
         assert_eq!(a.f0(), 8);
         assert_eq!(a.fmax(), 8);

@@ -1,0 +1,130 @@
+//! Decoding and session-level wire errors.
+
+use core::fmt;
+
+use sip_core::channel::TransportError;
+
+/// Why a frame failed to decode (or a handshake failed to complete).
+///
+/// Every variant is an *attributable* failure: malformed traffic from the
+/// peer, a protocol-version disagreement, or a transport fault. The
+/// verifier maps all of them to a [`sip_core::Rejection`] — a prover who
+/// controls the bytes on the wire must never crash the verifier, only lose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the announced content did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes remaining in the frame.
+        have: usize,
+    },
+    /// The frame decoded completely but bytes were left over.
+    TrailingBytes {
+        /// Number of undecoded bytes at the end of the frame.
+        extra: usize,
+    },
+    /// A field element encoding was `≥ p` (non-canonical).
+    NonCanonicalField,
+    /// An unknown enum tag.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A declared count exceeds what the frame could possibly hold.
+    CountTooLarge {
+        /// The declared element count.
+        count: usize,
+        /// Bytes remaining in the frame.
+        have: usize,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// The handshake magic bytes were wrong (not a sip-wire peer).
+    BadMagic,
+    /// The peer speaks a different wire-format version.
+    VersionMismatch {
+        /// Our version.
+        ours: u16,
+        /// The peer's version.
+        theirs: u16,
+    },
+    /// The peer runs the session over a different field.
+    FieldMismatch {
+        /// Our field id byte.
+        ours: u8,
+        /// The peer's field id byte.
+        theirs: u8,
+    },
+    /// The peer answered the handshake with an explicit refusal.
+    Refused {
+        /// The peer's stated reason.
+        detail: String,
+    },
+    /// A well-formed message arrived that the current protocol state does
+    /// not allow (e.g. a round polynomial before any query).
+    UnexpectedMessage {
+        /// What the receiver was waiting for.
+        expected: &'static str,
+        /// A short name of what arrived.
+        got: &'static str,
+    },
+    /// The underlying transport failed.
+    Transport(TransportError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            WireError::NonCanonicalField => {
+                write!(f, "non-canonical field element (residue ≥ p)")
+            }
+            WireError::BadTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+            WireError::CountTooLarge { count, have } => {
+                write!(
+                    f,
+                    "declared count {count} cannot fit in {have} remaining bytes"
+                )
+            }
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadMagic => write!(f, "bad handshake magic (not a sip-wire peer)"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: we speak {ours}, peer speaks {theirs}"
+                )
+            }
+            WireError::FieldMismatch { ours, theirs } => {
+                write!(f, "field mismatch: we use Fp{ours}, peer uses Fp{theirs}")
+            }
+            WireError::Refused { detail } => {
+                write!(f, "peer refused the handshake: {detail}")
+            }
+            WireError::UnexpectedMessage { expected, got } => {
+                write!(f, "unexpected message: wanted {expected}, got {got}")
+            }
+            WireError::Transport(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<TransportError> for WireError {
+    fn from(e: TransportError) -> Self {
+        WireError::Transport(e)
+    }
+}

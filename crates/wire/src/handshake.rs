@@ -1,0 +1,318 @@
+//! The connection-opening handshake: magic, version, field, session mode.
+//!
+//! The first frame on a connection is always a [`Hello`]; the server
+//! answers with a [`HelloAck`] on agreement or an error frame (then closes)
+//! on mismatch. Nothing field-typed crosses the wire before both sides have
+//! agreed on [`crate::PROTOCOL_VERSION`] and the field.
+
+use sip_core::channel::Transport;
+use sip_field::PrimeField;
+
+use crate::codec::{Reader, WireCodec, Writer};
+use crate::error::WireError;
+use crate::{FieldId, MAGIC, PROTOCOL_VERSION};
+
+/// What kind of session the client wants.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SessionMode {
+    /// A raw update stream; queries run over the streamed frequency vector.
+    RawStream,
+    /// A key-value store session: updates are encoded puts
+    /// (`δ = value + 1`), queries are the kv-store family.
+    KvStore,
+}
+
+impl SessionMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            SessionMode::RawStream => 0,
+            SessionMode::KvStore => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(SessionMode::RawStream),
+            1 => Ok(SessionMode::KvStore),
+            tag => Err(WireError::BadTag {
+                context: "session mode",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The client's opening frame.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Wire-format version the client speaks.
+    pub version: u16,
+    /// The field the session will run over.
+    pub field: FieldId,
+    /// Raw stream or kv-store semantics.
+    pub mode: SessionMode,
+    /// Universe size exponent: keys live in `[2^log_u]`.
+    pub log_u: u32,
+}
+
+impl Hello {
+    /// A hello for the current version over field `F`.
+    pub fn new<F: PrimeField>(mode: SessionMode, log_u: u32) -> Self {
+        Hello {
+            version: PROTOCOL_VERSION,
+            field: FieldId::of::<F>(),
+            mode,
+            log_u,
+        }
+    }
+}
+
+impl WireCodec for Hello {
+    fn encode(&self, w: &mut Writer) {
+        for b in MAGIC {
+            w.u8(b);
+        }
+        w.u16(self.version)
+            .u8(self.field.to_byte())
+            .u8(self.mode.to_byte())
+            .u32(self.log_u);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8()?;
+        }
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        // The version is checked by the *caller* (server_handshake), which
+        // knows how to answer politely; decoding only parses.
+        Ok(Hello {
+            version: r.u16()?,
+            field: FieldId::from_byte(r.u8()?)?,
+            mode: SessionMode::from_byte(r.u8()?)?,
+            log_u: r.u32()?,
+        })
+    }
+}
+
+/// The server's reply to an acceptable [`Hello`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The version the server will speak (equal to the client's).
+    pub version: u16,
+}
+
+impl WireCodec for HelloAck {
+    fn encode(&self, w: &mut Writer) {
+        for b in MAGIC {
+            w.u8(b);
+        }
+        w.u16(self.version);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8()?;
+        }
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        Ok(HelloAck { version: r.u16()? })
+    }
+}
+
+/// Parses the `magic ‖ version` prefix every handshake frame starts with,
+/// *before* any exact-length decoding: a peer speaking a future wire
+/// version may well send a longer frame, and the one diagnostic that must
+/// survive cross-version contact is [`WireError::VersionMismatch`].
+fn handshake_prefix(frame: &[u8]) -> Result<u16, WireError> {
+    let mut r = Reader::new(frame);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.u8()?;
+    }
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    r.u16()
+}
+
+/// Client side: sends `hello`, awaits the ack, verifies the version echo.
+pub fn client_handshake<T: Transport>(
+    transport: &mut T,
+    hello: Hello,
+) -> Result<HelloAck, WireError> {
+    transport.send_frame(&hello.to_bytes())?;
+    let frame = transport.recv_frame()?;
+    let ack = match handshake_prefix(&frame) {
+        Ok(version) if version != hello.version => {
+            // Version skew beats every other diagnostic — a future-version
+            // ack may be longer than ours and must not surface as a length
+            // error.
+            return Err(WireError::VersionMismatch {
+                ours: hello.version,
+                theirs: version,
+            });
+        }
+        Ok(_) => HelloAck::from_bytes(&frame)?,
+        Err(e) => {
+            // A refusing server answers with an `Error` message instead of
+            // an ack; surface its explanation rather than a parse error.
+            // (The Error variant's encoding is field-independent, so any
+            // field parameter decodes it.)
+            if let Ok(crate::msg::Msg::Error(detail)) =
+                crate::msg::Msg::<sip_field::Fp61>::from_bytes(&frame)
+            {
+                return Err(WireError::Refused { detail });
+            }
+            return Err(e);
+        }
+    };
+    Ok(ack)
+}
+
+/// Server side: awaits a [`Hello`], enforces version and field agreement
+/// for field `F`, acks on success.
+///
+/// On mismatch the offending detail is returned as the error **after** the
+/// ack slot is filled with nothing — the caller should close the
+/// connection; the client will observe the close as a transport error.
+pub fn server_handshake<F: PrimeField, T: Transport>(
+    transport: &mut T,
+) -> Result<Hello, WireError> {
+    let frame = transport.recv_frame()?;
+    let version = handshake_prefix(&frame)?;
+    if version != PROTOCOL_VERSION {
+        // Checked on the prefix, before the exact-length decode: a newer
+        // client's Hello may carry fields we do not know, and it deserves
+        // a version mismatch, not a trailing-bytes parse error.
+        return Err(WireError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
+    }
+    let hello = Hello::from_bytes(&frame)?;
+    let ours = FieldId::of::<F>();
+    if hello.field != ours {
+        return Err(WireError::FieldMismatch {
+            ours: ours.to_byte(),
+            theirs: hello.field.to_byte(),
+        });
+    }
+    transport.send_frame(
+        &HelloAck {
+            version: hello.version,
+        }
+        .to_bytes(),
+    )?;
+    Ok(hello)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_core::channel::InMemoryTransport;
+    use sip_field::{Fp127, Fp61};
+
+    #[test]
+    fn hello_roundtrip() {
+        let hello = Hello::new::<Fp61>(SessionMode::KvStore, 20);
+        assert_eq!(Hello::from_bytes(&hello.to_bytes()).unwrap(), hello);
+        assert_eq!(hello.field, FieldId::Fp61);
+        let hello = Hello::new::<Fp127>(SessionMode::RawStream, 8);
+        assert_eq!(Hello::from_bytes(&hello.to_bytes()).unwrap(), hello);
+        assert_eq!(hello.field, FieldId::Fp127);
+    }
+
+    #[test]
+    fn happy_path() {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let hello = Hello::new::<Fp61>(SessionMode::RawStream, 10);
+        let join = std::thread::spawn(move || {
+            let got = server_handshake::<Fp61, _>(&mut server).unwrap();
+            assert_eq!(got, hello);
+        });
+        let ack = client_handshake(&mut client, hello).unwrap();
+        assert_eq!(ack.version, PROTOCOL_VERSION);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::RawStream, 10);
+        hello.version = PROTOCOL_VERSION + 1;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: PROTOCOL_VERSION + 1
+            }
+        );
+    }
+
+    #[test]
+    fn longer_future_hello_still_gets_version_mismatch() {
+        // A hypothetical v2 Hello carries extra fields this version does
+        // not know; the refusal must name the version skew, not the length.
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::RawStream, 10);
+        hello.version = PROTOCOL_VERSION + 1;
+        let mut frame = hello.to_bytes();
+        frame.extend_from_slice(&[0xAA; 4]); // the imagined v2 extension
+        client.send_frame(&frame).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: PROTOCOL_VERSION + 1
+            }
+        );
+    }
+
+    #[test]
+    fn field_mismatch_detected() {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let hello = Hello::new::<Fp127>(SessionMode::RawStream, 10);
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::FieldMismatch {
+                ours: 61,
+                theirs: 127
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        client.send_frame(b"HTTP/1.1 GET /").unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(err, WireError::BadMagic);
+    }
+
+    #[test]
+    fn ack_version_echo_checked() {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        server
+            .send_frame(&HelloAck { version: 77 }.to_bytes())
+            .unwrap();
+        let err = client_handshake(&mut client, Hello::new::<Fp61>(SessionMode::RawStream, 4))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: 77
+            }
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! `sip-wire`: the versioned binary wire format of the outsourced setting.
+//!
+//! The paper's model is explicitly distributed — "the data owner sends
+//! (key, value) pairs to the cloud to be stored" — so prover and verifier
+//! need an agreed encoding of everything that crosses between them:
+//! stream updates, queries, sum-check round polynomials, challenges,
+//! sub-vector answers and sibling hashes, heavy-hitter disclosures, claimed
+//! outputs, rejections, and cost reports.
+//!
+//! ## Format
+//!
+//! * Every message is one frame (see [`sip_core::channel::Transport`]):
+//!   a 1-byte tag followed by the variant's fields.
+//! * Integers are **little-endian fixed width** (`u32` lengths, `u64`
+//!   indices, `i64` deltas, two's complement).
+//! * Field elements are canonical residues in fixed `⌈BITS/8⌉`-byte
+//!   little-endian form — 8 bytes for `Fp61`, 16 for `Fp127`. Decoding
+//!   **rejects non-canonical encodings** (`x ≥ p`): a malicious prover must
+//!   not have two byte strings for one field element, and the tamper suite
+//!   relies on every flipped bit being either detected here or falsified by
+//!   the protocol algebra.
+//! * Sequences are a `u32` count followed by the items; decoders bound the
+//!   count by the bytes actually present before allocating.
+//! * A frame must be consumed exactly: trailing bytes are an error.
+//!
+//! ## Versioning
+//!
+//! Connections open with a [`handshake::Hello`] carrying magic bytes,
+//! [`PROTOCOL_VERSION`], the field, and the session mode; the server answers
+//! with [`handshake::HelloAck`] or closes. Any mismatch is an explicit
+//! [`WireError::VersionMismatch`] / [`WireError::FieldMismatch`], never a
+//! silent misparse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod codec;
+pub mod error;
+pub mod handshake;
+pub mod msg;
+
+pub use channel::MsgChannel;
+pub use codec::{Reader, WireCodec};
+pub use error::WireError;
+pub use handshake::{client_handshake, server_handshake, Hello, HelloAck, SessionMode};
+pub use msg::{Msg, Query};
+
+/// Version of the wire format this crate speaks. Bump on any change to the
+/// encodings in [`msg`] or [`handshake`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// The magic bytes opening every handshake frame.
+pub const MAGIC: [u8; 4] = *b"SIPW";
+
+/// Identifies the field a session runs over (checked at handshake; both
+/// sides must agree before any field element crosses the wire).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FieldId {
+    /// `Z_p`, `p = 2^61 − 1` (8-byte elements).
+    Fp61,
+    /// `Z_p`, `p = 2^127 − 1` (16-byte elements).
+    Fp127,
+}
+
+impl FieldId {
+    /// The id for a concrete field type, decided by its modulus width.
+    pub fn of<F: sip_field::PrimeField>() -> Self {
+        if F::BITS <= 61 {
+            FieldId::Fp61
+        } else {
+            FieldId::Fp127
+        }
+    }
+
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            FieldId::Fp61 => 61,
+            FieldId::Fp127 => 127,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            61 => Ok(FieldId::Fp61),
+            127 => Ok(FieldId::Fp127),
+            _ => Err(WireError::BadTag {
+                context: "field id",
+                tag: b,
+            }),
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The typed protocol messages: everything that crosses the wire after the
+//! handshake, in both directions.
+
+use sip_core::error::Rejection;
+use sip_core::heavy_hitters::LevelDisclosure;
+use sip_core::subvector::{RoundReply, RoundRequest, SubVectorAnswer};
+use sip_core::CostReport;
+use sip_field::PrimeField;
+use sip_streaming::Update;
+
+use crate::codec::{field_width, Reader, WireCodec, Writer};
+use crate::error::WireError;
+
+/// A query the verifier can open after the stream ends.
+///
+/// Ranges are inclusive `[l, r]`; `threshold` is the absolute heavy-hitter
+/// cutoff (`⌈φ·n⌉` for a fraction φ).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// SELF-JOIN SIZE / F₂ over the session vector (§3.1).
+    SelfJoin,
+    /// RANGE-SUM over `[l, r]` (§3.2).
+    RangeSum {
+        /// Left end (inclusive).
+        l: u64,
+        /// Right end (inclusive).
+        r: u64,
+    },
+    /// Range *count* over `[l, r]` (RANGE-SUM on the presence vector).
+    RangeCount {
+        /// Left end (inclusive).
+        l: u64,
+        /// Right end (inclusive).
+        r: u64,
+    },
+    /// SUB-VECTOR reporting over `[l, r]` (§4.1).
+    Report {
+        /// Left end (inclusive).
+        l: u64,
+        /// Right end (inclusive).
+        r: u64,
+    },
+    /// HEAVY HITTERS at an absolute threshold (§6.1).
+    Heavy {
+        /// Absolute cutoff (≥ 1).
+        threshold: u64,
+    },
+    /// The claimed predecessor of `q` (kv-store sessions).
+    Predecessor {
+        /// The probe key.
+        q: u64,
+    },
+    /// The claimed successor of `q` (kv-store sessions).
+    Successor {
+        /// The probe key.
+        q: u64,
+    },
+}
+
+impl Query {
+    fn tag(&self) -> u8 {
+        match self {
+            Query::SelfJoin => 0,
+            Query::RangeSum { .. } => 1,
+            Query::RangeCount { .. } => 2,
+            Query::Report { .. } => 3,
+            Query::Heavy { .. } => 4,
+            Query::Predecessor { .. } => 5,
+            Query::Successor { .. } => 6,
+        }
+    }
+}
+
+impl WireCodec for Query {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(self.tag());
+        match *self {
+            Query::SelfJoin => {}
+            Query::RangeSum { l, r } | Query::RangeCount { l, r } | Query::Report { l, r } => {
+                w.u64(l).u64(r);
+            }
+            Query::Heavy { threshold } => {
+                w.u64(threshold);
+            }
+            Query::Predecessor { q } | Query::Successor { q } => {
+                w.u64(q);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Query::SelfJoin,
+            1 => Query::RangeSum {
+                l: r.u64()?,
+                r: r.u64()?,
+            },
+            2 => Query::RangeCount {
+                l: r.u64()?,
+                r: r.u64()?,
+            },
+            3 => Query::Report {
+                l: r.u64()?,
+                r: r.u64()?,
+            },
+            4 => Query::Heavy {
+                threshold: r.u64()?,
+            },
+            5 => Query::Predecessor { q: r.u64()? },
+            6 => Query::Successor { q: r.u64()? },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "query",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// One post-handshake protocol message.
+///
+/// Direction is by convention (the state machines enforce it): the verifier
+/// sends `Ingest`/`EndStream`/`Query`/`Challenge`/`SubVectorRound`/
+/// `HhKeys`/`Accept`/`Reject`/`Bye`; the prover sends the rest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg<F> {
+    // ----- verifier → prover -----
+    /// A batch of stream updates to ingest.
+    Ingest(Vec<Update>),
+    /// The stream is complete; queries follow.
+    EndStream,
+    /// Open a query session.
+    Query(Query),
+    /// A revealed sum-check challenge `r_j`.
+    Challenge(F),
+    /// A sub-vector round: the revealed level key plus sibling requests.
+    SubVectorRound(RoundRequest<F>),
+    /// Heavy hitters: reveal the level keys `(r_level, s_level)`.
+    HhKeys {
+        /// The level whose disclosure should come next.
+        level: u32,
+        /// The hash key `r_level`.
+        r: F,
+        /// The count key `s_level`.
+        s: F,
+    },
+    /// The verifier accepted the current query's proof.
+    Accept,
+    /// The verifier rejected; the payload says why (the prover lost).
+    Reject(Rejection),
+    /// End of session; the prover may close the connection.
+    Bye,
+
+    // ----- prover → verifier -----
+    /// The prover's claimed answer to an aggregate query, as a field
+    /// element (the LDE-checked value the sum-check will bind).
+    ClaimedValue(F),
+    /// A sum-check round polynomial, as `degree + 1` evaluations.
+    RoundPoly(Vec<F>),
+    /// The claimed nonzero entries of a sub-vector query.
+    SubVectorAnswer(SubVectorAnswer<F>),
+    /// Sibling hashes answering a [`Msg::SubVectorRound`].
+    SubVectorReply(RoundReply<F>),
+    /// One level of the heavy-hitters skeleton.
+    HhDisclosure(LevelDisclosure<F>),
+    /// A claimed predecessor/successor key (`None` = no such key).
+    KeyClaim(Option<u64>),
+    /// The prover's own cumulative cost accounting for the connection,
+    /// sent in reply to [`Msg::Bye`] (advisory; the verifier keeps its own
+    /// books).
+    Cost(CostReport),
+    /// The prover cannot continue (bad state, internal error). Human
+    /// readable; never trusted.
+    Error(String),
+}
+
+impl<F> Msg<F> {
+    /// A short stable name, used in `UnexpectedMessage` errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Ingest(_) => "ingest",
+            Msg::EndStream => "end-stream",
+            Msg::Query(_) => "query",
+            Msg::Challenge(_) => "challenge",
+            Msg::SubVectorRound(_) => "subvector-round",
+            Msg::HhKeys { .. } => "hh-keys",
+            Msg::Accept => "accept",
+            Msg::Reject(_) => "reject",
+            Msg::Bye => "bye",
+            Msg::ClaimedValue(_) => "claimed-value",
+            Msg::RoundPoly(_) => "round-poly",
+            Msg::SubVectorAnswer(_) => "subvector-answer",
+            Msg::SubVectorReply(_) => "subvector-reply",
+            Msg::HhDisclosure(_) => "hh-disclosure",
+            Msg::KeyClaim(_) => "key-claim",
+            Msg::Cost(_) => "cost",
+            Msg::Error(_) => "error",
+        }
+    }
+}
+
+const TAG_INGEST: u8 = 0x01;
+const TAG_END_STREAM: u8 = 0x02;
+const TAG_QUERY: u8 = 0x03;
+const TAG_CHALLENGE: u8 = 0x04;
+const TAG_SUBVECTOR_ROUND: u8 = 0x05;
+const TAG_HH_KEYS: u8 = 0x06;
+const TAG_ACCEPT: u8 = 0x07;
+const TAG_REJECT: u8 = 0x08;
+const TAG_BYE: u8 = 0x09;
+const TAG_CLAIMED_VALUE: u8 = 0x81;
+const TAG_ROUND_POLY: u8 = 0x82;
+const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
+const TAG_SUBVECTOR_REPLY: u8 = 0x84;
+const TAG_HH_DISCLOSURE: u8 = 0x85;
+const TAG_KEY_CLAIM: u8 = 0x86;
+const TAG_COST: u8 = 0x87;
+const TAG_ERROR: u8 = 0x88;
+
+impl<F: PrimeField> WireCodec for Msg<F> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Msg::Ingest(ups) => {
+                w.u8(TAG_INGEST).count(ups.len());
+                for up in ups {
+                    up.encode(w);
+                }
+            }
+            Msg::EndStream => {
+                w.u8(TAG_END_STREAM);
+            }
+            Msg::Query(q) => {
+                w.u8(TAG_QUERY);
+                q.encode(w);
+            }
+            Msg::Challenge(x) => {
+                w.u8(TAG_CHALLENGE).field(*x);
+            }
+            Msg::SubVectorRound(req) => {
+                w.u8(TAG_SUBVECTOR_ROUND);
+                req.encode(w);
+            }
+            Msg::HhKeys { level, r, s } => {
+                w.u8(TAG_HH_KEYS).u32(*level).field(*r).field(*s);
+            }
+            Msg::Accept => {
+                w.u8(TAG_ACCEPT);
+            }
+            Msg::Reject(rej) => {
+                w.u8(TAG_REJECT);
+                rej.encode(w);
+            }
+            Msg::Bye => {
+                w.u8(TAG_BYE);
+            }
+            Msg::ClaimedValue(x) => {
+                w.u8(TAG_CLAIMED_VALUE).field(*x);
+            }
+            Msg::RoundPoly(evals) => {
+                w.u8(TAG_ROUND_POLY).count(evals.len());
+                for &e in evals {
+                    w.field(e);
+                }
+            }
+            Msg::SubVectorAnswer(ans) => {
+                w.u8(TAG_SUBVECTOR_ANSWER);
+                ans.encode(w);
+            }
+            Msg::SubVectorReply(rep) => {
+                w.u8(TAG_SUBVECTOR_REPLY);
+                rep.encode(w);
+            }
+            Msg::HhDisclosure(disc) => {
+                w.u8(TAG_HH_DISCLOSURE);
+                disc.encode(w);
+            }
+            Msg::KeyClaim(k) => {
+                w.u8(TAG_KEY_CLAIM).option(*k, |w, v| {
+                    w.u64(v);
+                });
+            }
+            Msg::Cost(c) => {
+                w.u8(TAG_COST);
+                c.encode(w);
+            }
+            Msg::Error(e) => {
+                w.u8(TAG_ERROR).string(e);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            TAG_INGEST => Msg::Ingest(r.seq(16, Update::decode)?),
+            TAG_END_STREAM => Msg::EndStream,
+            TAG_QUERY => Msg::Query(Query::decode(r)?),
+            TAG_CHALLENGE => Msg::Challenge(r.field()?),
+            TAG_SUBVECTOR_ROUND => Msg::SubVectorRound(RoundRequest::decode(r)?),
+            TAG_HH_KEYS => Msg::HhKeys {
+                level: r.u32()?,
+                r: r.field()?,
+                s: r.field()?,
+            },
+            TAG_ACCEPT => Msg::Accept,
+            TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
+            TAG_BYE => Msg::Bye,
+            TAG_CLAIMED_VALUE => Msg::ClaimedValue(r.field()?),
+            TAG_ROUND_POLY => Msg::RoundPoly(r.seq(field_width::<F>(), |r| r.field())?),
+            TAG_SUBVECTOR_ANSWER => Msg::SubVectorAnswer(SubVectorAnswer::decode(r)?),
+            TAG_SUBVECTOR_REPLY => Msg::SubVectorReply(RoundReply::decode(r)?),
+            TAG_HH_DISCLOSURE => Msg::HhDisclosure(LevelDisclosure::decode(r)?),
+            TAG_KEY_CLAIM => Msg::KeyClaim(r.option(|r| r.u64())?),
+            TAG_COST => Msg::Cost(CostReport::decode(r)?),
+            TAG_ERROR => Msg::Error(r.string()?),
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "message",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_core::heavy_hitters::DisclosedNode;
+    use sip_field::Fp61;
+
+    fn f(x: u64) -> Fp61 {
+        Fp61::from_u64(x)
+    }
+
+    fn roundtrip(msg: Msg<Fp61>) {
+        let bytes = msg.to_bytes();
+        assert_eq!(
+            Msg::<Fp61>::from_bytes(&bytes).unwrap(),
+            msg,
+            "{}",
+            msg.name()
+        );
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(Msg::Ingest(vec![
+            Update::new(0, 1),
+            Update::new(u64::MAX, -5),
+        ]));
+        roundtrip(Msg::EndStream);
+        roundtrip(Msg::Query(Query::SelfJoin));
+        roundtrip(Msg::Query(Query::RangeSum { l: 3, r: 900 }));
+        roundtrip(Msg::Query(Query::RangeCount { l: 0, r: 0 }));
+        roundtrip(Msg::Query(Query::Report { l: 7, r: 8 }));
+        roundtrip(Msg::Query(Query::Heavy { threshold: 42 }));
+        roundtrip(Msg::Query(Query::Predecessor { q: 11 }));
+        roundtrip(Msg::Query(Query::Successor { q: 12 }));
+        roundtrip(Msg::Challenge(f(999)));
+        roundtrip(Msg::SubVectorRound(RoundRequest {
+            level: 3,
+            challenge: f(17),
+            left: Some(4),
+            right: None,
+        }));
+        roundtrip(Msg::HhKeys {
+            level: 2,
+            r: f(5),
+            s: f(6),
+        });
+        roundtrip(Msg::Accept);
+        roundtrip(Msg::Reject(Rejection::RootMismatch));
+        roundtrip(Msg::Bye);
+        roundtrip(Msg::ClaimedValue(f(123)));
+        roundtrip(Msg::RoundPoly(vec![f(1), f(2), f(3)]));
+        roundtrip(Msg::RoundPoly(vec![]));
+        roundtrip(Msg::SubVectorAnswer(SubVectorAnswer {
+            entries: vec![(3, f(9)), (5, f(1))],
+        }));
+        roundtrip(Msg::SubVectorReply(RoundReply {
+            left: None,
+            right: Some(f(7)),
+        }));
+        roundtrip(Msg::HhDisclosure(LevelDisclosure {
+            level: 1,
+            nodes: vec![
+                DisclosedNode {
+                    index: 0,
+                    count: 10,
+                    hash: None,
+                },
+                DisclosedNode {
+                    index: 9,
+                    count: 1,
+                    hash: Some(f(77)),
+                },
+            ],
+        }));
+        roundtrip(Msg::KeyClaim(None));
+        roundtrip(Msg::KeyClaim(Some(31337)));
+        roundtrip(Msg::Cost(CostReport {
+            rounds: 1,
+            p_to_v_words: 2,
+            v_to_p_words: 3,
+            verifier_space_words: 4,
+        }));
+        roundtrip(Msg::Error("session state does not allow this".into()));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Msg::<Fp61>::from_bytes(&[0x40]).unwrap_err(),
+            WireError::BadTag {
+                context: "message",
+                tag: 0x40
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let msg = Msg::RoundPoly(vec![f(1), f(2), f(3)]);
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Msg::<Fp61>::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn extended_message_rejected() {
+        let mut bytes = Msg::Challenge(f(4)).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Msg::<Fp61>::from_bytes(&bytes).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests of the wire format: `decode(encode(m)) = m` for every
+//! message type over both fields, and decoding never accepts a frame that
+//! encoding could not have produced (truncations, trailing bytes,
+//! non-canonical field elements, forged counts, version skew).
+
+use proptest::prelude::*;
+use sip_core::error::Rejection;
+use sip_core::heavy_hitters::{DisclosedNode, LevelDisclosure};
+use sip_core::subvector::{RoundReply, RoundRequest, SubVectorAnswer};
+use sip_core::CostReport;
+use sip_field::{Fp127, Fp61, PrimeField};
+use sip_streaming::Update;
+use sip_wire::{Hello, Msg, Query, SessionMode, WireCodec, WireError, PROTOCOL_VERSION};
+
+fn f61(x: u64) -> Fp61 {
+    Fp61::from_u64(x)
+}
+
+fn f127(x: u128) -> Fp127 {
+    Fp127::from_u128(x)
+}
+
+/// Builds one message of each shape from raw integers, exercising every
+/// variant with arbitrary payloads.
+fn messages<F: PrimeField>(
+    raw: &[(u64, i64)],
+    scalar: F,
+    level: u32,
+    opt: Option<u64>,
+) -> Vec<Msg<F>> {
+    let fe = |x: u64| F::from_u64(x);
+    vec![
+        Msg::Ingest(raw.iter().map(|&(i, d)| Update::new(i, d)).collect()),
+        Msg::EndStream,
+        Msg::Query(Query::SelfJoin),
+        Msg::Query(Query::RangeSum {
+            l: raw.first().map_or(0, |&(i, _)| i),
+            r: raw.last().map_or(7, |&(i, _)| i),
+        }),
+        Msg::Query(Query::Heavy {
+            threshold: level as u64 + 1,
+        }),
+        Msg::Challenge(scalar),
+        Msg::SubVectorRound(RoundRequest {
+            level,
+            challenge: scalar,
+            left: opt,
+            right: opt.map(|x| x.wrapping_add(2)),
+        }),
+        Msg::HhKeys {
+            level,
+            r: scalar,
+            s: scalar + F::ONE,
+        },
+        Msg::Accept,
+        Msg::Reject(Rejection::in_subprotocol(
+            "range-count",
+            Rejection::AnswerTooLarge {
+                limit: level as usize,
+                got: level as usize + 1,
+            },
+        )),
+        Msg::Bye,
+        Msg::ClaimedValue(scalar),
+        Msg::RoundPoly(raw.iter().map(|&(i, _)| fe(i)).collect()),
+        Msg::SubVectorAnswer(SubVectorAnswer {
+            entries: raw.iter().map(|&(i, d)| (i, fe(d as u64))).collect(),
+        }),
+        Msg::SubVectorReply(RoundReply {
+            left: opt.map(fe),
+            right: None,
+        }),
+        Msg::HhDisclosure(LevelDisclosure {
+            level,
+            nodes: raw
+                .iter()
+                .map(|&(i, d)| DisclosedNode {
+                    index: i,
+                    count: d.unsigned_abs(),
+                    hash: (d % 2 == 0).then(|| fe(i)),
+                })
+                .collect(),
+        }),
+        Msg::KeyClaim(opt),
+        Msg::Cost(CostReport {
+            rounds: level as usize,
+            p_to_v_words: raw.len(),
+            v_to_p_words: opt.unwrap_or(0) as usize,
+            verifier_space_words: 3,
+        }),
+        Msg::Error("prover state machine desynchronised".into()),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for every variant, over both fields.
+    #[test]
+    fn all_variants_roundtrip(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 0..12),
+        x in any::<u64>(),
+        wide in any::<u128>(),
+        level in 0u32..64,
+        opt in any::<u64>(),
+    ) {
+        let opt = opt.is_multiple_of(2).then_some(opt);
+        for msg in messages::<Fp61>(&raw, f61(x), level, opt) {
+            let bytes = msg.to_bytes();
+            prop_assert_eq!(Msg::<Fp61>::from_bytes(&bytes).unwrap(), msg);
+        }
+        for msg in messages::<Fp127>(&raw, f127(wide), level, opt) {
+            let bytes = msg.to_bytes();
+            prop_assert_eq!(Msg::<Fp127>::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    /// No strict prefix of a valid frame decodes successfully (no message
+    /// is a prefix of another's encoding, so truncation is always caught).
+    #[test]
+    fn truncation_never_decodes(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 0..6),
+        x in any::<u64>(),
+        level in 0u32..64,
+    ) {
+        for msg in messages::<Fp61>(&raw, f61(x), level, Some(x)) {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    Msg::<Fp61>::from_bytes(&bytes[..cut]).is_err(),
+                    "{} decoded from a {cut}-byte prefix of {} bytes",
+                    msg.name(),
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    /// Appending any byte to a valid frame is always rejected.
+    #[test]
+    fn trailing_bytes_never_decode(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 0..6),
+        x in any::<u64>(),
+        level in 0u32..64,
+        junk in any::<u8>(),
+    ) {
+        for msg in messages::<Fp61>(&raw, f61(x), level, None) {
+            let mut bytes = msg.to_bytes();
+            bytes.push(junk);
+            prop_assert!(Msg::<Fp61>::from_bytes(&bytes).is_err(), "{}", msg.name());
+        }
+    }
+
+    /// Field elements decode canonically: a residue ≥ p in a challenge
+    /// frame is rejected, and every accepted challenge re-encodes to the
+    /// identical bytes (unique encodings).
+    #[test]
+    fn field_canonicity(x in any::<u64>()) {
+        let mut bytes = Msg::Challenge(f61(0)).to_bytes();
+        bytes[1..9].copy_from_slice(&x.to_le_bytes());
+        match Msg::<Fp61>::from_bytes(&bytes) {
+            Ok(Msg::Challenge(v)) => {
+                prop_assert!(x < (1u64 << 61) - 1);
+                prop_assert_eq!(Msg::Challenge(v).to_bytes(), bytes);
+            }
+            Ok(other) => prop_assert!(false, "decoded {}", other.name()),
+            Err(e) => {
+                prop_assert!(x >= (1u64 << 61) - 1);
+                prop_assert_eq!(e, WireError::NonCanonicalField);
+            }
+        }
+    }
+
+    /// Hello frames: version skew and magic damage are always detected.
+    #[test]
+    fn hello_version_and_magic(version in any::<u16>(), corrupt in 0usize..4, log_u in 1u32..64) {
+        let mut hello = Hello::new::<Fp61>(SessionMode::KvStore, log_u);
+        hello.version = version;
+        let bytes = hello.to_bytes();
+        prop_assert_eq!(Hello::from_bytes(&bytes).unwrap(), hello);
+
+        // Any corruption of the magic is BadMagic, regardless of version.
+        let mut damaged = bytes.clone();
+        damaged[corrupt] ^= 0x20;
+        prop_assert_eq!(Hello::from_bytes(&damaged).unwrap_err(), WireError::BadMagic);
+    }
+}
+
+/// The version gate itself (deterministic, not property-based): a peer
+/// announcing any version other than ours is refused by the server side.
+#[test]
+fn server_refuses_other_versions() {
+    use sip_core::channel::{InMemoryTransport, Transport};
+    for theirs in [0u16, PROTOCOL_VERSION + 1, u16::MAX] {
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::RawStream, 8);
+        hello.version = theirs;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = sip_wire::server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs
+            }
+        );
+    }
+}

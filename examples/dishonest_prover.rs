@@ -26,8 +26,7 @@ fn main() {
         Attack::LieAboutPredecessor,
     ] {
         let mut rng = StdRng::seed_from_u64(13);
-        let mut client =
-            Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
+        let mut client = Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
         let mut server = MaliciousStore::new(CloudStore::new(log_u), attack);
         for up in &records {
             client.put(up.index, up.delta as u64, &mut server);

@@ -54,15 +54,11 @@ fn main() {
 
     // F_max: the hottest destination's packet count.
     let fmax = run_fmax::<DefaultField, _>(log_u, &stream, 64, &mut rng).expect("verified");
-    println!(
-        "hottest destination (F_max)    = {} packets",
-        fmax.value
-    );
+    println!("hottest destination (F_max)    = {} packets", fmax.value);
 
     // Inverse distribution: one-packet destinations (port scans?).
-    let inv =
-        run_inverse_distribution::<DefaultField, _>(log_u, &stream, 1, 64, &mut rng)
-            .expect("verified");
+    let inv = run_inverse_distribution::<DefaultField, _>(log_u, &stream, 1, 64, &mut rng)
+        .expect("verified");
     println!("destinations with exactly 1 pkt = {}", inv.value);
 
     println!(

@@ -22,8 +22,7 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(7);
     let start = std::time::Instant::now();
-    let verified =
-        run_f2::<DefaultField, _>(log_u, &stream, &mut rng).expect("honest prover");
+    let verified = run_f2::<DefaultField, _>(log_u, &stream, &mut rng).expect("honest prover");
     let elapsed = start.elapsed();
 
     // Cross-check against direct computation (the thing the verifier could

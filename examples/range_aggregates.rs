@@ -39,15 +39,19 @@ fn main() {
 
     // Q1: total salary mass for ages 30–39 (verified RANGE-SUM).
     let (q_l, q_r) = age_range(30, 39);
-    let sum = run_range_sum::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng)
-        .expect("verified");
-    println!("Σ salaries, ages 30–39  = {}k  [{} words of proof, {} rounds]",
-        sum.value, sum.report.total_words(), sum.report.rounds);
+    let sum =
+        run_range_sum::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng).expect("verified");
+    println!(
+        "Σ salaries, ages 30–39  = {}k  [{} words of proof, {} rounds]",
+        sum.value,
+        sum.report.total_words(),
+        sum.report.rounds
+    );
 
     // Q2 depends on Q1's answer: drill into ages 35–37 (verified report).
     let (q_l, q_r) = age_range(35, 37);
-    let rows = run_range_query::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng)
-        .expect("verified");
+    let rows =
+        run_range_query::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng).expect("verified");
     println!(
         "employees aged 35–37    = {} verified rows  [{} words of proof]",
         rows.entries.len(),
@@ -67,8 +71,8 @@ fn main() {
 
     // Q3: the exact verified payroll for one age.
     let (q_l, q_r) = age_range(40, 40);
-    let sum40 = run_range_sum::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng)
-        .expect("verified");
+    let sum40 =
+        run_range_sum::<DefaultField, _>(log_u, &stream, q_l, q_r, &mut rng).expect("verified");
     println!("Σ salaries, age 40      = {}k", sum40.value);
 
     println!("\neach query used an independent digest (Section 7, multiple queries)");

@@ -38,9 +38,11 @@
 //! | [`field`] | Mersenne fields `Z_{2^61−1}`, `Z_{2^127−1}`, polynomials, Lagrange |
 //! | [`streaming`] | the update-stream input model, workloads, ground truth |
 //! | [`lde`] | Theorem 1: streaming low-degree-extension evaluation |
-//! | [`core`] | the paper's protocols (§3 aggregation, §4 reporting, §6 extensions, one-round baseline) |
+//! | [`core`] | the paper's protocols (§3 aggregation, §4 reporting, §6 extensions, one-round baseline), cost accounting, [`core::channel::Transport`] |
 //! | [`gkr`] | Theorem 3: streaming GKR over layered arithmetic circuits |
 //! | [`kvstore`] | the motivating application: a verified outsourced KV store |
+//! | [`wire`] | the versioned binary wire format (framed messages, handshake) |
+//! | [`server`] | the prover as a concurrent TCP service + the remote verifier client |
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
 //! for the reproduction of the paper's experimental study (Figures 2–3).
@@ -50,7 +52,9 @@ pub use sip_field as field;
 pub use sip_gkr as gkr;
 pub use sip_kvstore as kvstore;
 pub use sip_lde as lde;
+pub use sip_server as server;
 pub use sip_streaming as streaming;
+pub use sip_wire as wire;
 
 /// The paper's default field: `Z_p` with `p = 2^61 − 1`.
 pub type DefaultField = sip_field::Fp61;

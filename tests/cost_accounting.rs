@@ -27,7 +27,9 @@ fn rng(seed: u64) -> StdRng {
 #[test]
 fn f2_is_logarithmic() {
     let stream = workloads::paper_f2(1 << LOG_U, 1);
-    let r = run_f2::<Fp61, _>(LOG_U, &stream, &mut rng(1)).unwrap().report;
+    let r = run_f2::<Fp61, _>(LOG_U, &stream, &mut rng(1))
+        .unwrap()
+        .report;
     assert_eq!(r.rounds, D);
     assert_eq!(r.p_to_v_words, 3 * D);
     assert_eq!(r.v_to_p_words, D - 1);
@@ -39,7 +41,9 @@ fn f2_is_logarithmic() {
 fn moments_scale_linearly_in_k() {
     let stream = workloads::uniform(500, 1 << LOG_U, 10, 2);
     for k in [2u32, 4, 7] {
-        let r = run_moment::<Fp61, _>(k, LOG_U, &stream, &mut rng(2)).unwrap().report;
+        let r = run_moment::<Fp61, _>(k, LOG_U, &stream, &mut rng(2))
+            .unwrap()
+            .report;
         assert_eq!(r.p_to_v_words, (k as usize + 1) * D, "k={k}");
         assert_eq!(r.verifier_space_words, D + 4);
     }
@@ -49,7 +53,9 @@ fn moments_scale_linearly_in_k() {
 #[test]
 fn one_round_is_sqrt() {
     let stream = workloads::paper_f2(1 << LOG_U, 3);
-    let r = run_one_round_f2::<Fp61, _>(LOG_U, &stream, &mut rng(3)).unwrap().report;
+    let r = run_one_round_f2::<Fp61, _>(LOG_U, &stream, &mut rng(3))
+        .unwrap()
+        .report;
     let ell = 1usize << (LOG_U / 2);
     assert_eq!(r.rounds, 1);
     assert_eq!(r.p_to_v_words, 2 * ell - 1);

@@ -23,8 +23,12 @@ fn four_f2_implementations_agree() {
     let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
 
     let multi = run_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().value;
-    let single = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng).unwrap().value;
-    let moment = run_moment::<Fp61, _>(2, log_u, &stream, &mut rng).unwrap().value;
+    let single = run_one_round_f2::<Fp61, _>(log_u, &stream, &mut rng)
+        .unwrap()
+        .value;
+    let moment = run_moment::<Fp61, _>(2, log_u, &stream, &mut rng)
+        .unwrap()
+        .value;
     let (gkr_out, _) =
         run_streaming_gkr::<Fp61, _>(&builders::f2_circuit(log_u), &stream, &mut rng).unwrap();
 
@@ -71,7 +75,9 @@ fn index_agrees_with_frequency_vector() {
     let stream = workloads::with_deletions(2_000, 1 << log_u, 0.25, 5);
     let fv = FrequencyVector::from_stream(1 << log_u, &stream);
     for q in [0u64, 77, 400, 511] {
-        let got = run_index::<Fp61, _>(log_u, &stream, q, &mut rng).unwrap().value;
+        let got = run_index::<Fp61, _>(log_u, &stream, q, &mut rng)
+            .unwrap()
+            .value;
         assert_eq!(got, Fp61::from_i64(fv.get(q)), "q={q}");
     }
 }
@@ -84,7 +90,9 @@ fn inner_product_sumcheck_vs_gkr() {
     let sa = workloads::uniform(300, 1 << log_u, 20, 6);
     let sb = workloads::uniform(250, 1 << log_u, 20, 7);
 
-    let ip = run_inner_product::<Fp61, _>(log_u, &sa, &sb, &mut rng).unwrap().value;
+    let ip = run_inner_product::<Fp61, _>(log_u, &sa, &sb, &mut rng)
+        .unwrap()
+        .value;
 
     // GKR circuit input = [a ‖ b].
     let mut stream = sa.clone();

@@ -79,13 +79,8 @@ fn moments_structured_corruptions() {
                     corrupt(msg);
                 }
             };
-            let res = run_moment_with_adversary::<Fp61, _>(
-                3,
-                LOG_U,
-                &stream,
-                &mut rng,
-                Some(&mut adv),
-            );
+            let res =
+                run_moment_with_adversary::<Fp61, _>(3, LOG_U, &stream, &mut rng, Some(&mut adv));
             // "swap" of equal values and "zero"/"scale" of an all-zero
             // message would be no-ops; with this workload messages are
             // nonzero and distinct, so every corruption must be caught.
@@ -191,29 +186,30 @@ fn heavy_hitters_attack_matrix() {
         ("forge-witness", 3),
     ] {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut adv = move |level: u32, disc: &mut sip::core::heavy_hitters::LevelDisclosure<Fp61>| {
-            match attack {
-                0 if level == 0 => {
-                    if let Some(pos) = disc.nodes.iter().position(|n| n.count >= threshold) {
-                        disc.nodes.remove(pos);
+        let mut adv =
+            move |level: u32, disc: &mut sip::core::heavy_hitters::LevelDisclosure<Fp61>| {
+                match attack {
+                    0 if level == 0 => {
+                        if let Some(pos) = disc.nodes.iter().position(|n| n.count >= threshold) {
+                            disc.nodes.remove(pos);
+                        }
                     }
-                }
-                1 if level == 0 => {
-                    if let Some(n) = disc.nodes.first_mut() {
-                        n.count += 5;
+                    1 if level == 0 => {
+                        if let Some(n) = disc.nodes.first_mut() {
+                            n.count += 5;
+                        }
                     }
-                }
-                2 if level == 1 => {
-                    disc.nodes.truncate(disc.nodes.len() / 2);
-                }
-                3 if level >= 1 => {
-                    if let Some(n) = disc.nodes.iter_mut().find(|n| n.hash.is_some()) {
-                        *n.hash.as_mut().unwrap() *= Fp61::from_u64(2);
+                    2 if level == 1 => {
+                        disc.nodes.truncate(disc.nodes.len() / 2);
                     }
+                    3 if level >= 1 => {
+                        if let Some(n) = disc.nodes.iter_mut().find(|n| n.hash.is_some()) {
+                            *n.hash.as_mut().unwrap() *= Fp61::from_u64(2);
+                        }
+                    }
+                    _ => {}
                 }
-                _ => {}
-            }
-        };
+            };
         let res = run_heavy_hitters_with_adversary::<Fp61, _>(
             LOG_U,
             &stream,
