@@ -1,0 +1,192 @@
+//! Cluster scaling: verifier time, per-shard prover time and wire traffic
+//! for S ∈ {1, 2, 4, 8} prover shards, emitted as machine-readable
+//! `BENCH_cluster.json` (plus a human-readable CSV on stdout).
+//!
+//! What is measured, per fleet size S over the same `n = 2^log_u`-update
+//! stream:
+//!
+//! * `verify_f2_ms` / `verify_range_sum_ms` — wall time of the aggregating
+//!   verifier's interactive phase against a real TCP fleet (S pinned shard
+//!   servers on localhost);
+//! * `prover_ms_max` / `prover_ms_sum` — per-shard honest prover work
+//!   (fold build + all round messages), replayed in-process per shard: the
+//!   `max` is the fleet's parallel wall-clock, the `sum` is the S = 1
+//!   baseline's serial cost — their ratio is the scale-out win;
+//! * `wire_bytes` — actual interactive-phase bytes across all S sockets;
+//! * `total_words` — the paper-style word accounting
+//!   ([`ClusterCostReport::total`]).
+//!
+//! Usage: `cargo run --release -p sip-bench --bin bench_cluster
+//! [--log-u N] [--out PATH]`
+//!
+//! [`ClusterCostReport::total`]: sip_core::channel::ClusterCostReport
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_u32, csv_header, time_once};
+use sip_cluster::{spawn_local_fleet, ClusterClient, ClusterF2Verifier, ClusterRangeSumVerifier};
+use sip_core::sumcheck::f2::F2Prover;
+use sip_core::sumcheck::RoundProver;
+use sip_field::{Fp61, PrimeField};
+use sip_server::ServerHandle;
+use sip_streaming::{workloads, FrequencyVector, ShardPlan};
+
+fn arg_string(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn spawn_fleet(shards: u32, log_u: u32) -> (Vec<ServerHandle>, Vec<std::net::SocketAddr>) {
+    spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers")
+}
+
+struct Point {
+    shards: u32,
+    upload_ms: f64,
+    verify_f2_ms: f64,
+    verify_range_sum_ms: f64,
+    prover_ms_max: f64,
+    prover_ms_sum: f64,
+    wire_bytes: usize,
+    total_words: usize,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn measure(shards: u32, log_u: u32, stream: &[sip_streaming::Update]) -> Point {
+    let plan = ShardPlan::new(log_u, shards);
+    let (handles, addrs) = spawn_fleet(shards, log_u);
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::connect(&addrs, log_u).expect("connect");
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+    let upload = Instant::now();
+    for &up in stream {
+        f2.update(up);
+        rs.update(up);
+        client.send_update(up);
+    }
+    client.end_stream().expect("end stream");
+    let upload_ms = ms(upload.elapsed());
+
+    let before = client.stats();
+    let (f2_got, f2_time) = time_once(|| client.verify_f2(f2).expect("honest accept"));
+    let u = 1u64 << log_u;
+    let (rs_got, rs_time) = time_once(|| {
+        client
+            .verify_range_sum(rs, u / 4, 3 * u / 4)
+            .expect("honest accept")
+    });
+    let after = client.stats();
+    let wire_bytes: usize = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| (a.bytes_sent - b.bytes_sent) + (a.bytes_received - b.bytes_received))
+        .sum();
+    let total_words = f2_got.report.total().total_words() + rs_got.report.total().total_words();
+    client.bye().ok();
+    for h in handles {
+        h.shutdown();
+    }
+
+    // Per-shard honest prover work, replayed in-process: build the fold
+    // table and produce every round message with challenge binding.
+    let parts = plan.split(stream);
+    let mut prover_times = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let t = Instant::now();
+        let fv = FrequencyVector::from_stream(u, part);
+        let mut prover = F2Prover::<Fp61>::new(&fv, log_u);
+        for round in 0..log_u {
+            std::hint::black_box(prover.message());
+            if round + 1 < log_u {
+                prover.bind(Fp61::from_u64(round as u64 + 3));
+            }
+        }
+        prover_times.push(t.elapsed());
+    }
+    Point {
+        shards,
+        upload_ms,
+        verify_f2_ms: ms(f2_time),
+        verify_range_sum_ms: ms(rs_time),
+        prover_ms_max: prover_times.iter().map(|&d| ms(d)).fold(0.0, f64::max),
+        prover_ms_sum: prover_times.iter().map(|&d| ms(d)).sum(),
+        wire_bytes,
+        total_words,
+    }
+}
+
+fn main() {
+    let log_u = arg_u32("--log-u", 16);
+    let out_path = arg_string("--out", "BENCH_cluster.json");
+    let n = 1u64 << log_u;
+    let stream = workloads::paper_f2(n, 11);
+
+    csv_header(&[
+        "shards",
+        "upload_ms",
+        "verify_f2_ms",
+        "verify_range_sum_ms",
+        "prover_ms_max",
+        "prover_ms_sum",
+        "wire_bytes",
+        "total_words",
+    ]);
+    let mut points = Vec::new();
+    for shards in [1u32, 2, 4, 8] {
+        let p = measure(shards, log_u, &stream);
+        println!(
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{},{}",
+            p.shards,
+            p.upload_ms,
+            p.verify_f2_ms,
+            p.verify_range_sum_ms,
+            p.prover_ms_max,
+            p.prover_ms_sum,
+            p.wire_bytes,
+            p.total_words
+        );
+        points.push(p);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"cluster\",");
+    let _ = writeln!(json, "  \"field\": \"Fp61\",");
+    let _ = writeln!(json, "  \"log_u\": {log_u},");
+    let _ = writeln!(json, "  \"n_updates\": {n},");
+    let _ = writeln!(json, "  \"queries\": [\"f2\", \"range_sum\"],");
+    json.push_str("  \"series\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"upload_ms\": {:.3}, \"verify_f2_ms\": {:.3}, \
+             \"verify_range_sum_ms\": {:.3}, \"prover_ms_max\": {:.3}, \
+             \"prover_ms_sum\": {:.3}, \"wire_bytes\": {}, \"total_words\": {}}}{}",
+            p.shards,
+            p.upload_ms,
+            p.verify_f2_ms,
+            p.verify_range_sum_ms,
+            p.prover_ms_max,
+            p.prover_ms_sum,
+            p.wire_bytes,
+            p.total_words,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_cluster.json");
+    eprintln!("# wrote {out_path}");
+}

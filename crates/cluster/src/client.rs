@@ -1,0 +1,535 @@
+//! The aggregating verifier's fleet driver: `S` sharded prover sessions,
+//! broadcast randomness, per-shard blame.
+
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+use sip_core::channel::{
+    ClusterCostReport, CostReport, FramedTcpTransport, Transport, TransportStats,
+};
+use sip_core::error::Rejection;
+use sip_core::sumcheck::AggregatingVerifier;
+use sip_field::PrimeField;
+use sip_kvstore::KvServer;
+use sip_server::client::{RawClient, RemoteStore, DEFAULT_CLIENT_TIMEOUT};
+use sip_server::{ServerConfig, ServerHandle};
+use sip_streaming::{ShardPlan, Update};
+use sip_wire::{Msg, Query, ShardSpec, WireError};
+
+use crate::digest::{ClusterF2Verifier, ClusterRangeSumVerifier, ClusterReportVerifier};
+use crate::router::ShardRouter;
+
+/// A verified fleet-level result: the composed value plus per-shard cost
+/// accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterVerified<T> {
+    /// The verified value (aggregate or merged report).
+    pub value: T,
+    /// Per-shard and total words; see [`ClusterCostReport::total`].
+    pub report: ClusterCostReport,
+}
+
+fn blame(s: usize, e: Rejection) -> Rejection {
+    Rejection::blame(s as u32, e)
+}
+
+fn unexpected(s: usize, expected: &'static str, got: &'static str) -> Rejection {
+    blame(
+        s,
+        Rejection::MalformedAnswer {
+            detail: format!("wire: {}", WireError::UnexpectedMessage { expected, got }),
+        },
+    )
+}
+
+/// Drives the aggregate and reporting protocols against a fleet of `S`
+/// sharded provers over raw update streams.
+///
+/// The caller owns the digests ([`ClusterF2Verifier`] &c. — they must
+/// observe the same updates that are uploaded); this client owns the `S`
+/// conversations: it routes the stream by the shared [`ShardPlan`], fans
+/// queries out, broadcasts each revealed challenge to every shard
+/// ([`Msg::BroadcastChallenge`]), and folds the per-shard transcripts
+/// through the lockstep checker. Any shard-attributable failure — algebra
+/// or wire — surfaces as [`Rejection::Blame`] with that shard's id.
+pub struct ClusterClient<F: PrimeField, T: Transport> {
+    router: ShardRouter,
+    shards: Vec<RawClient<F, T>>,
+}
+
+impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
+    /// Connects to `addrs.len()` sharded provers (shard `s` at `addrs[s]`)
+    /// over keys `[2^log_u]`.
+    ///
+    /// # Panics
+    /// Panics if `(log_u, addrs.len())` is not a valid [`ShardPlan`] shape
+    /// (empty fleet, more shards than keys, …) — that is local
+    /// misconfiguration, not prover misbehaviour, so it is not a
+    /// [`Rejection`].
+    pub fn connect<A: ToSocketAddrs>(addrs: &[A], log_u: u32) -> Result<Self, Rejection> {
+        Self::connect_with_timeout(addrs, log_u, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Like [`Self::connect`] with an explicit per-read timeout.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addrs: &[A],
+        log_u: u32,
+        timeout: Duration,
+    ) -> Result<Self, Rejection> {
+        let plan = ShardPlan::new(log_u, addrs.len() as u32);
+        let mut shards = Vec::with_capacity(addrs.len());
+        for (s, addr) in addrs.iter().enumerate() {
+            let mut client =
+                RawClient::connect_with_timeout(addr, log_u, timeout).map_err(|e| blame(s, e))?;
+            client
+                .shard_hello(ShardSpec {
+                    index: s as u32,
+                    count: plan.shards(),
+                })
+                .map_err(|e| blame(s, e))?;
+            shards.push(client);
+        }
+        Ok(ClusterClient {
+            router: ShardRouter::new(plan),
+            shards,
+        })
+    }
+}
+
+impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
+    /// Builds a fleet over already-connected transports (shard `s` on
+    /// `transports[s]`), performing the raw-stream handshake plus the
+    /// [`Msg::ShardHello`] declaration on each.
+    ///
+    /// # Panics
+    /// Panics if `(log_u, transports.len())` is not a valid [`ShardPlan`]
+    /// shape (see [`Self::connect`]).
+    pub fn from_transports(transports: Vec<T>, log_u: u32) -> Result<Self, Rejection> {
+        let plan = ShardPlan::new(log_u, transports.len() as u32);
+        let mut shards = Vec::with_capacity(plan.shards() as usize);
+        for (s, transport) in transports.into_iter().enumerate() {
+            let mut client =
+                RawClient::from_transport(transport, log_u).map_err(|e| blame(s, e))?;
+            client
+                .shard_hello(ShardSpec {
+                    index: s as u32,
+                    count: plan.shards(),
+                })
+                .map_err(|e| blame(s, e))?;
+            shards.push(client);
+        }
+        Ok(ClusterClient {
+            router: ShardRouter::new(plan),
+            shards,
+        })
+    }
+
+    /// The fleet partition.
+    pub fn plan(&self) -> &ShardPlan {
+        self.router.plan()
+    }
+
+    /// Number of shards `S`.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Uploads one update to its owning shard (buffered; remember to feed
+    /// the digests too).
+    pub fn send_update(&mut self, up: Update) {
+        let s = self.router.route(up) as usize;
+        self.shards[s].send_update(up);
+    }
+
+    /// Uploads a whole stream.
+    pub fn send_stream(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.send_update(up);
+        }
+    }
+
+    /// Flushes buffered updates everywhere and marks the stream complete.
+    pub fn end_stream(&mut self) -> Result<(), Rejection> {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.end_stream().map_err(|e| blame(s, e))?;
+        }
+        Ok(())
+    }
+
+    /// Ends every session politely, collecting each prover's own (advisory)
+    /// cost accounting.
+    pub fn bye(&mut self) -> Result<Vec<CostReport>, Rejection> {
+        self.shards
+            .iter_mut()
+            .enumerate()
+            .map(|(s, shard)| shard.bye().map_err(|e| blame(s, e)))
+            .collect()
+    }
+
+    /// Per-shard bytes/frames moved so far.
+    pub fn stats(&self) -> Vec<TransportStats> {
+        self.shards.iter().map(RawClient::stats).collect()
+    }
+
+    /// Runs one fleet-wide lockstep sum-check conversation.
+    ///
+    /// Opens `query` on every shard, collects the per-shard claims and
+    /// round polynomials, feeds them through the per-prover residual
+    /// checks, and broadcasts each revealed challenge (stamped with its
+    /// round) to all shards. Sends always fan out to the whole fleet
+    /// before any reply is awaited, so a round costs one round-trip, not
+    /// `S` — the shards prove in parallel. `extra_v_words` charges query
+    /// parameters (the range announcement) to every shard's books.
+    fn drive_aggregate(
+        &mut self,
+        query: Query,
+        extra_v_words: usize,
+        mut agg: AggregatingVerifier<F>,
+        streamed: &[F],
+        space_words: usize,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        let n = self.shards.len();
+        assert_eq!(agg.shards(), n, "digest fleet size disagrees with client");
+        let mut report = ClusterCostReport::new(n);
+        report.verifier_space_words = space_words;
+        for r in &mut report.per_shard {
+            r.v_to_p_words += extra_v_words;
+        }
+        let result = (|| {
+            let mut polys: Vec<Vec<F>> = Vec::with_capacity(n);
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                shard
+                    .tell_msg(&Msg::Query(query))
+                    .map_err(|e| blame(s, e))?;
+            }
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let claimed = match shard.recv_msg() {
+                    Ok(Msg::ClaimedValue(v)) => v,
+                    Ok(other) => return Err(unexpected(s, "claimed-value", other.name())),
+                    Err(e) => return Err(blame(s, e)),
+                };
+                report.per_shard[s].p_to_v_words += 1;
+                let poly = match shard.recv_msg() {
+                    Ok(Msg::RoundPoly(p)) => p,
+                    Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
+                    Err(e) => return Err(blame(s, e)),
+                };
+                // The two opening messages must agree before any round runs
+                // (length errors are left to the round checker, which
+                // reports them with the proper round number). Together with
+                // the round checks this pins the announced claim to the
+                // proven value, so no post-finalize re-check is needed.
+                if poly.len() >= 2 && poly[0] + poly[1] != claimed {
+                    return Err(blame(
+                        s,
+                        Rejection::MalformedAnswer {
+                            detail: "claimed value disagrees with the first round polynomial"
+                                .into(),
+                        },
+                    ));
+                }
+                polys.push(poly);
+            }
+            let mut round = 1u32;
+            loop {
+                for (s, poly) in polys.iter().enumerate() {
+                    report.per_shard[s].rounds += 1;
+                    report.per_shard[s].p_to_v_words += poly.len();
+                }
+                match agg.receive_round(&polys)? {
+                    Some(challenge) => {
+                        for (s, shard) in self.shards.iter_mut().enumerate() {
+                            report.per_shard[s].v_to_p_words += 1;
+                            shard
+                                .tell_msg(&Msg::BroadcastChallenge { round, challenge })
+                                .map_err(|e| blame(s, e))?;
+                        }
+                        for (s, shard) in self.shards.iter_mut().enumerate() {
+                            polys[s] = match shard.recv_msg() {
+                                Ok(Msg::RoundPoly(p)) => p,
+                                Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
+                                Err(e) => return Err(blame(s, e)),
+                            };
+                        }
+                        round += 1;
+                    }
+                    None => break,
+                }
+            }
+            agg.finalize(streamed)
+        })();
+        // Every shard learns the fleet-level verdict (including whom the
+        // rejection blames — the guilty shard sees its own indictment).
+        for shard in &mut self.shards {
+            shard.verdict(&result);
+        }
+        let value = result?;
+        Ok(ClusterVerified { value, report })
+    }
+
+    /// Verified fleet-wide SELF-JOIN SIZE over everything uploaded so far.
+    /// The digest must have observed exactly the uploaded stream.
+    ///
+    /// # Panics
+    /// Panics if the digest was drawn for a different [`ShardPlan`] than
+    /// this client's fleet — a mismatched universe or fleet size is a
+    /// verifier-side configuration bug, not a prover to blame.
+    pub fn verify_f2(
+        &mut self,
+        digest: ClusterF2Verifier<F>,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        assert_eq!(
+            digest.plan(),
+            self.router.plan(),
+            "digest plan disagrees with client"
+        );
+        let space = digest.space_words();
+        let (agg, streamed) = digest.into_session();
+        self.drive_aggregate(Query::SelfJoin, 0, agg, &streamed, space)
+    }
+
+    /// Verified fleet-wide RANGE-SUM over `[q_l, q_r]`.
+    ///
+    /// # Panics
+    /// Panics if the digest was drawn for a different [`ShardPlan`] than
+    /// this client's fleet (see [`Self::verify_f2`]).
+    pub fn verify_range_sum(
+        &mut self,
+        digest: ClusterRangeSumVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        assert_eq!(
+            digest.plan(),
+            self.router.plan(),
+            "digest plan disagrees with client"
+        );
+        let space = digest.space_words();
+        let (agg, streamed) = digest.into_session(q_l, q_r);
+        self.drive_aggregate(Query::RangeSum { l: q_l, r: q_r }, 2, agg, &streamed, space)
+    }
+
+    /// Verified fleet-wide SUB-VECTOR report over `[q_l, q_r]`: each
+    /// overlapping shard proves its slice against its own hash tree;
+    /// disjoint ascending slices concatenate in index order.
+    pub fn verify_report(
+        &mut self,
+        mut digest: ClusterReportVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<ClusterVerified<Vec<(u64, F)>>, Rejection> {
+        assert_eq!(
+            digest.plan(),
+            self.router.plan(),
+            "digest plan disagrees with client"
+        );
+        let mut report = ClusterCostReport::new(self.shards.len());
+        let mut entries = Vec::new();
+        for s in 0..self.shards.len() {
+            let Some((l, r)) = self.router.clamp(s as u32, q_l, q_r) else {
+                continue;
+            };
+            let verified = self.shards[s]
+                .verify_report(digest.take(s), l, r)
+                .map_err(|e| blame(s, e))?;
+            report.absorb_shard(s, &verified.report);
+            entries.extend(verified.entries);
+        }
+        Ok(ClusterVerified {
+            value: entries,
+            report,
+        })
+    }
+}
+
+/// Spawns `shards` pinned single-shard TCP prover servers on loopback —
+/// each the equivalent of `sip-prover --listen 127.0.0.1:0 --shard s --of
+/// shards --log-u log_u` — and returns their handles plus dial addresses
+/// in shard order. The local half of a fleet deployment, shared by the
+/// e2e/tamper suites, the bench and the demo; production fleets launch the
+/// `sip-prover` binary instead.
+pub fn spawn_local_fleet<F: PrimeField>(
+    shards: u32,
+    log_u: u32,
+) -> std::io::Result<(Vec<ServerHandle>, Vec<std::net::SocketAddr>)> {
+    let mut handles = Vec::with_capacity(shards as usize);
+    for index in 0..shards {
+        handles.push(sip_server::spawn::<F, _>(
+            "127.0.0.1:0",
+            ServerConfig {
+                shard: Some(ShardSpec {
+                    index,
+                    count: shards,
+                }),
+                require_log_u: Some(log_u),
+                ..ServerConfig::default()
+            },
+        )?);
+    }
+    let addrs = handles.iter().map(ServerHandle::local_addr).collect();
+    Ok((handles, addrs))
+}
+
+/// Connects a *key-value* fleet: one [`RemoteStore`] per shard, each
+/// declared as its shard of the plan so the prover enforces its key range.
+/// Box the result ([`sip_kvstore::boxed_fleet`]) for
+/// [`sip_kvstore::ShardedClient`]; clones share connections, so keep the
+/// originals for [`RemoteStore::bye`]/[`RemoteStore::stats`].
+///
+/// # Panics
+/// Panics if `(log_u, addrs.len())` is not a valid [`ShardPlan`] shape
+/// (see [`ClusterClient::connect`]).
+pub fn connect_kv_fleet<F: PrimeField, A: ToSocketAddrs>(
+    addrs: &[A],
+    log_u: u32,
+) -> Result<Vec<RemoteStore<F, FramedTcpTransport>>, Rejection> {
+    let plan = ShardPlan::new(log_u, addrs.len() as u32);
+    let mut stores = Vec::with_capacity(addrs.len());
+    for (s, addr) in addrs.iter().enumerate() {
+        let store: RemoteStore<F, _> =
+            RemoteStore::connect(addr, log_u).map_err(|e| blame(s, e))?;
+        store
+            .shard_hello(ShardSpec {
+                index: s as u32,
+                count: plan.shards(),
+            })
+            .map_err(|e| blame(s, e))?;
+        stores.push(store);
+    }
+    Ok(stores)
+}
+
+/// Boxes a connected kv fleet for the [`sip_kvstore::ShardedClient`]
+/// surface while keeping the originals usable (handles share connections).
+pub fn boxed_kv_fleet<F: PrimeField>(
+    stores: &[RemoteStore<F, FramedTcpTransport>],
+) -> Vec<Box<dyn KvServer<F>>> {
+    stores
+        .iter()
+        .map(|s| Box::new(s.clone()) as Box<dyn KvServer<F>>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_core::channel::InMemoryTransport;
+    use sip_field::Fp61;
+    use sip_server::session::run_session;
+    use sip_streaming::{workloads, FrequencyVector};
+    use std::thread;
+
+    /// Spawns `shards` in-memory prover sessions and a cluster client over
+    /// them.
+    fn fleet(
+        shards: u32,
+        log_u: u32,
+    ) -> (
+        ClusterClient<Fp61, InMemoryTransport>,
+        Vec<thread::JoinHandle<()>>,
+    ) {
+        let mut transports = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..shards {
+            let (mut a, b) = InMemoryTransport::pair();
+            servers.push(thread::spawn(move || {
+                let hello = sip_wire::server_handshake::<Fp61, _>(&mut a).unwrap();
+                let _ = run_session::<Fp61, _>(a, hello.mode, hello.log_u);
+            }));
+            transports.push(b);
+        }
+        let client = ClusterClient::from_transports(transports, log_u).unwrap();
+        (client, servers)
+    }
+
+    #[test]
+    fn fleet_f2_and_range_sum_match_ground_truth() {
+        let log_u = 8;
+        let stream = workloads::uniform(400, 1 << log_u, 30, 5);
+        let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+        for shards in [1u32, 2, 4] {
+            let plan = ShardPlan::new(log_u, shards);
+            let mut rng = StdRng::seed_from_u64(shards as u64);
+            let (mut client, servers) = fleet(shards, log_u);
+            let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+            let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+            for &up in &stream {
+                f2.update(up);
+                rs.update(up);
+                client.send_update(up);
+            }
+            client.end_stream().unwrap();
+            let got = client.verify_f2(f2).unwrap();
+            assert_eq!(
+                got.value,
+                Fp61::from_u128(fv.self_join_size() as u128),
+                "S={shards}"
+            );
+            assert_eq!(got.report.shards(), shards as usize);
+            let (q_l, q_r) = (40u64, 200u64);
+            let got = client.verify_range_sum(rs, q_l, q_r).unwrap();
+            assert_eq!(got.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+            client.bye().unwrap();
+            for s in servers {
+                s.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_report_merges_shard_slices() {
+        let log_u = 8;
+        let u = 1u64 << log_u;
+        let stream = workloads::distinct_key_values(80, u, 300, 7);
+        let fv = FrequencyVector::from_stream(u, &stream);
+        let shards = 4u32;
+        let plan = ShardPlan::new(log_u, shards);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut client, servers) = fleet(shards, log_u);
+        let mut digest = ClusterReportVerifier::<Fp61>::new(plan, &mut rng);
+        for &up in &stream {
+            digest.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().unwrap();
+        let (q_l, q_r) = (10u64, 230u64);
+        let got = client.verify_report(digest, q_l, q_r).unwrap();
+        let expect: Vec<(u64, Fp61)> = fv
+            .range_report(q_l, q_r)
+            .into_iter()
+            .map(|(i, f)| (i, Fp61::from_i64(f)))
+            .collect();
+        assert_eq!(got.value, expect);
+        client.bye().unwrap();
+        for s in servers {
+            s.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn misrouted_update_is_refused_by_the_shard() {
+        // Bypass the router and push an update to the wrong shard: the
+        // prover must refuse it (error frame → poisoned connection), so
+        // two shards can never silently hold overlapping state.
+        let log_u = 4;
+        let plan = ShardPlan::new(log_u, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut client, servers) = fleet(2, log_u);
+        let digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+        // Shard 0 owns [0, 7]; hand it index 9 directly.
+        client.shards[0].send_update(Update::new(9, 1));
+        // The refusal surfaces at the next read from that connection —
+        // either the flush itself or the first query message.
+        let err = client
+            .end_stream()
+            .and_then(|()| client.verify_f2(digest).map(|_| ()))
+            .unwrap_err();
+        assert_eq!(err.blamed_shard(), Some(0), "{err}");
+        drop(client);
+        for s in servers {
+            s.join().unwrap();
+        }
+    }
+}

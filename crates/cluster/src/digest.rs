@@ -1,0 +1,265 @@
+//! The aggregating verifier's streaming digests, shard-resolved.
+//!
+//! The single-prover verifier keeps `f_a(r)` in one accumulator; the
+//! cluster verifier keeps `f_{a_s}(r)` — one accumulator **per shard**, all
+//! at the *same* secret point `r` — because the per-shard final checks
+//! (`g_d⁽ˢ⁾(r_d) = f_{a_s}(r)²` for F₂, `f_{a_s}(r)·f_b(r)` for RANGE-SUM)
+//! are what make a failure attributable to one prover. The χ tables are
+//! shared, so per-update work stays `O(log u)` regardless of `S`, and space
+//! is `log u + S` words instead of `log u + 1`.
+//!
+//! As everywhere else, one digest = one query: randomness reuse across
+//! queries is unsound (paper §7, "Multiple Queries").
+
+use rand::Rng;
+use sip_core::sumcheck::AggregatingVerifier;
+use sip_field::PrimeField;
+use sip_lde::{range_indicator_lde, LdeParams, StreamingLdeEvaluator};
+use sip_streaming::{ShardPlan, Update};
+
+use crate::router::ShardRouter;
+use sip_core::subvector::SubVectorVerifier;
+
+/// Streaming evaluation of every shard's LDE `f_{a_s}(r)` at one shared
+/// secret point (Theorem 1, shard-resolved).
+#[derive(Clone, Debug)]
+pub struct ShardedLde<F: PrimeField> {
+    router: ShardRouter,
+    /// Shared point and χ tables; its own accumulator stays unused (each
+    /// update lands in exactly one shard accumulator instead).
+    probe: StreamingLdeEvaluator<F>,
+    accs: Vec<F>,
+}
+
+impl<F: PrimeField> ShardedLde<F> {
+    /// Draws the shared secret point for a fleet under `plan`.
+    pub fn random<R: Rng + ?Sized>(plan: ShardPlan, rng: &mut R) -> Self {
+        ShardedLde {
+            router: ShardRouter::new(plan),
+            probe: StreamingLdeEvaluator::random(LdeParams::binary(plan.log_u()), rng),
+            accs: vec![F::ZERO; plan.shards() as usize],
+        }
+    }
+
+    /// The fleet partition.
+    pub fn plan(&self) -> &ShardPlan {
+        self.router.plan()
+    }
+
+    /// The shared secret point `r`.
+    pub fn point(&self) -> &[F] {
+        self.probe.point()
+    }
+
+    /// Per-shard values `f_{a_s}(r)`, indexed by shard.
+    pub fn values(&self) -> &[F] {
+        &self.accs
+    }
+
+    /// The whole-stream value `f_a(r) = Σ_s f_{a_s}(r)` (linearity).
+    pub fn combined(&self) -> F {
+        self.accs.iter().fold(F::ZERO, |acc, &v| acc + v)
+    }
+
+    /// Processes one stream update into its owning shard's accumulator.
+    pub fn update(&mut self, up: Update) {
+        let s = self.router.route(up) as usize;
+        self.accs[s] += F::from_i64(up.delta) * self.probe.weight(up.index);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.update(up);
+        }
+    }
+
+    /// Digest space in words: the point plus one accumulator per shard.
+    pub fn space_words(&self) -> usize {
+        self.probe.point().len() + self.accs.len()
+    }
+}
+
+/// Streaming verifier digest for a fleet-wide SELF-JOIN SIZE (F₂) query.
+#[derive(Clone, Debug)]
+pub struct ClusterF2Verifier<F: PrimeField> {
+    lde: ShardedLde<F>,
+}
+
+impl<F: PrimeField> ClusterF2Verifier<F> {
+    /// Draws the shared secret point and prepares to observe the stream.
+    pub fn new<R: Rng + ?Sized>(plan: ShardPlan, rng: &mut R) -> Self {
+        ClusterF2Verifier {
+            lde: ShardedLde::random(plan, rng),
+        }
+    }
+
+    /// The fleet partition this digest was drawn for.
+    pub fn plan(&self) -> &ShardPlan {
+        self.lde.plan()
+    }
+
+    /// Processes one stream update.
+    pub fn update(&mut self, up: Update) {
+        self.lde.update(up);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        self.lde.update_all(stream);
+    }
+
+    /// Verifier space in words (digest plus per-shard round residuals).
+    pub fn space_words(&self) -> usize {
+        self.lde.space_words() + 3 * self.lde.accs.len()
+    }
+
+    /// Ends streaming: the lockstep round checker plus the per-shard final
+    /// values `f_{a_s}(r)²`.
+    pub fn into_session(self) -> (AggregatingVerifier<F>, Vec<F>) {
+        let expected: Vec<F> = self.lde.values().iter().map(|&v| v * v).collect();
+        (
+            AggregatingVerifier::new(self.lde.point().to_vec(), 2, expected.len()),
+            expected,
+        )
+    }
+}
+
+/// Streaming verifier digest for a fleet-wide RANGE-SUM query; the range
+/// arrives at query time.
+#[derive(Clone, Debug)]
+pub struct ClusterRangeSumVerifier<F: PrimeField> {
+    lde: ShardedLde<F>,
+}
+
+impl<F: PrimeField> ClusterRangeSumVerifier<F> {
+    /// Draws the shared secret point and prepares to observe the stream.
+    pub fn new<R: Rng + ?Sized>(plan: ShardPlan, rng: &mut R) -> Self {
+        ClusterRangeSumVerifier {
+            lde: ShardedLde::random(plan, rng),
+        }
+    }
+
+    /// The fleet partition this digest was drawn for.
+    pub fn plan(&self) -> &ShardPlan {
+        self.lde.plan()
+    }
+
+    /// Processes one stream update.
+    pub fn update(&mut self, up: Update) {
+        self.lde.update(up);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        self.lde.update_all(stream);
+    }
+
+    /// Verifier space in words.
+    pub fn space_words(&self) -> usize {
+        self.lde.space_words() + 3 * self.lde.accs.len()
+    }
+
+    /// Ends streaming and fixes the query range: per-shard final values
+    /// `f_{a_s}(r)·f_b(r)` with the indicator LDE computed locally once.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or outside the universe.
+    pub fn into_session(self, q_l: u64, q_r: u64) -> (AggregatingVerifier<F>, Vec<F>) {
+        let fb = range_indicator_lde(q_l, q_r, self.lde.point());
+        let expected: Vec<F> = self.lde.values().iter().map(|&v| v * fb).collect();
+        (
+            AggregatingVerifier::new(self.lde.point().to_vec(), 2, expected.len()),
+            expected,
+        )
+    }
+}
+
+/// Streaming verifier digest for fleet-wide SUB-VECTOR reporting: one hash
+/// tree per shard (independent keys — each shard's sub-range is verified
+/// against its own streamed root, so a bad subtree names its shard).
+pub struct ClusterReportVerifier<F: PrimeField> {
+    router: ShardRouter,
+    verifiers: Vec<Option<SubVectorVerifier<F>>>,
+}
+
+impl<F: PrimeField> ClusterReportVerifier<F> {
+    /// Draws per-shard level keys and prepares to observe the stream.
+    pub fn new<R: Rng + ?Sized>(plan: ShardPlan, rng: &mut R) -> Self {
+        ClusterReportVerifier {
+            router: ShardRouter::new(plan),
+            verifiers: (0..plan.shards())
+                .map(|_| Some(SubVectorVerifier::new(plan.log_u(), rng)))
+                .collect(),
+        }
+    }
+
+    /// The fleet partition.
+    pub fn plan(&self) -> &ShardPlan {
+        self.router.plan()
+    }
+
+    /// Processes one stream update into its owning shard's tree.
+    pub fn update(&mut self, up: Update) {
+        let s = self.router.route(up) as usize;
+        self.verifiers[s]
+            .as_mut()
+            .expect("digest already consumed")
+            .update(up);
+    }
+
+    /// Processes a whole stream.
+    pub fn update_all(&mut self, stream: &[Update]) {
+        for &up in stream {
+            self.update(up);
+        }
+    }
+
+    /// Verifier space in words across every shard tree.
+    pub fn space_words(&self) -> usize {
+        self.verifiers
+            .iter()
+            .flatten()
+            .map(SubVectorVerifier::space_words)
+            .sum()
+    }
+
+    /// Takes shard `s`'s tree digest (used once, at query time).
+    pub(crate) fn take(&mut self, s: usize) -> SubVectorVerifier<F> {
+        self.verifiers[s].take().expect("digest already consumed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sip_field::Fp61;
+    use sip_streaming::workloads;
+
+    #[test]
+    fn sharded_lde_sums_to_the_monolithic_value() {
+        let log_u = 8;
+        let plan = ShardPlan::new(log_u, 4);
+        let stream = workloads::uniform(500, 1 << log_u, 40, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sharded = ShardedLde::<Fp61>::random(plan, &mut rng);
+        sharded.update_all(&stream);
+        // A single evaluator at the same point sees the sum.
+        let mut single =
+            StreamingLdeEvaluator::<Fp61>::new(LdeParams::binary(log_u), sharded.point().to_vec());
+        single.update_all(&stream);
+        assert_eq!(sharded.combined(), single.value());
+        // And each accumulator sees exactly its shard's sub-stream.
+        for (s, part) in sharded.router.split(&stream).iter().enumerate() {
+            let mut e = StreamingLdeEvaluator::<Fp61>::new(
+                LdeParams::binary(log_u),
+                sharded.point().to_vec(),
+            );
+            e.update_all(part);
+            assert_eq!(sharded.values()[s], e.value(), "shard {s}");
+        }
+        assert_eq!(sharded.space_words(), log_u as usize + 4);
+    }
+}

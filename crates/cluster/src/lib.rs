@@ -1,0 +1,48 @@
+//! `sip-cluster`: horizontal scale-out of the prover — a sharded fleet
+//! behind one aggregating verifier, with per-shard blame.
+//!
+//! PR 1 put one prover behind TCP; this crate turns it into `S` of them.
+//! The paper's two verifier tools are linear in the data — the streamed LDE
+//! value `f_a(r)` (Theorem 1) and every sum-check round polynomial are sums
+//! over the input — so a stream partitioned by index range
+//! (`a = a_0 + … + a_{S−1}`, disjoint supports) is verified by combining
+//! `S` per-shard transcripts driven in lockstep over **one shared secret
+//! point**:
+//!
+//! * [`ShardRouter`] — partitions the update stream across the fleet by the
+//!   deterministic [`ShardPlan`] split;
+//! * [`ShardedLde`] — the verifier's digest: one accumulator per shard, all
+//!   at the same secret `r`, at `S + log u` words
+//!   ([`ClusterF2Verifier`] / [`ClusterRangeSumVerifier`] wrap it per
+//!   query; [`ClusterReportVerifier`] keeps one hash tree per shard);
+//! * [`ClusterClient`] — drives `S` sharded sessions: queries fan out,
+//!   per-round randomness is **broadcast** to every shard
+//!   (`Msg::BroadcastChallenge`), and the answer is the verified sum of the
+//!   per-shard claims (F₂, Fₖ, INNER-PRODUCT, RANGE-SUM by sum-check
+//!   linearity; SUB-VECTOR by one tree per shard; kv-store queries via
+//!   [`sip_kvstore::ShardedClient`] over a [`connect_kv_fleet`]).
+//!
+//! Soundness is unchanged — each shard's transcript faces the full
+//! single-prover checks (`sip_core::sumcheck::aggregate` keeps per-prover
+//! residuals) — and failures are *attributable*: a lying or flaky shard is
+//! rejected with [`Rejection::Blame`] naming its shard id, so operators
+//! evict one machine, not the fleet. Honest `S`-shard runs answer exactly
+//! like `S = 1` on the same stream, with [`ClusterCostReport`] showing
+//! per-shard and total words.
+//!
+//! [`Rejection::Blame`]: sip_core::error::Rejection
+//! [`ClusterCostReport`]: sip_core::channel::ClusterCostReport
+//! [`ShardPlan`]: sip_streaming::ShardPlan
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod digest;
+pub mod router;
+
+pub use client::{
+    boxed_kv_fleet, connect_kv_fleet, spawn_local_fleet, ClusterClient, ClusterVerified,
+};
+pub use digest::{ClusterF2Verifier, ClusterRangeSumVerifier, ClusterReportVerifier, ShardedLde};
+pub use router::ShardRouter;

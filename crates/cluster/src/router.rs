@@ -1,0 +1,65 @@
+//! Routing the update stream across the fleet.
+
+use sip_streaming::{ShardPlan, Update};
+
+/// Partitions a stream of updates across `S` prover shards by index range.
+///
+/// The router is pure bookkeeping over a [`ShardPlan`]: it owns no
+/// connections (that is [`crate::ClusterClient`]'s job) so the same routing
+/// can drive TCP fleets, in-memory fleets, and the verifier's own sharded
+/// digests identically — whatever disagreement could exist between "where
+/// the update went" and "which accumulator observed it" is eliminated by
+/// construction.
+#[derive(Copy, Clone, Debug)]
+pub struct ShardRouter {
+    plan: ShardPlan,
+}
+
+impl ShardRouter {
+    /// A router over the given partition.
+    pub fn new(plan: ShardPlan) -> Self {
+        ShardRouter { plan }
+    }
+
+    /// The underlying partition.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard an update must be sent to.
+    ///
+    /// # Panics
+    /// Panics if the update's index is outside the universe.
+    pub fn route(&self, up: Update) -> u32 {
+        self.plan.shard_of(up.index)
+    }
+
+    /// Splits a whole stream into per-shard sub-streams, preserving the
+    /// relative order within each shard.
+    pub fn split(&self, stream: &[Update]) -> Vec<Vec<Update>> {
+        self.plan.split(stream)
+    }
+
+    /// The part of a query range shard `s` is responsible for.
+    pub fn clamp(&self, s: u32, q_l: u64, q_r: u64) -> Option<(u64, u64)> {
+        self.plan.clamp(s, q_l, q_r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_matches_split() {
+        let router = ShardRouter::new(ShardPlan::new(6, 3));
+        let stream: Vec<Update> = (0..64).map(|i| Update::new(i, i as i64 + 1)).collect();
+        let parts = router.split(&stream);
+        for (s, part) in parts.iter().enumerate() {
+            for up in part {
+                assert_eq!(router.route(*up), s as u32);
+            }
+        }
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 64);
+    }
+}

@@ -53,6 +53,60 @@ impl CostReport {
     }
 }
 
+/// Cost accounting for a sharded run: one [`CostReport`] per prover shard
+/// plus the aggregating verifier's own (shared) working memory.
+///
+/// Per-shard entries count only what moved on *that* shard's connection;
+/// [`Self::total`] gives the fleet-wide grand totals. The verifier's space
+/// is reported once at the cluster level — the sharded digests (one
+/// accumulator per shard over a shared random point) are not per-connection
+/// state and would be double-counted if spread across the shard reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterCostReport {
+    /// One report per shard, indexed by shard id.
+    pub per_shard: Vec<CostReport>,
+    /// The aggregating verifier's working memory in words (shared digest
+    /// accumulators, per-shard claims, round state).
+    pub verifier_space_words: usize,
+}
+
+impl ClusterCostReport {
+    /// An empty report for a fleet of `shards` provers.
+    pub fn new(shards: usize) -> Self {
+        ClusterCostReport {
+            per_shard: vec![CostReport::default(); shards],
+            verifier_space_words: 0,
+        }
+    }
+
+    /// Number of shards accounted.
+    pub fn shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Fleet-wide grand totals: communication and rounds summed over every
+    /// shard connection, space from the cluster-level field (plus any
+    /// per-shard session state a sub-protocol recorded there).
+    pub fn total(&self) -> CostReport {
+        let mut total = CostReport {
+            verifier_space_words: self.verifier_space_words,
+            ..CostReport::default()
+        };
+        for r in &self.per_shard {
+            total.absorb(r);
+        }
+        total
+    }
+
+    /// Folds a sub-protocol's report into one shard's books.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn absorb_shard(&mut self, shard: usize, report: &CostReport) {
+        self.per_shard[shard].absorb(report);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +143,36 @@ mod tests {
         assert_eq!(a.p_to_v_words, 22);
         assert_eq!(a.v_to_p_words, 33);
         assert_eq!(a.verifier_space_words, 44);
+    }
+
+    #[test]
+    fn cluster_totals_sum_shards_and_keep_shared_space() {
+        let mut c = ClusterCostReport::new(3);
+        c.verifier_space_words = 17;
+        c.absorb_shard(
+            0,
+            &CostReport {
+                rounds: 4,
+                p_to_v_words: 12,
+                v_to_p_words: 3,
+                verifier_space_words: 0,
+            },
+        );
+        c.absorb_shard(
+            2,
+            &CostReport {
+                rounds: 4,
+                p_to_v_words: 13,
+                v_to_p_words: 3,
+                verifier_space_words: 0,
+            },
+        );
+        assert_eq!(c.shards(), 3);
+        let total = c.total();
+        assert_eq!(total.rounds, 8);
+        assert_eq!(total.p_to_v_words, 25);
+        assert_eq!(total.v_to_p_words, 6);
+        assert_eq!(total.verifier_space_words, 17);
+        assert_eq!(c.per_shard[1], CostReport::default());
     }
 }

@@ -11,7 +11,7 @@
 mod cost;
 mod transport;
 
-pub use cost::CostReport;
+pub use cost::{ClusterCostReport, CostReport};
 pub use transport::{
     FramedTcpTransport, InMemoryTransport, Transport, TransportError, TransportStats,
     DEFAULT_MAX_FRAME,

@@ -63,6 +63,19 @@ pub enum Rejection {
         /// Its rejection.
         cause: Box<Rejection>,
     },
+    /// In a sharded run, the failure is attributable to one prover: the
+    /// other shards' transcripts checked out, this one's did not (or its
+    /// connection misbehaved). The fleet is not condemned wholesale —
+    /// operators restart or evict exactly this shard.
+    Blame {
+        /// The guilty shard (an index into the fleet's [`ShardPlan`],
+        /// assigned at connection time).
+        ///
+        /// [`ShardPlan`]: https://docs.rs/sip-streaming
+        shard_id: u32,
+        /// Why that shard's transcript was rejected.
+        cause: Box<Rejection>,
+    },
 }
 
 impl Rejection {
@@ -71,6 +84,28 @@ impl Rejection {
         Rejection::SubProtocol {
             name,
             cause: Box::new(cause),
+        }
+    }
+
+    /// Attributes a rejection to one shard of a fleet. An already-blamed
+    /// cause keeps its original attribution (the innermost observer knew
+    /// best; re-wrapping would misdirect the eviction).
+    pub fn blame(shard_id: u32, cause: Rejection) -> Self {
+        match cause {
+            already @ Rejection::Blame { .. } => already,
+            cause => Rejection::Blame {
+                shard_id,
+                cause: Box::new(cause),
+            },
+        }
+    }
+
+    /// The shard this rejection blames, if it is attributable.
+    pub fn blamed_shard(&self) -> Option<u32> {
+        match self {
+            Rejection::Blame { shard_id, .. } => Some(*shard_id),
+            Rejection::SubProtocol { cause, .. } => cause.blamed_shard(),
+            _ => None,
         }
     }
 }
@@ -109,6 +144,9 @@ impl fmt::Display for Rejection {
             Rejection::SubProtocol { name, cause } => {
                 write!(f, "sub-protocol {name} rejected: {cause}")
             }
+            Rejection::Blame { shard_id, cause } => {
+                write!(f, "shard {shard_id} is at fault: {cause}")
+            }
         }
     }
 }
@@ -130,5 +168,19 @@ mod tests {
         let nested = Rejection::in_subprotocol("heavy-hitters", Rejection::RootMismatch);
         assert!(nested.to_string().contains("heavy-hitters"));
         assert!(nested.to_string().contains("root"));
+    }
+
+    #[test]
+    fn blame_names_the_shard_and_does_not_rewrap() {
+        let blamed = Rejection::blame(3, Rejection::FinalCheckFailed);
+        assert!(blamed.to_string().contains("shard 3"));
+        assert_eq!(blamed.blamed_shard(), Some(3));
+        // A second attribution keeps the original shard id.
+        let rewrapped = Rejection::blame(7, blamed.clone());
+        assert_eq!(rewrapped, blamed);
+        // Blame is visible through sub-protocol wrapping.
+        let wrapped = Rejection::in_subprotocol("range-sum", blamed);
+        assert_eq!(wrapped.blamed_shard(), Some(3));
+        assert_eq!(Rejection::RootMismatch.blamed_shard(), None);
     }
 }

@@ -49,6 +49,7 @@ pub mod subvector;
 pub mod sumcheck;
 
 pub use channel::{
-    CostReport, FramedTcpTransport, InMemoryTransport, Transport, TransportError, TransportStats,
+    ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, Transport,
+    TransportError, TransportStats,
 };
 pub use error::Rejection;

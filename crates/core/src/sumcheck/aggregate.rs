@@ -1,0 +1,476 @@
+//! The sum-check generalised to a fleet of `S` provers (sharded
+//! delegation).
+//!
+//! Every sum-check target in this workspace is *linear in the data*: for a
+//! stream partitioned by index range into `a = a_0 + … + a_{S−1}` with
+//! disjoint supports,
+//!
+//! ```text
+//! F₂(a)   = Σ_s F₂(a_s)          Fₖ(a)  = Σ_s Fₖ(a_s)
+//! a·b     = Σ_s a_s·b_s          Σ_{[l,r]} a = Σ_s Σ_{[l,r]} a_s
+//! ```
+//!
+//! so the verifier runs `S` sum-checks *in lockstep over one shared secret
+//! point `r`*: every shard receives the same per-round randomness
+//! (broadcast once), and the claimed aggregate is the sum of the per-shard
+//! round-1 claims. Verifying the per-shard transcripts individually is
+//! exactly as strong as verifying their sum (linearity of every check) —
+//! and strictly more useful, because a failure is *attributable*: the
+//! verifier keeps per-prover residual state (`S` claims instead of one) and
+//! rejects with [`Rejection::Blame`] naming the guilty shard, at `S − 1`
+//! extra words of space.
+//!
+//! The single-prover protocol is the `S = 1` special case and produces an
+//! identical transcript — [`AggregatingVerifier`] wraps unchanged
+//! [`SumCheckVerifierCore`]s sharing one evaluation point.
+
+use sip_field::PrimeField;
+
+use crate::channel::{ClusterCostReport, CostReport};
+use crate::error::Rejection;
+
+use super::{RoundProver, SumCheckVerifierCore};
+
+/// Round-by-round verifier state for `S` lockstep sum-checks over a shared
+/// secret point.
+///
+/// Space: `S` cores of 3 words each plus the shared point — the paper's
+/// `O(log u)` plus `O(S)` residuals.
+#[derive(Clone, Debug)]
+pub struct AggregatingVerifier<F: PrimeField> {
+    cores: Vec<SumCheckVerifierCore<F>>,
+}
+
+impl<F: PrimeField> AggregatingVerifier<F> {
+    /// Creates the state for `shards` provers answering over the shared
+    /// secret `point` with per-round degree bound `degree`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero (a fleet needs at least one prover) or if
+    /// the point/degree are invalid (see [`SumCheckVerifierCore::new`]).
+    pub fn new(point: Vec<F>, degree: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "a fleet needs at least one prover");
+        AggregatingVerifier {
+            cores: vec![SumCheckVerifierCore::new(point, degree); shards],
+        }
+    }
+
+    /// Number of provers `S`.
+    pub fn shards(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of rounds `d` (identical for every shard).
+    pub fn rounds(&self) -> usize {
+        self.cores[0].rounds()
+    }
+
+    /// Rounds processed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.cores[0].rounds_done()
+    }
+
+    /// The aggregate answer claimed by the fleet's first messages
+    /// (`Σ_s Σ_{x∈[2]} g₁⁽ˢ⁾(x)`); trusted only after [`Self::finalize`].
+    pub fn claimed_output(&self) -> F {
+        self.cores
+            .iter()
+            .fold(F::ZERO, |acc, c| acc + c.claimed_output())
+    }
+
+    /// Each shard's individually claimed output (same caveat).
+    pub fn claimed_outputs(&self) -> Vec<F> {
+        self.cores.iter().map(|c| c.claimed_output()).collect()
+    }
+
+    /// Processes round `j`: one polynomial per shard, in shard order.
+    ///
+    /// Each message is checked against *its own shard's* previous claim —
+    /// per-prover residual checks, so an inconsistency names its shard.
+    /// Returns the shared challenge to broadcast, or `None` after the last
+    /// round (`r_d` stays secret).
+    ///
+    /// # Panics
+    /// Panics if `polys.len() != self.shards()` or all rounds are done.
+    pub fn receive_round(&mut self, polys: &[Vec<F>]) -> Result<Option<F>, Rejection> {
+        assert_eq!(polys.len(), self.cores.len(), "one polynomial per shard");
+        let mut challenge = None;
+        for (s, (core, poly)) in self.cores.iter_mut().zip(polys).enumerate() {
+            // All cores share the point, so every shard yields the same
+            // challenge; keep the last (= any) one.
+            challenge = core
+                .receive(poly)
+                .map_err(|e| Rejection::blame(s as u32, e))?;
+        }
+        Ok(challenge)
+    }
+
+    /// Final test: shard `s`'s last polynomial must match the verifier's
+    /// own streamed evaluation for that shard's sub-vector (`streamed[s]`,
+    /// e.g. `f_{a_s}(r)²` for F₂). On success returns the now *verified*
+    /// aggregate `Σ_s output_s`.
+    ///
+    /// # Panics
+    /// Panics if `streamed.len() != self.shards()` or rounds remain.
+    pub fn finalize(&self, streamed: &[F]) -> Result<F, Rejection> {
+        assert_eq!(
+            streamed.len(),
+            self.cores.len(),
+            "one streamed value per shard"
+        );
+        let mut sum = F::ZERO;
+        for (s, (core, &expected)) in self.cores.iter().zip(streamed).enumerate() {
+            sum += core
+                .finalize(expected)
+                .map_err(|e| Rejection::blame(s as u32, e))?;
+        }
+        Ok(sum)
+    }
+
+    /// Words of aggregating-verifier working memory: per-shard residuals
+    /// plus the shared point, counted once (each core's copy is derived
+    /// data, not independent state).
+    pub fn space_words(&self) -> usize {
+        self.cores.len() * self.cores[0].space_words() + self.rounds()
+    }
+}
+
+/// A hook mutating one shard's messages in flight; arguments are
+/// `(shard, round, message)` with `round` 1-based.
+pub type ShardAdversary<'a, F> = &'a mut dyn FnMut(usize, usize, &mut Vec<F>);
+
+/// Runs the interactive phase against `S` in-process provers in lockstep:
+/// per round, collect every shard's polynomial, check each, broadcast the
+/// one shared challenge; finally check each shard against its own streamed
+/// value.
+///
+/// `report` accrues per-shard communication (the broadcast challenge is
+/// charged to every shard — it crosses each connection once); an optional
+/// [`ShardAdversary`] corrupts messages in flight. On acceptance returns
+/// the verified aggregate.
+pub fn drive_sumcheck_sharded<F: PrimeField>(
+    provers: &mut [&mut dyn RoundProver<F>],
+    verifier: &mut AggregatingVerifier<F>,
+    streamed: &[F],
+    report: &mut ClusterCostReport,
+    mut adversary: Option<ShardAdversary<'_, F>>,
+) -> Result<F, Rejection> {
+    assert_eq!(provers.len(), verifier.shards(), "one prover per shard");
+    assert_eq!(report.shards(), verifier.shards(), "one report per shard");
+    for p in provers.iter() {
+        assert_eq!(p.rounds(), verifier.rounds(), "shards disagree on d");
+    }
+    for round in 1..=verifier.rounds() {
+        let mut polys = Vec::with_capacity(provers.len());
+        for (s, prover) in provers.iter_mut().enumerate() {
+            let mut msg = prover.message();
+            if let Some(adv) = adversary.as_mut() {
+                adv(s, round, &mut msg);
+            }
+            report.absorb_shard(
+                s,
+                &CostReport {
+                    rounds: 1,
+                    p_to_v_words: msg.len(),
+                    ..CostReport::default()
+                },
+            );
+            polys.push(msg);
+        }
+        if let Some(challenge) = verifier.receive_round(&polys)? {
+            for (s, prover) in provers.iter_mut().enumerate() {
+                report.per_shard[s].v_to_p_words += 1;
+                prover.bind(challenge);
+            }
+        }
+    }
+    verifier.finalize(streamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sumcheck::drive_sumcheck;
+    use crate::sumcheck::f2::F2Prover;
+    use crate::sumcheck::inner_product::InnerProductProver;
+    use crate::sumcheck::moments::MomentProver;
+    use crate::sumcheck::range_sum::RangeSumProver;
+    use sip_field::Fp61;
+    use sip_lde::range_indicator_lde;
+    use sip_streaming::{workloads, FrequencyVector, ShardPlan, Update};
+
+    const LOG_U: u32 = 8;
+
+    /// Per-shard frequency vectors plus per-shard LDE accumulators at the
+    /// shared point of `seed_core` — the digest a ShardRouter maintains.
+    fn shard_fixture(
+        shards: u32,
+        stream: &[Update],
+        point: &[Fp61],
+    ) -> (ShardPlan, Vec<FrequencyVector>, Vec<Fp61>) {
+        let plan = ShardPlan::new(LOG_U, shards);
+        let parts = plan.split(stream);
+        let fvs: Vec<FrequencyVector> = parts
+            .iter()
+            .map(|p| FrequencyVector::from_stream(1 << LOG_U, p))
+            .collect();
+        let ldes: Vec<Fp61> = parts
+            .iter()
+            .map(|p| {
+                let mut e = sip_lde::StreamingLdeEvaluator::new(
+                    sip_lde::LdeParams::binary(LOG_U),
+                    point.to_vec(),
+                );
+                e.update_all(p);
+                e.value()
+            })
+            .collect();
+        (plan, fvs, ldes)
+    }
+
+    #[test]
+    fn sharded_f2_equals_monolithic() {
+        let stream = workloads::paper_f2(1 << LOG_U, 3);
+        let truth = FrequencyVector::from_stream(1 << LOG_U, &stream).self_join_size();
+        for shards in [1u32, 2, 3, 4, 8] {
+            let point: Vec<Fp61> = (0..LOG_U as u64)
+                .map(|i| Fp61::from_u64(1000 + 37 * i + shards as u64))
+                .collect();
+            let (_, fvs, ldes) = shard_fixture(shards, &stream, &point);
+            let mut provers: Vec<F2Prover<Fp61>> =
+                fvs.iter().map(|fv| F2Prover::new(fv, LOG_U)).collect();
+            let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+                .iter_mut()
+                .map(|p| p as &mut dyn RoundProver<Fp61>)
+                .collect();
+            let mut agg = AggregatingVerifier::new(point, 2, shards as usize);
+            let expected: Vec<Fp61> = ldes.iter().map(|&v| v * v).collect();
+            let mut report = ClusterCostReport::new(shards as usize);
+            let got =
+                drive_sumcheck_sharded(&mut dyns, &mut agg, &expected, &mut report, None).unwrap();
+            assert_eq!(got, Fp61::from_u128(truth as u128), "S={shards}");
+            // Per-shard accounting: every shard paid the full d rounds.
+            for r in &report.per_shard {
+                assert_eq!(r.rounds, LOG_U as usize);
+                assert_eq!(r.p_to_v_words, 3 * LOG_U as usize);
+                assert_eq!(r.v_to_p_words, LOG_U as usize - 1);
+            }
+            assert_eq!(
+                report.total().p_to_v_words,
+                shards as usize * 3 * LOG_U as usize
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_drive_sumcheck_transcript() {
+        // S = 1 through the aggregate path must equal the classic path:
+        // same value, same per-round messages, same costs.
+        let stream = workloads::uniform(300, 1 << LOG_U, 20, 5);
+        let fv = FrequencyVector::from_stream(1 << LOG_U, &stream);
+        let point: Vec<Fp61> = (0..LOG_U as u64).map(|i| Fp61::from_u64(5 + i)).collect();
+        let lde = {
+            let mut e = sip_lde::StreamingLdeEvaluator::new(
+                sip_lde::LdeParams::binary(LOG_U),
+                point.clone(),
+            );
+            e.update_all(&stream);
+            e.value()
+        };
+
+        let mut classic_prover = F2Prover::<Fp61>::new(&fv, LOG_U);
+        let mut classic_core = SumCheckVerifierCore::new(point.clone(), 2);
+        let mut classic_report = CostReport::default();
+        let classic = drive_sumcheck(
+            &mut classic_prover,
+            &mut classic_core,
+            lde * lde,
+            &mut classic_report,
+            None,
+        )
+        .unwrap();
+
+        let mut prover = F2Prover::<Fp61>::new(&fv, LOG_U);
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = vec![&mut prover];
+        let mut agg = AggregatingVerifier::new(point, 2, 1);
+        let mut report = ClusterCostReport::new(1);
+        let sharded =
+            drive_sumcheck_sharded(&mut dyns, &mut agg, &[lde * lde], &mut report, None).unwrap();
+        assert_eq!(classic, sharded);
+        assert_eq!(classic_report.rounds, report.per_shard[0].rounds);
+        assert_eq!(
+            classic_report.p_to_v_words,
+            report.per_shard[0].p_to_v_words
+        );
+        assert_eq!(
+            classic_report.v_to_p_words,
+            report.per_shard[0].v_to_p_words
+        );
+    }
+
+    #[test]
+    fn sharded_range_sum_and_moments_and_inner_product() {
+        let stream = workloads::distinct_key_values(150, 1 << LOG_U, 500, 7);
+        let fv = FrequencyVector::from_stream(1 << LOG_U, &stream);
+        let shards = 4u32;
+        let point: Vec<Fp61> = (0..LOG_U as u64).map(|i| Fp61::from_u64(77 + i)).collect();
+        let (_, fvs, ldes) = shard_fixture(shards, &stream, &point);
+
+        // RANGE-SUM over [q_l, q_r]: per-shard final check f_{a_s}(r)·f_b(r).
+        let (q_l, q_r) = (30u64, 200u64);
+        let fb = range_indicator_lde(q_l, q_r, &point);
+        let mut provers: Vec<RangeSumProver<Fp61>> = fvs
+            .iter()
+            .map(|fv| RangeSumProver::new(fv, LOG_U, q_l, q_r))
+            .collect();
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+            .iter_mut()
+            .map(|p| p as &mut dyn RoundProver<Fp61>)
+            .collect();
+        let mut agg = AggregatingVerifier::new(point.clone(), 2, shards as usize);
+        let expected: Vec<Fp61> = ldes.iter().map(|&v| v * fb).collect();
+        let mut report = ClusterCostReport::new(shards as usize);
+        let got =
+            drive_sumcheck_sharded(&mut dyns, &mut agg, &expected, &mut report, None).unwrap();
+        assert_eq!(got, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+
+        // F₃: per-shard final check f_{a_s}(r)³, degree-3 messages.
+        let mut provers: Vec<MomentProver<Fp61>> = fvs
+            .iter()
+            .map(|fv| MomentProver::new(3, fv, LOG_U))
+            .collect();
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+            .iter_mut()
+            .map(|p| p as &mut dyn RoundProver<Fp61>)
+            .collect();
+        let mut agg = AggregatingVerifier::new(point.clone(), 3, shards as usize);
+        let expected: Vec<Fp61> = ldes.iter().map(|&v| v * v * v).collect();
+        let mut report = ClusterCostReport::new(shards as usize);
+        let got =
+            drive_sumcheck_sharded(&mut dyns, &mut agg, &expected, &mut report, None).unwrap();
+        assert_eq!(got, Fp61::from_u128(fv.frequency_moment(3) as u128));
+
+        // INNER PRODUCT a·b with both streams sharded by the same plan.
+        let stream_b = workloads::uniform(200, 1 << LOG_U, 9, 8);
+        let fv_b = FrequencyVector::from_stream(1 << LOG_U, &stream_b);
+        let plan = ShardPlan::new(LOG_U, shards);
+        let parts_b = plan.split(&stream_b);
+        let fvs_b: Vec<FrequencyVector> = parts_b
+            .iter()
+            .map(|p| FrequencyVector::from_stream(1 << LOG_U, p))
+            .collect();
+        let ldes_b: Vec<Fp61> = parts_b
+            .iter()
+            .map(|p| {
+                let mut e = sip_lde::StreamingLdeEvaluator::new(
+                    sip_lde::LdeParams::binary(LOG_U),
+                    point.clone(),
+                );
+                e.update_all(p);
+                e.value()
+            })
+            .collect();
+        let mut provers: Vec<InnerProductProver<Fp61>> = fvs
+            .iter()
+            .zip(&fvs_b)
+            .map(|(a, b)| InnerProductProver::new(a, b, LOG_U))
+            .collect();
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+            .iter_mut()
+            .map(|p| p as &mut dyn RoundProver<Fp61>)
+            .collect();
+        let mut agg = AggregatingVerifier::new(point, 2, shards as usize);
+        let expected: Vec<Fp61> = ldes.iter().zip(&ldes_b).map(|(&a, &b)| a * b).collect();
+        let mut report = ClusterCostReport::new(shards as usize);
+        let got =
+            drive_sumcheck_sharded(&mut dyns, &mut agg, &expected, &mut report, None).unwrap();
+        assert_eq!(got, Fp61::from_i64(fv.inner_product(&fv_b) as i64));
+    }
+
+    #[test]
+    fn corrupted_shard_is_blamed_every_round_and_slot() {
+        let stream = workloads::paper_f2(1 << 6, 11);
+        let shards = 3u32;
+        let point: Vec<Fp61> = (0..6u64).map(|i| Fp61::from_u64(400 + i)).collect();
+        let plan = ShardPlan::new(6, shards);
+        let parts = plan.split(&stream);
+        for guilty in 0..shards as usize {
+            for round in 1..=6usize {
+                for slot in 0..3usize {
+                    let fvs: Vec<FrequencyVector> = parts
+                        .iter()
+                        .map(|p| FrequencyVector::from_stream(1 << 6, p))
+                        .collect();
+                    let mut provers: Vec<F2Prover<Fp61>> =
+                        fvs.iter().map(|fv| F2Prover::new(fv, 6)).collect();
+                    let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+                        .iter_mut()
+                        .map(|p| p as &mut dyn RoundProver<Fp61>)
+                        .collect();
+                    let expected: Vec<Fp61> = parts
+                        .iter()
+                        .map(|p| {
+                            let mut e = sip_lde::StreamingLdeEvaluator::new(
+                                sip_lde::LdeParams::binary(6),
+                                point.clone(),
+                            );
+                            e.update_all(p);
+                            e.value() * e.value()
+                        })
+                        .collect();
+                    let mut agg = AggregatingVerifier::new(point.clone(), 2, shards as usize);
+                    let mut report = ClusterCostReport::new(shards as usize);
+                    let mut adv = |s: usize, rd: usize, msg: &mut Vec<Fp61>| {
+                        if s == guilty && rd == round {
+                            msg[slot] += Fp61::ONE;
+                        }
+                    };
+                    let err = drive_sumcheck_sharded(
+                        &mut dyns,
+                        &mut agg,
+                        &expected,
+                        &mut report,
+                        Some(&mut adv),
+                    )
+                    .unwrap_err();
+                    assert_eq!(
+                        err.blamed_shard(),
+                        Some(guilty as u32),
+                        "guilty={guilty} round={round} slot={slot}: {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_lying_about_its_subvector_is_blamed() {
+        // Shard 1 proves honestly — over data it does not have.
+        let stream = workloads::uniform(200, 1 << LOG_U, 15, 9);
+        let shards = 4u32;
+        let point: Vec<Fp61> = (0..LOG_U as u64).map(|i| Fp61::from_u64(900 + i)).collect();
+        let (plan, fvs, ldes) = shard_fixture(shards, &stream, &point);
+        let mut wrong = fvs;
+        let (lo, _) = plan.range(1);
+        wrong[1].apply(Update::new(lo, 1)); // one phantom insertion
+        let mut provers: Vec<F2Prover<Fp61>> =
+            wrong.iter().map(|fv| F2Prover::new(fv, LOG_U)).collect();
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+            .iter_mut()
+            .map(|p| p as &mut dyn RoundProver<Fp61>)
+            .collect();
+        let mut agg = AggregatingVerifier::new(point, 2, shards as usize);
+        let expected: Vec<Fp61> = ldes.iter().map(|&v| v * v).collect();
+        let mut report = ClusterCostReport::new(shards as usize);
+        let err =
+            drive_sumcheck_sharded(&mut dyns, &mut agg, &expected, &mut report, None).unwrap_err();
+        assert_eq!(err.blamed_shard(), Some(1), "{err}");
+    }
+
+    #[test]
+    fn space_accounting_is_point_plus_residuals() {
+        let point: Vec<Fp61> = (0..10u64).map(Fp61::from_u64).collect();
+        let agg = AggregatingVerifier::new(point, 2, 4);
+        assert_eq!(agg.space_words(), 4 * 3 + 10);
+    }
+}

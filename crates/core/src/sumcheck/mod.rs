@@ -22,11 +22,14 @@
 //! [`drive_sumcheck`] orchestrates an execution, counts costs, and hosts the
 //! failure-injection hook used by the tamper suite.
 
+pub mod aggregate;
 pub mod f2;
 pub mod general_ell;
 pub mod inner_product;
 pub mod moments;
 pub mod range_sum;
+
+pub use aggregate::{drive_sumcheck_sharded, AggregatingVerifier, ShardAdversary};
 
 use sip_field::lagrange::eval_from_grid_evals;
 use sip_field::PrimeField;

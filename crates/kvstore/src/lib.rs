@@ -35,6 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sharded;
+
+pub use sharded::{boxed_fleet, ShardedAnswer, ShardedClient};
+
 use rand::Rng;
 use sip_core::error::Rejection;
 use sip_core::heavy_hitters::{CountTreeHasher, HhProver, HhStep, LevelDisclosure};

@@ -1,0 +1,153 @@
+//! `sip-prover`: a deployable prover process — one shard of a fleet, or a
+//! standalone prover.
+//!
+//! ```text
+//! sip-prover --listen 0.0.0.0:4017 --shard 2 --of 4 --log-u 20
+//! ```
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:4017`; port 0 picks
+//!   a free port, printed on startup for scripts).
+//! * `--shard I --of N` — serve shard `I` of a fleet of `N` under the
+//!   deterministic `ShardPlan` split; updates outside the shard's index
+//!   range are refused, and a client `ShardHello` must agree. Omit both for
+//!   a standalone (whole-universe) prover.
+//! * `--log-u D` — require every session to run over `[2^D]` (fleet members
+//!   must agree on the universe or the shard ranges would not line up).
+//! * `--field 61|127` — Mersenne field (default 61).
+//! * `--max-sessions N` — concurrent-session cap (default 64).
+//!
+//! The process serves until killed. Soundness never depends on this binary
+//! behaving: the verifier rejects anything inconsistent with its digests.
+
+use std::process::exit;
+
+use sip_field::{Fp127, Fp61};
+use sip_server::{spawn, ServerConfig};
+use sip_wire::ShardSpec;
+
+struct Args {
+    listen: String,
+    shard: Option<u32>,
+    of: Option<u32>,
+    log_u: Option<u32>,
+    field: u32,
+    max_sessions: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
+         [--field 61|127] [--max-sessions N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:4017".to_string(),
+        shard: None,
+        of: None,
+        log_u: None,
+        field: 61,
+        max_sessions: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--shard" => args.shard = Some(parse_u32(&value("--shard"), "--shard")),
+            "--of" => args.of = Some(parse_u32(&value("--of"), "--of")),
+            "--log-u" => args.log_u = Some(parse_u32(&value("--log-u"), "--log-u")),
+            "--field" => args.field = parse_u32(&value("--field"), "--field"),
+            "--max-sessions" => {
+                args.max_sessions = parse_u32(&value("--max-sessions"), "--max-sessions") as usize
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_u32(s: &str, name: &str) -> u32 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: not a number: {s}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let shard = match (args.shard, args.of) {
+        (Some(index), Some(count)) => {
+            if index >= count {
+                eprintln!("--shard {index} must be below --of {count}");
+                exit(2);
+            }
+            Some(ShardSpec { index, count })
+        }
+        (None, None) => None,
+        _ => {
+            eprintln!("--shard and --of must be given together");
+            exit(2);
+        }
+    };
+    if let Some(spec) = shard {
+        // A shard's index range depends on log_u; without pinning it, two
+        // sessions could carve the universe differently.
+        let Some(log_u) = args.log_u else {
+            eprintln!("--shard requires --log-u so every session agrees on the split");
+            exit(2);
+        };
+        // Catch an impossible fleet shape now, not one refusal per session.
+        if let Err(detail) = sip_streaming::ShardPlan::validate(log_u, spec.count) {
+            eprintln!("invalid fleet shape: {detail}");
+            exit(2);
+        }
+    }
+    let config = ServerConfig {
+        max_sessions: args.max_sessions,
+        shard,
+        require_log_u: args.log_u,
+        ..ServerConfig::default()
+    };
+    let handle = match args.field {
+        61 => spawn::<Fp61, _>(args.listen.as_str(), config),
+        127 => spawn::<Fp127, _>(args.listen.as_str(), config),
+        other => {
+            eprintln!("--field must be 61 or 127, got {other}");
+            exit(2);
+        }
+    };
+    let handle = match handle {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind {} failed: {e}", args.listen);
+            exit(1);
+        }
+    };
+    match shard {
+        Some(spec) => println!(
+            "sip-prover: shard {}/{} (Fp{}) listening on {}",
+            spec.index,
+            spec.count,
+            args.field,
+            handle.local_addr()
+        ),
+        None => println!(
+            "sip-prover: standalone (Fp{}) listening on {}",
+            args.field,
+            handle.local_addr()
+        ),
+    }
+    handle.wait();
+}

@@ -30,7 +30,9 @@ use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_kvstore::{HeavySession, KvServer, ReportingSession, SumCheckSession};
 use sip_streaming::Update;
-use sip_wire::{client_handshake, Hello, Msg, MsgChannel, Query, SessionMode, WireError};
+use sip_wire::{
+    client_handshake, Hello, Msg, MsgChannel, Query, SessionMode, ShardSpec, WireError,
+};
 
 /// How many buffered puts trigger an ingest frame.
 const INGEST_BATCH: usize = 512;
@@ -152,6 +154,17 @@ pub struct RemoteStore<F: PrimeField, T: Transport> {
     conn: SharedConn<F, T>,
 }
 
+/// Clones share the underlying connection (and its fault state): a boxed
+/// handle can serve queries while the original still collects
+/// [`RemoteStore::bye`]/[`RemoteStore::stats`] at session end.
+impl<F: PrimeField, T: Transport> Clone for RemoteStore<F, T> {
+    fn clone(&self) -> Self {
+        RemoteStore {
+            conn: Arc::clone(&self.conn),
+        }
+    }
+}
+
 /// Opens a framed, timeout-guarded TCP transport to a prover.
 fn tcp_transport<A: ToSocketAddrs>(
     addr: A,
@@ -203,6 +216,12 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
     /// Pushes any buffered puts and marks the stream complete.
     pub fn end_stream(&self) -> Result<(), Rejection> {
         with_conn(&self.conn, |c| c.tell(&Msg::EndStream))
+    }
+
+    /// Declares this connection to be shard `spec.index` of a fleet of
+    /// `spec.count` — must precede any put.
+    pub fn shard_hello(&self, spec: ShardSpec) -> Result<(), Rejection> {
+        with_conn(&self.conn, |c| c.tell(&Msg::ShardHello(spec)))
     }
 
     /// Ends the session politely, collecting the prover's own (advisory)
@@ -476,8 +495,35 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         self.conn.chan.stats()
     }
 
-    /// Reports the query verdict to the server (best effort).
-    fn verdict(&mut self, result: &Result<F, Rejection>) {
+    /// Declares this connection to be shard `spec.index` of a fleet of
+    /// `spec.count` — must precede any update.
+    pub fn shard_hello(&mut self, spec: ShardSpec) -> Result<(), Rejection> {
+        self.conn.tell(&Msg::ShardHello(spec))
+    }
+
+    /// Building block for multi-connection drivers (`sip-cluster`): flush
+    /// buffered updates, send one message, await one reply. Wire faults
+    /// poison the connection exactly as for the built-in drivers.
+    pub fn request_msg(&mut self, msg: &Msg<F>) -> Result<Msg<F>, Rejection> {
+        self.conn.request(msg)
+    }
+
+    /// Building block: receive the next message (when a request yields more
+    /// than one reply frame, e.g. claim + first round polynomial).
+    pub fn recv_msg(&mut self) -> Result<Msg<F>, Rejection> {
+        self.conn.recv()
+    }
+
+    /// Building block: flush buffered updates and send one message with no
+    /// reply expected.
+    pub fn tell_msg(&mut self, msg: &Msg<F>) -> Result<(), Rejection> {
+        self.conn.tell(msg)
+    }
+
+    /// Reports the query verdict to the server (best effort). Public so an
+    /// aggregating verifier can close out every shard's query with the
+    /// fleet-level outcome.
+    pub fn verdict(&mut self, result: &Result<F, Rejection>) {
         let msg = match result {
             Ok(_) => Msg::Accept,
             Err(rej) => Msg::Reject(rej.clone()),

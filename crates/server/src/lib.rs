@@ -31,9 +31,9 @@ use std::time::Duration;
 
 use sip_core::channel::FramedTcpTransport;
 use sip_field::PrimeField;
-use sip_wire::{server_handshake, Msg, MsgChannel};
+use sip_wire::{server_handshake, Msg, MsgChannel, ShardSpec};
 
-use session::{run_session, MAX_LOG_U};
+use session::{run_session_sharded, MAX_LOG_U};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -44,6 +44,14 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Maximum accepted frame length.
     pub max_frame: usize,
+    /// Deploy this prover as one pinned shard of a fleet (`sip-prover
+    /// --shard i --of n`): every session serves only that shard's index
+    /// range, and a client [`sip_wire::Msg::ShardHello`] must agree.
+    pub shard: Option<ShardSpec>,
+    /// Refuse sessions whose handshake `log_u` differs from this value
+    /// (fleet deployments must agree on the universe, or the shard ranges
+    /// would not line up across provers).
+    pub require_log_u: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +62,8 @@ impl Default for ServerConfig {
             // session; reclaim the thread.
             read_timeout: Some(Duration::from_secs(30)),
             max_frame: sip_core::channel::DEFAULT_MAX_FRAME,
+            shard: None,
+            require_log_u: None,
         }
     }
 }
@@ -76,6 +86,15 @@ impl ServerHandle {
     /// Number of sessions currently being served.
     pub fn active_sessions(&self) -> usize {
         self.active.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the accept loop exits — which it only does after a
+    /// [`Self::shutdown`] from elsewhere, so this parks the main thread of
+    /// a standalone prover (`sip-prover`) for the life of the process.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
     }
 
     /// Stops accepting, unblocks the accept loop, and joins it. Running
@@ -176,7 +195,17 @@ fn serve_connection<F: PrimeField>(stream: TcpStream, config: &ServerConfig) {
         )));
         return;
     }
-    let _ = run_session::<F, _>(transport, hello.mode, hello.log_u);
+    if let Some(required) = config.require_log_u {
+        if hello.log_u != required {
+            let mut chan = MsgChannel::new(transport);
+            let _ = chan.send(&Msg::<F>::Error(format!(
+                "this prover serves log_u = {required}, session asked for {}",
+                hello.log_u
+            )));
+            return;
+        }
+    }
+    let _ = run_session_sharded::<F, _>(transport, hello.mode, hello.log_u, config.shard);
 }
 
 #[cfg(test)]

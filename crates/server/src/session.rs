@@ -28,8 +28,8 @@ use sip_core::sumcheck::RoundProver;
 use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_kvstore::{CloudStore, KvServer};
-use sip_streaming::FrequencyVector;
-use sip_wire::{Msg, MsgChannel, Query, SessionMode, WireError};
+use sip_streaming::{FrequencyVector, ShardPlan};
+use sip_wire::{Msg, MsgChannel, Query, SessionMode, ShardSpec, WireError};
 
 /// Upper bound on `log_u` a session may request (a 2^40 dense universe is
 /// already far beyond what the dense provers should materialise).
@@ -87,7 +87,26 @@ pub fn run_session<F: PrimeField, T: Transport>(
     mode: SessionMode,
     log_u: u32,
 ) -> SessionEnd {
+    run_session_sharded::<F, T>(transport, mode, log_u, None)
+}
+
+/// Like [`run_session`], for a prover deployed as one shard of a fleet:
+/// `pinned` is the shard identity from the server's own configuration
+/// (`sip-prover --shard i --of n`). The session then serves only that
+/// shard's index range from the first byte, and a client
+/// [`Msg::ShardHello`] must agree with the pin.
+pub fn run_session_sharded<F: PrimeField, T: Transport>(
+    transport: T,
+    mode: SessionMode,
+    log_u: u32,
+    pinned: Option<ShardSpec>,
+) -> SessionEnd {
     let mut session = ServerSession::<F, T>::new(transport, mode, log_u);
+    if let Some(spec) = pinned {
+        if let Err(detail) = session.adopt_shard(spec, true) {
+            return session.fail(detail);
+        }
+    }
     session.run()
 }
 
@@ -96,6 +115,16 @@ struct ServerSession<F: PrimeField, T: Transport> {
     log_u: u32,
     store: Store<F>,
     active: Active<F>,
+    /// The sub-range of the universe this session serves (shard mode), as
+    /// an inclusive `[lo, hi]`; `None` = the whole universe.
+    shard: Option<(ShardSpec, u64, u64)>,
+    /// Whether the shard identity came from server configuration (pinned)
+    /// rather than from the client — a pinned identity cannot be changed
+    /// by a [`Msg::ShardHello`], only confirmed.
+    shard_pinned: bool,
+    /// Set once any update was ingested; a shard declaration after that
+    /// could retroactively orphan data, so it is refused.
+    ingested: bool,
     /// Cumulative word accounting of everything served on this connection,
     /// reported back as [`Msg::Cost`] when the verifier says goodbye. The
     /// verifier keeps its own books; this is the prover's advisory copy.
@@ -115,8 +144,43 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             log_u,
             store,
             active: Active::Idle,
+            shard: None,
+            shard_pinned: false,
+            ingested: false,
             served: CostReport::default(),
         }
+    }
+
+    /// Validates and installs a shard identity (from config or from a
+    /// [`Msg::ShardHello`]).
+    fn adopt_shard(&mut self, spec: ShardSpec, pinned: bool) -> Result<(), String> {
+        let plan = ShardPlan::validate(self.log_u, spec.count)?;
+        if spec.index >= spec.count {
+            return Err(format!(
+                "shard index {} outside fleet of {}",
+                spec.index, spec.count
+            ));
+        }
+        if let Some((existing, _, _)) = self.shard {
+            if existing != spec {
+                return Err(if self.shard_pinned {
+                    format!(
+                        "this prover is pinned to shard {}/{}, not {}/{}",
+                        existing.index, existing.count, spec.index, spec.count
+                    )
+                } else {
+                    "shard identity already declared".to_string()
+                });
+            }
+            return Ok(());
+        }
+        if self.ingested {
+            return Err("shard declaration must precede any ingest".to_string());
+        }
+        let (lo, hi) = plan.range(spec.index);
+        self.shard = Some((spec, lo, hi));
+        self.shard_pinned = pinned;
+        Ok(())
     }
 
     fn run(&mut self) -> SessionEnd {
@@ -162,7 +226,20 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                             up.index
                         )));
                     }
+                    // A shard refuses data it does not own: a router bug
+                    // (or a hostile feeder) must fail loudly, not let two
+                    // shards silently hold overlapping state the
+                    // aggregating verifier would double-count.
+                    if let Some((spec, lo, hi)) = self.shard {
+                        if up.index < lo || up.index > hi {
+                            return Err(protocol(format!(
+                                "update index {} outside shard {}/{} range [{lo}, {hi}]",
+                                up.index, spec.index, spec.count
+                            )));
+                        }
+                    }
                 }
+                self.ingested |= !ups.is_empty();
                 match &mut self.store {
                     Store::Raw(fv) => {
                         for &up in &ups {
@@ -194,26 +271,15 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.start_query(q)?;
                 Ok(true)
             }
-            Msg::Challenge(x) => {
-                let Active::SumCheck {
-                    prover,
-                    sent,
-                    rounds,
-                } = &mut self.active
-                else {
-                    return Err(protocol("challenge without an open sum-check query"));
-                };
-                if *sent >= *rounds {
-                    return Err(protocol("challenge after the final round"));
-                }
-                prover.bind(x);
-                let evals = prover.message();
-                *sent += 1;
-                self.served.rounds += 1;
-                self.served.v_to_p_words += 1;
-                self.served.p_to_v_words += evals.len();
-                let poly = Msg::RoundPoly(evals);
-                self.send(&poly)?;
+            Msg::Challenge(x) => self.answer_challenge(x, None),
+            Msg::BroadcastChallenge { round, challenge } => {
+                // An aggregating verifier stamps the round so a shard that
+                // dropped or duplicated a frame fails loudly instead of
+                // binding the wrong variable.
+                self.answer_challenge(challenge, Some(round))
+            }
+            Msg::ShardHello(spec) => {
+                self.adopt_shard(spec, false).map_err(protocol)?;
                 Ok(true)
             }
             Msg::SubVectorRound(req) => {
@@ -288,6 +354,39 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 other.name()
             ))),
         }
+    }
+
+    /// Binds a revealed sum-check challenge and answers with the next round
+    /// polynomial. `expected_round`, when present (broadcast form), must
+    /// equal the number of polynomials already sent.
+    fn answer_challenge(&mut self, x: F, expected_round: Option<u32>) -> Result<bool, Flow> {
+        let Active::SumCheck {
+            prover,
+            sent,
+            rounds,
+        } = &mut self.active
+        else {
+            return Err(protocol("challenge without an open sum-check query"));
+        };
+        if let Some(round) = expected_round {
+            if round as usize != *sent {
+                return Err(protocol(format!(
+                    "broadcast challenge for round {round}, session is at round {sent}"
+                )));
+            }
+        }
+        if *sent >= *rounds {
+            return Err(protocol("challenge after the final round"));
+        }
+        prover.bind(x);
+        let evals = prover.message();
+        *sent += 1;
+        self.served.rounds += 1;
+        self.served.v_to_p_words += 1;
+        self.served.p_to_v_words += evals.len();
+        let poly = Msg::RoundPoly(evals);
+        self.send(&poly)?;
+        Ok(true)
     }
 
     fn start_query(&mut self, q: Query) -> Result<(), Flow> {
@@ -495,6 +594,131 @@ mod tests {
             assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
         });
         assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    fn with_sharded_session<R: Send + 'static>(
+        pinned: Option<ShardSpec>,
+        log_u: u32,
+        client: impl FnOnce(MsgChannel<InMemoryTransport>) -> R + Send + 'static,
+    ) -> (SessionEnd, R) {
+        let (a, b) = InMemoryTransport::pair();
+        let server = thread::spawn(move || {
+            run_session_sharded::<Fp61, _>(a, SessionMode::RawStream, log_u, pinned)
+        });
+        let out = client(MsgChannel::new(b));
+        (server.join().unwrap(), out)
+    }
+
+    #[test]
+    fn shard_refuses_updates_outside_its_range() {
+        // Shard 1 of 2 over [0, 16) owns [8, 15].
+        let (end, ()) = with_sharded_session(None, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(9, 1)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
+                .unwrap();
+            let reply = chan.recv::<Fp61>().unwrap();
+            assert!(matches!(reply, Msg::Error(_)), "{reply:?}");
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn shard_hello_after_ingest_is_refused() {
+        let (end, ()) = with_sharded_session(None, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 0, count: 2 }))
+                .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn pinned_shard_rejects_mismatched_hello_and_accepts_match() {
+        let pin = ShardSpec { index: 0, count: 2 };
+        let (end, ()) = with_sharded_session(Some(pin), 4, move |mut chan| {
+            // Confirming the pin is fine …
+            chan.send(&Msg::<Fp61>::ShardHello(pin)).unwrap();
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
+                .unwrap();
+            // … claiming a different identity is not.
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+                .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn invalid_shard_spec_is_refused() {
+        for spec in [
+            ShardSpec { index: 2, count: 2 },
+            ShardSpec { index: 0, count: 0 },
+            ShardSpec {
+                index: 0,
+                count: 1 << 5, // more shards than the 2^4 universe has keys
+            },
+        ] {
+            let (end, ()) = with_sharded_session(None, 4, move |mut chan| {
+                chan.send(&Msg::<Fp61>::ShardHello(spec)).unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            });
+            assert!(matches!(end, SessionEnd::ProtocolError(_)), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn broadcast_challenge_checks_the_round_stamp() {
+        let (end, ()) = with_session(SessionMode::RawStream, 2, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(1, 3)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+            let Msg::ClaimedValue(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected claim")
+            };
+            let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g1")
+            };
+            // The session has sent one polynomial; a broadcast challenge
+            // stamped for round 2 is out of step.
+            chan.send(&Msg::BroadcastChallenge {
+                round: 2,
+                challenge: Fp61::from_u64(5),
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn broadcast_challenge_with_correct_stamp_advances() {
+        let (end, ()) = with_session(SessionMode::RawStream, 2, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(1, 3)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+            let Msg::ClaimedValue(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected claim")
+            };
+            let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g1")
+            };
+            chan.send(&Msg::BroadcastChallenge {
+                round: 1,
+                challenge: Fp61::from_u64(5),
+            })
+            .unwrap();
+            let Msg::RoundPoly(g2) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g2")
+            };
+            assert_eq!(g2.len(), 3);
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
     }
 
     #[test]

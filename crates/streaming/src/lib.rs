@@ -17,14 +17,18 @@
 //! * [`workloads`] — seeded generators for the synthetic streams used in the
 //!   paper's experimental study (Section 5: `u = n`, per-item frequency
 //!   uniform in `[0, 1000]`) and for the key-value-store scenarios of the
-//!   motivating example.
+//!   motivating example;
+//! * [`shard`] — the deterministic index-range partition a sharded prover
+//!   fleet and its aggregating verifier must agree on (`sip-cluster`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frequency;
+pub mod shard;
 pub mod update;
 pub mod workloads;
 
 pub use frequency::FrequencyVector;
+pub use shard::ShardPlan;
 pub use update::Update;

@@ -1,0 +1,207 @@
+//! Partitioning the universe across prover shards.
+//!
+//! The paper's protocols are linear in the input vector `a` — the LDE value
+//! `f_a(r)` and every sum-check round polynomial are sums over the data —
+//! so a stream split across `S` provers by *index range* can be verified by
+//! combining `S` per-shard transcripts (the distributed-verification
+//! direction of Daruki–Thaler–Venkatasubramanian). [`ShardPlan`] is the one
+//! piece both sides must agree on: a deterministic, contiguous, balanced
+//! partition of `[0, 2^log_u)` into `S` non-empty ranges.
+
+use crate::Update;
+
+/// Upper bound on the fleet size a plan accepts. Far above any deployment
+/// this workspace targets; exists so a hostile `of` value in a handshake
+/// cannot drive per-shard allocations unbounded.
+pub const MAX_SHARDS: u32 = 4096;
+
+/// A deterministic partition of the key universe `[0, 2^log_u)` into
+/// `shards` contiguous, non-empty, ascending ranges.
+///
+/// Shard `s` owns `[⌊s·u/S⌋, ⌊(s+1)·u/S⌋)` — the balanced split, identical
+/// on every machine that agrees on `(log_u, shards)`. Routing is `O(1)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    log_u: u32,
+    shards: u32,
+}
+
+impl ShardPlan {
+    /// A plan splitting `[0, 2^log_u)` across `shards` provers.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, exceeds [`MAX_SHARDS`], or exceeds the
+    /// universe size (every shard must own at least one index).
+    pub fn new(log_u: u32, shards: u32) -> Self {
+        assert!((1..=63).contains(&log_u), "log_u out of range");
+        assert!(shards >= 1, "a plan needs at least one shard");
+        assert!(shards <= MAX_SHARDS, "more than MAX_SHARDS shards");
+        assert!(
+            (shards as u64) <= (1u64 << log_u),
+            "more shards than indices"
+        );
+        ShardPlan { log_u, shards }
+    }
+
+    /// Checks the `(log_u, shards)` pair without panicking — for validating
+    /// peer-supplied handshake values.
+    pub fn validate(log_u: u32, shards: u32) -> Result<Self, String> {
+        if log_u == 0 || log_u > 63 {
+            return Err(format!("log_u {log_u} out of range [1, 63]"));
+        }
+        if shards == 0 {
+            return Err("shard count must be positive".to_string());
+        }
+        if shards > MAX_SHARDS {
+            return Err(format!("shard count {shards} exceeds {MAX_SHARDS}"));
+        }
+        if (shards as u64) > (1u64 << log_u) {
+            return Err(format!(
+                "{shards} shards over a universe of {} indices",
+                1u64 << log_u
+            ));
+        }
+        Ok(ShardPlan { log_u, shards })
+    }
+
+    /// Universe size exponent.
+    pub fn log_u(&self) -> u32 {
+        self.log_u
+    }
+
+    /// Number of shards `S`.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Universe size `u = 2^log_u`.
+    pub fn universe(&self) -> u64 {
+        1u64 << self.log_u
+    }
+
+    fn lo(&self, s: u32) -> u64 {
+        // ⌊s·u/S⌋ — s ≤ 2^12 and u ≤ 2^63, so widen before multiplying.
+        ((s as u128 * self.universe() as u128) / self.shards as u128) as u64
+    }
+
+    /// The inclusive index range `[lo, hi]` owned by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a shard of this plan.
+    pub fn range(&self, s: u32) -> (u64, u64) {
+        assert!(s < self.shards, "shard {s} outside plan of {}", self.shards);
+        (self.lo(s), self.lo(s + 1) - 1)
+    }
+
+    /// The shard owning index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the universe.
+    pub fn shard_of(&self, i: u64) -> u32 {
+        assert!(i < self.universe(), "index {i} outside universe");
+        // ⌊i·S/u⌋ never overshoots (⌊⌊iS/u⌋·u/S⌋ ≤ i) but can undershoot at
+        // floor boundaries by at most a couple of steps; walk up to the
+        // owning range.
+        let mut s = ((i as u128 * self.shards as u128) / self.universe() as u128) as u32;
+        while s + 1 < self.shards && i >= self.lo(s + 1) {
+            s += 1;
+        }
+        debug_assert!({
+            let (lo, hi) = self.range(s);
+            (lo..=hi).contains(&i)
+        });
+        s
+    }
+
+    /// Intersects `[q_l, q_r]` with shard `s`'s range; `None` if disjoint.
+    pub fn clamp(&self, s: u32, q_l: u64, q_r: u64) -> Option<(u64, u64)> {
+        let (lo, hi) = self.range(s);
+        let l = q_l.max(lo);
+        let r = q_r.min(hi);
+        (l <= r).then_some((l, r))
+    }
+
+    /// Splits a stream into one sub-stream per shard, preserving order.
+    pub fn split(&self, stream: &[Update]) -> Vec<Vec<Update>> {
+        let mut out = vec![Vec::new(); self.shards as usize];
+        for &up in stream {
+            out[self.shard_of(up.index) as usize].push(up);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_universe() {
+        for log_u in [1u32, 3, 10] {
+            for shards in [1u32, 2, 3, 5, 8] {
+                if shards as u64 > 1 << log_u {
+                    continue;
+                }
+                let plan = ShardPlan::new(log_u, shards);
+                let mut next = 0u64;
+                for s in 0..shards {
+                    let (lo, hi) = plan.range(s);
+                    assert_eq!(lo, next, "gap before shard {s}");
+                    assert!(hi >= lo, "empty shard {s}");
+                    next = hi + 1;
+                }
+                assert_eq!(next, plan.universe(), "ranges must cover the universe");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let plan = ShardPlan::new(6, 5); // 64 indices, uneven split
+        for i in 0..plan.universe() {
+            let s = plan.shard_of(i);
+            let (lo, hi) = plan.range(s);
+            assert!((lo..=hi).contains(&i), "index {i} mapped to [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let plan = ShardPlan::new(10, 7);
+        let sizes: Vec<u64> = (0..7)
+            .map(|s| {
+                let (lo, hi) = plan.range(s);
+                hi - lo + 1
+            })
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "unbalanced split {sizes:?}");
+    }
+
+    #[test]
+    fn clamp_and_split() {
+        let plan = ShardPlan::new(4, 2); // [0,7] and [8,15]
+        assert_eq!(plan.clamp(0, 3, 12), Some((3, 7)));
+        assert_eq!(plan.clamp(1, 3, 12), Some((8, 12)));
+        assert_eq!(plan.clamp(1, 0, 7), None);
+        let parts = plan.split(&[Update::new(1, 5), Update::new(9, 7), Update::new(7, -1)]);
+        assert_eq!(parts[0], vec![Update::new(1, 5), Update::new(7, -1)]);
+        assert_eq!(parts[1], vec![Update::new(9, 7)]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(ShardPlan::validate(0, 1).is_err());
+        assert!(ShardPlan::validate(4, 0).is_err());
+        assert!(ShardPlan::validate(4, 17).is_err());
+        assert!(ShardPlan::validate(4, MAX_SHARDS + 1).is_err());
+        assert!(ShardPlan::validate(12, 8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_routing_panics() {
+        ShardPlan::new(4, 2).shard_of(16);
+    }
+}

@@ -371,6 +371,18 @@ fn decode_rejection(r: &mut Reader<'_>, depth: usize) -> Result<Rejection, WireE
                 cause: Box::new(cause),
             }
         }
+        8 => {
+            if depth == 0 {
+                return Err(WireError::BadTag {
+                    context: "rejection (blame nesting too deep)",
+                    tag: 8,
+                });
+            }
+            Rejection::Blame {
+                shard_id: r.u32()?,
+                cause: Box::new(decode_rejection(r, depth - 1)?),
+            }
+        }
         tag => {
             return Err(WireError::BadTag {
                 context: "rejection",
@@ -413,6 +425,10 @@ impl WireCodec for Rejection {
             }
             Rejection::SubProtocol { name, cause } => {
                 w.u8(7).string(name);
+                cause.encode(w);
+            }
+            Rejection::Blame { shard_id, cause } => {
+                w.u8(8).u32(*shard_id);
                 cause.encode(w);
             }
         }
@@ -623,11 +639,30 @@ mod tests {
                 detail: "count 5 != children 2 + 2".into(),
             },
             Rejection::in_subprotocol("heavy-hitters", Rejection::RootMismatch),
+            Rejection::blame(2, Rejection::FinalCheckFailed),
+            Rejection::blame(
+                0,
+                Rejection::in_subprotocol("range-sum", Rejection::RootMismatch),
+            ),
         ];
         for rej in cases {
             let bytes = rej.to_bytes();
             assert_eq!(Rejection::from_bytes(&bytes).unwrap(), rej);
         }
+    }
+
+    #[test]
+    fn hostile_blame_nesting_is_bounded() {
+        // Blame shares the SubProtocol nesting budget: deep towers of tag-8
+        // frames must be refused, not recursed into.
+        let mut bytes = Vec::new();
+        for _ in 0..100_000 {
+            bytes.push(8u8); // Blame tag
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // shard id
+        }
+        bytes.push(3); // innermost: RootMismatch
+        let err = Rejection::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::BadTag { tag: 8, .. }), "{err:?}");
     }
 
     #[test]

@@ -277,6 +277,26 @@ mod tests {
     }
 
     #[test]
+    fn v1_client_gets_version_error_not_length_error() {
+        // A pre-cluster (v1) client sends a well-formed v1 Hello. The v2
+        // server must name the version skew — the one diagnostic that has
+        // to survive cross-version contact — not whatever parse error the
+        // old layout happens to trigger.
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::RawStream, 10);
+        hello.version = 1;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: 1
+            }
+        );
+    }
+
+    #[test]
     fn field_mismatch_detected() {
         let (mut client, mut server) = InMemoryTransport::pair();
         let hello = Hello::new::<Fp127>(SessionMode::RawStream, 10);

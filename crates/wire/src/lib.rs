@@ -44,11 +44,16 @@ pub use channel::MsgChannel;
 pub use codec::{Reader, WireCodec};
 pub use error::WireError;
 pub use handshake::{client_handshake, server_handshake, Hello, HelloAck, SessionMode};
-pub use msg::{Msg, Query};
+pub use msg::{Msg, Query, ShardSpec};
 
 /// Version of the wire format this crate speaks. Bump on any change to the
 /// encodings in [`msg`] or [`handshake`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// History: **v2** added the sharded-fleet messages ([`Msg::ShardHello`],
+/// [`Msg::BroadcastChallenge`]) and the `Blame` rejection encoding; a v1
+/// peer is refused at the handshake with an explicit
+/// [`WireError::VersionMismatch`], never a misparse.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// The magic bytes opening every handshake frame.
 pub const MAGIC: [u8; 4] = *b"SIPW";

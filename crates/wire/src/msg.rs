@@ -118,11 +118,38 @@ impl WireCodec for Query {
     }
 }
 
+/// Declares which slice of the universe a sharded session serves: shard
+/// `index` of a fleet of `count` provers under the deterministic
+/// [`sip_streaming::ShardPlan`] split. Sent by the aggregating verifier
+/// right after the handshake; the prover then refuses updates outside its
+/// range.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This prover's shard id, `< count`.
+    pub index: u32,
+    /// Fleet size `S`.
+    pub count: u32,
+}
+
+impl WireCodec for ShardSpec {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.index).u32(self.count);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardSpec {
+            index: r.u32()?,
+            count: r.u32()?,
+        })
+    }
+}
+
 /// One post-handshake protocol message.
 ///
 /// Direction is by convention (the state machines enforce it): the verifier
-/// sends `Ingest`/`EndStream`/`Query`/`Challenge`/`SubVectorRound`/
-/// `HhKeys`/`Accept`/`Reject`/`Bye`; the prover sends the rest.
+/// sends `Ingest`/`EndStream`/`Query`/`Challenge`/`BroadcastChallenge`/
+/// `ShardHello`/`SubVectorRound`/`HhKeys`/`Accept`/`Reject`/`Bye`; the
+/// prover sends the rest.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg<F> {
     // ----- verifier → prover -----
@@ -144,6 +171,20 @@ pub enum Msg<F> {
         r: F,
         /// The count key `s_level`.
         s: F,
+    },
+    /// This connection serves one shard of a fleet (v2): must precede any
+    /// [`Msg::Ingest`] on a sharded session.
+    ShardHello(ShardSpec),
+    /// A sum-check challenge broadcast by an aggregating verifier to every
+    /// shard of a fleet (v2). `round` is the 1-based index of the round
+    /// polynomial the challenge answers — the prover checks it against its
+    /// own round counter so a desynchronised fleet fails loudly instead of
+    /// binding the wrong variable.
+    BroadcastChallenge {
+        /// Index of the round polynomial this challenge responds to.
+        round: u32,
+        /// The revealed randomness `r_round`.
+        challenge: F,
     },
     /// The verifier accepted the current query's proof.
     Accept,
@@ -185,6 +226,8 @@ impl<F> Msg<F> {
             Msg::Challenge(_) => "challenge",
             Msg::SubVectorRound(_) => "subvector-round",
             Msg::HhKeys { .. } => "hh-keys",
+            Msg::ShardHello(_) => "shard-hello",
+            Msg::BroadcastChallenge { .. } => "broadcast-challenge",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
             Msg::Bye => "bye",
@@ -209,6 +252,8 @@ const TAG_HH_KEYS: u8 = 0x06;
 const TAG_ACCEPT: u8 = 0x07;
 const TAG_REJECT: u8 = 0x08;
 const TAG_BYE: u8 = 0x09;
+const TAG_SHARD_HELLO: u8 = 0x0A;
+const TAG_BROADCAST_CHALLENGE: u8 = 0x0B;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -243,6 +288,13 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             }
             Msg::HhKeys { level, r, s } => {
                 w.u8(TAG_HH_KEYS).u32(*level).field(*r).field(*s);
+            }
+            Msg::ShardHello(spec) => {
+                w.u8(TAG_SHARD_HELLO);
+                spec.encode(w);
+            }
+            Msg::BroadcastChallenge { round, challenge } => {
+                w.u8(TAG_BROADCAST_CHALLENGE).u32(*round).field(*challenge);
             }
             Msg::Accept => {
                 w.u8(TAG_ACCEPT);
@@ -301,6 +353,11 @@ impl<F: PrimeField> WireCodec for Msg<F> {
                 level: r.u32()?,
                 r: r.field()?,
                 s: r.field()?,
+            },
+            TAG_SHARD_HELLO => Msg::ShardHello(ShardSpec::decode(r)?),
+            TAG_BROADCAST_CHALLENGE => Msg::BroadcastChallenge {
+                round: r.u32()?,
+                challenge: r.field()?,
             },
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
@@ -369,8 +426,17 @@ mod tests {
             r: f(5),
             s: f(6),
         });
+        roundtrip(Msg::ShardHello(ShardSpec { index: 3, count: 8 }));
+        roundtrip(Msg::BroadcastChallenge {
+            round: 7,
+            challenge: f(424242),
+        });
         roundtrip(Msg::Accept);
         roundtrip(Msg::Reject(Rejection::RootMismatch));
+        roundtrip(Msg::Reject(Rejection::blame(
+            5,
+            Rejection::RoundSumMismatch { round: 3 },
+        )));
         roundtrip(Msg::Bye);
         roundtrip(Msg::ClaimedValue(f(123)));
         roundtrip(Msg::RoundPoly(vec![f(1), f(2), f(3)]));

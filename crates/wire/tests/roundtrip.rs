@@ -10,7 +10,7 @@ use sip_core::subvector::{RoundReply, RoundRequest, SubVectorAnswer};
 use sip_core::CostReport;
 use sip_field::{Fp127, Fp61, PrimeField};
 use sip_streaming::Update;
-use sip_wire::{Hello, Msg, Query, SessionMode, WireCodec, WireError, PROTOCOL_VERSION};
+use sip_wire::{Hello, Msg, Query, SessionMode, ShardSpec, WireCodec, WireError, PROTOCOL_VERSION};
 
 fn f61(x: u64) -> Fp61 {
     Fp61::from_u64(x)
@@ -52,12 +52,26 @@ fn messages<F: PrimeField>(
             r: scalar,
             s: scalar + F::ONE,
         },
+        Msg::ShardHello(ShardSpec {
+            index: level,
+            count: level.saturating_add(1),
+        }),
+        Msg::BroadcastChallenge {
+            round: level,
+            challenge: scalar,
+        },
         Msg::Accept,
         Msg::Reject(Rejection::in_subprotocol(
             "range-count",
             Rejection::AnswerTooLarge {
                 limit: level as usize,
                 got: level as usize + 1,
+            },
+        )),
+        Msg::Reject(Rejection::blame(
+            level,
+            Rejection::RoundSumMismatch {
+                round: level as usize + 1,
             },
         )),
         Msg::Bye,

@@ -1,0 +1,133 @@
+//! A sharded prover fleet in action: four `sip-prover`-style shard servers
+//! behind one aggregating verifier, then a lying shard getting blamed.
+//!
+//! ```text
+//! cargo run --release --example cluster_demo
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::cluster::{
+    boxed_kv_fleet, connect_kv_fleet, spawn_local_fleet, ClusterClient, ClusterF2Verifier,
+    ClusterRangeSumVerifier,
+};
+use sip::field::{Fp61, PrimeField};
+use sip::kvstore::{Attack, CloudStore, KvServer, MaliciousStore, QueryBudget, ShardedClient};
+use sip::server::ServerHandle;
+use sip::streaming::{workloads, FrequencyVector, ShardPlan};
+
+const LOG_U: u32 = 12;
+const SHARDS: u32 = 4;
+
+fn spawn_fleet() -> (Vec<ServerHandle>, Vec<std::net::SocketAddr>) {
+    spawn_local_fleet::<Fp61>(SHARDS, LOG_U).expect("bind shard servers")
+}
+
+fn main() {
+    let plan = ShardPlan::new(LOG_U, SHARDS);
+    println!("== fleet of {SHARDS} shard provers over a universe of 2^{LOG_U} keys ==");
+    for s in 0..SHARDS {
+        let (lo, hi) = plan.range(s);
+        println!("  shard {s}: keys [{lo}, {hi}]");
+    }
+
+    // ----- raw aggregate queries over TCP ---------------------------------
+    let (handles, addrs) = spawn_fleet();
+    let mut client: ClusterClient<Fp61, _> = ClusterClient::connect(&addrs, LOG_U).unwrap();
+    let stream = workloads::uniform(20_000, 1u64 << LOG_U, 500, 7);
+    let truth = FrequencyVector::from_stream(1u64 << LOG_U, &stream);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+    for &up in &stream {
+        f2.update(up);
+        rs.update(up);
+        client.send_update(up);
+    }
+    client.end_stream().unwrap();
+
+    let got = client.verify_f2(f2).unwrap();
+    assert_eq!(got.value, Fp61::from_u128(truth.self_join_size() as u128));
+    println!(
+        "\nverified F2 = {} across {} shards (ground truth agrees)",
+        got.value.to_u128(),
+        got.report.shards()
+    );
+    for (s, r) in got.report.per_shard.iter().enumerate() {
+        println!(
+            "  shard {s}: {} rounds, {} words prover→verifier, {} words back",
+            r.rounds, r.p_to_v_words, r.v_to_p_words
+        );
+    }
+    let total = got.report.total();
+    println!(
+        "  total: {} words over the wire, verifier space {} words",
+        total.total_words(),
+        total.verifier_space_words
+    );
+
+    let (q_l, q_r) = (100u64, 3_000u64);
+    let got = client.verify_range_sum(rs, q_l, q_r).unwrap();
+    assert_eq!(got.value, Fp61::from_i64(truth.range_sum(q_l, q_r) as i64));
+    println!(
+        "verified RANGE-SUM[{q_l}, {q_r}] = {} ({} total words)",
+        got.value.to_u128(),
+        got.report.total().total_words()
+    );
+    client.bye().unwrap();
+
+    // ----- the kv-store surface over the same fleet -----------------------
+    let (kv_handles, kv_addrs) = spawn_fleet();
+    let stores = connect_kv_fleet::<Fp61, _>(&kv_addrs, LOG_U).unwrap();
+    let mut servers = boxed_kv_fleet(&stores);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut kv = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    for (k, v) in [(17u64, 40u64), (1_200, 7), (2_300, 999), (3_900, 55)] {
+        kv.put(k, v, &mut servers);
+    }
+    println!(
+        "\nkv fleet: get(2300) = {:?}",
+        kv.get(2300, &servers).unwrap().value
+    );
+    println!(
+        "kv fleet: range_sum(0, 4095) = {}",
+        kv.range_sum(0, 4095, &servers).unwrap().value
+    );
+    println!(
+        "kv fleet: predecessor(2299) = {:?} (walked the fleet)",
+        kv.predecessor(2299, &servers).unwrap().value
+    );
+    for store in &stores {
+        store.bye().ok();
+    }
+    for h in kv_handles {
+        h.shutdown();
+    }
+    for h in handles {
+        h.shutdown();
+    }
+
+    // ----- a lying shard is blamed, not the fleet -------------------------
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut kv = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    let guilty = 2u32;
+    let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
+        .map(|s| {
+            let store = CloudStore::<Fp61>::new(LOG_U);
+            if s == guilty {
+                Box::new(MaliciousStore::new(store, Attack::SkewAggregates))
+                    as Box<dyn KvServer<Fp61>>
+            } else {
+                Box::new(store) as Box<dyn KvServer<Fp61>>
+            }
+        })
+        .collect();
+    for (k, v) in [(17u64, 40u64), (1_200, 7), (2_300, 999), (3_900, 55)] {
+        kv.put(k, v, &mut servers);
+    }
+    let err = kv.self_join_size(&servers).unwrap_err();
+    println!("\nshard {guilty} lies about aggregates → {err}");
+    assert_eq!(err.blamed_shard(), Some(guilty));
+    println!("eviction target: shard {guilty} — the other three stay in service");
+}

@@ -43,10 +43,12 @@
 //! | [`kvstore`] | the motivating application: a verified outsourced KV store |
 //! | [`wire`] | the versioned binary wire format (framed messages, handshake) |
 //! | [`server`] | the prover as a concurrent TCP service + the remote verifier client |
+//! | [`cluster`] | sharded prover fleet: stream router, aggregating verifier, per-shard blame |
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
 //! for the reproduction of the paper's experimental study (Figures 2–3).
 
+pub use sip_cluster as cluster;
 pub use sip_core as core;
 pub use sip_field as field;
 pub use sip_gkr as gkr;

@@ -1,0 +1,265 @@
+//! The tamper study for the sharded fleet: whatever one shard does wrong —
+//! a lying store, or any single-byte corruption of one shard's TCP traffic
+//! — the aggregating verifier must reject **and blame exactly that shard**,
+//! never accept a wrong answer, and never indict an honest shard.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::cluster::spawn_local_fleet;
+use sip::cluster::{ClusterClient, ClusterF2Verifier, ClusterRangeSumVerifier};
+use sip::core::Rejection;
+use sip::field::{Fp61, PrimeField};
+use sip::kvstore::{
+    boxed_fleet, Attack, CloudStore, KvServer, MaliciousStore, QueryBudget, ShardedClient,
+};
+use sip::server::ServerHandle;
+use sip::streaming::{ShardPlan, Update};
+
+// ---------------------------------------------------------------------
+// One malicious store in an otherwise honest fleet (in-process)
+// ---------------------------------------------------------------------
+
+const LOG_U: u32 = 6;
+const SHARDS: u32 = 4;
+
+fn fleet_pairs(plan: &ShardPlan) -> Vec<(u64, u64)> {
+    let mut pairs = Vec::new();
+    for s in 0..plan.shards() {
+        let (lo, hi) = plan.range(s);
+        pairs.push((lo + 1, 100 + s as u64));
+        pairs.push((hi, 7));
+    }
+    pairs
+}
+
+/// Exactly one of S shards runs a [`MaliciousStore`]: every attack, every
+/// possible guilty shard — the verifier rejects with that shard's id.
+#[test]
+fn single_malicious_shard_is_always_blamed() {
+    for guilty in 0..SHARDS {
+        for attack in [
+            Attack::CorruptValues,
+            Attack::DropFirstEntry,
+            Attack::SkewAggregates,
+            Attack::UnderstateCounts,
+            Attack::LieAboutPredecessor,
+        ] {
+            let mut rng = StdRng::seed_from_u64(guilty as u64 * 31 + 1);
+            let mut client =
+                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+            let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
+                .map(|s| {
+                    let store = CloudStore::<Fp61>::new(LOG_U);
+                    if s == guilty {
+                        Box::new(MaliciousStore::new(store, attack)) as Box<dyn KvServer<Fp61>>
+                    } else {
+                        Box::new(store) as Box<dyn KvServer<Fp61>>
+                    }
+                })
+                .collect();
+            let pairs = fleet_pairs(client.plan());
+            for &(k, v) in &pairs {
+                client.put(k, v, &mut servers);
+            }
+            let u = 1u64 << LOG_U;
+            let err = match attack {
+                Attack::CorruptValues | Attack::DropFirstEntry => {
+                    client.range(0, u - 1, &servers).unwrap_err()
+                }
+                Attack::SkewAggregates => client.range_sum(0, u - 1, &servers).unwrap_err(),
+                Attack::UnderstateCounts => client.heavy_keys(90, &servers).unwrap_err(),
+                Attack::LieAboutPredecessor => {
+                    let (_, hi) = client.plan().range(guilty);
+                    client.predecessor(hi, &servers).unwrap_err()
+                }
+            };
+            assert_eq!(
+                err.blamed_shard(),
+                Some(guilty),
+                "attack {attack:?} on shard {guilty}: {err}"
+            );
+        }
+    }
+}
+
+/// The all-honest control: the fleet answers exactly like a single store,
+/// and the aggregated books add up.
+#[test]
+fn all_honest_fleet_matches_single_store_and_totals_add_up() {
+    let mut rng = StdRng::seed_from_u64(50);
+    let mut sharded = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    let mut fleet = boxed_fleet((0..SHARDS).map(|_| CloudStore::<Fp61>::new(LOG_U)));
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut single = ShardedClient::<Fp61>::new(LOG_U, 1, QueryBudget::default(), &mut rng);
+    let mut one = boxed_fleet([CloudStore::<Fp61>::new(LOG_U)]);
+    let pairs = fleet_pairs(sharded.plan());
+    for &(k, v) in &pairs {
+        sharded.put(k, v, &mut fleet);
+        single.put(k, v, &mut one);
+    }
+    let u = 1u64 << LOG_U;
+    let a = sharded.range_sum(0, u - 1, &fleet).unwrap();
+    let b = single.range_sum(0, u - 1, &one).unwrap();
+    assert_eq!(a.value, b.value);
+    assert_eq!(
+        a.report.total().total_words(),
+        a.report
+            .per_shard
+            .iter()
+            .map(|r| r.total_words())
+            .sum::<usize>()
+    );
+    assert_eq!(
+        sharded.heavy_keys(90, &fleet).unwrap().value,
+        single.heavy_keys(90, &one).unwrap().value
+    );
+}
+
+// ---------------------------------------------------------------------
+// One corrupted wire in an otherwise honest TCP fleet (MITM)
+// ---------------------------------------------------------------------
+
+/// Read timeout for tampered runs: flips that inflate a length prefix make
+/// the client wait for bytes that never come; this bounds the wait.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// Forwards `from` → `to`, XOR-ing bit 0 of the byte at absolute stream
+/// position `flip` (if any), counting bytes through `counter`.
+fn pump(mut from: TcpStream, mut to: TcpStream, flip: Option<usize>, counter: Arc<AtomicUsize>) {
+    let mut buf = [0u8; 4096];
+    let mut pos = 0usize;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if let Some(k) = flip {
+            if (pos..pos + n).contains(&k) {
+                buf[k - pos] ^= 0x01;
+            }
+        }
+        pos += n;
+        counter.fetch_add(n, Ordering::SeqCst);
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Read);
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// A one-connection MITM proxy in front of `upstream`; returns the address
+/// to dial and a counter of server→client bytes. Only prover→verifier
+/// traffic is corrupted — the verifier is honest.
+fn mitm(upstream: SocketAddr, flip: Option<usize>) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let counted = Arc::clone(&counter);
+    thread::spawn(move || {
+        let Ok((client_side, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(server_side) = TcpStream::connect(upstream) else {
+            let _ = client_side.shutdown(Shutdown::Both);
+            return;
+        };
+        let c2s = (
+            client_side.try_clone().unwrap(),
+            server_side.try_clone().unwrap(),
+        );
+        let up = thread::spawn(move || pump(c2s.0, c2s.1, None, Arc::new(AtomicUsize::new(0))));
+        pump(server_side, client_side, flip, counted);
+        let _ = up.join();
+    });
+    (addr, counter)
+}
+
+const TAMPER_LOG_U: u32 = 4;
+const TAMPER_SHARDS: u32 = 3;
+
+fn spawn_fleet() -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+    spawn_local_fleet::<Fp61>(TAMPER_SHARDS, TAMPER_LOG_U).expect("bind shard servers")
+}
+
+/// The scripted fleet session: a fixed stream, then verified F₂ and
+/// RANGE-SUM. Returns the two verified values.
+fn run_cluster_session(addrs: &[SocketAddr]) -> Result<(Fp61, Fp61), Rejection> {
+    let plan = ShardPlan::new(TAMPER_LOG_U, TAMPER_SHARDS);
+    let stream = [
+        Update::new(1, 3),
+        Update::new(6, 2),
+        Update::new(7, 5),
+        Update::new(11, 1),
+        Update::new(14, 4),
+    ];
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::connect_with_timeout(addrs, TAMPER_LOG_U, CLIENT_TIMEOUT)?;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+    for &up in &stream {
+        f2.update(up);
+        rs.update(up);
+        client.send_update(up);
+    }
+    client.end_stream()?;
+    let f2_got = client.verify_f2(f2)?;
+    let rs_got = client.verify_range_sum(rs, 2, 12)?;
+    Ok((f2_got.value, rs_got.value))
+}
+
+/// Every single-byte corruption of one shard's prover→verifier TCP traffic
+/// is caught and blamed on that shard; honest shards are never indicted.
+#[test]
+fn every_flipped_byte_on_one_shard_is_blamed_on_it() {
+    let (handles, addrs) = spawn_fleet();
+    let guilty = 1usize;
+
+    // Honest control through the proxy: learn the traffic volume and the
+    // true answers.
+    let (proxied, counter) = mitm(addrs[guilty], None);
+    let mut dial = addrs.clone();
+    dial[guilty] = proxied;
+    let (f2_truth, rs_truth) = run_cluster_session(&dial).expect("honest fleet accepted");
+    assert_eq!(f2_truth, Fp61::from_u64(9 + 4 + 25 + 1 + 16));
+    // [2, 12] covers indices 6, 7 and 11.
+    assert_eq!(rs_truth, Fp61::from_u64(2 + 5 + 1));
+    let prover_bytes = counter.load(Ordering::SeqCst);
+    assert!(prover_bytes > 0);
+
+    // Tampered runs: flip each prover→verifier byte of the guilty shard.
+    for flip in 0..prover_bytes {
+        let (proxied, _) = mitm(addrs[guilty], Some(flip));
+        let mut dial = addrs.clone();
+        dial[guilty] = proxied;
+        match run_cluster_session(&dial) {
+            Ok((f2, rs)) => {
+                // A flip may land on a byte whose corruption still decodes
+                // to the honest transcript… it may not change any answer.
+                assert_eq!(
+                    (f2, rs),
+                    (f2_truth, rs_truth),
+                    "flip {flip} forged an answer"
+                );
+            }
+            Err(e) => {
+                assert_eq!(
+                    e.blamed_shard(),
+                    Some(guilty as u32),
+                    "flip {flip} blamed the wrong party: {e}"
+                );
+            }
+        }
+    }
+    for h in handles {
+        h.shutdown();
+    }
+}
