@@ -1,0 +1,250 @@
+//! Prover-engine scaling: round-message throughput of the data-parallel
+//! fold kernel at `threads ∈ {1, 2, 4, 8}`, and end-to-end query latency
+//! with 1 / 8 / 32 concurrent verifier sessions attached to one published
+//! dataset — emitted as machine-readable `BENCH_prover.json` (plus a
+//! human-readable CSV on stdout).
+//!
+//! What is measured:
+//!
+//! * `round_messages` — for each `log_u` and thread count, the honest F₂
+//!   prover's complete round-message schedule (every `message()` +
+//!   `bind()` over all `d` rounds) on a dense `n = 2^log_u` stream,
+//!   repeated until the timer is trustworthy; reported as messages/s and
+//!   fold-pairs/s (the largest `log_u` row is the headline scaling
+//!   number);
+//! * `query_latency` — wall time per verified F₂ query when N concurrent
+//!   verifier sessions attach to one published dataset on a real TCP
+//!   server (ingest happens once; the N sessions share the frozen
+//!   snapshot), reported as mean/max per-session latency.
+//!
+//! Thread scaling is hardware-bound: on a single-core container the
+//! `threads > 1` rows collapse to ≈ 1×, by design — the engine never
+//! trades transcripts for speed, so the only thing threads can change is
+//! wall-clock on hardware that has them.
+//!
+//! Usage: `cargo run --release -p sip-bench --bin bench_prover
+//! [--max-log-u N] [--sessions-log-u N] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_u32, csv_header, time_once};
+use sip_core::engine::ProverPool;
+use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
+use sip_core::sumcheck::RoundProver;
+use sip_field::{Fp61, PrimeField};
+use sip_server::client::RawClient;
+use sip_server::{spawn, ServerConfig};
+use sip_streaming::{workloads, FrequencyVector};
+
+fn arg_string(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+struct RoundPoint {
+    log_u: u32,
+    threads: usize,
+    msgs_per_sec: f64,
+    pairs_per_sec: f64,
+    schedule_ms: f64,
+}
+
+/// One full round-message schedule: d messages, d−1 binds.
+fn schedule_time(fv: &FrequencyVector, log_u: u32, pool: ProverPool) -> (Duration, u64) {
+    let mut prover = F2Prover::<Fp61>::with_pool(fv, log_u, pool);
+    let mut pairs = 0u64;
+    let start = Instant::now();
+    for round in 0..log_u {
+        pairs += 1u64 << (log_u - round - 1);
+        std::hint::black_box(prover.message());
+        if round + 1 < log_u {
+            prover.bind(Fp61::from_u64(round as u64 + 3));
+        }
+    }
+    (start.elapsed(), pairs)
+}
+
+fn measure_rounds(log_u: u32, threads: usize) -> RoundPoint {
+    let n = 1usize << log_u;
+    let stream = workloads::paper_f2(n as u64, 11);
+    let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+    let pool = ProverPool::new(threads);
+    // Warm up once (page in the table), then repeat to a stable total.
+    let _ = schedule_time(&fv, log_u, pool);
+    let mut total = Duration::ZERO;
+    let mut msgs = 0u64;
+    let mut pairs = 0u64;
+    while total < Duration::from_millis(300) {
+        let (d, p) = schedule_time(&fv, log_u, pool);
+        total += d;
+        msgs += log_u as u64;
+        pairs += p;
+    }
+    let secs = total.as_secs_f64();
+    RoundPoint {
+        log_u,
+        threads,
+        msgs_per_sec: msgs as f64 / secs,
+        pairs_per_sec: pairs as f64 / secs,
+        schedule_ms: secs * 1e3 / (msgs as f64 / log_u as f64),
+    }
+}
+
+struct LatencyPoint {
+    sessions: usize,
+    mean_ms: f64,
+    max_ms: f64,
+    total_ms: f64,
+}
+
+/// N concurrent verifier sessions attach to one published dataset and each
+/// runs one verified F₂ query.
+fn measure_sessions(log_u: u32, sessions: usize, server_threads: usize) -> LatencyPoint {
+    let u = 1u64 << log_u;
+    let stream = workloads::paper_f2(u, 23);
+    let truth = FrequencyVector::from_stream(u, &stream).self_join_size();
+
+    let server = spawn::<Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: sessions + 4,
+            threads: server_threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let dataset = format!("bench-{log_u}-{sessions}");
+
+    let mut owner: RawClient<Fp61, _> = RawClient::connect(addr, log_u).unwrap();
+    owner.send_stream(&stream);
+    owner.publish(&dataset).unwrap();
+
+    let (latencies, total) = time_once(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|i| {
+                    let stream = &stream;
+                    let dataset = &dataset;
+                    scope.spawn(move || {
+                        let mut client: RawClient<Fp61, _> =
+                            RawClient::connect(addr, log_u).unwrap();
+                        client.attach(dataset).unwrap();
+                        let mut rng = StdRng::seed_from_u64(500 + i as u64);
+                        let mut digest = F2Verifier::<Fp61>::new(log_u, &mut rng);
+                        digest.update_all(stream);
+                        let (got, took) = time_once(|| client.verify_f2(digest).unwrap());
+                        assert_eq!(got.value, Fp61::from_u128(truth as u128));
+                        client.bye().ok();
+                        took
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    owner.bye().ok();
+    server.shutdown();
+
+    let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+    LatencyPoint {
+        sessions,
+        mean_ms: latencies.iter().map(ms).sum::<f64>() / latencies.len() as f64,
+        max_ms: latencies.iter().map(ms).fold(0.0, f64::max),
+        total_ms: total.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let max_log_u = arg_u32("--max-log-u", 18);
+    let sessions_log_u = arg_u32("--sessions-log-u", 12);
+    let out_path = arg_string("--out", "BENCH_prover.json");
+
+    let log_us: Vec<u32> = [12u32, 16, 18, 20]
+        .into_iter()
+        .filter(|&l| l <= max_log_u)
+        .collect();
+    let threads = [1usize, 2, 4, 8];
+
+    csv_header(&[
+        "log_u",
+        "threads",
+        "msgs_per_sec",
+        "pairs_per_sec",
+        "schedule_ms",
+    ]);
+    let mut rounds = Vec::new();
+    for &log_u in &log_us {
+        for &t in &threads {
+            let p = measure_rounds(log_u, t);
+            println!(
+                "{},{},{:.1},{:.0},{:.3}",
+                p.log_u, p.threads, p.msgs_per_sec, p.pairs_per_sec, p.schedule_ms
+            );
+            rounds.push(p);
+        }
+    }
+
+    csv_header(&["sessions", "mean_ms", "max_ms", "total_ms"]);
+    let mut latencies = Vec::new();
+    for sessions in [1usize, 8, 32] {
+        let p = measure_sessions(sessions_log_u, sessions, 1);
+        println!(
+            "{},{:.2},{:.2},{:.2}",
+            p.sessions, p.mean_ms, p.max_ms, p.total_ms
+        );
+        latencies.push(p);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"prover\",");
+    let _ = writeln!(json, "  \"field\": \"Fp61\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {},", hardware_threads());
+    let _ = writeln!(json, "  \"sessions_log_u\": {sessions_log_u},");
+    json.push_str("  \"round_messages\": [\n");
+    for (i, p) in rounds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"log_u\": {}, \"threads\": {}, \"msgs_per_sec\": {:.1}, \
+             \"pairs_per_sec\": {:.0}, \"schedule_ms\": {:.3}}}{}",
+            p.log_u,
+            p.threads,
+            p.msgs_per_sec,
+            p.pairs_per_sec,
+            p.schedule_ms,
+            if i + 1 < rounds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"query_latency\": [\n");
+    for (i, p) in latencies.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"sessions\": {}, \"mean_ms\": {:.2}, \"max_ms\": {:.2}, \
+             \"total_ms\": {:.2}}}{}",
+            p.sessions,
+            p.mean_ms,
+            p.max_ms,
+            p.total_ms,
+            if i + 1 < latencies.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_prover.json");
+    eprintln!("# wrote {out_path}");
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

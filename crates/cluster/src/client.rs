@@ -156,6 +156,28 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         Ok(())
     }
 
+    /// Publishes every shard's ingested slice server-wide under
+    /// `dataset_id` — one frozen snapshot per shard server, all under the
+    /// same name. A later fleet (same addresses, same plan) can
+    /// [`Self::attach`] and query without re-ingesting; the lockstep
+    /// aggregation semantics are unchanged.
+    pub fn publish(&mut self, dataset_id: &str) -> Result<(), Rejection> {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.publish(dataset_id).map_err(|e| blame(s, e))?;
+        }
+        Ok(())
+    }
+
+    /// Attaches every shard session to its server's published snapshot of
+    /// `dataset_id` (each shard server holds its own slice under that
+    /// name).
+    pub fn attach(&mut self, dataset_id: &str) -> Result<(), Rejection> {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach(dataset_id).map_err(|e| blame(s, e))?;
+        }
+        Ok(())
+    }
+
     /// Ends every session politely, collecting each prover's own (advisory)
     /// cost accounting.
     pub fn bye(&mut self) -> Result<Vec<CostReport>, Rejection> {

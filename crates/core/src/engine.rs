@@ -1,0 +1,266 @@
+//! The prover engine: one generic fold/combine kernel behind every
+//! multi-round prover, with an opt-in data-parallel scheduler.
+//!
+//! CMT's follow-up ("Practical Verified Computation with Streaming
+//! Interactive Proofs") observes that the honest prover's entire cost of
+//! practicality is the per-round pass over the fold table — the same
+//! `Σ_m combine(A[2m], A[2m+1])` loop, repeated with a different per-pair
+//! rule by every protocol. This module extracts that loop once:
+//!
+//! * [`Combine`] is the per-pair (or per-block) rule — squared interpolant
+//!   for F₂, `k`-th powers for moments, lockstep products for INNER
+//!   PRODUCT, lazy-indicator products for RANGE-SUM, χ-weighted blocks for
+//!   general `ℓ`;
+//! * [`FoldSource`] names what is walked — one fold table's pairs, the
+//!   union walk of two lockstep tables, or fixed-width dense blocks;
+//! * [`ProverPool::fold_message`] runs the walk, either serially
+//!   (`threads = 1`, the default — byte-identical to the historical
+//!   per-protocol loops) or split into contiguous chunks executed under
+//!   [`std::thread::scope`].
+//!
+//! ## Why scheduling cannot change a transcript
+//!
+//! Accumulation is exact field arithmetic — associative and commutative
+//! with no rounding — and chunk boundaries ([`chunk_range`]) are
+//! deterministic, so the chunk partial sums recombine to exactly the serial
+//! total at **any** thread count. Parallelism changes wall-clock, never a
+//! round polynomial: soundness and cost accounting are untouched by
+//! construction, and `tests/engine_equivalence.rs` checks the transcripts
+//! pairwise anyway.
+
+use sip_field::PrimeField;
+
+use crate::fold::{chunk_range, FoldVector};
+
+/// Below this many blocks a parallel walk is all spawn overhead; the kernel
+/// silently degrades to the serial path. (The tail rounds of every fold
+/// drop under this threshold, which is exactly when threads stop paying.)
+const MIN_PARALLEL_BLOCKS: u64 = 1 << 12;
+
+/// A per-pair combine rule: how one block's children contribute to the
+/// round polynomial's evaluation slots.
+///
+/// Implementations accumulate into delayed-reduction accumulators
+/// ([`PrimeField::DotAcc`]) so the hot loop performs one modular reduction
+/// per batch of products where the field's representation allows.
+pub trait Combine<F: PrimeField>: Sync {
+    /// Number of evaluation slots the round message carries
+    /// (`degree + 1`).
+    fn slots(&self) -> usize;
+
+    /// Folds block `m`'s contribution into `acc` (`slots()` entries).
+    ///
+    /// `a` holds the primary table's children for the block (two for pair
+    /// walks, the block width for [`FoldSource::Blocks`]); `b` holds the
+    /// partner table's children on union walks and is empty otherwise.
+    fn accumulate(&self, m: u64, a: &[F], b: &[F], acc: &mut [F::DotAcc]);
+}
+
+/// What the kernel walks: the block structure behind one round message.
+#[derive(Clone, Copy)]
+pub enum FoldSource<'a, F: PrimeField> {
+    /// The `(A[2m], A[2m+1])` pairs of one fold table, skipping all-zero
+    /// pairs.
+    Pairs(&'a FoldVector<F>),
+    /// The union pair walk of two lockstep fold tables (INNER PRODUCT).
+    UnionPairs(&'a FoldVector<F>, &'a FoldVector<F>),
+    /// Fixed-width blocks of a dense table (the general-`ℓ` provers; the
+    /// table length must be a multiple of the width).
+    Blocks {
+        /// The dense fold table.
+        table: &'a [F],
+        /// Children per block (`ℓ`).
+        width: usize,
+    },
+}
+
+impl<F: PrimeField> FoldSource<'_, F> {
+    /// Number of blocks in the walk.
+    pub fn blocks(&self) -> u64 {
+        match self {
+            FoldSource::Pairs(v) => v.pairs(),
+            FoldSource::UnionPairs(a, _) => a.pairs(),
+            FoldSource::Blocks { table, width } => {
+                debug_assert!(*width >= 1 && table.len() % width == 0);
+                (table.len() / width) as u64
+            }
+        }
+    }
+
+    /// Walks chunk `chunk` of `chunks` in increasing block order.
+    fn walk_chunk(&self, chunk: usize, chunks: usize, mut f: impl FnMut(u64, &[F], &[F])) {
+        let (lo, hi) = chunk_range(self.blocks(), chunk, chunks);
+        match self {
+            FoldSource::Pairs(v) => v.for_each_pair_in(lo, hi, |m, plo, phi| {
+                f(m, &[plo, phi], &[]);
+            }),
+            FoldSource::UnionPairs(a, b) => {
+                FoldVector::for_each_pair_union_in(a, b, lo, hi, |m, alo, ahi, blo, bhi| {
+                    f(m, &[alo, ahi], &[blo, bhi]);
+                })
+            }
+            FoldSource::Blocks { table, width } => {
+                for m in lo..hi {
+                    let start = m as usize * width;
+                    f(m, &table[start..start + width], &[]);
+                }
+            }
+        }
+    }
+}
+
+/// The prover's scheduling knob: how many worker threads a round-message
+/// pass may use. `threads = 1` (the default) is the serial path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProverPool {
+    /// Worker threads per [`ProverPool::fold_message`] call (≥ 1).
+    pub threads: usize,
+}
+
+impl Default for ProverPool {
+    fn default() -> Self {
+        ProverPool::SERIAL
+    }
+}
+
+impl ProverPool {
+    /// The serial engine: exactly the historical single-threaded loops.
+    pub const SERIAL: ProverPool = ProverPool { threads: 1 };
+
+    /// A pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a prover needs at least one thread");
+        ProverPool { threads }
+    }
+
+    /// Produces one round message: walks `source` once, feeding every block
+    /// through `combine`, and returns the `combine.slots()` evaluation
+    /// sums.
+    ///
+    /// With `threads > 1` and a large enough table, the block range is
+    /// split into contiguous chunks executed under [`std::thread::scope`];
+    /// chunk partials recombine in chunk order. Exact field arithmetic
+    /// makes the result identical to the serial walk at any thread count.
+    pub fn fold_message<F: PrimeField, C: Combine<F> + ?Sized>(
+        &self,
+        source: FoldSource<'_, F>,
+        combine: &C,
+    ) -> Vec<F> {
+        let slots = combine.slots();
+        let blocks = source.blocks();
+        let chunks = if blocks >= MIN_PARALLEL_BLOCKS {
+            self.threads.max(1).min(blocks as usize)
+        } else {
+            1
+        };
+        if chunks <= 1 {
+            let mut acc = vec![F::DotAcc::default(); slots];
+            source.walk_chunk(0, 1, |m, a, b| combine.accumulate(m, a, b, &mut acc));
+            return acc.into_iter().map(F::acc_finish).collect();
+        }
+        let mut partials: Vec<Vec<F::DotAcc>> = (0..chunks)
+            .map(|_| vec![F::DotAcc::default(); slots])
+            .collect();
+        std::thread::scope(|scope| {
+            for (c, acc) in partials.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    source.walk_chunk(c, chunks, |m, a, b| combine.accumulate(m, a, b, acc));
+                });
+            }
+        });
+        let mut out = vec![F::ZERO; slots];
+        for partial in partials {
+            for (slot, acc) in out.iter_mut().zip(partial) {
+                *slot += F::acc_finish(acc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_field::{Fp61, PrimeField};
+    use sip_streaming::{workloads, FrequencyVector};
+
+    /// Degree-2 squared-interpolant rule (the F₂ message), used here to
+    /// exercise the kernel directly.
+    struct Square;
+
+    impl Combine<Fp61> for Square {
+        fn slots(&self) -> usize {
+            3
+        }
+
+        fn accumulate(
+            &self,
+            _m: u64,
+            a: &[Fp61],
+            _b: &[Fp61],
+            acc: &mut [<Fp61 as PrimeField>::DotAcc],
+        ) {
+            let (lo, hi) = (a[0], a[1]);
+            Fp61::acc_add_prod(&mut acc[0], lo, lo);
+            Fp61::acc_add_prod(&mut acc[1], hi, hi);
+            let v2 = hi + (hi - lo);
+            Fp61::acc_add_prod(&mut acc[2], v2, v2);
+        }
+    }
+
+    fn fold_of(n: usize, bits: u32, seed: u64) -> FoldVector<Fp61> {
+        let stream = workloads::uniform(n, 1 << bits, 50, seed);
+        FoldVector::from_frequency(&FrequencyVector::from_stream(1 << bits, &stream), bits)
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_pairs() {
+        // Dense (large n) and sparse (small n) tables, above and below the
+        // parallel threshold.
+        for (n, bits) in [(40_000usize, 14u32), (60, 16), (100, 10)] {
+            let fold = fold_of(n, bits, 7);
+            let serial = ProverPool::SERIAL.fold_message(FoldSource::Pairs(&fold), &Square);
+            for threads in [2usize, 3, 4, 8] {
+                let par = ProverPool::new(threads).fold_message(FoldSource::Pairs(&fold), &Square);
+                assert_eq!(par, serial, "n={n} bits={bits} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_walk_covers_every_pair_once() {
+        let fold = fold_of(500, 12, 9);
+        let mut all = Vec::new();
+        fold.for_each_pair(|m, lo, hi| all.push((m, lo, hi)));
+        for chunks in [1usize, 2, 3, 7, 16] {
+            let mut seen = Vec::new();
+            let mut last_chunk = 0usize;
+            fold.for_each_pair_chunks(chunks, |c, m, lo, hi| {
+                assert!(c >= last_chunk, "chunks must arrive in order");
+                last_chunk = c;
+                seen.push((m, lo, hi));
+            });
+            assert_eq!(seen, all, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let fold = fold_of(10, 4, 3);
+        let serial = ProverPool::SERIAL.fold_message(FoldSource::Pairs(&fold), &Square);
+        let par = ProverPool::new(64).fold_message(FoldSource::Pairs(&fold), &Square);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn fully_folded_table_yields_zero_blocks() {
+        let mut fold = FoldVector::from_values(vec![Fp61::ONE, Fp61::from_u64(2)]);
+        fold.bind(Fp61::from_u64(5));
+        assert_eq!(fold.pairs(), 0);
+        let msg = ProverPool::SERIAL.fold_message(FoldSource::Pairs(&fold), &Square);
+        assert_eq!(msg, vec![Fp61::ZERO; 3]);
+    }
+}

@@ -23,6 +23,49 @@ use sip_streaming::FrequencyVector;
 /// Size (in entries) below which a fold table is always stored densely.
 const ALWAYS_DENSE: u64 = 1 << 12;
 
+/// The half-open range `[lo, hi)` that `chunk` of `chunks` covers when an
+/// index space of `blocks` slots is split into near-equal contiguous runs.
+/// Boundaries are deterministic, so a chunked walk visits exactly the same
+/// `(chunk, index)` assignment whether it runs serially or on threads.
+pub fn chunk_range(blocks: u64, chunk: usize, chunks: usize) -> (u64, u64) {
+    debug_assert!(chunks >= 1 && chunk < chunks);
+    let n = chunks as u128;
+    let b = blocks as u128;
+    let lo = (b * chunk as u128 / n) as u64;
+    let hi = (b * (chunk as u128 + 1) / n) as u64;
+    (lo, hi)
+}
+
+/// Advances a sorted sparse run to its next pair `(m, lo, hi)` with index
+/// below `end`, grouping an even entry with its odd sibling when present.
+fn sparse_next_pair<F: PrimeField>(
+    s: &[(u64, F)],
+    idx: &mut usize,
+    end: u64,
+) -> Option<(u64, F, F)> {
+    if *idx >= s.len() {
+        return None;
+    }
+    let (i, v) = s[*idx];
+    if i >= end {
+        return None;
+    }
+    let m = i >> 1;
+    if i & 1 == 0 {
+        if *idx + 1 < s.len() && s[*idx + 1].0 == i + 1 {
+            let hi = s[*idx + 1].1;
+            *idx += 2;
+            Some((m, v, hi))
+        } else {
+            *idx += 1;
+            Some((m, v, F::ZERO))
+        }
+    } else {
+        *idx += 1;
+        Some((m, F::ZERO, v))
+    }
+}
+
 /// A power-of-two-length vector being folded one variable at a time.
 ///
 /// Indices are interpreted in binary with the *lowest* bit the next variable
@@ -126,39 +169,55 @@ impl<F: PrimeField> FoldVector<F> {
         matches!(self.repr, FoldRepr::Sparse(_))
     }
 
+    /// Number of pair slots `2^{bits−1}` (zero once fully folded).
+    pub fn pairs(&self) -> u64 {
+        if self.bits == 0 {
+            0
+        } else {
+            1u64 << (self.bits - 1)
+        }
+    }
+
     /// Visits every index pair `(m, lo, hi) = (m, A[2m], A[2m+1])` with at
     /// least one nonzero component, in increasing `m`.
-    pub fn for_each_pair(&self, mut f: impl FnMut(u64, F, F)) {
+    pub fn for_each_pair(&self, f: impl FnMut(u64, F, F)) {
+        self.for_each_pair_in(0, self.pairs(), f);
+    }
+
+    /// Like [`Self::for_each_pair`], restricted to pair indices in
+    /// `[m_lo, m_hi)` — the building block of chunked (and data-parallel)
+    /// iteration.
+    pub fn for_each_pair_in(&self, m_lo: u64, m_hi: u64, mut f: impl FnMut(u64, F, F)) {
+        debug_assert!(m_lo <= m_hi && m_hi <= self.pairs());
         match &self.repr {
             FoldRepr::Dense(v) => {
-                for m in 0..v.len() / 2 {
-                    let lo = v[2 * m];
-                    let hi = v[2 * m + 1];
+                for m in m_lo..m_hi {
+                    let lo = v[2 * m as usize];
+                    let hi = v[2 * m as usize + 1];
                     if !lo.is_zero() || !hi.is_zero() {
-                        f(m as u64, lo, hi);
+                        f(m, lo, hi);
                     }
                 }
             }
             FoldRepr::Sparse(s) => {
-                let mut idx = 0;
-                while idx < s.len() {
-                    let (i, v) = s[idx];
-                    let m = i >> 1;
-                    if i & 1 == 0 {
-                        // possibly paired with i+1
-                        if idx + 1 < s.len() && s[idx + 1].0 == i + 1 {
-                            f(m, v, s[idx + 1].1);
-                            idx += 2;
-                        } else {
-                            f(m, v, F::ZERO);
-                            idx += 1;
-                        }
-                    } else {
-                        f(m, F::ZERO, v);
-                        idx += 1;
-                    }
+                let mut idx = s.partition_point(|&(i, _)| i < 2 * m_lo);
+                let end = 2 * m_hi;
+                while let Some((m, lo, hi)) = sparse_next_pair(s, &mut idx, end) {
+                    f(m, lo, hi);
                 }
             }
+        }
+    }
+
+    /// Splits the pair-index space into `chunks` contiguous near-equal
+    /// ranges (deterministic boundaries, see [`chunk_range`]) and visits
+    /// them in order: `f(chunk, m, lo, hi)`. Chunk `c` seen serially here is
+    /// exactly what worker `c` of the data-parallel kernel sees.
+    pub fn for_each_pair_chunks(&self, chunks: usize, mut f: impl FnMut(usize, u64, F, F)) {
+        let n = chunks.max(1);
+        for c in 0..n {
+            let (lo, hi) = chunk_range(self.pairs(), c, n);
+            self.for_each_pair_in(lo, hi, |m, a, b| f(c, m, a, b));
         }
     }
 
@@ -168,48 +227,60 @@ impl<F: PrimeField> FoldVector<F> {
     pub fn for_each_pair_union(
         a: &FoldVector<F>,
         b: &FoldVector<F>,
+        f: impl FnMut(u64, F, F, F, F),
+    ) {
+        Self::for_each_pair_union_in(a, b, 0, a.pairs(), f);
+    }
+
+    /// Like [`Self::for_each_pair_union`], restricted to pair indices in
+    /// `[m_lo, m_hi)`.
+    pub fn for_each_pair_union_in(
+        a: &FoldVector<F>,
+        b: &FoldVector<F>,
+        m_lo: u64,
+        m_hi: u64,
         mut f: impl FnMut(u64, F, F, F, F),
     ) {
         assert_eq!(a.bits, b.bits, "fold tables out of sync");
         match (&a.repr, &b.repr) {
-            (FoldRepr::Sparse(_), FoldRepr::Sparse(_)) => {
-                // Merge join over pair indices.
-                let mut av: Vec<(u64, F, F)> = Vec::new();
-                a.for_each_pair(|m, lo, hi| av.push((m, lo, hi)));
-                let mut bv: Vec<(u64, F, F)> = Vec::new();
-                b.for_each_pair(|m, lo, hi| bv.push((m, lo, hi)));
-                let (mut i, mut j) = (0, 0);
-                while i < av.len() || j < bv.len() {
-                    match (av.get(i), bv.get(j)) {
-                        (Some(&(ma, alo, ahi)), Some(&(mb, blo, bhi))) => {
+            (FoldRepr::Sparse(sa), FoldRepr::Sparse(sb)) => {
+                // Streaming merge join over pair indices — no intermediate
+                // materialisation, so chunked workers stay allocation-free.
+                let end = 2 * m_hi;
+                let mut ia = sa.partition_point(|&(i, _)| i < 2 * m_lo);
+                let mut ib = sb.partition_point(|&(i, _)| i < 2 * m_lo);
+                let mut na = sparse_next_pair(sa, &mut ia, end);
+                let mut nb = sparse_next_pair(sb, &mut ib, end);
+                loop {
+                    match (na, nb) {
+                        (Some((ma, alo, ahi)), Some((mb, blo, bhi))) => {
                             if ma == mb {
                                 f(ma, alo, ahi, blo, bhi);
-                                i += 1;
-                                j += 1;
+                                na = sparse_next_pair(sa, &mut ia, end);
+                                nb = sparse_next_pair(sb, &mut ib, end);
                             } else if ma < mb {
                                 f(ma, alo, ahi, F::ZERO, F::ZERO);
-                                i += 1;
+                                na = sparse_next_pair(sa, &mut ia, end);
                             } else {
                                 f(mb, F::ZERO, F::ZERO, blo, bhi);
-                                j += 1;
+                                nb = sparse_next_pair(sb, &mut ib, end);
                             }
                         }
-                        (Some(&(ma, alo, ahi)), None) => {
+                        (Some((ma, alo, ahi)), None) => {
                             f(ma, alo, ahi, F::ZERO, F::ZERO);
-                            i += 1;
+                            na = sparse_next_pair(sa, &mut ia, end);
                         }
-                        (None, Some(&(mb, blo, bhi))) => {
+                        (None, Some((mb, blo, bhi))) => {
                             f(mb, F::ZERO, F::ZERO, blo, bhi);
-                            j += 1;
+                            nb = sparse_next_pair(sb, &mut ib, end);
                         }
-                        (None, None) => unreachable!(),
+                        (None, None) => break,
                     }
                 }
             }
             _ => {
-                // At least one side dense: visit all pair slots.
-                let half = 1u64 << (a.bits - 1);
-                for m in 0..half {
+                // At least one side dense: visit all pair slots in range.
+                for m in m_lo..m_hi {
                     let alo = a.get(2 * m);
                     let ahi = a.get(2 * m + 1);
                     let blo = b.get(2 * m);
@@ -258,7 +329,7 @@ impl<F: PrimeField> FoldVector<F> {
             FoldRepr::Dense(v) => {
                 let half = v.len() / 2;
                 for m in 0..half {
-                    v[m] = w0 * v[2 * m] + w1 * v[2 * m + 1];
+                    v[m] = F::mul_add2(w0, v[2 * m], w1, v[2 * m + 1]);
                 }
                 v.truncate(half);
             }
@@ -272,7 +343,7 @@ impl<F: PrimeField> FoldVector<F> {
                         if idx + 1 < s.len() && s[idx + 1].0 == i + 1 {
                             let hi = s[idx + 1].1;
                             idx += 2;
-                            w0 * v + w1 * hi
+                            F::mul_add2(w0, v, w1, hi)
                         } else {
                             idx += 1;
                             w0 * v

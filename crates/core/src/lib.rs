@@ -39,6 +39,7 @@
 
 pub mod batch;
 pub mod channel;
+pub mod engine;
 pub mod error;
 pub mod fold;
 pub mod frequency_fn;
@@ -52,4 +53,5 @@ pub use channel::{
     ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, Transport,
     TransportError, TransportStats,
 };
+pub use engine::{Combine, FoldSource, ProverPool};
 pub use error::Rejection;

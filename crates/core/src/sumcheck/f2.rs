@@ -18,6 +18,7 @@ use sip_lde::{LdeParams, StreamingLdeEvaluator};
 use sip_streaming::{FrequencyVector, Update};
 
 use crate::channel::CostReport;
+use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::fold::FoldVector;
 
@@ -66,17 +67,44 @@ impl<F: PrimeField> F2Verifier<F> {
     }
 }
 
+/// The F₂ per-pair rule: `g_j(c) = Σ_m (lo + c·(hi − lo))²` at
+/// `c = 0, 1, 2`.
+pub struct F2Combine;
+
+impl<F: PrimeField> Combine<F> for F2Combine {
+    fn slots(&self) -> usize {
+        3
+    }
+
+    #[inline]
+    fn accumulate(&self, _m: u64, a: &[F], _b: &[F], acc: &mut [F::DotAcc]) {
+        let (lo, hi) = (a[0], a[1]);
+        F::acc_add_prod(&mut acc[0], lo, lo);
+        F::acc_add_prod(&mut acc[1], hi, hi);
+        let v2 = hi + (hi - lo);
+        F::acc_add_prod(&mut acc[2], v2, v2);
+    }
+}
+
 /// Honest `F₂` prover (Appendix B.1 fold with squared combine).
 #[derive(Clone, Debug)]
 pub struct F2Prover<F: PrimeField> {
     fold: FoldVector<F>,
+    pool: ProverPool,
 }
 
 impl<F: PrimeField> F2Prover<F> {
-    /// Builds prover state from the materialised frequency vector.
+    /// Builds prover state from the materialised frequency vector (serial
+    /// engine).
     pub fn new(fv: &FrequencyVector, log_u: u32) -> Self {
+        Self::with_pool(fv, log_u, ProverPool::SERIAL)
+    }
+
+    /// Like [`Self::new`] with an explicit round-message scheduling pool.
+    pub fn with_pool(fv: &FrequencyVector, log_u: u32, pool: ProverPool) -> Self {
         F2Prover {
             fold: FoldVector::from_frequency(fv, log_u),
+            pool,
         }
     }
 }
@@ -91,17 +119,8 @@ impl<F: PrimeField> RoundProver<F> for F2Prover<F> {
     }
 
     fn message(&mut self) -> Vec<F> {
-        // g_j(c) = Σ_m (lo + c·(hi − lo))² at c = 0, 1, 2.
-        let mut e0 = F::ZERO;
-        let mut e1 = F::ZERO;
-        let mut e2 = F::ZERO;
-        self.fold.for_each_pair(|_, lo, hi| {
-            e0 += lo * lo;
-            e1 += hi * hi;
-            let v2 = hi + (hi - lo);
-            e2 += v2 * v2;
-        });
-        vec![e0, e1, e2]
+        self.pool
+            .fold_message(FoldSource::Pairs(&self.fold), &F2Combine)
     }
 
     fn bind(&mut self, r: F) {

@@ -19,6 +19,7 @@ use sip_lde::{LdeParams, StreamingLdeEvaluator};
 use sip_streaming::{FrequencyVector, Update};
 
 use crate::channel::CostReport;
+use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::sumcheck::moments::VerifiedAggregate;
 
@@ -106,6 +107,28 @@ impl<F: PrimeField> GeneralF2Verifier<F> {
     }
 }
 
+/// The general-`ℓ` per-block rule: each width-`ℓ` block is interpolated at
+/// every evaluation point by a χ-weighted dot product, then squared —
+/// `g_j(c) = Σ_m (Σ_k χ_k(c)·A[ℓm+k])²`.
+pub struct GeneralEllCombine<'a, F> {
+    /// `χ_k(c)` for every evaluation point `c ∈ {0, …, 2(ℓ−1)}`, `k ∈ [ℓ]`.
+    chi_at_points: &'a [Vec<F>],
+}
+
+impl<F: PrimeField> Combine<F> for GeneralEllCombine<'_, F> {
+    fn slots(&self) -> usize {
+        self.chi_at_points.len()
+    }
+
+    #[inline]
+    fn accumulate(&self, _m: u64, block: &[F], _b: &[F], acc: &mut [F::DotAcc]) {
+        for (slot, chis) in acc.iter_mut().zip(self.chi_at_points) {
+            let v = F::dot(block, chis);
+            F::acc_add_prod(slot, v, v);
+        }
+    }
+}
+
 /// Honest F₂ prover over base `ℓ`: folds `ℓ` children per step.
 #[derive(Clone, Debug)]
 pub struct GeneralF2Prover<F: PrimeField> {
@@ -114,11 +137,18 @@ pub struct GeneralF2Prover<F: PrimeField> {
     table: Vec<F>,
     /// `χ_k(c)` for every evaluation point `c ∈ {0, …, 2(ℓ−1)}`, `k ∈ [ℓ]`.
     chi_at_points: Vec<Vec<F>>,
+    pool: ProverPool,
 }
 
 impl<F: PrimeField> GeneralF2Prover<F> {
-    /// Builds the prover from the materialised frequency vector.
+    /// Builds the prover from the materialised frequency vector (serial
+    /// engine).
     pub fn new(fv: &FrequencyVector, params: LdeParams) -> Self {
+        Self::with_pool(fv, params, ProverPool::SERIAL)
+    }
+
+    /// Like [`Self::new`] with an explicit round-message scheduling pool.
+    pub fn with_pool(fv: &FrequencyVector, params: LdeParams, pool: ProverPool) -> Self {
         assert!(fv.universe() <= params.universe());
         let mut table = vec![F::ZERO; params.universe() as usize];
         for (i, f) in fv.nonzero() {
@@ -133,29 +163,22 @@ impl<F: PrimeField> GeneralF2Prover<F> {
             params,
             table,
             chi_at_points,
+            pool,
         }
     }
 
     /// The round polynomial: `g_j(c) = Σ_m (Σ_k χ_k(c)·A[ℓm+k])²` at
     /// `c = 0, …, 2(ℓ−1)`.
     pub fn message(&self) -> Vec<F> {
-        let ell = self.params.base() as usize;
-        self.chi_at_points
-            .iter()
-            .map(|chis| {
-                self.table
-                    .chunks_exact(ell)
-                    .map(|block| {
-                        let v: F = block
-                            .iter()
-                            .zip(chis)
-                            .map(|(&a, &c)| a * c)
-                            .fold(F::ZERO, |x, y| x + y);
-                        v * v
-                    })
-                    .fold(F::ZERO, |x, y| x + y)
-            })
-            .collect()
+        self.pool.fold_message(
+            FoldSource::Blocks {
+                table: &self.table,
+                width: self.params.base() as usize,
+            },
+            &GeneralEllCombine {
+                chi_at_points: &self.chi_at_points,
+            },
+        )
     }
 
     /// Binds the lowest digit to challenge `r`.
@@ -165,13 +188,7 @@ impl<F: PrimeField> GeneralF2Prover<F> {
         let next: Vec<F> = self
             .table
             .chunks_exact(ell)
-            .map(|block| {
-                block
-                    .iter()
-                    .zip(&chis)
-                    .map(|(&a, &c)| a * c)
-                    .fold(F::ZERO, |x, y| x + y)
-            })
+            .map(|block| F::dot(block, &chis))
             .collect();
         self.table = next;
     }

@@ -13,6 +13,7 @@ use sip_lde::{LdeParams, StreamingLdeEvaluator};
 use sip_streaming::{FrequencyVector, Update};
 
 use crate::channel::CostReport;
+use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::fold::FoldVector;
 
@@ -59,19 +60,52 @@ impl<F: PrimeField> InnerProductVerifier<F> {
     }
 }
 
+/// The inner-product per-pair rule:
+/// `g_j(c) = Σ_m (a_lo + c·Δa)(b_lo + c·Δb)` at `c = 0, 1, 2`.
+pub struct InnerProductCombine;
+
+impl<F: PrimeField> Combine<F> for InnerProductCombine {
+    fn slots(&self) -> usize {
+        3
+    }
+
+    #[inline]
+    fn accumulate(&self, _m: u64, a: &[F], b: &[F], acc: &mut [F::DotAcc]) {
+        let (alo, ahi) = (a[0], a[1]);
+        let (blo, bhi) = (b[0], b[1]);
+        F::acc_add_prod(&mut acc[0], alo, blo);
+        F::acc_add_prod(&mut acc[1], ahi, bhi);
+        let a2 = ahi + (ahi - alo);
+        let b2 = bhi + (bhi - blo);
+        F::acc_add_prod(&mut acc[2], a2, b2);
+    }
+}
+
 /// Honest inner-product prover: folds both vectors in lockstep.
 #[derive(Clone, Debug)]
 pub struct InnerProductProver<F: PrimeField> {
     a: FoldVector<F>,
     b: FoldVector<F>,
+    pool: ProverPool,
 }
 
 impl<F: PrimeField> InnerProductProver<F> {
-    /// Builds prover state from both materialised vectors.
+    /// Builds prover state from both materialised vectors (serial engine).
     pub fn new(a: &FrequencyVector, b: &FrequencyVector, log_u: u32) -> Self {
+        Self::with_pool(a, b, log_u, ProverPool::SERIAL)
+    }
+
+    /// Like [`Self::new`] with an explicit round-message scheduling pool.
+    pub fn with_pool(
+        a: &FrequencyVector,
+        b: &FrequencyVector,
+        log_u: u32,
+        pool: ProverPool,
+    ) -> Self {
         InnerProductProver {
             a: FoldVector::from_frequency(a, log_u),
             b: FoldVector::from_frequency(b, log_u),
+            pool,
         }
     }
 }
@@ -86,18 +120,10 @@ impl<F: PrimeField> RoundProver<F> for InnerProductProver<F> {
     }
 
     fn message(&mut self) -> Vec<F> {
-        // g_j(c) = Σ_m (a_lo + c·Δa)(b_lo + c·Δb) at c = 0, 1, 2.
-        let mut e0 = F::ZERO;
-        let mut e1 = F::ZERO;
-        let mut e2 = F::ZERO;
-        FoldVector::for_each_pair_union(&self.a, &self.b, |_, alo, ahi, blo, bhi| {
-            e0 += alo * blo;
-            e1 += ahi * bhi;
-            let a2 = ahi + (ahi - alo);
-            let b2 = bhi + (bhi - blo);
-            e2 += a2 * b2;
-        });
-        vec![e0, e1, e2]
+        self.pool.fold_message(
+            FoldSource::UnionPairs(&self.a, &self.b),
+            &InnerProductCombine,
+        )
     }
 
     fn bind(&mut self, r: F) {

@@ -13,6 +13,7 @@ use sip_lde::{LdeParams, StreamingLdeEvaluator};
 use sip_streaming::{FrequencyVector, Update};
 
 use crate::channel::CostReport;
+use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::fold::FoldVector;
 
@@ -61,21 +62,56 @@ impl<F: PrimeField> MomentVerifier<F> {
     }
 }
 
+/// The `F_k` per-pair rule: the interpolant `lo + c·(hi − lo)` walks an
+/// arithmetic progression in `c`; each stop is raised to the `k`-th power.
+pub struct MomentCombine {
+    /// Moment order `k ≥ 1` (message degree).
+    pub k: u32,
+}
+
+impl<F: PrimeField> Combine<F> for MomentCombine {
+    fn slots(&self) -> usize {
+        self.k as usize + 1
+    }
+
+    #[inline]
+    fn accumulate(&self, _m: u64, a: &[F], _b: &[F], acc: &mut [F::DotAcc]) {
+        let (lo, hi) = (a[0], a[1]);
+        let diff = hi - lo;
+        let mut val = lo;
+        // valᵏ = valᵏ⁻¹·val feeds the fused product accumulator.
+        let km1 = (self.k - 1) as u128;
+        F::acc_add_prod(&mut acc[0], val.pow(km1), val);
+        for slot in acc.iter_mut().skip(1) {
+            val += diff;
+            F::acc_add_prod(slot, val.pow(km1), val);
+        }
+    }
+}
+
 /// Honest prover for `F_k`: folds the table of Appendix B.1 and raises the
 /// pairwise linear interpolants to the `k`-th power.
 #[derive(Clone, Debug)]
 pub struct MomentProver<F: PrimeField> {
     k: u32,
     fold: FoldVector<F>,
+    pool: ProverPool,
 }
 
 impl<F: PrimeField> MomentProver<F> {
-    /// Builds the prover state from the materialised frequency vector.
+    /// Builds the prover state from the materialised frequency vector
+    /// (serial engine).
     pub fn new(k: u32, fv: &FrequencyVector, log_u: u32) -> Self {
+        Self::with_pool(k, fv, log_u, ProverPool::SERIAL)
+    }
+
+    /// Like [`Self::new`] with an explicit round-message scheduling pool.
+    pub fn with_pool(k: u32, fv: &FrequencyVector, log_u: u32, pool: ProverPool) -> Self {
         assert!(k >= 1);
         MomentProver {
             k,
             fold: FoldVector::from_frequency(fv, log_u),
+            pool,
         }
     }
 }
@@ -90,19 +126,8 @@ impl<F: PrimeField> RoundProver<F> for MomentProver<F> {
     }
 
     fn message(&mut self) -> Vec<F> {
-        let deg = self.k as usize;
-        let mut out = vec![F::ZERO; deg + 1];
-        self.fold.for_each_pair(|_, lo, hi| {
-            let diff = hi - lo;
-            // fold(c) = lo + c·diff walks an arithmetic progression in c.
-            let mut val = lo;
-            out[0] += val.pow(self.k as u128);
-            for slot in out.iter_mut().skip(1) {
-                val += diff;
-                *slot += val.pow(self.k as u128);
-            }
-        });
-        out
+        self.pool
+            .fold_message(FoldSource::Pairs(&self.fold), &MomentCombine { k: self.k })
     }
 
     fn bind(&mut self, r: F) {

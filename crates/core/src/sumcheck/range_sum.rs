@@ -24,6 +24,7 @@ use sip_lde::{range_indicator_lde, LdeParams, StreamingLdeEvaluator};
 use sip_streaming::{FrequencyVector, Update};
 
 use crate::channel::CostReport;
+use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::fold::FoldVector;
 
@@ -75,6 +76,35 @@ impl<F: PrimeField> RangeSumVerifier<F> {
     }
 }
 
+/// The RANGE-SUM per-pair rule: the partner children are the query
+/// indicator's fold values, produced *lazily* per pair by
+/// [`block_range_weight`] — only pairs where `a` is nonzero are ever
+/// touched, so the indicator is never materialised on any thread.
+pub struct RangeSumCombine<'a, F> {
+    q_l: u64,
+    q_r: u64,
+    challenges: &'a [F],
+}
+
+impl<F: PrimeField> Combine<F> for RangeSumCombine<'_, F> {
+    fn slots(&self) -> usize {
+        3
+    }
+
+    #[inline]
+    fn accumulate(&self, m: u64, a: &[F], _b: &[F], acc: &mut [F::DotAcc]) {
+        let (alo, ahi) = (a[0], a[1]);
+        let j = self.challenges.len();
+        let blo: F = block_range_weight(self.q_l, self.q_r, self.challenges, j, 2 * m);
+        let bhi: F = block_range_weight(self.q_l, self.q_r, self.challenges, j, 2 * m + 1);
+        F::acc_add_prod(&mut acc[0], alo, blo);
+        F::acc_add_prod(&mut acc[1], ahi, bhi);
+        let a2 = ahi + (ahi - alo);
+        let b2 = bhi + (bhi - blo);
+        F::acc_add_prod(&mut acc[2], a2, b2);
+    }
+}
+
 /// Honest RANGE-SUM prover with the lazily computed indicator fold.
 #[derive(Clone, Debug)]
 pub struct RangeSumProver<F: PrimeField> {
@@ -85,11 +115,24 @@ pub struct RangeSumProver<F: PrimeField> {
     /// keys the indicator fold needs.
     challenges: Vec<F>,
     rounds: usize,
+    pool: ProverPool,
 }
 
 impl<F: PrimeField> RangeSumProver<F> {
-    /// Builds the prover for range `[q_l, q_r]` over `[2^log_u]`.
+    /// Builds the prover for range `[q_l, q_r]` over `[2^log_u]` (serial
+    /// engine).
     pub fn new(fv: &FrequencyVector, log_u: u32, q_l: u64, q_r: u64) -> Self {
+        Self::with_pool(fv, log_u, q_l, q_r, ProverPool::SERIAL)
+    }
+
+    /// Like [`Self::new`] with an explicit round-message scheduling pool.
+    pub fn with_pool(
+        fv: &FrequencyVector,
+        log_u: u32,
+        q_l: u64,
+        q_r: u64,
+        pool: ProverPool,
+    ) -> Self {
         assert!(q_l <= q_r && q_r < (1u64 << log_u), "bad range");
         RangeSumProver {
             a: FoldVector::from_frequency(fv, log_u),
@@ -97,19 +140,8 @@ impl<F: PrimeField> RangeSumProver<F> {
             q_r,
             challenges: Vec::new(),
             rounds: log_u as usize,
+            pool,
         }
-    }
-
-    /// The indicator's fold value at table slot `t` after `j` bound
-    /// variables: the weighted measure of the range inside block `t`.
-    fn b_fold(&self, t: u64) -> F {
-        block_range_weight(
-            self.q_l,
-            self.q_r,
-            &self.challenges,
-            self.challenges.len(),
-            t,
-        )
     }
 }
 
@@ -123,19 +155,14 @@ impl<F: PrimeField> RoundProver<F> for RangeSumProver<F> {
     }
 
     fn message(&mut self) -> Vec<F> {
-        let mut e0 = F::ZERO;
-        let mut e1 = F::ZERO;
-        let mut e2 = F::ZERO;
-        self.a.for_each_pair(|m, alo, ahi| {
-            let blo = self.b_fold(2 * m);
-            let bhi = self.b_fold(2 * m + 1);
-            e0 += alo * blo;
-            e1 += ahi * bhi;
-            let a2 = ahi + (ahi - alo);
-            let b2 = bhi + (bhi - blo);
-            e2 += a2 * b2;
-        });
-        vec![e0, e1, e2]
+        self.pool.fold_message(
+            FoldSource::Pairs(&self.a),
+            &RangeSumCombine {
+                q_l: self.q_l,
+                q_r: self.q_r,
+                challenges: &self.challenges,
+            },
+        )
     }
 
     fn bind(&mut self, r: F) {

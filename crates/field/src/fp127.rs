@@ -85,6 +85,36 @@ impl PrimeField for Fp127 {
     const MODULUS: u128 = P127;
     const BITS: u32 = 127;
 
+    // Products already fill 254 of the 256 accumulator bits, so there is no
+    // headroom to defer reductions across terms; instead each step fuses the
+    // running sum into the product's 256-bit reduction (one reduce256 per
+    // term, no separate canonical add).
+    type DotAcc = Fp127;
+
+    #[inline]
+    fn acc_add_prod(acc: &mut Fp127, x: Self, y: Self) {
+        let (hi, lo) = mul_wide(x.0, y.0);
+        let (lo2, carry) = lo.overflowing_add(acc.0);
+        // hi < 2^126 and acc < 2^127, so hi + carry < 2^127: reduce256's
+        // precondition holds.
+        *acc = Self::reduce256(hi + carry as u128, lo2);
+    }
+
+    #[inline]
+    fn acc_finish(acc: Fp127) -> Self {
+        acc
+    }
+
+    #[inline]
+    fn mul_add2(w0: Self, x0: Self, w1: Self, x1: Self) -> Self {
+        // 256-bit sum of the two wide products, one shared reduction. Each
+        // hi is < 2^126, so hi0 + hi1 + carry < 2^127 stays in range.
+        let (hi0, lo0) = mul_wide(w0.0, x0.0);
+        let (hi1, lo1) = mul_wide(w1.0, x1.0);
+        let (lo, carry) = lo0.overflowing_add(lo1);
+        Self::reduce256(hi0 + hi1 + carry as u128, lo)
+    }
+
     #[inline]
     fn from_u64(x: u64) -> Self {
         Fp127(x as u128)
@@ -255,6 +285,19 @@ mod tests {
         assert_eq!(Fp127::reduce128(P127).value(), 0);
         assert_eq!(Fp127::reduce128(P127 + 5).value(), 5);
         assert_eq!(Fp127::reduce128(u128::MAX).value(), u128::MAX % P127);
+    }
+
+    #[test]
+    fn dot_and_mul_add2_extremes() {
+        // Fused accumulation at the modulus boundary: (−1)² terms.
+        let m = Fp127::new(P127 - 1);
+        let a = vec![m; 257];
+        assert_eq!(Fp127::dot(&a, &a), Fp127::from_u64(257));
+        assert_eq!(Fp127::mul_add2(m, m, m, m), Fp127::from_u64(2));
+        // Largest-hi products: 2^126 · 2^126 twice.
+        let x = Fp127::new(1u128 << 126);
+        let expect = Fp127::new(1u128 << 125) + Fp127::new(1u128 << 125);
+        assert_eq!(Fp127::mul_add2(x, x, x, x), expect);
     }
 
     #[test]

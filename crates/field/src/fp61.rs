@@ -66,11 +66,57 @@ impl Fp61 {
     }
 }
 
+/// Delayed-reduction accumulator for `Σ xᵢ·yᵢ` over [`Fp61`].
+///
+/// Each raw product of canonical residues is below `2^122`, so a `u128`
+/// holds a batch of 32 of them before any reduction is needed; the
+/// accumulator folds the pending sum into `done` once per batch instead of
+/// reducing per product — the "delayed-reduction sum-of-products" trick the
+/// prover engine's combine kernels lean on.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Fp61DotAcc {
+    /// Reduced partial sum.
+    done: Fp61,
+    /// Raw (unreduced) pending products, `< FP61_ACC_BATCH · 2^122`.
+    pending: u128,
+    /// Number of products in `pending`.
+    terms: u32,
+}
+
+/// Products per deferred reduction: `32 · 2^122 = 2^127` fits a `u128`
+/// with a bit to spare.
+const FP61_ACC_BATCH: u32 = 32;
+
 impl PrimeField for Fp61 {
     const ZERO: Self = Fp61(0);
     const ONE: Self = Fp61(1);
     const MODULUS: u128 = P61 as u128;
     const BITS: u32 = 61;
+
+    type DotAcc = Fp61DotAcc;
+
+    #[inline]
+    fn acc_add_prod(acc: &mut Fp61DotAcc, x: Self, y: Self) {
+        acc.pending += (x.0 as u128) * (y.0 as u128);
+        acc.terms += 1;
+        if acc.terms == FP61_ACC_BATCH {
+            acc.done += Fp61::reduce128(acc.pending);
+            acc.pending = 0;
+            acc.terms = 0;
+        }
+    }
+
+    #[inline]
+    fn acc_finish(acc: Fp61DotAcc) -> Self {
+        acc.done + Fp61::reduce128(acc.pending)
+    }
+
+    #[inline]
+    fn mul_add2(w0: Self, x0: Self, w1: Self, x1: Self) -> Self {
+        // Both products are < 2^122; their sum is < 2^123, so one shared
+        // reduction replaces two.
+        Self::reduce128((w0.0 as u128) * (x0.0 as u128) + (w1.0 as u128) * (x1.0 as u128))
+    }
 
     #[inline]
     fn from_u64(x: u64) -> Self {
@@ -223,6 +269,26 @@ mod tests {
         let m = Fp61::new(P61 - 1); // == -1
         assert_eq!(m * m, Fp61::ONE);
         assert_eq!(m * Fp61::ZERO, Fp61::ZERO);
+    }
+
+    #[test]
+    fn dot_delayed_reduction_extremes() {
+        // 1000 products of (p−1)² cross many deferred-reduction batches
+        // with the largest possible pending terms; each is (−1)² = 1.
+        let m = Fp61::new(P61 - 1);
+        let a = vec![m; 1000];
+        assert_eq!(Fp61::dot(&a, &a), Fp61::from_u64(1000));
+        // Odd leftover terms below one batch reduce correctly too.
+        assert_eq!(Fp61::dot(&a[..7], &a[..7]), Fp61::from_u64(7));
+        assert_eq!(Fp61::dot(&[], &[]), Fp61::ZERO);
+    }
+
+    #[test]
+    fn mul_add2_max_operands() {
+        let m = Fp61::new(P61 - 1);
+        // (−1)(−1) + (−1)(−1) = 2.
+        assert_eq!(Fp61::mul_add2(m, m, m, m), Fp61::from_u64(2));
+        assert_eq!(Fp61::mul_add2(Fp61::ZERO, m, m, Fp61::ZERO), Fp61::ZERO);
     }
 
     #[test]

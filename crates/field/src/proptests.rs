@@ -72,6 +72,31 @@ macro_rules! field_axioms {
                     let a = <$field>::from_u128(a);
                     prop_assert_eq!(a.square(), a * a);
                 }
+
+                #[test]
+                fn mul_add2_matches_operators(
+                    w0 in $gen, x0 in $gen, w1 in $gen, x1 in $gen,
+                ) {
+                    let (w0, x0) = (<$field>::from_u128(w0), <$field>::from_u128(x0));
+                    let (w1, x1) = (<$field>::from_u128(w1), <$field>::from_u128(x1));
+                    prop_assert_eq!(
+                        <$field>::mul_add2(w0, x0, w1, x1),
+                        w0 * x0 + w1 * x1
+                    );
+                }
+
+                #[test]
+                fn dot_matches_pairwise(
+                    a in prop::collection::vec(any::<u128>(), 0..100),
+                    b in prop::collection::vec(any::<u128>(), 0..100),
+                ) {
+                    let n = a.len().min(b.len());
+                    let a: Vec<$field> = a[..n].iter().map(|&x| <$field>::from_u128(x)).collect();
+                    let b: Vec<$field> = b[..n].iter().map(|&x| <$field>::from_u128(x)).collect();
+                    let naive: $field = a.iter().zip(&b).map(|(&x, &y)| x * y)
+                        .fold(<$field>::ZERO, |s, p| s + p);
+                    prop_assert_eq!(<$field>::dot(&a, &b), naive);
+                }
             }
         }
     };

@@ -105,6 +105,44 @@ pub trait PrimeField:
         self + self
     }
 
+    /// The delayed-reduction accumulator for sums of products — the state
+    /// behind [`PrimeField::dot`] and the prover engine's combine kernels.
+    ///
+    /// Implementations with reduction headroom (e.g. `Fp61`, whose products
+    /// occupy 122 of 128 accumulator bits) batch many raw products per
+    /// modular reduction; implementations without it reduce eagerly. Either
+    /// way the finished value is the canonical residue of `Σ xᵢ·yᵢ`, so
+    /// swapping accumulation strategies never changes a transcript.
+    type DotAcc: Copy + Default + Send;
+
+    /// Adds the product `x·y` to a delayed-reduction accumulator.
+    fn acc_add_prod(acc: &mut Self::DotAcc, x: Self, y: Self);
+
+    /// Collapses a delayed-reduction accumulator to its canonical residue.
+    fn acc_finish(acc: Self::DotAcc) -> Self;
+
+    /// Fused `w0·x0 + w1·x1` — the fold hot-loop primitive
+    /// (`A'[m] = w0·A[2m] + w1·A[2m+1]`). Implementations may save a
+    /// modular reduction over the operator form; the result is identical.
+    #[inline]
+    fn mul_add2(w0: Self, x0: Self, w1: Self, x1: Self) -> Self {
+        w0 * x0 + w1 * x1
+    }
+
+    /// Sum of products `Σ aᵢ·bᵢ` over two equal-length slices, using the
+    /// delayed-reduction accumulator.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length.
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+        let mut acc = Self::DotAcc::default();
+        for (&x, &y) in a.iter().zip(b) {
+            Self::acc_add_prod(&mut acc, x, y);
+        }
+        Self::acc_finish(acc)
+    }
+
     /// A uniformly random field element.
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
 

@@ -343,6 +343,23 @@ impl<F: PrimeField> Client<F> {
     /// # Panics
     /// Panics if the key is out of range.
     pub fn put(&mut self, key: u64, value: u64, server: &mut dyn KvServer<F>) {
+        self.observe(key, value);
+        server.ingest(Update::new(key, value as i64 + 1));
+    }
+
+    /// Updates every digest for `(key, value)` **without** uploading it.
+    ///
+    /// This is the attach-side half of multi-tenant serving: the data
+    /// owner `put`s once (digests + upload), publishes the dataset, and
+    /// every other verifier `observe`s the same put stream to build its
+    /// own independent digests before attaching to the published snapshot
+    /// — the server already holds the data, so re-uploading it would only
+    /// duplicate state. Soundness is per-verifier randomness, so observed
+    /// digests verify exactly like uploaded ones.
+    ///
+    /// # Panics
+    /// Panics if the key is out of range.
+    pub fn observe(&mut self, key: u64, value: u64) {
         assert!(key < (1u64 << self.log_u), "key out of range");
         let up = Update::new(key, value as i64 + 1);
         for d in &mut self.reporting {
@@ -361,7 +378,6 @@ impl<F: PrimeField> Client<F> {
             d.update(up);
         }
         self.puts += 1;
-        server.ingest(up);
     }
 
     /// Remaining query budget `(reporting, aggregate, heavy)`.

@@ -1,10 +1,10 @@
 //! A verified key–value client over a *fleet* of stores, one per shard.
 //!
-//! [`ShardedClient`] implements the [`Client`](crate::Client) query surface
+//! [`ShardedClient`] implements the [`Client`] query surface
 //! — `put`, `get`, `range`, `range_sum`, `self_join_size`, `predecessor`,
 //! `successor`, `heavy_keys` — against `S` independent [`KvServer`]s, each
 //! holding one contiguous key range of the
-//! [`ShardPlan`](sip_streaming::ShardPlan) split. Every per-shard answer is
+//! [`ShardPlan`] split. Every per-shard answer is
 //! verified by that shard's own digests (fresh randomness per shard, same
 //! budget discipline as the single-store client), and cross-shard results
 //! compose by disjointness of the key ranges: a range scan concatenates,

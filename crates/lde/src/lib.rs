@@ -25,7 +25,7 @@
 //! * [`interval`] — the `O(log² u)` evaluation of the LDE of a 0/1 interval
 //!   indicator via canonical-interval decomposition (Section 3.2,
 //!   RANGE-SUM), shared by the range-sum verifier *and* prover;
-//! * [`reference`] — naive `O(u·ℓ·d)` evaluation for differential testing.
+//! * [`reference`][mod@reference] — naive `O(u·ℓ·d)` evaluation for differential testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

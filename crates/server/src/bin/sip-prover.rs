@@ -15,6 +15,9 @@
 //!   must agree on the universe or the shard ranges would not line up).
 //! * `--field 61|127` — Mersenne field (default 61).
 //! * `--max-sessions N` — concurrent-session cap (default 64).
+//! * `--threads N` — worker threads per prover round-message pass
+//!   (default 1 = serial; transcripts are identical at any setting, only
+//!   wall-clock changes).
 //!
 //! The process serves until killed. Soundness never depends on this binary
 //! behaving: the verifier rejects anything inconsistent with its digests.
@@ -32,12 +35,13 @@ struct Args {
     log_u: Option<u32>,
     field: u32,
     max_sessions: usize,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
-         [--field 61|127] [--max-sessions N]"
+         [--field 61|127] [--max-sessions N] [--threads N]"
     );
     exit(2);
 }
@@ -50,6 +54,7 @@ fn parse_args() -> Args {
         log_u: None,
         field: 61,
         max_sessions: 64,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +72,9 @@ fn parse_args() -> Args {
             "--field" => args.field = parse_u32(&value("--field"), "--field"),
             "--max-sessions" => {
                 args.max_sessions = parse_u32(&value("--max-sessions"), "--max-sessions") as usize
+            }
+            "--threads" => {
+                args.threads = parse_u32(&value("--threads"), "--threads").max(1) as usize
             }
             "--help" | "-h" => usage(),
             other => {
@@ -118,6 +126,7 @@ fn main() {
         max_sessions: args.max_sessions,
         shard,
         require_log_u: args.log_u,
+        threads: args.threads,
         ..ServerConfig::default()
     };
     let handle = match args.field {

@@ -37,6 +37,16 @@ use sip_wire::{
 /// How many buffered puts trigger an ingest frame.
 const INGEST_BATCH: usize = 512;
 
+/// Largest `Msg::Ingest` batch one frame may carry. Updates are 16 wire
+/// bytes each, so 60 000 updates keep every ingest frame under 1 MiB —
+/// far below the default 16 MiB cap
+/// ([`sip_core::channel::DEFAULT_MAX_FRAME`]) and comfortably inside any
+/// deliberately lowered `ServerConfig::max_frame` (the cap is not
+/// negotiated, so the client stays conservative) — while framing overhead
+/// (5 bytes per frame) stays negligible. A bigger batch is split into
+/// several frames, never rejected at the cap.
+const MAX_INGEST_PER_FRAME: usize = 60_000;
+
 /// Default socket read timeout for clients: a prover that stalls the
 /// conversation is treated as refusing to answer (= rejection), not waited
 /// on forever.
@@ -74,9 +84,21 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
             return Ok(());
         }
         let batch = std::mem::take(&mut self.pending);
-        self.chan
-            .send(&Msg::<F>::Ingest(batch))
-            .map_err(|e| self.poison(wire_reject(e)))
+        if batch.len() <= MAX_INGEST_PER_FRAME {
+            return self
+                .chan
+                .send(&Msg::<F>::Ingest(batch))
+                .map_err(|e| self.poison(wire_reject(e)));
+        }
+        // Auto-chunk: a batch that would blow the frame cap goes out as
+        // several frames (the server applies updates incrementally, so the
+        // split is invisible to the protocol).
+        for chunk in batch.chunks(MAX_INGEST_PER_FRAME) {
+            self.chan
+                .send(&Msg::<F>::Ingest(chunk.to_vec()))
+                .map_err(|e| self.poison(wire_reject(e)))?;
+        }
+        Ok(())
     }
 
     /// Records a wire-level fault and returns it: once the byte stream with
@@ -126,10 +148,30 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
         self.recv()
     }
 
-    /// Flush + send, no reply expected.
+    /// Flush + send, no reply expected. Oversized `Msg::Ingest` batches are
+    /// routed through the auto-chunking flush instead of hitting the frame
+    /// cap.
     fn tell(&mut self, msg: &Msg<F>) -> Result<(), Rejection> {
+        if let Msg::Ingest(ups) = msg {
+            if ups.len() > MAX_INGEST_PER_FRAME {
+                self.check_fault()?;
+                self.pending.extend_from_slice(ups);
+                return self.flush();
+            }
+        }
         self.flush()?;
         self.chan.send(msg).map_err(|e| self.poison(wire_reject(e)))
+    }
+
+    /// Publish/attach conversation: one message, expect the echoing ack.
+    fn dataset_request(&mut self, msg: &Msg<F>, dataset_id: &str) -> Result<(), Rejection> {
+        match self.request(msg)? {
+            Msg::DatasetAck { dataset_id: echoed } if echoed == dataset_id => Ok(()),
+            Msg::DatasetAck { dataset_id: other } => Err(Rejection::MalformedAnswer {
+                detail: format!("dataset ack names {other:?}, expected {dataset_id:?}"),
+            }),
+            other => Err(unexpected("dataset-ack", other.name())),
+        }
     }
 }
 
@@ -222,6 +264,34 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
     /// `spec.count` — must precede any put.
     pub fn shard_hello(&self, spec: ShardSpec) -> Result<(), Rejection> {
         with_conn(&self.conn, |c| c.tell(&Msg::ShardHello(spec)))
+    }
+
+    /// Freezes everything this session has put and publishes it
+    /// server-wide under `dataset_id`; the session keeps querying the
+    /// snapshot, further puts are refused by the server.
+    pub fn publish(&self, dataset_id: &str) -> Result<(), Rejection> {
+        with_conn(&self.conn, |c| {
+            c.dataset_request(
+                &Msg::Publish {
+                    dataset_id: dataset_id.to_string(),
+                },
+                dataset_id,
+            )
+        })
+    }
+
+    /// Serves this session's queries from the published dataset
+    /// `dataset_id` (same server, same mode, same `log_u`) instead of
+    /// session-local puts.
+    pub fn attach(&self, dataset_id: &str) -> Result<(), Rejection> {
+        with_conn(&self.conn, |c| {
+            c.dataset_request(
+                &Msg::Attach {
+                    dataset_id: dataset_id.to_string(),
+                },
+                dataset_id,
+            )
+        })
     }
 
     /// Ends the session politely, collecting the prover's own (advisory)
@@ -499,6 +569,33 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
     /// `spec.count` — must precede any update.
     pub fn shard_hello(&mut self, spec: ShardSpec) -> Result<(), Rejection> {
         self.conn.tell(&Msg::ShardHello(spec))
+    }
+
+    /// Freezes everything uploaded on this session and publishes it
+    /// server-wide under `dataset_id`: later sessions [`Self::attach`] to
+    /// it and query the same snapshot without re-ingesting. This session
+    /// keeps querying it too; further updates are refused by the server.
+    pub fn publish(&mut self, dataset_id: &str) -> Result<(), Rejection> {
+        self.conn.dataset_request(
+            &Msg::Publish {
+                dataset_id: dataset_id.to_string(),
+            },
+            dataset_id,
+        )
+    }
+
+    /// Serves this session's queries from the published dataset
+    /// `dataset_id` (same server, raw-stream mode, same `log_u`). The
+    /// caller still needs digests that observed the dataset's stream —
+    /// attach changes where the *prover's* data lives, never what the
+    /// verifier trusts.
+    pub fn attach(&mut self, dataset_id: &str) -> Result<(), Rejection> {
+        self.conn.dataset_request(
+            &Msg::Attach {
+                dataset_id: dataset_id.to_string(),
+            },
+            dataset_id,
+        )
     }
 
     /// Building block for multi-connection drivers (`sip-cluster`): flush
@@ -806,6 +903,91 @@ mod tests {
         assert!(report.rounds > 0);
         client.bye().unwrap();
         server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_ingest_batch_is_auto_chunked() {
+        // One Msg::Ingest of 1.1M updates encodes to ~17.6 MB — over the
+        // 16 MiB frame cap. The client must split it below the cap instead
+        // of failing locally; the server sees the same stream either way.
+        let log_u = 10;
+        let u = 1u64 << log_u;
+        let n: usize = 1_100_000;
+        assert!(n * 16 > sip_core::channel::DEFAULT_MAX_FRAME);
+        let updates: Vec<Update> = (0..n)
+            .map(|i| Update::new(i as u64 % u, (i % 5) as i64 + 1))
+            .collect();
+
+        let (mut client, server) = raw_pair(log_u);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &updates {
+            verifier.update(up);
+        }
+        client.tell_msg(&Msg::Ingest(updates.clone())).unwrap();
+        let frames_out = client.stats().frames_sent;
+        assert!(
+            frames_out >= 3,
+            "expected the batch split across frames, saw {frames_out}"
+        );
+
+        let truth = FrequencyVector::from_stream(u, &updates).self_join_size();
+        let got = client.verify_f2(verifier).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(truth as u128));
+        client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn publish_attach_over_in_memory_transport() {
+        // Publisher and attacher share one registry through a common
+        // session context, as under one spawned server.
+        use crate::registry::DatasetRegistry;
+        use crate::session::{run_session_ctx, SessionContext};
+        use std::sync::Arc;
+
+        let log_u = 8;
+        let stream = workloads::paper_f2(1 << log_u, 3);
+        let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
+        let registry = Arc::new(DatasetRegistry::<Fp61>::new(4));
+
+        let serve_shared = |transport: InMemoryTransport, registry: Arc<DatasetRegistry<Fp61>>| {
+            thread::spawn(move || {
+                let mut transport = transport;
+                let hello = sip_wire::server_handshake::<Fp61, _>(&mut transport).unwrap();
+                let _ = run_session_ctx::<Fp61, _>(
+                    transport,
+                    hello.mode,
+                    hello.log_u,
+                    SessionContext {
+                        registry,
+                        ..SessionContext::default()
+                    },
+                );
+            })
+        };
+
+        // Owner ingests and publishes.
+        let (a, b) = InMemoryTransport::pair();
+        let s1 = serve_shared(a, Arc::clone(&registry));
+        let mut owner: RawClient<Fp61, _> = RawClient::from_transport(b, log_u).unwrap();
+        owner.send_stream(&stream);
+        owner.publish("shared").unwrap();
+        owner.bye().unwrap();
+        s1.join().unwrap();
+
+        // A verifier attaches and proves F2 without re-uploading.
+        let (a, b) = InMemoryTransport::pair();
+        let s2 = serve_shared(a, registry);
+        let mut verifier_client: RawClient<Fp61, _> = RawClient::from_transport(b, log_u).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut digest = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        digest.update_all(&stream);
+        verifier_client.attach("shared").unwrap();
+        let got = verifier_client.verify_f2(digest).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(truth as u128));
+        verifier_client.bye().unwrap();
+        s2.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod registry;
 pub mod session;
 
 use std::io;
@@ -30,10 +31,15 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use sip_core::channel::FramedTcpTransport;
+use sip_core::engine::ProverPool;
 use sip_field::PrimeField;
 use sip_wire::{server_handshake, Msg, MsgChannel, ShardSpec};
 
-use session::{run_session_sharded, MAX_LOG_U};
+use registry::DatasetRegistry;
+use session::{run_session_ctx, SessionContext, MAX_LOG_U};
+
+/// Default cap on the number of published datasets one server holds.
+pub const DEFAULT_MAX_DATASETS: usize = 1024;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -52,6 +58,14 @@ pub struct ServerConfig {
     /// (fleet deployments must agree on the universe, or the shard ranges
     /// would not line up across provers).
     pub require_log_u: Option<u32>,
+    /// Worker threads per prover round-message pass (`sip-prover
+    /// --threads`): `1` is the serial engine, more run the fold kernel
+    /// data-parallel per session query. Transcripts are identical at any
+    /// setting.
+    pub threads: usize,
+    /// Cap on published datasets held in the server-wide registry
+    /// (published snapshots outlive their publishing sessions).
+    pub max_datasets: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +78,8 @@ impl Default for ServerConfig {
             max_frame: sip_core::channel::DEFAULT_MAX_FRAME,
             shard: None,
             require_log_u: None,
+            threads: 1,
+            max_datasets: DEFAULT_MAX_DATASETS,
         }
     }
 }
@@ -122,6 +138,9 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
+    // One registry per server: what any session publishes, every later
+    // session (on any thread) can attach to.
+    let registry: Arc<DatasetRegistry<F>> = Arc::new(DatasetRegistry::new(config.max_datasets));
 
     let accept_stop = Arc::clone(&stop);
     let accept_active = Arc::clone(&active);
@@ -140,13 +159,14 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
                     continue;
                 }
                 let config = config.clone();
+                let registry = Arc::clone(&registry);
                 let counter = Arc::clone(&accept_active);
                 counter.fetch_add(1, Ordering::SeqCst);
                 let spawned = thread::Builder::new()
                     .name("sip-session".into())
                     .spawn(move || {
                         let _guard = SessionGuard(counter);
-                        serve_connection::<F>(stream, &config);
+                        serve_connection::<F>(stream, &config, registry);
                     });
                 if spawned.is_err() {
                     accept_active.fetch_sub(1, Ordering::SeqCst);
@@ -170,7 +190,11 @@ impl Drop for SessionGuard {
     }
 }
 
-fn serve_connection<F: PrimeField>(stream: TcpStream, config: &ServerConfig) {
+fn serve_connection<F: PrimeField>(
+    stream: TcpStream,
+    config: &ServerConfig,
+    registry: Arc<DatasetRegistry<F>>,
+) {
     let Ok(mut transport) = FramedTcpTransport::with_max_frame(stream, config.max_frame) else {
         return;
     };
@@ -205,7 +229,16 @@ fn serve_connection<F: PrimeField>(stream: TcpStream, config: &ServerConfig) {
             return;
         }
     }
-    let _ = run_session_sharded::<F, _>(transport, hello.mode, hello.log_u, config.shard);
+    let _ = run_session_ctx::<F, _>(
+        transport,
+        hello.mode,
+        hello.log_u,
+        SessionContext {
+            shard: config.shard,
+            pool: ProverPool::new(config.threads.max(1)),
+            registry,
+        },
+    );
 }
 
 #[cfg(test)]

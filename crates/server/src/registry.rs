@@ -1,0 +1,209 @@
+//! The server-wide dataset registry: ingest once, serve many verifiers.
+//!
+//! The paper's economics are one heavily-resourced prover amortised over
+//! many weak verifiers — but a prover that re-ingests the stream per
+//! connection amortises nothing. A [`DatasetRegistry`] lets one session
+//! freeze its ingested store into an immutable [`Dataset`] snapshot
+//! (`Msg::Publish`), after which any number of concurrent sessions serve
+//! queries from the same `Arc` (`Msg::Attach`) — no copies, no re-ingest,
+//! no cross-session locks on the query path.
+//!
+//! ## Snapshot semantics
+//!
+//! Publishing freezes the data: the publishing session keeps querying the
+//! snapshot but can no longer ingest, so every attached verifier sees one
+//! immutable vector forever. Query-time prover state (fold tables, hash
+//! trees) is built per query from the shared snapshot, exactly as it was
+//! from a session-private store — same transcripts, different ownership.
+//!
+//! ## Trust
+//!
+//! The registry moves no trust: a verifier accepts only answers consistent
+//! with its own streamed digests, so a server that swaps, corrupts, or
+//! cross-wires datasets produces rejections, not wrong answers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use sip_field::PrimeField;
+use sip_kvstore::CloudStore;
+use sip_streaming::FrequencyVector;
+use sip_wire::{SessionMode, ShardSpec};
+
+/// Longest accepted dataset id, in bytes. Ids are peer-chosen; the cap
+/// keeps registry keys (and error messages echoing them) small.
+pub const MAX_DATASET_ID_LEN: usize = 200;
+
+/// The frozen data of a published dataset, by the publishing session's
+/// mode.
+pub enum DatasetData<F: PrimeField> {
+    /// A raw update stream (frequency-vector semantics).
+    Raw(FrequencyVector),
+    /// A key-value store (encoded/presence/raw derived vectors).
+    Kv(CloudStore<F>),
+}
+
+/// One published, immutable dataset snapshot.
+pub struct Dataset<F: PrimeField> {
+    /// Registry name.
+    pub id: String,
+    /// Universe exponent; attaching sessions must have handshaken the same
+    /// value.
+    pub log_u: u32,
+    /// The shard identity the publishing session served, if any: an
+    /// attached session inherits it (the snapshot only covers that shard's
+    /// index range).
+    pub shard: Option<ShardSpec>,
+    /// The frozen vectors.
+    pub data: DatasetData<F>,
+}
+
+impl<F: PrimeField> Dataset<F> {
+    /// The session mode this dataset serves; attaching sessions must have
+    /// handshaken the same mode.
+    pub fn mode(&self) -> SessionMode {
+        match self.data {
+            DatasetData::Raw(_) => SessionMode::RawStream,
+            DatasetData::Kv(_) => SessionMode::KvStore,
+        }
+    }
+}
+
+impl<F: PrimeField> core::fmt::Debug for Dataset<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("id", &self.id)
+            .field("log_u", &self.log_u)
+            .field("shard", &self.shard)
+            .field("mode", &self.mode())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registry of published datasets, shared by every session of one server.
+///
+/// Reads (attach, query) take a shared lock only long enough to clone an
+/// `Arc`; the query hot path never touches the registry again.
+pub struct DatasetRegistry<F: PrimeField> {
+    datasets: RwLock<HashMap<String, Arc<Dataset<F>>>>,
+    max_datasets: usize,
+}
+
+impl<F: PrimeField> DatasetRegistry<F> {
+    /// An empty registry holding at most `max_datasets` snapshots
+    /// (publishes beyond the cap are refused — published data outlives the
+    /// publishing session, so an uncapped registry would let one peer pin
+    /// unbounded memory).
+    pub fn new(max_datasets: usize) -> Self {
+        DatasetRegistry {
+            datasets: RwLock::new(HashMap::new()),
+            max_datasets,
+        }
+    }
+
+    /// Publishes a frozen dataset under its id. Refuses duplicates and
+    /// registry overflow (atomically — two racing publishers of one id see
+    /// one success).
+    pub fn publish(&self, dataset: Dataset<F>) -> Result<Arc<Dataset<F>>, String> {
+        let mut map = self.datasets.write().unwrap_or_else(|p| p.into_inner());
+        if map.contains_key(&dataset.id) {
+            return Err(format!("dataset {:?} is already published", dataset.id));
+        }
+        if map.len() >= self.max_datasets {
+            return Err(format!(
+                "dataset registry is full ({} datasets)",
+                self.max_datasets
+            ));
+        }
+        let arc = Arc::new(dataset);
+        map.insert(arc.id.clone(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// The snapshot published under `id`, if any.
+    pub fn get(&self, id: &str) -> Option<Arc<Dataset<F>>> {
+        self.datasets
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// Number of published datasets.
+    pub fn len(&self) -> usize {
+        self.datasets
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_field::Fp61;
+    use sip_streaming::{FrequencyVector, Update};
+
+    fn raw_dataset(id: &str) -> Dataset<Fp61> {
+        let mut fv = FrequencyVector::new_sparse(1 << 8);
+        fv.apply(Update::new(3, 5));
+        Dataset {
+            id: id.to_string(),
+            log_u: 8,
+            shard: None,
+            data: DatasetData::Raw(fv),
+        }
+    }
+
+    #[test]
+    fn publish_get_roundtrip() {
+        let reg = DatasetRegistry::<Fp61>::new(4);
+        assert!(reg.is_empty());
+        reg.publish(raw_dataset("a")).unwrap();
+        let got = reg.get("a").unwrap();
+        assert_eq!(got.log_u, 8);
+        assert_eq!(got.mode(), SessionMode::RawStream);
+        assert!(reg.get("b").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_id_refused() {
+        let reg = DatasetRegistry::<Fp61>::new(4);
+        reg.publish(raw_dataset("a")).unwrap();
+        let err = reg.publish(raw_dataset("a")).unwrap_err();
+        assert!(err.contains("already published"), "{err}");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let reg = DatasetRegistry::<Fp61>::new(2);
+        reg.publish(raw_dataset("a")).unwrap();
+        reg.publish(raw_dataset("b")).unwrap();
+        let err = reg.publish(raw_dataset("c")).unwrap_err();
+        assert!(err.contains("full"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_publishers_of_one_id_race_cleanly() {
+        let reg = std::sync::Arc::new(DatasetRegistry::<Fp61>::new(64));
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let reg = std::sync::Arc::clone(&reg);
+                    s.spawn(move || reg.publish(raw_dataset("contested")).is_ok())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(outcomes.iter().filter(|&&ok| ok).count(), 1);
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -19,7 +19,10 @@
 //! via [`CloudStore`]'s vectors) — outsourcing changes where the prover
 //! runs, not what it computes.
 
+use std::sync::Arc;
+
 use sip_core::channel::Transport;
+use sip_core::engine::ProverPool;
 use sip_core::heavy_hitters::HhProver;
 use sip_core::subvector::{RoundRequest, SubVectorProver};
 use sip_core::sumcheck::f2::F2Prover;
@@ -30,6 +33,8 @@ use sip_field::PrimeField;
 use sip_kvstore::{CloudStore, KvServer};
 use sip_streaming::{FrequencyVector, ShardPlan};
 use sip_wire::{Msg, MsgChannel, Query, SessionMode, ShardSpec, WireError};
+
+use crate::registry::{Dataset, DatasetData, DatasetRegistry, MAX_DATASET_ID_LEN};
 
 /// Upper bound on `log_u` a session may request (a 2^40 dense universe is
 /// already far beyond what the dense provers should materialise).
@@ -62,10 +67,43 @@ enum Active<F: PrimeField> {
 
 /// What the data of this session is.
 enum Store<F: PrimeField> {
-    /// Raw update stream (frequency-vector semantics).
+    /// Session-private raw update stream (frequency-vector semantics).
     Raw(FrequencyVector),
-    /// Key-value puts (`δ = value + 1` encoding, three derived vectors).
+    /// Session-private key-value puts (`δ = value + 1` encoding, three
+    /// derived vectors).
     Kv(CloudStore<F>),
+    /// A frozen published snapshot shared with other sessions — queries
+    /// read it through the `Arc`; ingest is refused.
+    Shared(Arc<Dataset<F>>),
+}
+
+/// A read view of the session's data, however it is owned.
+enum DataRef<'a, F: PrimeField> {
+    Raw(&'a FrequencyVector),
+    Kv(&'a CloudStore<F>),
+}
+
+/// Everything a session inherits from its server beyond the handshake:
+/// shard pin, prover scheduling, and the shared dataset registry.
+pub struct SessionContext<F: PrimeField> {
+    /// Deploy-time shard identity (`sip-prover --shard i --of n`).
+    pub shard: Option<ShardSpec>,
+    /// Round-message scheduling for every prover this session builds.
+    pub pool: ProverPool,
+    /// The server-wide registry behind `Msg::Publish` / `Msg::Attach`.
+    pub registry: Arc<DatasetRegistry<F>>,
+}
+
+impl<F: PrimeField> Default for SessionContext<F> {
+    /// A standalone context: no shard pin, serial prover, private
+    /// single-session registry.
+    fn default() -> Self {
+        SessionContext {
+            shard: None,
+            pool: ProverPool::SERIAL,
+            registry: Arc::new(DatasetRegistry::new(crate::DEFAULT_MAX_DATASETS)),
+        }
+    }
 }
 
 /// Why the session ended (for logs/tests; the protocol outcome lives with
@@ -87,7 +125,7 @@ pub fn run_session<F: PrimeField, T: Transport>(
     mode: SessionMode,
     log_u: u32,
 ) -> SessionEnd {
-    run_session_sharded::<F, T>(transport, mode, log_u, None)
+    run_session_ctx::<F, T>(transport, mode, log_u, SessionContext::default())
 }
 
 /// Like [`run_session`], for a prover deployed as one shard of a fleet:
@@ -101,8 +139,29 @@ pub fn run_session_sharded<F: PrimeField, T: Transport>(
     log_u: u32,
     pinned: Option<ShardSpec>,
 ) -> SessionEnd {
-    let mut session = ServerSession::<F, T>::new(transport, mode, log_u);
-    if let Some(spec) = pinned {
+    run_session_ctx::<F, T>(
+        transport,
+        mode,
+        log_u,
+        SessionContext {
+            shard: pinned,
+            ..SessionContext::default()
+        },
+    )
+}
+
+/// The full-context entry point: shard pin, prover pool, and the shared
+/// dataset registry all come from the server (`crate::spawn` passes one
+/// registry to every session so published datasets are visible
+/// server-wide).
+pub fn run_session_ctx<F: PrimeField, T: Transport>(
+    transport: T,
+    mode: SessionMode,
+    log_u: u32,
+    ctx: SessionContext<F>,
+) -> SessionEnd {
+    let mut session = ServerSession::<F, T>::new(transport, mode, log_u, ctx.pool, ctx.registry);
+    if let Some(spec) = ctx.shard {
         if let Err(detail) = session.adopt_shard(spec, true) {
             return session.fail(detail);
         }
@@ -113,8 +172,13 @@ pub fn run_session_sharded<F: PrimeField, T: Transport>(
 struct ServerSession<F: PrimeField, T: Transport> {
     chan: MsgChannel<T>,
     log_u: u32,
+    /// The handshaken session mode (also implied by `store` until an
+    /// attach; kept explicitly so attach can check compatibility).
+    mode: SessionMode,
     store: Store<F>,
     active: Active<F>,
+    pool: ProverPool,
+    registry: Arc<DatasetRegistry<F>>,
     /// The sub-range of the universe this session serves (shard mode), as
     /// an inclusive `[lo, hi]`; `None` = the whole universe.
     shard: Option<(ShardSpec, u64, u64)>,
@@ -132,7 +196,13 @@ struct ServerSession<F: PrimeField, T: Transport> {
 }
 
 impl<F: PrimeField, T: Transport> ServerSession<F, T> {
-    fn new(transport: T, mode: SessionMode, log_u: u32) -> Self {
+    fn new(
+        transport: T,
+        mode: SessionMode,
+        log_u: u32,
+        pool: ProverPool,
+        registry: Arc<DatasetRegistry<F>>,
+    ) -> Self {
         // Sparse storage in both modes: `log_u` is peer-chosen, and dense
         // vectors would let one idle handshake reserve `O(2^log_u)` memory.
         let store = match mode {
@@ -142,12 +212,27 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         ServerSession {
             chan: MsgChannel::new(transport),
             log_u,
+            mode,
             store,
             active: Active::Idle,
+            pool,
+            registry,
             shard: None,
             shard_pinned: false,
             ingested: false,
             served: CostReport::default(),
+        }
+    }
+
+    /// A read view of the session's data, session-private or shared.
+    fn data(&self) -> DataRef<'_, F> {
+        match &self.store {
+            Store::Raw(fv) => DataRef::Raw(fv),
+            Store::Kv(s) => DataRef::Kv(s),
+            Store::Shared(ds) => match &ds.data {
+                DatasetData::Raw(fv) => DataRef::Raw(fv),
+                DatasetData::Kv(s) => DataRef::Kv(s),
+            },
         }
     }
 
@@ -257,7 +342,23 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                             store.ingest(up);
                         }
                     }
+                    Store::Shared(ds) => {
+                        if !ups.is_empty() {
+                            return Err(protocol(format!(
+                                "dataset {:?} is frozen: published snapshots accept no updates",
+                                ds.id
+                            )));
+                        }
+                    }
                 }
+                Ok(true)
+            }
+            Msg::Publish { dataset_id } => {
+                self.publish(dataset_id)?;
+                Ok(true)
+            }
+            Msg::Attach { dataset_id } => {
+                self.attach(dataset_id)?;
                 Ok(true)
             }
             Msg::EndStream => {
@@ -389,8 +490,89 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         Ok(true)
     }
 
+    /// Freezes this session's ingested data into the server-wide registry
+    /// under `dataset_id` and acks; the session keeps serving queries over
+    /// the now-shared snapshot.
+    fn publish(&mut self, dataset_id: String) -> Result<(), Flow> {
+        check_dataset_id(&dataset_id)?;
+        // Freeze by moving the store out; on any refusal below the session
+        // dies with a protocol error, so the moved data needs no restoring.
+        let placeholder = Store::Raw(FrequencyVector::new_sparse(1));
+        let data = match std::mem::replace(&mut self.store, placeholder) {
+            Store::Raw(fv) => DatasetData::Raw(fv),
+            Store::Kv(s) => DatasetData::Kv(s),
+            Store::Shared(ds) => {
+                return Err(protocol(format!(
+                    "session already serves published dataset {:?}",
+                    ds.id
+                )));
+            }
+        };
+        let dataset = Dataset {
+            id: dataset_id.clone(),
+            log_u: self.log_u,
+            shard: self.shard.map(|(spec, _, _)| spec),
+            data,
+        };
+        let arc = self.registry.publish(dataset).map_err(protocol)?;
+        self.store = Store::Shared(arc);
+        self.send(&Msg::DatasetAck { dataset_id })?;
+        Ok(())
+    }
+
+    /// Points this session at the published snapshot `dataset_id` and
+    /// acks; mode, `log_u`, and shard identity must agree (a session with
+    /// no declared shard inherits the dataset's).
+    fn attach(&mut self, dataset_id: String) -> Result<(), Flow> {
+        check_dataset_id(&dataset_id)?;
+        if self.ingested {
+            // Replacing the store would silently orphan session-local data.
+            return Err(protocol("attach must precede any ingest".to_string()));
+        }
+        let Some(ds) = self.registry.get(&dataset_id) else {
+            return Err(protocol(format!("no published dataset {dataset_id:?}")));
+        };
+        if ds.mode() != self.mode {
+            return Err(protocol(format!(
+                "dataset {dataset_id:?} is a {} dataset, session handshook {}",
+                mode_name(ds.mode()),
+                mode_name(self.mode)
+            )));
+        }
+        if ds.log_u != self.log_u {
+            return Err(protocol(format!(
+                "dataset {dataset_id:?} covers [2^{}], session handshook log_u = {}",
+                ds.log_u, self.log_u
+            )));
+        }
+        // Shard identity: any declared identity (deploy pin *or* a client
+        // ShardHello) must match the snapshot's, or an attached fleet could
+        // serve another shard's slice and fail later as opaque sum-check
+        // blame on an honest shard. An undeclared session inherits it.
+        match (self.shard.map(|(spec, _, _)| spec), ds.shard) {
+            (Some(mine), Some(published)) if mine == published => {}
+            (None, None) => {}
+            (None, Some(published)) => {
+                self.adopt_shard(published, false).map_err(protocol)?;
+            }
+            _ => {
+                return Err(protocol(format!(
+                    "dataset {dataset_id:?} was published under a different shard identity"
+                )));
+            }
+        }
+        self.store = Store::Shared(ds);
+        // Attached data counts as ingested: a later shard re-declaration
+        // could orphan it, so the same guard applies.
+        self.ingested = true;
+        self.send(&Msg::DatasetAck { dataset_id })?;
+        Ok(())
+    }
+
     fn start_query(&mut self, q: Query) -> Result<(), Flow> {
         let u = 1u64 << self.log_u;
+        let log_u = self.log_u;
+        let pool = self.pool;
         let check_range = |l: u64, r: u64| -> Result<(), Flow> {
             if l <= r && r < u {
                 Ok(())
@@ -398,36 +580,39 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 Err(protocol(format!("bad range [{l}, {r}] over [0, {u})")))
             }
         };
-        match (q, &self.store) {
-            (Query::SelfJoin, store) => {
-                let fv = match store {
-                    Store::Raw(fv) => fv,
-                    Store::Kv(s) => s.raw_vector(),
+        match (q, self.data()) {
+            (Query::SelfJoin, data) => {
+                let fv = match data {
+                    DataRef::Raw(fv) => fv,
+                    DataRef::Kv(s) => s.raw_vector(),
                 };
-                self.begin_sumcheck(F2Prover::new(fv, self.log_u))
+                let prover = F2Prover::with_pool(fv, log_u, pool);
+                self.begin_sumcheck(prover)
             }
-            (Query::RangeSum { l, r }, store) => {
+            (Query::RangeSum { l, r }, data) => {
                 check_range(l, r)?;
-                let fv = match store {
-                    Store::Raw(fv) => fv,
-                    Store::Kv(s) => s.encoded_vector(),
+                let fv = match data {
+                    DataRef::Raw(fv) => fv,
+                    DataRef::Kv(s) => s.encoded_vector(),
                 };
-                self.begin_sumcheck(RangeSumProver::new(fv, self.log_u, l, r))
+                let prover = RangeSumProver::with_pool(fv, log_u, l, r, pool);
+                self.begin_sumcheck(prover)
             }
-            (Query::RangeCount { l, r }, Store::Kv(s)) => {
+            (Query::RangeCount { l, r }, DataRef::Kv(s)) => {
                 check_range(l, r)?;
-                self.begin_sumcheck(RangeSumProver::new(s.presence_vector(), self.log_u, l, r))
+                let prover = RangeSumProver::with_pool(s.presence_vector(), log_u, l, r, pool);
+                self.begin_sumcheck(prover)
             }
-            (Query::RangeCount { .. }, Store::Raw(_)) => {
+            (Query::RangeCount { .. }, DataRef::Raw(_)) => {
                 Err(protocol("range-count requires a kv-store session"))
             }
-            (Query::Report { l, r }, store) => {
+            (Query::Report { l, r }, data) => {
                 check_range(l, r)?;
-                let fv = match store {
-                    Store::Raw(fv) => fv,
-                    Store::Kv(s) => s.encoded_vector(),
+                let fv = match data {
+                    DataRef::Raw(fv) => fv,
+                    DataRef::Kv(s) => s.encoded_vector(),
                 };
-                let prover = SubVectorProver::new(fv, self.log_u);
+                let prover = SubVectorProver::new(fv, log_u);
                 let answer = prover.answer(l, r);
                 self.served.rounds += 1;
                 self.served.v_to_p_words += 2;
@@ -438,13 +623,13 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 };
                 self.send(&Msg::SubVectorAnswer(answer))
             }
-            (Query::Heavy { threshold }, store) => {
+            (Query::Heavy { threshold }, data) => {
                 if threshold == 0 {
                     return Err(protocol("heavy-hitter threshold must be positive"));
                 }
-                let fv = match store {
-                    Store::Raw(fv) => fv,
-                    Store::Kv(s) => s.encoded_vector(),
+                let fv = match data {
+                    DataRef::Raw(fv) => fv,
+                    DataRef::Kv(s) => s.encoded_vector(),
                 };
                 // The count tree needs the strict turnstile model; check
                 // instead of letting HhProver::new assert.
@@ -453,7 +638,7 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                         "heavy hitters need non-negative frequencies".to_string(),
                     ));
                 }
-                let prover = HhProver::new(fv, self.log_u, threshold);
+                let prover = HhProver::new(fv, log_u, threshold);
                 let disc = prover.disclose();
                 self.served.rounds += 1;
                 self.served.v_to_p_words += 1;
@@ -464,7 +649,7 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 };
                 self.send(&Msg::HhDisclosure(disc))
             }
-            (Query::Predecessor { q }, Store::Kv(s)) => {
+            (Query::Predecessor { q }, DataRef::Kv(s)) => {
                 if q >= u {
                     return Err(protocol(format!("probe {q} outside universe")));
                 }
@@ -473,7 +658,7 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.served.p_to_v_words += 1;
                 self.send(&Msg::KeyClaim(claim))
             }
-            (Query::Successor { q }, Store::Kv(s)) => {
+            (Query::Successor { q }, DataRef::Kv(s)) => {
                 if q >= u {
                     return Err(protocol(format!("probe {q} outside universe")));
                 }
@@ -482,7 +667,7 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.served.p_to_v_words += 1;
                 self.send(&Msg::KeyClaim(claim))
             }
-            (Query::Predecessor { .. } | Query::Successor { .. }, Store::Raw(_)) => {
+            (Query::Predecessor { .. } | Query::Successor { .. }, DataRef::Raw(_)) => {
                 Err(protocol("neighbour queries require a kv-store session"))
             }
         }
@@ -520,6 +705,27 @@ enum Flow {
 
 fn protocol(detail: impl Into<String>) -> Flow {
     Flow::Protocol(detail.into())
+}
+
+/// Dataset ids are peer-chosen registry keys: non-empty, bounded length.
+fn check_dataset_id(id: &str) -> Result<(), Flow> {
+    if id.is_empty() {
+        return Err(protocol("dataset id must not be empty"));
+    }
+    if id.len() > MAX_DATASET_ID_LEN {
+        return Err(protocol(format!(
+            "dataset id of {} bytes exceeds the {MAX_DATASET_ID_LEN}-byte cap",
+            id.len()
+        )));
+    }
+    Ok(())
+}
+
+fn mode_name(mode: SessionMode) -> &'static str {
+    match mode {
+        SessionMode::RawStream => "raw-stream",
+        SessionMode::KvStore => "kv-store",
+    }
 }
 
 #[cfg(test)]
@@ -719,6 +925,317 @@ mod tests {
             chan.send(&Msg::<Fp61>::Bye).unwrap();
         });
         assert_eq!(end, SessionEnd::PeerDone);
+    }
+
+    /// Two sequential sessions over one shared registry (what `spawn`
+    /// gives every connection of a server).
+    fn with_registry_sessions<R: Send + 'static>(
+        registry: Arc<DatasetRegistry<Fp61>>,
+        modes: (SessionMode, SessionMode),
+        log_us: (u32, u32),
+        first: impl FnOnce(MsgChannel<InMemoryTransport>) -> R + Send + 'static,
+        second: impl FnOnce(MsgChannel<InMemoryTransport>) -> R + Send + 'static,
+    ) -> (SessionEnd, SessionEnd) {
+        let (a1, b1) = InMemoryTransport::pair();
+        let reg1 = Arc::clone(&registry);
+        let s1 = thread::spawn(move || {
+            run_session_ctx::<Fp61, _>(
+                a1,
+                modes.0,
+                log_us.0,
+                SessionContext {
+                    registry: reg1,
+                    ..SessionContext::default()
+                },
+            )
+        });
+        let c1 = thread::spawn(move || first(MsgChannel::new(b1)));
+        let end1 = s1.join().unwrap();
+        c1.join().unwrap();
+
+        let (a2, b2) = InMemoryTransport::pair();
+        let s2 = thread::spawn(move || {
+            run_session_ctx::<Fp61, _>(
+                a2,
+                modes.1,
+                log_us.1,
+                SessionContext {
+                    registry,
+                    ..SessionContext::default()
+                },
+            )
+        });
+        let c2 = thread::spawn(move || second(MsgChannel::new(b2)));
+        let end2 = s2.join().unwrap();
+        c2.join().unwrap();
+        (end1, end2)
+    }
+
+    #[test]
+    fn publish_then_attach_serves_the_same_data() {
+        let registry = Arc::new(DatasetRegistry::<Fp61>::new(8));
+        let (end1, end2) = with_registry_sessions(
+            registry,
+            (SessionMode::RawStream, SessionMode::RawStream),
+            (4, 4),
+            |mut chan| {
+                // a = [0, 3, 0, 2, …]: F2 = 13.
+                chan.send(&Msg::<Fp61>::Ingest(vec![
+                    Update::new(1, 3),
+                    Update::new(3, 2),
+                ]))
+                .unwrap();
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { dataset_id } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                assert_eq!(dataset_id, "d");
+                // The publisher still queries the frozen snapshot.
+                chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+                let Msg::ClaimedValue(claimed) = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected claim")
+                };
+                assert_eq!(claimed, Fp61::from_u64(13));
+                let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected g1")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+            |mut chan| {
+                // A fresh session attaches without ingesting anything.
+                chan.send(&Msg::<Fp61>::Attach {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+                let Msg::ClaimedValue(claimed) = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected claim")
+                };
+                assert_eq!(claimed, Fp61::from_u64(13));
+                let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected g1")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+        );
+        assert_eq!(end1, SessionEnd::PeerDone);
+        assert_eq!(end2, SessionEnd::PeerDone);
+    }
+
+    #[test]
+    fn ingest_after_publish_is_refused() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(1, 1)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Publish {
+                dataset_id: "frozen".into(),
+            })
+            .unwrap();
+            let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected ack")
+            };
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(2, 1)]))
+                .unwrap();
+            let reply = chan.recv::<Fp61>().unwrap();
+            assert!(matches!(reply, Msg::Error(_)), "{reply:?}");
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn attach_to_unknown_dataset_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Attach {
+                dataset_id: "nope".into(),
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn attach_mode_and_log_u_must_match() {
+        // Published as raw log_u = 4; a kv session and a log_u = 5 session
+        // are both turned away.
+        for (mode, log_u) in [(SessionMode::KvStore, 4u32), (SessionMode::RawStream, 5)] {
+            let registry = Arc::new(DatasetRegistry::<Fp61>::new(8));
+            let (end1, end2) = with_registry_sessions(
+                registry,
+                (SessionMode::RawStream, mode),
+                (4, log_u),
+                |mut chan| {
+                    chan.send(&Msg::<Fp61>::Publish {
+                        dataset_id: "d".into(),
+                    })
+                    .unwrap();
+                    let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                        panic!("expected ack")
+                    };
+                    chan.send(&Msg::<Fp61>::Bye).unwrap();
+                },
+                |mut chan| {
+                    chan.send(&Msg::<Fp61>::Attach {
+                        dataset_id: "d".into(),
+                    })
+                    .unwrap();
+                    assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+                },
+            );
+            assert_eq!(end1, SessionEnd::PeerDone);
+            assert!(matches!(end2, SessionEnd::ProtocolError(_)));
+        }
+    }
+
+    #[test]
+    fn attach_after_session_local_ingest_is_refused() {
+        // Attaching would silently orphan session-local data; refuse.
+        let registry = Arc::new(DatasetRegistry::<Fp61>::new(8));
+        let (end1, end2) = with_registry_sessions(
+            registry,
+            (SessionMode::RawStream, SessionMode::RawStream),
+            (4, 4),
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(2, 1)]))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::Attach {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            },
+        );
+        assert_eq!(end1, SessionEnd::PeerDone);
+        assert!(matches!(end2, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn attach_checks_shard_identity_and_inherits_it() {
+        // Published by a ShardHello-declared shard-0 session; a session
+        // claiming shard 1 must be refused (even though nothing is
+        // deploy-pinned), and an undeclared session inherits shard 0 — a
+        // later conflicting ShardHello is refused.
+        let registry = Arc::new(DatasetRegistry::<Fp61>::new(8));
+        let (end1, end2) = with_registry_sessions(
+            Arc::clone(&registry),
+            (SessionMode::RawStream, SessionMode::RawStream),
+            (4, 4),
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 0, count: 2 }))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "slice".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+            |mut chan| {
+                // Wrong declared identity: refused.
+                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::Attach {
+                    dataset_id: "slice".into(),
+                })
+                .unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            },
+        );
+        assert_eq!(end1, SessionEnd::PeerDone);
+        assert!(matches!(end2, SessionEnd::ProtocolError(_)));
+
+        // Undeclared session: attach succeeds and inherits shard 0, so a
+        // later conflicting ShardHello is refused as already-declared.
+        let (a, b) = InMemoryTransport::pair();
+        let server = thread::spawn(move || {
+            run_session_ctx::<Fp61, _>(
+                a,
+                SessionMode::RawStream,
+                4,
+                SessionContext {
+                    registry,
+                    ..SessionContext::default()
+                },
+            )
+        });
+        let client = thread::spawn(move || {
+            let mut chan = MsgChannel::new(b);
+            chan.send(&Msg::<Fp61>::Attach {
+                dataset_id: "slice".into(),
+            })
+            .unwrap();
+            let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected ack")
+            };
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+                .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(
+            server.join().unwrap(),
+            SessionEnd::ProtocolError(_)
+        ));
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_publish_is_refused() {
+        let registry = Arc::new(DatasetRegistry::<Fp61>::new(8));
+        let (end1, end2) = with_registry_sessions(
+            registry,
+            (SessionMode::RawStream, SessionMode::RawStream),
+            (4, 4),
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "d".into(),
+                })
+                .unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            },
+        );
+        assert_eq!(end1, SessionEnd::PeerDone);
+        assert!(matches!(end2, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn hostile_dataset_ids_are_refused() {
+        for id in [String::new(), "x".repeat(MAX_DATASET_ID_LEN + 1)] {
+            let (end, ()) = with_session(SessionMode::RawStream, 4, move |mut chan| {
+                chan.send(&Msg::<Fp61>::Publish { dataset_id: id }).unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            });
+            assert!(matches!(end, SessionEnd::ProtocolError(_)));
+        }
     }
 
     #[test]

@@ -50,10 +50,13 @@ pub use msg::{Msg, Query, ShardSpec};
 /// encodings in [`msg`] or [`handshake`].
 ///
 /// History: **v2** added the sharded-fleet messages ([`Msg::ShardHello`],
-/// [`Msg::BroadcastChallenge`]) and the `Blame` rejection encoding; a v1
-/// peer is refused at the handshake with an explicit
-/// [`WireError::VersionMismatch`], never a misparse.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// [`Msg::BroadcastChallenge`]) and the `Blame` rejection encoding; **v3**
+/// added the multi-tenant dataset messages ([`Msg::Publish`],
+/// [`Msg::Attach`], [`Msg::DatasetAck`]) so one ingested stream can serve
+/// many verifier sessions. A v1 or v2 peer is refused at the handshake with
+/// an explicit [`WireError::VersionMismatch`] — the skew is named before
+/// any length or parse diagnostics, never a misparse.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The magic bytes opening every handshake frame.
 pub const MAGIC: [u8; 4] = *b"SIPW";

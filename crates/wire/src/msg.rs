@@ -186,6 +186,22 @@ pub enum Msg<F> {
         /// The revealed randomness `r_round`.
         challenge: F,
     },
+    /// Freeze this session's ingested data and publish it server-wide under
+    /// `dataset_id` (v3): later sessions may [`Msg::Attach`] to it, and this
+    /// session keeps querying the now-frozen snapshot. Answered with
+    /// [`Msg::DatasetAck`].
+    Publish {
+        /// Registry name for the frozen dataset.
+        dataset_id: String,
+    },
+    /// Serve this session's queries from the published dataset
+    /// `dataset_id` instead of session-local ingest (v3): the session's
+    /// handshake mode and `log_u` must match the dataset's. Answered with
+    /// [`Msg::DatasetAck`].
+    Attach {
+        /// Registry name of the dataset to attach to.
+        dataset_id: String,
+    },
     /// The verifier accepted the current query's proof.
     Accept,
     /// The verifier rejected; the payload says why (the prover lost).
@@ -207,6 +223,12 @@ pub enum Msg<F> {
     HhDisclosure(LevelDisclosure<F>),
     /// A claimed predecessor/successor key (`None` = no such key).
     KeyClaim(Option<u64>),
+    /// Confirms a [`Msg::Publish`] or [`Msg::Attach`] (v3), echoing the
+    /// dataset id the session is now bound to.
+    DatasetAck {
+        /// The dataset the session now serves.
+        dataset_id: String,
+    },
     /// The prover's own cumulative cost accounting for the connection,
     /// sent in reply to [`Msg::Bye`] (advisory; the verifier keeps its own
     /// books).
@@ -228,6 +250,9 @@ impl<F> Msg<F> {
             Msg::HhKeys { .. } => "hh-keys",
             Msg::ShardHello(_) => "shard-hello",
             Msg::BroadcastChallenge { .. } => "broadcast-challenge",
+            Msg::Publish { .. } => "publish",
+            Msg::Attach { .. } => "attach",
+            Msg::DatasetAck { .. } => "dataset-ack",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
             Msg::Bye => "bye",
@@ -254,6 +279,8 @@ const TAG_REJECT: u8 = 0x08;
 const TAG_BYE: u8 = 0x09;
 const TAG_SHARD_HELLO: u8 = 0x0A;
 const TAG_BROADCAST_CHALLENGE: u8 = 0x0B;
+const TAG_PUBLISH: u8 = 0x0C;
+const TAG_ATTACH: u8 = 0x0D;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -262,6 +289,7 @@ const TAG_HH_DISCLOSURE: u8 = 0x85;
 const TAG_KEY_CLAIM: u8 = 0x86;
 const TAG_COST: u8 = 0x87;
 const TAG_ERROR: u8 = 0x88;
+const TAG_DATASET_ACK: u8 = 0x89;
 
 impl<F: PrimeField> WireCodec for Msg<F> {
     fn encode(&self, w: &mut Writer) {
@@ -295,6 +323,15 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             }
             Msg::BroadcastChallenge { round, challenge } => {
                 w.u8(TAG_BROADCAST_CHALLENGE).u32(*round).field(*challenge);
+            }
+            Msg::Publish { dataset_id } => {
+                w.u8(TAG_PUBLISH).string(dataset_id);
+            }
+            Msg::Attach { dataset_id } => {
+                w.u8(TAG_ATTACH).string(dataset_id);
+            }
+            Msg::DatasetAck { dataset_id } => {
+                w.u8(TAG_DATASET_ACK).string(dataset_id);
             }
             Msg::Accept => {
                 w.u8(TAG_ACCEPT);
@@ -358,6 +395,15 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             TAG_BROADCAST_CHALLENGE => Msg::BroadcastChallenge {
                 round: r.u32()?,
                 challenge: r.field()?,
+            },
+            TAG_PUBLISH => Msg::Publish {
+                dataset_id: r.string()?,
+            },
+            TAG_ATTACH => Msg::Attach {
+                dataset_id: r.string()?,
+            },
+            TAG_DATASET_ACK => Msg::DatasetAck {
+                dataset_id: r.string()?,
             },
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
@@ -430,6 +476,15 @@ mod tests {
         roundtrip(Msg::BroadcastChallenge {
             round: 7,
             challenge: f(424242),
+        });
+        roundtrip(Msg::Publish {
+            dataset_id: "trades-2026-07".into(),
+        });
+        roundtrip(Msg::Attach {
+            dataset_id: String::new(),
+        });
+        roundtrip(Msg::DatasetAck {
+            dataset_id: "δatasets-are-utf8 ✓".into(),
         });
         roundtrip(Msg::Accept);
         roundtrip(Msg::Reject(Rejection::RootMismatch));

@@ -60,6 +60,15 @@ fn messages<F: PrimeField>(
             round: level,
             challenge: scalar,
         },
+        Msg::Publish {
+            dataset_id: format!("ds-{level}"),
+        },
+        Msg::Attach {
+            dataset_id: format!("ds-{}", opt.unwrap_or(0)),
+        },
+        Msg::DatasetAck {
+            dataset_id: String::from_utf8(vec![b'a'; level as usize]).unwrap(),
+        },
         Msg::Accept,
         Msg::Reject(Rejection::in_subprotocol(
             "range-count",

@@ -9,10 +9,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sip::cluster::{
-    boxed_kv_fleet, connect_kv_fleet, ClusterClient, ClusterF2Verifier, ClusterRangeSumVerifier,
-    ClusterReportVerifier,
+    boxed_kv_fleet, connect_kv_fleet, spawn_local_fleet, ClusterClient, ClusterF2Verifier,
+    ClusterRangeSumVerifier, ClusterReportVerifier,
 };
-use sip::field::{Fp61, PrimeField};
+use sip::field::{Fp127, Fp61, PrimeField};
 use sip::kvstore::{QueryBudget, ShardedClient};
 
 /// The equivalence test runs the whole query surface against one store,
@@ -22,7 +22,6 @@ const BIG_BUDGET: QueryBudget = QueryBudget {
     aggregate: 16,
     heavy: 4,
 };
-use sip::cluster::spawn_local_fleet;
 use sip::server::ServerHandle;
 use sip::streaming::{workloads, FrequencyVector, ShardPlan};
 
@@ -229,6 +228,46 @@ fn kv_fleet_over_tcp_matches_single_store() {
     for h in single_handles {
         h.shutdown();
     }
+}
+
+/// The fleet happy path is field-generic; run it over the high-soundness
+/// field too (the fleet handshake path was previously Fp61-only in e2e).
+fn fleet_happy_path_generic<F: PrimeField>(shards: u32, seed: u64) {
+    let log_u = 8;
+    let u = 1u64 << log_u;
+    let stream = workloads::uniform(300, u, 25, 17);
+    let fv = FrequencyVector::from_stream(u, &stream);
+    let plan = ShardPlan::new(log_u, shards);
+
+    let (handles, addrs) = spawn_local_fleet::<F>(shards, log_u).expect("bind shard servers");
+    let mut client: ClusterClient<F, _> = ClusterClient::connect(&addrs, log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f2 = ClusterF2Verifier::<F>::new(plan, &mut rng);
+    let mut rs = ClusterRangeSumVerifier::<F>::new(plan, &mut rng);
+    for &up in &stream {
+        f2.update(up);
+        rs.update(up);
+        client.send_update(up);
+    }
+    client.end_stream().unwrap();
+    let f2_got = client.verify_f2(f2).unwrap();
+    assert_eq!(f2_got.value, F::from_u128(fv.self_join_size() as u128));
+    let rs_got = client.verify_range_sum(rs, u / 8, u / 2).unwrap();
+    assert_eq!(rs_got.value, F::from_i64(fv.range_sum(u / 8, u / 2) as i64));
+    client.bye().unwrap();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn s4_cluster_happy_path_over_fp127() {
+    fleet_happy_path_generic::<Fp127>(4, 21);
+}
+
+#[test]
+fn s2_cluster_happy_path_over_fp127() {
+    fleet_happy_path_generic::<Fp127>(2, 22);
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Property tests of the prover engine: the parallel chunked fold kernel,
+//! the serial kernel, and the naive `sip-lde` reference must agree on
+//! random streams — for every `Combine` (F₂, moments, inner-product,
+//! range-sum) and every thread count.
+//!
+//! Two layers of agreement are checked:
+//!
+//! * **transcript equality** — the full round-by-round message sequence of
+//!   a protocol run is captured (via the adversary hook, mutating nothing)
+//!   and compared across `threads ∈ {1, 2, 4}`; the serial transcript is
+//!   the pre-engine behaviour, so this pins "same transcripts, different
+//!   scheduling";
+//! * **reference equality** — the verified output equals ground truth
+//!   computed from the dense vector, and a full multilinear bind of the
+//!   fold table equals [`sip_lde::reference::naive_multilinear_eval`].
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::core::engine::ProverPool;
+use sip::core::fold::FoldVector;
+use sip::core::sumcheck::f2::{run_f2_with_adversary, F2Prover};
+use sip::core::sumcheck::inner_product::run_inner_product_with_adversary;
+use sip::core::sumcheck::moments::run_moment_with_adversary;
+use sip::core::sumcheck::range_sum::run_range_sum_with_adversary;
+use sip::core::sumcheck::RoundProver;
+use sip::field::{Fp61, PrimeField};
+use sip::lde::reference::naive_multilinear_eval;
+use sip::streaming::{FrequencyVector, Update};
+
+/// Builds a stream from raw `(index, delta)` pairs, clamped into `[2^bits]`
+/// with nonzero deltas.
+fn stream_of(raw: &[(u64, i64)], bits: u32) -> Vec<Update> {
+    raw.iter()
+        .map(|&(i, d)| Update::new(i % (1 << bits), if d == 0 { 1 } else { d % 1000 }))
+        .collect()
+}
+
+/// Runs `prover` against a fixed challenge schedule, returning every round
+/// message. This is transcript capture without a verifier: the engine's
+/// output must not depend on who is listening.
+fn transcript<F: PrimeField>(prover: &mut dyn RoundProver<F>, challenges: &[F]) -> Vec<Vec<F>> {
+    let rounds = prover.rounds();
+    let mut out = Vec::with_capacity(rounds);
+    for (round, &r) in challenges.iter().enumerate().take(rounds) {
+        out.push(prover.message());
+        if round + 1 < rounds {
+            prover.bind(r);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// F₂: the full protocol accepts with the same transcript and the
+    /// ground-truth value at every thread count.
+    #[test]
+    fn f2_parallel_equals_serial_equals_reference(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..120),
+        bits in 4u32..11,
+    ) {
+        let stream = stream_of(&raw, bits);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let truth = Fp61::from_u128(fv.self_join_size() as u128);
+
+        // The full protocol (serial prover, capture hook mutating nothing)
+        // accepts with the ground-truth value.
+        let mut captured: Vec<Vec<Fp61>> = Vec::new();
+        let mut adv = |_round: usize, msg: &mut Vec<Fp61>| captured.push(msg.clone());
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let got =
+            run_f2_with_adversary::<Fp61, _>(bits, &stream, &mut rng, Some(&mut adv)).unwrap();
+        prop_assert_eq!(got.value, truth);
+        prop_assert_eq!(captured.len(), bits as usize);
+
+        // Engine-level check: the pooled prover's messages equal the
+        // serial ones under one fixed challenge schedule.
+        let challenges: Vec<Fp61> = (0..bits as u64).map(|i| Fp61::from_u64(3 * i + 5)).collect();
+        let mut serial = F2Prover::<Fp61>::new(&fv, bits);
+        let reference = transcript(&mut serial, &challenges);
+        for threads in [2usize, 4] {
+            let mut pooled = F2Prover::<Fp61>::with_pool(&fv, bits, ProverPool::new(threads));
+            prop_assert_eq!(transcript(&mut pooled, &challenges), reference.clone(),
+                "threads={}", threads);
+        }
+    }
+
+    /// Moments k ∈ {1, 3, 4}: verified value matches ground truth and the
+    /// engine transcript is thread-count-invariant.
+    #[test]
+    fn moments_parallel_equals_serial(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..80),
+        bits in 4u32..9,
+        k in 1u32..5,
+    ) {
+        let stream = stream_of(&raw, bits);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let challenges: Vec<Fp61> = (0..bits as u64).map(|i| Fp61::from_u64(7 * i + 2)).collect();
+        let mut serial = sip::core::sumcheck::moments::MomentProver::<Fp61>::new(k, &fv, bits);
+        let reference = transcript(&mut serial, &challenges);
+        for threads in [2usize, 4] {
+            let mut pooled = sip::core::sumcheck::moments::MomentProver::<Fp61>::with_pool(
+                k, &fv, bits, ProverPool::new(threads));
+            prop_assert_eq!(transcript(&mut pooled, &challenges), reference.clone());
+        }
+        // And the protocol run with the serial prover stays sound.
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let got = run_moment_with_adversary::<Fp61, _>(k, bits, &stream, &mut rng, None).unwrap();
+        // Moments of possibly-negative frequencies live in the field.
+        let expect: Fp61 = fv
+            .nonzero()
+            .map(|(_, f)| Fp61::from_i64(f).pow(k as u128))
+            .fold(Fp61::ZERO, |a, b| a + b);
+        prop_assert_eq!(got.value, expect);
+    }
+
+    /// Inner product over the union walk: transcript invariance plus
+    /// ground truth.
+    #[test]
+    fn inner_product_parallel_equals_serial(
+        raw_a in prop::collection::vec((any::<u64>(), any::<i64>()), 1..80),
+        raw_b in prop::collection::vec((any::<u64>(), any::<i64>()), 1..80),
+        bits in 4u32..9,
+    ) {
+        let sa = stream_of(&raw_a, bits);
+        let sb = stream_of(&raw_b, bits);
+        let fa = FrequencyVector::from_stream(1 << bits, &sa);
+        let fb = FrequencyVector::from_stream(1 << bits, &sb);
+        let challenges: Vec<Fp61> = (0..bits as u64).map(|i| Fp61::from_u64(11 * i + 1)).collect();
+        let mut serial =
+            sip::core::sumcheck::inner_product::InnerProductProver::<Fp61>::new(&fa, &fb, bits);
+        let reference = transcript(&mut serial, &challenges);
+        for threads in [2usize, 4] {
+            let mut pooled = sip::core::sumcheck::inner_product::InnerProductProver::<Fp61>::with_pool(
+                &fa, &fb, bits, ProverPool::new(threads));
+            prop_assert_eq!(transcript(&mut pooled, &challenges), reference.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = run_inner_product_with_adversary::<Fp61, _>(bits, &sa, &sb, &mut rng, None).unwrap();
+        let expect: Fp61 = fa
+            .nonzero()
+            .map(|(i, f)| Fp61::from_i64(f) * Fp61::from_i64(fb.get(i)))
+            .fold(Fp61::ZERO, |a, b| a + b);
+        prop_assert_eq!(got.value, expect);
+    }
+
+    /// Range-sum with the lazy indicator: transcript invariance (the lazy
+    /// partner values must be computed identically on every chunk) plus
+    /// ground truth.
+    #[test]
+    fn range_sum_parallel_equals_serial(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..80),
+        bits in 4u32..9,
+        ends in (any::<u64>(), any::<u64>()),
+    ) {
+        let stream = stream_of(&raw, bits);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let u = 1u64 << bits;
+        let (a, b) = (ends.0 % u, ends.1 % u);
+        let (q_l, q_r) = (a.min(b), a.max(b));
+        let challenges: Vec<Fp61> = (0..bits as u64).map(|i| Fp61::from_u64(13 * i + 4)).collect();
+        let mut serial = sip::core::sumcheck::range_sum::RangeSumProver::<Fp61>::new(
+            &fv, bits, q_l, q_r);
+        let reference = transcript(&mut serial, &challenges);
+        for threads in [2usize, 4] {
+            let mut pooled = sip::core::sumcheck::range_sum::RangeSumProver::<Fp61>::with_pool(
+                &fv, bits, q_l, q_r, ProverPool::new(threads));
+            prop_assert_eq!(transcript(&mut pooled, &challenges), reference.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let got = run_range_sum_with_adversary::<Fp61, _>(
+            bits, &stream, q_l, q_r, &mut rng, None).unwrap();
+        prop_assert_eq!(got.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+    }
+
+    /// The fold table itself agrees with the naive multilinear reference
+    /// after a full bind, from sparse or dense starting representations.
+    #[test]
+    fn fold_bind_matches_lde_reference(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..60),
+        bits in 4u32..12,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&raw, bits);
+        let fv = FrequencyVector::from_stream(1 << bits, &stream);
+        let values: Vec<Fp61> = (0..1u64 << bits).map(|i| Fp61::from_i64(fv.get(i))).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let point: Vec<Fp61> = (0..bits).map(|_| Fp61::random(&mut rng)).collect();
+        let mut fold = FoldVector::<Fp61>::from_frequency(&fv, bits);
+        for &r in &point {
+            fold.bind(r);
+        }
+        prop_assert_eq!(fold.scalar(), naive_multilinear_eval(&values, &point));
+    }
+}

@@ -8,23 +8,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sip::core::sumcheck::f2::F2Verifier;
 use sip::core::sumcheck::range_sum::RangeSumVerifier;
-use sip::field::{Fp61, PrimeField};
+use sip::field::{Fp127, Fp61, PrimeField};
 use sip::kvstore::{Client, CloudStore, QueryBudget};
 use sip::server::client::{RawClient, RemoteStore};
 use sip::server::{spawn, ServerConfig};
 use sip::streaming::{workloads, FrequencyVector};
 
-#[test]
-fn f2_session_over_tcp() {
+/// The F₂ happy path is field-generic: the handshake negotiates the field,
+/// everything after is the same algebra at a different width.
+fn f2_session_over_tcp_generic<F: PrimeField>(seed: u64) {
     let log_u = 10;
     let stream = workloads::paper_f2(1 << log_u, 42);
     let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
 
-    let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
-    let mut client: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    let server = spawn::<F, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client: RawClient<F, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
 
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut verifier = F2Verifier::<F>::new(log_u, &mut rng);
     for &up in &stream {
         verifier.update(up);
         client.send_update(up);
@@ -32,7 +33,7 @@ fn f2_session_over_tcp() {
     client.end_stream().unwrap();
 
     let verified = client.verify_f2(verifier).expect("honest prover accepted");
-    assert_eq!(verified.value, Fp61::from_u128(truth as u128));
+    assert_eq!(verified.value, F::from_u128(truth as u128));
     // The cost shape survives the network: d rounds of degree-2 polys.
     let d = log_u as usize;
     assert_eq!(verified.report.rounds, d);
@@ -44,16 +45,25 @@ fn f2_session_over_tcp() {
 }
 
 #[test]
-fn range_sum_session_over_tcp() {
+fn f2_session_over_tcp() {
+    f2_session_over_tcp_generic::<Fp61>(7);
+}
+
+#[test]
+fn f2_session_over_tcp_fp127() {
+    f2_session_over_tcp_generic::<Fp127>(7);
+}
+
+fn range_sum_session_over_tcp_generic<F: PrimeField>(seed: u64) {
     let log_u = 9;
     let u = 1u64 << log_u;
     let stream = workloads::distinct_key_values(120, u, 500, 9);
     let fv = FrequencyVector::from_stream(u, &stream);
 
-    let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
-    let mut client: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
-    let mut rng = StdRng::seed_from_u64(8);
-    let mut verifier = RangeSumVerifier::<Fp61>::new(log_u, &mut rng);
+    let server = spawn::<F, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client: RawClient<F, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut verifier = RangeSumVerifier::<F>::new(log_u, &mut rng);
     for &up in &stream {
         verifier.update(up);
         client.send_update(up);
@@ -61,12 +71,19 @@ fn range_sum_session_over_tcp() {
     client.end_stream().unwrap();
     let (q_l, q_r) = (u / 4, 3 * u / 4);
     let verified = client.verify_range_sum(verifier, q_l, q_r).unwrap();
-    assert_eq!(
-        verified.value,
-        Fp61::from_i64(fv.range_sum(q_l, q_r) as i64)
-    );
+    assert_eq!(verified.value, F::from_i64(fv.range_sum(q_l, q_r) as i64));
     client.bye().unwrap();
     server.shutdown();
+}
+
+#[test]
+fn range_sum_session_over_tcp() {
+    range_sum_session_over_tcp_generic::<Fp61>(8);
+}
+
+#[test]
+fn range_sum_session_over_tcp_fp127() {
+    range_sum_session_over_tcp_generic::<Fp127>(8);
 }
 
 #[test]
@@ -124,6 +141,45 @@ fn kv_store_session_over_tcp_matches_local() {
     );
 
     remote_store.bye().unwrap();
+    server.shutdown();
+}
+
+/// The kv-store session happy path over the high-soundness field: the
+/// field-mode handshake, puts, and the full query mix (previously
+/// exercised end-to-end for Fp61 only).
+#[test]
+fn kv_store_session_over_tcp_fp127() {
+    let log_u = 8;
+    let pairs = [(3u64, 10u64), (17, 0), (40, 999), (200, 55)];
+
+    let server = spawn::<Fp127, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut client = Client::<Fp127>::new(log_u, QueryBudget::default(), &mut rng);
+    let mut store: RemoteStore<Fp127, _> =
+        RemoteStore::connect(server.local_addr(), log_u).unwrap();
+    for &(k, v) in &pairs {
+        client.put(k, v, &mut store);
+    }
+    assert_eq!(client.get(40, &store).unwrap().value, Some(999));
+    assert_eq!(client.get(41, &store).unwrap().value, None);
+    assert_eq!(
+        client.range(10, 100, &store).unwrap().value,
+        vec![(17, 0), (40, 999)]
+    );
+    assert_eq!(
+        client.range_sum(0, 255, &store).unwrap().value,
+        10 + 999 + 55
+    );
+    assert_eq!(
+        client.self_join_size(&store).unwrap().value,
+        100 + 999 * 999 + 55 * 55
+    );
+    assert_eq!(client.predecessor(39, &store).unwrap().value, Some(17));
+    assert_eq!(
+        client.heavy_keys(56, &store).unwrap().value,
+        vec![(40, 999), (200, 55)]
+    );
+    store.bye().unwrap();
     server.shutdown();
 }
 
