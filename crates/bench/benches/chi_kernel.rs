@@ -1,0 +1,57 @@
+//! χ-weight kernel microbench: the per-update `χ_{v(i)}(r)` product that
+//! dominates verifier ingest, measured at the kernel level so the
+//! digit-extraction win is tracked independently of end-to-end ingest
+//! numbers (`bench_ingest`).
+//!
+//! Compared paths, for a power-of-two base (`ℓ = 2`, shift/mask plan) and
+//! a general base (`ℓ = 3`, reciprocal plan):
+//!
+//! * `divmod` — the historical kernel: hardware `div`/`mod` per digit
+//!   (`StreamingLdeEvaluator::weight_divmod`, kept precisely so this
+//!   comparison stays honest);
+//! * `digit_plan` — the compiled division-free kernel
+//!   (`StreamingLdeEvaluator::weight`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_field::{Fp61, PrimeField};
+use sip_lde::{LdeParams, StreamingLdeEvaluator};
+
+fn chi_weight_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    // Comparable universes: 2^20 and 3^12 ≈ 2^19.
+    for (name, params) in [
+        ("pow2_ell2_d20", LdeParams::new(2, 20)),
+        ("pow2_ell16_d5", LdeParams::new(16, 5)),
+        ("general_ell3_d12", LdeParams::new(3, 12)),
+    ] {
+        let eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+        let u = params.universe();
+        // Pre-generated indices: the measured loop contains only the
+        // kernel, not the index-generation modulo.
+        let indices: Vec<u64> = (0..1024u64)
+            .map(|t| t.wrapping_mul(0x9e37_79b9_7f4a_7c15) % u)
+            .collect();
+        let mut group = c.benchmark_group(format!("chi_weight/{name}"));
+        group.throughput(Throughput::Elements(indices.len() as u64));
+        group.bench_function("divmod", |b| {
+            b.iter(|| {
+                indices
+                    .iter()
+                    .fold(Fp61::ZERO, |acc, &i| acc + eval.weight_divmod(i))
+            })
+        });
+        group.bench_function("digit_plan", |b| {
+            b.iter(|| {
+                indices
+                    .iter()
+                    .fold(Fp61::ZERO, |acc, &i| acc + eval.weight(i))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, chi_weight_kernel);
+criterion_main!(benches);

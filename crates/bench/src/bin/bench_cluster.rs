@@ -26,22 +26,13 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sip_bench::{arg_u32, csv_header, time_once};
+use sip_bench::{arg_string, arg_u32, csv_header, time_once};
 use sip_cluster::{spawn_local_fleet, ClusterClient, ClusterF2Verifier, ClusterRangeSumVerifier};
 use sip_core::sumcheck::f2::F2Prover;
 use sip_core::sumcheck::RoundProver;
 use sip_field::{Fp61, PrimeField};
 use sip_server::ServerHandle;
 use sip_streaming::{workloads, FrequencyVector, ShardPlan};
-
-fn arg_string(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
 
 fn spawn_fleet(shards: u32, log_u: u32) -> (Vec<ServerHandle>, Vec<std::net::SocketAddr>) {
     spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers")

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sip_bench::{arg_u32, csv_header, time_once};
+use sip_bench::{arg_string, arg_u32, csv_header, time_once};
 use sip_core::engine::ProverPool;
 use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
 use sip_core::sumcheck::RoundProver;
@@ -38,15 +38,6 @@ use sip_field::{Fp61, PrimeField};
 use sip_server::client::RawClient;
 use sip_server::{spawn, ServerConfig};
 use sip_streaming::{workloads, FrequencyVector};
-
-fn arg_string(name: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
 
 struct RoundPoint {
     log_u: u32,

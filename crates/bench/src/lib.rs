@@ -44,6 +44,16 @@ pub fn arg_u32(name: &str, default: u32) -> u32 {
         .unwrap_or(default)
 }
 
+/// Parses `--out PATH` style string overrides from `std::env::args`.
+pub fn arg_string(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// Throughput in millions of items per second.
 pub fn mitems_per_sec(items: u64, d: Duration) -> f64 {
     items as f64 / d.as_secs_f64() / 1e6

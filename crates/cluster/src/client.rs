@@ -141,10 +141,15 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         self.shards[s].send_update(up);
     }
 
-    /// Uploads a whole stream.
+    /// Uploads a whole stream: partitioned per owning shard **once** by
+    /// the shared [`ShardPlan`], then each shard connection takes a single
+    /// buffered batch instead of one routing decision and buffer push per
+    /// update.
     pub fn send_stream(&mut self, stream: &[Update]) {
-        for &up in stream {
-            self.send_update(up);
+        for (s, part) in self.router.split(stream).into_iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[s].send_batch(&part);
+            }
         }
     }
 

@@ -69,8 +69,24 @@ impl<F: PrimeField> ShardedLde<F> {
 
     /// Processes a whole stream.
     pub fn update_all(&mut self, stream: &[Update]) {
-        for &up in stream {
-            self.update(up);
+        self.update_batch(stream);
+    }
+
+    /// Processes a whole batch: one delayed-reduction accumulator per
+    /// shard, flushed once at the end. Per-shard values are bit-identical
+    /// to per-update [`Self::update`] (exact field arithmetic).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        let mut accs: Vec<F::DotAcc> = vec![F::DotAcc::default(); self.accs.len()];
+        for &up in batch {
+            let s = self.router.route(up) as usize;
+            F::acc_add_prod(
+                &mut accs[s],
+                F::from_i64(up.delta),
+                self.probe.weight(up.index),
+            );
+        }
+        for (acc, partial) in self.accs.iter_mut().zip(accs) {
+            *acc += F::acc_finish(partial);
         }
     }
 
@@ -107,6 +123,12 @@ impl<F: PrimeField> ClusterF2Verifier<F> {
     /// Processes a whole stream.
     pub fn update_all(&mut self, stream: &[Update]) {
         self.lde.update_all(stream);
+    }
+
+    /// Processes a whole batch (delayed-reduction per-shard accumulators;
+    /// bit-identical to per-update [`Self::update`]).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        self.lde.update_batch(batch);
     }
 
     /// Verifier space in words (digest plus per-shard round residuals).
@@ -153,6 +175,12 @@ impl<F: PrimeField> ClusterRangeSumVerifier<F> {
     /// Processes a whole stream.
     pub fn update_all(&mut self, stream: &[Update]) {
         self.lde.update_all(stream);
+    }
+
+    /// Processes a whole batch (delayed-reduction per-shard accumulators;
+    /// bit-identical to per-update [`Self::update`]).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        self.lde.update_batch(batch);
     }
 
     /// Verifier space in words.
@@ -210,8 +238,20 @@ impl<F: PrimeField> ClusterReportVerifier<F> {
 
     /// Processes a whole stream.
     pub fn update_all(&mut self, stream: &[Update]) {
-        for &up in stream {
-            self.update(up);
+        self.update_batch(stream);
+    }
+
+    /// Processes a whole batch: the stream is split per owning shard once,
+    /// then each shard's tree takes one delayed-reduction batch. Roots are
+    /// bit-identical to per-update [`Self::update`].
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        for (s, part) in self.router.split(batch).into_iter().enumerate() {
+            if !part.is_empty() {
+                self.verifiers[s]
+                    .as_mut()
+                    .expect("digest already consumed")
+                    .update_batch(&part);
+            }
         }
     }
 

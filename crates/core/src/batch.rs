@@ -60,7 +60,7 @@ pub fn run_batch_range_sum<F: PrimeField, R: Rng + ?Sized>(
 
     // --- Shared streaming digest. ---------------------------------------
     let mut lde = StreamingLdeEvaluator::<F>::random(LdeParams::binary(log_u), rng);
-    lde.update_all(stream);
+    lde.update_batch(stream);
     let point = lde.point().to_vec();
     let fa_r = lde.value();
 
@@ -137,10 +137,8 @@ pub fn run_f2_repeated<F: PrimeField, R: Rng + ?Sized>(
     // how a deployment would fuse them; here each copy owns a verifier).
     let mut verifiers: Vec<F2Verifier<F>> =
         (0..copies).map(|_| F2Verifier::new(log_u, rng)).collect();
-    for &up in stream {
-        for v in &mut verifiers {
-            v.update(up);
-        }
+    for v in &mut verifiers {
+        v.update_batch(stream);
     }
     let fv = FrequencyVector::from_stream(1 << log_u, stream);
 
@@ -181,14 +179,30 @@ pub fn fused_digests<F: PrimeField, R: Rng + ?Sized>(
     copies: usize,
     rng: &mut R,
 ) -> Vec<(Vec<F>, F)> {
+    fused_digests_pooled(
+        log_u,
+        stream,
+        copies,
+        crate::engine::ProverPool::SERIAL,
+        rng,
+    )
+}
+
+/// [`fused_digests`] on a thread pool: the batched multi-point intake runs
+/// through [`crate::engine::ProverPool::ingest_batch`], splitting the
+/// stream into chunks whose exact partial sums recombine — digests are
+/// bit-identical at any thread count, only wall-clock moves.
+pub fn fused_digests_pooled<F: PrimeField, R: Rng + ?Sized>(
+    log_u: u32,
+    stream: &[Update],
+    copies: usize,
+    pool: crate::engine::ProverPool,
+    rng: &mut R,
+) -> Vec<(Vec<F>, F)> {
     let mut multi = MultiLdeEvaluator::<F>::random(LdeParams::binary(log_u), copies, rng);
-    for &up in stream {
-        multi.update(up);
-    }
-    multi
-        .evaluators()
-        .iter()
-        .map(|e| (e.point().to_vec(), e.value()))
+    pool.ingest_batch(&mut multi, stream);
+    (0..multi.num_points())
+        .map(|p| (multi.point(p).to_vec(), multi.value(p)))
         .collect()
 }
 
@@ -254,6 +268,27 @@ mod tests {
             let mut single = StreamingLdeEvaluator::<Fp61>::new(LdeParams::binary(log_u), point);
             single.update_all(&stream);
             assert_eq!(single.value(), value);
+        }
+    }
+
+    #[test]
+    fn pooled_fused_digests_match_serial() {
+        let log_u = 8;
+        let stream = workloads::uniform(400, 1 << log_u, 9, 6);
+        let serial = {
+            let mut rng = StdRng::seed_from_u64(11);
+            fused_digests::<Fp61, _>(log_u, &stream, 3, &mut rng)
+        };
+        for threads in [2usize, 4] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let pooled = fused_digests_pooled::<Fp61, _>(
+                log_u,
+                &stream,
+                3,
+                crate::engine::ProverPool::new(threads),
+                &mut rng,
+            );
+            assert_eq!(pooled, serial, "threads={threads}");
         }
     }
 

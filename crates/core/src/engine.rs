@@ -29,6 +29,8 @@
 //! pairwise anyway.
 
 use sip_field::PrimeField;
+use sip_lde::MultiLdeEvaluator;
+use sip_streaming::Update;
 
 use crate::fold::{chunk_range, FoldVector};
 
@@ -134,6 +136,37 @@ impl ProverPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a prover needs at least one thread");
         ProverPool { threads }
+    }
+
+    /// A pool sized to the machine:
+    /// [`std::thread::available_parallelism`], falling back to serial when
+    /// the count is unavailable. This is what `threads = 0` resolves to in
+    /// server configuration.
+    pub fn auto() -> Self {
+        ProverPool {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Resolves a configured thread count: `0` means auto-detect
+    /// ([`Self::auto`]), anything else is taken literally.
+    pub fn from_config(threads: usize) -> Self {
+        if threads == 0 {
+            Self::auto()
+        } else {
+            Self::new(threads)
+        }
+    }
+
+    /// Runs a verifier-side multi-point ingest batch on this pool:
+    /// [`MultiLdeEvaluator::update_batch_threads`] with the pool's thread
+    /// count. Chunk partials recombine exactly, so the evaluator values
+    /// are identical at any thread count — same discipline as
+    /// [`Self::fold_message`].
+    pub fn ingest_batch<F: PrimeField>(&self, eval: &mut MultiLdeEvaluator<F>, batch: &[Update]) {
+        eval.update_batch_threads(batch, self.threads);
     }
 
     /// Produces one round message: walks `source` once, feeding every block
@@ -245,6 +278,16 @@ mod tests {
             });
             assert_eq!(seen, all, "chunks={chunks}");
         }
+    }
+
+    #[test]
+    fn thread_config_resolution() {
+        // 0 = auto-detect: at least one thread, matching the machine.
+        let auto = ProverPool::from_config(0);
+        assert!(auto.threads >= 1);
+        assert_eq!(auto, ProverPool::auto());
+        // Nonzero is taken literally.
+        assert_eq!(ProverPool::from_config(3).threads, 3);
     }
 
     #[test]

@@ -102,6 +102,32 @@ impl<F: PrimeField> CountTreeHasher<F> {
         }
     }
 
+    /// Processes a whole batch through one delayed-reduction accumulator;
+    /// the root and total are bit-identical to per-update [`Self::update`].
+    ///
+    /// # Panics
+    /// Panics if any index is outside the universe.
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        let d = self.keys.len();
+        let mut accum = F::DotAcc::default();
+        let mut n = self.n as i64;
+        for &up in batch {
+            assert!(up.index < (1u64 << d), "index outside universe");
+            let mut mult = F::ONE;
+            let mut acc = F::ZERO;
+            for j in (0..d).rev() {
+                acc += self.skeys[j] * mult;
+                if (up.index >> j) & 1 == 1 {
+                    mult *= self.keys[j];
+                }
+            }
+            F::acc_add_prod(&mut accum, F::from_i64(up.delta), mult + acc);
+            n += up.delta;
+        }
+        self.root += F::acc_finish(accum);
+        self.n = n as u64;
+    }
+
     /// The streamed root hash `t`.
     pub fn root(&self) -> F {
         self.root

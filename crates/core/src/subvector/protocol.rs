@@ -108,6 +108,12 @@ impl<F: PrimeField> SubVectorVerifier<F> {
         self.hasher.update_all(stream);
     }
 
+    /// Processes a whole batch (delayed-reduction root accumulation;
+    /// bit-identical to per-update [`Self::update`]).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        self.hasher.update_batch(batch);
+    }
+
     /// Streaming-phase space in words.
     pub fn space_words(&self) -> usize {
         self.hasher.space_words()

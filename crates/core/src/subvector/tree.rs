@@ -113,6 +113,17 @@ impl<F: PrimeField> StreamingRootHasher<F> {
         }
     }
 
+    /// Processes a whole batch through one delayed-reduction accumulator
+    /// (`t += Σ δ·leaf_weight(i)` with one reduction per accumulator
+    /// flush); bit-identical to per-update [`Self::update`].
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        let mut acc = F::DotAcc::default();
+        for &up in batch {
+            F::acc_add_prod(&mut acc, F::from_i64(up.delta), self.leaf_weight(up.index));
+        }
+        self.root += F::acc_finish(acc);
+    }
+
     /// The current root hash `t`.
     pub fn root(&self) -> F {
         self.root

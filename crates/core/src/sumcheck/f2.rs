@@ -51,6 +51,12 @@ impl<F: PrimeField> F2Verifier<F> {
         self.lde.update_all(stream);
     }
 
+    /// Processes a whole batch through the delayed-reduction ingest path;
+    /// the digest value is bit-identical to per-update [`Self::update`].
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        self.lde.update_batch(batch);
+    }
+
     /// Verifier space in words.
     pub fn space_words(&self) -> usize {
         self.lde.space_words() + 3

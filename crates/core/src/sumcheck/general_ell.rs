@@ -47,6 +47,13 @@ impl<F: PrimeField> GeneralF2Verifier<F> {
         self.lde.update_all(stream);
     }
 
+    /// Processes a whole batch through the delayed-reduction,
+    /// division-free ingest path (the [`sip_lde::DigitPlan`] also covers
+    /// general bases); bit-identical to per-update [`Self::update`].
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        self.lde.update_batch(batch);
+    }
+
     /// Verifier space in words: point + accumulator + one message buffer of
     /// `2ℓ−1` evaluations (the paper's `O(d + ℓ)`).
     pub fn space_words(&self) -> usize {

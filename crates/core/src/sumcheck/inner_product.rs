@@ -45,6 +45,17 @@ impl<F: PrimeField> InnerProductVerifier<F> {
         self.lde_b.update(up);
     }
 
+    /// Processes a whole batch of stream-`A` updates (delayed-reduction
+    /// path, bit-identical to per-update [`Self::update_a`]).
+    pub fn update_a_batch(&mut self, batch: &[Update]) {
+        self.lde_a.update_batch(batch);
+    }
+
+    /// Processes a whole batch of stream-`B` updates.
+    pub fn update_b_batch(&mut self, batch: &[Update]) {
+        self.lde_b.update_batch(batch);
+    }
+
     /// Verifier space in words: the shared point plus two accumulators.
     pub fn space_words(&self) -> usize {
         self.lde_a.point().len() + 2 + 3

@@ -110,6 +110,16 @@ pub trait HeavySession<F: PrimeField> {
 pub trait KvServer<F: PrimeField> {
     /// Ingests one uploaded pair (already encoded as a stream update).
     fn ingest(&mut self, up: Update);
+
+    /// Ingests a whole batch of uploaded pairs. The default loops
+    /// [`Self::ingest`]; implementations with a cheaper bulk path
+    /// ([`CloudStore`]'s batched vectors, `sip-server`'s buffered wire
+    /// frames) override it. Behaviour is identical either way.
+    fn ingest_batch(&mut self, ups: &[Update]) {
+        for &up in ups {
+            self.ingest(up);
+        }
+    }
     /// Starts a reporting query over the `value+1` vector.
     fn reporting(&self) -> Box<dyn ReportingSession<F> + '_>;
     /// Starts a range-sum query over the `value+1` vector.
@@ -248,6 +258,17 @@ impl<F: PrimeField> KvServer<F> for CloudStore<F> {
         self.raw.apply(Update::new(up.index, up.delta - 1));
     }
 
+    fn ingest_batch(&mut self, ups: &[Update]) {
+        self.encoded.apply_batch(ups);
+        let presence: Vec<Update> = ups.iter().map(|up| Update::new(up.index, 1)).collect();
+        self.presence.apply_batch(&presence);
+        let raw: Vec<Update> = ups
+            .iter()
+            .map(|up| Update::new(up.index, up.delta - 1))
+            .collect();
+        self.raw.apply_batch(&raw);
+    }
+
     fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
         Box::new(HonestReporting {
             prover: SubVectorProver::new(&self.encoded, self.log_u),
@@ -378,6 +399,68 @@ impl<F: PrimeField> Client<F> {
             d.update(up);
         }
         self.puts += 1;
+    }
+
+    /// Uploads a whole batch of `(key, value)` pairs, updating every digest
+    /// through the batched ingest path (digest values are bit-identical to
+    /// repeated [`Self::put`]).
+    ///
+    /// # Panics
+    /// Panics if any key is out of range.
+    pub fn put_batch(&mut self, pairs: &[(u64, u64)], server: &mut dyn KvServer<F>) {
+        let encoded = self.observe_batch_impl(pairs);
+        server.ingest_batch(&encoded);
+    }
+
+    /// Updates every digest for a whole batch of `(key, value)` pairs
+    /// **without** uploading them (the attach-side half of
+    /// [`Self::observe`], batched).
+    ///
+    /// The three derived update streams (`value+1`, presence, raw value)
+    /// are materialised **once** and then fed to every digest copy through
+    /// the delayed-reduction batch path — the per-copy transform and the
+    /// per-update reductions both stop scaling with the budget size.
+    ///
+    /// # Panics
+    /// Panics if any key is out of range.
+    pub fn observe_batch(&mut self, pairs: &[(u64, u64)]) {
+        self.observe_batch_impl(pairs);
+    }
+
+    /// The shared digest pass behind [`Self::observe_batch`] and
+    /// [`Self::put_batch`]; returns the encoded `value+1` update batch so
+    /// `put_batch` can upload it without materialising it twice.
+    fn observe_batch_impl(&mut self, pairs: &[(u64, u64)]) -> Vec<Update> {
+        let u = 1u64 << self.log_u;
+        for &(key, _) in pairs {
+            assert!(key < u, "key out of range");
+        }
+        let encoded: Vec<Update> = pairs
+            .iter()
+            .map(|&(k, v)| Update::new(k, v as i64 + 1))
+            .collect();
+        let presence: Vec<Update> = pairs.iter().map(|&(k, _)| Update::new(k, 1)).collect();
+        let raw: Vec<Update> = pairs
+            .iter()
+            .map(|&(k, v)| Update::new(k, v as i64))
+            .collect();
+        for d in &mut self.reporting {
+            d.update_batch(&encoded);
+        }
+        for d in &mut self.range_sums {
+            d.update_batch(&encoded);
+        }
+        for d in &mut self.range_counts {
+            d.update_batch(&presence);
+        }
+        for d in &mut self.f2s {
+            d.update_batch(&raw);
+        }
+        for d in &mut self.heavies {
+            d.update_batch(&encoded);
+        }
+        self.puts += pairs.len() as u64;
+        encoded
     }
 
     /// Remaining query budget `(reporting, aggregate, heavy)`.
@@ -749,6 +832,9 @@ impl<F: PrimeField> HeavySession<F> for LyingHeavy<'_, F> {
 impl<F: PrimeField> KvServer<F> for MaliciousStore<F> {
     fn ingest(&mut self, up: Update) {
         self.inner.ingest(up);
+    }
+    fn ingest_batch(&mut self, ups: &[Update]) {
+        self.inner.ingest_batch(ups);
     }
     fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
         Box::new(LyingReporting {

@@ -84,6 +84,26 @@ impl<F: PrimeField> ShardedClient<F> {
         self.clients[s].put(key, value, servers[s].as_mut());
     }
 
+    /// Uploads a whole batch of `(key, value)` pairs: the batch is split
+    /// per owning shard **once**, then each shard's client and server take
+    /// one batched ingest call instead of one call per pair. Digest values
+    /// are bit-identical to repeated [`Self::put`].
+    ///
+    /// # Panics
+    /// Panics if any key is out of range or the fleet size is wrong.
+    pub fn put_batch(&mut self, pairs: &[(u64, u64)], servers: &mut [Box<dyn KvServer<F>>]) {
+        self.check_fleet(servers);
+        let mut per_shard: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.clients.len()];
+        for &(key, value) in pairs {
+            per_shard[self.plan.shard_of(key) as usize].push((key, value));
+        }
+        for (s, shard_pairs) in per_shard.into_iter().enumerate() {
+            if !shard_pairs.is_empty() {
+                self.clients[s].put_batch(&shard_pairs, servers[s].as_mut());
+            }
+        }
+    }
+
     fn blame<T>(s: usize, r: Result<Answer<T>, Rejection>) -> Result<Answer<T>, Rejection> {
         r.map_err(|e| Rejection::blame(s as u32, e))
     }

@@ -19,9 +19,14 @@
 //! This crate provides:
 //!
 //! * [`LdeParams`] — the `(ℓ, d)` parameterisation and digit arithmetic;
+//! * [`DigitPlan`] — the compiled, division-free index→digits step shared
+//!   by every evaluation point (shift/mask for power-of-two `ℓ`,
+//!   reciprocal multiplication for general `ℓ`);
 //! * [`StreamingLdeEvaluator`] — the Theorem 1 evaluator;
 //! * [`MultiLdeEvaluator`] — several points at once (parallel repetition,
-//!   simultaneous queries — the "Multiple Queries" remark of Section 7);
+//!   simultaneous queries — the "Multiple Queries" remark of Section 7),
+//!   stored point-major with one flat χ table per point and a batched
+//!   [`MultiLdeEvaluator::update_batch`] ingest entry point;
 //! * [`interval`] — the `O(log² u)` evaluation of the LDE of a 0/1 interval
 //!   indicator via canonical-interval decomposition (Section 3.2,
 //!   RANGE-SUM), shared by the range-sum verifier *and* prover;
@@ -40,20 +45,34 @@ use sip_field::PrimeField;
 use sip_streaming::Update;
 
 pub use interval::range_indicator_lde;
-pub use params::LdeParams;
+pub use params::{DigitPlan, LdeParams};
+
+/// Builds the flattened χ table for one point: entry `j·ℓ + k` holds
+/// `χ_k(r_j)` — one row of `ℓ` basis values per digit position, all in one
+/// row-major buffer (a single contiguous allocation the update loop walks
+/// with an offset counter instead of chasing `Vec<Vec<F>>` rows).
+fn flat_chi_table<F: PrimeField>(ell: u64, r: &[F]) -> Vec<F> {
+    let mut chi = Vec::with_capacity(r.len() * ell as usize);
+    for &rj in r {
+        chi.extend(chi_all(ell, rj));
+    }
+    chi
+}
 
 /// Streaming evaluator of `f_a(r)` for one fixed point `r ∈ Z_p^d`
 /// (Theorem 1).
 ///
 /// Space: `d + 1` field elements of protocol state (`r` and the running
-/// value) plus the `ℓ·d`-entry χ lookup table. Time per update: `d`
-/// multiplications.
+/// value) plus the flattened `d·ℓ`-entry χ lookup table. Time per update:
+/// `d` table lookups and multiplications — digit extraction goes through
+/// the division-free [`DigitPlan`].
 #[derive(Clone, Debug)]
 pub struct StreamingLdeEvaluator<F: PrimeField> {
     params: LdeParams,
+    plan: DigitPlan,
     r: Vec<F>,
-    /// `chi_table[j][k] = χ_k(r_j)` for digit position `j`, digit value `k`.
-    chi_table: Vec<Vec<F>>,
+    /// `chi[j·ℓ + k] = χ_k(r_j)` for digit position `j`, digit value `k`.
+    chi: Vec<F>,
     acc: F,
 }
 
@@ -69,11 +88,12 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
             "evaluation point must have d = {} coordinates",
             params.dimension()
         );
-        let chi_table = r.iter().map(|&rj| chi_all(params.base(), rj)).collect();
+        let chi = flat_chi_table(params.base(), &r);
         StreamingLdeEvaluator {
             params,
+            plan: params.digit_plan(),
             r,
-            chi_table,
+            chi,
             acc: F::ZERO,
         }
     }
@@ -96,16 +116,34 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
 
     /// `χ_{v(i)}(r)`: the weight index `i` carries at this point.
     ///
-    /// `O(d)` multiplications (table lookups per digit).
+    /// `O(d)` multiplications (table lookups per digit); digits come from
+    /// the division-free [`DigitPlan`].
+    #[inline]
     pub fn weight(&self, i: u64) -> F {
+        debug_assert!(i < self.params.universe());
+        let ell = self.params.base() as usize;
+        let mut w = F::ONE;
+        let mut off = 0usize;
+        self.plan.for_each_digit(i, |_, digit| {
+            w *= self.chi[off + digit];
+            off += ell;
+        });
+        w
+    }
+
+    /// The historical `χ_{v(i)}(r)` path: digit extraction by hardware
+    /// `div`/`mod` per position. Kept as the measured baseline for the
+    /// χ-kernel criterion bench and the plan-equivalence tests; production
+    /// code goes through [`Self::weight`].
+    pub fn weight_divmod(&self, i: u64) -> F {
         debug_assert!(i < self.params.universe());
         let ell = self.params.base();
         let mut rem = i;
         let mut w = F::ONE;
-        for table in &self.chi_table {
+        for j in 0..self.params.dimension() as usize {
             let digit = (rem % ell) as usize;
             rem /= ell;
-            w *= table[digit];
+            w *= self.chi[j * ell as usize + digit];
         }
         w
     }
@@ -120,6 +158,18 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
         for &up in stream {
             self.update(up);
         }
+    }
+
+    /// Processes a whole batch through one delayed-reduction accumulator:
+    /// one modular reduction per accumulator flush instead of one per
+    /// update. The resulting value is bit-identical to per-update
+    /// [`Self::update`] (exact field arithmetic, any grouping).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        let mut acc = F::DotAcc::default();
+        for &up in batch {
+            F::acc_add_prod(&mut acc, F::from_i64(up.delta), self.weight(up.index));
+        }
+        self.acc += F::acc_finish(acc);
     }
 
     /// Subtracts `c·χ_{v(i)}(r)` — used by the Section 6.2 protocol when the
@@ -143,57 +193,366 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
         self.r.len() + 1
     }
 
-    /// Space including the cached χ tables (`d·ℓ + d + 1` words).
+    /// Space including the cached χ table: exactly `d·ℓ + d + 1` words —
+    /// the flattened row-major table is one `d·ℓ`-element buffer with no
+    /// per-row bookkeeping, for any base (power-of-two or not).
     pub fn space_words_with_tables(&self) -> usize {
-        self.space_words() + self.chi_table.iter().map(Vec::len).sum::<usize>()
+        self.space_words() + self.chi.len()
     }
 }
+
+/// How many updates one batch tile holds: digits and deltas for a tile are
+/// staged once, then every point's accumulator walks the staged tile — the
+/// digit decomposition is paid once per update instead of once per
+/// (update × point).
+const BATCH_TILE: usize = 256;
+
+/// Largest packed group table, in entries. Groups of `c` digits are fused
+/// into one super-digit with a precomputed `ℓ^c`-entry product table, so a
+/// weight evaluation costs `⌈d/c⌉` lookups/multiplications instead of `d`.
+/// 1024 entries (8 KiB per group at 64-bit residues) keeps a realistic
+/// point count resident in L2 while cutting the binary-base multiplication
+/// count 10×.
+const MAX_GROUP_TABLE: usize = 1024;
+
+/// The packed multi-point layout: digit positions fused into groups, one
+/// product table per (point, group).
+///
+/// Exactness: a packed weight is `Π_g table_g[s_g]` where each table entry
+/// is itself the product of that group's per-digit χ values — the same
+/// multiset of factors as the unpacked `Π_j χ_{digit_j}(r_j)`, reassociated.
+/// Field multiplication is exact and associative, so packed and unpacked
+/// weights are the **same field element**, and every digest value stays
+/// bit-identical to the per-update path.
+#[derive(Clone, Debug)]
+struct PackedLayout {
+    /// Digits fused per full group (the last group takes the remainder).
+    digits_per_group: u32,
+    /// Number of groups (`⌈d/c⌉`).
+    groups: usize,
+    /// Table offset of each group within one point's table block.
+    offsets: Vec<usize>,
+    /// Total table entries per point.
+    stride: usize,
+    /// Super-digit extraction for full groups.
+    kind: PackedKind,
+}
+
+#[derive(Clone, Debug)]
+enum PackedKind {
+    /// `ℓ^c` is a power of two: super-digits are bit fields.
+    Pow2 { shift: u32, mask: u64 },
+    /// General `ℓ`: quotients by `ℓ^c` via a `⌊2⁶⁴/ℓ^c⌋` reciprocal with a
+    /// single branchless fix-up (same bound as [`DigitPlan`]).
+    General { divisor: u64, recip: u64 },
+}
+
+impl PackedLayout {
+    fn new(params: LdeParams) -> Self {
+        let ell = params.base();
+        let d = params.dimension();
+        // Largest c with ℓ^c ≤ MAX_GROUP_TABLE (at least 1).
+        let mut c = 1u32;
+        let mut divisor = ell;
+        while c < d && (divisor as u128 * ell as u128) <= MAX_GROUP_TABLE as u128 {
+            divisor *= ell;
+            c += 1;
+        }
+        let groups = d.div_ceil(c) as usize;
+        let mut offsets = Vec::with_capacity(groups);
+        let mut stride = 0usize;
+        for g in 0..groups {
+            offsets.push(stride);
+            let digits = if g + 1 < groups {
+                c
+            } else {
+                d - c * (g as u32)
+            };
+            stride += (ell as usize).pow(digits);
+        }
+        let kind = if divisor.is_power_of_two() {
+            PackedKind::Pow2 {
+                shift: divisor.trailing_zeros(),
+                mask: divisor - 1,
+            }
+        } else {
+            PackedKind::General {
+                divisor,
+                recip: DigitPlan::reciprocal(divisor),
+            }
+        };
+        PackedLayout {
+            digits_per_group: c,
+            groups,
+            offsets,
+            stride,
+            kind,
+        }
+    }
+
+    /// Writes the super-digits of `i` into `out`, as ready-to-use table
+    /// offsets (group table offset already added).
+    #[inline]
+    fn super_digits_into(&self, i: u64, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.groups);
+        let mut rem = i;
+        let last = self.groups - 1;
+        match self.kind {
+            PackedKind::Pow2 { shift, mask } => {
+                for (g, slot) in out[..last].iter_mut().enumerate() {
+                    *slot = self.offsets[g] + (rem & mask) as usize;
+                    rem >>= shift;
+                }
+            }
+            PackedKind::General { divisor, recip } => {
+                for (g, slot) in out[..last].iter_mut().enumerate() {
+                    let (q, r) = params::recip_divmod(divisor, recip, rem);
+                    *slot = self.offsets[g] + r as usize;
+                    rem = q;
+                }
+            }
+        }
+        out[last] = self.offsets[last] + rem as usize;
+    }
+
+    /// Builds one point's packed tables: for each group, the outer product
+    /// of its digits' χ rows (entry `s = Σ_t v_t·ℓ^t` holds
+    /// `Π_t χ_{v_t}(r_{j0+t})`).
+    fn tables_for_point<F: PrimeField>(&self, ell: u64, r: &[F]) -> Vec<F> {
+        let l = ell as usize;
+        let mut out = Vec::with_capacity(self.stride);
+        let mut j0 = 0usize;
+        for g in 0..self.groups {
+            let digits = if g + 1 < self.groups {
+                self.digits_per_group as usize
+            } else {
+                r.len() - j0
+            };
+            let mut table = vec![F::ONE];
+            for t in 0..digits {
+                let row = chi_all(ell, r[j0 + t]);
+                let mut next = vec![F::ZERO; table.len() * l];
+                for (v, &cv) in row.iter().enumerate() {
+                    for (m, &tm) in table.iter().enumerate() {
+                        next[v * table.len() + m] = tm * cv;
+                    }
+                }
+                table = next;
+            }
+            out.extend(table);
+            j0 += digits;
+        }
+        debug_assert_eq!(out.len(), self.stride);
+        out
+    }
+}
+
+/// Below this many updates a multi-threaded batch is all spawn overhead;
+/// [`MultiLdeEvaluator::update_batch_threads`] degrades to the serial
+/// batch path (values are identical either way).
+const MIN_PARALLEL_BATCH: usize = 4096;
 
 /// Streaming evaluation of `f_a` at several points simultaneously.
 ///
 /// Used for parallel repetition (driving soundness error down) and for the
-/// "run multiple queries as independent copies" remark in Section 7. Costs
-/// scale linearly in the number of points.
+/// "run multiple queries as independent copies" remark in Section 7.
+///
+/// Storage is **point-major**: all `k` points' packed group tables live in
+/// one buffer, and the batched ingest path ([`Self::update_batch`]) stages
+/// a tile of decomposed super-digits once, then streams every point's
+/// tables over it with a delayed-reduction accumulator
+/// ([`PrimeField::DotAcc`]). Digit positions are fused `c` at a time into
+/// `ℓ^c`-entry product tables (packed layout), so per-update cost is
+/// one division-free super-digit decomposition (shared) plus `⌈d/c⌉`
+/// lookups/multiplications per point — decomposition and reduction costs
+/// stop scaling with `k`, and the multiplication count drops ~`c`-fold.
+/// Values remain bit-identical to the naive per-point evaluation (exact
+/// field arithmetic, reassociated).
 #[derive(Clone, Debug)]
 pub struct MultiLdeEvaluator<F: PrimeField> {
-    evaluators: Vec<StreamingLdeEvaluator<F>>,
+    params: LdeParams,
+    packed: PackedLayout,
+    /// Point `p`'s coordinates at `[p·d, (p+1)·d)`.
+    points: Vec<F>,
+    /// Point `p`'s packed group tables at `[p·stride, (p+1)·stride)`.
+    tables: Vec<F>,
+    accs: Vec<F>,
 }
 
 impl<F: PrimeField> MultiLdeEvaluator<F> {
     /// Evaluators at `points.len()` fixed points.
+    ///
+    /// # Panics
+    /// Panics if any point does not have `d` coordinates.
     pub fn new(params: LdeParams, points: Vec<Vec<F>>) -> Self {
+        let d = params.dimension() as usize;
+        let packed = PackedLayout::new(params);
+        let mut flat_points = Vec::with_capacity(points.len() * d);
+        let mut tables = Vec::with_capacity(points.len() * packed.stride);
+        let accs = vec![F::ZERO; points.len()];
+        for r in &points {
+            assert_eq!(r.len(), d, "evaluation point must have d = {d} coordinates");
+            tables.extend(packed.tables_for_point(params.base(), r));
+            flat_points.extend_from_slice(r);
+        }
         MultiLdeEvaluator {
-            evaluators: points
-                .into_iter()
-                .map(|r| StreamingLdeEvaluator::new(params, r))
-                .collect(),
+            params,
+            packed,
+            points: flat_points,
+            tables,
+            accs,
         }
     }
 
     /// `copies` evaluators at independent random points.
     pub fn random<R: Rng + ?Sized>(params: LdeParams, copies: usize, rng: &mut R) -> Self {
-        MultiLdeEvaluator {
-            evaluators: (0..copies)
-                .map(|_| StreamingLdeEvaluator::random(params, rng))
-                .collect(),
-        }
+        let d = params.dimension();
+        let points = (0..copies)
+            .map(|_| (0..d).map(|_| F::random(rng)).collect())
+            .collect();
+        Self::new(params, points)
     }
 
-    /// Applies an update to every copy.
+    /// The parameterisation.
+    pub fn params(&self) -> LdeParams {
+        self.params
+    }
+
+    /// Number of evaluation points.
+    pub fn num_points(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// The coordinates of point `p`.
+    pub fn point(&self, p: usize) -> &[F] {
+        let d = self.params.dimension() as usize;
+        &self.points[p * d..(p + 1) * d]
+    }
+
+    /// Applies one update to every point (the per-update baseline path;
+    /// super-digits are still decomposed once and shared).
     pub fn update(&mut self, up: Update) {
-        for e in &mut self.evaluators {
-            e.update(up);
+        debug_assert!(up.index < self.params.universe());
+        let stride = self.packed.stride;
+        let groups = self.packed.groups;
+        let mut digit_buf = [0usize; 64];
+        let digits = &mut digit_buf[..groups];
+        self.packed.super_digits_into(up.index, digits);
+        let delta = F::from_i64(up.delta);
+        for (p, acc) in self.accs.iter_mut().enumerate() {
+            let table = &self.tables[p * stride..(p + 1) * stride];
+            let mut w = F::ONE;
+            for &s in digits.iter() {
+                w *= table[s];
+            }
+            *acc += delta * w;
         }
     }
 
-    /// The individual evaluators.
-    pub fn evaluators(&self) -> &[StreamingLdeEvaluator<F>] {
-        &self.evaluators
+    /// Computes, for one contiguous chunk of a batch, the finished
+    /// per-point partial sums `Σ δ·χ_{v(i)}(r_p)` — the shared kernel
+    /// behind the serial and chunked-parallel batch paths.
+    fn batch_partial(&self, chunk: &[Update]) -> Vec<F> {
+        let stride = self.packed.stride;
+        let groups = self.packed.groups;
+        let k = self.accs.len();
+        let mut accs: Vec<F::DotAcc> = vec![F::DotAcc::default(); k];
+        let mut digits = vec![0usize; BATCH_TILE * groups];
+        let mut deltas = [F::ZERO; BATCH_TILE];
+        for tile in chunk.chunks(BATCH_TILE) {
+            // Stage the tile: one super-digit decomposition and one signed
+            // embedding per update, shared by every point below.
+            for (t, up) in tile.iter().enumerate() {
+                debug_assert!(up.index < self.params.universe());
+                self.packed
+                    .super_digits_into(up.index, &mut digits[t * groups..(t + 1) * groups]);
+                deltas[t] = F::from_i64(up.delta);
+            }
+            // Point-major sweep: each point walks its own packed tables
+            // over the staged digits — `⌈d/c⌉` lookups/multiplications per
+            // update — reducing once per accumulator batch.
+            for (p, acc) in accs.iter_mut().enumerate() {
+                let table = &self.tables[p * stride..(p + 1) * stride];
+                for (t, &delta) in deltas[..tile.len()].iter().enumerate() {
+                    let mut w = F::ONE;
+                    for &s in &digits[t * groups..(t + 1) * groups] {
+                        w *= table[s];
+                    }
+                    F::acc_add_prod(acc, delta, w);
+                }
+            }
+        }
+        accs.into_iter().map(F::acc_finish).collect()
+    }
+
+    /// Applies a whole batch to every point: digit decomposition is shared
+    /// across points, χ lookups are point-major over staged tiles, and
+    /// modular reductions are delayed per accumulator. Values are
+    /// bit-identical to per-update [`Self::update`] (exact field
+    /// arithmetic, any grouping).
+    pub fn update_batch(&mut self, batch: &[Update]) {
+        if batch.is_empty() {
+            return;
+        }
+        let partial = self.batch_partial(batch);
+        for (acc, v) in self.accs.iter_mut().zip(partial) {
+            *acc += v;
+        }
+    }
+
+    /// Like [`Self::update_batch`], with the batch split into `threads`
+    /// contiguous chunks processed under [`std::thread::scope`]. Chunk
+    /// partial sums recombine in chunk order; exact field arithmetic makes
+    /// the values identical to the serial path at **any** thread count
+    /// (small batches silently degrade to the serial path).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn update_batch_threads(&mut self, batch: &[Update], threads: usize) {
+        assert!(threads >= 1, "a batch needs at least one thread");
+        if threads == 1 || batch.len() < MIN_PARALLEL_BATCH {
+            return self.update_batch(batch);
+        }
+        let chunks = threads.min(batch.len());
+        let this = &*self;
+        let mut partials: Vec<Vec<F>> = (0..chunks).map(|_| Vec::new()).collect();
+        std::thread::scope(|scope| {
+            for (c, out) in partials.iter_mut().enumerate() {
+                // Deterministic contiguous split (same shape as the prover
+                // engine's chunk_range): the first `extra` chunks carry one
+                // more update.
+                let base = batch.len() / chunks;
+                let extra = batch.len() % chunks;
+                let lo = c * base + c.min(extra);
+                let hi = lo + base + usize::from(c < extra);
+                let piece = &batch[lo..hi];
+                scope.spawn(move || {
+                    *out = this.batch_partial(piece);
+                });
+            }
+        });
+        for partial in partials {
+            for (acc, v) in self.accs.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
     }
 
     /// Values at all points.
     pub fn values(&self) -> Vec<F> {
-        self.evaluators.iter().map(|e| e.value()).collect()
+        self.accs.clone()
+    }
+
+    /// The value at point `p`.
+    pub fn value(&self, p: usize) -> F {
+        self.accs[p]
+    }
+
+    /// Space in words across all points, packed tables included:
+    /// `k·(stride + d + 1)` where `stride = Σ_g ℓ^{c_g}` is the packed
+    /// table footprint per point.
+    pub fn space_words_with_tables(&self) -> usize {
+        self.points.len() + self.tables.len() + self.accs.len()
     }
 }
 
@@ -311,10 +670,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let stream = sip_streaming::workloads::uniform(500, params.universe(), 100, 11);
         let mut multi = MultiLdeEvaluator::<Fp61>::random(params, 3, &mut rng);
-        let singles: Vec<_> = multi
-            .evaluators()
-            .iter()
-            .map(|e| StreamingLdeEvaluator::new(params, e.point().to_vec()))
+        let singles: Vec<_> = (0..multi.num_points())
+            .map(|p| StreamingLdeEvaluator::new(params, multi.point(p).to_vec()))
             .collect();
         for &up in &stream {
             multi.update(up);
@@ -326,12 +683,79 @@ mod tests {
     }
 
     #[test]
+    fn batched_updates_match_per_update_paths() {
+        // Serial batch, chunked batch at several thread counts, and the
+        // per-update path must all produce bit-identical values, for
+        // power-of-two and general bases and several point counts.
+        for &(ell, d) in &[(2u64, 10u32), (16, 3), (3, 6)] {
+            let params = LdeParams::new(ell, d);
+            let stream = sip_streaming::workloads::with_deletions(5000, params.universe(), 0.2, 21);
+            for copies in [1usize, 4, 16] {
+                let mut rng = StdRng::seed_from_u64(40 + copies as u64);
+                let mut per_update = MultiLdeEvaluator::<Fp61>::random(params, copies, &mut rng);
+                let points: Vec<Vec<Fp61>> =
+                    (0..copies).map(|p| per_update.point(p).to_vec()).collect();
+                let mut batched = MultiLdeEvaluator::<Fp61>::new(params, points.clone());
+                let mut single = StreamingLdeEvaluator::new(params, points[0].clone());
+                for &up in &stream {
+                    per_update.update(up);
+                }
+                batched.update_batch(&stream);
+                single.update_batch(&stream);
+                assert_eq!(
+                    batched.values(),
+                    per_update.values(),
+                    "ell={ell} k={copies}"
+                );
+                assert_eq!(batched.value(0), single.value(), "ell={ell}");
+                for threads in [2usize, 4] {
+                    let mut par = MultiLdeEvaluator::<Fp61>::new(params, points.clone());
+                    par.update_batch_threads(&stream, threads);
+                    assert_eq!(
+                        par.values(),
+                        per_update.values(),
+                        "ell={ell} k={copies} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_plan_matches_divmod_baseline() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(ell, d) in &[(2u64, 12u32), (4, 6), (16, 3), (3, 7), (10, 4)] {
+            let params = LdeParams::new(ell, d);
+            let eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+            let u = params.universe();
+            for t in 0..100u64 {
+                let i = (t.wrapping_mul(0x2545_f491_4f6c_dd1d)) % u;
+                assert_eq!(eval.weight(i), eval.weight_divmod(i), "ell={ell} i={i}");
+            }
+        }
+    }
+
+    #[test]
     fn space_accounting() {
+        // The flattened χ-table layout: exactly d·ℓ + d + 1 words, for
+        // power-of-two and general bases alike.
+        for &(ell, d) in &[(2u64, 20u32), (16, 5), (3, 9), (10, 4)] {
+            let params = LdeParams::new(ell, d);
+            let mut rng = StdRng::seed_from_u64(8);
+            let eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
+            assert_eq!(eval.space_words(), d as usize + 1);
+            assert_eq!(
+                eval.space_words_with_tables(),
+                (d as u64 * ell + d as u64 + 1) as usize,
+                "ell={ell} d={d}"
+            );
+        }
+        // Multi-point: k copies of points + accumulators + packed tables
+        // (ℓ = 2, d = 20 packs into two 2^10-entry groups per point).
         let params = LdeParams::new(2, 20);
-        let mut rng = StdRng::seed_from_u64(8);
-        let eval = StreamingLdeEvaluator::<Fp61>::random(params, &mut rng);
-        assert_eq!(eval.space_words(), 21); // d + 1
-        assert_eq!(eval.space_words_with_tables(), 21 + 40);
+        let mut rng = StdRng::seed_from_u64(9);
+        let multi = MultiLdeEvaluator::<Fp61>::random(params, 4, &mut rng);
+        assert_eq!(multi.space_words_with_tables(), 4 * (2 * 1024 + 20 + 1));
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! * `--field 61|127` — Mersenne field (default 61).
 //! * `--max-sessions N` — concurrent-session cap (default 64).
 //! * `--threads N` — worker threads per prover round-message pass
-//!   (default 1 = serial; transcripts are identical at any setting, only
-//!   wall-clock changes).
+//!   (default 1 = serial; `0` auto-detects the machine's parallelism, so a
+//!   1-CPU box runs serial instead of losing throughput to idle workers;
+//!   transcripts are identical at any setting, only wall-clock changes).
 //!
 //! The process serves until killed. Soundness never depends on this binary
 //! behaving: the verifier rejects anything inconsistent with its digests.
@@ -41,7 +42,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
-         [--field 61|127] [--max-sessions N] [--threads N]"
+         [--field 61|127] [--max-sessions N] [--threads N]\n\
+         \n\
+         --threads N   worker threads per prover round-message pass;\n\
+         \x20             0 = auto-detect (available_parallelism), 1 = serial"
     );
     exit(2);
 }
@@ -73,9 +77,7 @@ fn parse_args() -> Args {
             "--max-sessions" => {
                 args.max_sessions = parse_u32(&value("--max-sessions"), "--max-sessions") as usize
             }
-            "--threads" => {
-                args.threads = parse_u32(&value("--threads"), "--threads").max(1) as usize
-            }
+            "--threads" => args.threads = parse_u32(&value("--threads"), "--threads") as usize,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

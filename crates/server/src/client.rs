@@ -129,6 +129,21 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
         }
     }
 
+    /// Buffers a whole batch, flushing frame-sized pieces as they fill so
+    /// peak buffering stays bounded by one wire frame however large the
+    /// batch (the server sees the same update sequence either way).
+    fn ingest_batch(&mut self, ups: &[Update]) {
+        if self.fault.is_some() {
+            return;
+        }
+        for chunk in ups.chunks(MAX_INGEST_PER_FRAME) {
+            self.pending.extend_from_slice(chunk);
+            if self.pending.len() >= INGEST_BATCH {
+                let _ = self.flush();
+            }
+        }
+    }
+
     fn recv(&mut self) -> Result<Msg<F>, Rejection> {
         self.check_fault()?;
         match self.chan.recv::<F>() {
@@ -428,6 +443,10 @@ impl<F: PrimeField, T: Transport + 'static> KvServer<F> for RemoteStore<F, T> {
         with_conn(&self.conn, |c| c.ingest(up));
     }
 
+    fn ingest_batch(&mut self, ups: &[Update]) {
+        with_conn(&self.conn, |c| c.ingest_batch(ups));
+    }
+
     fn reporting(&self) -> Box<dyn ReportingSession<F> + '_> {
         Box::new(RemoteReporting {
             conn: Arc::clone(&self.conn),
@@ -539,11 +558,15 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         self.conn.ingest(up);
     }
 
-    /// Uploads a whole stream.
+    /// Uploads a whole batch in one buffered extend.
+    pub fn send_batch(&mut self, batch: &[Update]) {
+        self.conn.ingest_batch(batch);
+    }
+
+    /// Uploads a whole stream in one buffered extend (frames are cut by
+    /// the auto-chunking flush, never one update at a time).
     pub fn send_stream(&mut self, stream: &[Update]) {
-        for &up in stream {
-            self.send_update(up);
-        }
+        self.conn.ingest_batch(stream);
     }
 
     /// Flushes buffered updates and marks the stream complete.

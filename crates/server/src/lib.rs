@@ -60,8 +60,10 @@ pub struct ServerConfig {
     pub require_log_u: Option<u32>,
     /// Worker threads per prover round-message pass (`sip-prover
     /// --threads`): `1` is the serial engine, more run the fold kernel
-    /// data-parallel per session query. Transcripts are identical at any
-    /// setting.
+    /// data-parallel per session query, and `0` auto-detects the machine's
+    /// parallelism via [`std::thread::available_parallelism`] (a 1-CPU box
+    /// then correctly runs serial instead of losing throughput to idle
+    /// workers). Transcripts are identical at any setting.
     pub threads: usize,
     /// Cap on published datasets held in the server-wide registry
     /// (published snapshots outlive their publishing sessions).
@@ -235,7 +237,7 @@ fn serve_connection<F: PrimeField>(
         hello.log_u,
         SessionContext {
             shard: config.shard,
-            pool: ProverPool::new(config.threads.max(1)),
+            pool: ProverPool::from_config(config.threads),
             registry,
         },
     );

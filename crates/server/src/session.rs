@@ -325,22 +325,21 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                     }
                 }
                 self.ingested |= !ups.is_empty();
+                // One whole wire frame = one batched ingest call: the
+                // sorted-merge / delayed-reduction bulk paths replace the
+                // per-update loops, with identical resulting state.
                 match &mut self.store {
-                    Store::Raw(fv) => {
-                        for &up in &ups {
-                            fv.apply(up);
-                        }
-                    }
+                    Store::Raw(fv) => fv.apply_batch(&ups),
                     Store::Kv(store) => {
-                        for &up in &ups {
+                        for up in &ups {
                             if up.delta < 1 {
                                 return Err(protocol(format!(
                                     "kv put with non-positive encoded value {}",
                                     up.delta
                                 )));
                             }
-                            store.ingest(up);
                         }
+                        store.ingest_batch(&ups);
                     }
                     Store::Shared(ds) => {
                         if !ups.is_empty() {

@@ -9,6 +9,14 @@ use crate::update::Update;
 /// dense representation.
 const DENSE_LIMIT: u64 = 1 << 22;
 
+/// A sparse vector promotes itself to dense once its support reaches
+/// `u / PROMOTE_DIVISOR` (for `u ≤ DENSE_LIMIT`): at that density the
+/// `BTreeMap` already holds more bytes than the dense array would, and
+/// every further update is a tree walk instead of an indexed add. Memory
+/// stays `O(min(u, PROMOTE_DIVISOR · support))`, so a peer-chosen `log_u`
+/// still cannot reserve memory it never filled.
+const PROMOTE_DIVISOR: u64 = 8;
+
 /// The frequency vector `a ∈ Z^u` defined by a stream of updates.
 ///
 /// Dense (a `Vec<i64>`) for small universes, sparse (a `BTreeMap`) for large
@@ -43,7 +51,11 @@ impl FrequencyVector {
         }
     }
 
-    /// Forces a sparse representation regardless of universe size.
+    /// Starts with a sparse representation regardless of universe size, so
+    /// an untrusted peer's `u` reserves no memory up front. If the support
+    /// later grows past the promotion threshold (and `u` is small enough
+    /// for a dense array), the vector promotes itself — memory then tracks
+    /// data actually ingested, never the declared universe.
     pub fn new_sparse(u: u64) -> Self {
         FrequencyVector {
             u,
@@ -54,9 +66,7 @@ impl FrequencyVector {
     /// Builds the vector from a stream.
     pub fn from_stream(u: u64, stream: &[Update]) -> Self {
         let mut fv = Self::new(u);
-        for &up in stream {
-            fv.apply(up);
-        }
+        fv.apply_batch(stream);
         fv
     }
 
@@ -86,6 +96,80 @@ impl FrequencyVector {
                 }
             }
         }
+        self.maybe_promote();
+    }
+
+    /// Applies a whole batch `a_i ← a_i + δ` in one pass.
+    ///
+    /// Dense vectors take the straight indexed adds. Sparse vectors sort a
+    /// copy of the batch by index, coalesce duplicate indices, and merge
+    /// each distinct index into the tree once — a batch that hammers a few
+    /// hot keys pays one tree walk per *distinct* key instead of one per
+    /// update. The dense-promotion heuristic is re-checked once per batch
+    /// instead of per update. All queries see exactly the state that
+    /// repeated [`Self::apply`] would produce.
+    ///
+    /// # Panics
+    /// Panics if any `up.index >= u`.
+    pub fn apply_batch(&mut self, batch: &[Update]) {
+        if batch.is_empty() {
+            return;
+        }
+        for up in batch {
+            assert!(
+                up.index < self.u,
+                "index {} out of universe [0,{})",
+                up.index,
+                self.u
+            );
+        }
+        match &mut self.repr {
+            Repr::Dense(v) => {
+                for up in batch {
+                    v[up.index as usize] += up.delta;
+                }
+            }
+            Repr::Sparse(m) => {
+                let mut sorted: Vec<(u64, i64)> =
+                    batch.iter().map(|up| (up.index, up.delta)).collect();
+                sorted.sort_unstable_by_key(|&(i, _)| i);
+                let mut it = sorted.into_iter().peekable();
+                while let Some((i, mut delta)) = it.next() {
+                    while let Some(&(j, d)) = it.peek() {
+                        if j != i {
+                            break;
+                        }
+                        delta += d;
+                        it.next();
+                    }
+                    if delta == 0 {
+                        continue;
+                    }
+                    let e = m.entry(i).or_insert(0);
+                    *e += delta;
+                    if *e == 0 {
+                        m.remove(&i);
+                    }
+                }
+            }
+        }
+        self.maybe_promote();
+    }
+
+    /// Switches a sparse vector whose support has outgrown the tree to the
+    /// dense representation (see [`PROMOTE_DIVISOR`]). Queries behave
+    /// identically in both representations, so this is invisible outside
+    /// of speed and memory shape.
+    fn maybe_promote(&mut self) {
+        let Repr::Sparse(m) = &self.repr else { return };
+        if self.u > DENSE_LIMIT || (m.len() as u64) < self.u.div_ceil(PROMOTE_DIVISOR) {
+            return;
+        }
+        let mut v = vec![0i64; self.u as usize];
+        for (&i, &f) in m.iter() {
+            v[i as usize] = f;
+        }
+        self.repr = Repr::Dense(v);
     }
 
     /// The frequency `a_i` (zero if never touched).
@@ -370,5 +454,68 @@ mod tests {
     fn out_of_universe_panics() {
         let mut a = FrequencyVector::new(4);
         a.apply(Update::insert(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_batch_panics() {
+        let mut a = FrequencyVector::new(4);
+        a.apply_batch(&[Update::insert(1), Update::insert(4)]);
+    }
+
+    #[test]
+    fn apply_batch_matches_repeated_apply() {
+        // Duplicates, deletions, and self-cancelling pairs, dense + sparse.
+        let batch = vec![
+            Update::new(3, 5),
+            Update::new(3, -5),
+            Update::new(100, -2),
+            Update::new(7, 1),
+            Update::new(7, 4),
+            Update::new(100, 2),
+            Update::new(9, -3),
+        ];
+        for make in [FrequencyVector::new, FrequencyVector::new_sparse] {
+            let mut one_by_one = make(128);
+            for &up in &batch {
+                one_by_one.apply(up);
+            }
+            let mut batched = make(128);
+            batched.apply_batch(&batch);
+            assert_eq!(
+                batched.nonzero().collect::<Vec<_>>(),
+                one_by_one.nonzero().collect::<Vec<_>>()
+            );
+            assert_eq!(batched.support_size(), one_by_one.support_size());
+            assert_eq!(batched.get(3), 0);
+            assert_eq!(batched.get(100), 0);
+        }
+    }
+
+    #[test]
+    fn sparse_promotes_to_dense_at_the_boundary() {
+        // u = 64: promotion at support ≥ 64/8 = 8. One below stays sparse;
+        // crossing promotes; queries agree throughout.
+        let u = 64u64;
+        let mut fv = FrequencyVector::new_sparse(u);
+        let below: Vec<Update> = (0..7).map(|i| Update::new(i * 9, 2)).collect();
+        fv.apply_batch(&below);
+        assert!(matches!(fv.repr, Repr::Sparse(_)), "support 7 < 8");
+        fv.apply(Update::new(63, 1));
+        assert!(matches!(fv.repr, Repr::Dense(_)), "support 8 promotes");
+        // Behaviour identical to a never-promoted sparse twin.
+        let mut twin = FrequencyVector::new_sparse(1 << 23); // too big to promote
+        for i in 0..7u64 {
+            twin.apply(Update::new(i * 9, 2));
+        }
+        twin.apply(Update::new(63, 1));
+        assert_eq!(
+            fv.nonzero().collect::<Vec<_>>(),
+            twin.nonzero().collect::<Vec<_>>()
+        );
+        assert_eq!(fv.get(63), 1);
+        assert_eq!(fv.range_sum(0, 63), twin.range_sum(0, 63));
+        // A huge universe never promotes regardless of support.
+        assert!(matches!(twin.repr, Repr::Sparse(_)));
     }
 }

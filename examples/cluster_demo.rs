@@ -40,11 +40,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
     let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
-    for &up in &stream {
-        f2.update(up);
-        rs.update(up);
-        client.send_update(up);
-    }
+    f2.update_batch(&stream);
+    rs.update_batch(&stream);
+    client.send_stream(&stream);
     client.end_stream().unwrap();
 
     let got = client.verify_f2(f2).unwrap();

@@ -52,9 +52,7 @@ fn main() {
     let mut cloud: RemoteStore<DefaultField, _> =
         RemoteStore::connect(addr, log_u).expect("connect");
     let upload = Instant::now();
-    for &(k, v) in &puts {
-        owner.put(k, v, &mut cloud);
-    }
+    owner.put_batch(&puts, &mut cloud);
     cloud.publish(DATASET).expect("publish");
     println!(
         "owner uploaded {} records once and published {DATASET:?} ({:.1} ms)\n",
@@ -74,9 +72,7 @@ fn main() {
                     let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
                     let mut tenant =
                         Client::<DefaultField>::new(log_u, QueryBudget::default(), &mut rng);
-                    for &(k, v) in puts {
-                        tenant.observe(k, v);
-                    }
+                    tenant.observe_batch(puts);
                     let store: RemoteStore<DefaultField, _> =
                         RemoteStore::connect(addr, log_u).expect("connect");
                     store.attach(DATASET).expect("attach");

@@ -1,0 +1,233 @@
+//! Property tests of the verifier ingest engine: the batched multi-point
+//! evaluator (serial and chunked-parallel at every thread count), the
+//! per-update evaluators, and the naive `sip-lde` reference must agree on
+//! random streams — across power-of-two and general bases and several
+//! point counts — and `FrequencyVector::apply_batch` must be
+//! indistinguishable from repeated `apply`, including across the sparse →
+//! dense promotion boundary.
+//!
+//! Agreement here is **bit-identical digest values**, which is what makes
+//! batching and scheduling invisible to every protocol above: the digests
+//! feed final checks verbatim, so equal digests ⇒ equal transcripts and
+//! equal CostReports.
+
+use proptest::prelude::*;
+use sip::core::engine::ProverPool;
+use sip::field::{Fp61, PrimeField};
+use sip::lde::reference::naive_lde_eval;
+use sip::lde::{LdeParams, MultiLdeEvaluator, StreamingLdeEvaluator};
+use sip::streaming::{FrequencyVector, Update};
+
+/// The `(ℓ, d)` shapes under test: the paper's binary sweet spot, two
+/// larger power-of-two bases, and two general bases (one needing the
+/// reciprocal fix-up). Universes stay ≤ 4096 so the naive reference is
+/// affordable.
+const SHAPES: [(u64, u32); 5] = [(2, 10), (4, 5), (16, 3), (3, 6), (10, 3)];
+
+/// Builds a stream from raw `(index, delta)` pairs, clamped into the
+/// universe with nonzero deltas.
+fn stream_of(raw: &[(u64, i64)], u: u64) -> Vec<Update> {
+    raw.iter()
+        .map(|&(i, d)| Update::new(i % u, if d == 0 { 1 } else { d % 1000 }))
+        .collect()
+}
+
+/// Deterministic evaluation points: grid-adjacent and "random-looking"
+/// field elements, `k` points of `d` coordinates each.
+fn points(k: usize, d: u32, seed: u64) -> Vec<Vec<Fp61>> {
+    (0..k as u64)
+        .map(|p| {
+            (0..d as u64)
+                .map(|j| {
+                    Fp61::from_u64(
+                        (seed ^ (p + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                            .wrapping_add(j.wrapping_mul(0x2545_f491_4f6c_dd1d)),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched ≡ chunked-parallel ≡ per-update ≡ naive reference, for
+    /// every base shape × point count.
+    #[test]
+    fn batched_ingest_equals_per_update_equals_reference(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..200),
+        seed in any::<u64>(),
+    ) {
+        for &(ell, d) in &SHAPES {
+            let params = LdeParams::new(ell, d);
+            let u = params.universe();
+            let stream = stream_of(&raw, u);
+            let mut freqs = vec![0i64; u as usize];
+            for up in &stream {
+                freqs[up.index as usize] += up.delta;
+            }
+            for k in [1usize, 4, 16] {
+                let pts = points(k, d, seed);
+                let mut per_update = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+                let mut batched = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+                for &up in &stream {
+                    per_update.update(up);
+                }
+                batched.update_batch(&stream);
+                prop_assert_eq!(batched.values(), per_update.values(),
+                    "batch vs per-update: ell={} k={}", ell, k);
+                for threads in [1usize, 2, 4] {
+                    let mut par = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+                    par.update_batch_threads(&stream, threads);
+                    prop_assert_eq!(par.values(), per_update.values(),
+                        "threads={} ell={} k={}", threads, ell, k);
+                    let mut pooled = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+                    ProverPool::new(threads).ingest_batch(&mut pooled, &stream);
+                    prop_assert_eq!(pooled.values(), per_update.values(),
+                        "pool threads={} ell={} k={}", threads, ell, k);
+                }
+                // Against the definition, and against the single-point
+                // evaluator (batched and per-update paths).
+                for (p, point) in pts.iter().enumerate() {
+                    let expect = naive_lde_eval(&freqs, params, point);
+                    prop_assert_eq!(batched.value(p), expect,
+                        "reference: ell={} k={} p={}", ell, k, p);
+                    let mut single = StreamingLdeEvaluator::<Fp61>::new(params, point.clone());
+                    single.update_batch(&stream);
+                    prop_assert_eq!(single.value(), expect);
+                }
+            }
+        }
+    }
+
+    /// The division-free digit plan computes exactly the weights the
+    /// historical div/mod path computed, for every base shape.
+    #[test]
+    fn weight_plan_equals_divmod(
+        indices in prop::collection::vec(any::<u64>(), 1..50),
+        seed in any::<u64>(),
+    ) {
+        for &(ell, d) in &SHAPES {
+            let params = LdeParams::new(ell, d);
+            let point = points(1, d, seed).pop().unwrap();
+            let eval = StreamingLdeEvaluator::<Fp61>::new(params, point);
+            for &i in &indices {
+                let i = i % params.universe();
+                prop_assert_eq!(eval.weight(i), eval.weight_divmod(i), "ell={} i={}", ell, i);
+            }
+        }
+    }
+
+    /// `apply_batch` ≡ repeated `apply` for dense-from-birth,
+    /// sparse-forever, and sparse-that-promotes vectors, split at an
+    /// arbitrary point into two batches.
+    #[test]
+    fn frequency_vector_batch_equals_repeated_apply(
+        raw in prop::collection::vec((any::<u64>(), any::<i64>()), 1..300),
+        split in any::<usize>(),
+    ) {
+        // u = 64 keeps the promotion threshold (u/8 = 8 distinct keys)
+        // well inside the generated support range, so cases land on both
+        // sides of the boundary; the huge-u vector can never promote.
+        for u in [64u64, 1 << 23] {
+            let stream = stream_of(&raw, u);
+            let split = split % (stream.len() + 1);
+            let makes: &[fn(u64) -> FrequencyVector] =
+                if u <= 1 << 22 {
+                    &[FrequencyVector::new, FrequencyVector::new_sparse]
+                } else {
+                    &[FrequencyVector::new_sparse]
+                };
+            for make in makes {
+                let mut one_by_one = make(u);
+                for &up in &stream {
+                    one_by_one.apply(up);
+                }
+                let mut batched = make(u);
+                batched.apply_batch(&stream[..split]);
+                batched.apply_batch(&stream[split..]);
+                prop_assert_eq!(
+                    batched.nonzero().collect::<Vec<_>>(),
+                    one_by_one.nonzero().collect::<Vec<_>>()
+                );
+                prop_assert_eq!(batched.support_size(), one_by_one.support_size());
+                prop_assert_eq!(batched.total(), one_by_one.total());
+                prop_assert_eq!(batched.self_join_size(), one_by_one.self_join_size());
+                prop_assert_eq!(batched.predecessor(u / 2), one_by_one.predecessor(u / 2));
+                prop_assert_eq!(batched.successor(u / 2), one_by_one.successor(u / 2));
+            }
+        }
+    }
+}
+
+/// A batch large enough to cross `MIN_PARALLEL_BATCH` actually exercises
+/// the threaded chunk path (the proptest streams above stay small and
+/// degrade to the serial path by design).
+#[test]
+fn large_batch_parallel_path_is_exact() {
+    for &(ell, d) in &[(2u64, 16u32), (3, 9)] {
+        let params = LdeParams::new(ell, d);
+        let u = params.universe();
+        let stream: Vec<Update> = (0..20_000u64)
+            .map(|i| {
+                Update::new(
+                    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % u,
+                    (i % 13) as i64 - 6,
+                )
+            })
+            .filter(|up| up.delta != 0)
+            .collect();
+        let pts = points(8, d, 7);
+        let mut serial = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+        serial.update_batch(&stream);
+        for threads in [2usize, 4, 8] {
+            let mut par = MultiLdeEvaluator::<Fp61>::new(params, pts.clone());
+            par.update_batch_threads(&stream, threads);
+            assert_eq!(par.values(), serial.values(), "ell={ell} threads={threads}");
+        }
+    }
+}
+
+/// Promotion boundary, pinned exactly: one update below the threshold
+/// stays sparse, the threshold promotes, and a batch straddling the
+/// boundary ends in the same state as per-update application.
+#[test]
+fn promotion_boundary_cases() {
+    let u = 64u64; // threshold: 8 distinct keys
+    for cross_with_batch in [false, true] {
+        let below: Vec<Update> = (0..7).map(|i| Update::new(i * 8, 1)).collect();
+        let crossing = [Update::new(60, 5), Update::new(61, 5)];
+        let mut fv = FrequencyVector::new_sparse(u);
+        fv.apply_batch(&below);
+        let mut twin = FrequencyVector::new_sparse(u);
+        for &up in &below {
+            twin.apply(up);
+        }
+        if cross_with_batch {
+            fv.apply_batch(&crossing);
+        } else {
+            for &up in &crossing {
+                fv.apply(up);
+            }
+        }
+        for &up in &crossing {
+            twin.apply(up);
+        }
+        assert_eq!(
+            fv.nonzero().collect::<Vec<_>>(),
+            twin.nonzero().collect::<Vec<_>>()
+        );
+        assert_eq!(fv.support_size(), 9);
+        // Deletions after promotion still agree.
+        let deletions = [Update::new(60, -5), Update::new(0, -1)];
+        fv.apply_batch(&deletions);
+        for &up in &deletions {
+            twin.apply(up);
+        }
+        assert_eq!(
+            fv.nonzero().collect::<Vec<_>>(),
+            twin.nonzero().collect::<Vec<_>>()
+        );
+    }
+}
