@@ -29,6 +29,8 @@ pub struct ShardedLde<F: PrimeField> {
     /// update lands in exactly one shard accumulator instead).
     probe: StreamingLdeEvaluator<F>,
     accs: Vec<F>,
+    /// Stream updates absorbed so far (checkpoint metadata).
+    updates: u64,
 }
 
 impl<F: PrimeField> ShardedLde<F> {
@@ -38,7 +40,35 @@ impl<F: PrimeField> ShardedLde<F> {
             router: ShardRouter::new(plan),
             probe: StreamingLdeEvaluator::random(LdeParams::binary(plan.log_u()), rng),
             accs: vec![F::ZERO; plan.shards() as usize],
+            updates: 0,
         }
+    }
+
+    /// Rebuilds a sharded digest from checkpointed state: the plan, the
+    /// shared point, one accumulator per shard, and the update counter.
+    /// The χ tables are derived from `(plan, point)` exactly as on first
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics if the point does not have `log_u` coordinates or the
+    /// accumulator count differs from the plan's shard count.
+    pub fn from_saved(plan: ShardPlan, point: Vec<F>, accs: Vec<F>, updates: u64) -> Self {
+        assert_eq!(
+            accs.len() as u32,
+            plan.shards(),
+            "one accumulator per shard of the plan"
+        );
+        ShardedLde {
+            router: ShardRouter::new(plan),
+            probe: StreamingLdeEvaluator::new(LdeParams::binary(plan.log_u()), point),
+            accs,
+            updates,
+        }
+    }
+
+    /// Number of stream updates absorbed so far (checkpoint metadata).
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// The fleet partition.
@@ -65,6 +95,7 @@ impl<F: PrimeField> ShardedLde<F> {
     pub fn update(&mut self, up: Update) {
         let s = self.router.route(up) as usize;
         self.accs[s] += F::from_i64(up.delta) * self.probe.weight(up.index);
+        self.updates += 1;
     }
 
     /// Processes a whole stream.
@@ -88,6 +119,7 @@ impl<F: PrimeField> ShardedLde<F> {
         for (acc, partial) in self.accs.iter_mut().zip(accs) {
             *acc += F::acc_finish(partial);
         }
+        self.updates += batch.len() as u64;
     }
 
     /// Digest space in words: the point plus one accumulator per shard.
@@ -113,6 +145,16 @@ impl<F: PrimeField> ClusterF2Verifier<F> {
     /// The fleet partition this digest was drawn for.
     pub fn plan(&self) -> &ShardPlan {
         self.lde.plan()
+    }
+
+    /// The underlying sharded digest (checkpoint state).
+    pub fn lde(&self) -> &ShardedLde<F> {
+        &self.lde
+    }
+
+    /// Rebuilds the verifier around a restored sharded digest.
+    pub fn from_lde(lde: ShardedLde<F>) -> Self {
+        ClusterF2Verifier { lde }
     }
 
     /// Processes one stream update.
@@ -165,6 +207,16 @@ impl<F: PrimeField> ClusterRangeSumVerifier<F> {
     /// The fleet partition this digest was drawn for.
     pub fn plan(&self) -> &ShardPlan {
         self.lde.plan()
+    }
+
+    /// The underlying sharded digest (checkpoint state).
+    pub fn lde(&self) -> &ShardedLde<F> {
+        &self.lde
+    }
+
+    /// Rebuilds the verifier around a restored sharded digest.
+    pub fn from_lde(lde: ShardedLde<F>) -> Self {
+        ClusterRangeSumVerifier { lde }
     }
 
     /// Processes one stream update.
@@ -267,6 +319,31 @@ impl<F: PrimeField> ClusterReportVerifier<F> {
     /// Takes shard `s`'s tree digest (used once, at query time).
     pub(crate) fn take(&mut self, s: usize) -> SubVectorVerifier<F> {
         self.verifiers[s].take().expect("digest already consumed")
+    }
+
+    /// Borrowed views of the per-shard tree digests (checkpoint state;
+    /// `None` marks a copy already consumed by a query).
+    pub fn shard_verifiers(&self) -> &[Option<SubVectorVerifier<F>>] {
+        &self.verifiers
+    }
+
+    /// Rebuilds the fleet digest from checkpointed per-shard trees.
+    ///
+    /// # Panics
+    /// Panics if the verifier count disagrees with the plan's shard count.
+    pub fn from_shard_verifiers(
+        plan: ShardPlan,
+        verifiers: Vec<Option<SubVectorVerifier<F>>>,
+    ) -> Self {
+        assert_eq!(
+            verifiers.len() as u32,
+            plan.shards(),
+            "one tree digest slot per shard of the plan"
+        );
+        ClusterReportVerifier {
+            router: ShardRouter::new(plan),
+            verifiers,
+        }
     }
 }
 

@@ -39,6 +39,7 @@
 
 pub mod client;
 pub mod digest;
+pub mod persist;
 pub mod router;
 
 pub use client::{

@@ -67,6 +67,34 @@ impl<F: PrimeField> CountTreeHasher<F> {
         self.keys.len() as u32
     }
 
+    /// The hash keys `r_j` (checkpoint state; secret until revealed).
+    pub fn keys(&self) -> &[F] {
+        &self.keys
+    }
+
+    /// The count keys `s_j` (checkpoint state; secret until revealed).
+    pub fn skeys(&self) -> &[F] {
+        &self.skeys
+    }
+
+    /// Rebuilds a hasher from checkpointed state: both key vectors, the
+    /// running root, and the running total `n`. A resumed hasher is
+    /// field-for-field identical to one that never stopped.
+    ///
+    /// # Panics
+    /// Panics if the key vectors are empty, longer than 63, or of unequal
+    /// length.
+    pub fn from_saved(keys: Vec<F>, skeys: Vec<F>, root: F, n: u64) -> Self {
+        assert!((1..=63).contains(&keys.len()));
+        assert_eq!(keys.len(), skeys.len(), "one count key per hash key");
+        CountTreeHasher {
+            keys,
+            skeys,
+            root,
+            n,
+        }
+    }
+
     /// Processes one update in `O(log u)` time.
     ///
     /// The update contributes `δ` to the leaf (path weight

@@ -98,6 +98,17 @@ impl<F: PrimeField> SubVectorVerifier<F> {
         }
     }
 
+    /// The streaming root hasher (the verifier's entire protocol state) —
+    /// what a checkpoint must capture.
+    pub fn hasher(&self) -> &StreamingRootHasher<F> {
+        &self.hasher
+    }
+
+    /// Rebuilds the verifier around a restored hasher (checkpoint resume).
+    pub fn from_hasher(hasher: StreamingRootHasher<F>) -> Self {
+        SubVectorVerifier { hasher }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, up: Update) {
         self.hasher.update(up);

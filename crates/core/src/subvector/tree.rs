@@ -56,6 +56,8 @@ pub struct StreamingRootHasher<F: PrimeField> {
     keys: Vec<F>,
     kind: HashKind,
     root: F,
+    /// Stream updates absorbed so far (checkpoint metadata).
+    updates: u64,
 }
 
 impl<F: PrimeField> StreamingRootHasher<F> {
@@ -66,6 +68,7 @@ impl<F: PrimeField> StreamingRootHasher<F> {
             keys,
             kind,
             root: F::ZERO,
+            updates: 0,
         }
     }
 
@@ -73,6 +76,19 @@ impl<F: PrimeField> StreamingRootHasher<F> {
     pub fn random<R: Rng + ?Sized>(log_u: u32, kind: HashKind, rng: &mut R) -> Self {
         let keys = (0..log_u).map(|_| F::random(rng)).collect();
         Self::new(keys, kind)
+    }
+
+    /// Rebuilds a hasher from checkpointed state: the level keys, the
+    /// combine rule, the running root, and the update counter. A resumed
+    /// hasher is field-for-field identical to one that never stopped.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty or longer than 63.
+    pub fn from_saved(keys: Vec<F>, kind: HashKind, root: F, updates: u64) -> Self {
+        let mut hasher = Self::new(keys, kind);
+        hasher.root = root;
+        hasher.updates = updates;
+        hasher
     }
 
     /// Tree depth `d = log₂ u`.
@@ -104,6 +120,12 @@ impl<F: PrimeField> StreamingRootHasher<F> {
     /// Processes one stream update: `t += δ·leaf_weight(i)` — `O(log u)`.
     pub fn update(&mut self, up: Update) {
         self.root += F::from_i64(up.delta) * self.leaf_weight(up.index);
+        self.updates += 1;
+    }
+
+    /// Number of stream updates absorbed so far (checkpoint metadata).
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Processes a whole stream.
@@ -122,6 +144,7 @@ impl<F: PrimeField> StreamingRootHasher<F> {
             F::acc_add_prod(&mut acc, F::from_i64(up.delta), self.leaf_weight(up.index));
         }
         self.root += F::acc_finish(acc);
+        self.updates += batch.len() as u64;
     }
 
     /// The current root hash `t`.

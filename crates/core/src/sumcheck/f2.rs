@@ -41,6 +41,22 @@ impl<F: PrimeField> F2Verifier<F> {
         }
     }
 
+    /// The streaming digest (the verifier's entire protocol state) — what a
+    /// checkpoint must capture.
+    pub fn evaluator(&self) -> &StreamingLdeEvaluator<F> {
+        &self.lde
+    }
+
+    /// Rebuilds the verifier around a restored digest (checkpoint resume).
+    ///
+    /// # Panics
+    /// Panics if the evaluator is not over the binary parameterisation
+    /// this protocol runs on.
+    pub fn from_evaluator(lde: StreamingLdeEvaluator<F>) -> Self {
+        assert_eq!(lde.params().base(), 2, "F2 runs over the binary LDE");
+        F2Verifier { lde }
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, up: Update) {
         self.lde.update(up);

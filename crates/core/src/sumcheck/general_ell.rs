@@ -37,6 +37,18 @@ impl<F: PrimeField> GeneralF2Verifier<F> {
         }
     }
 
+    /// The streaming digest (the verifier's entire protocol state) — what a
+    /// checkpoint must capture.
+    pub fn evaluator(&self) -> &StreamingLdeEvaluator<F> {
+        &self.lde
+    }
+
+    /// Rebuilds the verifier around a restored digest (checkpoint resume);
+    /// any base is legal here — that is this protocol's point.
+    pub fn from_evaluator(lde: StreamingLdeEvaluator<F>) -> Self {
+        GeneralF2Verifier { lde }
+    }
+
     /// Processes one stream update (`O(d)` with cached χ tables).
     pub fn update(&mut self, up: Update) {
         self.lde.update(up);

@@ -35,6 +35,35 @@ impl<F: PrimeField> InnerProductVerifier<F> {
         InnerProductVerifier { lde_a, lde_b }
     }
 
+    /// The stream-`A` digest (checkpoint state).
+    pub fn evaluator_a(&self) -> &StreamingLdeEvaluator<F> {
+        &self.lde_a
+    }
+
+    /// The stream-`B` digest (checkpoint state; same point as `A`).
+    pub fn evaluator_b(&self) -> &StreamingLdeEvaluator<F> {
+        &self.lde_b
+    }
+
+    /// Rebuilds the verifier around two restored digests (checkpoint
+    /// resume).
+    ///
+    /// # Panics
+    /// Panics unless both evaluators are binary and share one point.
+    pub fn from_evaluators(
+        lde_a: StreamingLdeEvaluator<F>,
+        lde_b: StreamingLdeEvaluator<F>,
+    ) -> Self {
+        assert_eq!(lde_a.params().base(), 2, "INNER PRODUCT is binary");
+        assert_eq!(
+            lde_a.params(),
+            lde_b.params(),
+            "digests must agree on (ℓ, d)"
+        );
+        assert_eq!(lde_a.point(), lde_b.point(), "digests must share the point");
+        InnerProductVerifier { lde_a, lde_b }
+    }
+
     /// Processes an update to stream `A`.
     pub fn update_a(&mut self, up: Update) {
         self.lde_a.update(up);

@@ -36,6 +36,27 @@ impl<F: PrimeField> MomentVerifier<F> {
         }
     }
 
+    /// The moment order `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The streaming digest (the verifier's entire protocol state) — what a
+    /// checkpoint must capture.
+    pub fn evaluator(&self) -> &StreamingLdeEvaluator<F> {
+        &self.lde
+    }
+
+    /// Rebuilds the verifier around a restored digest (checkpoint resume).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the evaluator is not binary.
+    pub fn from_parts(k: u32, lde: StreamingLdeEvaluator<F>) -> Self {
+        assert!(k >= 1, "moment order must be at least 1");
+        assert_eq!(lde.params().base(), 2, "F_k runs over the binary LDE");
+        MomentVerifier { k, lde }
+    }
+
     /// Processes one stream update (`O(log u)` time).
     pub fn update(&mut self, up: Update) {
         self.lde.update(up);

@@ -1,0 +1,127 @@
+//! Typed snapshot failures.
+//!
+//! A snapshot file is untrusted input — it may be truncated by a crash,
+//! corrupted by a disk, produced by a different build, or forged outright.
+//! Every failure mode maps to one of these variants; **none** may panic
+//! the decoder. The fixture suite flips every byte of every golden
+//! snapshot and asserts exactly that.
+
+use core::fmt;
+
+use sip_wire::WireError;
+
+/// Why a snapshot failed to decode (or to reach/leave disk).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A filesystem operation failed (message carries the `std::io` detail
+    /// and, when known, the path).
+    Io {
+        /// The offending path, when known.
+        path: Option<String>,
+        /// The `std::io::Error` rendering.
+        detail: String,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by a different snapshot-format version.
+    /// Reported before any layout-dependent diagnostics, like the wire
+    /// handshake's version check.
+    UnsupportedVersion {
+        /// The version this build writes and reads.
+        ours: u16,
+        /// The version found in the file.
+        theirs: u16,
+    },
+    /// The snapshot holds a different persisted type than the caller asked
+    /// to restore.
+    WrongKind {
+        /// The kind tag the caller expected.
+        expected: u16,
+        /// The kind tag found in the envelope.
+        found: u16,
+    },
+    /// The snapshot was taken over a different field than the caller's.
+    FieldMismatch {
+        /// The field id byte the caller expected.
+        expected: u8,
+        /// The field id byte found in the envelope.
+        found: u8,
+    },
+    /// The envelope's declared payload length disagrees with the bytes
+    /// actually present (crash-truncated file, or appended garbage).
+    LengthMismatch {
+        /// Total bytes the envelope implies.
+        declared: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The integrity checksum over header + payload does not match: at
+    /// least one bit of the snapshot changed since it was written.
+    ChecksumMismatch,
+    /// The input exceeds the decoder's size cap (a snapshot is never this
+    /// large; refuse before allocating).
+    TooLarge {
+        /// Bytes presented.
+        bytes: u64,
+        /// The cap.
+        limit: u64,
+    },
+    /// The payload failed primitive decoding (truncated field, forged
+    /// count, non-canonical residue, …).
+    Codec(WireError),
+    /// The payload decoded structurally but violates a semantic invariant
+    /// of the persisted type (point/dimension mismatch, out-of-range
+    /// index, non-canonical sparse form, …).
+    Invalid(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, detail } => match path {
+                Some(p) => write!(f, "snapshot I/O failed for {p:?}: {detail}"),
+                None => write!(f, "snapshot I/O failed: {detail}"),
+            },
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic (not a sip-durable file)"),
+            SnapshotError::UnsupportedVersion { ours, theirs } => write!(
+                f,
+                "snapshot format version mismatch: we speak {ours}, file is {theirs}"
+            ),
+            SnapshotError::WrongKind { expected, found } => write!(
+                f,
+                "snapshot holds kind {found}, caller asked to restore kind {expected}"
+            ),
+            SnapshotError::FieldMismatch { expected, found } => write!(
+                f,
+                "snapshot field mismatch: expected Fp{expected}, file is Fp{found}"
+            ),
+            SnapshotError::LengthMismatch { declared, actual } => write!(
+                f,
+                "snapshot length mismatch: envelope implies {declared} bytes, found {actual}"
+            ),
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "snapshot checksum mismatch (corrupted or tampered)")
+            }
+            SnapshotError::TooLarge { bytes, limit } => {
+                write!(f, "snapshot of {bytes} bytes exceeds the {limit}-byte cap")
+            }
+            SnapshotError::Codec(e) => write!(f, "snapshot payload undecodable: {e}"),
+            SnapshotError::Invalid(detail) => {
+                write!(f, "snapshot payload invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+/// Shorthand used by the `Persist` impls for semantic validation failures.
+pub(crate) fn invalid(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Invalid(detail.into())
+}

@@ -141,6 +141,7 @@ pub trait KvServer<F: PrimeField> {
 // ---------------------------------------------------------------------
 
 /// The honest cloud store: materialises everything, proves everything.
+#[derive(Clone)]
 pub struct CloudStore<F: PrimeField> {
     log_u: u32,
     /// `value + 1` per key (0 = absent).
@@ -177,6 +178,32 @@ impl<F: PrimeField> CloudStore<F> {
             encoded: FrequencyVector::new_sparse(u),
             presence: FrequencyVector::new_sparse(u),
             raw: FrequencyVector::new_sparse(u),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Rebuilds a store from its three persisted vectors (server dataset
+    /// reload). The derived-vector invariants are the caller's problem:
+    /// the trio is persisted together and restored together, and a server
+    /// that lies about them only produces verifier rejections.
+    ///
+    /// # Panics
+    /// Panics if any vector's universe is not `2^log_u`.
+    pub fn from_vectors(
+        log_u: u32,
+        encoded: FrequencyVector,
+        presence: FrequencyVector,
+        raw: FrequencyVector,
+    ) -> Self {
+        let u = 1u64 << log_u;
+        assert_eq!(encoded.universe(), u, "encoded vector universe mismatch");
+        assert_eq!(presence.universe(), u, "presence vector universe mismatch");
+        assert_eq!(raw.universe(), u, "raw vector universe mismatch");
+        CloudStore {
+            log_u,
+            encoded,
+            presence,
+            raw,
             _marker: core::marker::PhantomData,
         }
     }
@@ -461,6 +488,61 @@ impl<F: PrimeField> Client<F> {
         }
         self.puts += pairs.len() as u64;
         encoded
+    }
+
+    /// The universe exponent this client was provisioned for.
+    pub fn log_u(&self) -> u32 {
+        self.log_u
+    }
+
+    /// Number of puts observed so far (checkpoint metadata).
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Borrowed views of every remaining digest copy, grouped by family —
+    /// what a client checkpoint must capture: `(reporting, range-sum,
+    /// range-count, f2, heavy)`.
+    #[allow(clippy::type_complexity)]
+    pub fn digests(
+        &self,
+    ) -> (
+        &[SubVectorVerifier<F>],
+        &[RangeSumVerifier<F>],
+        &[RangeSumVerifier<F>],
+        &[F2Verifier<F>],
+        &[CountTreeHasher<F>],
+    ) {
+        (
+            &self.reporting,
+            &self.range_sums,
+            &self.range_counts,
+            &self.f2s,
+            &self.heavies,
+        )
+    }
+
+    /// Rebuilds a client from checkpointed digests (checkpoint resume).
+    /// The remaining budget is simply the lengths of the restored digest
+    /// vectors — consumed copies are consumed forever, across restarts.
+    pub fn from_digests(
+        log_u: u32,
+        reporting: Vec<SubVectorVerifier<F>>,
+        range_sums: Vec<RangeSumVerifier<F>>,
+        range_counts: Vec<RangeSumVerifier<F>>,
+        f2s: Vec<F2Verifier<F>>,
+        heavies: Vec<CountTreeHasher<F>>,
+        puts: u64,
+    ) -> Self {
+        Client {
+            log_u,
+            reporting,
+            range_sums,
+            range_counts,
+            f2s,
+            heavies,
+            puts,
+        }
     }
 
     /// Remaining query budget `(reporting, aggregate, heavy)`.

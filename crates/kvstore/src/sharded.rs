@@ -60,6 +60,24 @@ impl<F: PrimeField> ShardedClient<F> {
         &self.plan
     }
 
+    /// Borrowed views of every shard's client (checkpoint state).
+    pub fn shard_clients(&self) -> &[Client<F>] {
+        &self.clients
+    }
+
+    /// Rebuilds a sharded client from checkpointed per-shard clients.
+    ///
+    /// # Panics
+    /// Panics if the client count disagrees with the plan's shard count.
+    pub fn from_shard_clients(plan: ShardPlan, clients: Vec<Client<F>>) -> Self {
+        assert_eq!(
+            clients.len() as u32,
+            plan.shards(),
+            "one client per shard of the plan"
+        );
+        ShardedClient { plan, clients }
+    }
+
     /// Client memory in words across every shard's remaining digests.
     pub fn space_words(&self) -> usize {
         self.clients.iter().map(Client::space_words).sum()

@@ -74,6 +74,9 @@ pub struct StreamingLdeEvaluator<F: PrimeField> {
     /// `chi[j·ℓ + k] = χ_k(r_j)` for digit position `j`, digit value `k`.
     chi: Vec<F>,
     acc: F,
+    /// Stream updates absorbed so far (checkpoint metadata, not protocol
+    /// state — resume integrity checks compare it across restarts).
+    updates: u64,
 }
 
 impl<F: PrimeField> StreamingLdeEvaluator<F> {
@@ -95,7 +98,23 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
             r,
             chi,
             acc: F::ZERO,
+            updates: 0,
         }
+    }
+
+    /// Rebuilds an evaluator from checkpointed protocol state: the point
+    /// `r`, the running accumulator, and the update counter. The χ lookup
+    /// table and [`DigitPlan`] are *derived* state — they are recomputed
+    /// from `(params, r)`, never restored from a snapshot — so a resumed
+    /// evaluator is field-for-field identical to one that never stopped.
+    ///
+    /// # Panics
+    /// Panics if `r.len() != params.dimension()`.
+    pub fn from_saved(params: LdeParams, r: Vec<F>, acc: F, updates: u64) -> Self {
+        let mut eval = Self::new(params, r);
+        eval.acc = acc;
+        eval.updates = updates;
+        eval
     }
 
     /// Creates an evaluator at a uniformly random secret point.
@@ -151,6 +170,7 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
     /// Processes one stream update: `f_a(r) += δ·χ_{v(i)}(r)`.
     pub fn update(&mut self, up: Update) {
         self.acc += F::from_i64(up.delta) * self.weight(up.index);
+        self.updates += 1;
     }
 
     /// Processes a whole stream.
@@ -170,6 +190,14 @@ impl<F: PrimeField> StreamingLdeEvaluator<F> {
             F::acc_add_prod(&mut acc, F::from_i64(up.delta), self.weight(up.index));
         }
         self.acc += F::acc_finish(acc);
+        self.updates += batch.len() as u64;
+    }
+
+    /// Number of stream updates absorbed so far (checkpoint metadata;
+    /// [`Self::remove`] is a query-time correction, not a stream update,
+    /// and does not count).
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Subtracts `c·χ_{v(i)}(r)` — used by the Section 6.2 protocol when the
@@ -347,6 +375,14 @@ impl PackedLayout {
     }
 }
 
+/// The packed-table words **one** [`MultiLdeEvaluator`] point costs for
+/// `params` — the derived state a restore must rebuild. Exposed so
+/// snapshot decoders (`sip-durable`) can bound reconstruction cost before
+/// allocating anything a forged point count would size.
+pub fn packed_table_words(params: LdeParams) -> usize {
+    PackedLayout::new(params).stride
+}
+
 /// Below this many updates a multi-threaded batch is all spawn overhead;
 /// [`MultiLdeEvaluator::update_batch_threads`] degrades to the serial
 /// batch path (values are identical either way).
@@ -377,6 +413,8 @@ pub struct MultiLdeEvaluator<F: PrimeField> {
     /// Point `p`'s packed group tables at `[p·stride, (p+1)·stride)`.
     tables: Vec<F>,
     accs: Vec<F>,
+    /// Stream updates absorbed so far (checkpoint metadata).
+    updates: u64,
 }
 
 impl<F: PrimeField> MultiLdeEvaluator<F> {
@@ -401,7 +439,25 @@ impl<F: PrimeField> MultiLdeEvaluator<F> {
             points: flat_points,
             tables,
             accs,
+            updates: 0,
         }
+    }
+
+    /// Rebuilds a multi-point evaluator from checkpointed protocol state:
+    /// the points, one accumulator per point, and the update counter. The
+    /// packed group tables are *derived* state — recomputed from
+    /// `(params, points)`, never restored from a snapshot — so a resumed
+    /// evaluator is field-for-field identical to one that never stopped.
+    ///
+    /// # Panics
+    /// Panics if any point does not have `d` coordinates or the
+    /// accumulator count differs from the point count.
+    pub fn from_saved(params: LdeParams, points: Vec<Vec<F>>, accs: Vec<F>, updates: u64) -> Self {
+        assert_eq!(points.len(), accs.len(), "one accumulator per point");
+        let mut eval = Self::new(params, points);
+        eval.accs = accs;
+        eval.updates = updates;
+        eval
     }
 
     /// `copies` evaluators at independent random points.
@@ -447,6 +503,12 @@ impl<F: PrimeField> MultiLdeEvaluator<F> {
             }
             *acc += delta * w;
         }
+        self.updates += 1;
+    }
+
+    /// Number of stream updates absorbed so far (checkpoint metadata).
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Computes, for one contiguous chunk of a batch, the finished
@@ -498,6 +560,7 @@ impl<F: PrimeField> MultiLdeEvaluator<F> {
         for (acc, v) in self.accs.iter_mut().zip(partial) {
             *acc += v;
         }
+        self.updates += batch.len() as u64;
     }
 
     /// Like [`Self::update_batch`], with the batch split into `threads`
@@ -536,6 +599,7 @@ impl<F: PrimeField> MultiLdeEvaluator<F> {
                 *acc += v;
             }
         }
+        self.updates += batch.len() as u64;
     }
 
     /// Values at all points.

@@ -31,6 +31,20 @@ impl LdeParams {
         LdeParams { ell, d }
     }
 
+    /// Fallible [`Self::new`] for untrusted inputs (checkpoint decoding):
+    /// returns `None` instead of panicking when `ell < 2`, `d == 0`, or
+    /// `ℓ^d` overflows `u64`.
+    pub fn try_new(ell: u64, d: u32) -> Option<Self> {
+        if ell < 2 || d == 0 {
+            return None;
+        }
+        let mut u: u64 = 1;
+        for _ in 0..d {
+            u = u.checked_mul(ell)?;
+        }
+        Some(LdeParams { ell, d })
+    }
+
     /// The paper's default: `ℓ = 2`, `d = log₂ u` for `u = 2^log_u`.
     pub fn binary(log_u: u32) -> Self {
         Self::new(2, log_u)

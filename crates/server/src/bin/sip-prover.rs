@@ -37,15 +37,19 @@ struct Args {
     field: u32,
     max_sessions: usize,
     threads: usize,
+    data_dir: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
-         [--field 61|127] [--max-sessions N] [--threads N]\n\
+         [--field 61|127] [--max-sessions N] [--threads N] [--data-dir PATH]\n\
          \n\
-         --threads N   worker threads per prover round-message pass;\n\
-         \x20             0 = auto-detect (available_parallelism), 1 = serial"
+         --threads N    worker threads per prover round-message pass;\n\
+         \x20              0 = auto-detect (available_parallelism), 1 = serial\n\
+         --data-dir P   persist published datasets and checkpoints under P\n\
+         \x20              and reload them on startup (crash recovery); omit\n\
+         \x20              for a memory-only prover"
     );
     exit(2);
 }
@@ -59,6 +63,7 @@ fn parse_args() -> Args {
         field: 61,
         max_sessions: 64,
         threads: 1,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,6 +83,7 @@ fn parse_args() -> Args {
                 args.max_sessions = parse_u32(&value("--max-sessions"), "--max-sessions") as usize
             }
             "--threads" => args.threads = parse_u32(&value("--threads"), "--threads") as usize,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -129,6 +135,7 @@ fn main() {
         shard,
         require_log_u: args.log_u,
         threads: args.threads,
+        data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     let handle = match args.field {
@@ -146,6 +153,9 @@ fn main() {
             exit(1);
         }
     };
+    if let Some(dir) = &args.data_dir {
+        println!("sip-prover: durable data dir {dir}");
+    }
     match shard {
         Some(spec) => println!(
             "sip-prover: shard {}/{} (Fp{}) listening on {}",

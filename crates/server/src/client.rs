@@ -188,6 +188,20 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
             other => Err(unexpected("dataset-ack", other.name())),
         }
     }
+
+    /// SaveState/Resume conversation: one message, expect a `StateAck`
+    /// whose enumeration contains the named id.
+    fn state_request(&mut self, msg: &Msg<F>, dataset_id: &str) -> Result<Vec<String>, Rejection> {
+        match self.request(msg)? {
+            Msg::StateAck { dataset_ids } if dataset_ids.iter().any(|id| id == dataset_id) => {
+                Ok(dataset_ids)
+            }
+            Msg::StateAck { dataset_ids } => Err(Rejection::MalformedAnswer {
+                detail: format!("state ack {dataset_ids:?} does not name {dataset_id:?}"),
+            }),
+            other => Err(unexpected("state-ack", other.name())),
+        }
+    }
 }
 
 type SharedConn<F, T> = Arc<Mutex<Conn<F, T>>>;
@@ -302,6 +316,35 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
         with_conn(&self.conn, |c| {
             c.dataset_request(
                 &Msg::Attach {
+                    dataset_id: dataset_id.to_string(),
+                },
+                dataset_id,
+            )
+        })
+    }
+
+    /// Asks the server to persist this session's current puts as a durable
+    /// named checkpoint (v4). Returns the server's full durable
+    /// enumeration. The session keeps putting afterwards.
+    pub fn save_state(&self, dataset_id: &str) -> Result<Vec<String>, Rejection> {
+        with_conn(&self.conn, |c| {
+            c.state_request(
+                &Msg::SaveState {
+                    dataset_id: dataset_id.to_string(),
+                },
+                dataset_id,
+            )
+        })
+    }
+
+    /// Resumes durable state saved under `dataset_id` (v4): a checkpoint
+    /// thaws into this session's private store (puts continue where they
+    /// stopped), a published dataset attaches frozen. Must precede any
+    /// put.
+    pub fn resume(&self, dataset_id: &str) -> Result<Vec<String>, Rejection> {
+        with_conn(&self.conn, |c| {
+            c.state_request(
+                &Msg::Resume {
                     dataset_id: dataset_id.to_string(),
                 },
                 dataset_id,
@@ -615,6 +658,32 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
     pub fn attach(&mut self, dataset_id: &str) -> Result<(), Rejection> {
         self.conn.dataset_request(
             &Msg::Attach {
+                dataset_id: dataset_id.to_string(),
+            },
+            dataset_id,
+        )
+    }
+
+    /// Asks the server to persist everything uploaded on this session as a
+    /// durable named checkpoint (v4). Returns the server's full durable
+    /// enumeration. The session keeps streaming afterwards — checkpoints
+    /// are progress marks, not freezes.
+    pub fn save_state(&mut self, dataset_id: &str) -> Result<Vec<String>, Rejection> {
+        self.conn.state_request(
+            &Msg::SaveState {
+                dataset_id: dataset_id.to_string(),
+            },
+            dataset_id,
+        )
+    }
+
+    /// Resumes durable state saved under `dataset_id` (v4): a checkpoint
+    /// thaws into this session's private store (ingest continues where it
+    /// stopped), a published dataset attaches frozen. Must precede any
+    /// update.
+    pub fn resume(&mut self, dataset_id: &str) -> Result<Vec<String>, Rejection> {
+        self.conn.state_request(
+            &Msg::Resume {
                 dataset_id: dataset_id.to_string(),
             },
             dataset_id,

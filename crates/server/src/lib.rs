@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod persist;
 pub mod registry;
 pub mod session;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -68,6 +70,11 @@ pub struct ServerConfig {
     /// Cap on published datasets held in the server-wide registry
     /// (published snapshots outlive their publishing sessions).
     pub max_datasets: usize,
+    /// Persist published datasets and named checkpoints here (`sip-prover
+    /// --data-dir`), and reload them on startup: `Publish` → crash →
+    /// restart → `Attach` works, and `Msg::SaveState` checkpoints
+    /// `Msg::Resume`. `None` = memory-only (state dies with the process).
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +89,7 @@ impl Default for ServerConfig {
             require_log_u: None,
             threads: 1,
             max_datasets: DEFAULT_MAX_DATASETS,
+            data_dir: None,
         }
     }
 }
@@ -141,8 +149,20 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
     let stop = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     // One registry per server: what any session publishes, every later
-    // session (on any thread) can attach to.
-    let registry: Arc<DatasetRegistry<F>> = Arc::new(DatasetRegistry::new(config.max_datasets));
+    // session (on any thread) can attach to. With a data directory it is
+    // reloaded from disk, so published datasets and checkpoints survive a
+    // crash of the previous process.
+    let registry: Arc<DatasetRegistry<F>> = match &config.data_dir {
+        Some(dir) => {
+            let reg = DatasetRegistry::with_data_dir(config.max_datasets, dir.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            for warning in reg.load_errors() {
+                eprintln!("sip-server: data-dir load: {warning}");
+            }
+            Arc::new(reg)
+        }
+        None => Arc::new(DatasetRegistry::new(config.max_datasets)),
+    };
 
     let accept_stop = Arc::clone(&stop);
     let accept_active = Arc::clone(&active);

@@ -360,6 +360,14 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.attach(dataset_id)?;
                 Ok(true)
             }
+            Msg::SaveState { dataset_id } => {
+                self.save_state(dataset_id)?;
+                Ok(true)
+            }
+            Msg::Resume { dataset_id } => {
+                self.resume(dataset_id)?;
+                Ok(true)
+            }
             Msg::EndStream => {
                 // Advisory: kept on the wire so a client can mark the
                 // paper's stream/query phase boundary, but the store keeps
@@ -523,6 +531,14 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
     /// acks; mode, `log_u`, and shard identity must agree (a session with
     /// no declared shard inherits the dataset's).
     fn attach(&mut self, dataset_id: String) -> Result<(), Flow> {
+        self.attach_checked(dataset_id.clone())?;
+        self.send(&Msg::DatasetAck { dataset_id })?;
+        Ok(())
+    }
+
+    /// The attach state change without the ack (shared with resume, which
+    /// answers `StateAck` instead).
+    fn attach_checked(&mut self, dataset_id: String) -> Result<(), Flow> {
         check_dataset_id(&dataset_id)?;
         if self.ingested {
             // Replacing the store would silently orphan session-local data.
@@ -531,6 +547,87 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         let Some(ds) = self.registry.get(&dataset_id) else {
             return Err(protocol(format!("no published dataset {dataset_id:?}")));
         };
+        // Shard identity: any declared identity (deploy pin *or* a client
+        // ShardHello) must match the snapshot's, or an attached fleet could
+        // serve another shard's slice and fail later as opaque sum-check
+        // blame on an honest shard. An undeclared session inherits it.
+        self.check_dataset_compat(&ds, &dataset_id)?;
+        self.store = Store::Shared(ds);
+        // Attached data counts as ingested: a later shard re-declaration
+        // could orphan it, so the same guard applies.
+        self.ingested = true;
+        Ok(())
+    }
+
+    /// Persists this session's current (session-private) data as a durable
+    /// named checkpoint and acks with the full durable enumeration. The
+    /// session keeps ingesting — checkpoints are progress marks, not
+    /// freezes — and re-saving an id overwrites its checkpoint.
+    fn save_state(&mut self, dataset_id: String) -> Result<(), Flow> {
+        check_dataset_id(&dataset_id)?;
+        let data = match &self.store {
+            Store::Raw(fv) => DatasetData::Raw(fv.clone()),
+            Store::Kv(s) => DatasetData::Kv(s.clone()),
+            Store::Shared(ds) => {
+                return Err(protocol(format!(
+                    "session serves published dataset {:?}, which is already durable",
+                    ds.id
+                )));
+            }
+        };
+        let dataset = Dataset {
+            id: dataset_id,
+            log_u: self.log_u,
+            shard: self.shard.map(|(spec, _, _)| spec),
+            data,
+        };
+        self.registry.save_checkpoint(dataset).map_err(protocol)?;
+        self.send(&Msg::StateAck {
+            dataset_ids: self.registry.durable_ids(),
+        })
+    }
+
+    /// Installs durable state saved under `dataset_id` as this session's
+    /// data: a named checkpoint thaws into a session-private store (ingest
+    /// continues where it stopped), a published dataset attaches frozen.
+    /// Same compatibility discipline as attach: must precede ingest; mode,
+    /// `log_u`, and shard identity must agree.
+    fn resume(&mut self, dataset_id: String) -> Result<(), Flow> {
+        check_dataset_id(&dataset_id)?;
+        if self.ingested {
+            return Err(protocol("resume must precede any ingest".to_string()));
+        }
+        let Some(ds) = self.registry.checkpoint(&dataset_id) else {
+            // Not a checkpoint: a published dataset resumes as a frozen
+            // attach (the one other thing "durable state under this id"
+            // can mean), with the attach checks applied verbatim.
+            if self.registry.get(&dataset_id).is_some() {
+                self.attach_checked(dataset_id.clone())?;
+                return self.send(&Msg::StateAck {
+                    dataset_ids: vec![dataset_id],
+                });
+            }
+            return Err(protocol(format!(
+                "no durable state saved under {dataset_id:?}"
+            )));
+        };
+        self.check_dataset_compat(&ds, &dataset_id)?;
+        // Thaw: the session gets its own mutable copy, so two sessions
+        // resuming one checkpoint diverge independently (each can
+        // re-checkpoint under its own id).
+        self.store = match &ds.data {
+            DatasetData::Raw(fv) => Store::Raw(fv.clone()),
+            DatasetData::Kv(s) => Store::Kv(s.clone()),
+        };
+        self.ingested = true;
+        self.send(&Msg::StateAck {
+            dataset_ids: vec![dataset_id],
+        })
+    }
+
+    /// The mode / `log_u` / shard agreement checks shared by attach and
+    /// resume.
+    fn check_dataset_compat(&mut self, ds: &Dataset<F>, dataset_id: &str) -> Result<(), Flow> {
         if ds.mode() != self.mode {
             return Err(protocol(format!(
                 "dataset {dataset_id:?} is a {} dataset, session handshook {}",
@@ -544,10 +641,6 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 ds.log_u, self.log_u
             )));
         }
-        // Shard identity: any declared identity (deploy pin *or* a client
-        // ShardHello) must match the snapshot's, or an attached fleet could
-        // serve another shard's slice and fail later as opaque sum-check
-        // blame on an honest shard. An undeclared session inherits it.
         match (self.shard.map(|(spec, _, _)| spec), ds.shard) {
             (Some(mine), Some(published)) if mine == published => {}
             (None, None) => {}
@@ -556,15 +649,10 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             }
             _ => {
                 return Err(protocol(format!(
-                    "dataset {dataset_id:?} was published under a different shard identity"
+                    "dataset {dataset_id:?} was saved under a different shard identity"
                 )));
             }
         }
-        self.store = Store::Shared(ds);
-        // Attached data counts as ingested: a later shard re-declaration
-        // could orphan it, so the same guard applies.
-        self.ingested = true;
-        self.send(&Msg::DatasetAck { dataset_id })?;
         Ok(())
     }
 
@@ -1235,6 +1323,233 @@ mod tests {
             });
             assert!(matches!(end, SessionEnd::ProtocolError(_)));
         }
+    }
+
+    fn durable_registry(tag: &str) -> (Arc<DatasetRegistry<Fp61>>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("sip-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            Arc::new(DatasetRegistry::with_data_dir(8, dir.clone()).unwrap()),
+            dir,
+        )
+    }
+
+    fn run_with_registry(
+        registry: Arc<DatasetRegistry<Fp61>>,
+        mode: SessionMode,
+        log_u: u32,
+        client: impl FnOnce(MsgChannel<InMemoryTransport>) + Send + 'static,
+    ) -> SessionEnd {
+        let (a, b) = InMemoryTransport::pair();
+        let server = thread::spawn(move || {
+            run_session_ctx::<Fp61, _>(
+                a,
+                mode,
+                log_u,
+                SessionContext {
+                    registry,
+                    ..SessionContext::default()
+                },
+            )
+        });
+        let c = thread::spawn(move || client(MsgChannel::new(b)));
+        let end = server.join().unwrap();
+        c.join().unwrap();
+        end
+    }
+
+    #[test]
+    fn save_state_then_resume_continues_the_stream() {
+        let (registry, dir) = durable_registry("resume");
+        // Session 1: ingest half, checkpoint, die (simulated crash: the
+        // connection just ends).
+        let end = run_with_registry(
+            Arc::clone(&registry),
+            SessionMode::RawStream,
+            4,
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(1, 3)]))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::SaveState {
+                    dataset_id: "half".into(),
+                })
+                .unwrap();
+                let Msg::StateAck { dataset_ids } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected state ack")
+                };
+                assert_eq!(dataset_ids, vec!["half".to_string()]);
+            },
+        );
+        assert_eq!(end, SessionEnd::PeerDone);
+
+        // "Restart": a fresh registry reloaded from the same directory.
+        let registry = Arc::new(DatasetRegistry::with_data_dir(8, dir.clone()).unwrap());
+        // Session 2: resume, finish the stream, query — F2 must cover both
+        // halves: a = [0, 3, 0, 2] ⇒ F2 = 13.
+        let end = run_with_registry(registry, SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Resume {
+                dataset_id: "half".into(),
+            })
+            .unwrap();
+            let Msg::StateAck { dataset_ids } = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected state ack")
+            };
+            assert_eq!(dataset_ids, vec!["half".to_string()]);
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 2)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Query(Query::SelfJoin)).unwrap();
+            let Msg::ClaimedValue(claimed) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected claim")
+            };
+            assert_eq!(claimed, Fp61::from_u64(13));
+            let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g1")
+            };
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_of_published_dataset_attaches_frozen() {
+        let (registry, dir) = durable_registry("resume-pub");
+        run_with_registry(
+            Arc::clone(&registry),
+            SessionMode::RawStream,
+            4,
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(2, 5)]))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::Publish {
+                    dataset_id: "pub".into(),
+                })
+                .unwrap();
+                let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected ack")
+                };
+                chan.send(&Msg::<Fp61>::Bye).unwrap();
+            },
+        );
+        let end = run_with_registry(registry, SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Resume {
+                dataset_id: "pub".into(),
+            })
+            .unwrap();
+            let Msg::StateAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected state ack")
+            };
+            // Published data stays frozen even through Resume.
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
+                .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_state_without_data_dir_is_refused() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::SaveState {
+                dataset_id: "x".into(),
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn resume_of_unknown_state_and_after_ingest_refused() {
+        let (registry, dir) = durable_registry("resume-bad");
+        let end = run_with_registry(
+            Arc::clone(&registry),
+            SessionMode::RawStream,
+            4,
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Resume {
+                    dataset_id: "nope".into(),
+                })
+                .unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            },
+        );
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+
+        let end = run_with_registry(registry, SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(1, 1)]))
+                .unwrap();
+            chan.send(&Msg::<Fp61>::Resume {
+                dataset_id: "whatever".into(),
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kv_checkpoint_resumes_with_store_semantics() {
+        let (registry, dir) = durable_registry("resume-kv");
+        run_with_registry(
+            Arc::clone(&registry),
+            SessionMode::KvStore,
+            4,
+            |mut chan| {
+                // One kv put (value 6 encoded as 7), then checkpoint.
+                chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(2, 7)]))
+                    .unwrap();
+                chan.send(&Msg::<Fp61>::SaveState {
+                    dataset_id: "kv".into(),
+                })
+                .unwrap();
+                let Msg::StateAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                    panic!("expected state ack")
+                };
+            },
+        );
+        let registry = Arc::new(DatasetRegistry::with_data_dir(8, dir.clone()).unwrap());
+        // A raw session must not resume a kv checkpoint.
+        let end = run_with_registry(
+            Arc::clone(&registry),
+            SessionMode::RawStream,
+            4,
+            |mut chan| {
+                chan.send(&Msg::<Fp61>::Resume {
+                    dataset_id: "kv".into(),
+                })
+                .unwrap();
+                assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+            },
+        );
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+        // A kv session resumes and keeps putting.
+        let end = run_with_registry(registry, SessionMode::KvStore, 4, |mut chan| {
+            chan.send(&Msg::<Fp61>::Resume {
+                dataset_id: "kv".into(),
+            })
+            .unwrap();
+            let Msg::StateAck { .. } = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected state ack")
+            };
+            chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(5, 3)]))
+                .unwrap();
+            // Range-count over the presence vector sees both keys.
+            chan.send(&Msg::<Fp61>::Query(Query::RangeCount { l: 0, r: 15 }))
+                .unwrap();
+            let Msg::ClaimedValue(claimed) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected claim")
+            };
+            assert_eq!(claimed, Fp61::from_u64(2));
+            let Msg::RoundPoly(_) = chan.recv::<Fp61>().unwrap() else {
+                panic!("expected g1")
+            };
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

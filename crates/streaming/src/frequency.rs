@@ -6,8 +6,10 @@ use std::collections::BTreeMap;
 use crate::update::Update;
 
 /// Threshold (in universe size) below which [`FrequencyVector::new`] picks a
-/// dense representation.
-const DENSE_LIMIT: u64 = 1 << 22;
+/// dense representation. Public so checkpoint decoders can refuse a dense
+/// snapshot claiming a universe this implementation would never hold
+/// densely.
+pub const DENSE_LIMIT: u64 = 1 << 22;
 
 /// A sparse vector promotes itself to dense once its support reaches
 /// `u / PROMOTE_DIVISOR` (for `u ≤ DENSE_LIMIT`): at that density the
@@ -68,6 +70,54 @@ impl FrequencyVector {
         let mut fv = Self::new(u);
         fv.apply_batch(stream);
         fv
+    }
+
+    /// Whether the current representation is the dense array (checkpoint
+    /// metadata: snapshots record the representation so a restored vector
+    /// behaves — promotes, allocates — exactly like the original).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// The dense backing array, when the representation is dense.
+    pub fn dense_values(&self) -> Option<&[i64]> {
+        match &self.repr {
+            Repr::Dense(v) => Some(v),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Rebuilds a *dense* vector from checkpointed state.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != u`.
+    pub fn from_dense(u: u64, values: Vec<i64>) -> Self {
+        assert_eq!(values.len() as u64, u, "dense array must cover [0, u)");
+        FrequencyVector {
+            u,
+            repr: Repr::Dense(values),
+        }
+    }
+
+    /// Rebuilds a *sparse* vector from checkpointed nonzero entries,
+    /// verbatim — no promotion check runs, so the restored representation
+    /// matches the snapshot exactly.
+    ///
+    /// # Panics
+    /// Panics if an index is outside `[0, u)` (callers decoding untrusted
+    /// snapshots must validate first).
+    pub fn from_sparse_entries(u: u64, entries: impl IntoIterator<Item = (u64, i64)>) -> Self {
+        let mut m = BTreeMap::new();
+        for (i, f) in entries {
+            assert!(i < u, "index {i} out of universe [0,{u})");
+            if f != 0 {
+                m.insert(i, f);
+            }
+        }
+        FrequencyVector {
+            u,
+            repr: Repr::Sparse(m),
+        }
     }
 
     /// The universe size `u`.

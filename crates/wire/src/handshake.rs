@@ -277,6 +277,25 @@ mod tests {
     }
 
     #[test]
+    fn v3_client_gets_version_error_not_length_error() {
+        // A pre-durability (v3) client sends a well-formed v3 Hello. The
+        // v4 server must name the version skew before any parse
+        // diagnostics.
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::KvStore, 12);
+        hello.version = 3;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: 3
+            }
+        );
+    }
+
+    #[test]
     fn v1_client_gets_version_error_not_length_error() {
         // A pre-cluster (v1) client sends a well-formed v1 Hello. The v2
         // server must name the version skew — the one diagnostic that has

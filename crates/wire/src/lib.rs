@@ -53,10 +53,13 @@ pub use msg::{Msg, Query, ShardSpec};
 /// [`Msg::BroadcastChallenge`]) and the `Blame` rejection encoding; **v3**
 /// added the multi-tenant dataset messages ([`Msg::Publish`],
 /// [`Msg::Attach`], [`Msg::DatasetAck`]) so one ingested stream can serve
-/// many verifier sessions. A v1 or v2 peer is refused at the handshake with
-/// an explicit [`WireError::VersionMismatch`] — the skew is named before
-/// any length or parse diagnostics, never a misparse.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// many verifier sessions; **v4** added the durability messages
+/// ([`Msg::SaveState`], [`Msg::StateAck`], [`Msg::Resume`]) so a client can
+/// ask the server to persist/enumerate datasets and a crashed session can
+/// resume from disk. A v1–v3 peer is refused at the handshake with an
+/// explicit [`WireError::VersionMismatch`] — the skew is named before any
+/// length or parse diagnostics, never a misparse.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The magic bytes opening every handshake frame.
 pub const MAGIC: [u8; 4] = *b"SIPW";
@@ -81,14 +84,17 @@ impl FieldId {
         }
     }
 
-    pub(crate) fn to_byte(self) -> u8 {
+    /// The id as its wire byte (also used by `sip-durable` snapshot
+    /// envelopes, so one field has one id everywhere).
+    pub fn to_byte(self) -> u8 {
         match self {
             FieldId::Fp61 => 61,
             FieldId::Fp127 => 127,
         }
     }
 
-    pub(crate) fn from_byte(b: u8) -> Result<Self, WireError> {
+    /// Parses a wire byte back into an id.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
         match b {
             61 => Ok(FieldId::Fp61),
             127 => Ok(FieldId::Fp127),

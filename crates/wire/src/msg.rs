@@ -202,6 +202,27 @@ pub enum Msg<F> {
         /// Registry name of the dataset to attach to.
         dataset_id: String,
     },
+    /// Persist this session's current (session-private) data as a durable
+    /// named checkpoint in the server's data directory (v4): the session
+    /// keeps ingesting and querying, and after a server crash a fresh
+    /// session can [`Msg::Resume`] the checkpoint. Re-saving under the
+    /// same id overwrites (checkpoints progress). Answered with
+    /// [`Msg::StateAck`] enumerating everything durable. Refused when the
+    /// server has no data directory.
+    SaveState {
+        /// Durable name for the checkpoint.
+        dataset_id: String,
+    },
+    /// Serve this session from the durable state saved under `dataset_id`
+    /// (v4): a named checkpoint thaws into a session-private store (ingest
+    /// continues where it stopped), a published dataset attaches frozen,
+    /// exactly like [`Msg::Attach`]. Must precede any ingest; mode,
+    /// `log_u`, and shard identity must agree with the saved state.
+    /// Answered with [`Msg::StateAck`] naming the resumed id.
+    Resume {
+        /// Durable name of the checkpoint or published dataset.
+        dataset_id: String,
+    },
     /// The verifier accepted the current query's proof.
     Accept,
     /// The verifier rejected; the payload says why (the prover lost).
@@ -229,6 +250,13 @@ pub enum Msg<F> {
         /// The dataset the session now serves.
         dataset_id: String,
     },
+    /// Confirms a [`Msg::SaveState`] or [`Msg::Resume`] (v4), listing the
+    /// durable dataset ids now on the server's disk (for `SaveState`: the
+    /// full enumeration; for `Resume`: the one resumed id).
+    StateAck {
+        /// Durable dataset ids, sorted.
+        dataset_ids: Vec<String>,
+    },
     /// The prover's own cumulative cost accounting for the connection,
     /// sent in reply to [`Msg::Bye`] (advisory; the verifier keeps its own
     /// books).
@@ -252,7 +280,10 @@ impl<F> Msg<F> {
             Msg::BroadcastChallenge { .. } => "broadcast-challenge",
             Msg::Publish { .. } => "publish",
             Msg::Attach { .. } => "attach",
+            Msg::SaveState { .. } => "save-state",
+            Msg::Resume { .. } => "resume",
             Msg::DatasetAck { .. } => "dataset-ack",
+            Msg::StateAck { .. } => "state-ack",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
             Msg::Bye => "bye",
@@ -281,6 +312,8 @@ const TAG_SHARD_HELLO: u8 = 0x0A;
 const TAG_BROADCAST_CHALLENGE: u8 = 0x0B;
 const TAG_PUBLISH: u8 = 0x0C;
 const TAG_ATTACH: u8 = 0x0D;
+const TAG_SAVE_STATE: u8 = 0x0E;
+const TAG_RESUME: u8 = 0x0F;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -290,6 +323,7 @@ const TAG_KEY_CLAIM: u8 = 0x86;
 const TAG_COST: u8 = 0x87;
 const TAG_ERROR: u8 = 0x88;
 const TAG_DATASET_ACK: u8 = 0x89;
+const TAG_STATE_ACK: u8 = 0x8A;
 
 impl<F: PrimeField> WireCodec for Msg<F> {
     fn encode(&self, w: &mut Writer) {
@@ -330,8 +364,20 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             Msg::Attach { dataset_id } => {
                 w.u8(TAG_ATTACH).string(dataset_id);
             }
+            Msg::SaveState { dataset_id } => {
+                w.u8(TAG_SAVE_STATE).string(dataset_id);
+            }
+            Msg::Resume { dataset_id } => {
+                w.u8(TAG_RESUME).string(dataset_id);
+            }
             Msg::DatasetAck { dataset_id } => {
                 w.u8(TAG_DATASET_ACK).string(dataset_id);
+            }
+            Msg::StateAck { dataset_ids } => {
+                w.u8(TAG_STATE_ACK).count(dataset_ids.len());
+                for id in dataset_ids {
+                    w.string(id);
+                }
             }
             Msg::Accept => {
                 w.u8(TAG_ACCEPT);
@@ -402,8 +448,17 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             TAG_ATTACH => Msg::Attach {
                 dataset_id: r.string()?,
             },
+            TAG_SAVE_STATE => Msg::SaveState {
+                dataset_id: r.string()?,
+            },
+            TAG_RESUME => Msg::Resume {
+                dataset_id: r.string()?,
+            },
             TAG_DATASET_ACK => Msg::DatasetAck {
                 dataset_id: r.string()?,
+            },
+            TAG_STATE_ACK => Msg::StateAck {
+                dataset_ids: r.seq(4, |r| r.string())?,
             },
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
@@ -482,6 +537,18 @@ mod tests {
         });
         roundtrip(Msg::Attach {
             dataset_id: String::new(),
+        });
+        roundtrip(Msg::SaveState {
+            dataset_id: "checkpoint-α".into(),
+        });
+        roundtrip(Msg::Resume {
+            dataset_id: "checkpoint-α".into(),
+        });
+        roundtrip(Msg::StateAck {
+            dataset_ids: vec![],
+        });
+        roundtrip(Msg::StateAck {
+            dataset_ids: vec!["a".into(), "trades-2026-07".into()],
         });
         roundtrip(Msg::DatasetAck {
             dataset_id: "δatasets-are-utf8 ✓".into(),

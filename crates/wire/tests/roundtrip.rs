@@ -69,6 +69,15 @@ fn messages<F: PrimeField>(
         Msg::DatasetAck {
             dataset_id: String::from_utf8(vec![b'a'; level as usize]).unwrap(),
         },
+        Msg::SaveState {
+            dataset_id: format!("ck-{level}"),
+        },
+        Msg::Resume {
+            dataset_id: format!("ck-{}", opt.unwrap_or(1)),
+        },
+        Msg::StateAck {
+            dataset_ids: raw.iter().map(|&(i, _)| format!("d{i}")).collect(),
+        },
         Msg::Accept,
         Msg::Reject(Rejection::in_subprotocol(
             "range-count",

@@ -42,6 +42,7 @@
 //! | [`gkr`] | Theorem 3: streaming GKR over layered arithmetic circuits |
 //! | [`kvstore`] | the motivating application: a verified outsourced KV store |
 //! | [`wire`] | the versioned binary wire format (framed messages, handshake) |
+//! | [`durable`] | checkpoint/restore: canonical snapshots of every verifier digest |
 //! | [`server`] | the prover as a concurrent TCP service + the remote verifier client |
 //! | [`cluster`] | sharded prover fleet: stream router, aggregating verifier, per-shard blame |
 //!
@@ -50,6 +51,7 @@
 
 pub use sip_cluster as cluster;
 pub use sip_core as core;
+pub use sip_durable as durable;
 pub use sip_field as field;
 pub use sip_gkr as gkr;
 pub use sip_kvstore as kvstore;

@@ -1,0 +1,379 @@
+//! Crash-recovery end to end: ingest half a stream, checkpoint the client
+//! digests and the server's session state, kill the server, restart it
+//! from the same `--data-dir`, resume, finish the stream, and query —
+//! results and `CostReport`s must be identical to a run that never
+//! crashed. Plus `Publish` → crash → restart → `Attach`, and a cluster
+//! variant restarting one shard (honest recovery, and `Blame` when the
+//! restarted shard is replaced by a `MaliciousStore`).
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::core::error::Rejection;
+use sip::core::sumcheck::f2::F2Verifier;
+use sip::core::sumcheck::range_sum::RangeSumVerifier;
+use sip::durable::{snapshot_from_bytes, snapshot_to_bytes};
+use sip::field::{Fp127, Fp61, PrimeField};
+use sip::kvstore::{
+    boxed_fleet, Attack, Client, CloudStore, KvServer, MaliciousStore, QueryBudget, ShardedClient,
+};
+use sip::server::client::{RawClient, RemoteStore};
+use sip::server::{spawn, ServerConfig};
+use sip::streaming::{workloads, FrequencyVector, ShardPlan};
+use sip::wire::ShardSpec;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sip-durable-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+/// Raw stream: half → checkpoint client + server → "kill" → restart from
+/// the same data dir → resume → finish → F2 + RANGE-SUM answers and
+/// reports identical to an uninterrupted session.
+fn raw_recovery_generic<F: PrimeField>(seed: u64, tag: &str) {
+    let log_u = 10;
+    let u = 1u64 << log_u;
+    let stream = workloads::with_deletions(600, u, 0.2, seed);
+    let cut = stream.len() / 2;
+    let fv = FrequencyVector::from_stream(u, &stream);
+    let (q_l, q_r) = (u / 4, 3 * u / 4);
+
+    // ---- Uninterrupted reference over TCP (same digest randomness). ----
+    let (ref_f2_result, ref_rs_result) = {
+        let server = spawn::<F, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client: RawClient<F, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f2 = F2Verifier::<F>::new(log_u, &mut rng);
+        let mut rs = RangeSumVerifier::<F>::new(log_u, &mut rng);
+        f2.update_batch(&stream);
+        rs.update_batch(&stream);
+        client.send_stream(&stream);
+        let f2_got = client.verify_f2(f2).unwrap();
+        let rs_got = client.verify_range_sum(rs, q_l, q_r).unwrap();
+        client.bye().unwrap();
+        server.shutdown();
+        (f2_got, rs_got)
+    };
+
+    // ---- Interrupted run. ----
+    let dir = temp_dir(tag);
+    let server = spawn::<F, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut client: RawClient<F, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f2 = F2Verifier::<F>::new(log_u, &mut rng);
+    let mut rs = RangeSumVerifier::<F>::new(log_u, &mut rng);
+
+    // First half, then checkpoint both sides.
+    f2.update_batch(&stream[..cut]);
+    rs.update_batch(&stream[..cut]);
+    client.send_batch(&stream[..cut]);
+    let durable = client.save_state("session-α").unwrap();
+    assert_eq!(durable, vec!["session-α".to_string()]);
+    let f2_snapshot = snapshot_to_bytes(&f2);
+    let rs_snapshot = snapshot_to_bytes(&rs);
+
+    // "Crash": the server goes away mid-session; the client connection is
+    // dead and the in-memory second half of nothing survives.
+    drop(client);
+    server.shutdown();
+    drop(f2);
+    drop(rs);
+
+    // Restart from the same data dir; a *fresh* client restores its
+    // digests from the snapshot and resumes the server-side checkpoint.
+    let server = spawn::<F, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut client: RawClient<F, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    let resumed_ids = client.resume("session-α").unwrap();
+    assert_eq!(resumed_ids, vec!["session-α".to_string()]);
+    let mut f2: F2Verifier<F> = snapshot_from_bytes(&f2_snapshot).unwrap();
+    let mut rs: RangeSumVerifier<F> = snapshot_from_bytes(&rs_snapshot).unwrap();
+
+    // Finish the stream and query.
+    f2.update_batch(&stream[cut..]);
+    rs.update_batch(&stream[cut..]);
+    client.send_batch(&stream[cut..]);
+    let f2_got = client.verify_f2(f2).unwrap();
+    let rs_got = client.verify_range_sum(rs, q_l, q_r).unwrap();
+    client.bye().unwrap();
+    server.shutdown();
+
+    assert_eq!(
+        f2_got.value,
+        F::from_u128(fv.self_join_size() as u128),
+        "recovered F2 wrong"
+    );
+    assert_eq!(
+        f2_got, ref_f2_result,
+        "F2 result/report diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        rs_got, ref_rs_result,
+        "RANGE-SUM result/report diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn raw_stream_crash_recovery() {
+    raw_recovery_generic::<Fp61>(42, "raw61");
+}
+
+#[test]
+fn raw_stream_crash_recovery_fp127() {
+    raw_recovery_generic::<Fp127>(42, "raw127");
+}
+
+/// KV store: puts half → checkpoint kv client + server session → kill →
+/// restart → resume → finish puts → the full query families answer
+/// identically to an uninterrupted run.
+#[test]
+fn kv_crash_recovery() {
+    let log_u = 9;
+    let seed = 5u64;
+    let pairs: Vec<(u64, u64)> = {
+        let s = workloads::distinct_key_values(80, 1 << log_u, 900, seed);
+        s.iter().map(|u| (u.index, u.delta as u64)).collect()
+    };
+    let cut = pairs.len() / 2;
+
+    // Uninterrupted reference (same digest randomness, remote server).
+    let reference = {
+        let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut store: RemoteStore<Fp61, _> =
+            RemoteStore::connect(server.local_addr(), log_u).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kv = Client::<Fp61>::new(log_u, QueryBudget::default(), &mut rng);
+        kv.put_batch(&pairs, &mut store);
+        let get = kv.get(pairs[0].0, &store).unwrap();
+        let sum = kv.range_sum(0, (1 << log_u) - 1, &store).unwrap();
+        let sj = kv.self_join_size(&store).unwrap();
+        let heavy = kv.heavy_keys(500, &store).unwrap();
+        store.bye().unwrap();
+        server.shutdown();
+        (get, sum, sj, heavy)
+    };
+
+    let dir = temp_dir("kv");
+    let server = spawn::<Fp61, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut store: RemoteStore<Fp61, _> = RemoteStore::connect(server.local_addr(), log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kv = Client::<Fp61>::new(log_u, QueryBudget::default(), &mut rng);
+    kv.put_batch(&pairs[..cut], &mut store);
+    store.save_state("kv-ck").unwrap();
+    let kv_snapshot = snapshot_to_bytes(&kv);
+
+    drop(store);
+    server.shutdown();
+    drop(kv);
+
+    let server = spawn::<Fp61, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut store: RemoteStore<Fp61, _> = RemoteStore::connect(server.local_addr(), log_u).unwrap();
+    store.resume("kv-ck").unwrap();
+    let mut kv: Client<Fp61> = snapshot_from_bytes(&kv_snapshot).unwrap();
+    kv.put_batch(&pairs[cut..], &mut store);
+
+    let get = kv.get(pairs[0].0, &store).unwrap();
+    let sum = kv.range_sum(0, (1 << log_u) - 1, &store).unwrap();
+    let sj = kv.self_join_size(&store).unwrap();
+    let heavy = kv.heavy_keys(500, &store).unwrap();
+    store.bye().unwrap();
+    server.shutdown();
+
+    assert_eq!(get, reference.0, "get diverged");
+    assert_eq!(sum, reference.1, "range_sum diverged");
+    assert_eq!(sj, reference.2, "self_join_size diverged");
+    assert_eq!(heavy, reference.3, "heavy_keys diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Publish → crash → restart → Attach: the frozen dataset reloads from
+/// disk and serves a verifier that observed the original stream.
+#[test]
+fn publish_survives_crash_and_serves_attach() {
+    let log_u = 8;
+    let stream = workloads::paper_f2(1 << log_u, 3);
+    let truth = FrequencyVector::from_stream(1 << log_u, &stream).self_join_size();
+    let dir = temp_dir("publish");
+
+    let server = spawn::<Fp61, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut owner: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    owner.send_stream(&stream);
+    owner.publish("published-δ").unwrap();
+    owner.bye().unwrap();
+    server.shutdown(); // crash after publish
+
+    let server = spawn::<Fp61, _>("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let mut verifier_client: RawClient<Fp61, _> =
+        RawClient::connect(server.local_addr(), log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut digest = F2Verifier::<Fp61>::new(log_u, &mut rng);
+    digest.update_all(&stream);
+    verifier_client.attach("published-δ").unwrap();
+    let got = verifier_client.verify_f2(digest).unwrap();
+    assert_eq!(got.value, Fp61::from_u128(truth as u128));
+    verifier_client.bye().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns one shard server with its own data dir.
+fn spawn_shard(
+    index: u32,
+    count: u32,
+    log_u: u32,
+    dir: &std::path::Path,
+) -> sip::server::ServerHandle {
+    spawn::<Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            shard: Some(ShardSpec { index, count }),
+            require_log_u: Some(log_u),
+            data_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Cluster variant: a 2-shard kv fleet over TCP; shard 1 crashes after a
+/// checkpoint and restarts from its data dir — the sharded client (itself
+/// checkpoint-restored) finishes the upload and every cross-shard query
+/// answers exactly like an uninterrupted fleet. Then the restarted shard
+/// is replaced by a `MaliciousStore` holding the same data: queries
+/// touching it are rejected with `Blame(1)` while shard 0 stays
+/// trustworthy.
+#[test]
+fn cluster_shard_restart_and_blame() {
+    let log_u = 8;
+    let shards = 2u32;
+    let seed = 23u64;
+    let plan = ShardPlan::new(log_u, shards);
+    let pairs: Vec<(u64, u64)> = {
+        let s = workloads::distinct_key_values(60, 1 << log_u, 800, seed);
+        s.iter().map(|u| (u.index, u.delta as u64)).collect()
+    };
+    let cut = pairs.len() / 2;
+    let budget = QueryBudget::default();
+
+    // Uninterrupted reference over a local fleet with identical digest
+    // randomness.
+    let reference = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+        let mut fleet = boxed_fleet::<Fp61, _>((0..shards).map(|_| CloudStore::new_sparse(log_u)));
+        client.put_batch(&pairs, &mut fleet);
+        let range = client.range(0, (1 << log_u) - 1, &fleet).unwrap();
+        let sum = client.range_sum(0, (1 << log_u) - 1, &fleet).unwrap();
+        (range, sum)
+    };
+
+    let dirs: Vec<PathBuf> = (0..shards)
+        .map(|s| temp_dir(&format!("cluster-s{s}")))
+        .collect();
+    let mut handles: Vec<_> = (0..shards)
+        .map(|s| spawn_shard(s, shards, log_u, &dirs[s as usize]))
+        .collect();
+    let mut stores: Vec<RemoteStore<Fp61, _>> = handles
+        .iter()
+        .map(|h| RemoteStore::connect(h.local_addr(), log_u).unwrap())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+    {
+        let mut fleet = sip::cluster::boxed_kv_fleet(&stores);
+        client.put_batch(&pairs[..cut], &mut fleet);
+    }
+    // Checkpoint every shard's session and the sharded client itself.
+    for (s, store) in stores.iter().enumerate() {
+        store.save_state(&format!("shard-{s}")).unwrap();
+    }
+    let client_snapshot = snapshot_to_bytes(&client);
+
+    // Shard 1 crashes.
+    let lost = handles.pop().unwrap();
+    drop(stores.pop());
+    lost.shutdown();
+    drop(client);
+
+    // …and restarts from its own data dir; a fresh connection resumes.
+    handles.push(spawn_shard(1, shards, log_u, &dirs[1]));
+    let replacement: RemoteStore<Fp61, _> =
+        RemoteStore::connect(handles[1].local_addr(), log_u).unwrap();
+    replacement.resume("shard-1").unwrap();
+    stores.push(replacement);
+
+    let mut client: ShardedClient<Fp61> = snapshot_from_bytes(&client_snapshot).unwrap();
+    {
+        let mut fleet = sip::cluster::boxed_kv_fleet(&stores);
+        client.put_batch(&pairs[cut..], &mut fleet);
+        let fleet = sip::cluster::boxed_kv_fleet(&stores);
+        let range = client.range(0, (1 << log_u) - 1, &fleet).unwrap();
+        let sum = client.range_sum(0, (1 << log_u) - 1, &fleet).unwrap();
+        assert_eq!(
+            range, reference.0,
+            "fleet range diverged after shard restart"
+        );
+        assert_eq!(
+            sum, reference.1,
+            "fleet range-sum diverged after shard restart"
+        );
+    }
+    for store in &stores {
+        let _ = store.bye();
+    }
+    for h in handles {
+        h.shutdown();
+    }
+
+    // ---- Blame: the "restarted" shard is an impostor. ----
+    // Same digests, same data — but shard 1 is now a MaliciousStore that
+    // corrupts reporting answers. Queries routed to it must be rejected
+    // with Blame naming shard 1; shard 0 answers keep verifying.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+    let mut honest_fleet =
+        boxed_fleet::<Fp61, _>((0..shards).map(|_| CloudStore::new_sparse(log_u)));
+    client.put_batch(&pairs, &mut honest_fleet);
+
+    let mut evil_shard1 = CloudStore::<Fp61>::new_sparse(log_u);
+    let (lo1, _hi1) = plan.range(1);
+    for &(k, v) in &pairs {
+        if k >= lo1 {
+            evil_shard1.ingest(sip::streaming::Update::new(k, v as i64 + 1));
+        }
+    }
+    let mut fleet = honest_fleet;
+    fleet[1] = Box::new(MaliciousStore::new(evil_shard1, Attack::CorruptValues))
+        as Box<dyn KvServer<Fp61>>;
+
+    // A scan over shard 1's half of the key space must blame shard 1 …
+    let err = client
+        .range(lo1, (1 << log_u) - 1, &fleet)
+        .expect_err("malicious replacement accepted");
+    assert_eq!(err.blamed_shard(), Some(1), "{err:?}");
+    assert!(matches!(err, Rejection::Blame { shard_id: 1, .. }));
+    // … while shard 0 stays trustworthy.
+    let ok = client.range(0, lo1 - 1, &fleet).unwrap();
+    let expect_shard0: Vec<(u64, u64)> = pairs
+        .iter()
+        .copied()
+        .filter(|&(k, _)| k < lo1)
+        .collect::<std::collections::BTreeMap<u64, u64>>()
+        .into_iter()
+        .collect();
+    assert_eq!(ok.value, expect_shard0);
+
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
