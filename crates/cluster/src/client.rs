@@ -29,8 +29,39 @@ pub struct ClusterVerified<T> {
     pub report: ClusterCostReport,
 }
 
+/// The single choke point every shard-attributable failure passes through:
+/// count it and name the guilty shard in a structured event before the
+/// [`Rejection::Blame`] propagates.
 fn blame(s: usize, e: Rejection) -> Rejection {
+    if sip_obs::enabled() {
+        sip_obs::counter("sip_cluster_blame_total").inc();
+    }
+    sip_obs::event!(
+        sip_obs::Level::Warn,
+        "sip.cluster",
+        "shard blamed",
+        "shard" => s,
+        "rejection" => e,
+    );
     Rejection::blame(s as u32, e)
+}
+
+/// One shard reply, with the blocking wait booked to that shard's
+/// `sip_cluster_shard_wait_us` series — the fleet's lockstep rounds go at
+/// the pace of the slowest shard, and this is how you find it.
+fn recv_msg_timed<F: PrimeField, T: Transport>(
+    s: usize,
+    shard: &mut RawClient<F, T>,
+) -> Result<Msg<F>, Rejection> {
+    if !sip_obs::enabled() {
+        return shard.recv_msg();
+    }
+    let timer = sip_obs::Timer::start();
+    let out = shard.recv_msg();
+    let label = s.to_string();
+    sip_obs::histogram_with("sip_cluster_shard_wait_us", &[("shard", &label)])
+        .observe(timer.elapsed_us());
+    out
 }
 
 fn unexpected(s: usize, expected: &'static str, got: &'static str) -> Rejection {
@@ -230,13 +261,13 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
                     .map_err(|e| blame(s, e))?;
             }
             for (s, shard) in self.shards.iter_mut().enumerate() {
-                let claimed = match shard.recv_msg() {
+                let claimed = match recv_msg_timed(s, shard) {
                     Ok(Msg::ClaimedValue(v)) => v,
                     Ok(other) => return Err(unexpected(s, "claimed-value", other.name())),
                     Err(e) => return Err(blame(s, e)),
                 };
                 report.per_shard[s].p_to_v_words += 1;
-                let poly = match shard.recv_msg() {
+                let poly = match recv_msg_timed(s, shard) {
                     Ok(Msg::RoundPoly(p)) => p,
                     Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
                     Err(e) => return Err(blame(s, e)),
@@ -272,7 +303,7 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
                                 .map_err(|e| blame(s, e))?;
                         }
                         for (s, shard) in self.shards.iter_mut().enumerate() {
-                            polys[s] = match shard.recv_msg() {
+                            polys[s] = match recv_msg_timed(s, shard) {
                                 Ok(Msg::RoundPoly(p)) => p,
                                 Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
                                 Err(e) => return Err(blame(s, e)),

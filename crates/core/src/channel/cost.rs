@@ -51,6 +51,52 @@ impl CostReport {
         self.v_to_p_words += other.v_to_p_words;
         self.verifier_space_words += other.verifier_space_words;
     }
+
+    /// The report as `(name, value)` metric samples, named as the server
+    /// exports them (`sip_server_last_cost_*`). One canonical list: the
+    /// session layer publishes these as gauges on `Bye`, and anything else
+    /// that wants cost-as-metrics reuses the same names.
+    pub fn to_metrics(&self) -> [(&'static str, u64); 5] {
+        [
+            ("sip_server_last_cost_rounds", self.rounds as u64),
+            (
+                "sip_server_last_cost_p_to_v_words",
+                self.p_to_v_words as u64,
+            ),
+            (
+                "sip_server_last_cost_v_to_p_words",
+                self.v_to_p_words as u64,
+            ),
+            (
+                "sip_server_last_cost_verifier_space_words",
+                self.verifier_space_words as u64,
+            ),
+            (
+                "sip_server_last_cost_total_words",
+                self.total_words() as u64,
+            ),
+        ]
+    }
+}
+
+/// The canonical human-readable block; every example prints costs through
+/// this rather than hand-rolling its own lines.
+///
+/// ```text
+/// rounds: 12  comm: 39 words (30 p->v, 9 v->p)  verifier space: 21 words
+/// ```
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds: {}  comm: {} words ({} p->v, {} v->p)  verifier space: {} words",
+            self.rounds,
+            self.total_words(),
+            self.p_to_v_words,
+            self.v_to_p_words,
+            self.verifier_space_words
+        )
+    }
 }
 
 /// Cost accounting for a sharded run: one [`CostReport`] per prover shard
@@ -123,6 +169,23 @@ mod tests {
         assert_eq!(r.comm_bytes(61), 39 * 8);
         assert_eq!(r.space_bytes(61), 21 * 8);
         assert_eq!(r.comm_bytes(127), 39 * 16);
+    }
+
+    #[test]
+    fn display_and_metrics_agree_on_totals() {
+        let r = CostReport {
+            rounds: 12,
+            p_to_v_words: 30,
+            v_to_p_words: 9,
+            verifier_space_words: 21,
+        };
+        assert_eq!(
+            r.to_string(),
+            "rounds: 12  comm: 39 words (30 p->v, 9 v->p)  verifier space: 21 words"
+        );
+        let metrics = r.to_metrics();
+        assert_eq!(metrics[0], ("sip_server_last_cost_rounds", 12));
+        assert_eq!(metrics[4], ("sip_server_last_cost_total_words", 39));
     }
 
     #[test]

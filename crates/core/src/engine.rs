@@ -28,11 +28,50 @@
 //! construction, and `tests/engine_equivalence.rs` checks the transcripts
 //! pairwise anyway.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 use sip_field::PrimeField;
 use sip_lde::MultiLdeEvaluator;
 use sip_streaming::Update;
 
 use crate::fold::{chunk_range, FoldVector};
+
+/// Pre-resolved metric handles for the engine hot paths. Resolution walks a
+/// map under a mutex, so it happens once per process; afterwards every
+/// counted call is a handful of relaxed atomic adds. Timers are sampled
+/// 1-in-[`TIMER_SAMPLE`] — `Instant::now` is the only non-trivial cost here
+/// and a fold/batch call already amortises it over thousands of blocks.
+struct EngineMetrics {
+    fold_messages: sip_obs::Counter,
+    fold_blocks: sip_obs::Counter,
+    fold_message_us: sip_obs::Histogram,
+    ingest_updates: sip_obs::Counter,
+    ingest_batch_us: sip_obs::Histogram,
+    sample: AtomicU64,
+}
+
+const TIMER_SAMPLE: u64 = 16;
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        fold_messages: sip_obs::counter("sip_fold_messages_total"),
+        fold_blocks: sip_obs::counter("sip_fold_blocks_total"),
+        fold_message_us: sip_obs::histogram("sip_fold_message_us"),
+        ingest_updates: sip_obs::counter("sip_ingest_updates_total"),
+        ingest_batch_us: sip_obs::histogram("sip_ingest_batch_us"),
+        sample: AtomicU64::new(0),
+    })
+}
+
+impl EngineMetrics {
+    fn sampled(&self) -> bool {
+        self.sample
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(TIMER_SAMPLE)
+    }
+}
 
 /// Below this many blocks a parallel walk is all spawn overhead; the kernel
 /// silently degrades to the serial path. (The tail rounds of every fold
@@ -166,7 +205,17 @@ impl ProverPool {
     /// are identical at any thread count — same discipline as
     /// [`Self::fold_message`].
     pub fn ingest_batch<F: PrimeField>(&self, eval: &mut MultiLdeEvaluator<F>, batch: &[Update]) {
+        if !sip_obs::enabled() {
+            eval.update_batch_threads(batch, self.threads);
+            return;
+        }
+        let metrics = engine_metrics();
+        let timer = metrics.sampled().then(sip_obs::Timer::start);
         eval.update_batch_threads(batch, self.threads);
+        metrics.ingest_updates.add(batch.len() as u64);
+        if let Some(timer) = timer {
+            metrics.ingest_batch_us.observe(timer.elapsed_us());
+        }
     }
 
     /// Produces one round message: walks `source` once, feeding every block
@@ -184,6 +233,22 @@ impl ProverPool {
     ) -> Vec<F> {
         let slots = combine.slots();
         let blocks = source.blocks();
+        let timer = if sip_obs::enabled() {
+            let metrics = engine_metrics();
+            metrics.fold_messages.inc();
+            metrics.fold_blocks.add(blocks);
+            metrics
+                .sampled()
+                .then(|| (metrics, sip_obs::Timer::start()))
+        } else {
+            None
+        };
+        let finish = move |msg: Vec<F>| {
+            if let Some((metrics, timer)) = timer {
+                metrics.fold_message_us.observe(timer.elapsed_us());
+            }
+            msg
+        };
         let chunks = if blocks >= MIN_PARALLEL_BLOCKS {
             self.threads.max(1).min(blocks as usize)
         } else {
@@ -192,7 +257,7 @@ impl ProverPool {
         if chunks <= 1 {
             let mut acc = vec![F::DotAcc::default(); slots];
             source.walk_chunk(0, 1, |m, a, b| combine.accumulate(m, a, b, &mut acc));
-            return acc.into_iter().map(F::acc_finish).collect();
+            return finish(acc.into_iter().map(F::acc_finish).collect());
         }
         let mut partials: Vec<Vec<F::DotAcc>> = (0..chunks)
             .map(|_| vec![F::DotAcc::default(); slots])
@@ -210,7 +275,7 @@ impl ProverPool {
                 *slot += F::acc_finish(acc);
             }
         }
-        out
+        finish(out)
     }
 }
 

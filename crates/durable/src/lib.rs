@@ -341,6 +341,7 @@ pub fn save_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<(), SnapshotErro
             limit: MAX_SNAPSHOT_BYTES,
         });
     }
+    let timer = sip_obs::enabled().then(sip_obs::Timer::start);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let tmp = path.with_extension("tmp-sipd");
     {
@@ -356,6 +357,11 @@ pub fn save_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<(), SnapshotErro
             let _ = d.sync_all();
         }
     }
+    if let Some(timer) = timer {
+        sip_obs::counter("sip_durable_saves_total").inc();
+        sip_obs::histogram("sip_durable_snapshot_bytes").observe(bytes.len() as u64);
+        sip_obs::histogram("sip_durable_save_us").observe(timer.elapsed_us());
+    }
     Ok(())
 }
 
@@ -369,6 +375,7 @@ pub fn load_snapshot<T: Persist>(path: &Path) -> Result<T, SnapshotError> {
 /// Reads one snapshot file's raw bytes, enforcing [`MAX_SNAPSHOT_BYTES`]
 /// *before* allocating.
 pub fn load_snapshot_bytes(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let timer = sip_obs::enabled().then(sip_obs::Timer::start);
     let f = fs::File::open(path).map_err(|e| io_err(path, e))?;
     let len = f.metadata().map_err(|e| io_err(path, e))?.len();
     if len > MAX_SNAPSHOT_BYTES {
@@ -381,6 +388,10 @@ pub fn load_snapshot_bytes(path: &Path) -> Result<Vec<u8>, SnapshotError> {
     f.take(MAX_SNAPSHOT_BYTES + 1)
         .read_to_end(&mut bytes)
         .map_err(|e| io_err(path, e))?;
+    if let Some(timer) = timer {
+        sip_obs::counter("sip_durable_loads_total").inc();
+        sip_obs::histogram("sip_durable_load_us").observe(timer.elapsed_us());
+    }
     Ok(bytes)
 }
 

@@ -1,0 +1,364 @@
+//! Structured events: levelled, targeted, key=value records dispatched to
+//! pluggable [`Sink`]s.
+//!
+//! With no sink installed, `Warn`/`Error` events fall back to stderr (so a
+//! bare library user still sees problems) and lower levels are dropped —
+//! emitting an event that nobody listens to costs one atomic load and one
+//! branch.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::json_escape;
+
+/// Event severity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-operation detail (span timings, per-frame notes).
+    Debug = 0,
+    /// Normal lifecycle (session served, dataset published).
+    Info = 1,
+    /// Something was skipped or refused but the process continues.
+    Warn = 2,
+    /// An operation failed.
+    Error = 3,
+}
+
+impl Level {
+    /// Lower-case name, as rendered in lines and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured event record.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Milliseconds since the Unix epoch at emission.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Dotted subsystem name, e.g. `sip.server`.
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Ordered key=value fields.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// The stderr line format:
+    /// `[1722430000.123] warn sip.server: message key=value …`.
+    /// Values containing spaces or quotes are double-quoted.
+    pub fn line(&self) -> String {
+        let mut out = format!(
+            "[{}.{:03}] {} {}: {}",
+            self.ts_ms / 1000,
+            self.ts_ms % 1000,
+            self.level,
+            self.target,
+            self.message
+        );
+        for (k, v) in &self.fields {
+            if v.contains([' ', '"', '=']) {
+                let _ = write!(out, " {k}=\"{}\"", v.replace('"', "\\\""));
+            } else {
+                let _ = write!(out, " {k}={v}");
+            }
+        }
+        out
+    }
+
+    /// The JSONL format: one flat object per event.
+    pub fn json(&self) -> String {
+        let mut out = format!(
+            "{{\"ts_ms\": {}, \"level\": \"{}\", \"target\": \"{}\", \"msg\": \"{}\"",
+            self.ts_ms,
+            self.level,
+            json_escape(self.target),
+            json_escape(&self.message)
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ", \"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An event consumer. Sinks must be cheap and must never panic — they run
+/// inline on whatever thread emitted the event.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+}
+
+static SINKS: RwLock<Vec<Arc<dyn Sink>>> = RwLock::new(Vec::new());
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Installs an additional sink (events fan out to every installed sink).
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    SINKS
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(sink);
+}
+
+/// Removes every installed sink (tests; restores the stderr fallback).
+pub fn clear_sinks() {
+    SINKS
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+}
+
+/// Sets the global minimum level; events below it are dropped at the
+/// emission site.
+pub fn set_min_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be dispatched — the cheap
+/// pre-check the [`crate::event!`] macro uses before formatting anything.
+pub fn event_would_log(level: Level) -> bool {
+    crate::enabled() && level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Dispatches one event to the installed sinks (or the stderr fallback for
+/// `Warn`+ when none is installed). Prefer the [`crate::event!`] macro.
+pub fn emit(
+    level: Level,
+    target: &'static str,
+    message: &str,
+    fields: Vec<(&'static str, String)>,
+) {
+    if !event_would_log(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let event = Event {
+        ts_ms,
+        level,
+        target,
+        message: message.to_string(),
+        fields,
+    };
+    let sinks = SINKS
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if sinks.is_empty() {
+        if level >= Level::Warn {
+            eprintln!("{}", event.line());
+        }
+        return;
+    }
+    for sink in sinks.iter() {
+        sink.record(&event);
+    }
+}
+
+/// Writes `event.line()` to stderr for events at or above a threshold.
+pub struct StderrSink {
+    min: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink passing events at `min` and above.
+    pub fn new(min: Level) -> Self {
+        StderrSink { min }
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        if event.level >= self.min {
+            eprintln!("{}", event.line());
+        }
+    }
+}
+
+/// Appends `event.json()` lines to a file (the `--log-json` sink).
+pub struct JsonlSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Opens (creating or appending) the JSONL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Best effort: a full disk must not take the prover down.
+        let _ = writeln!(file, "{}", event.json());
+    }
+}
+
+/// Keeps the most recent `cap` events in memory (tests and debugging).
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (older ones are evicted).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drains and returns the buffered events, oldest first.
+    pub fn take(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// An RAII timing scope: emits a `Debug` event with an `elapsed_us` field
+/// when dropped. Build one with the [`crate::span!`] macro.
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Opens a span; the clock starts now.
+    pub fn new(target: &'static str, name: &'static str) -> Self {
+        Span {
+            target,
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a key=value field (builder style, used by [`crate::span!`]).
+    pub fn field(mut self, key: &'static str, value: &dyn std::fmt::Display) -> Self {
+        self.fields.push((key, value.to_string()));
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !event_would_log(Level::Debug) {
+            return;
+        }
+        let elapsed_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut fields = std::mem::take(&mut self.fields);
+        fields.push(("elapsed_us", elapsed_us.to_string()));
+        emit(Level::Debug, self.target, self.name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_json_formats() {
+        let event = Event {
+            ts_ms: 1_722_430_000_123,
+            level: Level::Warn,
+            target: "sip.test",
+            message: "snapshot skipped".into(),
+            fields: vec![("file", "a.sipd".into()), ("reason", "bad checksum".into())],
+        };
+        assert_eq!(
+            event.line(),
+            "[1722430000.123] warn sip.test: snapshot skipped file=a.sipd reason=\"bad checksum\""
+        );
+        assert_eq!(
+            event.json(),
+            "{\"ts_ms\": 1722430000123, \"level\": \"warn\", \"target\": \"sip.test\", \
+             \"msg\": \"snapshot skipped\", \"file\": \"a.sipd\", \"reason\": \"bad checksum\"}"
+        );
+        assert_eq!(event.field("file"), Some("a.sipd"));
+        assert_eq!(event.field("nope"), None);
+    }
+
+    #[test]
+    fn ring_sink_caps_and_orders() {
+        let ring = RingSink::new(2);
+        for i in 0..3u32 {
+            ring.record(&Event {
+                ts_ms: i as u64,
+                level: Level::Info,
+                target: "sip.test",
+                message: format!("e{i}"),
+                fields: vec![],
+            });
+        }
+        let events: Vec<String> = ring.events().iter().map(|e| e.message.clone()).collect();
+        assert_eq!(events, vec!["e1", "e2"]);
+        assert_eq!(ring.take().len(), 2);
+        assert!(ring.events().is_empty());
+    }
+}

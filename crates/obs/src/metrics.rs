@@ -1,0 +1,490 @@
+//! The metrics half of the crate: lock-cheap atomic instruments in a
+//! process-global [`Registry`], rendered as a Prometheus-style text dump or
+//! a JSON snapshot.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared
+//! atomics: resolving one takes a short mutex-guarded name lookup, after
+//! which every operation is a single relaxed atomic instruction. Hot paths
+//! resolve their handles once (e.g. in a `OnceLock`) and then pay only the
+//! atomics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of histogram buckets: powers of two `2^0 .. 2^22` plus a final
+/// overflow bucket (rendered as `+Inf`). Values are unit-agnostic `u64`s —
+/// the convention in this workspace is microseconds for latencies and raw
+/// counts for sizes.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (current level of something: sessions, datasets, bytes).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII increment: bumps a gauge on construction and undoes it on drop —
+/// the level can never leak, whatever path unwinds the scope.
+pub struct GaugeGuard(Gauge);
+
+impl GaugeGuard {
+    /// Increments `gauge` and returns the guard that will decrement it.
+    pub fn new(gauge: Gauge) -> Self {
+        gauge.add(1);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram over power-of-two bounds: bucket `i` covers
+/// `(2^(i-1), 2^i]`, the last bucket overflows to `+Inf`.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time of `timer` in microseconds.
+    pub fn observe_timer(&self, timer: Timer) {
+        self.observe(timer.elapsed_us());
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A started wall-clock measurement (a thin [`Instant`]), consumed by
+/// [`Histogram::observe_timer`].
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Microseconds since [`Timer::start`], saturating.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// The name-to-instrument map. One process-global instance lives behind
+/// [`registry`]; tests may build private ones.
+///
+/// Keys are full metric identities including labels, e.g.
+/// `sip_server_msg_total{msg="ingest"}`. Base names should already be
+/// Prometheus-safe (`[a-z0-9_]`).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Builds the full metric key `name{k="v",...}` for a labelled instrument.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(
+            key,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    key.push('}');
+    key
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolves (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Resolves the labelled counter `name{labels}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&metric_key(name, labels))
+    }
+
+    /// Resolves (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Resolves the labelled gauge `name{labels}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&metric_key(name, labels))
+    }
+
+    /// Resolves (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.histograms);
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram(Arc::new(HistogramCore::new())))
+            .clone()
+    }
+
+    /// Resolves the labelled histogram `name{labels}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(&metric_key(name, labels))
+    }
+
+    /// Renders every instrument in Prometheus text exposition format
+    /// (counters, gauges, and cumulative-`le` histograms), sorted by name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters = lock(&self.counters).clone();
+        let mut last_base = String::new();
+        for (key, c) in &counters {
+            type_line(&mut out, key, "counter", &mut last_base);
+            let _ = writeln!(out, "{key} {}", c.get());
+        }
+        let gauges = lock(&self.gauges).clone();
+        last_base.clear();
+        for (key, g) in &gauges {
+            type_line(&mut out, key, "gauge", &mut last_base);
+            let _ = writeln!(out, "{key} {}", g.get());
+        }
+        let histograms = lock(&self.histograms).clone();
+        last_base.clear();
+        for (key, h) in &histograms {
+            let (base, labels) = split_key(key);
+            type_line(&mut out, key, "histogram", &mut last_base);
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, n) in counts.iter().enumerate() {
+                cumulative += n;
+                let le = if i + 1 == HISTOGRAM_BUCKETS {
+                    "+Inf".to_string()
+                } else {
+                    (1u64 << i).to_string()
+                };
+                let sep = if labels.is_empty() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let lbl = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "{base}_sum{lbl} {}", h.sum());
+            let _ = writeln!(out, "{base}_count{lbl} {}", h.count());
+        }
+        out
+    }
+
+    /// Renders every instrument as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+    /// deterministic (sorted) key order.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = lock(&self.counters).clone();
+        for (i, (key, c)) in counters.iter().enumerate() {
+            let comma = if i > 0 { "," } else { "" };
+            let _ = write!(out, "{comma}\n    \"{}\": {}", json_escape(key), c.get());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let gauges = lock(&self.gauges).clone();
+        for (i, (key, g)) in gauges.iter().enumerate() {
+            let comma = if i > 0 { "," } else { "" };
+            let _ = write!(out, "{comma}\n    \"{}\": {}", json_escape(key), g.get());
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = lock(&self.histograms).clone();
+        for (i, (key, h)) in histograms.iter().enumerate() {
+            let comma = if i > 0 { "," } else { "" };
+            let _ = write!(
+                out,
+                "{comma}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(key),
+                h.count(),
+                h.sum()
+            );
+            for (j, n) in h.bucket_counts().iter().enumerate() {
+                let comma = if j > 0 { ", " } else { "" };
+                let _ = write!(out, "{comma}{n}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Splits a full key into `(base_name, label_body)` — the label body is the
+/// text between the braces, empty when unlabelled.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (key, ""),
+    }
+}
+
+/// Emits one `# TYPE` header per base name (keys are sorted, so equal bases
+/// are adjacent).
+fn type_line(out: &mut String, key: &str, kind: &str, last_base: &mut String) {
+    let (base, _) = split_key(key);
+    if base != last_base {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        last_base.clear();
+        last_base.push_str(base);
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every instrumented crate reports into.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the global registry.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// [`Registry::counter_with`] on the global registry.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+    registry().counter_with(name, labels)
+}
+
+/// [`Registry::gauge`] on the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// [`Registry::gauge_with`] on the global registry.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    registry().gauge_with(name, labels)
+}
+
+/// [`Registry::histogram`] on the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// [`Registry::histogram_with`] on the global registry.
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Histogram {
+    registry().histogram_with(name, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("t_total").get(), 5);
+        let g = reg.gauge("t_level");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(reg.gauge("t_level").get(), 4);
+    }
+
+    #[test]
+    fn gauge_guard_restores_on_drop() {
+        let reg = Registry::new();
+        let g = reg.gauge("t_sessions");
+        {
+            let _a = GaugeGuard::new(g.clone());
+            let _b = GaugeGuard::new(g.clone());
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_us");
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2); // 0 and 1
+        assert_eq!(counts[1], 1); // 2
+        assert_eq!(counts[2], 2); // 3, 4
+        assert_eq!(counts[10], 1); // 1000 ≤ 1024
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1); // overflow
+    }
+
+    #[test]
+    fn labels_build_distinct_instruments() {
+        let reg = Registry::new();
+        reg.counter_with("t_msg_total", &[("msg", "ingest")]).inc();
+        reg.counter_with("t_msg_total", &[("msg", "bye")]).add(2);
+        assert_eq!(
+            reg.counter_with("t_msg_total", &[("msg", "ingest")]).get(),
+            1
+        );
+        assert_eq!(reg.counter_with("t_msg_total", &[("msg", "bye")]).get(), 2);
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let reg = Registry::new();
+        reg.counter_with("t_msg_total", &[("msg", "ingest")]).add(3);
+        reg.counter_with("t_msg_total", &[("msg", "bye")]).inc();
+        reg.gauge("t_active").set(2);
+        reg.histogram_with("t_us", &[("shard", "0")]).observe(5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE t_msg_total counter"));
+        assert_eq!(text.matches("# TYPE t_msg_total counter").count(), 1);
+        assert!(text.contains("t_msg_total{msg=\"ingest\"} 3"));
+        assert!(text.contains("t_msg_total{msg=\"bye\"} 1"));
+        assert!(text.contains("# TYPE t_active gauge"));
+        assert!(text.contains("t_active 2"));
+        assert!(text.contains("# TYPE t_us histogram"));
+        assert!(text.contains("t_us_bucket{shard=\"0\",le=\"8\"} 1"));
+        assert!(text.contains("t_us_bucket{shard=\"0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("t_us_sum{shard=\"0\"} 5"));
+        assert!(text.contains("t_us_count{shard=\"0\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_escaped_and_deterministic() {
+        let reg = Registry::new();
+        reg.counter_with("t_total", &[("msg", "a\"b")]).inc();
+        reg.gauge("t_g").set(-4);
+        reg.histogram("t_h").observe(3);
+        let a = reg.snapshot_json();
+        let b = reg.snapshot_json();
+        assert_eq!(a, b);
+        assert!(a.contains("t_total{msg=\\\"a\\\\\\\"b\\\"}"), "{a}");
+        assert!(a.contains("\"t_g\": -4"));
+        assert!(a.contains("\"count\": 1, \"sum\": 3"));
+    }
+}

@@ -19,6 +19,13 @@
 //!   (default 1 = serial; `0` auto-detects the machine's parallelism, so a
 //!   1-CPU box runs serial instead of losing throughput to idle workers;
 //!   transcripts are identical at any setting, only wall-clock changes).
+//! * `--metrics-addr ADDR` — bind a read-only ops listener: `/metrics` is
+//!   Prometheus text, `/stats` a JSON snapshot. Runs on its own thread and
+//!   never touches a serving session.
+//! * `--log-json PATH` — append structured events to `PATH` as JSON lines
+//!   (without it, `warn`+ events go to stderr).
+//! * `--strict-load` — with `--data-dir`, exit nonzero if any snapshot on
+//!   disk fails to reload instead of skipping it with a warning.
 //!
 //! The process serves until killed. Soundness never depends on this binary
 //! behaving: the verifier rejects anything inconsistent with its digests.
@@ -38,18 +45,27 @@ struct Args {
     max_sessions: usize,
     threads: usize,
     data_dir: Option<String>,
+    metrics_addr: Option<String>,
+    log_json: Option<String>,
+    strict_load: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
-         [--field 61|127] [--max-sessions N] [--threads N] [--data-dir PATH]\n\
+         [--field 61|127] [--max-sessions N] [--threads N] [--data-dir PATH] \
+         [--metrics-addr ADDR] [--log-json PATH] [--strict-load]\n\
          \n\
          --threads N    worker threads per prover round-message pass;\n\
          \x20              0 = auto-detect (available_parallelism), 1 = serial\n\
          --data-dir P   persist published datasets and checkpoints under P\n\
          \x20              and reload them on startup (crash recovery); omit\n\
-         \x20              for a memory-only prover"
+         \x20              for a memory-only prover\n\
+         --metrics-addr A  read-only ops listener: /metrics (Prometheus\n\
+         \x20              text) and /stats (JSON)\n\
+         --log-json P   append structured events to P as JSON lines\n\
+         --strict-load  exit nonzero if any --data-dir snapshot fails to\n\
+         \x20              reload, instead of skipping it with a warning"
     );
     exit(2);
 }
@@ -64,6 +80,9 @@ fn parse_args() -> Args {
         max_sessions: 64,
         threads: 1,
         data_dir: None,
+        metrics_addr: None,
+        log_json: None,
+        strict_load: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +103,9 @@ fn parse_args() -> Args {
             }
             "--threads" => args.threads = parse_u32(&value("--threads"), "--threads") as usize,
             "--data-dir" => args.data_dir = Some(value("--data-dir")),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--log-json" => args.log_json = Some(value("--log-json")),
+            "--strict-load" => args.strict_load = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -103,6 +125,15 @@ fn parse_u32(s: &str, name: &str) -> u32 {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.log_json {
+        match sip_obs::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => sip_obs::add_sink(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("--log-json {path}: {e}");
+                exit(1);
+            }
+        }
+    }
     let shard = match (args.shard, args.of) {
         (Some(index), Some(count)) => {
             if index >= count {
@@ -136,6 +167,8 @@ fn main() {
         require_log_u: args.log_u,
         threads: args.threads,
         data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
+        metrics_addr: args.metrics_addr.clone(),
+        strict_load: args.strict_load,
         ..ServerConfig::default()
     };
     let handle = match args.field {
@@ -149,12 +182,17 @@ fn main() {
     let handle = match handle {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("bind {} failed: {e}", args.listen);
+            // Covers both a failed bind and a --strict-load refusal; the
+            // error text names which.
+            eprintln!("sip-prover: startup failed on {}: {e}", args.listen);
             exit(1);
         }
     };
     if let Some(dir) = &args.data_dir {
         println!("sip-prover: durable data dir {dir}");
+    }
+    if let Some(ops) = handle.ops_addr() {
+        println!("sip-prover: metrics on http://{ops}/metrics (stats: /stats)");
     }
     match shard {
         Some(spec) => println!(

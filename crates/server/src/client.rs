@@ -631,6 +631,16 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         self.conn.chan.stats()
     }
 
+    /// Asks the server for its live metrics snapshot ([`Msg::Stats`]): the
+    /// same JSON document its `--metrics-addr` listener serves at `/stats`.
+    /// Advisory operator telemetry — nothing in it is verified.
+    pub fn server_stats(&mut self) -> Result<String, Rejection> {
+        match self.conn.request(&Msg::Stats)? {
+            Msg::StatsReply { json } => Ok(json),
+            other => Err(unexpected("stats-reply", other.name())),
+        }
+    }
+
     /// Declares this connection to be shard `spec.index` of a fleet of
     /// `spec.count` — must precede any update.
     pub fn shard_hello(&mut self, spec: ShardSpec) -> Result<(), Rejection> {

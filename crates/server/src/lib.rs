@@ -75,6 +75,15 @@ pub struct ServerConfig {
     /// restart → `Attach` works, and `Msg::SaveState` checkpoints
     /// `Msg::Resume`. `None` = memory-only (state dies with the process).
     pub data_dir: Option<PathBuf>,
+    /// Bind a read-only ops listener here (`sip-prover --metrics-addr`):
+    /// `/metrics` is Prometheus text, `/stats` a JSON snapshot. The
+    /// listener runs on its own thread, never touches a session, and is
+    /// bounded against hostile input (see [`sip_obs::ops`]).
+    pub metrics_addr: Option<String>,
+    /// Treat any snapshot that fails to reload from `data_dir` as a
+    /// startup error (`sip-prover --strict-load`) instead of skipping it
+    /// with a warning event.
+    pub strict_load: bool,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +99,8 @@ impl Default for ServerConfig {
             threads: 1,
             max_datasets: DEFAULT_MAX_DATASETS,
             data_dir: None,
+            metrics_addr: None,
+            strict_load: false,
         }
     }
 }
@@ -101,12 +112,18 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
+    ops: Option<sip_obs::OpsHandle>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The ops listener's bound address, when one was configured.
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(|h| h.local_addr())
     }
 
     /// Number of sessions currently being served.
@@ -132,6 +149,9 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(ops) = self.ops.take() {
+            ops.shutdown();
+        }
     }
 }
 
@@ -156,12 +176,35 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
         Some(dir) => {
             let reg = DatasetRegistry::with_data_dir(config.max_datasets, dir.clone())
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            // Each skipped snapshot is one structured warning (with no sink
+            // installed these still land on stderr) plus a gauge, so a
+            // scrape shows a lossy restart long after the log scrolled by.
             for warning in reg.load_errors() {
-                eprintln!("sip-server: data-dir load: {warning}");
+                sip_obs::event!(
+                    sip_obs::Level::Warn,
+                    "sip.server.registry",
+                    "data-dir load skipped a snapshot",
+                    "reason" => warning,
+                );
+            }
+            sip_obs::gauge("sip_registry_load_errors").set(reg.load_errors().len() as i64);
+            if config.strict_load && !reg.load_errors().is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "--strict-load: {} snapshot(s) failed to reload from {}",
+                        reg.load_errors().len(),
+                        dir.display()
+                    ),
+                ));
             }
             Arc::new(reg)
         }
         None => Arc::new(DatasetRegistry::new(config.max_datasets)),
+    };
+    let ops = match &config.metrics_addr {
+        Some(addr) => Some(sip_obs::serve_ops(addr.as_str())?),
+        None => None,
     };
 
     let accept_stop = Arc::clone(&stop);
@@ -187,7 +230,7 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
                 let spawned = thread::Builder::new()
                     .name("sip-session".into())
                     .spawn(move || {
-                        let _guard = SessionGuard(counter);
+                        let _guard = SessionGuard::new(counter);
                         serve_connection::<F>(stream, &config, registry);
                     });
                 if spawned.is_err() {
@@ -201,14 +244,29 @@ pub fn spawn<F: PrimeField, A: ToSocketAddrs>(
         stop,
         active,
         accept_thread: Some(accept_thread),
+        ops,
     })
 }
 
-struct SessionGuard(Arc<AtomicUsize>);
+/// Decrements the capacity counter when a session thread exits, and keeps
+/// the `sip_server_active_sessions` gauge in lockstep with it.
+struct SessionGuard {
+    counter: Arc<AtomicUsize>,
+    _gauge: sip_obs::GaugeGuard,
+}
+
+impl SessionGuard {
+    fn new(counter: Arc<AtomicUsize>) -> Self {
+        SessionGuard {
+            counter,
+            _gauge: sip_obs::GaugeGuard::new(sip_obs::gauge("sip_server_active_sessions")),
+        }
+    }
+}
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

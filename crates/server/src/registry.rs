@@ -363,6 +363,9 @@ impl<F: PrimeField> DatasetRegistry<F> {
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .insert(arc.id.clone(), Arc::clone(&arc));
+        if sip_obs::enabled() {
+            sip_obs::counter("sip_registry_publish_total").inc();
+        }
         Ok(arc)
     }
 
@@ -395,6 +398,9 @@ impl<F: PrimeField> DatasetRegistry<F> {
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .insert(arc.id.clone(), Arc::clone(&arc));
+        if sip_obs::enabled() {
+            sip_obs::counter("sip_registry_checkpoint_total").inc();
+        }
         Ok(())
     }
 

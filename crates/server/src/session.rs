@@ -19,7 +19,7 @@
 //! via [`CloudStore`]'s vectors) — outsourcing changes where the prover
 //! runs, not what it computes.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use sip_core::channel::Transport;
 use sip_core::engine::ProverPool;
@@ -32,13 +32,41 @@ use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_kvstore::{CloudStore, KvServer};
 use sip_streaming::{FrequencyVector, ShardPlan};
-use sip_wire::{Msg, MsgChannel, Query, SessionMode, ShardSpec, WireError};
+use sip_wire::{Msg, MsgChannel, Query, SessionMode, ShardSpec, WireCodec, WireError};
 
 use crate::registry::{Dataset, DatasetData, DatasetRegistry, MAX_DATASET_ID_LEN};
 
 /// Upper bound on `log_u` a session may request (a 2^40 dense universe is
 /// already far beyond what the dense provers should materialise).
 pub const MAX_LOG_U: u32 = 40;
+
+/// Pre-resolved handles for the session's fixed metrics; per-`Msg`-variant
+/// counters go through the registry's labelled lookup instead (one frame =
+/// at least one syscall, so a map lookup there is noise).
+struct SessionMetrics {
+    frames: sip_obs::Counter,
+    decode_us: sip_obs::Histogram,
+    handle_us: sip_obs::Histogram,
+    ingest_updates: sip_obs::Counter,
+    rejections: sip_obs::Counter,
+    protocol_errors: sip_obs::Counter,
+    wire_faults: sip_obs::Counter,
+    attached: sip_obs::Gauge,
+}
+
+fn session_metrics() -> &'static SessionMetrics {
+    static METRICS: OnceLock<SessionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SessionMetrics {
+        frames: sip_obs::counter("sip_server_frames_total"),
+        decode_us: sip_obs::histogram("sip_server_decode_us"),
+        handle_us: sip_obs::histogram("sip_server_handle_us"),
+        ingest_updates: sip_obs::counter("sip_server_ingest_updates_total"),
+        rejections: sip_obs::counter("sip_server_rejections_total"),
+        protocol_errors: sip_obs::counter("sip_server_protocol_errors_total"),
+        wire_faults: sip_obs::counter("sip_server_wire_faults_total"),
+        attached: sip_obs::gauge("sip_server_attached_sessions"),
+    })
+}
 
 /// The currently open query, if any.
 enum Active<F: PrimeField> {
@@ -193,6 +221,9 @@ struct ServerSession<F: PrimeField, T: Transport> {
     /// reported back as [`Msg::Cost`] when the verifier says goodbye. The
     /// verifier keeps its own books; this is the prover's advisory copy.
     served: CostReport,
+    /// Holds the attached-sessions gauge up while this session serves a
+    /// shared (published) dataset; dropping the session decrements it.
+    attached_guard: Option<sip_obs::GaugeGuard>,
 }
 
 impl<F: PrimeField, T: Transport> ServerSession<F, T> {
@@ -221,6 +252,16 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             shard_pinned: false,
             ingested: false,
             served: CostReport::default(),
+            attached_guard: None,
+        }
+    }
+
+    /// Marks this session as serving a shared dataset on the
+    /// `sip_server_attached_sessions` gauge (idempotent per session).
+    fn mark_attached(&mut self) {
+        if self.attached_guard.is_none() {
+            self.attached_guard =
+                Some(sip_obs::GaugeGuard::new(session_metrics().attached.clone()));
         }
     }
 
@@ -270,22 +311,69 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
 
     fn run(&mut self) -> SessionEnd {
         loop {
-            let msg = match self.chan.recv::<F>() {
+            let msg = match self.recv_instrumented() {
                 Ok(msg) => msg,
                 Err(WireError::Transport(_)) => return SessionEnd::PeerDone,
-                Err(e) => return self.fail(format!("undecodable frame: {e}")),
+                Err(e) => {
+                    if sip_obs::enabled() {
+                        session_metrics().wire_faults.inc();
+                    }
+                    return self.fail(format!("undecodable frame: {e}"));
+                }
             };
-            match self.handle(msg) {
+            let outcome = if sip_obs::enabled() {
+                sip_obs::counter_with("sip_server_msg_total", &[("msg", msg.name())]).inc();
+                if matches!(msg, Msg::Reject(_)) {
+                    session_metrics().rejections.inc();
+                }
+                let timer = sip_obs::Timer::start();
+                let outcome = self.handle(msg);
+                session_metrics().handle_us.observe(timer.elapsed_us());
+                outcome
+            } else {
+                self.handle(msg)
+            };
+            match outcome {
                 Ok(true) => continue,
                 Ok(false) => return SessionEnd::PeerDone,
                 Err(Flow::Protocol(detail)) => return self.fail(detail),
-                Err(Flow::Wire(e)) => return SessionEnd::TransportFailed(e),
+                Err(Flow::Wire(e)) => {
+                    if sip_obs::enabled() {
+                        session_metrics().wire_faults.inc();
+                    }
+                    return SessionEnd::TransportFailed(e);
+                }
             }
         }
     }
 
+    /// One `chan.recv`, split so the blocking wait for a frame is *not*
+    /// charged to decode time: the frame-counter bump and decode timer
+    /// start only once the transport has handed over bytes.
+    fn recv_instrumented(&mut self) -> Result<Msg<F>, WireError> {
+        if !sip_obs::enabled() {
+            return self.chan.recv::<F>();
+        }
+        let frame = self.chan.transport_mut().recv_frame()?;
+        let metrics = session_metrics();
+        metrics.frames.inc();
+        let timer = sip_obs::Timer::start();
+        let msg = Msg::from_bytes(&frame);
+        metrics.decode_us.observe(timer.elapsed_us());
+        msg
+    }
+
     /// Sends a final error frame (best effort) and reports the end state.
     fn fail(&mut self, detail: String) -> SessionEnd {
+        if sip_obs::enabled() {
+            session_metrics().protocol_errors.inc();
+        }
+        sip_obs::event!(
+            sip_obs::Level::Warn,
+            "sip.server.session",
+            "session ended with a protocol error",
+            "detail" => detail,
+        );
         let _ = self.chan.send(&Msg::<F>::Error(detail.clone()));
         SessionEnd::ProtocolError(detail)
     }
@@ -325,6 +413,9 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                     }
                 }
                 self.ingested |= !ups.is_empty();
+                if sip_obs::enabled() {
+                    session_metrics().ingest_updates.add(ups.len() as u64);
+                }
                 // One whole wire frame = one batched ingest call: the
                 // sorted-merge / delayed-reduction bulk paths replace the
                 // per-update loops, with identical resulting state.
@@ -451,7 +542,29 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.active = Active::Idle;
                 Ok(true)
             }
+            Msg::Stats => {
+                // Ops telemetry over the session's own wire: the same JSON
+                // document the `--metrics-addr` listener serves, advisory
+                // and unverified like `Msg::Cost`.
+                let json = sip_obs::registry().snapshot_json();
+                self.send(&Msg::StatsReply { json })?;
+                Ok(true)
+            }
             Msg::Bye => {
+                // Export the session's cost books before saying goodbye, so
+                // a scrape after any session shows what the last one cost.
+                if sip_obs::enabled() {
+                    for (name, value) in self.served.to_metrics() {
+                        sip_obs::gauge(name).set(value as i64);
+                    }
+                }
+                sip_obs::event!(
+                    sip_obs::Level::Info,
+                    "sip.server.session",
+                    "session closed",
+                    "rounds" => self.served.rounds,
+                    "total_words" => self.served.total_words(),
+                );
                 // Best effort: the report is advisory and the peer may hang
                 // up without reading it — that is still a clean goodbye.
                 let _ = self.chan.send(&Msg::<F>::Cost(self.served));
@@ -523,6 +636,7 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         };
         let arc = self.registry.publish(dataset).map_err(protocol)?;
         self.store = Store::Shared(arc);
+        self.mark_attached();
         self.send(&Msg::DatasetAck { dataset_id })?;
         Ok(())
     }
@@ -553,6 +667,10 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         // blame on an honest shard. An undeclared session inherits it.
         self.check_dataset_compat(&ds, &dataset_id)?;
         self.store = Store::Shared(ds);
+        self.mark_attached();
+        if sip_obs::enabled() {
+            sip_obs::counter("sip_registry_attach_total").inc();
+        }
         // Attached data counts as ingested: a later shard re-declaration
         // could orphan it, so the same guard applies.
         self.ingested = true;
@@ -612,6 +730,9 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             )));
         };
         self.check_dataset_compat(&ds, &dataset_id)?;
+        if sip_obs::enabled() {
+            sip_obs::counter("sip_registry_restore_total").inc();
+        }
         // Thaw: the session gets its own mutable copy, so two sessions
         // resuming one checkpoint diverge independently (each can
         // re-checkpoint under its own id).

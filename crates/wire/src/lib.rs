@@ -59,6 +59,11 @@ pub use msg::{Msg, Query, ShardSpec};
 /// resume from disk. A v1–v3 peer is refused at the handshake with an
 /// explicit [`WireError::VersionMismatch`] — the skew is named before any
 /// length or parse diagnostics, never a misparse.
+///
+/// Still v4: the ops messages ([`Msg::Stats`], [`Msg::StatsReply`]) are a
+/// compatible extension — new tags only, no existing encoding changed. An
+/// older v4 peer that never sends `Stats` is unaffected; one that receives
+/// it rejects the unknown tag explicitly rather than misparsing.
 pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The magic bytes opening every handshake frame.

@@ -223,6 +223,12 @@ pub enum Msg<F> {
         /// Durable name of the checkpoint or published dataset.
         dataset_id: String,
     },
+    /// Ask the server for its live metrics snapshot (ops, not protocol:
+    /// the answer is advisory operator telemetry, never verified data).
+    /// Answered with [`Msg::StatsReply`]. A v4-compatible extension — the
+    /// tag is new but nothing existing changed encoding, so older peers
+    /// refuse it explicitly as a bad tag instead of misparsing.
+    Stats,
     /// The verifier accepted the current query's proof.
     Accept,
     /// The verifier rejected; the payload says why (the prover lost).
@@ -257,6 +263,13 @@ pub enum Msg<F> {
         /// Durable dataset ids, sorted.
         dataset_ids: Vec<String>,
     },
+    /// The server's metrics snapshot answering [`Msg::Stats`]: the same
+    /// JSON document the `--metrics-addr` listener serves at `/stats`.
+    /// Advisory and unauthenticated, like [`Msg::Cost`].
+    StatsReply {
+        /// JSON snapshot of the server's metrics registry.
+        json: String,
+    },
     /// The prover's own cumulative cost accounting for the connection,
     /// sent in reply to [`Msg::Bye`] (advisory; the verifier keeps its own
     /// books).
@@ -284,6 +297,8 @@ impl<F> Msg<F> {
             Msg::Resume { .. } => "resume",
             Msg::DatasetAck { .. } => "dataset-ack",
             Msg::StateAck { .. } => "state-ack",
+            Msg::Stats => "stats",
+            Msg::StatsReply { .. } => "stats-reply",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
             Msg::Bye => "bye",
@@ -314,6 +329,7 @@ const TAG_PUBLISH: u8 = 0x0C;
 const TAG_ATTACH: u8 = 0x0D;
 const TAG_SAVE_STATE: u8 = 0x0E;
 const TAG_RESUME: u8 = 0x0F;
+const TAG_STATS: u8 = 0x10;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -324,6 +340,7 @@ const TAG_COST: u8 = 0x87;
 const TAG_ERROR: u8 = 0x88;
 const TAG_DATASET_ACK: u8 = 0x89;
 const TAG_STATE_ACK: u8 = 0x8A;
+const TAG_STATS_REPLY: u8 = 0x8B;
 
 impl<F: PrimeField> WireCodec for Msg<F> {
     fn encode(&self, w: &mut Writer) {
@@ -378,6 +395,12 @@ impl<F: PrimeField> WireCodec for Msg<F> {
                 for id in dataset_ids {
                     w.string(id);
                 }
+            }
+            Msg::Stats => {
+                w.u8(TAG_STATS);
+            }
+            Msg::StatsReply { json } => {
+                w.u8(TAG_STATS_REPLY).string(json);
             }
             Msg::Accept => {
                 w.u8(TAG_ACCEPT);
@@ -460,6 +483,8 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             TAG_STATE_ACK => Msg::StateAck {
                 dataset_ids: r.seq(4, |r| r.string())?,
             },
+            TAG_STATS => Msg::Stats,
+            TAG_STATS_REPLY => Msg::StatsReply { json: r.string()? },
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
             TAG_BYE => Msg::Bye,
@@ -552,6 +577,13 @@ mod tests {
         });
         roundtrip(Msg::DatasetAck {
             dataset_id: "δatasets-are-utf8 ✓".into(),
+        });
+        roundtrip(Msg::Stats);
+        roundtrip(Msg::StatsReply {
+            json: "{\"counters\": {}}".into(),
+        });
+        roundtrip(Msg::StatsReply {
+            json: String::new(),
         });
         roundtrip(Msg::Accept);
         roundtrip(Msg::Reject(Rejection::RootMismatch));

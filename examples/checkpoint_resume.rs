@@ -100,8 +100,8 @@ fn main() {
     let verified = client.verify_f2(f2).expect("honest prover accepted");
     assert_eq!(verified.value, F::from_u128(truth.self_join_size() as u128));
     println!(
-        "\nverified F2 after resume = {} ({} rounds, {} words prover→verifier)",
-        verified.value, verified.report.rounds, verified.report.p_to_v_words
+        "\nverified F2 after resume = {} ({})",
+        verified.value, verified.report
     );
     let (q_l, q_r) = (u / 4, u / 2);
     let verified = client.verify_range_sum(rs, q_l, q_r).unwrap();

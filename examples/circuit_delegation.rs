@@ -11,11 +11,25 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sip::core::channel::CostReport;
 use sip::core::sumcheck::f2::run_f2;
 use sip::gkr::builders;
 use sip::gkr::run_streaming_gkr;
+use sip::gkr::streaming::StreamingGkrReport;
 use sip::streaming::workloads;
 use sip::DefaultField;
+
+/// GKR keeps its own report type (the crate has no dependency on the
+/// channel layer); reshape it so both protocols print the one canonical
+/// cost block.
+fn gkr_cost(r: &StreamingGkrReport) -> CostReport {
+    CostReport {
+        rounds: r.rounds,
+        p_to_v_words: r.p_to_v_words,
+        v_to_p_words: r.v_to_p_words,
+        verifier_space_words: r.verifier_space_words,
+    }
+}
 
 fn main() {
     let log_n = 12;
@@ -34,12 +48,7 @@ fn main() {
         circuit.size(),
         outputs[0]
     );
-    println!(
-        "    comm = {:>5} words, rounds = {:>4}, verifier space = {} words",
-        report.p_to_v_words + report.v_to_p_words,
-        report.rounds,
-        report.verifier_space_words
-    );
+    println!("    {}", gkr_cost(&report));
 
     // The same answer via the specialised Section 3 protocol.
     let specialised = run_f2::<DefaultField, _>(log_n, &stream, &mut rng).expect("verified");
@@ -48,12 +57,7 @@ fn main() {
         "specialised F2 protocol:                    F2 = {}",
         specialised.value
     );
-    println!(
-        "    comm = {:>5} words, rounds = {:>4}, verifier space = {} words",
-        specialised.report.total_words(),
-        specialised.report.rounds,
-        specialised.report.verifier_space_words
-    );
+    println!("    {}", specialised.report);
     println!("    → the quadratic-improvement gap of Theorem 4\n");
 
     // F4 via GKR (no specialised protocol needed — just a deeper circuit).

@@ -53,17 +53,9 @@ fn main() {
         got.report.shards()
     );
     for (s, r) in got.report.per_shard.iter().enumerate() {
-        println!(
-            "  shard {s}: {} rounds, {} words prover→verifier, {} words back",
-            r.rounds, r.p_to_v_words, r.v_to_p_words
-        );
+        println!("  shard {s}: {r}");
     }
-    let total = got.report.total();
-    println!(
-        "  total: {} words over the wire, verifier space {} words",
-        total.total_words(),
-        total.verifier_space_words
-    );
+    println!("  total: {}", got.report.total());
 
     let (q_l, q_r) = (100u64, 3_000u64);
     let got = client.verify_range_sum(rs, q_l, q_r).unwrap();

@@ -112,20 +112,15 @@ fn main() {
     );
 
     let mut aggregate = CostReport::default();
+    let mut max_space = 0;
     for (i, what, report) in &reports {
-        println!(
-            "  tenant {i}: {what}  [{:>4} words, {:>2} rounds, {:>3} words of verifier space]",
-            report.total_words(),
-            report.rounds,
-            report.verifier_space_words
-        );
-        aggregate.rounds += report.rounds;
-        aggregate.p_to_v_words += report.p_to_v_words;
-        aggregate.v_to_p_words += report.v_to_p_words;
-        aggregate.verifier_space_words = aggregate
-            .verifier_space_words
-            .max(report.verifier_space_words);
+        println!("  tenant {i}: {what}  [{report}]");
+        aggregate.absorb(report);
+        max_space = max_space.max(report.verifier_space_words);
     }
+    // Concurrent tenants each hold their own digests, so the fleet-wide
+    // space figure is the max, not `absorb`'s sum.
+    aggregate.verifier_space_words = max_space;
     println!(
         "\naggregate: {} words over {} rounds across all tenants; \
          max verifier space {} words — one ingest served them all",

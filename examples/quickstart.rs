@@ -32,15 +32,10 @@ fn main() {
 
     println!("verified F2          = {}", verified.value);
     println!("ground truth         = {truth}");
-    println!("rounds               = {}", verified.report.rounds);
+    println!("cost                 = {}", verified.report);
     println!(
-        "communication        = {} words ({} bytes)",
-        verified.report.total_words(),
-        verified.report.comm_bytes(DefaultField::BITS)
-    );
-    println!(
-        "verifier space       = {} words ({} bytes)",
-        verified.report.verifier_space_words,
+        "in bytes             = {} comm, {} verifier space",
+        verified.report.comm_bytes(DefaultField::BITS),
         verified.report.space_bytes(DefaultField::BITS)
     );
     println!("total wall time      = {elapsed:?} (stream + proof + check)");

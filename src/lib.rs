@@ -42,6 +42,7 @@
 //! | [`gkr`] | Theorem 3: streaming GKR over layered arithmetic circuits |
 //! | [`kvstore`] | the motivating application: a verified outsourced KV store |
 //! | [`wire`] | the versioned binary wire format (framed messages, handshake) |
+//! | [`obs`] | observability: metrics registry, structured events, the ops listener |
 //! | [`durable`] | checkpoint/restore: canonical snapshots of every verifier digest |
 //! | [`server`] | the prover as a concurrent TCP service + the remote verifier client |
 //! | [`cluster`] | sharded prover fleet: stream router, aggregating verifier, per-shard blame |
@@ -56,6 +57,7 @@ pub use sip_field as field;
 pub use sip_gkr as gkr;
 pub use sip_kvstore as kvstore;
 pub use sip_lde as lde;
+pub use sip_obs as obs;
 pub use sip_server as server;
 pub use sip_streaming as streaming;
 pub use sip_wire as wire;
