@@ -11,6 +11,9 @@
 //! * `fold` — a full `F2Prover` round-message schedule (every
 //!   `prover.message()` runs through [`ProverPool::fold_message`]),
 //!   messages/second;
+//! * `ingest+trace` / `fold+trace` — the same two paths with span tracing
+//!   live as well (the `--trace` deployment), against the same fully-dark
+//!   baseline, so the gate also covers tracing-enabled hot paths;
 //! * `snapshot` — how long one `/metrics` (Prometheus text) and one
 //!   `/stats` (JSON) rendering of the live registry takes, microseconds.
 //!
@@ -63,16 +66,32 @@ struct Overhead {
 }
 
 /// Alternates enabled/disabled trials of `pass`, keeping each mode's best.
-fn measure(path: &'static str, trials: u32, n: usize, mut pass: impl FnMut()) -> Overhead {
+/// With `trace`, the enabled mode also runs with span tracing live — the
+/// worst-case instrumentation cost (metrics *and* span records on the hot
+/// path) against the same fully-dark baseline.
+fn measure(
+    path: &'static str,
+    trials: u32,
+    n: usize,
+    trace: bool,
+    mut pass: impl FnMut(),
+) -> Overhead {
     let mut best = [0f64; 2]; // [disabled, enabled]
     for trial in 0..trials.max(1) * 2 {
         let on = trial % 2 == 1;
         sip_obs::set_enabled(on);
+        sip_obs::trace::set_tracing(on && trace);
         let r = rate(n, &mut pass);
+        if trace {
+            // Drain the span buffers between trials so a long run measures
+            // steady-state recording, not an ever-fuller buffer.
+            sip_obs::trace::take_spans();
+        }
         let slot = &mut best[on as usize];
         *slot = slot.max(r);
     }
     sip_obs::set_enabled(true);
+    sip_obs::trace::set_tracing(false);
     let [disabled, enabled] = best;
     Overhead {
         path,
@@ -82,14 +101,14 @@ fn measure(path: &'static str, trials: u32, n: usize, mut pass: impl FnMut()) ->
     }
 }
 
-fn measure_ingest(trials: u32, stream_exp: u32) -> Overhead {
+fn measure_ingest(path: &'static str, trials: u32, stream_exp: u32, trace: bool) -> Overhead {
     let params = LdeParams::new(2, 18);
     let n = 1usize << stream_exp;
     let stream = workloads::with_deletions(n, params.universe(), 0.2, 7);
     let mut rng = StdRng::seed_from_u64(23);
     let multi = MultiLdeEvaluator::<Fp61>::random(params, 4, &mut rng);
     let pool = ProverPool::SERIAL;
-    measure("ingest", trials, n, || {
+    measure(path, trials, n, trace, || {
         let mut e = multi.clone();
         // One ingest_batch call per wire frame's worth of updates — the
         // same granularity the server meters.
@@ -100,11 +119,11 @@ fn measure_ingest(trials: u32, stream_exp: u32) -> Overhead {
     })
 }
 
-fn measure_fold(trials: u32, log_u: u32) -> Overhead {
+fn measure_fold(path: &'static str, trials: u32, log_u: u32, trace: bool) -> Overhead {
     let stream = workloads::paper_f2(1 << log_u, 11);
     let fv = FrequencyVector::from_stream(1 << log_u, &stream);
     let pool = ProverPool::SERIAL;
-    measure("fold", trials, log_u as usize, || {
+    measure(path, trials, log_u as usize, trace, || {
         let mut prover = F2Prover::<Fp61>::with_pool(&fv, log_u, pool);
         for round in 0..log_u {
             std::hint::black_box(prover.message());
@@ -158,8 +177,10 @@ fn main() {
     println!("# instrumentation overhead (best-of-{trials} per mode)");
     csv_header(&["path", "enabled_rate", "disabled_rate", "overhead_pct"]);
     let points = [
-        measure_ingest(trials, stream_exp),
-        measure_fold(trials, log_u),
+        measure_ingest("ingest", trials, stream_exp, false),
+        measure_fold("fold", trials, log_u, false),
+        measure_ingest("ingest+trace", trials, stream_exp, true),
+        measure_fold("fold+trace", trials, log_u, true),
     ];
     for p in &points {
         println!(
@@ -221,8 +242,10 @@ fn main() {
                 trials * 2
             );
             worst = match worst.path {
-                "ingest" => measure_ingest(trials * 2, stream_exp),
-                _ => measure_fold(trials * 2, log_u),
+                "ingest" => measure_ingest("ingest", trials * 2, stream_exp, false),
+                "ingest+trace" => measure_ingest("ingest+trace", trials * 2, stream_exp, true),
+                "fold" => measure_fold("fold", trials * 2, log_u, false),
+                _ => measure_fold("fold+trace", trials * 2, log_u, true),
             };
         }
         if worst.overhead_pct > budget {

@@ -1,0 +1,190 @@
+//! Round-trip latency study: where a fleet query's wall-clock goes as the
+//! network gets slower. The verifier runs `O(log u)` lockstep rounds, so
+//! query latency is dominated by `rounds × RTT` long before bandwidth or
+//! compute matter — the measurement motivating the roadmap's one-shot
+//! (Fiat–Shamir) proof item. Emitted as machine-readable `BENCH_rtt.json`
+//! (plus human-readable CSV on stdout).
+//!
+//! Method: one pinned S-shard TCP fleet on loopback, redialed per RTT
+//! point through [`LatencyTransport`] (deterministic injected delay, no
+//! jitter), with span tracing enabled. Each query's wall time is
+//! decomposed from its trace: `wire_wait` (blocking shard reads),
+//! `encode` (fan-out serialization), `verifier_compute` (round checks and
+//! the final LDE fold), and `prover` (server-side handle spans — the
+//! shard servers run in-process, so their spans land in the same
+//! collector). The legs overlap the wall clock, not each other, except
+//! `prover`, which runs under the client's `wire_wait`.
+//!
+//! Usage: `cargo run --release -p sip-bench --bin bench_rtt
+//! [--shards S] [--log-u N] [--rtts 0,10,50] [--queries Q] [--out PATH]`
+//!
+//! [`LatencyTransport`]: sip_core::channel::LatencyTransport
+
+use std::fmt::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_string, arg_u32, csv_header};
+use sip_cluster::{spawn_local_fleet, ClusterClient, ClusterF2Verifier};
+use sip_core::channel::{FramedTcpTransport, LatencyTransport};
+use sip_field::Fp61;
+use sip_streaming::{workloads, ShardPlan};
+
+/// One RTT point: mean wall time per query and its per-leg decomposition,
+/// all in microseconds.
+struct Point {
+    rtt_ms: u64,
+    wall_us: f64,
+    wire_wait_us: f64,
+    encode_us: f64,
+    verifier_us: f64,
+    prover_us: f64,
+    rounds: u64,
+}
+
+impl Point {
+    fn wire_wait_pct(&self) -> f64 {
+        if self.wall_us > 0.0 {
+            100.0 * self.wire_wait_us / self.wall_us
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(
+    addrs: &[std::net::SocketAddr],
+    log_u: u32,
+    rtt_ms: u64,
+    queries: u32,
+    stream: &[sip_streaming::Update],
+) -> Point {
+    let plan = ShardPlan::new(log_u, addrs.len() as u32);
+    let transports: Vec<_> = addrs
+        .iter()
+        .map(|addr| {
+            let tcp = FramedTcpTransport::new(TcpStream::connect(addr).expect("dial shard"))
+                .expect("frame shard socket");
+            LatencyTransport::fixed(tcp, Duration::from_millis(rtt_ms))
+        })
+        .collect();
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::from_transports(transports, log_u).expect("fleet handshake");
+    client.send_stream(stream);
+    client.end_stream().expect("end stream");
+
+    let mut wall = Duration::ZERO;
+    let mut legs = [0u64; 4]; // [wire_wait, encode, verifier, prover]
+    let mut rounds = 0u64;
+    for q in 0..queries.max(1) {
+        let mut rng = StdRng::seed_from_u64(100 + u64::from(q));
+        let mut digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+        for &up in stream {
+            digest.update(up);
+        }
+        sip_obs::trace::take_spans(); // fresh collector per query
+        let start = Instant::now();
+        client.verify_f2(digest).expect("honest accept");
+        wall += start.elapsed();
+        for span in sip_obs::trace::take_spans() {
+            match span.name {
+                "shard_wait" => legs[0] += span.dur_us,
+                "fanout" => legs[1] += span.dur_us,
+                "verifier_compute" => legs[2] += span.dur_us,
+                "handle" => legs[3] += span.dur_us,
+                "round" if span.target == "sip.cluster" => rounds += 1,
+                _ => {}
+            }
+        }
+    }
+    client.bye().ok();
+    let per_query = |us: u64| us as f64 / f64::from(queries.max(1));
+    Point {
+        rtt_ms,
+        wall_us: wall.as_secs_f64() * 1e6 / f64::from(queries.max(1)),
+        wire_wait_us: per_query(legs[0]),
+        encode_us: per_query(legs[1]),
+        verifier_us: per_query(legs[2]),
+        prover_us: per_query(legs[3]),
+        rounds: rounds / u64::from(queries.max(1)),
+    }
+}
+
+fn main() {
+    let shards = arg_u32("--shards", 4);
+    let log_u = arg_u32("--log-u", 8);
+    let queries = arg_u32("--queries", 2);
+    let out_path = arg_string("--out", "BENCH_rtt.json");
+    let rtts: Vec<u64> = arg_string("--rtts", "0,10,50")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--rtts takes ms,ms,..."))
+        .collect();
+
+    sip_obs::trace::set_tracing(true);
+    let n = 1u64 << log_u;
+    let stream = workloads::paper_f2(n, 11);
+    let (handles, addrs) = spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers");
+
+    csv_header(&[
+        "rtt_ms",
+        "wall_us",
+        "wire_wait_us",
+        "encode_us",
+        "verifier_us",
+        "prover_us",
+        "wire_wait_pct",
+        "rounds",
+    ]);
+    let mut points = Vec::new();
+    for &rtt_ms in &rtts {
+        let p = measure(&addrs, log_u, rtt_ms, queries, &stream);
+        println!(
+            "{},{:.0},{:.0},{:.0},{:.0},{:.0},{:.1},{}",
+            p.rtt_ms,
+            p.wall_us,
+            p.wire_wait_us,
+            p.encode_us,
+            p.verifier_us,
+            p.prover_us,
+            p.wire_wait_pct(),
+            p.rounds
+        );
+        points.push(p);
+    }
+    for h in handles {
+        h.shutdown();
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"rtt\",");
+    let _ = writeln!(json, "  \"field\": \"Fp61\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"shards\": {shards}, \"log_u\": {log_u}, \"n_updates\": {n}, \
+         \"queries_per_point\": {queries}}},"
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"rtt_ms\": {}, \"wall_us_per_query\": {:.0}, \"legs_us\": \
+             {{\"wire_wait\": {:.0}, \"encode\": {:.0}, \"verifier_compute\": {:.0}, \
+             \"prover\": {:.0}}}, \"wire_wait_pct\": {:.1}, \"rounds\": {}}}{}",
+            p.rtt_ms,
+            p.wall_us,
+            p.wire_wait_us,
+            p.encode_us,
+            p.verifier_us,
+            p.prover_us,
+            p.wire_wait_pct(),
+            p.rounds,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_rtt.json");
+    eprintln!("# wrote {out_path}");
+}

@@ -48,19 +48,28 @@ fn blame(s: usize, e: Rejection) -> Rejection {
 
 /// One shard reply, with the blocking wait booked to that shard's
 /// `sip_cluster_shard_wait_us` series — the fleet's lockstep rounds go at
-/// the pace of the slowest shard, and this is how you find it.
+/// the pace of the slowest shard, and this is how you find it. The same
+/// wait opens a `shard_wait` span (the cluster-level wire-wait leg) and
+/// lands the reply in the query's flight recorder.
 fn recv_msg_timed<F: PrimeField, T: Transport>(
+    recorder: &mut sip_obs::FlightRecorder,
     s: usize,
     shard: &mut RawClient<F, T>,
 ) -> Result<Msg<F>, Rejection> {
     if !sip_obs::enabled() {
         return shard.recv_msg();
     }
+    let mut tspan = sip_obs::trace::span("sip.cluster", "shard_wait");
+    tspan.field("shard", s);
     let timer = sip_obs::Timer::start();
     let out = shard.recv_msg();
     let label = s.to_string();
     sip_obs::histogram_with("sip_cluster_shard_wait_us", &[("shard", &label)])
         .observe(timer.elapsed_us());
+    match &out {
+        Ok(msg) => recorder.record("in", format!("shard {s}: {}", msg.name())),
+        Err(_) => recorder.record("note", format!("shard {s}: recv failed")),
+    }
     out
 }
 
@@ -86,7 +95,17 @@ fn unexpected(s: usize, expected: &'static str, got: &'static str) -> Rejection 
 pub struct ClusterClient<F: PrimeField, T: Transport> {
     router: ShardRouter,
     shards: Vec<RawClient<F, T>>,
+    /// Rolling record of recent fleet frames, dumped when a query ends in
+    /// [`Rejection::Blame`] so the indictment ships with its evidence.
+    recorder: sip_obs::FlightRecorder,
+    /// JSON of the most recent blame dump (see [`Self::last_flight_dump`]).
+    last_dump: Option<String>,
 }
+
+/// Flight-recorder depth for the fleet driver: a lockstep round is `S`
+/// sends plus `S` receives, so 256 entries hold the last dozen-plus rounds
+/// of an `S = 8` fleet — enough context to see what led to a blame.
+const FLIGHT_FRAMES: usize = 256;
 
 impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
     /// Connects to `addrs.len()` sharded provers (shard `s` at `addrs[s]`)
@@ -123,6 +142,8 @@ impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
         Ok(ClusterClient {
             router: ShardRouter::new(plan),
             shards,
+            recorder: sip_obs::FlightRecorder::new(FLIGHT_FRAMES),
+            last_dump: None,
         })
     }
 }
@@ -152,6 +173,8 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         Ok(ClusterClient {
             router: ShardRouter::new(plan),
             shards,
+            recorder: sip_obs::FlightRecorder::new(FLIGHT_FRAMES),
+            last_dump: None,
         })
     }
 
@@ -248,6 +271,22 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
     ) -> Result<ClusterVerified<F>, Rejection> {
         let n = self.shards.len();
         assert_eq!(agg.shards(), n, "digest fleet size disagrees with client");
+        let mut qspan = sip_obs::trace::span("sip.cluster", "cluster_query");
+        qspan.field("query", query.name());
+        qspan.field("shards", n);
+        // Announce the trace to every shard so each server session parents
+        // its handle/decode spans under this query — one causal tree across
+        // the whole fleet. Best-effort: a shard that cannot take the frame
+        // will be blamed by the query proper moments later.
+        if let Some(ctx) = sip_obs::trace::current_context() {
+            self.recorder.bind_trace(ctx.trace_id);
+            for shard in &mut self.shards {
+                let _ = shard.tell_msg(&Msg::TraceContext {
+                    trace_id: ctx.trace_id,
+                    parent_span: ctx.span_id,
+                });
+            }
+        }
         let mut report = ClusterCostReport::new(n);
         report.verifier_space_words = space_words;
         for r in &mut report.per_shard {
@@ -255,19 +294,27 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         }
         let result = (|| {
             let mut polys: Vec<Vec<F>> = Vec::with_capacity(n);
-            for (s, shard) in self.shards.iter_mut().enumerate() {
-                shard
-                    .tell_msg(&Msg::Query(query))
-                    .map_err(|e| blame(s, e))?;
+            {
+                let mut fspan = sip_obs::trace::span("sip.cluster", "fanout");
+                fspan.field("what", "query");
+                for (s, shard) in self.shards.iter_mut().enumerate() {
+                    if sip_obs::enabled() {
+                        self.recorder.record("out", format!("shard {s}: query"));
+                    }
+                    shard
+                        .tell_msg(&Msg::Query(query))
+                        .map_err(|e| blame(s, e))?;
+                }
             }
+            let ospan = sip_obs::trace::span("sip.cluster", "open");
             for (s, shard) in self.shards.iter_mut().enumerate() {
-                let claimed = match recv_msg_timed(s, shard) {
+                let claimed = match recv_msg_timed(&mut self.recorder, s, shard) {
                     Ok(Msg::ClaimedValue(v)) => v,
                     Ok(other) => return Err(unexpected(s, "claimed-value", other.name())),
                     Err(e) => return Err(blame(s, e)),
                 };
                 report.per_shard[s].p_to_v_words += 1;
-                let poly = match recv_msg_timed(s, shard) {
+                let poly = match recv_msg_timed(&mut self.recorder, s, shard) {
                     Ok(Msg::RoundPoly(p)) => p,
                     Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
                     Err(e) => return Err(blame(s, e)),
@@ -288,22 +335,37 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
                 }
                 polys.push(poly);
             }
+            drop(ospan);
             let mut round = 1u32;
             loop {
+                let mut rspan = sip_obs::trace::span("sip.cluster", "round");
+                rspan.field("round", round);
                 for (s, poly) in polys.iter().enumerate() {
                     report.per_shard[s].rounds += 1;
                     report.per_shard[s].p_to_v_words += poly.len();
                 }
-                match agg.receive_round(&polys)? {
+                let step = {
+                    let _v = sip_obs::trace::span("sip.cluster", "verifier_compute");
+                    agg.receive_round(&polys)
+                }?;
+                match step {
                     Some(challenge) => {
-                        for (s, shard) in self.shards.iter_mut().enumerate() {
-                            report.per_shard[s].v_to_p_words += 1;
-                            shard
-                                .tell_msg(&Msg::BroadcastChallenge { round, challenge })
-                                .map_err(|e| blame(s, e))?;
+                        {
+                            let mut fspan = sip_obs::trace::span("sip.cluster", "fanout");
+                            fspan.field("round", round);
+                            for (s, shard) in self.shards.iter_mut().enumerate() {
+                                report.per_shard[s].v_to_p_words += 1;
+                                if sip_obs::enabled() {
+                                    self.recorder
+                                        .record("out", format!("shard {s}: broadcast-challenge"));
+                                }
+                                shard
+                                    .tell_msg(&Msg::BroadcastChallenge { round, challenge })
+                                    .map_err(|e| blame(s, e))?;
+                            }
                         }
                         for (s, shard) in self.shards.iter_mut().enumerate() {
-                            polys[s] = match recv_msg_timed(s, shard) {
+                            polys[s] = match recv_msg_timed(&mut self.recorder, s, shard) {
                                 Ok(Msg::RoundPoly(p)) => p,
                                 Ok(other) => return Err(unexpected(s, "round-poly", other.name())),
                                 Err(e) => return Err(blame(s, e)),
@@ -314,6 +376,7 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
                     None => break,
                 }
             }
+            let _v = sip_obs::trace::span("sip.cluster", "verifier_compute");
             agg.finalize(streamed)
         })();
         // Every shard learns the fleet-level verdict (including whom the
@@ -321,8 +384,45 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         for shard in &mut self.shards {
             shard.verdict(&result);
         }
+        if let Err(rej) = &result {
+            self.dump_blame(rej);
+        }
         let value = result?;
         Ok(ClusterVerified { value, report })
+    }
+
+    /// Freezes the flight recorder into a JSON dump after a query ended in
+    /// rejection, naming the blamed shard in a `warn` event. The dump stays
+    /// in memory ([`Self::last_flight_dump`]) — the verifier side has no
+    /// `--data-dir`; servers write their own dumps on rejection.
+    fn dump_blame(&mut self, rej: &Rejection) {
+        if !sip_obs::enabled() {
+            return;
+        }
+        let shard = rej
+            .blamed_shard()
+            .map_or_else(|| "-".to_string(), |s| s.to_string());
+        let mut extra = vec![("rejection", rej.to_string())];
+        if rej.blamed_shard().is_some() {
+            extra.push(("blamed_shard", shard.clone()));
+        }
+        let json = self.recorder.dump_json("blame", &extra);
+        sip_obs::event!(
+            sip_obs::Level::Warn,
+            "sip.cluster",
+            "flight recorder dumped on blame",
+            "blamed_shard" => shard,
+            "rejection" => rej,
+            "frames" => self.recorder.len(),
+        );
+        self.last_dump = Some(json);
+    }
+
+    /// The JSON flight-recorder dump from the most recent blamed query, if
+    /// any — recent fleet frames plus the bound trace's spans, in the same
+    /// shape the server writes to disk on rejection.
+    pub fn last_flight_dump(&self) -> Option<&str> {
+        self.last_dump.as_deref()
     }
 
     /// Verified fleet-wide SELF-JOIN SIZE over everything uploaded so far.
@@ -381,6 +481,9 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
             self.router.plan(),
             "digest plan disagrees with client"
         );
+        let mut qspan = sip_obs::trace::span("sip.cluster", "cluster_query");
+        qspan.field("query", "report");
+        qspan.field("shards", self.shards.len());
         let mut report = ClusterCostReport::new(self.shards.len());
         let mut entries = Vec::new();
         for s in 0..self.shards.len() {

@@ -13,6 +13,6 @@ mod transport;
 
 pub use cost::{ClusterCostReport, CostReport};
 pub use transport::{
-    FramedTcpTransport, InMemoryTransport, Transport, TransportError, TransportStats,
-    DEFAULT_MAX_FRAME,
+    FramedTcpTransport, InMemoryTransport, LatencyTransport, Transport, TransportError,
+    TransportStats, DEFAULT_MAX_FRAME,
 };

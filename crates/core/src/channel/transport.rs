@@ -259,6 +259,98 @@ impl Transport for FramedTcpTransport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Injected latency
+// ---------------------------------------------------------------------
+
+/// A [`Transport`] wrapper that injects a deterministic artificial delay
+/// before each received frame: a fixed `rtt` plus a jitter drawn from a
+/// seeded xorshift64* sequence. The same `(rtt, jitter, seed)` always
+/// produces the same delay sequence ([`LatencyTransport::delay_sequence`]),
+/// so latency experiments (`bench_rtt`) and tests are reproducible.
+///
+/// The delay is applied on the *receive* side — one sleep per frame models
+/// one network traversal, so a request/response exchange over a wrapped
+/// client transport costs one injected RTT per round, which is exactly the
+/// quantity the per-round `wire_wait` spans decompose.
+pub struct LatencyTransport<T: Transport> {
+    inner: T,
+    rtt: Duration,
+    jitter: Duration,
+    state: u64,
+}
+
+impl<T: Transport> LatencyTransport<T> {
+    /// Wraps `inner` with a fixed per-frame receive delay of `rtt` plus a
+    /// deterministic jitter in `[0, jitter]` derived from `seed`.
+    pub fn new(inner: T, rtt: Duration, jitter: Duration, seed: u64) -> Self {
+        LatencyTransport {
+            inner,
+            rtt,
+            jitter,
+            // xorshift64* must not start at 0 (it would stay there).
+            state: seed | 1,
+        }
+    }
+
+    /// Wraps `inner` with a fixed per-frame receive delay and no jitter.
+    pub fn fixed(inner: T, rtt: Duration) -> Self {
+        Self::new(inner, rtt, Duration::ZERO, 1)
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        self.rtt + Self::jitter_step(&mut self.state, self.jitter)
+    }
+
+    fn jitter_step(state: &mut u64, jitter: Duration) -> Duration {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        if jitter.is_zero() {
+            return Duration::ZERO;
+        }
+        let draw = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        Duration::from_micros(draw % (u64::try_from(jitter.as_micros()).unwrap_or(u64::MAX) + 1))
+    }
+
+    /// The first `n` delays a transport built with these parameters will
+    /// inject, without sleeping — what the determinism proptest checks.
+    pub fn delay_sequence(rtt: Duration, jitter: Duration, seed: u64, n: usize) -> Vec<Duration> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| rtt + Self::jitter_step(&mut state, jitter))
+            .collect()
+    }
+}
+
+impl<T: Transport> Transport for LatencyTransport<T> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.inner.send_frame(frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        let frame = self.inner.recv_frame()?;
+        let delay = self.next_delay();
+        // Skip the syscall entirely at zero so an rtt=0 sweep point is an
+        // honest baseline, not a pile of sleep(0) calls.
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(frame)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +434,37 @@ mod tests {
         let (_c, mut s) = tcp_pair();
         s.set_timeout(Some(Duration::from_millis(20))).unwrap();
         assert_eq!(s.recv_frame().unwrap_err(), TransportError::TimedOut);
+    }
+
+    #[test]
+    fn latency_transport_delays_receives_and_passes_frames() {
+        let (mut a, b) = InMemoryTransport::pair();
+        let mut b = LatencyTransport::fixed(b, Duration::from_millis(15));
+        a.send_frame(b"ping").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(b.recv_frame().unwrap(), b"ping");
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        // Sends pass straight through; stats come from the inner transport.
+        b.send_frame(b"pong").unwrap();
+        assert_eq!(a.recv_frame().unwrap(), b"pong");
+        assert_eq!(b.stats().frames_sent, 1);
+        assert_eq!(b.stats().frames_received, 1);
+    }
+
+    #[test]
+    fn latency_delay_sequence_is_deterministic_and_matches_live() {
+        let rtt = Duration::from_micros(100);
+        let jitter = Duration::from_micros(50);
+        let expected = LatencyTransport::<InMemoryTransport>::delay_sequence(rtt, jitter, 42, 8);
+        let again = LatencyTransport::<InMemoryTransport>::delay_sequence(rtt, jitter, 42, 8);
+        assert_eq!(expected, again);
+        for d in &expected {
+            assert!(*d >= rtt && *d <= rtt + jitter, "{d:?}");
+        }
+        // A live transport draws the same sequence.
+        let (_a, b) = InMemoryTransport::pair();
+        let mut live = LatencyTransport::new(b, rtt, jitter, 42);
+        let drawn: Vec<Duration> = (0..8).map(|_| live.next_delay()).collect();
+        assert_eq!(drawn, expected);
     }
 }

@@ -40,8 +40,10 @@ use crate::fold::{chunk_range, FoldVector};
 /// Pre-resolved metric handles for the engine hot paths. Resolution walks a
 /// map under a mutex, so it happens once per process; afterwards every
 /// counted call is a handful of relaxed atomic adds. Timers are sampled
-/// 1-in-[`TIMER_SAMPLE`] — `Instant::now` is the only non-trivial cost here
-/// and a fold/batch call already amortises it over thousands of blocks.
+/// 1-in-[`sip_obs::timer_sample`] calls (default 16, configurable via
+/// `ServerConfig::obs_sample`, `0` = off) — `Instant::now` is the only
+/// non-trivial cost here and a fold/batch call already amortises it over
+/// thousands of blocks.
 struct EngineMetrics {
     fold_messages: sip_obs::Counter,
     fold_blocks: sip_obs::Counter,
@@ -50,8 +52,6 @@ struct EngineMetrics {
     ingest_batch_us: sip_obs::Histogram,
     sample: AtomicU64,
 }
-
-const TIMER_SAMPLE: u64 = 16;
 
 fn engine_metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
@@ -67,9 +67,12 @@ fn engine_metrics() -> &'static EngineMetrics {
 
 impl EngineMetrics {
     fn sampled(&self) -> bool {
-        self.sample
-            .fetch_add(1, Ordering::Relaxed)
-            .is_multiple_of(TIMER_SAMPLE)
+        let rate = sip_obs::timer_sample();
+        rate != 0
+            && self
+                .sample
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(rate)
     }
 }
 
@@ -210,6 +213,10 @@ impl ProverPool {
             return;
         }
         let metrics = engine_metrics();
+        // One span per call, not per update: coarse enough to stay inside
+        // the bench_obs overhead gate even with tracing on.
+        let mut tspan = sip_obs::trace::span("sip.core.engine", "ingest_batch");
+        tspan.field("updates", batch.len());
         let timer = metrics.sampled().then(sip_obs::Timer::start);
         eval.update_batch_threads(batch, self.threads);
         metrics.ingest_updates.add(batch.len() as u64);
@@ -233,15 +240,20 @@ impl ProverPool {
     ) -> Vec<F> {
         let slots = combine.slots();
         let blocks = source.blocks();
-        let timer = if sip_obs::enabled() {
+        let (timer, _tspan) = if sip_obs::enabled() {
             let metrics = engine_metrics();
             metrics.fold_messages.inc();
             metrics.fold_blocks.add(blocks);
-            metrics
-                .sampled()
-                .then(|| (metrics, sip_obs::Timer::start()))
+            let mut tspan = sip_obs::trace::span("sip.core.engine", "fold_message");
+            tspan.field("blocks", blocks);
+            (
+                metrics
+                    .sampled()
+                    .then(|| (metrics, sip_obs::Timer::start())),
+                Some(tspan),
+            )
         } else {
-            None
+            (None, None)
         };
         let finish = move |msg: Vec<F>| {
             if let Some((metrics, timer)) = timer {

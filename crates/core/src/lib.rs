@@ -50,8 +50,8 @@ pub mod subvector;
 pub mod sumcheck;
 
 pub use channel::{
-    ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, Transport,
-    TransportError, TransportStats,
+    ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, LatencyTransport,
+    Transport, TransportError, TransportStats,
 };
 pub use engine::{Combine, FoldSource, ProverPool};
 pub use error::Rejection;

@@ -155,10 +155,16 @@ pub fn emit(
     level: Level,
     target: &'static str,
     message: &str,
-    fields: Vec<(&'static str, String)>,
+    mut fields: Vec<(&'static str, String)>,
 ) {
     if !event_would_log(level) {
         return;
+    }
+    // Correlate logs with exported traces: an event emitted inside an
+    // open span carries that span's identity (no-op unless tracing is on).
+    if let Some(ctx) = crate::trace::current_context() {
+        fields.push(("trace_id", format!("{:016x}", ctx.trace_id)));
+        fields.push(("span_id", format!("{:016x}", ctx.span_id)));
     }
     let ts_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)

@@ -33,6 +33,8 @@
 pub mod event;
 pub mod metrics;
 pub mod ops;
+pub mod recorder;
+pub mod trace;
 
 pub use event::{
     add_sink, clear_sinks, emit, event_would_log, set_min_level, Event, JsonlSink, Level, RingSink,
@@ -43,10 +45,45 @@ pub use metrics::{
     Counter, Gauge, GaugeGuard, Histogram, Registry, Timer, HISTOGRAM_BUCKETS,
 };
 pub use ops::{serve_ops, OpsHandle};
+pub use recorder::{FlightEntry, FlightRecorder};
+pub use trace::{SpanGuard, SpanRecord, TraceContext};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Hot-path timer sampling rate: the engine's per-call latency timers run
+/// on roughly 1 in `timer_sample()` calls. Counters stay exact at any
+/// setting — only the latency histograms are sampled.
+static TIMER_SAMPLE: AtomicU64 = AtomicU64::new(16);
+
+/// The current hot-path timer sampling rate (default 16). `0` means the
+/// sampled timers are off entirely.
+pub fn timer_sample() -> u64 {
+    TIMER_SAMPLE.load(Ordering::Relaxed)
+}
+
+/// Sets the hot-path timer sampling rate (`ServerConfig::obs_sample` /
+/// `sip-prover --obs-sample`). Lower rates buy histogram resolution with
+/// clock-read overhead: `1` times every call (worst case, still bounded
+/// by the 2 % CI budget on folds), `16` (the default) keeps the cost
+/// unmeasurable, `0` disables the timers.
+pub fn set_timer_sample(rate: u64) {
+    TIMER_SAMPLE.store(rate, Ordering::Relaxed);
+}
+
+/// The `/stats` and `Msg::StatsReply` body: the metrics registry snapshot
+/// ([`Registry::snapshot_json`]) with a `"tracing"` status block
+/// ([`trace::status_json`]) spliced in as one more top-level key.
+pub fn stats_json() -> String {
+    let mut out = registry().snapshot_json();
+    // snapshot_json always ends with the object's closing brace; reopen
+    // it to append the tracing block so the document stays one object.
+    let tail = out.rfind('}').expect("snapshot is a JSON object");
+    out.truncate(tail);
+    out.push_str(&format!(",\n  \"tracing\": {}\n}}\n", trace::status_json()));
+    out
+}
 
 /// Whether instrumentation is live. One relaxed load — hot paths check
 /// this and skip their metric updates entirely when it is off.
@@ -100,6 +137,31 @@ mod tests {
         set_enabled(false);
         assert!(!event_would_log(Level::Error));
         set_enabled(true);
+    }
+
+    #[test]
+    fn stats_json_is_one_object_with_tracing_block() {
+        counter("sip_obs_stats_test_counter").inc();
+        let json = stats_json();
+        let trimmed = json.trim();
+        assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"tracing\": {"), "{json}");
+        assert!(json.contains("\"spans_recorded\""), "{json}");
+        // The splice reopens the outer object: braces must still balance.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn timer_sample_knob_round_trips() {
+        let prev = timer_sample();
+        set_timer_sample(0);
+        assert_eq!(timer_sample(), 0);
+        set_timer_sample(4);
+        assert_eq!(timer_sample(), 4);
+        set_timer_sample(prev);
     }
 
     #[test]

@@ -132,11 +132,18 @@ fn route(request: &[u8]) -> (&'static str, &'static str, String) {
             "text/plain; version=0.0.4",
             registry().render_prometheus(),
         ),
-        "/stats" | "/stats.json" => ("200 OK", "application/json", registry().snapshot_json()),
+        "/stats" | "/stats.json" => ("200 OK", "application/json", crate::stats_json()),
+        "/trace" | "/trace.json" => (
+            "200 OK",
+            "application/json",
+            crate::trace::export_chrome_json(),
+        ),
         "/" => (
             "200 OK",
             "text/plain",
-            "sip ops endpoints: /metrics (Prometheus text), /stats (JSON)\n".into(),
+            "sip ops endpoints: /metrics (Prometheus text), /stats (JSON), \
+             /trace (Chrome trace-event JSON)\n"
+                .into(),
         ),
         _ => ("404 Not Found", "text/plain", "unknown path\n".into()),
     }
@@ -168,6 +175,10 @@ mod tests {
         assert!(metrics.contains("t_ops_total 9"), "{metrics}");
         let stats = get(addr, b"GET /stats HTTP/1.0\r\n\r\n");
         assert!(stats.contains("\"counters\""), "{stats}");
+        assert!(stats.contains("\"tracing\""), "{stats}");
+        let trace = get(addr, b"GET /trace HTTP/1.0\r\n\r\n");
+        assert!(trace.starts_with("HTTP/1.0 200 OK"), "{trace}");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
         assert!(get(addr, b"GET /nope HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 404"));
         assert!(get(addr, b"POST /metrics HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 405"));
         handle.shutdown();

@@ -1,0 +1,218 @@
+//! The flight recorder: a bounded ring of recent protocol frames and
+//! notes kept per session (server side) or per cluster client, dumped as
+//! one self-contained JSON post-mortem when something ends in Rejection
+//! or Blame — every indictment arrives with the evidence that led to it.
+//!
+//! A dump is itself Perfetto-loadable: its `traceEvents` array carries the
+//! spans of any trace ids bound to the recorder ([`FlightRecorder::bind_trace`])
+//! plus the recorded frames as instant events, so the post-mortem opens in
+//! the same tooling as a live `/trace` export.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::metrics::json_escape;
+use crate::trace;
+
+/// One recorded moment: a frame in (`"in"`), a frame out (`"out"`), or a
+/// free-form note (`"note"`).
+#[derive(Clone, Debug)]
+pub struct FlightEntry {
+    /// When, on the process trace clock ([`trace::now_us`]).
+    pub at_us: u64,
+    /// `"in"`, `"out"`, or `"note"`.
+    pub kind: &'static str,
+    /// What — typically a message name, optionally prefixed with a shard.
+    pub detail: String,
+}
+
+/// A bounded ring of recent [`FlightEntry`] values plus the trace ids
+/// whose spans a dump should include. Owned by one session or client
+/// (`&mut self` throughout — no lock).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    entries: VecDeque<FlightEntry>,
+    dropped: u64,
+    traces: Vec<u64>,
+}
+
+/// Bound on distinct trace ids a recorder remembers (a session only ever
+/// serves a handful of concurrently interesting traces).
+const MAX_BOUND_TRACES: usize = 8;
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` entries (at least one).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            entries: VecDeque::new(),
+            dropped: 0,
+            traces: Vec::new(),
+        }
+    }
+
+    /// Records one moment, evicting the oldest entry when full. Callers
+    /// on hot paths should gate on [`crate::enabled`] before formatting
+    /// `detail`; this method also no-ops when instrumentation is off.
+    pub fn record(&mut self, kind: &'static str, detail: impl Into<String>) {
+        if !crate::enabled() {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(FlightEntry {
+            at_us: trace::now_us(),
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Marks a trace as belonging to this recorder: a later dump includes
+    /// that trace's spans from the global buffers.
+    pub fn bind_trace(&mut self, trace_id: u64) {
+        if trace_id != 0 && !self.traces.contains(&trace_id) && self.traces.len() < MAX_BOUND_TRACES
+        {
+            self.traces.push(trace_id);
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted so far (how much history the ring has forgotten).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The bound trace ids, oldest first.
+    pub fn traces(&self) -> &[u64] {
+        &self.traces
+    }
+
+    /// Renders the post-mortem: `reason` and `extra` key/values up front,
+    /// then the frame ring verbatim, then a Perfetto-loadable
+    /// `traceEvents` array (bound traces' spans as complete events, the
+    /// frames as instant events).
+    pub fn dump_json(&self, reason: &str, extra: &[(&str, String)]) -> String {
+        let mut out = format!("{{\n  \"reason\": \"{}\"", json_escape(reason));
+        for (k, v) in extra {
+            let _ = write!(out, ",\n  \"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        let _ = write!(
+            out,
+            ",\n  \"epoch_unix_us\": \"{}\"",
+            trace::epoch_unix_us()
+        );
+        let _ = write!(out, ",\n  \"dropped_frames\": {}", self.dropped);
+        out.push_str(",\n  \"frames\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"at_us\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                e.at_us,
+                e.kind,
+                json_escape(&e.detail)
+            );
+        }
+        out.push_str("\n  ],\n  \"traceEvents\": [");
+        let mut first = true;
+        let mut spans = trace::snapshot_spans();
+        spans.sort_by_key(|s| s.start_us);
+        for s in &spans {
+            if !self.traces.contains(&s.trace_id) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&trace::chrome_event_json(s));
+        }
+        for e in &self.entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":{},\"s\":\"p\",\
+                 \"name\":\"{} {}\"}}",
+                e.at_us,
+                e.kind,
+                json_escape(&e.detail)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        crate::set_enabled(true);
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record("in", format!("frame {i}"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let dump = rec.dump_json("test", &[]);
+        // The two oldest frames were evicted; the newest three survive.
+        assert!(!dump.contains("frame 0"), "{dump}");
+        assert!(!dump.contains("frame 1"), "{dump}");
+        assert!(dump.contains("frame 2"), "{dump}");
+        assert!(dump.contains("frame 4"), "{dump}");
+        assert!(dump.contains("\"dropped_frames\": 2"), "{dump}");
+    }
+
+    #[test]
+    fn dump_carries_reason_extras_and_instants() {
+        crate::set_enabled(true);
+        let mut rec = FlightRecorder::new(8);
+        rec.record("out", "query");
+        rec.record("in", "round-poly");
+        let dump = rec.dump_json(
+            "cluster query ended in blame",
+            &[("blamed_shard", "2".to_string())],
+        );
+        assert!(
+            dump.contains("\"reason\": \"cluster query ended in blame\""),
+            "{dump}"
+        );
+        assert!(dump.contains("\"blamed_shard\": \"2\""), "{dump}");
+        assert!(dump.contains("\"traceEvents\": ["), "{dump}");
+        assert!(dump.contains("\"ph\":\"i\""), "{dump}");
+        assert!(dump.contains("in round-poly"), "{dump}");
+    }
+
+    #[test]
+    fn bound_traces_dedup_and_cap() {
+        let mut rec = FlightRecorder::new(4);
+        rec.bind_trace(7);
+        rec.bind_trace(7);
+        rec.bind_trace(0);
+        assert_eq!(rec.traces(), &[7]);
+        for id in 1..32u64 {
+            rec.bind_trace(id);
+        }
+        assert!(rec.traces().len() <= MAX_BOUND_TRACES);
+    }
+}

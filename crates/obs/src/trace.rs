@@ -1,0 +1,532 @@
+//! Causal tracing: RAII spans with monotonic timestamps, recorded into
+//! per-thread buffers and exported as Chrome trace-event JSON
+//! (Perfetto-loadable), with a `TraceContext` small enough to travel on
+//! the wire (`Msg::TraceContext`) so one query against a sharded fleet
+//! yields a single span tree across processes and threads.
+//!
+//! ## Model
+//!
+//! A *trace* is one causally-connected unit of work (one verified query),
+//! identified by a random 64-bit `trace_id`. A *span* is one timed
+//! operation within it, identified by a random 64-bit `span_id` and
+//! pointing at its parent span (`0` = root). Opening a span makes it the
+//! thread's *current* span; spans opened beneath it (same thread) become
+//! its children automatically, and a context captured with
+//! [`current_context`] can parent spans on another thread or another
+//! process ([`span_under`]).
+//!
+//! ## Cost discipline
+//!
+//! Tracing has its own switch ([`set_tracing`], default **off**) beneath
+//! the crate-wide [`crate::enabled`]: with it off, opening a span is one
+//! relaxed atomic load and the guard holds nothing. With it on, a span
+//! costs two monotonic clock reads and one short-lock push into a bounded
+//! per-thread buffer ([`MAX_SPANS_PER_THREAD`]; overflow increments a drop
+//! counter, never reallocates unboundedly). The `bench_obs` CI gate covers
+//! the tracing-enabled hot paths.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::json_escape;
+
+/// Spans buffered per thread before new ones are dropped (and counted in
+/// [`spans_dropped`]). 16 Ki spans ≈ a few MB worst case per thread — a
+/// post-mortem window, not an unbounded log.
+pub const MAX_SPANS_PER_THREAD: usize = 16_384;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
+static BUFFERS: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+static LAST_DUMP: Mutex<Option<String>> = Mutex::new(None);
+
+/// Whether span recording is live: requires both the crate-wide
+/// [`crate::enabled`] switch and the tracing switch.
+pub fn tracing_on() -> bool {
+    crate::enabled() && TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide (default off — tracing is
+/// opt-in on top of metrics/events).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// The identity a span tree hangs from: small enough to travel on the
+/// wire, so a server can parent its spans under the querying verifier's.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 64-bit id of the whole causally-connected trace.
+    pub trace_id: u64,
+    /// The span new work should become a child of.
+    pub span_id: u64,
+}
+
+/// One finished span, as recorded in the thread buffers.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id; `0` = a root span.
+    pub parent_span: u64,
+    /// Dotted subsystem name, e.g. `sip.cluster`.
+    pub target: &'static str,
+    /// Operation name, e.g. `round`.
+    pub name: &'static str,
+    /// Start, in microseconds on the process-wide monotonic clock
+    /// ([`now_us`]).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small per-process thread number (not the OS thread id).
+    pub tid: u64,
+    /// Ordered key=value annotations.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+struct ThreadBuf {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+thread_local! {
+    /// The current span as `(trace_id, span_id)`; `(0, 0)` = none.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    static LOCAL_BUF: OnceLock<(u64, Arc<ThreadBuf>)> = const { OnceLock::new() };
+}
+
+fn with_local_buf<R>(f: impl FnOnce(u64, &ThreadBuf) -> R) -> R {
+    LOCAL_BUF.with(|cell| {
+        let (tid, buf) = cell.get_or_init(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(ThreadBuf {
+                records: Mutex::new(Vec::new()),
+            });
+            BUFFERS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(Arc::clone(&buf));
+            (tid, buf)
+        });
+        f(*tid, buf)
+    })
+}
+
+/// The process-wide monotonic trace clock, in microseconds since the
+/// first call (all spans and flight-recorder entries share it).
+pub fn now_us() -> u64 {
+    u64::try_from(epoch().0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The wall-clock anchor of the trace clock: Unix microseconds at trace
+/// epoch, for aligning traces from different processes.
+pub fn epoch_unix_us() -> u64 {
+    epoch().1
+}
+
+fn epoch() -> &'static (Instant, u64) {
+    static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+    EPOCH.get_or_init(|| {
+        let unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        (Instant::now(), unix_us)
+    })
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fresh nonzero id: a process-unique counter mixed through splitmix64
+/// over a boot-time seed (ids from concurrently tracing processes — a
+/// verifier and its fleet — must not collide in one merged trace).
+fn next_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+            .unwrap_or(0)
+            | 1
+    });
+    let id = splitmix64(seed ^ ID_COUNTER.fetch_add(1, Ordering::Relaxed));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The calling thread's current trace context, if tracing is on and a
+/// span is open. This is what travels in `Msg::TraceContext`.
+pub fn current_context() -> Option<TraceContext> {
+    if !tracing_on() {
+        return None;
+    }
+    let (trace_id, span_id) = CURRENT.with(Cell::get);
+    if trace_id == 0 {
+        return None;
+    }
+    Some(TraceContext { trace_id, span_id })
+}
+
+struct SpanInner {
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
+    target: &'static str,
+    name: &'static str,
+    start_us: u64,
+    started: Instant,
+    prev: (u64, u64),
+    fields: Vec<(&'static str, String)>,
+}
+
+/// An open span: closes (and records itself) on drop. Build one with
+/// [`span`] or [`span_under`]. When tracing is off the guard is empty and
+/// every method is a no-op.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+/// Opens a span under the thread's current span (or as a new root trace
+/// if none is open).
+pub fn span(target: &'static str, name: &'static str) -> SpanGuard {
+    span_under(None, target, name)
+}
+
+/// Opens a span under an explicit parent context — the cross-thread /
+/// cross-process form (`parent` typically arrived in a
+/// `Msg::TraceContext`). `None` falls back to the thread's current span.
+pub fn span_under(
+    parent: Option<TraceContext>,
+    target: &'static str,
+    name: &'static str,
+) -> SpanGuard {
+    if !tracing_on() {
+        return SpanGuard { inner: None };
+    }
+    let prev = CURRENT.with(Cell::get);
+    let (trace_id, parent_span) = match parent {
+        Some(ctx) => (ctx.trace_id, ctx.span_id),
+        None if prev.0 != 0 => prev,
+        None => (next_id(), 0),
+    };
+    let span_id = next_id();
+    CURRENT.with(|c| c.set((trace_id, span_id)));
+    SpanGuard {
+        inner: Some(SpanInner {
+            trace_id,
+            span_id,
+            parent_span,
+            target,
+            name,
+            start_us: now_us(),
+            started: Instant::now(),
+            prev,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a key=value annotation. The value is only formatted when
+    /// the span is live.
+    pub fn field(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.to_string()));
+        }
+    }
+
+    /// This span's context (what children on other threads or peers
+    /// should parent under), if the span is live.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.inner.as_ref().map(|i| TraceContext {
+            trace_id: i.trace_id,
+            span_id: i.span_id,
+        })
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(inner.prev));
+        let record = SpanRecord {
+            trace_id: inner.trace_id,
+            span_id: inner.span_id,
+            parent_span: inner.parent_span,
+            target: inner.target,
+            name: inner.name,
+            start_us: inner.start_us,
+            dur_us: u64::try_from(inner.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            tid: 0,
+            fields: inner.fields,
+        };
+        with_local_buf(|tid, buf| {
+            let mut records = buf
+                .records
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if records.len() >= MAX_SPANS_PER_THREAD {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            records.push(SpanRecord { tid, ..record });
+            RECORDED.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+}
+
+/// A copy of every buffered span, across all threads that ever recorded
+/// one, in no particular global order (sort by `start_us` if needed).
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    let buffers = BUFFERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = Vec::new();
+    for buf in buffers.iter() {
+        out.extend_from_slice(
+            &buf.records
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    out
+}
+
+/// Drains and returns every buffered span (benchmarks reset between
+/// measurement points with this).
+pub fn take_spans() -> Vec<SpanRecord> {
+    let buffers = BUFFERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = Vec::new();
+    for buf in buffers.iter() {
+        out.append(
+            &mut buf
+                .records
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    out
+}
+
+/// Drops every buffered span.
+pub fn clear_spans() {
+    drop(take_spans());
+}
+
+/// Spans recorded since process start (cumulative; drops not included).
+pub fn spans_recorded() -> u64 {
+    RECORDED.load(Ordering::Relaxed)
+}
+
+/// Spans dropped at full thread buffers since process start.
+pub fn spans_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Remembers the path of the most recent on-disk flight-recorder dump
+/// (reported in [`status_json`]).
+pub fn set_last_dump(path: &str) {
+    *LAST_DUMP
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(path.to_string());
+}
+
+/// The most recent on-disk flight-recorder dump path, if any.
+pub fn last_dump() -> Option<String> {
+    LAST_DUMP
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// One span as a Chrome trace-event JSON object (`"ph": "X"`, complete
+/// event). Used by [`chrome_trace_json`] and the flight recorder.
+pub fn chrome_event_json(s: &SpanRecord) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\",\
+         \"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_span\":\"{:016x}\"",
+        s.tid,
+        s.start_us,
+        s.dur_us,
+        json_escape(s.name),
+        json_escape(s.target),
+        s.trace_id,
+        s.span_id,
+        s.parent_span,
+    );
+    for (k, v) in &s.fields {
+        let _ = write!(out, ",\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders spans as one Chrome trace-event JSON document — load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>. `otherData` carries
+/// the wall-clock anchor for aligning documents from different processes.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"epoch_unix_us\":\"{}\"}},\"traceEvents\":[",
+        epoch_unix_us()
+    );
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&chrome_event_json(s));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Every currently buffered span as a Chrome trace document (the ops
+/// listener's `/trace` body), sorted by start time.
+pub fn export_chrome_json() -> String {
+    let mut spans = snapshot_spans();
+    spans.sort_by_key(|s| s.start_us);
+    chrome_trace_json(&spans)
+}
+
+/// The tracing status block spliced into `/stats` and `Msg::StatsReply`
+/// JSON: `{"enabled": …, "spans_recorded": …, "spans_dropped": …,
+/// "last_dump": …}`.
+pub fn status_json() -> String {
+    let last = match last_dump() {
+        Some(path) => format!("\"{}\"", json_escape(&path)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"enabled\": {}, \"spans_recorded\": {}, \"spans_dropped\": {}, \"last_dump\": {last}}}",
+        tracing_on(),
+        spans_recorded(),
+        spans_dropped(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises the tests in this module that flip the global tracing
+    /// switch (spans from other tests' threads land in other buffers and
+    /// are filtered out by trace id).
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_nest_on_one_thread_and_under_explicit_parents() {
+        let _gate = GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::set_enabled(true);
+        set_tracing(true);
+        let (root_ctx, child_ctx, sibling_ctx);
+        {
+            let root = span("sip.test", "root");
+            root_ctx = root.context().unwrap();
+            {
+                let mut child = span("sip.test", "child");
+                child.field("k", 7);
+                child_ctx = child.context().unwrap();
+            }
+            let sibling = span_under(Some(root_ctx), "sip.test", "sibling");
+            sibling_ctx = sibling.context().unwrap();
+        }
+        set_tracing(false);
+        let spans: Vec<SpanRecord> = snapshot_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == root_ctx.trace_id)
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let by_id = |id: u64| spans.iter().find(|s| s.span_id == id).unwrap();
+        assert_eq!(by_id(root_ctx.span_id).parent_span, 0);
+        assert_eq!(by_id(child_ctx.span_id).parent_span, root_ctx.span_id);
+        assert_eq!(by_id(sibling_ctx.span_id).parent_span, root_ctx.span_id);
+        assert_eq!(
+            by_id(child_ctx.span_id).fields,
+            vec![("k", "7".to_string())]
+        );
+        // Current context is cleared once every span is closed.
+        set_tracing(true);
+        assert_eq!(current_context(), None);
+        set_tracing(false);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _gate = GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_tracing(false);
+        let before = spans_recorded();
+        {
+            let mut s = span("sip.test", "ghost");
+            s.field("k", 1);
+            assert!(s.context().is_none());
+        }
+        assert_eq!(spans_recorded(), before);
+        assert_eq!(current_context(), None);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let record = SpanRecord {
+            trace_id: 0xABCD,
+            span_id: 0x1234,
+            parent_span: 0,
+            target: "sip.test",
+            name: "quoted \"name\"",
+            start_us: 10,
+            dur_us: 5,
+            tid: 3,
+            fields: vec![("msg", "a\nb".to_string())],
+        };
+        let doc = chrome_trace_json(&[record]);
+        assert!(
+            doc.starts_with('{') && doc.trim_end().ends_with('}'),
+            "{doc}"
+        );
+        assert!(doc.contains("\"traceEvents\":["), "{doc}");
+        assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+        assert!(doc.contains("quoted \\\"name\\\""), "{doc}");
+        assert!(doc.contains("\"msg\":\"a\\nb\""), "{doc}");
+        assert!(doc.contains("\"span_id\":\"0000000000001234\""), "{doc}");
+    }
+
+    #[test]
+    fn status_json_shape() {
+        let s = status_json();
+        assert!(s.starts_with('{') && s.ends_with('}'), "{s}");
+        for key in ["enabled", "spans_recorded", "spans_dropped", "last_dump"] {
+            assert!(s.contains(&format!("\"{key}\"")), "{s}");
+        }
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -26,6 +26,14 @@
 //!   (without it, `warn`+ events go to stderr).
 //! * `--strict-load` — with `--data-dir`, exit nonzero if any snapshot on
 //!   disk fails to reload instead of skipping it with a warning.
+//! * `--obs-sample N` — hot-path timer sampling rate (default 16): the
+//!   engine's ingest/fold latency timers run on 1 in `N` calls. Counters
+//!   stay exact at any setting; `1` times every call (finer histograms,
+//!   more clock reads), `0` turns the sampled timers off.
+//! * `--trace` — enable causal span tracing (default off): sessions join
+//!   verifier-announced traces, spans export at the ops listener's
+//!   `/trace` as Chrome trace-event JSON, and flight-recorder dumps carry
+//!   span trees.
 //!
 //! The process serves until killed. Soundness never depends on this binary
 //! behaving: the verifier rejects anything inconsistent with its digests.
@@ -48,13 +56,16 @@ struct Args {
     metrics_addr: Option<String>,
     log_json: Option<String>,
     strict_load: bool,
+    obs_sample: u64,
+    trace: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
          [--field 61|127] [--max-sessions N] [--threads N] [--data-dir PATH] \
-         [--metrics-addr ADDR] [--log-json PATH] [--strict-load]\n\
+         [--metrics-addr ADDR] [--log-json PATH] [--strict-load] \
+         [--obs-sample N] [--trace]\n\
          \n\
          --threads N    worker threads per prover round-message pass;\n\
          \x20              0 = auto-detect (available_parallelism), 1 = serial\n\
@@ -62,10 +73,14 @@ fn usage() -> ! {
          \x20              and reload them on startup (crash recovery); omit\n\
          \x20              for a memory-only prover\n\
          --metrics-addr A  read-only ops listener: /metrics (Prometheus\n\
-         \x20              text) and /stats (JSON)\n\
+         \x20              text), /stats (JSON), /trace (Chrome trace JSON)\n\
          --log-json P   append structured events to P as JSON lines\n\
          --strict-load  exit nonzero if any --data-dir snapshot fails to\n\
-         \x20              reload, instead of skipping it with a warning"
+         \x20              reload, instead of skipping it with a warning\n\
+         --obs-sample N hot-path timer sampling rate (default 16; 1 = time\n\
+         \x20              every call, 0 = sampled timers off)\n\
+         --trace        enable causal span tracing (spans export at /trace;\n\
+         \x20              rejection dumps carry span trees)"
     );
     exit(2);
 }
@@ -83,6 +98,8 @@ fn parse_args() -> Args {
         metrics_addr: None,
         log_json: None,
         strict_load: false,
+        obs_sample: 16,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +123,10 @@ fn parse_args() -> Args {
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
             "--log-json" => args.log_json = Some(value("--log-json")),
             "--strict-load" => args.strict_load = true,
+            "--obs-sample" => {
+                args.obs_sample = u64::from(parse_u32(&value("--obs-sample"), "--obs-sample"))
+            }
+            "--trace" => args.trace = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -125,6 +146,9 @@ fn parse_u32(s: &str, name: &str) -> u32 {
 
 fn main() {
     let args = parse_args();
+    if args.trace {
+        sip_obs::trace::set_tracing(true);
+    }
     if let Some(path) = &args.log_json {
         match sip_obs::JsonlSink::create(std::path::Path::new(path)) {
             Ok(sink) => sip_obs::add_sink(std::sync::Arc::new(sink)),
@@ -169,6 +193,7 @@ fn main() {
         data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
         metrics_addr: args.metrics_addr.clone(),
         strict_load: args.strict_load,
+        obs_sample: args.obs_sample,
         ..ServerConfig::default()
     };
     let handle = match args.field {

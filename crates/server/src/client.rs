@@ -85,20 +85,24 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
         }
         let batch = std::mem::take(&mut self.pending);
         if batch.len() <= MAX_INGEST_PER_FRAME {
-            return self
-                .chan
-                .send(&Msg::<F>::Ingest(batch))
-                .map_err(|e| self.poison(wire_reject(e)));
+            return self.send_traced(&Msg::<F>::Ingest(batch));
         }
         // Auto-chunk: a batch that would blow the frame cap goes out as
         // several frames (the server applies updates incrementally, so the
         // split is invisible to the protocol).
         for chunk in batch.chunks(MAX_INGEST_PER_FRAME) {
-            self.chan
-                .send(&Msg::<F>::Ingest(chunk.to_vec()))
-                .map_err(|e| self.poison(wire_reject(e)))?;
+            self.send_traced(&Msg::<F>::Ingest(chunk.to_vec()))?;
         }
         Ok(())
+    }
+
+    /// One frame out under a `wire_send` span — the *encode* leg of the
+    /// per-round decomposition (serialisation + socket write, with no
+    /// waiting on the peer).
+    fn send_traced(&mut self, msg: &Msg<F>) -> Result<(), Rejection> {
+        let mut tspan = sip_obs::trace::span("sip.client", "wire_send");
+        tspan.field("msg", msg.name());
+        self.chan.send(msg).map_err(|e| self.poison(wire_reject(e)))
     }
 
     /// Records a wire-level fault and returns it: once the byte stream with
@@ -146,10 +150,17 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
 
     fn recv(&mut self) -> Result<Msg<F>, Rejection> {
         self.check_fault()?;
+        // The wire_wait span is the *network* leg of the decomposition: it
+        // covers the blocking wait for the peer's frame (including any
+        // injected LatencyTransport delay), and nothing else.
+        let mut tspan = sip_obs::trace::span("sip.client", "wire_wait");
         match self.chan.recv::<F>() {
             // The server abandons the connection after an error frame.
             Ok(Msg::Error(detail)) => Err(self.poison(server_reject(detail))),
-            Ok(msg) => Ok(msg),
+            Ok(msg) => {
+                tspan.field("msg", msg.name());
+                Ok(msg)
+            }
             Err(e) => Err(self.poison(wire_reject(e))),
         }
     }
@@ -157,9 +168,7 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
     /// Flush + send + receive one reply.
     fn request(&mut self, msg: &Msg<F>) -> Result<Msg<F>, Rejection> {
         self.flush()?;
-        self.chan
-            .send(msg)
-            .map_err(|e| self.poison(wire_reject(e)))?;
+        self.send_traced(msg)?;
         self.recv()
     }
 
@@ -175,7 +184,7 @@ impl<F: PrimeField, T: Transport> Conn<F, T> {
             }
         }
         self.flush()?;
-        self.chan.send(msg).map_err(|e| self.poison(wire_reject(e)))
+        self.send_traced(msg)
     }
 
     /// Publish/attach conversation: one message, expect the echoing ack.
@@ -730,6 +739,20 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         let _ = self.conn.tell(&msg);
     }
 
+    /// Tells the server this session's current trace context
+    /// ([`Msg::TraceContext`]) so its spans join the query's trace. No-op
+    /// unless tracing is on and a span is open; a send failure poisons the
+    /// connection and surfaces at the next protocol frame, so the error is
+    /// deliberately dropped here.
+    fn announce_trace(&mut self) {
+        if let Some(ctx) = sip_obs::trace::current_context() {
+            let _ = self.conn.tell(&Msg::TraceContext {
+                trace_id: ctx.trace_id,
+                parent_span: ctx.span_id,
+            });
+        }
+    }
+
     /// Runs one remote sum-check conversation against `core`/`expected`.
     fn drive_sumcheck(
         &mut self,
@@ -738,6 +761,9 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         expected: F,
         report: &mut CostReport,
     ) -> Result<F, Rejection> {
+        let mut qspan = sip_obs::trace::span("sip.client", "query");
+        qspan.field("query", query.name());
+        self.announce_trace();
         let result = (|| {
             let claimed = match self.conn.request(&Msg::Query(query))? {
                 Msg::ClaimedValue(v) => v,
@@ -750,8 +776,14 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
             };
             loop {
                 report.rounds += 1;
+                let mut rspan = sip_obs::trace::span("sip.client", "round");
+                rspan.field("round", report.rounds);
                 report.p_to_v_words += poly.len();
-                match core.receive(&poly)? {
+                let step = {
+                    let _v = sip_obs::trace::span("sip.client", "verifier_compute");
+                    core.receive(&poly)
+                }?;
+                match step {
                     Some(challenge) => {
                         report.v_to_p_words += 1;
                         poly = match self.conn.request(&Msg::Challenge(challenge))? {
@@ -762,7 +794,10 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
                     None => break,
                 }
             }
-            let value = core.finalize(expected)?;
+            let value = {
+                let _v = sip_obs::trace::span("sip.client", "verifier_compute");
+                core.finalize(expected)
+            }?;
             if value != claimed {
                 return Err(Rejection::MalformedAnswer {
                     detail: "announced claim differs from the proven value".into(),
@@ -824,6 +859,9 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
             rounds: 1,
             ..CostReport::default()
         };
+        let mut qspan = sip_obs::trace::span("sip.client", "query");
+        qspan.field("query", "report");
+        self.announce_trace();
         let result = (|| {
             let answer = match self
                 .conn
@@ -873,6 +911,9 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         if session.trivially_empty() {
             return Ok((Vec::new(), report));
         }
+        let mut qspan = sip_obs::trace::span("sip.client", "query");
+        qspan.field("query", "heavy");
+        self.announce_trace();
         let items = {
             let result = (|| {
                 let mut disc = match self.conn.request(&Msg::Query(Query::Heavy { threshold }))? {

@@ -152,6 +152,15 @@ pub fn snapshot_file_name(kind: DurableKind, id: &str) -> String {
     format!("{prefix}-{:016x}.sipd", fnv1a64(id.as_bytes()))
 }
 
+/// The file name a flight-recorder dump is written under. The tag is a
+/// peer-chosen string (a dataset id, or a session label), so exactly like
+/// [`snapshot_file_name`] it is FNV-hashed and never reaches the
+/// filesystem verbatim — a hostile `../../etc/cron.d` id hashes to 16 hex
+/// digits like any other. `seq` keeps successive dumps distinct.
+pub fn trace_dump_file_name(tag: &str, seq: u64) -> String {
+    format!("fr-{:016x}-{seq}.trace.json", fnv1a64(tag.as_bytes()))
+}
+
 /// Absolute path of the manifest inside `dir`.
 pub fn manifest_path(dir: &Path) -> PathBuf {
     dir.join(MANIFEST_FILE)
@@ -369,6 +378,25 @@ mod tests {
             let name = snapshot_file_name(DurableKind::Published, id);
             assert!(is_safe_file_name(&name), "{name}");
             assert!(!name.contains('/') && !name.contains(".."));
+        }
+    }
+
+    #[test]
+    fn trace_dump_file_name_is_hashed_and_pinned() {
+        // Pinned: FNV-1a 64 of "abc" — a format change here silently
+        // orphans operators' existing dump-collection tooling.
+        assert_eq!(
+            trace_dump_file_name("abc", 3),
+            "fr-e71fa2190541574b-3.trace.json"
+        );
+        for tag in ["../../../etc/cron.d/x", "a/b\\c", "né\u{202e}moj"] {
+            let name = trace_dump_file_name(tag, 0);
+            assert!(
+                name.starts_with("fr-") && name.ends_with(".trace.json"),
+                "{name}"
+            );
+            assert!(!name.contains('/') && !name.contains('\\') && !name.contains(".."));
+            assert!(name.is_ascii(), "{name}");
         }
     }
 }

@@ -218,6 +218,25 @@ impl<F: PrimeField> DatasetRegistry<F> {
         self.data_dir.is_some()
     }
 
+    /// Writes one flight-recorder post-mortem into the data directory and
+    /// returns its path (`Ok(None)` on a memory-only registry). `tag` is
+    /// peer-chosen (typically a dataset id), so the file name goes through
+    /// the same hashing as snapshots ([`crate::persist::trace_dump_file_name`]) —
+    /// hostile ids never touch the filesystem. Dumps are diagnostics, not
+    /// durable state: they are not manifest-tracked and never reloaded.
+    pub fn dump_flight_record(&self, tag: &str, json: &str) -> Result<Option<PathBuf>, String> {
+        static DUMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let Some(dir) = &self.data_dir else {
+            return Ok(None);
+        };
+        let _disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = DUMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = dir.join(crate::persist::trace_dump_file_name(tag, seq));
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write flight record {}: {e}", path.display()))?;
+        Ok(Some(path))
+    }
+
     /// What could not be restored at startup (empty on a clean start).
     pub fn load_errors(&self) -> &[String] {
         &self.load_errors

@@ -224,7 +224,18 @@ struct ServerSession<F: PrimeField, T: Transport> {
     /// Holds the attached-sessions gauge up while this session serves a
     /// shared (published) dataset; dropping the session decrements it.
     attached_guard: Option<sip_obs::GaugeGuard>,
+    /// The verifier's trace context, once a [`Msg::TraceContext`] arrived:
+    /// every subsequent decode/handle span joins that trace, so a sharded
+    /// query exports as one tree across processes.
+    remote_trace: Option<sip_obs::TraceContext>,
+    /// Ring of recent frames, dumped as a post-mortem when the verifier
+    /// rejects (see [`Self::dump_flight_record`]).
+    recorder: sip_obs::FlightRecorder,
 }
+
+/// Frames the per-session flight recorder retains — enough to cover a
+/// whole `log_u ≈ 40` query plus the ingest tail that preceded it.
+const FLIGHT_FRAMES: usize = 128;
 
 impl<F: PrimeField, T: Transport> ServerSession<F, T> {
     fn new(
@@ -253,6 +264,8 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             ingested: false,
             served: CostReport::default(),
             attached_guard: None,
+            remote_trace: None,
+            recorder: sip_obs::FlightRecorder::new(FLIGHT_FRAMES),
         }
     }
 
@@ -326,6 +339,13 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 if matches!(msg, Msg::Reject(_)) {
                     session_metrics().rejections.inc();
                 }
+                self.recorder.record("in", msg.name());
+                // The handle span is the query's prover-compute leg; under
+                // an adopted remote context it lands in the verifier's
+                // trace as a child of the announced span.
+                let mut tspan =
+                    sip_obs::trace::span_under(self.remote_trace, "sip.server.session", "handle");
+                tspan.field("msg", msg.name());
                 let timer = sip_obs::Timer::start();
                 let outcome = self.handle(msg);
                 session_metrics().handle_us.observe(timer.elapsed_us());
@@ -357,6 +377,9 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         let frame = self.chan.transport_mut().recv_frame()?;
         let metrics = session_metrics();
         metrics.frames.inc();
+        let mut tspan =
+            sip_obs::trace::span_under(self.remote_trace, "sip.server.session", "decode");
+        tspan.field("bytes", frame.len());
         let timer = sip_obs::Timer::start();
         let msg = Msg::from_bytes(&frame);
         metrics.decode_us.observe(timer.elapsed_us());
@@ -378,7 +401,50 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
         SessionEnd::ProtocolError(detail)
     }
 
+    /// The rejection post-mortem: emits the flight recorder (recent frames
+    /// plus any adopted trace's spans) as a Warn event, and — when the
+    /// registry is durable — writes it to the data directory under a
+    /// hashed file name (peer-chosen ids never reach the filesystem; see
+    /// [`crate::persist::trace_dump_file_name`]).
+    fn dump_flight_record(&mut self, rej: &sip_core::Rejection) {
+        if !sip_obs::enabled() {
+            return;
+        }
+        let mut extra = vec![("rejection", rej.to_string())];
+        if let Some(shard) = rej.blamed_shard() {
+            extra.push(("blamed_shard", shard.to_string()));
+        }
+        let json = self.recorder.dump_json("session query rejected", &extra);
+        // Tag the dump with what the session serves: the shared dataset id
+        // when attached (hashed before it becomes a file name), a generic
+        // label otherwise.
+        let tag = match &self.store {
+            Store::Shared(ds) => ds.id.as_str(),
+            _ => "session",
+        };
+        let dump = match self.registry.dump_flight_record(tag, &json) {
+            Ok(Some(path)) => {
+                let shown = path.display().to_string();
+                sip_obs::trace::set_last_dump(&shown);
+                shown
+            }
+            Ok(None) => "(memory only)".to_string(),
+            Err(detail) => format!("(write failed: {detail})"),
+        };
+        sip_obs::event!(
+            sip_obs::Level::Warn,
+            "sip.server.session",
+            "flight recorder dumped on rejection",
+            "rejection" => rej,
+            "frames" => self.recorder.len(),
+            "dump" => dump,
+        );
+    }
+
     fn send(&mut self, msg: &Msg<F>) -> Result<(), Flow> {
+        if sip_obs::enabled() {
+            self.recorder.record("out", msg.name());
+        }
         self.chan.send(msg).map_err(Flow::Wire)
     }
 
@@ -534,19 +600,42 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.send(&disc)?;
                 Ok(true)
             }
-            Msg::Accept | Msg::Reject(_) => {
-                // The verifier's verdict on the query we just served; both
-                // end the query. (A rejection means *we* were tampered with
-                // in flight, or the verifier is confused — either way the
-                // session can serve the next query.)
+            Msg::Accept => {
+                // The verifier's verdict on the query we just served ends
+                // the query.
                 self.active = Active::Idle;
+                Ok(true)
+            }
+            Msg::Reject(rej) => {
+                // A rejection also ends the query — it means *we* were
+                // tampered with in flight, or the verifier is confused;
+                // either way the session can serve the next query. But it
+                // is also the moment worth a post-mortem: dump the flight
+                // recorder so the indictment arrives with its evidence.
+                self.active = Active::Idle;
+                self.dump_flight_record(&rej);
+                Ok(true)
+            }
+            Msg::TraceContext {
+                trace_id,
+                parent_span,
+            } => {
+                // Ops, not protocol: adopt the verifier's causal context so
+                // this session's spans and any flight-recorder dump join
+                // its trace. No reply — the frame is advisory telemetry.
+                self.remote_trace = Some(sip_obs::TraceContext {
+                    trace_id,
+                    span_id: parent_span,
+                });
+                self.recorder.bind_trace(trace_id);
                 Ok(true)
             }
             Msg::Stats => {
                 // Ops telemetry over the session's own wire: the same JSON
-                // document the `--metrics-addr` listener serves, advisory
-                // and unverified like `Msg::Cost`.
-                let json = sip_obs::registry().snapshot_json();
+                // document the `--metrics-addr` listener serves at /stats
+                // (metrics registry + tracing status), advisory and
+                // unverified like `Msg::Cost`.
+                let json = sip_obs::stats_json();
                 self.send(&Msg::StatsReply { json })?;
                 Ok(true)
             }

@@ -58,6 +58,19 @@ pub enum Query {
 }
 
 impl Query {
+    /// A short stable name, used in trace spans and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Query::SelfJoin => "self-join",
+            Query::RangeSum { .. } => "range-sum",
+            Query::RangeCount { .. } => "range-count",
+            Query::Report { .. } => "report",
+            Query::Heavy { .. } => "heavy",
+            Query::Predecessor { .. } => "predecessor",
+            Query::Successor { .. } => "successor",
+        }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             Query::SelfJoin => 0,
@@ -229,6 +242,20 @@ pub enum Msg<F> {
     /// tag is new but nothing existing changed encoding, so older peers
     /// refuse it explicitly as a bad tag instead of misparsing.
     Stats,
+    /// Adopt this causal trace context for the session (ops, not
+    /// protocol): subsequent server-side spans and flight-recorder dumps
+    /// join trace `trace_id` as children of the verifier's `parent_span`,
+    /// so one sharded query exports as a single span tree. Advisory
+    /// telemetry with no reply; sent only when client-side tracing is on.
+    /// A v4-compatible extension like [`Msg::Stats`] — the tag is new but
+    /// nothing existing changed encoding, so older peers refuse it
+    /// explicitly as a bad tag instead of misparsing.
+    TraceContext {
+        /// The verifier-minted 64-bit id of the whole trace.
+        trace_id: u64,
+        /// The verifier-side span the server's work nests under.
+        parent_span: u64,
+    },
     /// The verifier accepted the current query's proof.
     Accept,
     /// The verifier rejected; the payload says why (the prover lost).
@@ -298,6 +325,7 @@ impl<F> Msg<F> {
             Msg::DatasetAck { .. } => "dataset-ack",
             Msg::StateAck { .. } => "state-ack",
             Msg::Stats => "stats",
+            Msg::TraceContext { .. } => "trace-context",
             Msg::StatsReply { .. } => "stats-reply",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
@@ -330,6 +358,7 @@ const TAG_ATTACH: u8 = 0x0D;
 const TAG_SAVE_STATE: u8 = 0x0E;
 const TAG_RESUME: u8 = 0x0F;
 const TAG_STATS: u8 = 0x10;
+const TAG_TRACE_CONTEXT: u8 = 0x11;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -398,6 +427,12 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             }
             Msg::Stats => {
                 w.u8(TAG_STATS);
+            }
+            Msg::TraceContext {
+                trace_id,
+                parent_span,
+            } => {
+                w.u8(TAG_TRACE_CONTEXT).u64(*trace_id).u64(*parent_span);
             }
             Msg::StatsReply { json } => {
                 w.u8(TAG_STATS_REPLY).string(json);
@@ -484,6 +519,10 @@ impl<F: PrimeField> WireCodec for Msg<F> {
                 dataset_ids: r.seq(4, |r| r.string())?,
             },
             TAG_STATS => Msg::Stats,
+            TAG_TRACE_CONTEXT => Msg::TraceContext {
+                trace_id: r.u64()?,
+                parent_span: r.u64()?,
+            },
             TAG_STATS_REPLY => Msg::StatsReply { json: r.string()? },
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
@@ -579,6 +618,14 @@ mod tests {
             dataset_id: "δatasets-are-utf8 ✓".into(),
         });
         roundtrip(Msg::Stats);
+        roundtrip(Msg::TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span: 7,
+        });
+        roundtrip(Msg::TraceContext {
+            trace_id: 1,
+            parent_span: 0,
+        });
         roundtrip(Msg::StatsReply {
             json: "{\"counters\": {}}".into(),
         });

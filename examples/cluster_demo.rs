@@ -24,6 +24,9 @@ fn spawn_fleet() -> (Vec<ServerHandle>, Vec<std::net::SocketAddr>) {
 }
 
 fn main() {
+    // Trace the whole demo: every fleet query below becomes a causal span
+    // tree (the same data `sip-prover --trace` serves at `/trace`).
+    sip::obs::trace::set_tracing(true);
     let plan = ShardPlan::new(LOG_U, SHARDS);
     println!("== fleet of {SHARDS} shard provers over a universe of 2^{LOG_U} keys ==");
     for s in 0..SHARDS {
@@ -120,4 +123,21 @@ fn main() {
     println!("\nshard {guilty} lies about aggregates → {err}");
     assert_eq!(err.blamed_shard(), Some(guilty));
     println!("eviction target: shard {guilty} — the other three stay in service");
+
+    // ----- where did the time go? -----------------------------------------
+    // Every query above left spans in the collector; write the Perfetto-
+    // loadable trace next to the binary's working directory.
+    let spans = sip::obs::trace::take_spans();
+    let waits = spans.iter().filter(|s| s.name == "shard_wait").count();
+    let queries = spans.iter().filter(|s| s.name == "cluster_query").count();
+    std::fs::write(
+        "cluster_demo.trace.json",
+        sip::obs::trace::chrome_trace_json(&spans),
+    )
+    .ok();
+    println!(
+        "\ntraced {} spans ({queries} fleet queries, {waits} shard waits) → \
+         cluster_demo.trace.json (load it in Perfetto)",
+        spans.len()
+    );
 }

@@ -176,6 +176,41 @@ fn blame_event_names_the_guilty_shard() {
     assert_eq!(blame.field("shard"), Some("1"));
 }
 
+/// An event emitted while a span is open carries the trace/span ids, so
+/// `--log-json` lines join up with the `/trace` export; outside any span
+/// (or with tracing off) the correlation fields are absent.
+#[test]
+fn events_inside_a_span_carry_trace_ids() {
+    let _guard = obs_lock();
+    let ring = Arc::new(obs::RingSink::new(8));
+    obs::add_sink(ring.clone());
+    obs::trace::set_tracing(true);
+    {
+        let span = obs::trace::span("test.obs", "evented");
+        let ctx = span.context().expect("tracing is on");
+        obs::event!(obs::Level::Info, "test.obs", "inside a span");
+        let events = ring.take();
+        let e = events
+            .iter()
+            .find(|e| e.message == "inside a span")
+            .expect("event reached the sink");
+        assert_eq!(
+            e.field("trace_id"),
+            Some(&*format!("{:016x}", ctx.trace_id))
+        );
+        assert_eq!(e.field("span_id"), Some(&*format!("{:016x}", ctx.span_id)));
+    }
+    obs::trace::set_tracing(false);
+    obs::event!(obs::Level::Info, "test.obs", "outside any span");
+    let events = ring.take();
+    obs::clear_sinks();
+    let e = events
+        .iter()
+        .find(|e| e.message == "outside any span")
+        .expect("event reached the sink");
+    assert_eq!(e.field("trace_id"), None);
+}
+
 /// Hammering one registry from N threads never loses a count: handles are
 /// plain atomics, and the registry lookup itself is engineered to be safe
 /// under contention. Runs on a private `Registry` (not the global one) so

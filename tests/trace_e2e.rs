@@ -1,0 +1,181 @@
+//! Causal tracing end-to-end: one fleet query under injected RTT yields a
+//! single connected span tree whose wire-wait legs dominate the wall
+//! clock — the measurement behind the roadmap's one-shot-proof item.
+//!
+//! The span collector and the tracing switch are process-global; the
+//! tests here that flip them take `TRACE_LOCK` so they compose in any
+//! order. Other test binaries are other processes and cannot interfere.
+
+use std::net::TcpStream;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::cluster::{spawn_local_fleet, ClusterClient, ClusterF2Verifier};
+use sip::core::channel::{FramedTcpTransport, InMemoryTransport, LatencyTransport};
+use sip::field::Fp61;
+use sip::obs;
+use sip::server::client::RawClient;
+use sip::server::{spawn, ServerConfig};
+use sip::streaming::{workloads, ShardPlan};
+
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+const SHARDS: u32 = 4;
+const LOG_U: u32 = 8;
+const RTT: Duration = Duration::from_millis(50);
+
+/// The tentpole acceptance test: an S = 4 TCP fleet query under a 50 ms
+/// injected RTT produces one causally-consistent trace — a single root,
+/// every parent resolving inside the trace, all `log u` rounds present,
+/// server-side handle spans joined via the wire-propagated context — and
+/// the per-round wire-wait legs account for ≥ 80% of wall time.
+#[test]
+fn fleet_query_yields_one_causal_tree_dominated_by_wire_wait() {
+    let _guard = trace_lock();
+    obs::trace::set_tracing(true);
+    let (handles, addrs) = spawn_local_fleet::<Fp61>(SHARDS, LOG_U).expect("bind shard servers");
+    let transports: Vec<_> = addrs
+        .iter()
+        .map(|addr| {
+            let tcp = FramedTcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+            LatencyTransport::fixed(tcp, RTT)
+        })
+        .collect();
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::from_transports(transports, LOG_U).expect("fleet handshake");
+
+    let stream = workloads::paper_f2(1u64 << LOG_U, 5);
+    let plan = ShardPlan::new(LOG_U, SHARDS);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    for &up in &stream {
+        digest.update(up);
+    }
+    client.send_stream(&stream);
+    client.end_stream().expect("end stream");
+
+    // A fresh collector, and an outer root so the test knows the trace id
+    // the whole query will live under.
+    obs::trace::take_spans();
+    let root = obs::trace::span("test", "query_root");
+    let ctx = root.context().expect("tracing is on");
+    let start = Instant::now();
+    client.verify_f2(digest).expect("honest accept");
+    let wall = start.elapsed();
+    drop(root);
+    client.bye().ok();
+    for h in handles {
+        h.shutdown(); // server threads flush their span buffers on exit
+    }
+    obs::trace::set_tracing(false);
+
+    let spans: Vec<_> = obs::trace::snapshot_spans()
+        .into_iter()
+        .filter(|s| s.trace_id == ctx.trace_id)
+        .collect();
+    assert!(spans.len() > 20, "only {} spans in the trace", spans.len());
+
+    // One causally-consistent tree: exactly one root, and every other
+    // span's parent is a span of this same trace.
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent_span == 0).collect();
+    assert_eq!(roots.len(), 1, "expected one root, got {roots:?}");
+    assert_eq!(roots[0].name, "query_root");
+    for s in &spans {
+        assert!(
+            s.parent_span == 0 || ids.contains(&s.parent_span),
+            "span {} ({}) has a parent outside the trace",
+            s.name,
+            s.span_id
+        );
+    }
+
+    // Every sum-check round appears, numbered 1..=log u.
+    let rounds: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.target == "sip.cluster" && s.name == "round")
+        .flat_map(|s| s.fields.iter())
+        .filter(|(k, _)| *k == "round")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    for r in 1..=LOG_U {
+        assert!(
+            rounds.contains(&r.to_string().as_str()),
+            "round {r} missing from {rounds:?}"
+        );
+    }
+
+    // The wire-propagated context reached the shard servers: their handle
+    // spans (which run in the server threads of this process) joined the
+    // verifier's trace.
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.target == "sip.server.session" && s.name == "handle"),
+        "no server-side handle span joined the trace"
+    );
+
+    // Per-round decomposition: under a 50 ms RTT the blocking shard reads
+    // must account for ≥ 80% of wall time (the acceptance criterion — the
+    // observation that motivates a one-shot proof).
+    let wire_wait_us: u64 = spans
+        .iter()
+        .filter(|s| s.name == "shard_wait")
+        .map(|s| s.dur_us)
+        .sum();
+    let wall_us = wall.as_micros() as u64;
+    assert!(
+        wire_wait_us * 10 >= wall_us * 8,
+        "wire-wait {wire_wait_us}µs is under 80% of wall {wall_us}µs"
+    );
+
+    // The export is Perfetto-loadable Chrome trace-event JSON.
+    let chrome = obs::trace::chrome_trace_json(&spans);
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+}
+
+/// Satellite 1: `Msg::Stats` carries the tracing status block alongside
+/// the metric snapshot.
+#[test]
+fn server_stats_reports_tracing_status() {
+    let _guard = trace_lock();
+    let server = spawn::<Fp61, _>("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), 4).unwrap();
+    let json = client.server_stats().unwrap();
+    assert!(json.contains("\"tracing\""), "{json}");
+    assert!(json.contains("\"spans_recorded\""), "{json}");
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+    /// Satellite 3: the injected-latency schedule is a pure function of
+    /// `(rtt, jitter, seed)` — two transports configured alike delay
+    /// identically, and every delay lands in `[rtt, rtt + jitter]`.
+    #[test]
+    fn latency_transport_schedule_is_deterministic_and_bounded(
+        rtt_ms in 0u64..100,
+        jitter_us in 0u64..5_000,
+        seed in 0u64..u64::MAX,
+        n in 1usize..64,
+    ) {
+        let rtt = Duration::from_millis(rtt_ms);
+        let jitter = Duration::from_micros(jitter_us);
+        let a = LatencyTransport::<InMemoryTransport>::delay_sequence(rtt, jitter, seed, n);
+        let b = LatencyTransport::<InMemoryTransport>::delay_sequence(rtt, jitter, seed, n);
+        proptest::prop_assert_eq!(&a, &b);
+        for d in &a {
+            proptest::prop_assert!(*d >= rtt && *d <= rtt + jitter, "{d:?} outside [{rtt:?}, {:?}]", rtt + jitter);
+        }
+    }
+}

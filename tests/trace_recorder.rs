@@ -1,0 +1,181 @@
+//! The flight recorder under fire: when a query ends in blame the dump
+//! must name the guilty shard (even with a slow network between them),
+//! and a server session that gets rejected must leave an on-disk dump
+//! under the registry's hashed-filename scheme.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::cluster::{spawn_local_fleet, ClusterClient, ClusterF2Verifier};
+use sip::core::channel::{
+    FramedTcpTransport, LatencyTransport, Transport, TransportError, TransportStats,
+};
+use sip::core::error::Rejection;
+use sip::field::Fp61;
+use sip::obs;
+use sip::server::client::RawClient;
+use sip::server::{spawn, ServerConfig};
+use sip::streaming::{workloads, ShardPlan, Update};
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Flips the low bit of the last byte of every received frame after the
+/// first `skip` — a prover whose answers rot mid-query. Framing is done by
+/// the inner transport, so the corruption hits message payloads, never
+/// length prefixes (the client must blame, not hang).
+struct CorruptTransport<T: Transport> {
+    inner: T,
+    skip: u32,
+    seen: u32,
+}
+
+impl<T: Transport> Transport for CorruptTransport<T> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.inner.send_frame(frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        let mut frame = self.inner.recv_frame()?;
+        self.seen += 1;
+        if self.seen > self.skip {
+            if let Some(last) = frame.last_mut() {
+                *last ^= 0x01;
+            }
+        }
+        Ok(frame)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+/// Satellite 3 (tamper): one shard's replies rot under a 50 ms injected
+/// RTT — the verifier still indicts exactly that shard, and the blame
+/// ships with a flight-recorder dump naming it, both in the returned JSON
+/// and in the `warn` event.
+#[test]
+fn blame_under_injected_rtt_indicts_guilty_shard_and_dumps_recorder() {
+    let _guard = obs_lock();
+    let ring = Arc::new(obs::RingSink::new(128));
+    obs::add_sink(ring.clone());
+
+    let log_u = 4u32;
+    let shards = 4u32;
+    let guilty = 2usize;
+    let (handles, addrs) = spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers");
+    let transports: Vec<_> = addrs
+        .iter()
+        .enumerate()
+        .map(|(s, addr)| {
+            let tcp = FramedTcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+            // Let the handshake and stream-intake replies through clean;
+            // everything from the query's opening claim on is corrupted.
+            let skip = if s == guilty { 3 } else { u32::MAX };
+            let corrupt = CorruptTransport {
+                inner: tcp,
+                skip,
+                seen: 0,
+            };
+            LatencyTransport::fixed(corrupt, Duration::from_millis(50))
+        })
+        .collect();
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::from_transports(transports, log_u).expect("fleet handshake");
+
+    let stream = workloads::paper_f2(1u64 << log_u, 13);
+    let plan = ShardPlan::new(log_u, shards);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    for &up in &stream {
+        digest.update(up);
+    }
+    client.send_stream(&stream);
+    client.end_stream().expect("intake replies are clean");
+
+    let err = client
+        .verify_f2(digest)
+        .expect_err("corrupted shard must be caught");
+    assert_eq!(err.blamed_shard(), Some(guilty as u32), "{err}");
+
+    // The indictment arrives with its evidence: the in-memory dump names
+    // the shard and carries the recent fleet frames.
+    let dump = client.last_flight_dump().expect("blame dumps the recorder");
+    assert!(dump.contains("\"reason\": \"blame\""), "{dump}");
+    assert!(
+        dump.contains(&format!("\"blamed_shard\": \"{guilty}\"")),
+        "{dump}"
+    );
+    assert!(dump.contains("\"frames\""), "{dump}");
+
+    let events = ring.take();
+    obs::clear_sinks();
+    let warn = events
+        .iter()
+        .find(|e| e.message == "flight recorder dumped on blame")
+        .unwrap_or_else(|| panic!("no dump event among {} events", events.len()));
+    assert_eq!(warn.level, obs::Level::Warn);
+    assert_eq!(warn.field("blamed_shard"), Some(&*guilty.to_string()));
+
+    drop(client);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+/// Satellite 6: a session that ends in rejection on a durable server
+/// writes its flight record under the registry's hashed-filename scheme —
+/// `fr-<fnv64>-<seq>.trace.json`, never raw session-controlled text.
+#[test]
+fn rejection_on_a_durable_server_writes_a_hashed_dump_file() {
+    let _guard = obs_lock();
+    let dir = std::env::temp_dir().join(format!("sip-trace-recorder-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let server = spawn::<Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), 4).unwrap();
+    client.send_batch(&[Update::new(1, 2)]);
+    client.verdict(&Err(Rejection::FinalCheckFailed));
+    // A request/reply after the verdict proves the rejection was handled
+    // (and the dump written) before this test looks at the directory.
+    let stats = client.server_stats().unwrap();
+    assert!(stats.contains("\"tracing\""), "{stats}");
+    client.bye().unwrap();
+    server.shutdown();
+
+    let dumps: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".trace.json"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "expected one dump, got {dumps:?}");
+    // Hashed scheme: fr-<16 hex>-<seq>.trace.json, nothing hostile.
+    let name = &dumps[0];
+    assert!(name.starts_with("fr-"), "{name}");
+    let hex = &name[3..19];
+    assert!(hex.chars().all(|c| c.is_ascii_hexdigit()), "{name}");
+    let body = std::fs::read_to_string(dir.join(name)).unwrap();
+    assert!(
+        body.contains("\"reason\": \"session query rejected\""),
+        "{body}"
+    );
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
