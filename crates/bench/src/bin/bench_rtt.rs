@@ -1,24 +1,32 @@
 //! Round-trip latency study: where a fleet query's wall-clock goes as the
-//! network gets slower. The verifier runs `O(log u)` lockstep rounds, so
-//! query latency is dominated by `rounds × RTT` long before bandwidth or
-//! compute matter — the measurement motivating the roadmap's one-shot
-//! (Fiat–Shamir) proof item. Emitted as machine-readable `BENCH_rtt.json`
-//! (plus human-readable CSV on stdout).
+//! network gets slower, and what the one-shot proof path buys back. The
+//! interactive verifier runs `O(log u)` lockstep rounds, so query latency
+//! is dominated by `rounds × RTT` long before bandwidth or compute matter;
+//! the one-shot path ([`Msg::QueryOneShot`]/[`Msg::Proof`]) collapses the
+//! whole post-stream conversation into a single round trip per fleet
+//! query. This bench sweeps both modes over `RTT × shards` and emits the
+//! comparison as machine-readable `BENCH_rtt.json` (plus human-readable
+//! CSV on stdout) with a queries/sec headline.
 //!
-//! Method: one pinned S-shard TCP fleet on loopback, redialed per RTT
-//! point through [`LatencyTransport`] (deterministic injected delay, no
-//! jitter), with span tracing enabled. Each query's wall time is
-//! decomposed from its trace: `wire_wait` (blocking shard reads),
-//! `encode` (fan-out serialization), `verifier_compute` (round checks and
-//! the final LDE fold), and `prover` (server-side handle spans — the
-//! shard servers run in-process, so their spans land in the same
-//! collector). The legs overlap the wall clock, not each other, except
-//! `prover`, which runs under the client's `wire_wait`.
+//! Method: one pinned S-shard TCP fleet on loopback per fleet size,
+//! redialed per RTT point through [`LatencyTransport`] (deterministic
+//! injected delay, no jitter), with span tracing enabled. Each query's
+//! wall time is decomposed from its trace: `wire_wait` (blocking shard
+//! reads), `encode` (fan-out serialization), `verifier_compute` /
+//! `deferred_check` (round checks and transcript replay), and `prover`
+//! (server-side handle spans — the shard servers run in-process, so their
+//! spans land in the same collector).
 //!
 //! Usage: `cargo run --release -p sip-bench --bin bench_rtt
-//! [--shards S] [--log-u N] [--rtts 0,10,50] [--queries Q] [--out PATH]`
+//! [--shards 1,4] [--log-u N] [--rtts 0,10,50] [--queries Q] [--out PATH]
+//! [--assert-oneshot]`
+//!
+//! `--assert-oneshot` makes the run fail loudly unless every one-shot
+//! point used exactly one round trip per query — the CI smoke contract.
 //!
 //! [`LatencyTransport`]: sip_core::channel::LatencyTransport
+//! [`Msg::QueryOneShot`]: sip_wire::Msg::QueryOneShot
+//! [`Msg::Proof`]: sip_wire::Msg::Proof
 
 use std::fmt::Write as _;
 use std::net::TcpStream;
@@ -32,16 +40,25 @@ use sip_core::channel::{FramedTcpTransport, LatencyTransport};
 use sip_field::Fp61;
 use sip_streaming::{workloads, ShardPlan};
 
-/// One RTT point: mean wall time per query and its per-leg decomposition,
-/// all in microseconds.
+/// One sweep point: mean wall time per query and its per-leg
+/// decomposition, all in microseconds.
 struct Point {
+    mode: &'static str,
+    shards: u32,
     rtt_ms: u64,
     wall_us: f64,
     wire_wait_us: f64,
     encode_us: f64,
     verifier_us: f64,
     prover_us: f64,
+    /// Lockstep verifier rounds per query (1 in one-shot mode: the single
+    /// fan-out round trip).
     rounds: u64,
+    /// Prover→verifier words per query, fleet-wide (the proof-size axis of
+    /// the comparison).
+    p_to_v_words: f64,
+    /// The headline: queries per second at this point.
+    qps: f64,
 }
 
 impl Point {
@@ -60,8 +77,10 @@ fn measure(
     rtt_ms: u64,
     queries: u32,
     stream: &[sip_streaming::Update],
+    oneshot: bool,
 ) -> Point {
-    let plan = ShardPlan::new(log_u, addrs.len() as u32);
+    let shards = addrs.len() as u32;
+    let plan = ShardPlan::new(log_u, shards);
     let transports: Vec<_> = addrs
         .iter()
         .map(|addr| {
@@ -78,6 +97,7 @@ fn measure(
     let mut wall = Duration::ZERO;
     let mut legs = [0u64; 4]; // [wire_wait, encode, verifier, prover]
     let mut rounds = 0u64;
+    let mut p_to_v_words = 0u64;
     for q in 0..queries.max(1) {
         let mut rng = StdRng::seed_from_u64(100 + u64::from(q));
         let mut digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
@@ -86,37 +106,64 @@ fn measure(
         }
         sip_obs::trace::take_spans(); // fresh collector per query
         let start = Instant::now();
-        client.verify_f2(digest).expect("honest accept");
+        let verified = if oneshot {
+            client.verify_f2_oneshot(digest).expect("honest accept")
+        } else {
+            client.verify_f2(digest).expect("honest accept")
+        };
         wall += start.elapsed();
+        // Round trips: the per-shard `rounds` books (log u interactive, 1
+        // one-shot) — wire truth, not a mode assumption.
+        rounds += verified
+            .report
+            .per_shard
+            .iter()
+            .map(|r| r.rounds as u64)
+            .max()
+            .unwrap_or(0);
+        p_to_v_words += verified
+            .report
+            .per_shard
+            .iter()
+            .map(|r| r.p_to_v_words as u64)
+            .sum::<u64>();
         for span in sip_obs::trace::take_spans() {
             match span.name {
                 "shard_wait" => legs[0] += span.dur_us,
                 "fanout" => legs[1] += span.dur_us,
-                "verifier_compute" => legs[2] += span.dur_us,
+                "verifier_compute" | "deferred_check" => legs[2] += span.dur_us,
                 "handle" => legs[3] += span.dur_us,
-                "round" if span.target == "sip.cluster" => rounds += 1,
                 _ => {}
             }
         }
     }
     client.bye().ok();
     let per_query = |us: u64| us as f64 / f64::from(queries.max(1));
+    let wall_us = wall.as_secs_f64() * 1e6 / f64::from(queries.max(1));
     Point {
+        mode: if oneshot { "oneshot" } else { "interactive" },
+        shards,
         rtt_ms,
-        wall_us: wall.as_secs_f64() * 1e6 / f64::from(queries.max(1)),
+        wall_us,
         wire_wait_us: per_query(legs[0]),
         encode_us: per_query(legs[1]),
         verifier_us: per_query(legs[2]),
         prover_us: per_query(legs[3]),
         rounds: rounds / u64::from(queries.max(1)),
+        p_to_v_words: per_query(p_to_v_words),
+        qps: if wall_us > 0.0 { 1e6 / wall_us } else { 0.0 },
     }
 }
 
 fn main() {
-    let shards = arg_u32("--shards", 4);
     let log_u = arg_u32("--log-u", 8);
     let queries = arg_u32("--queries", 2);
     let out_path = arg_string("--out", "BENCH_rtt.json");
+    let assert_oneshot = std::env::args().any(|a| a == "--assert-oneshot");
+    let fleet_sizes: Vec<u32> = arg_string("--shards", "1,4")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shards takes S,S,..."))
+        .collect();
     let rtts: Vec<u64> = arg_string("--rtts", "0,10,50")
         .split(',')
         .map(|s| s.trim().parse().expect("--rtts takes ms,ms,..."))
@@ -125,9 +172,10 @@ fn main() {
     sip_obs::trace::set_tracing(true);
     let n = 1u64 << log_u;
     let stream = workloads::paper_f2(n, 11);
-    let (handles, addrs) = spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers");
 
     csv_header(&[
+        "mode",
+        "shards",
         "rtt_ms",
         "wall_us",
         "wire_wait_us",
@@ -136,25 +184,78 @@ fn main() {
         "prover_us",
         "wire_wait_pct",
         "rounds",
+        "p_to_v_words",
+        "queries_per_sec",
     ]);
     let mut points = Vec::new();
-    for &rtt_ms in &rtts {
-        let p = measure(&addrs, log_u, rtt_ms, queries, &stream);
-        println!(
-            "{},{:.0},{:.0},{:.0},{:.0},{:.0},{:.1},{}",
-            p.rtt_ms,
-            p.wall_us,
-            p.wire_wait_us,
-            p.encode_us,
-            p.verifier_us,
-            p.prover_us,
-            p.wire_wait_pct(),
-            p.rounds
-        );
-        points.push(p);
+    for &shards in &fleet_sizes {
+        let (handles, addrs) =
+            spawn_local_fleet::<Fp61>(shards, log_u).expect("bind shard servers");
+        for &rtt_ms in &rtts {
+            for oneshot in [false, true] {
+                let p = measure(&addrs, log_u, rtt_ms, queries, &stream, oneshot);
+                println!(
+                    "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.0},{:.1},{},{:.0},{:.2}",
+                    p.mode,
+                    p.shards,
+                    p.rtt_ms,
+                    p.wall_us,
+                    p.wire_wait_us,
+                    p.encode_us,
+                    p.verifier_us,
+                    p.prover_us,
+                    p.wire_wait_pct(),
+                    p.rounds,
+                    p.p_to_v_words,
+                    p.qps
+                );
+                points.push(p);
+            }
+        }
+        for h in handles {
+            h.shutdown();
+        }
     }
-    for h in handles {
-        h.shutdown();
+
+    // Headline: interactive vs one-shot at the slowest RTT of the sweep,
+    // per fleet size — queries/sec, speedup, and the proof-size ratio.
+    let slowest = rtts.iter().copied().max().unwrap_or(0);
+    let mut headlines = Vec::new();
+    for &shards in &fleet_sizes {
+        let find = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.shards == shards && p.rtt_ms == slowest)
+        };
+        if let (Some(inter), Some(one)) = (find("interactive"), find("oneshot")) {
+            let speedup = if one.wall_us > 0.0 {
+                inter.wall_us / one.wall_us
+            } else {
+                0.0
+            };
+            let size_ratio = if inter.p_to_v_words > 0.0 {
+                one.p_to_v_words / inter.p_to_v_words
+            } else {
+                0.0
+            };
+            eprintln!(
+                "# S={shards} @ {slowest}ms RTT: {:.2} q/s interactive vs {:.2} q/s one-shot \
+                 ({speedup:.1}x), proof {size_ratio:.2}x the interactive wire words",
+                inter.qps, one.qps
+            );
+            headlines.push((shards, inter.qps, one.qps, speedup, size_ratio));
+        }
+    }
+
+    if assert_oneshot {
+        for p in points.iter().filter(|p| p.mode == "oneshot") {
+            assert_eq!(
+                p.rounds, 1,
+                "one-shot point (S={}, rtt={}ms) billed {} round trips, contract is 1",
+                p.shards, p.rtt_ms, p.rounds
+            );
+        }
+        eprintln!("# --assert-oneshot: every one-shot query used exactly 1 round trip");
     }
 
     let mut json = String::new();
@@ -163,16 +264,31 @@ fn main() {
     let _ = writeln!(json, "  \"field\": \"Fp61\",");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"shards\": {shards}, \"log_u\": {log_u}, \"n_updates\": {n}, \
+        "  \"config\": {{\"shards\": {fleet_sizes:?}, \"log_u\": {log_u}, \"n_updates\": {n}, \
          \"queries_per_point\": {queries}}},"
     );
+    json.push_str("  \"headline\": [\n");
+    for (i, (shards, iq, oq, speedup, ratio)) in headlines.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {shards}, \"rtt_ms\": {slowest}, \
+             \"interactive_queries_per_sec\": {iq:.2}, \"oneshot_queries_per_sec\": {oq:.2}, \
+             \"oneshot_speedup\": {speedup:.2}, \"proof_words_ratio\": {ratio:.2}}}{}",
+            if i + 1 < headlines.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"rtt_ms\": {}, \"wall_us_per_query\": {:.0}, \"legs_us\": \
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"rtt_ms\": {}, \
+             \"wall_us_per_query\": {:.0}, \"legs_us\": \
              {{\"wire_wait\": {:.0}, \"encode\": {:.0}, \"verifier_compute\": {:.0}, \
-             \"prover\": {:.0}}}, \"wire_wait_pct\": {:.1}, \"rounds\": {}}}{}",
+             \"prover\": {:.0}}}, \"wire_wait_pct\": {:.1}, \"rounds\": {}, \
+             \"p_to_v_words\": {:.0}, \"queries_per_sec\": {:.2}}}{}",
+            p.mode,
+            p.shards,
             p.rtt_ms,
             p.wall_us,
             p.wire_wait_us,
@@ -181,6 +297,8 @@ fn main() {
             p.prover_us,
             p.wire_wait_pct(),
             p.rounds,
+            p.p_to_v_words,
+            p.qps,
             if i + 1 < points.len() { "," } else { "" }
         );
     }

@@ -8,7 +8,8 @@ use sip_core::channel::{
     ClusterCostReport, CostReport, FramedTcpTransport, Transport, TransportStats,
 };
 use sip_core::error::Rejection;
-use sip_core::sumcheck::AggregatingVerifier;
+use sip_core::sumcheck::{AggregatingVerifier, OneShotProof};
+use sip_core::transcript::{query_transcript, Transcript};
 use sip_field::PrimeField;
 use sip_kvstore::KvServer;
 use sip_server::client::{RawClient, RemoteStore, DEFAULT_CLIENT_TIMEOUT};
@@ -391,6 +392,120 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         Ok(ClusterVerified { value, report })
     }
 
+    /// Runs one fleet-wide *one-shot* query: reveal the shared challenge
+    /// prefix to every shard at once, collect one sealed proof frame per
+    /// shard, then run every transcript replay and deferred round check
+    /// locally — one round trip for the whole fleet query, whatever
+    /// `log_u` is. Each shard's transcript binds its own identity, so a
+    /// frame served by (or replayed from) the wrong shard dies on its
+    /// digest comparison as [`Rejection::Blame`] naming that shard.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_aggregate_oneshot(
+        &mut self,
+        query: Query,
+        name: &str,
+        params: &[u64],
+        extra_v_words: usize,
+        agg: AggregatingVerifier<F>,
+        streamed: &[F],
+        space_words: usize,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        let n = self.shards.len();
+        assert_eq!(agg.shards(), n, "digest fleet size disagrees with client");
+        let mut qspan = sip_obs::trace::span("sip.cluster", "cluster_query");
+        qspan.field("query", query.name());
+        qspan.field("shards", n);
+        qspan.field("mode", "oneshot");
+        if let Some(ctx) = sip_obs::trace::current_context() {
+            self.recorder.bind_trace(ctx.trace_id);
+            for shard in &mut self.shards {
+                let _ = shard.tell_msg(&Msg::TraceContext {
+                    trace_id: ctx.trace_id,
+                    parent_span: ctx.span_id,
+                });
+            }
+        }
+        let challenges = agg.challenge_prefix().to_vec();
+        let log_u = challenges.len() as u32 + 1;
+        let mut report = ClusterCostReport::new(n);
+        report.verifier_space_words = space_words;
+        for r in &mut report.per_shard {
+            r.rounds += 1;
+            r.v_to_p_words += extra_v_words + challenges.len();
+        }
+        let result = (|| {
+            let mut proofs = Vec::with_capacity(n);
+            {
+                let mut rtspan = sip_obs::trace::span("sip.cluster", "oneshot_roundtrip");
+                rtspan.field("shards", n);
+                {
+                    let mut fspan = sip_obs::trace::span("sip.cluster", "fanout");
+                    fspan.field("what", "query-oneshot");
+                    for (s, shard) in self.shards.iter_mut().enumerate() {
+                        if sip_obs::enabled() {
+                            self.recorder
+                                .record("out", format!("shard {s}: query-oneshot"));
+                        }
+                        shard
+                            .tell_msg(&Msg::QueryOneShot {
+                                query,
+                                challenges: challenges.clone(),
+                            })
+                            .map_err(|e| blame(s, e))?;
+                    }
+                }
+                for (s, shard) in self.shards.iter_mut().enumerate() {
+                    let proof = match recv_msg_timed(&mut self.recorder, s, shard) {
+                        Ok(Msg::Proof {
+                            claimed,
+                            rounds,
+                            digest,
+                        }) => OneShotProof {
+                            claimed,
+                            rounds,
+                            digest,
+                        },
+                        Ok(other) => return Err(unexpected(s, "proof", other.name())),
+                        Err(e) => return Err(blame(s, e)),
+                    };
+                    report.per_shard[s].p_to_v_words += proof.words();
+                    if sip_obs::enabled() {
+                        sip_obs::histogram("sip_cluster_oneshot_proof_words")
+                            .observe(proof.words() as u64);
+                    }
+                    proofs.push(proof);
+                }
+            }
+            let transcripts: Vec<Transcript> = (0..n)
+                .map(|s| {
+                    query_transcript::<F>(
+                        name,
+                        log_u,
+                        Some((s as u32, n as u32)),
+                        params,
+                        &challenges,
+                    )
+                })
+                .collect();
+            let _v = sip_obs::trace::span("sip.cluster", "deferred_check");
+            let timer = sip_obs::Timer::start();
+            let out = agg.verify_oneshot(streamed, transcripts, &proofs);
+            if sip_obs::enabled() {
+                sip_obs::histogram("sip_cluster_oneshot_deferred_check_us")
+                    .observe(timer.elapsed_us());
+            }
+            out
+        })();
+        for shard in &mut self.shards {
+            shard.verdict(&result);
+        }
+        if let Err(rej) = &result {
+            self.dump_blame(rej);
+        }
+        let value = result?;
+        Ok(ClusterVerified { value, report })
+    }
+
     /// Freezes the flight recorder into a JSON dump after a query ended in
     /// rejection, naming the blamed shard in a `warn` event. The dump stays
     /// in memory ([`Self::last_flight_dump`]) — the verifier side has no
@@ -465,6 +580,59 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
         let space = digest.space_words();
         let (agg, streamed) = digest.into_session(q_l, q_r);
         self.drive_aggregate(Query::RangeSum { l: q_l, r: q_r }, 2, agg, &streamed, space)
+    }
+
+    /// Verified fleet-wide SELF-JOIN SIZE in one round trip
+    /// ([`Msg::QueryOneShot`] to every shard, one [`Msg::Proof`] back from
+    /// each): same digests and same per-shard blame as [`Self::verify_f2`],
+    /// with the whole post-stream conversation collapsed into a single
+    /// parallel fan-out.
+    ///
+    /// # Panics
+    /// Panics if the digest was drawn for a different [`ShardPlan`] than
+    /// this client's fleet (see [`Self::verify_f2`]).
+    pub fn verify_f2_oneshot(
+        &mut self,
+        digest: ClusterF2Verifier<F>,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        assert_eq!(
+            digest.plan(),
+            self.router.plan(),
+            "digest plan disagrees with client"
+        );
+        let space = digest.space_words();
+        let (agg, streamed) = digest.into_session();
+        self.drive_aggregate_oneshot(Query::SelfJoin, "self-join", &[], 0, agg, &streamed, space)
+    }
+
+    /// Verified fleet-wide RANGE-SUM over `[q_l, q_r]` in one round trip;
+    /// see [`Self::verify_f2_oneshot`].
+    ///
+    /// # Panics
+    /// Panics if the digest was drawn for a different [`ShardPlan`] than
+    /// this client's fleet (see [`Self::verify_f2`]).
+    pub fn verify_range_sum_oneshot(
+        &mut self,
+        digest: ClusterRangeSumVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<ClusterVerified<F>, Rejection> {
+        assert_eq!(
+            digest.plan(),
+            self.router.plan(),
+            "digest plan disagrees with client"
+        );
+        let space = digest.space_words();
+        let (agg, streamed) = digest.into_session(q_l, q_r);
+        self.drive_aggregate_oneshot(
+            Query::RangeSum { l: q_l, r: q_r },
+            "range-sum",
+            &[q_l, q_r],
+            2,
+            agg,
+            &streamed,
+            space,
+        )
     }
 
     /// Verified fleet-wide SUB-VECTOR report over `[q_l, q_r]`: each
@@ -631,6 +799,42 @@ mod tests {
             assert_eq!(got.report.shards(), shards as usize);
             let (q_l, q_r) = (40u64, 200u64);
             let got = client.verify_range_sum(rs, q_l, q_r).unwrap();
+            assert_eq!(got.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+            client.bye().unwrap();
+            for s in servers {
+                s.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_oneshot_queries_match_interactive_in_one_round() {
+        let log_u = 8;
+        let stream = workloads::uniform(400, 1 << log_u, 30, 5);
+        let fv = FrequencyVector::from_stream(1 << log_u, &stream);
+        for shards in [1u32, 2, 4] {
+            let plan = ShardPlan::new(log_u, shards);
+            let mut rng = StdRng::seed_from_u64(40 + shards as u64);
+            let (mut client, servers) = fleet(shards, log_u);
+            let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+            let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+            for &up in &stream {
+                f2.update(up);
+                rs.update(up);
+                client.send_update(up);
+            }
+            client.end_stream().unwrap();
+            let got = client.verify_f2_oneshot(f2).unwrap();
+            assert_eq!(
+                got.value,
+                Fp61::from_u128(fv.self_join_size() as u128),
+                "S={shards}"
+            );
+            for (s, per) in got.report.per_shard.iter().enumerate() {
+                assert_eq!(per.rounds, 1, "S={shards} shard {s} must bill one round");
+            }
+            let (q_l, q_r) = (40u64, 200u64);
+            let got = client.verify_range_sum_oneshot(rs, q_l, q_r).unwrap();
             assert_eq!(got.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
             client.bye().unwrap();
             for s in servers {

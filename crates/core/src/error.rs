@@ -35,6 +35,12 @@ pub enum Rejection {
     /// The reconstructed hash-tree root differs from the streamed root
     /// (SUB-VECTOR / heavy hitters).
     RootMismatch,
+    /// A one-shot proof's echoed transcript digest differs from the
+    /// verifier's replay of the hash chain: the proof bytes were corrupted
+    /// in transit, or prover and verifier disagree about the query context
+    /// (protocol, field, parameters, shard identity, challenge prefix).
+    /// Raised before any field algebra runs.
+    TranscriptMismatch,
     /// A reported item fell outside the queried range, arrived out of
     /// order, or duplicated a previous item.
     MalformedAnswer {
@@ -133,6 +139,12 @@ impl fmt::Display for Rejection {
             }
             Rejection::RootMismatch => {
                 write!(f, "reconstructed tree root differs from streamed root")
+            }
+            Rejection::TranscriptMismatch => {
+                write!(
+                    f,
+                    "one-shot proof digest differs from the replayed transcript"
+                )
             }
             Rejection::MalformedAnswer { detail } => write!(f, "malformed answer: {detail}"),
             Rejection::AnswerTooLarge { limit, got } => {

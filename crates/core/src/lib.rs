@@ -48,6 +48,7 @@ pub mod one_round;
 pub mod reporting;
 pub mod subvector;
 pub mod sumcheck;
+pub mod transcript;
 
 pub use channel::{
     ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, LatencyTransport,
@@ -55,3 +56,5 @@ pub use channel::{
 };
 pub use engine::{Combine, FoldSource, ProverPool};
 pub use error::Rejection;
+pub use sumcheck::{OneShotProof, OneShotWalk, ProverWalk};
+pub use transcript::{digest_words, query_transcript, Transcript};

@@ -28,7 +28,9 @@ use sip_field::PrimeField;
 
 use crate::channel::{ClusterCostReport, CostReport};
 use crate::error::Rejection;
+use crate::transcript::Transcript;
 
+use super::oneshot::{prove_oneshot, OneShotProof};
 use super::{RoundProver, SumCheckVerifierCore};
 
 /// Round-by-round verifier state for `S` lockstep sum-checks over a shared
@@ -133,6 +135,45 @@ impl<F: PrimeField> AggregatingVerifier<F> {
     pub fn space_words(&self) -> usize {
         self.cores.len() * self.cores[0].space_words() + self.rounds()
     }
+
+    /// The revealed challenge prefix `r_1, …, r_{d−1}` — shared by every
+    /// shard, since all cores run over the same secret point.
+    pub fn challenge_prefix(&self) -> &[F] {
+        self.cores[0].challenge_prefix()
+    }
+
+    /// Verifies one [`OneShotProof`] per shard against the shared challenge
+    /// chain: every shard's transcript was seeded with the *same* prefix
+    /// (plus its own shard identity), so a shard answering a different
+    /// chain dies on its digest check, and any algebraic lie dies on its
+    /// own core's deferred checks — either way the rejection is
+    /// [`Rejection::Blame`] naming exactly that shard. On acceptance
+    /// returns the verified aggregate `Σ_s output_s`.
+    ///
+    /// # Panics
+    /// Panics if `transcripts`, `proofs`, or `streamed` disagree with the
+    /// shard count.
+    pub fn verify_oneshot(
+        &self,
+        streamed: &[F],
+        transcripts: Vec<Transcript>,
+        proofs: &[OneShotProof<F>],
+    ) -> Result<F, Rejection> {
+        assert_eq!(streamed.len(), self.cores.len(), "one value per shard");
+        assert_eq!(
+            transcripts.len(),
+            self.cores.len(),
+            "one transcript per shard"
+        );
+        assert_eq!(proofs.len(), self.cores.len(), "one proof per shard");
+        let mut sum = F::ZERO;
+        for (s, ((core, t), proof)) in self.cores.iter().zip(transcripts).zip(proofs).enumerate() {
+            sum += core
+                .verify_oneshot(streamed[s], t, proof)
+                .map_err(|e| Rejection::blame(s as u32, e))?;
+        }
+        Ok(sum)
+    }
 }
 
 /// A hook mutating one shard's messages in flight; arguments are
@@ -185,6 +226,49 @@ pub fn drive_sumcheck_sharded<F: PrimeField>(
         }
     }
     verifier.finalize(streamed)
+}
+
+/// The one-shot counterpart of [`drive_sumcheck_sharded`]: every shard
+/// walks all `d` rounds locally over the shared challenge prefix and seals
+/// its own proof frame — no lockstep, no broadcast, one frame per shard.
+///
+/// `transcripts` are the per-shard contexts (same prefix, per-shard shard
+/// identity); `report` accrues per-shard communication as a single round
+/// (query + prefix out, proof back).
+pub fn prove_oneshot_sharded<F: PrimeField>(
+    provers: &mut [&mut dyn RoundProver<F>],
+    transcripts: Vec<Transcript>,
+    challenges: &[F],
+    report: &mut ClusterCostReport,
+) -> Result<Vec<OneShotProof<F>>, Rejection> {
+    assert_eq!(provers.len(), transcripts.len(), "one transcript per shard");
+    assert_eq!(report.shards(), provers.len(), "one report per shard");
+    let mut proofs = Vec::with_capacity(provers.len());
+    for (s, (prover, transcript)) in provers.iter_mut().zip(transcripts).enumerate() {
+        assert_eq!(
+            prover.rounds(),
+            challenges.len() + 1,
+            "shards disagree on d"
+        );
+        let proof = prove_oneshot(
+            &mut super::oneshot::ProverWalk(&mut **prover),
+            transcript,
+            challenges,
+            2,
+        )
+        .map_err(|e| Rejection::blame(s as u32, e))?;
+        report.absorb_shard(
+            s,
+            &CostReport {
+                rounds: 1,
+                p_to_v_words: proof.words(),
+                v_to_p_words: challenges.len(),
+                ..CostReport::default()
+            },
+        );
+        proofs.push(proof);
+    }
+    Ok(proofs)
 }
 
 #[cfg(test)]
@@ -472,5 +556,144 @@ mod tests {
         let point: Vec<Fp61> = (0..10u64).map(Fp61::from_u64).collect();
         let agg = AggregatingVerifier::new(point, 2, 4);
         assert_eq!(agg.space_words(), 4 * 3 + 10);
+    }
+
+    fn shard_transcripts(shards: u32, log_u: u32, prefix: &[Fp61]) -> Vec<Transcript> {
+        (0..shards)
+            .map(|s| {
+                crate::transcript::query_transcript::<Fp61>(
+                    "self-join",
+                    log_u,
+                    Some((s, shards)),
+                    &[],
+                    prefix,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oneshot_sharded_equals_interactive_and_bills_one_round() {
+        let stream = workloads::paper_f2(1 << LOG_U, 3);
+        let truth = FrequencyVector::from_stream(1 << LOG_U, &stream).self_join_size();
+        for shards in [1u32, 3, 4] {
+            let point: Vec<Fp61> = (0..LOG_U as u64)
+                .map(|i| Fp61::from_u64(2000 + 13 * i + shards as u64))
+                .collect();
+            let (_, fvs, ldes) = shard_fixture(shards, &stream, &point);
+            let mut provers: Vec<F2Prover<Fp61>> =
+                fvs.iter().map(|fv| F2Prover::new(fv, LOG_U)).collect();
+            let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+                .iter_mut()
+                .map(|p| p as &mut dyn RoundProver<Fp61>)
+                .collect();
+            let agg = AggregatingVerifier::new(point, 2, shards as usize);
+            let prefix = agg.challenge_prefix().to_vec();
+            let mut report = ClusterCostReport::new(shards as usize);
+            let proofs = prove_oneshot_sharded(
+                &mut dyns,
+                shard_transcripts(shards, LOG_U, &prefix),
+                &prefix,
+                &mut report,
+            )
+            .unwrap();
+            let expected: Vec<Fp61> = ldes.iter().map(|&v| v * v).collect();
+            let got = agg
+                .verify_oneshot(
+                    &expected,
+                    shard_transcripts(shards, LOG_U, &prefix),
+                    &proofs,
+                )
+                .unwrap();
+            assert_eq!(got, Fp61::from_u128(truth as u128), "S={shards}");
+            for r in &report.per_shard {
+                assert_eq!(r.rounds, 1, "one-shot is one round trip per shard");
+            }
+        }
+    }
+
+    #[test]
+    fn oneshot_corrupted_shard_is_blamed() {
+        let stream = workloads::paper_f2(1 << 6, 11);
+        let shards = 3u32;
+        let point: Vec<Fp61> = (0..6u64).map(|i| Fp61::from_u64(500 + i)).collect();
+        let plan = ShardPlan::new(6, shards);
+        let parts = plan.split(&stream);
+        let expected: Vec<Fp61> = parts
+            .iter()
+            .map(|p| {
+                let mut e = sip_lde::StreamingLdeEvaluator::new(
+                    sip_lde::LdeParams::binary(6),
+                    point.clone(),
+                );
+                e.update_all(p);
+                e.value() * e.value()
+            })
+            .collect();
+        for guilty in 0..shards as usize {
+            let fvs: Vec<FrequencyVector> = parts
+                .iter()
+                .map(|p| FrequencyVector::from_stream(1 << 6, p))
+                .collect();
+            let mut provers: Vec<F2Prover<Fp61>> =
+                fvs.iter().map(|fv| F2Prover::new(fv, 6)).collect();
+            let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+                .iter_mut()
+                .map(|p| p as &mut dyn RoundProver<Fp61>)
+                .collect();
+            let agg = AggregatingVerifier::new(point.clone(), 2, shards as usize);
+            let prefix = agg.challenge_prefix().to_vec();
+            let mut report = ClusterCostReport::new(shards as usize);
+            let mut proofs = prove_oneshot_sharded(
+                &mut dyns,
+                shard_transcripts(shards, 6, &prefix),
+                &prefix,
+                &mut report,
+            )
+            .unwrap();
+            // Wire-style corruption of one shard's sealed frame.
+            proofs[guilty].rounds[2][1] += Fp61::ONE;
+            let err = agg
+                .verify_oneshot(&expected, shard_transcripts(shards, 6, &prefix), &proofs)
+                .unwrap_err();
+            assert_eq!(err.blamed_shard(), Some(guilty as u32), "{err}");
+            assert!(matches!(
+                err,
+                Rejection::Blame { ref cause, .. } if **cause == Rejection::TranscriptMismatch
+            ));
+        }
+        // A shard lying about its data seals a *consistent* digest; the
+        // deferred algebra still blames it.
+        let mut wrong: Vec<FrequencyVector> = parts
+            .iter()
+            .map(|p| FrequencyVector::from_stream(1 << 6, p))
+            .collect();
+        let (lo, _) = plan.range(1);
+        wrong[1].apply(Update::new(lo, 1));
+        let mut provers: Vec<F2Prover<Fp61>> =
+            wrong.iter().map(|fv| F2Prover::new(fv, 6)).collect();
+        let mut dyns: Vec<&mut dyn RoundProver<Fp61>> = provers
+            .iter_mut()
+            .map(|p| p as &mut dyn RoundProver<Fp61>)
+            .collect();
+        let agg = AggregatingVerifier::new(point, 2, shards as usize);
+        let prefix = agg.challenge_prefix().to_vec();
+        let mut report = ClusterCostReport::new(shards as usize);
+        let proofs = prove_oneshot_sharded(
+            &mut dyns,
+            shard_transcripts(shards, 6, &prefix),
+            &prefix,
+            &mut report,
+        )
+        .unwrap();
+        let err = agg
+            .verify_oneshot(&expected, shard_transcripts(shards, 6, &prefix), &proofs)
+            .unwrap_err();
+        assert_eq!(err.blamed_shard(), Some(1), "{err}");
+        assert_ne!(
+            err,
+            Rejection::blame(1, Rejection::TranscriptMismatch),
+            "a lying shard fails algebra, not the digest"
+        );
     }
 }

@@ -22,6 +22,9 @@ use crate::channel::CostReport;
 use crate::engine::{Combine, FoldSource, ProverPool};
 use crate::error::Rejection;
 use crate::sumcheck::moments::VerifiedAggregate;
+use crate::sumcheck::oneshot::{verify_oneshot_grid, OneShotProof};
+use crate::sumcheck::RoundProver;
+use crate::transcript::{query_transcript, Transcript};
 
 /// Streaming verifier for F₂ over `[ℓ^d]`.
 #[derive(Clone, Debug)]
@@ -124,6 +127,54 @@ impl<F: PrimeField> GeneralF2Verifier<F> {
             report,
         })
     }
+
+    /// The revealed challenge prefix of a one-shot run: every coordinate
+    /// of the secret point except the last.
+    pub fn challenge_prefix(&self) -> &[F] {
+        let point = self.lde.point();
+        &point[..point.len() - 1]
+    }
+
+    /// The canonical transcript context for a one-shot general-`ℓ` run:
+    /// protocol `"general-f2"` with the base as a parameter and the digit
+    /// dimension `d` in the `log_u` slot.
+    pub fn oneshot_transcript(&self) -> Transcript {
+        let params = self.lde.params();
+        query_transcript::<F>(
+            "general-f2",
+            params.dimension(),
+            None,
+            &[params.base()],
+            self.challenge_prefix(),
+        )
+    }
+
+    /// One-shot counterpart of [`Self::verify`]: the deferred transcript
+    /// check of [`verify_oneshot_grid`] with grid width `ℓ` and per-round
+    /// degree `2(ℓ−1)`. `transcript` must match
+    /// [`Self::oneshot_transcript`] (the prover seals the same context).
+    pub fn verify_oneshot(
+        self,
+        transcript: Transcript,
+        proof: &OneShotProof<F>,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
+        let params = self.lde.params();
+        let ell = params.base() as usize;
+        let degree = 2 * (ell - 1);
+        let space = self.space_words();
+        let expected = self.lde.value() * self.lde.value();
+        let value =
+            verify_oneshot_grid(self.lde.point(), degree, ell, expected, transcript, proof)?;
+        Ok(VerifiedAggregate {
+            value,
+            report: CostReport {
+                rounds: 1,
+                p_to_v_words: proof.words(),
+                v_to_p_words: params.dimension() as usize - 1,
+                verifier_space_words: space,
+            },
+        })
+    }
 }
 
 /// The general-`ℓ` per-block rule: each width-`ℓ` block is interpolated at
@@ -213,6 +264,21 @@ impl<F: PrimeField> GeneralF2Prover<F> {
     }
 }
 
+impl<F: PrimeField> RoundProver<F> for GeneralF2Prover<F> {
+    fn degree(&self) -> usize {
+        2 * (self.params.base() as usize - 1)
+    }
+    fn rounds(&self) -> usize {
+        self.params.dimension() as usize
+    }
+    fn message(&mut self) -> Vec<F> {
+        GeneralF2Prover::message(self)
+    }
+    fn bind(&mut self, r: F) {
+        GeneralF2Prover::bind(self, r);
+    }
+}
+
 /// Runs the complete honest general-`ℓ` F₂ protocol.
 pub fn run_general_f2<F: PrimeField, R: Rng + ?Sized>(
     params: LdeParams,
@@ -269,6 +335,61 @@ mod tests {
         let fv = FrequencyVector::from_stream(243, &stream);
         let got = run_general_f2::<Fp61, _>(params, &stream, &mut rng).unwrap();
         assert_eq!(got.value, Fp61::from_u128(fv.self_join_size() as u128));
+    }
+
+    #[test]
+    fn oneshot_agrees_with_interactive_across_bases() {
+        use crate::sumcheck::oneshot::{prove_oneshot, ProverWalk};
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = workloads::paper_f2(1 << 10, 8);
+        let fv_truth = FrequencyVector::from_stream(1 << 10, &stream);
+        let expect = Fp61::from_u128(fv_truth.self_join_size() as u128);
+        for &(ell, d) in &[(2u64, 10u32), (4, 5), (32, 2)] {
+            let params = LdeParams::new(ell, d);
+            let mut verifier = GeneralF2Verifier::<Fp61>::new(params, &mut rng);
+            verifier.update_all(&stream);
+            let fv = FrequencyVector::from_stream(params.universe(), &stream);
+            let mut prover = GeneralF2Prover::new(&fv, params);
+            let prefix = verifier.challenge_prefix().to_vec();
+            let proof = prove_oneshot(
+                &mut ProverWalk(&mut prover),
+                verifier.oneshot_transcript(),
+                &prefix,
+                ell as usize,
+            )
+            .unwrap();
+            let t = verifier.oneshot_transcript();
+            let got = verifier.verify_oneshot(t, &proof).unwrap();
+            assert_eq!(got.value, expect, "ell={ell}");
+            assert_eq!(got.report.rounds, 1, "one frame, ell={ell}");
+        }
+    }
+
+    #[test]
+    fn oneshot_dishonest_prover_rejected() {
+        use crate::sumcheck::oneshot::{prove_oneshot, ProverWalk};
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = LdeParams::new(4, 4);
+        let stream = workloads::uniform(100, 200, 5, 7);
+        let mut verifier = GeneralF2Verifier::<Fp61>::new(params, &mut rng);
+        verifier.update_all(&stream);
+        let mut wrong = stream.clone();
+        wrong[0].delta += 1;
+        let fv = FrequencyVector::from_stream(params.universe(), &wrong);
+        let mut prover = GeneralF2Prover::new(&fv, params);
+        let prefix = verifier.challenge_prefix().to_vec();
+        let proof = prove_oneshot(
+            &mut ProverWalk(&mut prover),
+            verifier.oneshot_transcript(),
+            &prefix,
+            4,
+        )
+        .unwrap();
+        let t = verifier.oneshot_transcript();
+        let err = verifier.verify_oneshot(t, &proof).unwrap_err();
+        // A consistently-sealed walk over wrong data dies on the algebra,
+        // not the digest.
+        assert_ne!(err, Rejection::TranscriptMismatch, "{err}");
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod f2;
 pub mod general_ell;
 pub mod inner_product;
 pub mod moments;
+pub mod oneshot;
 pub mod range_sum;
 
 pub use aggregate::{drive_sumcheck_sharded, AggregatingVerifier, ShardAdversary};
+pub use oneshot::{prove_oneshot, verify_oneshot_grid, OneShotProof, OneShotWalk, ProverWalk};
 
 use sip_field::lagrange::eval_from_grid_evals;
 use sip_field::PrimeField;
@@ -133,6 +135,27 @@ impl<F: PrimeField> SumCheckVerifierCore<F> {
     /// claim, the output, and a round counter.
     pub fn space_words(&self) -> usize {
         3
+    }
+
+    /// The revealed challenge prefix `r_1, …, r_{d−1}` of a one-shot run:
+    /// every coordinate of the secret point except the last, which the
+    /// final check keeps secret.
+    pub fn challenge_prefix(&self) -> &[F] {
+        &self.point[..self.point.len() - 1]
+    }
+
+    /// Verifies a complete [`oneshot::OneShotProof`] against this core's
+    /// secret point: transcript replay, digest comparison, then the
+    /// deferred batched round checks (see [`oneshot::verify_oneshot_grid`]).
+    /// `transcript` must be the same
+    /// [`crate::transcript::query_transcript`] context the prover sealed.
+    pub fn verify_oneshot(
+        &self,
+        streamed: F,
+        transcript: crate::transcript::Transcript,
+        proof: &oneshot::OneShotProof<F>,
+    ) -> Result<F, Rejection> {
+        oneshot::verify_oneshot_grid(&self.point, self.degree, 2, streamed, transcript, proof)
     }
 }
 

@@ -47,7 +47,8 @@ use sip_core::subvector::{
 };
 use sip_core::sumcheck::f2::{F2Prover, F2Verifier};
 use sip_core::sumcheck::range_sum::{RangeSumProver, RangeSumVerifier};
-use sip_core::sumcheck::RoundProver;
+use sip_core::sumcheck::{prove_oneshot, OneShotProof, OneShotWalk, RoundProver};
+use sip_core::transcript::query_transcript;
 use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_streaming::{FrequencyVector, Update};
@@ -96,6 +97,22 @@ pub trait SumCheckSession<F: PrimeField> {
     fn bind(&mut self, r: F) -> Result<(), Rejection>;
 }
 
+/// Adapts a [`SumCheckSession`] to the core one-shot walk. (Coherence
+/// forbids a blanket impl here: `sip-core` already blankets every
+/// [`RoundProver`] as an [`OneShotWalk`].) Lies told by a session wrapper
+/// — [`MaliciousStore`]'s skew, a remote session's transport failures —
+/// flow through unchanged.
+pub struct SessionWalk<'a, F: PrimeField>(pub Box<dyn SumCheckSession<F> + 'a>);
+
+impl<F: PrimeField> OneShotWalk<F> for SessionWalk<'_, F> {
+    fn message(&mut self) -> Result<Vec<F>, Rejection> {
+        self.0.message()
+    }
+    fn bind(&mut self, r: F) -> Result<(), Rejection> {
+        self.0.bind(r)
+    }
+}
+
 /// The server-side state of one in-flight heavy-hitters query.
 pub trait HeavySession<F: PrimeField> {
     /// The next level disclosure.
@@ -128,6 +145,56 @@ pub trait KvServer<F: PrimeField> {
     fn range_count(&self, q_l: u64, q_r: u64) -> Box<dyn SumCheckSession<F> + '_>;
     /// Starts a self-join-size query over the raw value vector.
     fn self_join(&self) -> Box<dyn SumCheckSession<F> + '_>;
+    /// Answers a range-sum query as one sealed [`OneShotProof`]: the
+    /// server walks every sum-check round locally over the revealed
+    /// challenge prefix (`log_u = challenges.len() + 1`) instead of
+    /// waiting on per-round challenges. `shard` is this server's shard
+    /// identity (bound into the transcript), `None` for a lone store.
+    ///
+    /// The default drives [`Self::range_sum`] through the honest walk, so
+    /// decorated sessions (a [`MaliciousStore`]'s lies, a remote store's
+    /// transport) flow through unchanged; `sip-server`'s remote store
+    /// overrides this to ship the whole exchange as one wire round trip.
+    fn range_sum_oneshot(
+        &self,
+        q_l: u64,
+        q_r: u64,
+        shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        let log_u = challenges.len() as u32 + 1;
+        let t = query_transcript::<F>("range-sum", log_u, shard, &[q_l, q_r], challenges);
+        prove_oneshot(&mut SessionWalk(self.range_sum(q_l, q_r)), t, challenges, 2)
+    }
+    /// One-shot range count (presence vector); see
+    /// [`Self::range_sum_oneshot`].
+    fn range_count_oneshot(
+        &self,
+        q_l: u64,
+        q_r: u64,
+        shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        let log_u = challenges.len() as u32 + 1;
+        let t = query_transcript::<F>("range-count", log_u, shard, &[q_l, q_r], challenges);
+        prove_oneshot(
+            &mut SessionWalk(self.range_count(q_l, q_r)),
+            t,
+            challenges,
+            2,
+        )
+    }
+    /// One-shot self-join size over the raw value vector; see
+    /// [`Self::range_sum_oneshot`].
+    fn self_join_oneshot(
+        &self,
+        shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        let log_u = challenges.len() as u32 + 1;
+        let t = query_transcript::<F>("self-join", log_u, shard, &[], challenges);
+        prove_oneshot(&mut SessionWalk(self.self_join()), t, challenges, 2)
+    }
     /// Starts a heavy-keys query over the `value+1` vector.
     fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_>;
     /// The claimed predecessor of `q` (a *claim*, verified by the client).
@@ -774,6 +841,87 @@ impl<F: PrimeField> Client<F> {
         })
     }
 
+    /// One-shot verified range sum: same digest consumption and same
+    /// composition as [`Self::range_sum`], but each aggregate is a single
+    /// proof frame instead of `log u` synchronous round trips.
+    pub fn range_sum_oneshot(
+        &mut self,
+        q_l: u64,
+        q_r: u64,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        self.range_sum_oneshot_as(q_l, q_r, None, server)
+    }
+
+    /// Shard-aware variant of [`Self::range_sum_oneshot`]:
+    /// [`ShardedClient`] passes each shard's identity so the transcripts
+    /// bind which slice of the fleet answered.
+    pub fn range_sum_oneshot_as(
+        &mut self,
+        q_l: u64,
+        q_r: u64,
+        shard: Option<(u32, u32)>,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        let sum_digest = self.range_sums.pop().expect("aggregate budget exhausted");
+        let count_digest = self.range_counts.pop().expect("aggregate budget exhausted");
+        let log_u = self.log_u;
+        let mut report = CostReport {
+            v_to_p_words: 2,
+            ..CostReport::default()
+        };
+        let (core, expected) = sum_digest.into_session(q_l, q_r);
+        let prefix = core.challenge_prefix().to_vec();
+        let proof = server.range_sum_oneshot(q_l, q_r, shard, &prefix)?;
+        report.rounds += 1;
+        report.v_to_p_words += prefix.len();
+        report.p_to_v_words += proof.words();
+        let t = query_transcript::<F>("range-sum", log_u, shard, &[q_l, q_r], &prefix);
+        let encoded_sum = core.verify_oneshot(expected, t, &proof)?;
+        let (core, expected) = count_digest.into_session(q_l, q_r);
+        let prefix = core.challenge_prefix().to_vec();
+        let proof = server.range_count_oneshot(q_l, q_r, shard, &prefix)?;
+        report.rounds += 1;
+        report.v_to_p_words += prefix.len();
+        report.p_to_v_words += proof.words();
+        let t = query_transcript::<F>("range-count", log_u, shard, &[q_l, q_r], &prefix);
+        let count = core.verify_oneshot(expected, t, &proof)?;
+        let value = (encoded_sum - count).to_u128() as u64;
+        Ok(Answer { value, report })
+    }
+
+    /// One-shot verified self-join size: one proof frame instead of
+    /// `log u` round trips; same digest consumption as
+    /// [`Self::self_join_size`].
+    pub fn self_join_size_oneshot(
+        &mut self,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        self.self_join_size_oneshot_as(None, server)
+    }
+
+    /// Shard-aware variant of [`Self::self_join_size_oneshot`].
+    pub fn self_join_size_oneshot_as(
+        &mut self,
+        shard: Option<(u32, u32)>,
+        server: &dyn KvServer<F>,
+    ) -> Result<Answer<u64>, Rejection> {
+        let digest = self.f2s.pop().expect("aggregate budget exhausted");
+        let mut report = CostReport::default();
+        let (core, expected) = digest.into_session();
+        let prefix = core.challenge_prefix().to_vec();
+        let proof = server.self_join_oneshot(shard, &prefix)?;
+        report.rounds += 1;
+        report.v_to_p_words += prefix.len();
+        report.p_to_v_words += proof.words();
+        let t = query_transcript::<F>("self-join", self.log_u, shard, &[], &prefix);
+        let value = core.verify_oneshot(expected, t, &proof)?;
+        Ok(Answer {
+            value: value.to_u128() as u64,
+            report,
+        })
+    }
+
     /// Verified heavy keys: every key whose stored value (plus one) is at
     /// least `threshold`. Returns `(key, value)` pairs.
     pub fn heavy_keys(
@@ -1090,6 +1238,45 @@ mod tests {
             };
             assert!(caught, "{attack:?} went undetected");
         }
+    }
+
+    #[test]
+    fn oneshot_aggregates_match_interactive_and_bill_one_round() {
+        let pairs = [(3u64, 10u64), (17, 0), (40, 999), (41, 7), (200, 55)];
+        let (mut client, server) = setup(&pairs, 8, 21);
+        let sum = client.range_sum_oneshot(0, 255, &server).unwrap();
+        assert_eq!(sum.value, 10 + 999 + 7 + 55);
+        assert_eq!(sum.report.rounds, 2, "two aggregates, one frame each");
+        let f2 = client.self_join_size_oneshot(&server).unwrap();
+        assert_eq!(f2.value, 100 + 999 * 999 + 49 + 55 * 55);
+        assert_eq!(f2.report.rounds, 1, "one frame");
+        // Proof stays within 2× of the interactive transcript bytes.
+        let (mut other, server2) = setup(&pairs, 8, 22);
+        let interactive = other.self_join_size(&server2).unwrap();
+        assert!(
+            f2.report.p_to_v_words <= 2 * interactive.report.p_to_v_words,
+            "one-shot {} words vs interactive {}",
+            f2.report.p_to_v_words,
+            interactive.report.p_to_v_words
+        );
+    }
+
+    #[test]
+    fn oneshot_catches_a_lying_store_with_the_interactive_error() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut client = C::new(8, QueryBudget::default(), &mut rng);
+        let mut server = MaliciousStore::new(CloudStore::new(8), Attack::SkewAggregates);
+        for (k, v) in [(3u64, 10u64), (17, 5), (40, 999)] {
+            client.put(k, v, &mut server);
+        }
+        // The lie happens *before* the transcript is sealed, so the digest
+        // is consistent and the deferred algebra names the actual failure —
+        // the same typed error the interactive path produces (round 2 is
+        // the first whose sum disagrees with the previous skewed claim).
+        let err = client.range_sum_oneshot(0, 255, &server).unwrap_err();
+        assert_eq!(err, Rejection::RoundSumMismatch { round: 2 }, "{err}");
+        let err = client.self_join_size_oneshot(&server).unwrap_err();
+        assert_eq!(err, Rejection::RoundSumMismatch { round: 2 }, "{err}");
     }
 
     #[test]

@@ -25,7 +25,8 @@ use sip_core::subvector::{
 use sip_core::sumcheck::f2::F2Verifier;
 use sip_core::sumcheck::moments::VerifiedAggregate;
 use sip_core::sumcheck::range_sum::RangeSumVerifier;
-use sip_core::sumcheck::SumCheckVerifierCore;
+use sip_core::sumcheck::{OneShotProof, SumCheckVerifierCore};
+use sip_core::transcript::query_transcript;
 use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_kvstore::{HeavySession, KvServer, ReportingSession, SumCheckSession};
@@ -74,6 +75,9 @@ struct Conn<F: PrimeField, T: Transport> {
     pending: Vec<Update>,
     /// A fault recorded during buffered ingest, surfaced at the next query.
     fault: Option<Rejection>,
+    /// The shard identity declared on this connection, remembered so
+    /// one-shot transcripts bind the same identity the server seals.
+    shard: Option<ShardSpec>,
     _marker: core::marker::PhantomData<F>,
 }
 
@@ -288,6 +292,7 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
                 chan: MsgChannel::new(transport),
                 pending: Vec::new(),
                 fault: None,
+                shard: None,
                 _marker: core::marker::PhantomData,
             })),
         })
@@ -301,7 +306,10 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
     /// Declares this connection to be shard `spec.index` of a fleet of
     /// `spec.count` — must precede any put.
     pub fn shard_hello(&self, spec: ShardSpec) -> Result<(), Rejection> {
-        with_conn(&self.conn, |c| c.tell(&Msg::ShardHello(spec)))
+        with_conn(&self.conn, |c| {
+            c.shard = Some(spec);
+            c.tell(&Msg::ShardHello(spec))
+        })
     }
 
     /// Freezes everything this session has put and publishes it
@@ -373,6 +381,33 @@ impl<F: PrimeField, T: Transport> RemoteStore<F, T> {
     /// Bytes/frames moved over this connection so far.
     pub fn stats(&self) -> TransportStats {
         with_conn(&self.conn, |c| c.chan.stats())
+    }
+
+    /// One [`Msg::QueryOneShot`] request: the whole sum-check in a single
+    /// round trip. Nothing returned here is trusted — the kv client
+    /// replays the transcript and checks the digest before any algebra.
+    fn request_oneshot(
+        &self,
+        query: Query,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        match with_conn(&self.conn, |c| {
+            c.request(&Msg::QueryOneShot {
+                query,
+                challenges: challenges.to_vec(),
+            })
+        })? {
+            Msg::Proof {
+                claimed,
+                rounds,
+                digest,
+            } => Ok(OneShotProof {
+                claimed,
+                rounds,
+                digest,
+            }),
+            other => Err(unexpected("proof", other.name())),
+        }
     }
 }
 
@@ -532,6 +567,39 @@ impl<F: PrimeField, T: Transport + 'static> KvServer<F> for RemoteStore<F, T> {
         })
     }
 
+    // The one-shot overrides ship the query over the wire instead of
+    // walking a local session round by round. The `shard` argument is not
+    // transmitted: the server seals its *declared* identity into the
+    // transcript, and the verifying client binds the identity it believes —
+    // a mismatch fails the digest comparison rather than being trusted.
+    fn range_sum_oneshot(
+        &self,
+        q_l: u64,
+        q_r: u64,
+        _shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        self.request_oneshot(Query::RangeSum { l: q_l, r: q_r }, challenges)
+    }
+
+    fn range_count_oneshot(
+        &self,
+        q_l: u64,
+        q_r: u64,
+        _shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        self.request_oneshot(Query::RangeCount { l: q_l, r: q_r }, challenges)
+    }
+
+    fn self_join_oneshot(
+        &self,
+        _shard: Option<(u32, u32)>,
+        challenges: &[F],
+    ) -> Result<OneShotProof<F>, Rejection> {
+        self.request_oneshot(Query::SelfJoin, challenges)
+    }
+
     fn heavy(&self, threshold: u64) -> Box<dyn HeavySession<F> + '_> {
         Box::new(RemoteHeavy {
             conn: Arc::clone(&self.conn),
@@ -600,6 +668,7 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
                 chan: MsgChannel::new(transport),
                 pending: Vec::new(),
                 fault: None,
+                shard: None,
                 _marker: core::marker::PhantomData,
             },
         })
@@ -653,6 +722,7 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
     /// Declares this connection to be shard `spec.index` of a fleet of
     /// `spec.count` — must precede any update.
     pub fn shard_hello(&mut self, spec: ShardSpec) -> Result<(), Rejection> {
+        self.conn.shard = Some(spec);
         self.conn.tell(&Msg::ShardHello(spec))
     }
 
@@ -807,6 +877,112 @@ impl<F: PrimeField, T: Transport> RawClient<F, T> {
         })();
         self.verdict(&result);
         result
+    }
+
+    /// Runs one *one-shot* sum-check conversation: reveal the challenge
+    /// prefix, receive the whole proof in a single frame, replay the
+    /// transcript and run the deferred checks locally. One round trip per
+    /// query, whatever `log_u` is.
+    fn drive_oneshot(
+        &mut self,
+        query: Query,
+        name: &str,
+        params: &[u64],
+        core: SumCheckVerifierCore<F>,
+        expected: F,
+        report: &mut CostReport,
+    ) -> Result<F, Rejection> {
+        let mut qspan = sip_obs::trace::span("sip.client", "oneshot_query");
+        qspan.field("query", query.name());
+        self.announce_trace();
+        let shard = self.conn.shard.map(|s| (s.index, s.count));
+        let result = (|| {
+            let challenges = core.challenge_prefix().to_vec();
+            report.rounds += 1;
+            report.v_to_p_words += challenges.len();
+            let proof = {
+                let mut rspan = sip_obs::trace::span("sip.client", "oneshot_roundtrip");
+                rspan.field("challenges", challenges.len());
+                match self.conn.request(&Msg::QueryOneShot {
+                    query,
+                    challenges: challenges.clone(),
+                })? {
+                    Msg::Proof {
+                        claimed,
+                        rounds,
+                        digest,
+                    } => OneShotProof {
+                        claimed,
+                        rounds,
+                        digest,
+                    },
+                    other => return Err(unexpected("proof", other.name())),
+                }
+            };
+            report.p_to_v_words += proof.words();
+            let transcript =
+                query_transcript::<F>(name, core.rounds() as u32, shard, params, &challenges);
+            let _v = sip_obs::trace::span("sip.client", "deferred_check");
+            let timer = sip_obs::Timer::start();
+            let value = core.verify_oneshot(expected, transcript, &proof);
+            if sip_obs::enabled() {
+                sip_obs::counter("sip_client_oneshot_queries_total").inc();
+                sip_obs::histogram("sip_client_oneshot_proof_words").observe(proof.words() as u64);
+                sip_obs::histogram("sip_client_oneshot_deferred_check_us")
+                    .observe(timer.elapsed_us());
+            }
+            value
+        })();
+        self.verdict(&result);
+        result
+    }
+
+    /// Verified SELF-JOIN SIZE in one round trip ([`Msg::QueryOneShot`]):
+    /// same digests and same typed rejections as [`Self::verify_f2`], but
+    /// the whole post-stream conversation is a single frame each way.
+    pub fn verify_f2_oneshot(
+        &mut self,
+        verifier: F2Verifier<F>,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
+        let mut report = CostReport {
+            verifier_space_words: verifier.space_words(),
+            ..CostReport::default()
+        };
+        let (core, expected) = verifier.into_session();
+        let value = self.drive_oneshot(
+            Query::SelfJoin,
+            "self-join",
+            &[],
+            core,
+            expected,
+            &mut report,
+        )?;
+        Ok(VerifiedAggregate { value, report })
+    }
+
+    /// Verified RANGE-SUM over `[q_l, q_r]` in one round trip; see
+    /// [`Self::verify_f2_oneshot`].
+    pub fn verify_range_sum_oneshot(
+        &mut self,
+        verifier: RangeSumVerifier<F>,
+        q_l: u64,
+        q_r: u64,
+    ) -> Result<VerifiedAggregate<F>, Rejection> {
+        let mut report = CostReport {
+            verifier_space_words: verifier.space_words(),
+            v_to_p_words: 2,
+            ..CostReport::default()
+        };
+        let (core, expected) = verifier.into_session(q_l, q_r);
+        let value = self.drive_oneshot(
+            Query::RangeSum { l: q_l, r: q_r },
+            "range-sum",
+            &[q_l, q_r],
+            core,
+            expected,
+            &mut report,
+        )?;
+        Ok(VerifiedAggregate { value, report })
     }
 
     /// Verified SELF-JOIN SIZE over everything uploaded so far. The digest
@@ -986,6 +1162,65 @@ mod tests {
         assert_eq!(got.value, Fp61::from_u128(truth as u128));
         assert_eq!(got.report.rounds, log_u as usize);
         client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oneshot_f2_and_range_sum_match_interactive() {
+        let log_u = 8;
+        let u = 1u64 << log_u;
+        let stream = workloads::paper_f2(u, 7);
+        let fv = FrequencyVector::from_stream(u, &stream);
+        let mut rng = StdRng::seed_from_u64(31);
+
+        let (mut client, server) = raw_pair(log_u);
+        let mut f2 = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        let mut rs = RangeSumVerifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            f2.update(up);
+            rs.update(up);
+            client.send_update(up);
+        }
+        client.end_stream().unwrap();
+
+        let got = client.verify_f2_oneshot(f2).unwrap();
+        assert_eq!(got.value, Fp61::from_u128(fv.self_join_size() as u128));
+        assert_eq!(got.report.rounds, 1, "one-shot must bill one round trip");
+        assert!(
+            got.report.p_to_v_words > log_u as usize,
+            "the whole proof rides the one frame"
+        );
+
+        let (q_l, q_r) = (10, 200);
+        let sum = client.verify_range_sum_oneshot(rs, q_l, q_r).unwrap();
+        assert_eq!(sum.value, Fp61::from_i64(fv.range_sum(q_l, q_r) as i64));
+        assert_eq!(sum.report.rounds, 1);
+        client.bye().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn remote_kv_store_serves_oneshot_aggregates() {
+        use sip_kvstore::{Client, QueryBudget};
+        let log_u = 8;
+        let (a, b) = InMemoryTransport::pair();
+        let server = serve(a);
+        let mut store: RemoteStore<Fp61, _> = RemoteStore::from_transport(b, log_u).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut client = Client::<Fp61>::new(log_u, QueryBudget::default(), &mut rng);
+        for (k, v) in [(3u64, 10u64), (17, 0), (40, 999), (200, 55)] {
+            client.put(k, v, &mut store);
+        }
+        let sum = client.range_sum_oneshot(0, 255, &store).unwrap();
+        assert_eq!(sum.value, 10 + 999 + 55);
+        assert_eq!(
+            sum.report.rounds, 2,
+            "range-sum = sum + count, one frame each"
+        );
+        let sj = client.self_join_size_oneshot(&store).unwrap();
+        assert_eq!(sj.value, 100 + 999 * 999 + 55 * 55);
+        assert_eq!(sj.report.rounds, 1);
+        store.bye().unwrap();
         server.join().unwrap();
     }
 

@@ -27,7 +27,8 @@ use sip_core::heavy_hitters::HhProver;
 use sip_core::subvector::{RoundRequest, SubVectorProver};
 use sip_core::sumcheck::f2::F2Prover;
 use sip_core::sumcheck::range_sum::RangeSumProver;
-use sip_core::sumcheck::RoundProver;
+use sip_core::sumcheck::{prove_oneshot, ProverWalk, RoundProver};
+use sip_core::transcript::query_transcript;
 use sip_core::CostReport;
 use sip_field::PrimeField;
 use sip_kvstore::{CloudStore, KvServer};
@@ -536,6 +537,11 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 self.start_query(q)?;
                 Ok(true)
             }
+            Msg::QueryOneShot { query, challenges } => {
+                self.active = Active::Idle;
+                self.answer_oneshot(query, challenges)?;
+                Ok(true)
+            }
             Msg::Challenge(x) => self.answer_challenge(x, None),
             Msg::BroadcastChallenge { round, challenge } => {
                 // An aggregating verifier stamps the round so a shard that
@@ -968,6 +974,78 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 Err(protocol("neighbour queries require a kv-store session"))
             }
         }
+    }
+
+    /// Serves a whole sum-check in one frame: builds the same prover
+    /// [`Self::start_query`] would, walks every round against the revealed
+    /// challenge prefix, and answers with a sealed [`Msg::Proof`]. Only the
+    /// aggregate queries have a one-shot form — the reporting and
+    /// heavy-hitters conversations are data-dependent on both sides.
+    fn answer_oneshot(&mut self, q: Query, challenges: Vec<F>) -> Result<(), Flow> {
+        let u = 1u64 << self.log_u;
+        if challenges.len() + 1 != self.log_u as usize {
+            return Err(protocol(format!(
+                "one-shot prefix of {} challenges, log_u = {} needs {}",
+                challenges.len(),
+                self.log_u,
+                self.log_u.saturating_sub(1)
+            )));
+        }
+        let check_range = |l: u64, r: u64| -> Result<(), Flow> {
+            if l <= r && r < u {
+                Ok(())
+            } else {
+                Err(protocol(format!("bad range [{l}, {r}] over [0, {u})")))
+            }
+        };
+        let log_u = self.log_u;
+        let pool = self.pool;
+        // The transcript binds this session's *declared* shard identity; a
+        // verifier that believes it is talking to a different shard fails
+        // the digest comparison instead of accepting a mislabelled proof.
+        let shard = self.shard.map(|(spec, _, _)| (spec.index, spec.count));
+        let (mut prover, name, params): (Box<dyn RoundProver<F> + Send>, &str, Vec<u64>) =
+            match (q, self.data()) {
+                (Query::SelfJoin, data) => {
+                    let fv = match data {
+                        DataRef::Raw(fv) => fv,
+                        DataRef::Kv(s) => s.raw_vector(),
+                    };
+                    let prover = F2Prover::with_pool(fv, log_u, pool);
+                    (Box::new(prover), "self-join", Vec::new())
+                }
+                (Query::RangeSum { l, r }, data) => {
+                    check_range(l, r)?;
+                    let fv = match data {
+                        DataRef::Raw(fv) => fv,
+                        DataRef::Kv(s) => s.encoded_vector(),
+                    };
+                    let prover = RangeSumProver::with_pool(fv, log_u, l, r, pool);
+                    (Box::new(prover), "range-sum", vec![l, r])
+                }
+                (Query::RangeCount { l, r }, DataRef::Kv(s)) => {
+                    check_range(l, r)?;
+                    let prover = RangeSumProver::with_pool(s.presence_vector(), log_u, l, r, pool);
+                    (Box::new(prover), "range-count", vec![l, r])
+                }
+                (Query::RangeCount { .. }, DataRef::Raw(_)) => {
+                    return Err(protocol("range-count requires a kv-store session"));
+                }
+                (other, _) => {
+                    return Err(protocol(format!("{} has no one-shot form", other.name())));
+                }
+            };
+        let transcript = query_transcript::<F>(name, log_u, shard, &params, &challenges);
+        let proof = prove_oneshot(&mut ProverWalk(&mut *prover), transcript, &challenges, 2)
+            .map_err(|rej| protocol(format!("one-shot walk failed: {rej}")))?;
+        self.served.rounds += 1;
+        self.served.v_to_p_words += challenges.len() + params.len();
+        self.served.p_to_v_words += proof.words();
+        self.send(&Msg::Proof {
+            claimed: proof.claimed,
+            rounds: proof.rounds,
+            digest: proof.digest,
+        })
     }
 
     /// Opens a sum-check query: announce the claimed value, send `g_1`.
@@ -1760,6 +1838,76 @@ mod tests {
         });
         assert_eq!(end, SessionEnd::PeerDone);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oneshot_query_answers_with_a_verifying_proof() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sip_core::sumcheck::f2::F2Verifier;
+        use sip_core::sumcheck::OneShotProof;
+
+        let log_u = 4u32;
+        let stream = vec![Update::new(1, 3), Update::new(3, 2), Update::new(9, 5)];
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+        for &up in &stream {
+            verifier.update(up);
+        }
+        let (core, expected) = verifier.into_session();
+        let prefix = core.challenge_prefix().to_vec();
+        let (end, ()) = with_session(SessionMode::RawStream, log_u, move |mut chan| {
+            chan.send(&Msg::<Fp61>::Ingest(stream)).unwrap();
+            chan.send(&Msg::QueryOneShot {
+                query: Query::SelfJoin,
+                challenges: prefix.clone(),
+            })
+            .unwrap();
+            let Msg::Proof {
+                claimed,
+                rounds,
+                digest,
+            } = chan.recv::<Fp61>().unwrap()
+            else {
+                panic!("expected proof")
+            };
+            let proof = OneShotProof {
+                claimed,
+                rounds,
+                digest,
+            };
+            let t = query_transcript::<Fp61>("self-join", log_u, None, &[], &prefix);
+            let value = core.verify_oneshot(expected, t, &proof).unwrap();
+            assert_eq!(value, Fp61::from_u64(9 + 4 + 25));
+            chan.send(&Msg::<Fp61>::Bye).unwrap();
+        });
+        assert_eq!(end, SessionEnd::PeerDone);
+    }
+
+    #[test]
+    fn oneshot_with_wrong_prefix_length_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::QueryOneShot {
+                query: Query::SelfJoin,
+                challenges: vec![Fp61::ONE],
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
+    }
+
+    #[test]
+    fn oneshot_of_a_reporting_query_is_error() {
+        let (end, ()) = with_session(SessionMode::RawStream, 4, |mut chan| {
+            chan.send(&Msg::QueryOneShot {
+                query: Query::Heavy { threshold: 1 },
+                challenges: vec![Fp61::ONE; 3],
+            })
+            .unwrap();
+            assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
+        });
+        assert!(matches!(end, SessionEnd::ProtocolError(_)));
     }
 
     #[test]

@@ -98,6 +98,11 @@ impl<'a> Reader<'a> {
         Ok(F::from_u128(x))
     }
 
+    /// Exactly `n` raw bytes (fixed-width payloads such as digests).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
     /// A `u32` count, validated against the bytes actually present so a
     /// forged count cannot trigger a huge allocation.
     pub fn count(&mut self, min_item_bytes: usize) -> Result<usize, WireError> {
@@ -215,6 +220,12 @@ impl Writer {
     pub fn field<F: PrimeField>(&mut self, x: F) -> &mut Self {
         let bytes = x.to_u128().to_le_bytes();
         self.buf.extend_from_slice(&bytes[..field_width::<F>()]);
+        self
+    }
+
+    /// Raw bytes, no length prefix (fixed-width payloads such as digests).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
         self
     }
 
@@ -383,6 +394,7 @@ fn decode_rejection(r: &mut Reader<'_>, depth: usize) -> Result<Rejection, WireE
                 cause: Box::new(decode_rejection(r, depth - 1)?),
             }
         }
+        9 => Rejection::TranscriptMismatch,
         tag => {
             return Err(WireError::BadTag {
                 context: "rejection",
@@ -430,6 +442,9 @@ impl WireCodec for Rejection {
             Rejection::Blame { shard_id, cause } => {
                 w.u8(8).u32(*shard_id);
                 cause.encode(w);
+            }
+            Rejection::TranscriptMismatch => {
+                w.u8(9);
             }
         }
     }
@@ -644,6 +659,8 @@ mod tests {
                 0,
                 Rejection::in_subprotocol("range-sum", Rejection::RootMismatch),
             ),
+            Rejection::TranscriptMismatch,
+            Rejection::blame(1, Rejection::TranscriptMismatch),
         ];
         for rej in cases {
             let bytes = rej.to_bytes();

@@ -296,6 +296,26 @@ mod tests {
     }
 
     #[test]
+    fn v4_client_gets_version_error_not_length_error() {
+        // A pre-one-shot (v4) client sends a well-formed v4 Hello. The v5
+        // server must name the version skew before any parse diagnostics —
+        // a v4 peer has no idea what a `QueryOneShot` frame is, so the
+        // refusal has to happen here, explicitly.
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::KvStore, 12);
+        hello.version = 4;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: 4
+            }
+        );
+    }
+
+    #[test]
     fn v1_client_gets_version_error_not_length_error() {
         // A pre-cluster (v1) client sends a well-formed v1 Hello. The v2
         // server must name the version skew — the one diagnostic that has

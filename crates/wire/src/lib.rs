@@ -44,7 +44,7 @@ pub use channel::MsgChannel;
 pub use codec::{Reader, WireCodec};
 pub use error::WireError;
 pub use handshake::{client_handshake, server_handshake, Hello, HelloAck, SessionMode};
-pub use msg::{Msg, Query, ShardSpec};
+pub use msg::{Msg, Query, ShardSpec, MAX_PROOF_ROUNDS};
 
 /// Version of the wire format this crate speaks. Bump on any change to the
 /// encodings in [`msg`] or [`handshake`].
@@ -64,7 +64,18 @@ pub use msg::{Msg, Query, ShardSpec};
 /// compatible extension — new tags only, no existing encoding changed. An
 /// older v4 peer that never sends `Stats` is unaffected; one that receives
 /// it rejects the unknown tag explicitly rather than misparsing.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// **v5** added the one-shot proof messages ([`Msg::QueryOneShot`],
+/// [`Msg::Proof`]) and the `TranscriptMismatch` rejection encoding: a
+/// verifier can reveal the sum-check challenge prefix with the query and
+/// receive the whole proof — claimed output, every round polynomial, a
+/// 32-byte transcript digest — in one frame instead of `O(log u)` round
+/// trips. Unlike the ops tags this changes the query protocol itself
+/// (servers must answer a new query form), so the version is bumped and a
+/// v4 peer is refused at the handshake with an explicit
+/// [`WireError::VersionMismatch`] — the skew is named before any length or
+/// parse diagnostics.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The magic bytes opening every handshake frame.
 pub const MAGIC: [u8; 4] = *b"SIPW";

@@ -256,6 +256,19 @@ pub enum Msg<F> {
         /// The verifier-side span the server's work nests under.
         parent_span: u64,
     },
+    /// Open a query *and* reveal the sum-check challenge prefix
+    /// `r_1, …, r_{d−1}` in one frame (v5): the prover walks every round
+    /// locally and answers with a single [`Msg::Proof`], collapsing the
+    /// `O(log u)` interactive round trips into one. The last coordinate
+    /// `r_d` stays secret — the final check still evaluates `g_d` there
+    /// against the verifier's streamed LDE value.
+    QueryOneShot {
+        /// Which aggregate query to answer (self-join, range-sum,
+        /// range-count).
+        query: Query,
+        /// The revealed challenge prefix, length `log_u − 1`.
+        challenges: Vec<F>,
+    },
     /// The verifier accepted the current query's proof.
     Accept,
     /// The verifier rejected; the payload says why (the prover lost).
@@ -297,6 +310,20 @@ pub enum Msg<F> {
         /// JSON snapshot of the server's metrics registry.
         json: String,
     },
+    /// The complete one-shot sum-check proof answering a
+    /// [`Msg::QueryOneShot`] (v5): claimed output, every round polynomial,
+    /// and the prover's transcript digest over the query context and proof
+    /// body. The verifier replays the hash chain and runs all round checks
+    /// deferred (see `sip_core::sumcheck::oneshot`).
+    Proof {
+        /// The claimed query output `Σ_{x∈[ℓ]} g_1(x)`.
+        claimed: F,
+        /// Round polynomials `g_1, …, g_d`, each as `degree + 1`
+        /// evaluations.
+        rounds: Vec<Vec<F>>,
+        /// 32-byte transcript digest sealing the proof to its context.
+        digest: [u8; 32],
+    },
     /// The prover's own cumulative cost accounting for the connection,
     /// sent in reply to [`Msg::Bye`] (advisory; the verifier keeps its own
     /// books).
@@ -327,6 +354,8 @@ impl<F> Msg<F> {
             Msg::Stats => "stats",
             Msg::TraceContext { .. } => "trace-context",
             Msg::StatsReply { .. } => "stats-reply",
+            Msg::QueryOneShot { .. } => "query-oneshot",
+            Msg::Proof { .. } => "proof",
             Msg::Accept => "accept",
             Msg::Reject(_) => "reject",
             Msg::Bye => "bye",
@@ -359,6 +388,7 @@ const TAG_SAVE_STATE: u8 = 0x0E;
 const TAG_RESUME: u8 = 0x0F;
 const TAG_STATS: u8 = 0x10;
 const TAG_TRACE_CONTEXT: u8 = 0x11;
+const TAG_QUERY_ONESHOT: u8 = 0x12;
 const TAG_CLAIMED_VALUE: u8 = 0x81;
 const TAG_ROUND_POLY: u8 = 0x82;
 const TAG_SUBVECTOR_ANSWER: u8 = 0x83;
@@ -370,6 +400,24 @@ const TAG_ERROR: u8 = 0x88;
 const TAG_DATASET_ACK: u8 = 0x89;
 const TAG_STATE_ACK: u8 = 0x8A;
 const TAG_STATS_REPLY: u8 = 0x8B;
+const TAG_PROOF: u8 = 0x8C;
+
+/// Upper bound on the sum-check round count a decoder accepts in a
+/// [`Msg::QueryOneShot`] challenge prefix or a [`Msg::Proof`] frame —
+/// comfortably above the servers' `MAX_LOG_U` (40) yet small enough that a
+/// forged count cannot drive a large allocation.
+pub const MAX_PROOF_ROUNDS: usize = 64;
+
+/// Refuses round counts beyond [`MAX_PROOF_ROUNDS`].
+fn bounded_rounds(n: usize) -> Result<(), WireError> {
+    if n > MAX_PROOF_ROUNDS {
+        return Err(WireError::CountTooLarge {
+            count: n,
+            have: MAX_PROOF_ROUNDS,
+        });
+    }
+    Ok(())
+}
 
 impl<F: PrimeField> WireCodec for Msg<F> {
     fn encode(&self, w: &mut Writer) {
@@ -436,6 +484,28 @@ impl<F: PrimeField> WireCodec for Msg<F> {
             }
             Msg::StatsReply { json } => {
                 w.u8(TAG_STATS_REPLY).string(json);
+            }
+            Msg::QueryOneShot { query, challenges } => {
+                w.u8(TAG_QUERY_ONESHOT);
+                query.encode(w);
+                w.count(challenges.len());
+                for &c in challenges {
+                    w.field(c);
+                }
+            }
+            Msg::Proof {
+                claimed,
+                rounds,
+                digest,
+            } => {
+                w.u8(TAG_PROOF).field(*claimed).count(rounds.len());
+                for g in rounds {
+                    w.count(g.len());
+                    for &e in g {
+                        w.field(e);
+                    }
+                }
+                w.raw(digest);
             }
             Msg::Accept => {
                 w.u8(TAG_ACCEPT);
@@ -524,6 +594,27 @@ impl<F: PrimeField> WireCodec for Msg<F> {
                 parent_span: r.u64()?,
             },
             TAG_STATS_REPLY => Msg::StatsReply { json: r.string()? },
+            TAG_QUERY_ONESHOT => {
+                let query = Query::decode(r)?;
+                let challenges = r.seq(field_width::<F>(), |r| r.field())?;
+                bounded_rounds(challenges.len())?;
+                Msg::QueryOneShot { query, challenges }
+            }
+            TAG_PROOF => {
+                let claimed = r.field()?;
+                let n = r.count(4 + field_width::<F>())?;
+                bounded_rounds(n)?;
+                let mut rounds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rounds.push(r.seq(field_width::<F>(), |r| r.field())?);
+                }
+                let digest: [u8; 32] = r.raw(32)?.try_into().unwrap();
+                Msg::Proof {
+                    claimed,
+                    rounds,
+                    digest,
+                }
+            }
             TAG_ACCEPT => Msg::Accept,
             TAG_REJECT => Msg::Reject(Rejection::decode(r)?),
             TAG_BYE => Msg::Bye,
@@ -632,6 +723,24 @@ mod tests {
         roundtrip(Msg::StatsReply {
             json: String::new(),
         });
+        roundtrip(Msg::QueryOneShot {
+            query: Query::SelfJoin,
+            challenges: vec![f(1), f(2), f(3)],
+        });
+        roundtrip(Msg::QueryOneShot {
+            query: Query::RangeSum { l: 9, r: 200 },
+            challenges: vec![],
+        });
+        roundtrip(Msg::Proof {
+            claimed: f(55),
+            rounds: vec![vec![f(1), f(2), f(3)], vec![f(4), f(5), f(6)]],
+            digest: [7u8; 32],
+        });
+        roundtrip(Msg::Proof {
+            claimed: f(0),
+            rounds: vec![],
+            digest: [0u8; 32],
+        });
         roundtrip(Msg::Accept);
         roundtrip(Msg::Reject(Rejection::RootMismatch));
         roundtrip(Msg::Reject(Rejection::blame(
@@ -694,6 +803,49 @@ mod tests {
             let err = Msg::<Fp61>::from_bytes(&bytes[..cut]);
             assert!(err.is_err(), "cut at {cut} decoded");
         }
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let msg = Msg::Proof {
+            claimed: f(55),
+            rounds: vec![vec![f(1), f(2), f(3)], vec![f(4), f(5), f(6)]],
+            digest: [9u8; 32],
+        };
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Msg::<Fp61>::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn proof_round_count_is_bounded() {
+        // A frame claiming more rounds than MAX_PROOF_ROUNDS is refused
+        // before any allocation, even if the byte budget would allow it.
+        let inner = vec![f(0); 1];
+        let rounds = vec![inner; MAX_PROOF_ROUNDS + 1];
+        let msg = Msg::Proof {
+            claimed: f(1),
+            rounds,
+            digest: [0u8; 32],
+        };
+        let bytes = msg.to_bytes();
+        assert!(matches!(
+            Msg::<Fp61>::from_bytes(&bytes).unwrap_err(),
+            WireError::CountTooLarge { .. }
+        ));
+        let msg = Msg::QueryOneShot {
+            query: Query::SelfJoin,
+            challenges: vec![f(0); MAX_PROOF_ROUNDS + 1],
+        };
+        let bytes = msg.to_bytes();
+        assert!(matches!(
+            Msg::<Fp61>::from_bytes(&bytes).unwrap_err(),
+            WireError::CountTooLarge { .. }
+        ));
     }
 
     #[test]

@@ -89,6 +89,66 @@ fn single_malicious_shard_is_always_blamed() {
     }
 }
 
+/// The same attack × guilty-shard matrix under a *one-shot* session:
+/// aggregate queries collapse to single proof frames
+/// ([`sip::wire::Msg::QueryOneShot`]/`Msg::Proof`), and the blame
+/// machinery must still name exactly the guilty shard — reporting and
+/// disclosure queries (which have no one-shot form) keep their interactive
+/// path inside the same session. Honest shards are never indicted.
+#[test]
+fn single_malicious_shard_is_always_blamed_under_oneshot() {
+    for guilty in 0..SHARDS {
+        for attack in [
+            Attack::CorruptValues,
+            Attack::DropFirstEntry,
+            Attack::SkewAggregates,
+            Attack::UnderstateCounts,
+            Attack::LieAboutPredecessor,
+        ] {
+            let mut rng = StdRng::seed_from_u64(guilty as u64 * 37 + 5);
+            let mut client =
+                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+            let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
+                .map(|s| {
+                    let store = CloudStore::<Fp61>::new(LOG_U);
+                    if s == guilty {
+                        Box::new(MaliciousStore::new(store, attack)) as Box<dyn KvServer<Fp61>>
+                    } else {
+                        Box::new(store) as Box<dyn KvServer<Fp61>>
+                    }
+                })
+                .collect();
+            let pairs = fleet_pairs(client.plan());
+            for &(k, v) in &pairs {
+                client.put(k, v, &mut servers);
+            }
+            let u = 1u64 << LOG_U;
+            let err = match attack {
+                // The sum-check lie now rides inside one-shot proof frames
+                // — both aggregate forms must indict the same shard.
+                Attack::SkewAggregates => {
+                    let err = client.self_join_size_oneshot(&servers).unwrap_err();
+                    assert_eq!(err.blamed_shard(), Some(guilty), "{err}");
+                    client.range_sum_oneshot(0, u - 1, &servers).unwrap_err()
+                }
+                Attack::CorruptValues | Attack::DropFirstEntry => {
+                    client.range(0, u - 1, &servers).unwrap_err()
+                }
+                Attack::UnderstateCounts => client.heavy_keys(90, &servers).unwrap_err(),
+                Attack::LieAboutPredecessor => {
+                    let (_, hi) = client.plan().range(guilty);
+                    client.predecessor(hi, &servers).unwrap_err()
+                }
+            };
+            assert_eq!(
+                err.blamed_shard(),
+                Some(guilty),
+                "one-shot session, attack {attack:?} on shard {guilty}: {err}"
+            );
+        }
+    }
+}
+
 /// The all-honest control: the fleet answers exactly like a single store,
 /// and the aggregated books add up.
 #[test]
@@ -214,6 +274,98 @@ fn run_cluster_session(addrs: &[SocketAddr]) -> Result<(Fp61, Fp61), Rejection> 
     let f2_got = client.verify_f2(f2)?;
     let rs_got = client.verify_range_sum(rs, 2, 12)?;
     Ok((f2_got.value, rs_got.value))
+}
+
+/// The one-shot variant of the scripted fleet session: the same stream,
+/// then F₂ and RANGE-SUM verified as one proof frame per shard. On a
+/// rejection, the indictment must arrive with its evidence: the in-memory
+/// flight-recorder dump naming the blamed shard.
+fn run_cluster_session_oneshot(addrs: &[SocketAddr]) -> Result<(Fp61, Fp61), Rejection> {
+    let plan = ShardPlan::new(TAMPER_LOG_U, TAMPER_SHARDS);
+    let stream = [
+        Update::new(1, 3),
+        Update::new(6, 2),
+        Update::new(7, 5),
+        Update::new(11, 1),
+        Update::new(14, 4),
+    ];
+    let mut client: ClusterClient<Fp61, _> =
+        ClusterClient::connect_with_timeout(addrs, TAMPER_LOG_U, CLIENT_TIMEOUT)?;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut f2 = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    let mut rs = ClusterRangeSumVerifier::<Fp61>::new(plan, &mut rng);
+    for &up in &stream {
+        f2.update(up);
+        rs.update(up);
+        client.send_update(up);
+    }
+    client.end_stream()?;
+    let check_dump = |client: &ClusterClient<Fp61, _>, rej: Rejection| -> Rejection {
+        let dump = client
+            .last_flight_dump()
+            .expect("a blamed one-shot query must dump the flight recorder");
+        assert!(dump.contains("\"reason\": \"blame\""), "{dump}");
+        if let Some(s) = rej.blamed_shard() {
+            assert!(
+                dump.contains(&format!("\"blamed_shard\": \"{s}\"")),
+                "dump does not name shard {s}: {dump}"
+            );
+        }
+        rej
+    };
+    let f2_got = match client.verify_f2_oneshot(f2) {
+        Ok(v) => v,
+        Err(rej) => return Err(check_dump(&client, rej)),
+    };
+    let rs_got = match client.verify_range_sum_oneshot(rs, 2, 12) {
+        Ok(v) => v,
+        Err(rej) => return Err(check_dump(&client, rej)),
+    };
+    Ok((f2_got.value, rs_got.value))
+}
+
+/// The MITM sweep under one-shot: every single-byte corruption of the
+/// guilty shard's prover→verifier traffic — which now carries whole proof
+/// frames — is caught, blamed on that shard, and documented by a
+/// flight-recorder dump; honest shards are never indicted.
+#[test]
+fn every_flipped_byte_on_one_shard_is_blamed_under_oneshot() {
+    let (handles, addrs) = spawn_fleet();
+    let guilty = 1usize;
+
+    let (proxied, counter) = mitm(addrs[guilty], None);
+    let mut dial = addrs.clone();
+    dial[guilty] = proxied;
+    let (f2_truth, rs_truth) = run_cluster_session_oneshot(&dial).expect("honest fleet accepted");
+    assert_eq!(f2_truth, Fp61::from_u64(9 + 4 + 25 + 1 + 16));
+    assert_eq!(rs_truth, Fp61::from_u64(2 + 5 + 1));
+    let prover_bytes = counter.load(Ordering::SeqCst);
+    assert!(prover_bytes > 0);
+
+    for flip in 0..prover_bytes {
+        let (proxied, _) = mitm(addrs[guilty], Some(flip));
+        let mut dial = addrs.clone();
+        dial[guilty] = proxied;
+        match run_cluster_session_oneshot(&dial) {
+            Ok((f2, rs)) => {
+                assert_eq!(
+                    (f2, rs),
+                    (f2_truth, rs_truth),
+                    "flip {flip} forged an answer"
+                );
+            }
+            Err(e) => {
+                assert_eq!(
+                    e.blamed_shard(),
+                    Some(guilty as u32),
+                    "flip {flip} blamed the wrong party: {e}"
+                );
+            }
+        }
+    }
+    for h in handles {
+        h.shutdown();
+    }
 }
 
 /// Every single-byte corruption of one shard's prover→verifier TCP traffic

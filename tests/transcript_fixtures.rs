@@ -1,0 +1,191 @@
+//! Golden transcript-hash vectors: the Fiat–Shamir transcript of
+//! `sip::core::transcript` is a *wire-compatibility surface* — prover and
+//! verifier on different builds must derive byte-identical digests and
+//! challenge streams from the same query context, or every one-shot proof
+//! is rejected as a `TranscriptMismatch`. Each vector below pins one layer
+//! of the construction (domain separation, absorb framing, the
+//! digest/challenge boundary, the canonical [`query_transcript`] context,
+//! a fully sealed proof body) against a checked-in hex fixture, compared
+//! byte-for-byte.
+//!
+//! An intentional transcript change (it invalidates all in-flight one-shot
+//! proofs — bump the domain string!) is re-pinned with:
+//!
+//! ```text
+//! cargo test --test transcript_fixtures -- --ignored regenerate_transcript_vectors
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use sip::core::transcript::{query_transcript, Transcript};
+use sip::field::{Fp127, Fp61, PrimeField};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/transcript_vectors.txt")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn field_hex<F: PrimeField>(x: F) -> String {
+    format!("{:032x}", x.to_u128())
+}
+
+/// Every pinned vector, in a deterministic order. Names are stable — the
+/// comparison fails on missing, extra, or drifted entries alike.
+fn vectors() -> BTreeMap<String, String> {
+    let mut v = BTreeMap::new();
+    let mut pin = |name: &str, value: String| {
+        assert!(
+            v.insert(name.to_string(), value).is_none(),
+            "duplicate vector {name}"
+        );
+    };
+
+    // Layer 1: the bare sponge under the one-shot domain string, and the
+    // proof that domain separation actually separates.
+    pin("empty_domain_sip_oneshot_v1", {
+        hex(&Transcript::new("sip-oneshot-v1").digest())
+    });
+    pin("empty_domain_other", {
+        hex(&Transcript::new("sip-oneshot-v2").digest())
+    });
+
+    // Layer 2: absorb framing — labels and lengths are part of the hash,
+    // so ("ab", "c") and ("a", "bc") must not collide.
+    pin("absorb_label_data", {
+        let mut t = Transcript::new("sip-oneshot-v1");
+        t.absorb("label", b"data");
+        hex(&t.digest())
+    });
+    pin("absorb_split_differently", {
+        let mut t = Transcript::new("sip-oneshot-v1");
+        t.absorb("labe", b"ldata");
+        hex(&t.digest())
+    });
+    pin("absorb_u64_and_fields", {
+        let mut t = Transcript::new("sip-oneshot-v1");
+        t.absorb_u64("n", 0xDEAD_BEEF);
+        t.absorb_field("x", Fp61::from_u64(12345));
+        t.absorb_fields("xs", &[Fp61::from_u64(1), Fp61::from_u64(2)]);
+        hex(&t.digest())
+    });
+
+    // Layer 3: the digest/challenge boundary — challenges squeezed *after*
+    // the digest (the λ-weight stream of the deferred batch check) are
+    // pinned together with it.
+    pin("challenge_stream_fp61", {
+        let mut t = Transcript::new("sip-oneshot-v1");
+        t.absorb("seed", b"vector");
+        let d = hex(&t.digest());
+        let c1: Fp61 = t.challenge();
+        let c2: Fp61 = t.challenge();
+        format!("{d}:{}:{}", field_hex(c1), field_hex(c2))
+    });
+    pin("challenge_stream_fp127", {
+        let mut t = Transcript::new("sip-oneshot-v1");
+        t.absorb("seed", b"vector");
+        let d = hex(&t.digest());
+        let c1: Fp127 = t.challenge();
+        let c2: Fp127 = t.challenge();
+        format!("{d}:{}:{}", field_hex(c1), field_hex(c2))
+    });
+
+    // Layer 4: the canonical query context of every protocol family, for
+    // both fields (the field id and modulus are absorbed, so Fp61 and
+    // Fp127 contexts must differ even with identical inputs).
+    fn ctx<F: PrimeField>(protocol: &str, shard: Option<(u32, u32)>, params: &[u64]) -> String {
+        let challenges: Vec<F> = (1..4u64).map(F::from_u64).collect();
+        hex(&query_transcript::<F>(protocol, 4, shard, params, &challenges).digest())
+    }
+    for (name, protocol, params) in [
+        ("self_join", "self-join", &[][..]),
+        ("range_sum", "range-sum", &[3u64, 9][..]),
+        ("range_count", "range-count", &[3u64, 9][..]),
+        ("general_f2", "general-f2", &[4u64][..]),
+    ] {
+        pin(
+            &format!("query_{name}_fp61"),
+            ctx::<Fp61>(protocol, None, params),
+        );
+        pin(
+            &format!("query_{name}_fp127"),
+            ctx::<Fp127>(protocol, None, params),
+        );
+        pin(
+            &format!("query_{name}_shard2of4_fp61"),
+            ctx::<Fp61>(protocol, Some((2, 4)), params),
+        );
+    }
+
+    // Layer 5: a fully sealed proof body — claimed value then each round
+    // polynomial, the exact absorb order `prove_oneshot` commits to.
+    pin("sealed_proof_body_fp61", {
+        let challenges = [Fp61::from_u64(7)];
+        let mut t = query_transcript::<Fp61>("self-join", 2, None, &[], &challenges);
+        t.absorb_field("claimed", Fp61::from_u64(10));
+        t.absorb_fields("round-poly", &[Fp61::from_u64(4), Fp61::from_u64(6)]);
+        t.absorb_fields("round-poly", &[Fp61::from_u64(11), Fp61::from_u64(13)]);
+        let d = hex(&t.digest());
+        let lambda: Fp61 = t.challenge();
+        format!("{d}:{}", field_hex(lambda))
+    });
+
+    v
+}
+
+fn render(vectors: &BTreeMap<String, String>) -> String {
+    let mut out = String::from(
+        "# Golden transcript vectors — regenerate with\n\
+         # cargo test --test transcript_fixtures -- --ignored regenerate_transcript_vectors\n",
+    );
+    for (name, value) in vectors {
+        out.push_str(name);
+        out.push_str(" = ");
+        out.push_str(value);
+        out.push('\n');
+    }
+    out
+}
+
+/// The checked-in fixture must match today's transcript byte-for-byte —
+/// any drift silently breaks one-shot interoperability across versions.
+#[test]
+fn golden_transcript_vectors_match() {
+    let path = fixture_path();
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `cargo test --test transcript_fixtures -- --ignored \
+             regenerate_transcript_vectors`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk,
+        render(&vectors()),
+        "transcript construction drifted from the golden vectors — this breaks \
+         every in-flight one-shot proof; if intentional, bump the domain string \
+         and regenerate"
+    );
+}
+
+/// Distinct contexts must yield distinct digests (a self-check that the
+/// vector set actually exercises the separating inputs).
+#[test]
+fn pinned_vectors_are_pairwise_distinct() {
+    let v = vectors();
+    let mut seen = BTreeMap::new();
+    for (name, value) in &v {
+        if let Some(prev) = seen.insert(value.clone(), name.clone()) {
+            panic!("{name} and {prev} pinned the same bytes: {value}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "rewrites the golden fixture; run explicitly after an intentional transcript change"]
+fn regenerate_transcript_vectors() {
+    std::fs::write(fixture_path(), render(&vectors())).unwrap();
+}

@@ -106,6 +106,65 @@ fn run_kv_session(proxy: SocketAddr) -> Result<(Option<u64>, u64), sip::core::Re
     Ok((got, sum))
 }
 
+/// The one-shot variant of the scripted session: the same uploads, then a
+/// verified `range_sum` and `self_join_size` answered as single
+/// [`sip::wire::Msg::Proof`] frames instead of `log u` interactive rounds.
+fn run_kv_session_oneshot(proxy: SocketAddr) -> Result<(u64, u64), sip::core::Rejection> {
+    let mut store: RemoteStore<Fp61, _> =
+        RemoteStore::connect_with_timeout(proxy, LOG_U, CLIENT_TIMEOUT)?;
+    let mut rng = StdRng::seed_from_u64(2011);
+    let mut client = Client::<Fp61>::new(LOG_U, QueryBudget::default(), &mut rng);
+    for (k, v) in PAIRS {
+        client.put(k, v, &mut store);
+    }
+    let sum = client.range_sum_oneshot(0, (1 << LOG_U) - 1, &store)?.value;
+    let f2 = client.self_join_size_oneshot(&store)?.value;
+    Ok((sum, f2))
+}
+
+/// The byte-flip sweep of [`every_single_byte_corruption_rejects`], aimed
+/// at the one-shot path: every single-byte corruption of the prover's
+/// traffic — which now includes whole `Msg::Proof` frames (claimed value,
+/// round polynomials, transcript digest) — must yield a typed rejection,
+/// never a wrong accepted answer and never a panic.
+#[test]
+fn every_single_byte_corruption_of_oneshot_proofs_rejects() {
+    let server = spawn::<Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let upstream = server.local_addr();
+
+    let (proxy, counter) = mitm(upstream, None);
+    let (sum, f2) = run_kv_session_oneshot(proxy).expect("honest run must accept");
+    assert_eq!(sum, 10 + 55);
+    assert_eq!(f2, 10 * 10 + 55 * 55);
+    thread::sleep(Duration::from_millis(100));
+    let total = counter.load(Ordering::SeqCst);
+    assert!(total > 100, "suspiciously little prover traffic: {total}");
+
+    let mut accepted_forgeries = Vec::new();
+    for k in 0..total {
+        let (proxy, _) = mitm(upstream, Some(k));
+        match run_kv_session_oneshot(proxy) {
+            Err(_) => {}
+            Ok(answers) => {
+                accepted_forgeries.push((k, answers));
+            }
+        }
+    }
+    assert!(
+        accepted_forgeries.is_empty(),
+        "{} of {total} byte flips were accepted: {accepted_forgeries:?}",
+        accepted_forgeries.len()
+    );
+    server.shutdown();
+}
+
 #[test]
 fn every_single_byte_corruption_rejects() {
     let server = spawn::<Fp61, _>(
