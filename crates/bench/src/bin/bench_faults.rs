@@ -1,0 +1,217 @@
+//! Fault-tolerance cost study: what a replica failover costs at query
+//! time, and what carrying the retry machinery costs when nothing fails.
+//!
+//! Two experiments, emitted as machine-readable `BENCH_faults.json` (plus
+//! CSV rows on stdout):
+//!
+//! 1. **Failover latency.** An in-memory `S=2 × R=2` replica fleet per
+//!    trial; in the fault arm, the replica that per-query rotation will
+//!    sample first is killed mid-frame by a deterministic
+//!    [`FaultPlan::cut_after`], so the query discovers a dead socket on
+//!    the serving path, fails over to the sibling, and still verifies.
+//!    Reported as p50/p99 over the trials, next to a fault-free baseline
+//!    arm with the identical per-trial setup — the difference is the
+//!    failover penalty.
+//! 2. **Retry overhead at zero faults.** Retry logic runs only on error,
+//!    so with no faults the query path is byte-identical under any
+//!    policy; the machinery's one resident cost is the policy wrapper
+//!    around each dial. Measured as fleet connect time over loopback TCP
+//!    under [`RetryPolicy::none`] vs [`RetryPolicy::standard`],
+//!    interleaved to cancel scheduler drift — the contract is that the
+//!    difference is noise.
+//!
+//! Usage: `cargo run --release -p sip-bench --bin bench_faults
+//! [--log-u N] [--trials T] [--queries Q] [--out PATH]`
+//!
+//! [`FaultPlan::cut_after`]: sip_core::channel::FaultPlan::cut_after
+//! [`RetryPolicy::none`]: sip_core::channel::RetryPolicy::none
+//! [`RetryPolicy::standard`]: sip_core::channel::RetryPolicy::standard
+
+use std::fmt::Write as _;
+use std::thread;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_bench::{arg_string, arg_u32, csv_header};
+use sip_cluster::{spawn_replica_fleet, ClusterF2Verifier, ReplicaFleet};
+use sip_core::channel::{FaultPlan, FaultTransport, InMemoryTransport, RetryPolicy};
+use sip_field::{Fp61, PrimeField};
+use sip_streaming::{workloads, FrequencyVector, ShardPlan, Update};
+
+const SHARDS: u32 = 2;
+const REPLICAS: u32 = 2;
+
+/// Spawns an in-memory `S×R` replica fleet with `faults[slot]` wrapping
+/// each client-side transport (same shape as the chaos suite's helper).
+fn in_memory_fleet(
+    log_u: u32,
+    faults: &[FaultPlan],
+) -> (
+    ReplicaFleet<Fp61, FaultTransport<InMemoryTransport>>,
+    Vec<thread::JoinHandle<()>>,
+) {
+    let mut transports = Vec::new();
+    let mut servers = Vec::new();
+    for plan in faults {
+        let (mut a, b) = InMemoryTransport::pair();
+        servers.push(thread::spawn(move || {
+            let Ok(hello) = sip_wire::server_handshake::<Fp61, _>(&mut a) else {
+                return;
+            };
+            let _ = sip_server::session::run_session::<Fp61, _>(a, hello.mode, hello.log_u);
+        }));
+        transports.push(FaultTransport::new(b, plan.clone()));
+    }
+    let fleet = ReplicaFleet::from_transports(transports, log_u, REPLICAS).expect("fleet joins");
+    (fleet, servers)
+}
+
+/// One trial: fresh fleet, ingest, end-stream, then the timed query. The
+/// returned sample is the query wall time in microseconds.
+fn query_trial(log_u: u32, stream: &[Update], truth: Fp61, faults: &[FaultPlan], seed: u64) -> u64 {
+    let plan = ShardPlan::new(log_u, SHARDS);
+    let (mut fleet, servers) = in_memory_fleet(log_u, faults);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut digest = ClusterF2Verifier::<Fp61>::new(plan, &mut rng);
+    for &up in stream {
+        digest.update(up);
+    }
+    fleet.send_stream(stream);
+    fleet.end_stream().expect("a sibling always survives");
+    let start = Instant::now();
+    let got = fleet.verify_f2_oneshot(digest).expect("honest accept");
+    let us = start.elapsed().as_micros() as u64;
+    assert_eq!(got.value, truth, "a failover must never cost correctness");
+    fleet.bye();
+    for s in servers {
+        let _ = s.join();
+    }
+    us
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One timed fleet connect (dial + handshake of all `S·R` slots) under
+/// `policy`, over real loopback sockets, with zero faults.
+fn tcp_connect_us(addrs: &[std::net::SocketAddr], log_u: u32, policy: &RetryPolicy) -> u64 {
+    let start = Instant::now();
+    let mut fleet: ReplicaFleet<Fp61, _> =
+        ReplicaFleet::connect_with_policy(addrs, log_u, REPLICAS, policy).expect("fleet connects");
+    let us = start.elapsed().as_micros() as u64;
+    fleet.bye();
+    us
+}
+
+fn main() {
+    let log_u = arg_u32("--log-u", 8);
+    let trials = arg_u32("--trials", 30);
+    let queries = arg_u32("--queries", 20);
+    let out_path = arg_string("--out", "BENCH_faults.json");
+
+    let stream = workloads::uniform(200, 1u64 << log_u, 23, 5);
+    let truth = Fp61::from_u128(
+        FrequencyVector::from_stream(1u64 << log_u, &stream).self_join_size() as u128,
+    );
+    let slots = (SHARDS * REPLICAS) as usize;
+
+    // ---- Failover latency: fault-free baseline vs cut-primary arm. ----
+    // Rotation makes replica 1 the first query's primary, so the cut lands
+    // on the serving path (slot 1 = shard 0, replica 1).
+    let mut baseline: Vec<u64> = Vec::new();
+    let mut failover: Vec<u64> = Vec::new();
+    for t in 0..trials {
+        let calm = vec![FaultPlan::none(); slots];
+        baseline.push(query_trial(
+            log_u,
+            &stream,
+            truth,
+            &calm,
+            1_000 + u64::from(t),
+        ));
+        // Cut fires on the replica's proof frame (the client's second
+        // inbound frame), i.e. exactly when it is serving the query.
+        let mut chaos = vec![FaultPlan::none(); slots];
+        chaos[1] = FaultPlan::cut_after(1);
+        failover.push(query_trial(
+            log_u,
+            &stream,
+            truth,
+            &chaos,
+            2_000 + u64::from(t),
+        ));
+    }
+    baseline.sort_unstable();
+    failover.sort_unstable();
+    let (b50, b99) = (percentile(&baseline, 50.0), percentile(&baseline, 99.0));
+    let (f50, f99) = (percentile(&failover, 50.0), percentile(&failover, 99.0));
+
+    // ---- Retry overhead at zero faults, over real sockets: the policy
+    // wrapper's dial-time cost, arms interleaved. ----
+    let (handles, addrs) =
+        spawn_replica_fleet::<Fp61>(SHARDS, REPLICAS, log_u).expect("bind replica servers");
+    let reps = queries.max(1);
+    let (mut none_total, mut std_total) = (0u64, 0u64);
+    tcp_connect_us(&addrs, log_u, &RetryPolicy::none()); // warm the path
+    for _ in 0..reps {
+        none_total += tcp_connect_us(&addrs, log_u, &RetryPolicy::none());
+        std_total += tcp_connect_us(&addrs, log_u, &RetryPolicy::standard());
+    }
+    for h in handles {
+        h.shutdown();
+    }
+    let none_us = none_total as f64 / f64::from(reps);
+    let std_us = std_total as f64 / f64::from(reps);
+    let overhead_pct = if none_us > 0.0 {
+        100.0 * (std_us - none_us) / none_us
+    } else {
+        0.0
+    };
+
+    csv_header(&["series", "p50_us", "p99_us"]);
+    println!("query_no_fault,{b50},{b99}");
+    println!("query_with_failover,{f50},{f99}");
+    eprintln!(
+        "# failover penalty: p50 {:+} us, p99 {:+} us over a {}x{} fleet",
+        f50 as i64 - b50 as i64,
+        f99 as i64 - b99 as i64,
+        SHARDS,
+        REPLICAS
+    );
+    eprintln!(
+        "# retry overhead at zero faults: {none_us:.0} us/connect bare vs {std_us:.0} us/connect \
+         under RetryPolicy::standard ({overhead_pct:+.1}%)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"faults\",");
+    let _ = writeln!(json, "  \"field\": \"Fp61\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"shards\": {SHARDS}, \"replicas\": {REPLICAS}, \"log_u\": {log_u}, \
+         \"trials\": {trials}, \"queries\": {queries}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"failover\": {{\"baseline_p50_us\": {b50}, \"baseline_p99_us\": {b99}, \
+         \"failover_p50_us\": {f50}, \"failover_p99_us\": {f99}, \
+         \"penalty_p50_us\": {}, \"penalty_p99_us\": {}}},",
+        f50 as i64 - b50 as i64,
+        f99 as i64 - b99 as i64
+    );
+    let _ = writeln!(
+        json,
+        "  \"retry_overhead\": {{\"none_us_per_connect\": {none_us:.1}, \
+         \"standard_us_per_connect\": {std_us:.1}, \"overhead_pct\": {overhead_pct:.2}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_faults.json");
+    eprintln!("# wrote {out_path}");
+}

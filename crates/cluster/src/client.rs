@@ -5,7 +5,7 @@ use std::net::ToSocketAddrs;
 use std::time::Duration;
 
 use sip_core::channel::{
-    ClusterCostReport, CostReport, FramedTcpTransport, Transport, TransportStats,
+    ClusterCostReport, CostReport, FramedTcpTransport, RetryPolicy, Transport, TransportStats,
 };
 use sip_core::error::Rejection;
 use sip_core::sumcheck::{AggregatingVerifier, OneShotProof};
@@ -112,11 +112,10 @@ impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
     /// Connects to `addrs.len()` sharded provers (shard `s` at `addrs[s]`)
     /// over keys `[2^log_u]`.
     ///
-    /// # Panics
-    /// Panics if `(log_u, addrs.len())` is not a valid [`ShardPlan`] shape
-    /// (empty fleet, more shards than keys, …) — that is local
-    /// misconfiguration, not prover misbehaviour, so it is not a
-    /// [`Rejection`].
+    /// An invalid `(log_u, addrs.len())` shape (empty fleet, more shards
+    /// than keys, …) is refused with [`Rejection::InvalidConfig`] — local
+    /// misconfiguration gets a typed answer, never a panic, so fleet
+    /// launchers can surface it like any other rejection.
     pub fn connect<A: ToSocketAddrs>(addrs: &[A], log_u: u32) -> Result<Self, Rejection> {
         Self::connect_with_timeout(addrs, log_u, DEFAULT_CLIENT_TIMEOUT)
     }
@@ -127,16 +126,40 @@ impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
         log_u: u32,
         timeout: Duration,
     ) -> Result<Self, Rejection> {
-        let plan = ShardPlan::new(log_u, addrs.len() as u32);
+        let plan = validated_plan(log_u, addrs.len())?;
         let mut shards = Vec::with_capacity(addrs.len());
         for (s, addr) in addrs.iter().enumerate() {
             let mut client =
                 RawClient::connect_with_timeout(addr, log_u, timeout).map_err(|e| blame(s, e))?;
             client
-                .shard_hello(ShardSpec {
-                    index: s as u32,
-                    count: plan.shards(),
-                })
+                .shard_hello(ShardSpec::new(s as u32, plan.shards()))
+                .map_err(|e| blame(s, e))?;
+            shards.push(client);
+        }
+        Ok(ClusterClient {
+            router: ShardRouter::new(plan),
+            shards,
+            recorder: sip_obs::FlightRecorder::new(FLIGHT_FRAMES),
+            last_dump: None,
+        })
+    }
+
+    /// Like [`Self::connect`], but each shard dial runs under `policy`:
+    /// transient I/O faults (refused, timed out, reset) are retried with
+    /// decorrelated-jitter backoff before the shard is blamed. Soundness
+    /// rejections are never retried.
+    pub fn connect_with_policy<A: ToSocketAddrs + Clone>(
+        addrs: &[A],
+        log_u: u32,
+        policy: &RetryPolicy,
+    ) -> Result<Self, Rejection> {
+        let plan = validated_plan(log_u, addrs.len())?;
+        let mut shards = Vec::with_capacity(addrs.len());
+        for (s, addr) in addrs.iter().enumerate() {
+            let mut client = RawClient::connect_with_policy(addr.clone(), log_u, policy)
+                .map_err(|e| blame(s, e))?;
+            client
+                .shard_hello(ShardSpec::new(s as u32, plan.shards()))
                 .map_err(|e| blame(s, e))?;
             shards.push(client);
         }
@@ -149,25 +172,26 @@ impl<F: PrimeField> ClusterClient<F, FramedTcpTransport> {
     }
 }
 
+/// Checks a fleet shape, turning an invalid one into the typed
+/// [`Rejection::InvalidConfig`] every fleet constructor answers with.
+pub(crate) fn validated_plan(log_u: u32, fleet: usize) -> Result<ShardPlan, Rejection> {
+    ShardPlan::validate(log_u, fleet as u32).map_err(|detail| Rejection::InvalidConfig { detail })
+}
+
 impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
     /// Builds a fleet over already-connected transports (shard `s` on
     /// `transports[s]`), performing the raw-stream handshake plus the
-    /// [`Msg::ShardHello`] declaration on each.
-    ///
-    /// # Panics
-    /// Panics if `(log_u, transports.len())` is not a valid [`ShardPlan`]
-    /// shape (see [`Self::connect`]).
+    /// [`Msg::ShardHello`] declaration on each. An invalid
+    /// `(log_u, transports.len())` shape is refused with
+    /// [`Rejection::InvalidConfig`] (see [`Self::connect`]).
     pub fn from_transports(transports: Vec<T>, log_u: u32) -> Result<Self, Rejection> {
-        let plan = ShardPlan::new(log_u, transports.len() as u32);
+        let plan = validated_plan(log_u, transports.len())?;
         let mut shards = Vec::with_capacity(plan.shards() as usize);
         for (s, transport) in transports.into_iter().enumerate() {
             let mut client =
                 RawClient::from_transport(transport, log_u).map_err(|e| blame(s, e))?;
             client
-                .shard_hello(ShardSpec {
-                    index: s as u32,
-                    count: plan.shards(),
-                })
+                .shard_hello(ShardSpec::new(s as u32, plan.shards()))
                 .map_err(|e| blame(s, e))?;
             shards.push(client);
         }
@@ -394,7 +418,9 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
 
     /// Runs one fleet-wide *one-shot* query: reveal the shared challenge
     /// prefix to every shard at once, collect one sealed proof frame per
-    /// shard, then run every transcript replay and deferred round check
+    /// shard — drained **in parallel**, one thread per connection, so the
+    /// wait is one slowest-shard round trip rather than `S` sequential
+    /// ones — then run every transcript replay and deferred round check
     /// locally — one round trip for the whole fleet query, whatever
     /// `log_u` is. Each shard's transcript binds its own identity, so a
     /// frame served by (or replayed from) the wrong shard dies on its
@@ -454,26 +480,80 @@ impl<F: PrimeField, T: Transport> ClusterClient<F, T> {
                             .map_err(|e| blame(s, e))?;
                     }
                 }
-                for (s, shard) in self.shards.iter_mut().enumerate() {
-                    let proof = match recv_msg_timed(&mut self.recorder, s, shard) {
+                // Drain the `S` proof frames in parallel — one scoped
+                // thread per shard connection — so the wire-wait leg costs
+                // one slowest-shard round trip instead of the sum of `S`
+                // sequential waits. The `shard_wait` span stays on the
+                // calling thread (worker threads cannot attach to the
+                // thread-local trace context) and covers the overlapped
+                // wait; per-shard waits still land in the
+                // `sip_cluster_shard_wait_us{shard}` series.
+                let mut wspan = sip_obs::trace::span("sip.cluster", "shard_wait");
+                wspan.field("shards", n);
+                let replies: Vec<(Result<Msg<F>, Rejection>, u64)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                let timer = sip_obs::Timer::start();
+                                let out = shard.recv_msg();
+                                (out, timer.elapsed_us())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard drain thread panicked"))
+                        .collect()
+                });
+                drop(wspan);
+                // Book every shard's wait before acting on any failure, then
+                // surface the lowest-index fault — deterministic whatever
+                // order the threads finished in, matching the sequential
+                // drain's semantics.
+                let mut first_err: Option<Rejection> = None;
+                for (s, (out, wait_us)) in replies.into_iter().enumerate() {
+                    if sip_obs::enabled() {
+                        let label = s.to_string();
+                        sip_obs::histogram_with("sip_cluster_shard_wait_us", &[("shard", &label)])
+                            .observe(wait_us);
+                        match &out {
+                            Ok(msg) => self
+                                .recorder
+                                .record("in", format!("shard {s}: {}", msg.name())),
+                            Err(_) => self
+                                .recorder
+                                .record("note", format!("shard {s}: recv failed")),
+                        }
+                    }
+                    if first_err.is_some() {
+                        continue;
+                    }
+                    match out {
                         Ok(Msg::Proof {
                             claimed,
                             rounds,
                             digest,
-                        }) => OneShotProof {
-                            claimed,
-                            rounds,
-                            digest,
-                        },
-                        Ok(other) => return Err(unexpected(s, "proof", other.name())),
-                        Err(e) => return Err(blame(s, e)),
-                    };
-                    report.per_shard[s].p_to_v_words += proof.words();
-                    if sip_obs::enabled() {
-                        sip_obs::histogram("sip_cluster_oneshot_proof_words")
-                            .observe(proof.words() as u64);
+                        }) => {
+                            let proof = OneShotProof {
+                                claimed,
+                                rounds,
+                                digest,
+                            };
+                            report.per_shard[s].p_to_v_words += proof.words();
+                            if sip_obs::enabled() {
+                                sip_obs::histogram("sip_cluster_oneshot_proof_words")
+                                    .observe(proof.words() as u64);
+                            }
+                            proofs.push(proof);
+                        }
+                        Ok(other) => first_err = Some(unexpected(s, "proof", other.name())),
+                        Err(e) => first_err = Some(blame(s, e)),
                     }
-                    proofs.push(proof);
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
             }
             let transcripts: Vec<Transcript> = (0..n)
@@ -686,10 +766,7 @@ pub fn spawn_local_fleet<F: PrimeField>(
         handles.push(sip_server::spawn::<F, _>(
             "127.0.0.1:0",
             ServerConfig {
-                shard: Some(ShardSpec {
-                    index,
-                    count: shards,
-                }),
+                shard: Some(ShardSpec::new(index, shards)),
                 require_log_u: Some(log_u),
                 ..ServerConfig::default()
             },
@@ -703,25 +780,20 @@ pub fn spawn_local_fleet<F: PrimeField>(
 /// declared as its shard of the plan so the prover enforces its key range.
 /// Box the result ([`sip_kvstore::boxed_fleet`]) for
 /// [`sip_kvstore::ShardedClient`]; clones share connections, so keep the
-/// originals for [`RemoteStore::bye`]/[`RemoteStore::stats`].
-///
-/// # Panics
-/// Panics if `(log_u, addrs.len())` is not a valid [`ShardPlan`] shape
-/// (see [`ClusterClient::connect`]).
+/// originals for [`RemoteStore::bye`]/[`RemoteStore::stats`]. An invalid
+/// `(log_u, addrs.len())` shape is refused with
+/// [`Rejection::InvalidConfig`] (see [`ClusterClient::connect`]).
 pub fn connect_kv_fleet<F: PrimeField, A: ToSocketAddrs>(
     addrs: &[A],
     log_u: u32,
 ) -> Result<Vec<RemoteStore<F, FramedTcpTransport>>, Rejection> {
-    let plan = ShardPlan::new(log_u, addrs.len() as u32);
+    let plan = validated_plan(log_u, addrs.len())?;
     let mut stores = Vec::with_capacity(addrs.len());
     for (s, addr) in addrs.iter().enumerate() {
         let store: RemoteStore<F, _> =
             RemoteStore::connect(addr, log_u).map_err(|e| blame(s, e))?;
         store
-            .shard_hello(ShardSpec {
-                index: s as u32,
-                count: plan.shards(),
-            })
+            .shard_hello(ShardSpec::new(s as u32, plan.shards()))
             .map_err(|e| blame(s, e))?;
         stores.push(store);
     }

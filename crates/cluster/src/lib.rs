@@ -40,10 +40,14 @@
 pub mod client;
 pub mod digest;
 pub mod persist;
+pub mod replica;
 pub mod router;
 
 pub use client::{
     boxed_kv_fleet, connect_kv_fleet, spawn_local_fleet, ClusterClient, ClusterVerified,
 };
 pub use digest::{ClusterF2Verifier, ClusterRangeSumVerifier, ClusterReportVerifier, ShardedLde};
+pub use replica::{
+    spawn_replica_fleet, ReplicaFleet, ReplicaHealth, ReplicaPlan, ReplicaVerified, MAX_REPLICAS,
+};
 pub use router::ShardRouter;

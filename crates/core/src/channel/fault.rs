@@ -1,0 +1,427 @@
+//! Deterministic chaos injection for the prover↔verifier channel.
+//!
+//! A [`FaultTransport`] wraps any [`Transport`] and misbehaves according to
+//! a [`FaultPlan`]: refuse the connection, stall past the deadline, cut the
+//! stream mid-conversation, reset after a byte budget, drip frames slowly,
+//! or flip a byte inside a chosen frame. Every decision is a pure function
+//! of the plan and the transport's own frame/byte counters — never of wall
+//! time or OS scheduling — so the same plan replays the same fault at the
+//! same point in the conversation on every run. That determinism is what
+//! lets the chaos matrix assert *exact* client-visible outcomes (which
+//! typed [`Rejection`] with which blamed party) instead of "some error".
+//!
+//! The first five classes are channel faults: the bytes stop arriving, and
+//! the client must see a transient [`Rejection::Io`] it may retry or fail
+//! over. `FlipByte` is different in kind — the bytes *do* arrive, altered —
+//! so the verifier must catch it as a soundness fault (digest mismatch or
+//! decode failure), and nothing may retry it. Keeping both in one injector
+//! is the point: the test matrix proves the two worlds never blur.
+//!
+//! [`Rejection`]: crate::error::Rejection
+//! [`Rejection::Io`]: crate::error::Rejection::Io
+
+use std::time::Duration;
+
+use super::transport::{Transport, TransportError, TransportStats};
+
+/// One misbehaviour, scheduled against the transport's own counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: a transparent wrapper (the matrix's control column).
+    None,
+    /// Every operation fails as if nothing were listening.
+    ConnRefused,
+    /// After `after_frames` frames have been received, the peer goes
+    /// silent: receives report [`TransportError::TimedOut`] immediately
+    /// (the deadline is simulated, not slept through).
+    Stall {
+        /// Frames delivered before the silence begins.
+        after_frames: u32,
+    },
+    /// After `after_frames` frames have been received, the stream is cut:
+    /// the next receive sees [`TransportError::Closed`], as a SIGKILLed
+    /// peer's socket would report mid-frame.
+    CutMidFrame {
+        /// Frames delivered before the cut.
+        after_frames: u32,
+    },
+    /// The connection resets once total traffic (both directions, frame
+    /// headers included) exceeds `bytes`.
+    ResetAfterBytes {
+        /// Byte budget before the reset.
+        bytes: u64,
+    },
+    /// Every received frame is delayed by `per_frame`. The conversation
+    /// completes — slowly. Exercises the deadline math without any
+    /// terminal fault.
+    SlowDrip {
+        /// Injected delay per received frame.
+        per_frame: Duration,
+    },
+    /// XORs `0x01` into one byte of received frame number `frame`
+    /// (0-based; byte index taken modulo the frame length). The channel
+    /// stays healthy; the *content* lies.
+    FlipByte {
+        /// Which received frame to corrupt.
+        frame: u32,
+        /// Which byte within it (modulo length).
+        byte: u32,
+    },
+}
+
+impl Fault {
+    /// Stable label for metrics, logs, and the chaos matrix.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::ConnRefused => "conn_refused",
+            Fault::Stall { .. } => "stall",
+            Fault::CutMidFrame { .. } => "cut_mid_frame",
+            Fault::ResetAfterBytes { .. } => "reset_after_bytes",
+            Fault::SlowDrip { .. } => "slow_drip",
+            Fault::FlipByte { .. } => "flip_byte",
+        }
+    }
+}
+
+/// A seeded, replayable schedule of one fault.
+///
+/// [`FaultPlan::seeded`] derives the fault class and its parameters from a
+/// xorshift64* stream, so a single `u64` names a complete interleaving and
+/// the proptest "same seed → same fault sequence → same client-visible
+/// result" has something to hold on to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled misbehaviour.
+    pub fault: Fault,
+    /// The seed this plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A transparent plan: no fault.
+    pub fn none() -> Self {
+        FaultPlan {
+            fault: Fault::None,
+            seed: 0,
+        }
+    }
+
+    /// Refuse every operation.
+    pub fn conn_refused() -> Self {
+        FaultPlan {
+            fault: Fault::ConnRefused,
+            seed: 0,
+        }
+    }
+
+    /// Go silent after `after_frames` received frames.
+    pub fn stall_after(after_frames: u32) -> Self {
+        FaultPlan {
+            fault: Fault::Stall { after_frames },
+            seed: 0,
+        }
+    }
+
+    /// Cut the stream after `after_frames` received frames.
+    pub fn cut_after(after_frames: u32) -> Self {
+        FaultPlan {
+            fault: Fault::CutMidFrame { after_frames },
+            seed: 0,
+        }
+    }
+
+    /// Reset once `bytes` total bytes have crossed (both directions).
+    pub fn reset_after_bytes(bytes: u64) -> Self {
+        FaultPlan {
+            fault: Fault::ResetAfterBytes { bytes },
+            seed: 0,
+        }
+    }
+
+    /// Delay every received frame by `per_frame`.
+    pub fn slow_drip(per_frame: Duration) -> Self {
+        FaultPlan {
+            fault: Fault::SlowDrip { per_frame },
+            seed: 0,
+        }
+    }
+
+    /// Corrupt one byte of received frame `frame`.
+    pub fn flip_byte(frame: u32, byte: u32) -> Self {
+        FaultPlan {
+            fault: Fault::FlipByte { frame, byte },
+            seed: 0,
+        }
+    }
+
+    /// Derives a complete plan — fault class and parameters — from `seed`.
+    /// The same seed always yields the same plan.
+    pub fn seeded(seed: u64) -> Self {
+        // Spread adjacent seeds across the state space; xorshift64* must
+        // not start at 0.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut draw = || {
+            let mut x = state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let fault = match draw() % 6 {
+            0 => Fault::ConnRefused,
+            1 => Fault::Stall {
+                after_frames: (draw() % 8) as u32,
+            },
+            2 => Fault::CutMidFrame {
+                after_frames: (draw() % 8) as u32,
+            },
+            3 => Fault::ResetAfterBytes {
+                bytes: 16 + draw() % 4096,
+            },
+            4 => Fault::SlowDrip {
+                per_frame: Duration::from_micros(100 + draw() % 900),
+            },
+            _ => Fault::FlipByte {
+                frame: (draw() % 8) as u32,
+                byte: (draw() % 64) as u32,
+            },
+        };
+        FaultPlan { fault, seed }
+    }
+
+    /// Stable label of the scheduled fault class.
+    pub fn fault_class(&self) -> &'static str {
+        self.fault.class()
+    }
+}
+
+/// A [`Transport`] wrapper that executes a [`FaultPlan`].
+///
+/// Terminal faults are *sticky*: once tripped, every subsequent operation
+/// fails with the same error — a dead socket does not come back. The
+/// injection log ([`FaultTransport::injected`]) records each event with
+/// the counter values it fired at, giving tests a byte-exact trace to
+/// compare across replays.
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    frames_in: u32,
+    frames_out: u32,
+    bytes: u64,
+    tripped: Option<TransportError>,
+    log: Vec<String>,
+}
+
+const FRAME_HEADER: u64 = 4;
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultTransport {
+            inner,
+            plan,
+            frames_in: 0,
+            frames_out: 0,
+            bytes: 0,
+            tripped: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// The plan this transport is executing.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Every fault event injected so far, in order, with the frame/byte
+    /// counters at which it fired. Two runs of the same plan over the same
+    /// conversation produce identical logs.
+    pub fn injected(&self) -> &[String] {
+        &self.log
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn trip(&mut self, err: TransportError, what: &str) -> TransportError {
+        self.log.push(format!(
+            "{what} at frames_in={} frames_out={} bytes={}",
+            self.frames_in, self.frames_out, self.bytes
+        ));
+        self.tripped = Some(err.clone());
+        err
+    }
+
+    /// Checks trip conditions that apply to *both* directions.
+    fn check_common(&mut self) -> Result<(), TransportError> {
+        if let Some(err) = &self.tripped {
+            return Err(err.clone());
+        }
+        match self.plan.fault {
+            Fault::ConnRefused => Err(self.trip(
+                TransportError::Io("connection refused (injected)".into()),
+                "conn_refused",
+            )),
+            Fault::ResetAfterBytes { bytes } if self.bytes >= bytes => {
+                Err(self.trip(TransportError::Closed, "reset_after_bytes"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.check_common()?;
+        self.inner.send_frame(frame)?;
+        self.frames_out += 1;
+        self.bytes += FRAME_HEADER + frame.len() as u64;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.check_common()?;
+        match self.plan.fault {
+            Fault::Stall { after_frames } if self.frames_in >= after_frames => {
+                return Err(self.trip(TransportError::TimedOut, "stall"));
+            }
+            Fault::CutMidFrame { after_frames } if self.frames_in >= after_frames => {
+                return Err(self.trip(TransportError::Closed, "cut_mid_frame"));
+            }
+            _ => {}
+        }
+        let mut frame = self.inner.recv_frame()?;
+        if let Fault::SlowDrip { per_frame } = self.plan.fault {
+            if !per_frame.is_zero() {
+                std::thread::sleep(per_frame);
+            }
+        }
+        if let Fault::FlipByte { frame: at, byte } = self.plan.fault {
+            if self.frames_in == at && !frame.is_empty() {
+                let idx = byte as usize % frame.len();
+                frame[idx] ^= 0x01;
+                self.log.push(format!(
+                    "flip_byte frame={at} byte={idx} at frames_in={} bytes={}",
+                    self.frames_in, self.bytes
+                ));
+            }
+        }
+        self.frames_in += 1;
+        self.bytes += FRAME_HEADER + frame.len() as u64;
+        Ok(frame)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::InMemoryTransport;
+
+    fn pair(plan: FaultPlan) -> (FaultTransport<InMemoryTransport>, InMemoryTransport) {
+        let (a, b) = InMemoryTransport::pair();
+        (FaultTransport::new(a, plan), b)
+    }
+
+    #[test]
+    fn none_is_transparent() {
+        let (mut a, mut b) = pair(FaultPlan::none());
+        a.send_frame(b"hi").unwrap();
+        assert_eq!(b.recv_frame().unwrap(), b"hi");
+        b.send_frame(b"yo").unwrap();
+        assert_eq!(a.recv_frame().unwrap(), b"yo");
+        assert!(a.injected().is_empty());
+    }
+
+    #[test]
+    fn conn_refused_fails_every_operation() {
+        let (mut a, _b) = pair(FaultPlan::conn_refused());
+        let err = a.send_frame(b"hi").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Io(ref s) if s.contains("refused")),
+            "{err:?}"
+        );
+        // Sticky: the recv fails identically without reaching the queue.
+        let err2 = a.recv_frame().unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!(a.injected().len(), 1, "one trip event, then cached");
+    }
+
+    #[test]
+    fn stall_times_out_after_budget_without_sleeping() {
+        let (mut a, mut b) = pair(FaultPlan::stall_after(1));
+        b.send_frame(b"one").unwrap();
+        b.send_frame(b"two").unwrap();
+        assert_eq!(a.recv_frame().unwrap(), b"one");
+        let start = std::time::Instant::now();
+        assert_eq!(a.recv_frame().unwrap_err(), TransportError::TimedOut);
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "simulated, not slept"
+        );
+        // Sticky.
+        assert_eq!(a.recv_frame().unwrap_err(), TransportError::TimedOut);
+        assert_eq!(a.send_frame(b"x").unwrap_err(), TransportError::TimedOut);
+    }
+
+    #[test]
+    fn cut_closes_after_budget() {
+        let (mut a, mut b) = pair(FaultPlan::cut_after(0));
+        b.send_frame(b"never seen").unwrap();
+        assert_eq!(a.recv_frame().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn reset_after_bytes_counts_both_directions() {
+        let (mut a, mut b) = pair(FaultPlan::reset_after_bytes(20));
+        a.send_frame(&[0u8; 8]).unwrap(); // 12 bytes with header
+        b.send_frame(&[0u8; 8]).unwrap();
+        assert_eq!(a.recv_frame().unwrap(), vec![0u8; 8]); // 24 total — over budget
+        assert_eq!(a.send_frame(b"x").unwrap_err(), TransportError::Closed);
+        assert_eq!(a.recv_frame().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn slow_drip_delays_but_completes() {
+        let (mut a, mut b) = pair(FaultPlan::slow_drip(Duration::from_millis(5)));
+        b.send_frame(b"drip").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(a.recv_frame().unwrap(), b"drip");
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn flip_byte_corrupts_exactly_one_byte_of_one_frame() {
+        let (mut a, mut b) = pair(FaultPlan::flip_byte(1, 2));
+        b.send_frame(&[10, 20, 30]).unwrap();
+        b.send_frame(&[10, 20, 30]).unwrap();
+        b.send_frame(&[10, 20, 30]).unwrap();
+        assert_eq!(a.recv_frame().unwrap(), vec![10, 20, 30]);
+        assert_eq!(
+            a.recv_frame().unwrap(),
+            vec![10, 20, 31],
+            "bit 0 of byte 2 flipped"
+        );
+        assert_eq!(a.recv_frame().unwrap(), vec![10, 20, 30]);
+        assert_eq!(a.injected().len(), 1);
+    }
+
+    #[test]
+    fn seeded_plans_replay_identically() {
+        for seed in 0..64u64 {
+            assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
+        }
+        // And the classes are actually diverse across seeds.
+        let classes: std::collections::BTreeSet<&str> = (0..64)
+            .map(|s| FaultPlan::seeded(s).fault_class())
+            .collect();
+        assert!(classes.len() >= 5, "{classes:?}");
+    }
+}

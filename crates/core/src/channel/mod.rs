@@ -9,9 +9,13 @@
 //! that the prover lives somewhere else.
 
 mod cost;
+mod fault;
+mod retry;
 mod transport;
 
 pub use cost::{ClusterCostReport, CostReport};
+pub use fault::{Fault, FaultPlan, FaultTransport};
+pub use retry::RetryPolicy;
 pub use transport::{
     FramedTcpTransport, InMemoryTransport, LatencyTransport, Transport, TransportError,
     TransportStats, DEFAULT_MAX_FRAME,

@@ -1,0 +1,267 @@
+//! Retry with decorrelated-jitter backoff for transient channel faults.
+//!
+//! The verifier's failure philosophy distinguishes two worlds:
+//!
+//! * **Transient I/O faults** ([`Rejection::Io`]) — a refused dial, a
+//!   timeout, a reset socket. Nothing about the *proof* went wrong; the
+//!   bytes never arrived. Retrying (or failing over to a replica) is
+//!   sound, because every accepted answer is still verified against the
+//!   caller's own digests.
+//! * **Soundness faults** — everything else. A proof that failed its
+//!   round checks, a transcript digest that did not replay, a malformed
+//!   frame that *did* arrive. Retrying these would mean offering a caught
+//!   liar another throw of the dice, so [`RetryPolicy::run`] never does:
+//!   a non-transient rejection aborts the attempt loop immediately.
+//!
+//! Backoff is *decorrelated jitter* (`delay ← min(cap, uniform(base,
+//! 3·delay))`) drawn from a seeded xorshift64* stream, so a fleet of
+//! clients spreads its reconnect storm instead of thundering in lockstep —
+//! and the same seed always produces the same delay sequence
+//! ([`RetryPolicy::backoff_sequence`]), which is what the determinism
+//! tests pin. The clock is injectable: [`RetryPolicy::run_with_sleeper`]
+//! takes the sleep function, so tests observe the exact delays without
+//! sleeping through them.
+
+use std::time::Duration;
+
+use crate::error::Rejection;
+
+/// How often, how patiently, and how politely to retry an operation whose
+/// socket can die.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retrying.
+    pub attempts: u32,
+    /// First backoff delay, and the lower bound of every later draw.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Per-attempt deadline: connect/read timeout each try runs under.
+    pub op_deadline: Duration,
+    /// Seed of the decorrelated-jitter stream (same seed → same delays).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail on the first fault. The default for
+    /// bare connects, so existing callers keep their exact behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            op_deadline: Duration::from_secs(10),
+            seed: 1,
+        }
+    }
+
+    /// The fleet default: three attempts, 25 ms–1 s decorrelated jitter,
+    /// 10 s per-attempt deadline.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            op_deadline: Duration::from_secs(10),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Same policy with a different jitter seed (one per endpoint, so a
+    /// fleet's reconnects decorrelate).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same policy with a different per-attempt deadline.
+    pub fn with_deadline(mut self, op_deadline: Duration) -> Self {
+        self.op_deadline = op_deadline;
+        self
+    }
+
+    /// The exact backoff delays this policy will sleep between attempts
+    /// (`attempts − 1` entries), without sleeping them — what the
+    /// determinism tests compare against a live run.
+    pub fn backoff_sequence(&self) -> Vec<Duration> {
+        let mut state = Self::mix_seed(self.seed);
+        let mut prev = self.base;
+        (1..self.attempts)
+            .map(|_| {
+                let d = Self::decorrelated_step(&mut state, self.base, self.cap, prev);
+                prev = d;
+                d
+            })
+            .collect()
+    }
+
+    /// Spreads adjacent seeds across the state space (xorshift64* must not
+    /// start at 0, and `seed | 1` alone would alias seed 2k with 2k+1).
+    fn mix_seed(seed: u64) -> u64 {
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    }
+
+    /// One decorrelated-jitter draw: `min(cap, uniform(base, 3·prev))`,
+    /// from a xorshift64* stream.
+    fn decorrelated_step(
+        state: &mut u64,
+        base: Duration,
+        cap: Duration,
+        prev: Duration,
+    ) -> Duration {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        let lo = base.as_micros() as u64;
+        let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+        let draw = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let us = lo + draw % (hi - lo);
+        Duration::from_micros(us).min(cap)
+    }
+
+    /// Runs `op` under this policy, sleeping with `std::thread::sleep`.
+    /// `op` receives the 0-based attempt number. Transient rejections
+    /// ([`Rejection::is_transient`]) are retried until the attempts run
+    /// out; soundness rejections are returned immediately, never retried.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T, Rejection>) -> Result<T, Rejection> {
+        self.run_observed(&mut op, |_, _, _| {})
+    }
+
+    /// [`Self::run`] with a retry observer: `on_retry(attempt, cause,
+    /// backoff)` fires before each backoff sleep, so callers can count
+    /// retries into their metrics without the policy depending on any
+    /// metrics crate.
+    pub fn run_observed<T>(
+        &self,
+        op: &mut dyn FnMut(u32) -> Result<T, Rejection>,
+        on_retry: impl FnMut(u32, &Rejection, Duration),
+    ) -> Result<T, Rejection> {
+        self.run_with_sleeper(op, &mut std::thread::sleep, on_retry)
+    }
+
+    /// The fully injectable core: caller supplies the sleep function (the
+    /// "clock") and the retry observer. Tests pass a recording closure and
+    /// never actually sleep.
+    pub fn run_with_sleeper<T>(
+        &self,
+        op: &mut dyn FnMut(u32) -> Result<T, Rejection>,
+        sleep: &mut dyn FnMut(Duration),
+        mut on_retry: impl FnMut(u32, &Rejection, Duration),
+    ) -> Result<T, Rejection> {
+        let mut state = Self::mix_seed(self.seed);
+        let mut prev = self.base;
+        let attempts = self.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    let backoff = Self::decorrelated_step(&mut state, self.base, self.cap, prev);
+                    prev = backoff;
+                    on_retry(attempt, &e, backoff);
+                    if !backoff.is_zero() {
+                        sleep(backoff);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Unreachable unless attempts == 0 was clamped; the loop always
+        // returns on its last iteration.
+        Err(last.unwrap_or(Rejection::MalformedAnswer {
+            detail: "retry loop ran zero attempts".into(),
+        }))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::IoFault;
+
+    fn io() -> Rejection {
+        Rejection::Io {
+            fault: IoFault::Closed,
+            detail: "test".into(),
+        }
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(300),
+            op_deadline: Duration::from_secs(1),
+            seed: 42,
+        };
+        let a = p.backoff_sequence();
+        let b = p.backoff_sequence();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for d in &a {
+            assert!(*d >= p.base && *d <= p.cap, "{d:?}");
+        }
+        // A different seed draws a different sequence.
+        assert_ne!(a, p.with_seed(43).backoff_sequence());
+    }
+
+    #[test]
+    fn transient_faults_retry_until_success() {
+        let p = RetryPolicy::standard().with_seed(7);
+        let mut slept = Vec::new();
+        let mut calls = 0;
+        let out = p.run_with_sleeper(
+            &mut |attempt| {
+                calls += 1;
+                if attempt < 2 {
+                    Err(io())
+                } else {
+                    Ok(attempt)
+                }
+            },
+            &mut |d| slept.push(d),
+            |_, _, _| {},
+        );
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 3);
+        assert_eq!(slept, p.backoff_sequence()[..2].to_vec());
+    }
+
+    #[test]
+    fn soundness_faults_are_never_retried() {
+        let p = RetryPolicy::standard();
+        let mut calls = 0;
+        let out: Result<(), _> = p.run_with_sleeper(
+            &mut |_| {
+                calls += 1;
+                Err(Rejection::FinalCheckFailed)
+            },
+            &mut |_| panic!("must not sleep for a soundness fault"),
+            |_, _, _| {},
+        );
+        assert_eq!(out.unwrap_err(), Rejection::FinalCheckFailed);
+        assert_eq!(calls, 1, "a caught lie gets no second throw");
+    }
+
+    #[test]
+    fn exhausted_attempts_return_the_last_transient_fault() {
+        let p = RetryPolicy::standard();
+        let mut observed = 0;
+        let out: Result<(), _> = p.run_observed(&mut |_| Err(io()), |_, cause, _| {
+            assert!(cause.is_transient());
+            observed += 1;
+        });
+        assert_eq!(out.unwrap_err(), io());
+        assert_eq!(observed, 2, "two retries after the first failure");
+    }
+}

@@ -9,6 +9,33 @@
 
 use core::fmt;
 
+/// The shape of a transport-level fault, coarse enough to label a metric
+/// and fine enough to pick a retry strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// The dial was refused outright (nothing listening, or the chaos
+    /// layer simulating the same).
+    Refused,
+    /// The peer went silent past the deadline.
+    TimedOut,
+    /// The connection closed or reset mid-conversation.
+    Closed,
+    /// Any other I/O error.
+    Other,
+}
+
+impl IoFault {
+    /// Stable lowercase label, used as a metrics `cause` tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoFault::Refused => "refused",
+            IoFault::TimedOut => "timed_out",
+            IoFault::Closed => "closed",
+            IoFault::Other => "other",
+        }
+    }
+}
+
 /// Why the verifier output `⊥`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Rejection {
@@ -82,6 +109,37 @@ pub enum Rejection {
         /// Why that shard's transcript was rejected.
         cause: Box<Rejection>,
     },
+    /// The channel itself failed: connection refused, timeout, reset. The
+    /// bytes never arrived, so nothing about the *proof* is implicated —
+    /// this is the one rejection class that is sound to retry or fail over
+    /// ([`Rejection::is_transient`]).
+    Io {
+        /// The shape of the fault.
+        fault: IoFault,
+        /// Human-readable detail (the underlying error's message).
+        detail: String,
+    },
+    /// Two replicas of the same logical shard answered the same query
+    /// differently, and cross-examination through the one-shot check
+    /// identified the liar. The first entry of `replicas` is the indicted
+    /// replica, the second the honest one whose proof verified — the
+    /// honest answer is still served; this rejection is the indictment.
+    ReplicaDivergence {
+        /// The logical shard whose replicas diverged.
+        shard: u32,
+        /// `[guilty, honest]` replica indices within the shard's set.
+        replicas: Vec<u32>,
+        /// What the guilty replica's proof was rejected for.
+        cause: Box<Rejection>,
+    },
+    /// The caller's fleet configuration is unusable (shard count that does
+    /// not divide the universe, zero replicas, mismatched address list).
+    /// Raised instead of panicking: a fleet client must not abort the
+    /// process on a config mistake.
+    InvalidConfig {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl Rejection {
@@ -110,7 +168,64 @@ impl Rejection {
     pub fn blamed_shard(&self) -> Option<u32> {
         match self {
             Rejection::Blame { shard_id, .. } => Some(*shard_id),
+            Rejection::ReplicaDivergence { shard, .. } => Some(*shard),
             Rejection::SubProtocol { cause, .. } => cause.blamed_shard(),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for an I/O rejection.
+    pub fn io(fault: IoFault, detail: impl Into<String>) -> Self {
+        Rejection::Io {
+            fault,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies a raw I/O error kind into an [`IoFault`].
+    pub fn from_io_error(e: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let fault = match e.kind() {
+            ErrorKind::ConnectionRefused => IoFault::Refused,
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => IoFault::TimedOut,
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected => IoFault::Closed,
+            _ => IoFault::Other,
+        };
+        Rejection::io(fault, e.to_string())
+    }
+
+    /// Whether this rejection is a *transient channel fault* — safe to
+    /// retry or fail over — as opposed to a soundness fault. The
+    /// distinction is load-bearing: retrying a soundness rejection would
+    /// offer a caught liar a fresh throw of the dice, so only [`Io`]
+    /// qualifies. Attribution wrappers ([`Blame`], [`SubProtocol`]) are
+    /// transparent: a blamed I/O fault is still just an I/O fault.
+    ///
+    /// [`Io`]: Rejection::Io
+    /// [`Blame`]: Rejection::Blame
+    /// [`SubProtocol`]: Rejection::SubProtocol
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Rejection::Io { .. } => true,
+            Rejection::Blame { cause, .. } | Rejection::SubProtocol { cause, .. } => {
+                cause.is_transient()
+            }
+            _ => false,
+        }
+    }
+
+    /// The innermost [`IoFault`] if this is (a wrapper around) an I/O
+    /// rejection, for metrics labelling.
+    pub fn io_fault(&self) -> Option<IoFault> {
+        match self {
+            Rejection::Io { fault, .. } => Some(*fault),
+            Rejection::Blame { cause, .. } | Rejection::SubProtocol { cause, .. } => {
+                cause.io_fault()
+            }
             _ => None,
         }
     }
@@ -159,6 +274,25 @@ impl fmt::Display for Rejection {
             Rejection::Blame { shard_id, cause } => {
                 write!(f, "shard {shard_id} is at fault: {cause}")
             }
+            Rejection::Io { fault, detail } => {
+                write!(f, "i/o fault ({}): {detail}", fault.label())
+            }
+            Rejection::ReplicaDivergence {
+                shard,
+                replicas,
+                cause,
+            } => {
+                let guilty = replicas.first().copied().unwrap_or(u32::MAX);
+                let honest = replicas.get(1).copied();
+                write!(f, "shard {shard}: replica {guilty} diverged")?;
+                if let Some(h) = honest {
+                    write!(f, " from honest replica {h}")?;
+                }
+                write!(f, ": {cause}")
+            }
+            Rejection::InvalidConfig { detail } => {
+                write!(f, "invalid fleet configuration: {detail}")
+            }
         }
     }
 }
@@ -194,5 +328,48 @@ mod tests {
         let wrapped = Rejection::in_subprotocol("range-sum", blamed);
         assert_eq!(wrapped.blamed_shard(), Some(3));
         assert_eq!(Rejection::RootMismatch.blamed_shard(), None);
+    }
+
+    #[test]
+    fn transient_classification_sees_through_attribution() {
+        let io = Rejection::io(IoFault::TimedOut, "read timed out");
+        assert!(io.is_transient());
+        assert_eq!(io.io_fault(), Some(IoFault::TimedOut));
+        // Wrapping in blame or a sub-protocol does not change the class.
+        let blamed = Rejection::blame(2, io.clone());
+        assert!(blamed.is_transient());
+        assert_eq!(blamed.io_fault(), Some(IoFault::TimedOut));
+        let sub = Rejection::in_subprotocol("f2", blamed);
+        assert!(sub.is_transient());
+        // Soundness faults are never transient — even blamed ones.
+        assert!(!Rejection::FinalCheckFailed.is_transient());
+        assert!(!Rejection::blame(1, Rejection::TranscriptMismatch).is_transient());
+        assert!(!Rejection::InvalidConfig { detail: "x".into() }.is_transient());
+    }
+
+    #[test]
+    fn divergence_names_shard_and_both_replicas() {
+        let d = Rejection::ReplicaDivergence {
+            shard: 2,
+            replicas: vec![1, 0],
+            cause: Box::new(Rejection::FinalCheckFailed),
+        };
+        let s = d.to_string();
+        assert!(s.contains("shard 2"), "{s}");
+        assert!(s.contains("replica 1"), "{s}");
+        assert!(s.contains("honest replica 0"), "{s}");
+        assert_eq!(d.blamed_shard(), Some(2));
+        assert!(!d.is_transient(), "an indictment is a soundness verdict");
+    }
+
+    #[test]
+    fn io_error_kinds_classify() {
+        use std::io::{Error, ErrorKind};
+        let r = Rejection::from_io_error(&Error::new(ErrorKind::ConnectionRefused, "no"));
+        assert_eq!(r.io_fault(), Some(IoFault::Refused));
+        let r = Rejection::from_io_error(&Error::new(ErrorKind::BrokenPipe, "gone"));
+        assert_eq!(r.io_fault(), Some(IoFault::Closed));
+        let r = Rejection::from_io_error(&Error::new(ErrorKind::TimedOut, "slow"));
+        assert_eq!(r.io_fault(), Some(IoFault::TimedOut));
     }
 }

@@ -51,10 +51,10 @@ pub mod sumcheck;
 pub mod transcript;
 
 pub use channel::{
-    ClusterCostReport, CostReport, FramedTcpTransport, InMemoryTransport, LatencyTransport,
-    Transport, TransportError, TransportStats,
+    ClusterCostReport, CostReport, Fault, FaultPlan, FaultTransport, FramedTcpTransport,
+    InMemoryTransport, LatencyTransport, RetryPolicy, Transport, TransportError, TransportStats,
 };
 pub use engine::{Combine, FoldSource, ProverPool};
-pub use error::Rejection;
+pub use error::{IoFault, Rejection};
 pub use sumcheck::{OneShotProof, OneShotWalk, ProverWalk};
 pub use transcript::{digest_words, query_transcript, Transcript};

@@ -174,6 +174,28 @@ impl<F: PrimeField> AggregatingVerifier<F> {
         }
         Ok(sum)
     }
+
+    /// Verifies a single shard's one-shot proof in isolation, returning
+    /// that shard's verified contribution. This is the replica
+    /// cross-examination primitive: honest replicas of a shard hold the
+    /// same sub-vector and the same transcript context (shard identity
+    /// binds `(index, count)`, *not* the replica), so each replica's proof
+    /// can be checked independently against the same streamed digest — and
+    /// when two replicas disagree, exactly one of them fails here.
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shards()`.
+    pub fn verify_oneshot_shard(
+        &self,
+        shard: usize,
+        streamed: F,
+        transcript: Transcript,
+        proof: &OneShotProof<F>,
+    ) -> Result<F, Rejection> {
+        self.cores[shard]
+            .verify_oneshot(streamed, transcript, proof)
+            .map_err(|e| Rejection::blame(shard as u32, e))
+    }
 }
 
 /// A hook mutating one shard's messages in flight; arguments are
@@ -609,6 +631,17 @@ mod tests {
             for r in &report.per_shard {
                 assert_eq!(r.rounds, 1, "one-shot is one round trip per shard");
             }
+            // Per-shard verification (the replica cross-examination
+            // primitive) accepts each proof independently and sums to the
+            // same verified aggregate.
+            let ts = shard_transcripts(shards, LOG_U, &prefix);
+            let mut per_shard_sum = Fp61::ZERO;
+            for (s, t) in ts.into_iter().enumerate() {
+                per_shard_sum += agg
+                    .verify_oneshot_shard(s, expected[s], t, &proofs[s])
+                    .unwrap();
+            }
+            assert_eq!(per_shard_sum, got);
         }
     }
 

@@ -44,15 +44,24 @@ pub struct ShardedClient<F: PrimeField> {
 
 impl<F: PrimeField> ShardedClient<F> {
     /// Provisions per-shard digests for a fleet of `shards` stores over
-    /// keys `[2^log_u]`.
-    pub fn new<R: Rng + ?Sized>(log_u: u32, shards: u32, budget: QueryBudget, rng: &mut R) -> Self {
-        let plan = ShardPlan::new(log_u, shards);
-        ShardedClient {
+    /// keys `[2^log_u]`. An invalid `(log_u, shards)` shape (empty fleet,
+    /// more shards than keys, …) is refused with
+    /// [`Rejection::InvalidConfig`] rather than a panic, so launchers can
+    /// surface misconfiguration like any other rejection.
+    pub fn new<R: Rng + ?Sized>(
+        log_u: u32,
+        shards: u32,
+        budget: QueryBudget,
+        rng: &mut R,
+    ) -> Result<Self, Rejection> {
+        let plan = ShardPlan::validate(log_u, shards)
+            .map_err(|detail| Rejection::InvalidConfig { detail })?;
+        Ok(ShardedClient {
             plan,
             clients: (0..shards)
                 .map(|_| Client::new(log_u, budget, rng))
                 .collect(),
-        }
+        })
     }
 
     /// The fleet's index-range partition.
@@ -83,34 +92,52 @@ impl<F: PrimeField> ShardedClient<F> {
         self.clients.iter().map(Client::space_words).sum()
     }
 
-    fn check_fleet(&self, servers: &[Box<dyn KvServer<F>>]) {
-        assert_eq!(
-            servers.len(),
-            self.clients.len(),
-            "fleet size disagrees with the shard plan"
-        );
+    fn check_fleet(&self, servers: &[Box<dyn KvServer<F>>]) -> Result<(), Rejection> {
+        if servers.len() == self.clients.len() {
+            Ok(())
+        } else {
+            Err(Rejection::InvalidConfig {
+                detail: format!(
+                    "fleet of {} servers disagrees with the {}-shard plan",
+                    servers.len(),
+                    self.clients.len()
+                ),
+            })
+        }
     }
 
     /// Uploads `(key, value)` to the owning shard, updating that shard's
-    /// digests.
+    /// digests. A wrong-sized fleet is refused with
+    /// [`Rejection::InvalidConfig`].
     ///
     /// # Panics
-    /// Panics if the key is out of range or the fleet size is wrong.
-    pub fn put(&mut self, key: u64, value: u64, servers: &mut [Box<dyn KvServer<F>>]) {
-        self.check_fleet(servers);
+    /// Panics if the key is out of range.
+    pub fn put(
+        &mut self,
+        key: u64,
+        value: u64,
+        servers: &mut [Box<dyn KvServer<F>>],
+    ) -> Result<(), Rejection> {
+        self.check_fleet(servers)?;
         let s = self.plan.shard_of(key) as usize;
         self.clients[s].put(key, value, servers[s].as_mut());
+        Ok(())
     }
 
     /// Uploads a whole batch of `(key, value)` pairs: the batch is split
     /// per owning shard **once**, then each shard's client and server take
     /// one batched ingest call instead of one call per pair. Digest values
-    /// are bit-identical to repeated [`Self::put`].
+    /// are bit-identical to repeated [`Self::put`]. A wrong-sized fleet is
+    /// refused with [`Rejection::InvalidConfig`].
     ///
     /// # Panics
-    /// Panics if any key is out of range or the fleet size is wrong.
-    pub fn put_batch(&mut self, pairs: &[(u64, u64)], servers: &mut [Box<dyn KvServer<F>>]) {
-        self.check_fleet(servers);
+    /// Panics if any key is out of range.
+    pub fn put_batch(
+        &mut self,
+        pairs: &[(u64, u64)],
+        servers: &mut [Box<dyn KvServer<F>>],
+    ) -> Result<(), Rejection> {
+        self.check_fleet(servers)?;
         let mut per_shard: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.clients.len()];
         for &(key, value) in pairs {
             per_shard[self.plan.shard_of(key) as usize].push((key, value));
@@ -120,6 +147,7 @@ impl<F: PrimeField> ShardedClient<F> {
                 self.clients[s].put_batch(&shard_pairs, servers[s].as_mut());
             }
         }
+        Ok(())
     }
 
     fn blame<T>(s: usize, r: Result<Answer<T>, Rejection>) -> Result<Answer<T>, Rejection> {
@@ -132,7 +160,7 @@ impl<F: PrimeField> ShardedClient<F> {
         key: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<Option<u64>>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let s = self.plan.shard_of(key) as usize;
         let mut report = ClusterCostReport::new(self.clients.len());
         let got = Self::blame(s, self.clients[s].get(key, servers[s].as_ref()))?;
@@ -151,7 +179,7 @@ impl<F: PrimeField> ShardedClient<F> {
         q_r: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<Vec<(u64, u64)>>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = Vec::new();
         for (s, client) in self.clients.iter_mut().enumerate() {
@@ -173,7 +201,7 @@ impl<F: PrimeField> ShardedClient<F> {
         q_r: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<u64>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = 0u64;
         for (s, client) in self.clients.iter_mut().enumerate() {
@@ -192,7 +220,7 @@ impl<F: PrimeField> ShardedClient<F> {
         &mut self,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<u64>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = 0u64;
         for (s, client) in self.clients.iter_mut().enumerate() {
@@ -214,7 +242,7 @@ impl<F: PrimeField> ShardedClient<F> {
         q_r: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<u64>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let shards = self.clients.len() as u32;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = 0u64;
@@ -238,7 +266,7 @@ impl<F: PrimeField> ShardedClient<F> {
         &mut self,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<u64>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let shards = self.clients.len() as u32;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = 0u64;
@@ -260,7 +288,7 @@ impl<F: PrimeField> ShardedClient<F> {
         q: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<Option<u64>>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut s = self.plan.shard_of(q) as usize;
         let mut probe = q;
@@ -287,7 +315,7 @@ impl<F: PrimeField> ShardedClient<F> {
         q: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<Option<u64>>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let last = self.clients.len() - 1;
         let mut s = self.plan.shard_of(q) as usize;
@@ -314,7 +342,7 @@ impl<F: PrimeField> ShardedClient<F> {
         threshold: u64,
         servers: &[Box<dyn KvServer<F>>],
     ) -> Result<ShardedAnswer<Vec<(u64, u64)>>, Rejection> {
-        self.check_fleet(servers);
+        self.check_fleet(servers)?;
         let mut report = ClusterCostReport::new(self.clients.len());
         let mut value = Vec::new();
         for (s, client) in self.clients.iter_mut().enumerate() {
@@ -374,11 +402,11 @@ mod tests {
 
     fn loaded(seed: u64) -> (ShardedClient<Fp61>, Fleet, Vec<(u64, u64)>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut client = ShardedClient::<Fp61>::new(LOG_U, SHARDS, BIG_BUDGET, &mut rng);
+        let mut client = ShardedClient::<Fp61>::new(LOG_U, SHARDS, BIG_BUDGET, &mut rng).unwrap();
         let mut servers = honest_fleet();
         let pairs = fleet_pairs(client.plan());
         for &(k, v) in &pairs {
-            client.put(k, v, &mut servers);
+            client.put(k, v, &mut servers).unwrap();
         }
         (client, servers, pairs)
     }
@@ -479,7 +507,8 @@ mod tests {
             ] {
                 let mut rng = StdRng::seed_from_u64(100 + guilty as u64);
                 let mut client =
-                    ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+                    ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng)
+                        .unwrap();
                 let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
                     .map(|s| {
                         let store = CloudStore::<Fp61>::new(LOG_U);
@@ -492,7 +521,7 @@ mod tests {
                     .collect();
                 let pairs = fleet_pairs(client.plan());
                 for &(k, v) in &pairs {
-                    client.put(k, v, &mut servers);
+                    client.put(k, v, &mut servers).unwrap();
                 }
                 let u = 1u64 << LOG_U;
                 let err = match attack {
@@ -542,7 +571,8 @@ mod tests {
         for guilty in 0..SHARDS {
             let mut rng = StdRng::seed_from_u64(300 + guilty as u64);
             let mut client =
-                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng)
+                    .unwrap();
             let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
                 .map(|s| {
                     let store = CloudStore::<Fp61>::new(LOG_U);
@@ -556,7 +586,7 @@ mod tests {
                 .collect();
             let pairs = fleet_pairs(client.plan());
             for &(k, v) in &pairs {
-                client.put(k, v, &mut servers);
+                client.put(k, v, &mut servers).unwrap();
             }
             let u = 1u64 << LOG_U;
             let err = client.range_sum_oneshot(0, u - 1, &servers).unwrap_err();
@@ -572,7 +602,7 @@ mod tests {
         // shards still verify.
         let mut rng = StdRng::seed_from_u64(9);
         let mut client =
-            ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+            ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng).unwrap();
         let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
             .map(|s| {
                 let store = CloudStore::<Fp61>::new(LOG_U);
@@ -586,7 +616,7 @@ mod tests {
             .collect();
         let pairs = fleet_pairs(client.plan());
         for &(k, v) in &pairs {
-            client.put(k, v, &mut servers);
+            client.put(k, v, &mut servers).unwrap();
         }
         let err = client.self_join_size(&servers).unwrap_err();
         assert_eq!(err.blamed_shard(), Some(2));
@@ -598,12 +628,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fleet size disagrees")]
-    fn wrong_fleet_size_panics() {
+    fn wrong_fleet_shapes_are_refused_with_typed_config_errors() {
         let mut rng = StdRng::seed_from_u64(11);
+        // More shards than keys: refused at provisioning.
+        let err = ShardedClient::<Fp61>::new(2, 100, QueryBudget::default(), &mut rng)
+            .err()
+            .expect("100 shards over 4 keys");
+        assert!(matches!(err, Rejection::InvalidConfig { .. }), "{err}");
+        // A server fleet that disagrees with the plan: refused per call.
         let mut client =
-            ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+            ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng).unwrap();
         let mut servers = boxed_fleet((0..2).map(|_| CloudStore::<Fp61>::new(LOG_U)));
-        client.put(1, 2, &mut servers);
+        let err = client.put(1, 2, &mut servers).unwrap_err();
+        assert!(matches!(err, Rejection::InvalidConfig { .. }), "{err}");
+        let err = client.self_join_size(&servers).unwrap_err();
+        assert!(matches!(err, Rejection::InvalidConfig { .. }), "{err}");
     }
 }

@@ -48,6 +48,7 @@ struct Args {
     listen: String,
     shard: Option<u32>,
     of: Option<u32>,
+    replica: u32,
     log_u: Option<u32>,
     field: u32,
     max_sessions: usize,
@@ -62,11 +63,13 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sip-prover [--listen ADDR] [--shard I --of N] [--log-u D] \
+        "usage: sip-prover [--listen ADDR] [--shard I --of N [--replica R]] [--log-u D] \
          [--field 61|127] [--max-sessions N] [--threads N] [--data-dir PATH] \
          [--metrics-addr ADDR] [--log-json PATH] [--strict-load] \
          [--obs-sample N] [--trace]\n\
          \n\
+         --replica R    which replica of shard I this prover is (default 0);\n\
+         \x20              replicas of a shard ingest the identical sub-stream\n\
          --threads N    worker threads per prover round-message pass;\n\
          \x20              0 = auto-detect (available_parallelism), 1 = serial\n\
          --data-dir P   persist published datasets and checkpoints under P\n\
@@ -90,6 +93,7 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:4017".to_string(),
         shard: None,
         of: None,
+        replica: 0,
         log_u: None,
         field: 61,
         max_sessions: 64,
@@ -113,6 +117,7 @@ fn parse_args() -> Args {
             "--listen" => args.listen = value("--listen"),
             "--shard" => args.shard = Some(parse_u32(&value("--shard"), "--shard")),
             "--of" => args.of = Some(parse_u32(&value("--of"), "--of")),
+            "--replica" => args.replica = parse_u32(&value("--replica"), "--replica"),
             "--log-u" => args.log_u = Some(parse_u32(&value("--log-u"), "--log-u")),
             "--field" => args.field = parse_u32(&value("--field"), "--field"),
             "--max-sessions" => {
@@ -164,9 +169,15 @@ fn main() {
                 eprintln!("--shard {index} must be below --of {count}");
                 exit(2);
             }
-            Some(ShardSpec { index, count })
+            Some(ShardSpec::with_replica(index, count, args.replica))
         }
-        (None, None) => None,
+        (None, None) => {
+            if args.replica != 0 {
+                eprintln!("--replica requires --shard and --of");
+                exit(2);
+            }
+            None
+        }
         _ => {
             eprintln!("--shard and --of must be given together");
             exit(2);

@@ -16,8 +16,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use sip_core::channel::{FramedTcpTransport, Transport, TransportStats};
-use sip_core::error::Rejection;
+use sip_core::channel::{FramedTcpTransport, RetryPolicy, Transport, TransportStats};
+use sip_core::error::{IoFault, Rejection};
 use sip_core::heavy_hitters::{CountTreeHasher, HhStep, LevelDisclosure};
 use sip_core::subvector::{
     RoundReply, RoundRequest, Step, SubVectorAnswer, SubVectorVerifier, Verified,
@@ -54,8 +54,30 @@ const MAX_INGEST_PER_FRAME: usize = 60_000;
 pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn wire_reject(e: WireError) -> Rejection {
-    Rejection::MalformedAnswer {
-        detail: format!("wire: {e}"),
+    match e {
+        // Channel faults: the bytes never arrived, so the proof is not
+        // implicated — typed as transient I/O, eligible for retry and
+        // failover. A FrameTooLarge announcement is the exception: those
+        // bytes *did* arrive and were hostile, so it stays a soundness
+        // fault below.
+        WireError::Transport(te) => {
+            use sip_core::channel::TransportError;
+            let fault = match &te {
+                TransportError::Closed => IoFault::Closed,
+                TransportError::TimedOut => IoFault::TimedOut,
+                TransportError::Io(detail) if detail.contains("refused") => IoFault::Refused,
+                TransportError::Io(_) => IoFault::Other,
+                TransportError::FrameTooLarge { .. } => {
+                    return Rejection::MalformedAnswer {
+                        detail: format!("wire: {te}"),
+                    }
+                }
+            };
+            Rejection::io(fault, format!("wire: {te}"))
+        }
+        e => Rejection::MalformedAnswer {
+            detail: format!("wire: {e}"),
+        },
     }
 }
 
@@ -254,8 +276,9 @@ fn tcp_transport<A: ToSocketAddrs>(
     addr: A,
     timeout: Duration,
 ) -> Result<FramedTcpTransport, Rejection> {
-    let stream =
-        TcpStream::connect(addr).map_err(|e| server_reject(format!("connect failed: {e}")))?;
+    // A failed dial is a channel fault (typed, transient, retryable) — the
+    // peer said nothing, so nothing it said can be condemned.
+    let stream = TcpStream::connect(addr).map_err(|e| Rejection::from_io_error(&e))?;
     let mut transport = FramedTcpTransport::new(stream)
         .map_err(|e| server_reject(format!("socket setup failed: {e}")))?;
     transport
@@ -279,6 +302,18 @@ impl<F: PrimeField> RemoteStore<F, FramedTcpTransport> {
         timeout: Duration,
     ) -> Result<Self, Rejection> {
         Self::from_transport(tcp_transport(addr, timeout)?, log_u)
+    }
+
+    /// Like [`Self::connect`] under a [`RetryPolicy`]: transient dial and
+    /// handshake faults are retried with decorrelated-jitter backoff (the
+    /// policy's `op_deadline` is the per-attempt read timeout); soundness
+    /// faults fail immediately.
+    pub fn connect_with_policy<A: ToSocketAddrs + Clone>(
+        addr: A,
+        log_u: u32,
+        policy: &RetryPolicy,
+    ) -> Result<Self, Rejection> {
+        policy.run(|_| Self::connect_with_timeout(addr.clone(), log_u, policy.op_deadline))
     }
 }
 
@@ -652,6 +687,17 @@ impl<F: PrimeField> RawClient<F, FramedTcpTransport> {
         timeout: Duration,
     ) -> Result<Self, Rejection> {
         Self::from_transport(tcp_transport(addr, timeout)?, log_u)
+    }
+
+    /// Like [`Self::connect`] under a [`RetryPolicy`]: transient dial and
+    /// handshake faults retry with decorrelated-jitter backoff, soundness
+    /// faults fail immediately (see [`Rejection::is_transient`]).
+    pub fn connect_with_policy<A: ToSocketAddrs + Clone>(
+        addr: A,
+        log_u: u32,
+        policy: &RetryPolicy,
+    ) -> Result<Self, Rejection> {
+        policy.run(|_| Self::connect_with_timeout(addr.clone(), log_u, policy.op_deadline))
     }
 }
 

@@ -224,10 +224,10 @@ impl<F: PrimeField> Persist for Dataset<F> {
             )));
         }
         let shard = if r.bool()? {
-            let spec = ShardSpec {
-                index: r.u32()?,
-                count: r.u32()?,
-            };
+            // Disk format predates replication and describes data, not
+            // copies: no replica id is stored, and thawed specs carry
+            // replica 0.
+            let spec = ShardSpec::new(r.u32()?, r.u32()?);
             sip_streaming::ShardPlan::validate(log_u, spec.count)
                 .map_err(SnapshotError::Invalid)?;
             if spec.index >= spec.count {
@@ -291,7 +291,7 @@ mod tests {
         Dataset {
             id: id.to_string(),
             log_u: 8,
-            shard: Some(ShardSpec { index: 1, count: 2 }),
+            shard: Some(ShardSpec::new(1, 2)),
             data: DatasetData::Raw(fv),
         }
     }

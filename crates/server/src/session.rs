@@ -305,8 +305,14 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
             if existing != spec {
                 return Err(if self.shard_pinned {
                     format!(
-                        "this prover is pinned to shard {}/{}, not {}/{}",
-                        existing.index, existing.count, spec.index, spec.count
+                        "this prover is pinned to shard {}/{} replica {}, \
+                         not {}/{} replica {}",
+                        existing.index,
+                        existing.count,
+                        existing.replica,
+                        spec.index,
+                        spec.count,
+                        spec.replica
                     )
                 } else {
                     "shard identity already declared".to_string()
@@ -857,8 +863,11 @@ impl<F: PrimeField, T: Transport> ServerSession<F, T> {
                 ds.log_u, self.log_u
             )));
         }
+        // Datasets describe a slice of data, not a copy of it: replicas of
+        // one shard share the shard's datasets, so only the slice is
+        // compared and a replica-r session may thaw a replica-0 snapshot.
         match (self.shard.map(|(spec, _, _)| spec), ds.shard) {
-            (Some(mine), Some(published)) if mine == published => {}
+            (Some(mine), Some(published)) if mine.same_slice(&published) => {}
             (None, None) => {}
             (None, Some(published)) => {
                 self.adopt_shard(published, false).map_err(protocol)?;
@@ -1194,7 +1203,7 @@ mod tests {
     fn shard_refuses_updates_outside_its_range() {
         // Shard 1 of 2 over [0, 16) owns [8, 15].
         let (end, ()) = with_sharded_session(None, 4, |mut chan| {
-            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(1, 2)))
                 .unwrap();
             chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(9, 1)]))
                 .unwrap();
@@ -1211,7 +1220,7 @@ mod tests {
         let (end, ()) = with_sharded_session(None, 4, |mut chan| {
             chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
                 .unwrap();
-            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 0, count: 2 }))
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(0, 2)))
                 .unwrap();
             assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
         });
@@ -1220,14 +1229,14 @@ mod tests {
 
     #[test]
     fn pinned_shard_rejects_mismatched_hello_and_accepts_match() {
-        let pin = ShardSpec { index: 0, count: 2 };
+        let pin = ShardSpec::new(0, 2);
         let (end, ()) = with_sharded_session(Some(pin), 4, move |mut chan| {
             // Confirming the pin is fine …
             chan.send(&Msg::<Fp61>::ShardHello(pin)).unwrap();
             chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
                 .unwrap();
             // … claiming a different identity is not.
-            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(1, 2)))
                 .unwrap();
             assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
         });
@@ -1237,12 +1246,10 @@ mod tests {
     #[test]
     fn invalid_shard_spec_is_refused() {
         for spec in [
-            ShardSpec { index: 2, count: 2 },
-            ShardSpec { index: 0, count: 0 },
-            ShardSpec {
-                index: 0,
-                count: 1 << 5, // more shards than the 2^4 universe has keys
-            },
+            ShardSpec::new(2, 2),
+            ShardSpec::new(0, 0),
+            // More shards than the 2^4 universe has keys.
+            ShardSpec::new(0, 1 << 5),
         ] {
             let (end, ()) = with_sharded_session(None, 4, move |mut chan| {
                 chan.send(&Msg::<Fp61>::ShardHello(spec)).unwrap();
@@ -1512,7 +1519,7 @@ mod tests {
             (SessionMode::RawStream, SessionMode::RawStream),
             (4, 4),
             |mut chan| {
-                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 0, count: 2 }))
+                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(0, 2)))
                     .unwrap();
                 chan.send(&Msg::<Fp61>::Ingest(vec![Update::new(3, 1)]))
                     .unwrap();
@@ -1527,7 +1534,7 @@ mod tests {
             },
             |mut chan| {
                 // Wrong declared identity: refused.
-                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+                chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(1, 2)))
                     .unwrap();
                 chan.send(&Msg::<Fp61>::Attach {
                     dataset_id: "slice".into(),
@@ -1562,7 +1569,7 @@ mod tests {
             let Msg::DatasetAck { .. } = chan.recv::<Fp61>().unwrap() else {
                 panic!("expected ack")
             };
-            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec { index: 1, count: 2 }))
+            chan.send(&Msg::<Fp61>::ShardHello(ShardSpec::new(1, 2)))
                 .unwrap();
             assert!(matches!(chan.recv::<Fp61>().unwrap(), Msg::Error(_)));
         });

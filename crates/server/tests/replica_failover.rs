@@ -1,0 +1,156 @@
+//! Kill-a-replica, end to end, against real `sip-prover` *processes*: an
+//! `S = 2 × R = 2` replicated fleet ingests a stream, every replica
+//! checkpoints to its own `--data-dir`, one replica is SIGKILLed with its
+//! connection open — and the next query is still answered, verified, by
+//! its sibling. A replacement prover then thaws the killed replica's
+//! durable checkpoint, is readmitted, and serves a verified proof itself.
+//!
+//! No orderly shutdown anywhere: the kill is `-9`, the fault is discovered
+//! mid-query as a dead socket, and the replacement's state is whatever the
+//! write-temp-then-rename discipline left on disk.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip_cluster::{ClusterF2Verifier, ReplicaFleet, ReplicaHealth};
+use sip_core::channel::RetryPolicy;
+use sip_field::{Fp61, PrimeField};
+use sip_streaming::{workloads, FrequencyVector, ShardPlan};
+
+const LOG_U: u32 = 10;
+const SHARDS: u32 = 2;
+const REPLICAS: u32 = 2;
+const CKPT: &str = "fleet-ckpt";
+
+struct Prover {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_replica(shard: u32, replica: u32, data_dir: &std::path::Path) -> Prover {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sip-prover"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--shard",
+            &shard.to_string(),
+            "--of",
+            &SHARDS.to_string(),
+            "--replica",
+            &replica.to_string(),
+            "--log-u",
+            &LOG_U.to_string(),
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("sip-prover spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("prover exited before binding")
+            .expect("prover stdout readable");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.trim().parse().expect("printed address parses");
+        }
+    };
+    Prover { child, addr }
+}
+
+#[test]
+fn sigkill_replica_mid_query_fails_over_then_replacement_rejoins() {
+    let base = std::env::temp_dir().join(format!("sip-replica-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // ---- A 2×2 fleet of real processes, one data dir per replica. ----
+    let mut provers = Vec::new();
+    let mut addrs = Vec::new();
+    let mut dirs = Vec::new();
+    for s in 0..SHARDS {
+        for r in 0..REPLICAS {
+            let dir = base.join(format!("shard{s}-replica{r}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let p = spawn_replica(s, r, &dir);
+            addrs.push(p.addr);
+            provers.push(p);
+            dirs.push(dir);
+        }
+    }
+
+    let stream = workloads::with_deletions(400, 1 << LOG_U, 0.2, 41);
+    let truth =
+        Fp61::from_u128(FrequencyVector::from_stream(1 << LOG_U, &stream).self_join_size() as u128);
+    let plan = ShardPlan::new(LOG_U, SHARDS);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut digests: Vec<ClusterF2Verifier<Fp61>> = (0..3)
+        .map(|_| ClusterF2Verifier::new(plan, &mut rng))
+        .collect();
+    for &up in &stream {
+        for d in &mut digests {
+            d.update(up);
+        }
+    }
+
+    let mut fleet: ReplicaFleet<Fp61, _> =
+        ReplicaFleet::connect_with_policy(&addrs, LOG_U, REPLICAS, &RetryPolicy::standard())
+            .expect("fleet connects");
+    fleet.send_stream(&stream);
+    // Durable checkpoints everywhere *before* anything dies — this is the
+    // state the replacement will thaw.
+    fleet.save_state(CKPT).unwrap();
+    fleet.end_stream().unwrap();
+
+    // ---- SIGKILL replica 1 of shard 0 with its connection open. The
+    // rotation makes replica 1 the next query's primary, so the kill is
+    // discovered mid-query as a dead socket on the serving path. ----
+    let victim_slot = 1usize; // shard 0, replica 1
+    provers[victim_slot].child.kill().expect("kill -9");
+    provers[victim_slot].child.wait().expect("wait");
+
+    let got = fleet
+        .verify_f2_oneshot(digests.remove(0))
+        .expect("sibling covers the killed primary");
+    assert_eq!(got.value, truth);
+    assert_eq!(got.served_by[0], 0, "shard 0 failed over to replica 0");
+    assert!(
+        matches!(fleet.health(0, 1), ReplicaHealth::Faulted(_)),
+        "victim is recorded as faulted"
+    );
+
+    // ---- A replacement prover on the victim's data dir thaws the durable
+    // checkpoint and rejoins. ----
+    let replacement = spawn_replica(0, 1, &dirs[victim_slot]);
+    fleet
+        .readmit(0, 1, replacement.addr, Some(CKPT))
+        .expect("replacement readmitted from checkpoint");
+    assert!(matches!(fleet.health(0, 1), ReplicaHealth::Live));
+
+    // Next query: rotation samples replica 0 first — still correct.
+    let got = fleet.verify_f2_oneshot(digests.remove(0)).unwrap();
+    assert_eq!(got.value, truth);
+    // Query after that rotates back to replica 1: the *thawed replacement*
+    // serves shard 0's verified proof from resumed state.
+    let got = fleet.verify_f2_oneshot(digests.remove(0)).unwrap();
+    assert_eq!(got.value, truth);
+    assert_eq!(
+        got.served_by[0], 1,
+        "the readmitted replacement serves shard 0"
+    );
+
+    fleet.bye();
+    for mut p in provers {
+        p.child.kill().ok();
+        p.child.wait().ok();
+    }
+    let mut p = replacement;
+    p.child.kill().ok();
+    p.child.wait().ok();
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -3,7 +3,7 @@
 //! data types ([`Update`], [`CostReport`], [`Rejection`], the sub-vector and
 //! heavy-hitter message bodies).
 
-use sip_core::error::Rejection;
+use sip_core::error::{IoFault, Rejection};
 use sip_core::heavy_hitters::{DisclosedNode, LevelDisclosure};
 use sip_core::subvector::{RoundReply, RoundRequest, SubVectorAnswer};
 use sip_core::CostReport;
@@ -395,6 +395,40 @@ fn decode_rejection(r: &mut Reader<'_>, depth: usize) -> Result<Rejection, WireE
             }
         }
         9 => Rejection::TranscriptMismatch,
+        10 => Rejection::Io {
+            fault: match r.u8()? {
+                0 => IoFault::Refused,
+                1 => IoFault::TimedOut,
+                2 => IoFault::Closed,
+                3 => IoFault::Other,
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "io fault",
+                        tag,
+                    })
+                }
+            },
+            detail: r.string()?,
+        },
+        11 => {
+            if depth == 0 {
+                return Err(WireError::BadTag {
+                    context: "rejection (divergence nesting too deep)",
+                    tag: 11,
+                });
+            }
+            let shard = r.u32()?;
+            let n = r.count(4)?;
+            let replicas = (0..n).map(|_| r.u32()).collect::<Result<Vec<_>, _>>()?;
+            Rejection::ReplicaDivergence {
+                shard,
+                replicas,
+                cause: Box::new(decode_rejection(r, depth - 1)?),
+            }
+        }
+        12 => Rejection::InvalidConfig {
+            detail: r.string()?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 context: "rejection",
@@ -445,6 +479,29 @@ impl WireCodec for Rejection {
             }
             Rejection::TranscriptMismatch => {
                 w.u8(9);
+            }
+            Rejection::Io { fault, detail } => {
+                let tag = match fault {
+                    IoFault::Refused => 0u8,
+                    IoFault::TimedOut => 1,
+                    IoFault::Closed => 2,
+                    IoFault::Other => 3,
+                };
+                w.u8(10).u8(tag).string(detail);
+            }
+            Rejection::ReplicaDivergence {
+                shard,
+                replicas,
+                cause,
+            } => {
+                w.u8(11).u32(*shard).count(replicas.len());
+                for rep in replicas {
+                    w.u32(*rep);
+                }
+                cause.encode(w);
+            }
+            Rejection::InvalidConfig { detail } => {
+                w.u8(12).string(detail);
             }
         }
     }
@@ -661,11 +718,44 @@ mod tests {
             ),
             Rejection::TranscriptMismatch,
             Rejection::blame(1, Rejection::TranscriptMismatch),
+            Rejection::io(IoFault::Refused, "connection refused"),
+            Rejection::io(IoFault::TimedOut, "read timed out"),
+            Rejection::io(IoFault::Closed, ""),
+            Rejection::io(IoFault::Other, "interrupted"),
+            Rejection::blame(3, Rejection::io(IoFault::Closed, "reset by peer")),
+            Rejection::ReplicaDivergence {
+                shard: 2,
+                replicas: vec![1, 0],
+                cause: Box::new(Rejection::TranscriptMismatch),
+            },
+            Rejection::ReplicaDivergence {
+                shard: 0,
+                replicas: vec![],
+                cause: Box::new(Rejection::FinalCheckFailed),
+            },
+            Rejection::InvalidConfig {
+                detail: "5 shards do not divide a 2^4 universe".into(),
+            },
         ];
         for rej in cases {
             let bytes = rej.to_bytes();
             assert_eq!(Rejection::from_bytes(&bytes).unwrap(), rej);
         }
+    }
+
+    #[test]
+    fn hostile_divergence_nesting_is_bounded() {
+        // ReplicaDivergence shares the nesting budget with SubProtocol and
+        // Blame: towers of tag-11 frames are refused, not recursed into.
+        let mut bytes = Vec::new();
+        for _ in 0..100_000 {
+            bytes.push(11u8); // ReplicaDivergence tag
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // shard
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // empty replica list
+        }
+        bytes.push(3); // innermost: RootMismatch
+        let err = Rejection::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::BadTag { tag: 11, .. }), "{err:?}");
     }
 
     #[test]

@@ -316,6 +316,26 @@ mod tests {
     }
 
     #[test]
+    fn v5_client_gets_version_error_not_length_error() {
+        // A pre-replica (v5) client sends a well-formed v5 Hello. The v6
+        // server must name the version skew before any parse diagnostics
+        // — a v5 peer encodes `ShardSpec` without the replica word, so
+        // anything later would surface as a confusing length error.
+        let (mut client, mut server) = InMemoryTransport::pair();
+        let mut hello = Hello::new::<Fp61>(SessionMode::KvStore, 12);
+        hello.version = 5;
+        client.send_frame(&hello.to_bytes()).unwrap();
+        let err = server_handshake::<Fp61, _>(&mut server).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: 5
+            }
+        );
+    }
+
+    #[test]
     fn v1_client_gets_version_error_not_length_error() {
         // A pre-cluster (v1) client sends a well-formed v1 Hello. The v2
         // server must name the version skew — the one diagnostic that has

@@ -75,7 +75,16 @@ pub use msg::{Msg, Query, ShardSpec, MAX_PROOF_ROUNDS};
 /// v4 peer is refused at the handshake with an explicit
 /// [`WireError::VersionMismatch`] — the skew is named before any length or
 /// parse diagnostics.
-pub const PROTOCOL_VERSION: u16 = 5;
+///
+/// **v6** added replica identity to [`ShardSpec`] (a third `u32` in the
+/// shard hello) and the fault-tolerance rejections (`Io`,
+/// `ReplicaDivergence`, `InvalidConfig`): a logical shard may be served by
+/// N replica provers fed the identical sub-stream, the client names which
+/// replica it believes it is addressing, and divergence between replicas
+/// is indicted with a typed rejection. The `ShardSpec` encoding grew, so a
+/// v5 peer is refused at the handshake with an explicit
+/// [`WireError::VersionMismatch`].
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// The magic bytes opening every handshake frame.
 pub const MAGIC: [u8; 4] = *b"SIPW";

@@ -142,17 +142,52 @@ pub struct ShardSpec {
     pub index: u32,
     /// Fleet size `S`.
     pub count: u32,
+    /// Which replica of the shard this session claims to be (0 for an
+    /// unreplicated fleet). The replica id names a *copy*, not a slice: it
+    /// participates in the hello (so a pinned prover can refuse a
+    /// mis-addressed client) but is deliberately excluded from query
+    /// transcripts — honest replicas of one shard must produce identical
+    /// proofs, which is what lets the verifier cross-examine them.
+    pub replica: u32,
+}
+
+impl ShardSpec {
+    /// Shard `index` of `count`, replica 0 (the unreplicated default).
+    pub fn new(index: u32, count: u32) -> Self {
+        ShardSpec {
+            index,
+            count,
+            replica: 0,
+        }
+    }
+
+    /// Shard `index` of `count`, replica `replica` of its replica set.
+    pub fn with_replica(index: u32, count: u32, replica: u32) -> Self {
+        ShardSpec {
+            index,
+            count,
+            replica,
+        }
+    }
+
+    /// Whether two specs name the same *slice* of the universe, ignoring
+    /// the replica id — the compatibility notion for datasets and
+    /// snapshots, which describe data, not copies.
+    pub fn same_slice(&self, other: &ShardSpec) -> bool {
+        self.index == other.index && self.count == other.count
+    }
 }
 
 impl WireCodec for ShardSpec {
     fn encode(&self, w: &mut Writer) {
-        w.u32(self.index).u32(self.count);
+        w.u32(self.index).u32(self.count).u32(self.replica);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(ShardSpec {
             index: r.u32()?,
             count: r.u32()?,
+            replica: r.u32()?,
         })
     }
 }
@@ -682,7 +717,7 @@ mod tests {
             r: f(5),
             s: f(6),
         });
-        roundtrip(Msg::ShardHello(ShardSpec { index: 3, count: 8 }));
+        roundtrip(Msg::ShardHello(ShardSpec::new(3, 8)));
         roundtrip(Msg::BroadcastChallenge {
             round: 7,
             challenge: f(424242),

@@ -52,10 +52,11 @@ fn messages<F: PrimeField>(
             r: scalar,
             s: scalar + F::ONE,
         },
-        Msg::ShardHello(ShardSpec {
-            index: level,
-            count: level.saturating_add(1),
-        }),
+        Msg::ShardHello(ShardSpec::with_replica(
+            level,
+            level.saturating_add(1),
+            level ^ 1,
+        )),
         Msg::BroadcastChallenge {
             round: level,
             challenge: scalar,

@@ -75,9 +75,10 @@ fn main() {
     let stores = connect_kv_fleet::<Fp61, _>(&kv_addrs, LOG_U).unwrap();
     let mut servers = boxed_kv_fleet(&stores);
     let mut rng = StdRng::seed_from_u64(2);
-    let mut kv = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    let mut kv =
+        ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng).unwrap();
     for (k, v) in [(17u64, 40u64), (1_200, 7), (2_300, 999), (3_900, 55)] {
-        kv.put(k, v, &mut servers);
+        kv.put(k, v, &mut servers).unwrap();
     }
     println!(
         "\nkv fleet: get(2300) = {:?}",
@@ -103,7 +104,8 @@ fn main() {
 
     // ----- a lying shard is blamed, not the fleet -------------------------
     let mut rng = StdRng::seed_from_u64(3);
-    let mut kv = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    let mut kv =
+        ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng).unwrap();
     let guilty = 2u32;
     let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
         .map(|s| {
@@ -117,7 +119,7 @@ fn main() {
         })
         .collect();
     for (k, v) in [(17u64, 40u64), (1_200, 7), (2_300, 999), (3_900, 55)] {
-        kv.put(k, v, &mut servers);
+        kv.put(k, v, &mut servers).unwrap();
     }
     let err = kv.self_join_size(&servers).unwrap_err();
     println!("\nshard {guilty} lies about aggregates → {err}");

@@ -146,10 +146,10 @@ fn kv_fleet_over_tcp_matches_single_store() {
     let single_stores = connect_kv_fleet::<Fp61, _>(&single_addrs, log_u).unwrap();
     let single_servers = boxed_kv_fleet(&single_stores);
     let mut rng = StdRng::seed_from_u64(1);
-    let mut single = ShardedClient::<Fp61>::new(log_u, 1, BIG_BUDGET, &mut rng);
+    let mut single = ShardedClient::<Fp61>::new(log_u, 1, BIG_BUDGET, &mut rng).unwrap();
     let mut single_servers = single_servers;
     for &(k, v) in &pairs {
-        single.put(k, v, &mut single_servers);
+        single.put(k, v, &mut single_servers).unwrap();
     }
 
     // S = 4 fleet over TCP.
@@ -157,9 +157,9 @@ fn kv_fleet_over_tcp_matches_single_store() {
     let stores = connect_kv_fleet::<Fp61, _>(&addrs, log_u).unwrap();
     let mut servers = boxed_kv_fleet(&stores);
     let mut rng = StdRng::seed_from_u64(2);
-    let mut client = ShardedClient::<Fp61>::new(log_u, shards, BIG_BUDGET, &mut rng);
+    let mut client = ShardedClient::<Fp61>::new(log_u, shards, BIG_BUDGET, &mut rng).unwrap();
     for &(k, v) in &pairs {
-        client.put(k, v, &mut servers);
+        client.put(k, v, &mut servers).unwrap();
     }
 
     // Every query family answers identically across fleet sizes.

@@ -53,7 +53,8 @@ fn single_malicious_shard_is_always_blamed() {
         ] {
             let mut rng = StdRng::seed_from_u64(guilty as u64 * 31 + 1);
             let mut client =
-                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng)
+                    .unwrap();
             let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
                 .map(|s| {
                     let store = CloudStore::<Fp61>::new(LOG_U);
@@ -66,7 +67,7 @@ fn single_malicious_shard_is_always_blamed() {
                 .collect();
             let pairs = fleet_pairs(client.plan());
             for &(k, v) in &pairs {
-                client.put(k, v, &mut servers);
+                client.put(k, v, &mut servers).unwrap();
             }
             let u = 1u64 << LOG_U;
             let err = match attack {
@@ -107,7 +108,8 @@ fn single_malicious_shard_is_always_blamed_under_oneshot() {
         ] {
             let mut rng = StdRng::seed_from_u64(guilty as u64 * 37 + 5);
             let mut client =
-                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+                ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng)
+                    .unwrap();
             let mut servers: Vec<Box<dyn KvServer<Fp61>>> = (0..SHARDS)
                 .map(|s| {
                     let store = CloudStore::<Fp61>::new(LOG_U);
@@ -120,7 +122,7 @@ fn single_malicious_shard_is_always_blamed_under_oneshot() {
                 .collect();
             let pairs = fleet_pairs(client.plan());
             for &(k, v) in &pairs {
-                client.put(k, v, &mut servers);
+                client.put(k, v, &mut servers).unwrap();
             }
             let u = 1u64 << LOG_U;
             let err = match attack {
@@ -154,15 +156,17 @@ fn single_malicious_shard_is_always_blamed_under_oneshot() {
 #[test]
 fn all_honest_fleet_matches_single_store_and_totals_add_up() {
     let mut rng = StdRng::seed_from_u64(50);
-    let mut sharded = ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng);
+    let mut sharded =
+        ShardedClient::<Fp61>::new(LOG_U, SHARDS, QueryBudget::default(), &mut rng).unwrap();
     let mut fleet = boxed_fleet((0..SHARDS).map(|_| CloudStore::<Fp61>::new(LOG_U)));
     let mut rng = StdRng::seed_from_u64(51);
-    let mut single = ShardedClient::<Fp61>::new(LOG_U, 1, QueryBudget::default(), &mut rng);
+    let mut single =
+        ShardedClient::<Fp61>::new(LOG_U, 1, QueryBudget::default(), &mut rng).unwrap();
     let mut one = boxed_fleet([CloudStore::<Fp61>::new(LOG_U)]);
     let pairs = fleet_pairs(sharded.plan());
     for &(k, v) in &pairs {
-        sharded.put(k, v, &mut fleet);
-        single.put(k, v, &mut one);
+        sharded.put(k, v, &mut fleet).unwrap();
+        single.put(k, v, &mut one).unwrap();
     }
     let u = 1u64 << LOG_U;
     let a = sharded.range_sum(0, u - 1, &fleet).unwrap();

@@ -235,7 +235,7 @@ fn spawn_shard(
     spawn::<Fp61, _>(
         "127.0.0.1:0",
         ServerConfig {
-            shard: Some(ShardSpec { index, count }),
+            shard: Some(ShardSpec::new(index, count)),
             require_log_u: Some(log_u),
             data_dir: Some(dir.to_path_buf()),
             ..ServerConfig::default()
@@ -268,9 +268,9 @@ fn cluster_shard_restart_and_blame() {
     // randomness.
     let reference = {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+        let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng).unwrap();
         let mut fleet = boxed_fleet::<Fp61, _>((0..shards).map(|_| CloudStore::new_sparse(log_u)));
-        client.put_batch(&pairs, &mut fleet);
+        client.put_batch(&pairs, &mut fleet).unwrap();
         let range = client.range(0, (1 << log_u) - 1, &fleet).unwrap();
         let sum = client.range_sum(0, (1 << log_u) - 1, &fleet).unwrap();
         (range, sum)
@@ -288,10 +288,10 @@ fn cluster_shard_restart_and_blame() {
         .collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng).unwrap();
     {
         let mut fleet = sip::cluster::boxed_kv_fleet(&stores);
-        client.put_batch(&pairs[..cut], &mut fleet);
+        client.put_batch(&pairs[..cut], &mut fleet).unwrap();
     }
     // Checkpoint every shard's session and the sharded client itself.
     for (s, store) in stores.iter().enumerate() {
@@ -315,7 +315,7 @@ fn cluster_shard_restart_and_blame() {
     let mut client: ShardedClient<Fp61> = snapshot_from_bytes(&client_snapshot).unwrap();
     {
         let mut fleet = sip::cluster::boxed_kv_fleet(&stores);
-        client.put_batch(&pairs[cut..], &mut fleet);
+        client.put_batch(&pairs[cut..], &mut fleet).unwrap();
         let fleet = sip::cluster::boxed_kv_fleet(&stores);
         let range = client.range(0, (1 << log_u) - 1, &fleet).unwrap();
         let sum = client.range_sum(0, (1 << log_u) - 1, &fleet).unwrap();
@@ -340,10 +340,10 @@ fn cluster_shard_restart_and_blame() {
     // corrupts reporting answers. Queries routed to it must be rejected
     // with Blame naming shard 1; shard 0 answers keep verifying.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng);
+    let mut client = ShardedClient::<Fp61>::new(log_u, shards, budget, &mut rng).unwrap();
     let mut honest_fleet =
         boxed_fleet::<Fp61, _>((0..shards).map(|_| CloudStore::new_sparse(log_u)));
-    client.put_batch(&pairs, &mut honest_fleet);
+    client.put_batch(&pairs, &mut honest_fleet).unwrap();
 
     let mut evil_shard1 = CloudStore::<Fp61>::new_sparse(log_u);
     let (lo1, _hi1) = plan.range(1);

@@ -146,12 +146,13 @@ fn field_fixtures<F: PrimeField>(tag: &str) -> Vec<Fixture> {
             heavy: 1,
         },
         &mut rng(salt + 12),
-    );
+    )
+    .unwrap();
     let mut fleet: Vec<Box<dyn KvServer<F>>> = vec![
         Box::new(CloudStore::<F>::new(8)),
         Box::new(CloudStore::<F>::new(8)),
     ];
-    sharded.put_batch(&[(3, 9), (200, 7)], &mut fleet);
+    sharded.put_batch(&[(3, 9), (200, 7)], &mut fleet).unwrap();
 
     let plan = ShardPlan::new(8, 4);
     let mut slde = ShardedLde::<F>::random(plan, &mut rng(salt + 13));
@@ -208,7 +209,7 @@ fn all_fixtures() -> Vec<Fixture> {
         &Dataset::<Fp61> {
             id: "golden-raw".into(),
             log_u: 8,
-            shard: Some(sip::wire::ShardSpec { index: 1, count: 2 }),
+            shard: Some(sip::wire::ShardSpec::new(1, 2)),
             data: DatasetData::Raw(fv),
         },
     ));
