@@ -14,6 +14,10 @@
 //! * `ingest+trace` / `fold+trace` — the same two paths with span tracing
 //!   live as well (the `--trace` deployment), against the same fully-dark
 //!   baseline, so the gate also covers tracing-enabled hot paths;
+//! * `ingest+scrape` — the ingest path while a live `sip-fleetobs`
+//!   scrape loop polls this process's own ops port on an aggressive
+//!   100 ms interval, against the same path with no scraper: what being
+//!   *watched* costs a serving prover (metrics stay on in both modes);
 //! * `snapshot` — how long one `/metrics` (Prometheus text) and one
 //!   `/stats` (JSON) rendering of the live registry takes, microseconds.
 //!
@@ -134,6 +138,63 @@ fn measure_fold(path: &'static str, trials: u32, log_u: u32, trace: bool) -> Ove
     })
 }
 
+/// The ingest pass again, but measured while a real fleet scraper polls
+/// this process's own ops port every 100 ms (attempts, timeouts and all)
+/// versus unwatched. Metrics stay enabled in both modes — the delta is
+/// purely what *being scraped* costs the serving hot path. The registry
+/// render and both HTTP round trips happen on ops/scraper threads, so on
+/// any multi-core box this should be deep inside the noise floor.
+fn measure_scrape(trials: u32, stream_exp: u32) -> Overhead {
+    use sip_fleetobs::{FleetConfig, FleetScraper, Target};
+
+    let params = LdeParams::new(2, 18);
+    let n = 1usize << stream_exp;
+    let stream = workloads::with_deletions(n, params.universe(), 0.2, 7);
+    let mut rng = StdRng::seed_from_u64(23);
+    let multi = MultiLdeEvaluator::<Fp61>::random(params, 4, &mut rng);
+    let pool = ProverPool::SERIAL;
+    let mut pass = || {
+        let mut e = multi.clone();
+        for batch in stream.chunks(4096) {
+            pool.ingest_batch(&mut e, batch);
+        }
+        std::hint::black_box(e.values());
+    };
+
+    sip_obs::set_enabled(true);
+    let ops = sip_obs::serve_ops("127.0.0.1:0").expect("bind ops listener");
+    let target = Target {
+        shard: 0,
+        replica: 0,
+        addr: ops.local_addr().to_string(),
+    };
+    let mut best = [0f64; 2]; // [unwatched, watched]
+    for trial in 0..trials.max(1) * 2 {
+        let watched = trial % 2 == 1;
+        let loop_handle = watched.then(|| {
+            let config = FleetConfig {
+                interval: Duration::from_millis(100),
+                ..FleetConfig::default()
+            };
+            FleetScraper::new(config, vec![target.clone()]).start()
+        });
+        let r = rate(n, &mut pass);
+        if let Some(h) = loop_handle {
+            h.shutdown();
+        }
+        let slot = &mut best[watched as usize];
+        *slot = slot.max(r);
+    }
+    ops.shutdown();
+    let [disabled, enabled] = best;
+    Overhead {
+        path: "ingest+scrape",
+        enabled,
+        disabled,
+        overhead_pct: (100.0 * (disabled - enabled) / disabled).max(0.0),
+    }
+}
+
 struct SnapshotPoint {
     prometheus_us: f64,
     json_us: f64,
@@ -181,6 +242,7 @@ fn main() {
         measure_fold("fold", trials, log_u, false),
         measure_ingest("ingest+trace", trials, stream_exp, true),
         measure_fold("fold+trace", trials, log_u, true),
+        measure_scrape(trials, stream_exp),
     ];
     for p in &points {
         println!(
@@ -244,6 +306,7 @@ fn main() {
             worst = match worst.path {
                 "ingest" => measure_ingest("ingest", trials * 2, stream_exp, false),
                 "ingest+trace" => measure_ingest("ingest+trace", trials * 2, stream_exp, true),
+                "ingest+scrape" => measure_scrape(trials * 2, stream_exp),
                 "fold" => measure_fold("fold", trials * 2, log_u, false),
                 _ => measure_fold("fold+trace", trials * 2, log_u, true),
             };

@@ -117,6 +117,34 @@ impl ReplicaPlan {
         debug_assert!(shard < self.shards() && replica < self.replicas);
         (shard * self.replicas + replica) as usize
     }
+
+    /// Inverse of [`Self::slot`]: the `(shard, replica)` coordinates of a
+    /// flat slot index.
+    pub fn slot_coords(&self, slot: usize) -> (u32, u32) {
+        debug_assert!(slot < self.slots());
+        let slot = slot as u32;
+        (slot / self.replicas, slot % self.replicas)
+    }
+
+    /// Pairs each slot's `(shard, replica)` coordinates with the matching
+    /// entry of a shard-major address list — the scrape-target inventory
+    /// a fleet observer (`sip-fleetobs --targets`) wants. `addrs` must
+    /// have exactly [`Self::slots`] entries.
+    pub fn fleet_targets<'a>(&self, addrs: &'a [String]) -> Vec<(u32, u32, &'a str)> {
+        assert_eq!(
+            addrs.len(),
+            self.slots(),
+            "one ops address per prover slot (shard-major)"
+        );
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(slot, addr)| {
+                let (shard, replica) = self.slot_coords(slot);
+                (shard, replica, addr.as_str())
+            })
+            .collect()
+    }
 }
 
 /// One replica's standing with the fleet.
@@ -897,6 +925,24 @@ pub fn spawn_replica_fleet<F: PrimeField>(
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
+
+    #[test]
+    fn slot_coords_inverts_slot_and_enumerates_fleet_targets() {
+        let plan = ReplicaPlan::validate(8, 3, 2).unwrap();
+        for shard in 0..plan.shards() {
+            for replica in 0..plan.replicas() {
+                let slot = plan.slot(shard, replica);
+                assert_eq!(plan.slot_coords(slot), (shard, replica));
+            }
+        }
+        let addrs: Vec<String> = (0..plan.slots()).map(|i| format!("h:{i}")).collect();
+        let targets = plan.fleet_targets(&addrs);
+        assert_eq!(targets.len(), 6);
+        // Shard-major: slot 3 is shard 1, replica 1.
+        assert_eq!(targets[3], (1, 1, "h:3"));
+        assert_eq!(targets[0], (0, 0, "h:0"));
+        assert_eq!(targets[5], (2, 1, "h:5"));
+    }
     use rand::SeedableRng;
     use sip_core::channel::{FaultPlan, FaultTransport, InMemoryTransport};
     use sip_field::Fp61;

@@ -1,0 +1,125 @@
+//! `sip-fleetobs` — the fleet aggregator daemon.
+//!
+//! Polls every configured prover's ops port on a jittered interval,
+//! maintains the fleet health model and SLO burn trackers, and serves
+//! the merged view on its own ops port:
+//!
+//! * `/fleet/metrics` — merged Prometheus text, per-prover series
+//!   relabelled `{shard, replica, prover}`
+//! * `/fleet/health` — the health model as JSON (what `sip-top` renders)
+//! * `/fleet/slo` — burn-rate status per declared objective
+//!
+//! plus the standard `/metrics`·`/stats`·`/trace` for the aggregator's
+//! own process. Runs until killed.
+
+use std::time::Duration;
+
+use sip_fleetobs::{serve_fleet_ops, FleetConfig, FleetScraper, HealthPolicy, Target};
+use sip_obs::{JsonlSink, Level, StderrSink};
+
+const USAGE: &str = "\
+usage: sip-fleetobs --targets LIST [options]
+
+  --targets LIST     comma-separated SHARD/REPLICA@HOST:PORT ops
+                     addresses of the provers to scrape (required)
+  --listen ADDR      fleet ops listener (default 127.0.0.1:9900; port 0
+                     picks a free port and prints it)
+  --interval MS      scrape interval, jittered ±10% (default 1000)
+  --stale-after MS   demote a failing replica's cached data to stale
+                     after this long (default 10000)
+  --down-after N     consecutive refused dials before down (default 1)
+  --log-json FILE    append events as JSONL to FILE
+  --verbose          log info-level events to stderr
+  -h, --help         this text
+";
+
+fn main() {
+    let mut targets: Option<Vec<Target>> = None;
+    let mut listen = "127.0.0.1:9900".to_string();
+    let mut config = FleetConfig::default();
+    let mut policy = HealthPolicy::default();
+    let mut verbose = false;
+    let mut log_json: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    let fail = |msg: &str| -> ! {
+        eprintln!("sip-fleetobs: {msg}\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--targets" => match Target::parse_list(&value("--targets")) {
+                Ok(t) => targets = Some(t),
+                Err(e) => fail(&e),
+            },
+            "--listen" => listen = value("--listen"),
+            "--interval" => match value("--interval").parse::<u64>() {
+                Ok(ms) => config.interval = Duration::from_millis(ms.max(50)),
+                Err(_) => fail("--interval wants milliseconds"),
+            },
+            "--stale-after" => match value("--stale-after").parse::<u64>() {
+                Ok(ms) => policy.stale_after_us = ms * 1000,
+                Err(_) => fail("--stale-after wants milliseconds"),
+            },
+            "--down-after" => match value("--down-after").parse::<u32>() {
+                Ok(n) => policy.down_after_misses = n.max(1),
+                Err(_) => fail("--down-after wants a count"),
+            },
+            "--log-json" => log_json = Some(value("--log-json")),
+            "--verbose" => verbose = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(targets) = targets else {
+        fail("--targets is required");
+    };
+    config.policy = policy;
+    if verbose {
+        sip_obs::add_sink(std::sync::Arc::new(StderrSink::new(Level::Info)));
+    }
+    if let Some(path) = log_json {
+        match JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(sink) => sip_obs::add_sink(std::sync::Arc::new(sink)),
+            Err(e) => fail(&format!("--log-json {path}: {e}")),
+        }
+    }
+
+    let scraper = FleetScraper::new(config, targets.clone());
+    let ops = match serve_fleet_ops(&listen, &scraper) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("cannot bind {listen}: {e}")),
+    };
+    // Stable stdout lines: tests and operators parse these.
+    println!(
+        "sip-fleetobs: fleet ops on http://{}/fleet/health ({} targets)",
+        ops.local_addr(),
+        targets.len()
+    );
+    println!(
+        "sip-fleetobs: scraping every {} ms: {}",
+        scraper.state().config.interval.as_millis(),
+        targets
+            .iter()
+            .map(|t| format!("{}/{}@{}", t.shard, t.replica, t.addr))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let _handle = scraper.start();
+    // The loop thread does all the work; park until killed. No graceful
+    // shutdown path: the process dies with SIGTERM/SIGKILL and the OS
+    // reclaims the sockets, which is exactly what the chaos tests do.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,145 @@
+//! `sip-top` — a live terminal dashboard over the prover fleet.
+//!
+//! Two modes share one renderer:
+//!
+//! * `--targets 0/0@h:p,0/1@h:p,…` — scrape the provers directly and
+//!   render the in-process fleet model.
+//! * `--fleet HOST:PORT` — read a running `sip-fleetobs` aggregator's
+//!   `/fleet/health` and render that (the dashboard stays this cheap: one
+//!   small GET per frame).
+//!
+//! `--once` prints a single frame and exits (scripts, tests); otherwise
+//! the screen redraws every `--interval` ms until interrupted. Plain
+//! ANSI only: colors when stdout is a terminal (or `--color`), never
+//! when piped.
+
+use std::io::IsTerminal;
+use std::time::Duration;
+
+use sip_fleetobs::{http_get, DashModel, FleetConfig, FleetScraper, Json, Target};
+
+const USAGE: &str = "\
+usage: sip-top (--targets LIST | --fleet ADDR) [options]
+
+modes:
+  --targets LIST   comma-separated SHARD/REPLICA@HOST:PORT ops addresses
+                   to scrape directly
+  --fleet ADDR     read /fleet/health from a running sip-fleetobs
+
+options:
+  --interval MS    refresh/scrape interval (default 1000)
+  --once           print one frame and exit
+  --color          force ANSI colors on
+  --no-color       force ANSI colors off
+  -h, --help       this text
+";
+
+struct Args {
+    targets: Option<Vec<Target>>,
+    fleet: Option<String>,
+    interval: Duration,
+    once: bool,
+    color: Option<bool>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        targets: None,
+        fleet: None,
+        interval: Duration::from_millis(1000),
+        once: false,
+        color: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--targets" => args.targets = Some(Target::parse_list(&value("--targets")?)?),
+            "--fleet" => args.fleet = Some(value("--fleet")?),
+            "--interval" => {
+                let ms: u64 = value("--interval")?
+                    .parse()
+                    .map_err(|_| "--interval wants milliseconds".to_string())?;
+                args.interval = Duration::from_millis(ms.max(50));
+            }
+            "--once" => args.once = true,
+            "--color" => args.color = Some(true),
+            "--no-color" => args.color = Some(false),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match (&args.targets, &args.fleet) {
+        (Some(_), Some(_)) => Err("--targets and --fleet are mutually exclusive".into()),
+        (None, None) => Err("one of --targets or --fleet is required".into()),
+        _ => Ok(args),
+    }
+}
+
+/// One frame's model, from whichever source this run uses.
+fn frame(scraper: Option<&FleetScraper>, fleet: Option<&str>) -> DashModel {
+    let doc = match (scraper, fleet) {
+        (Some(s), _) => {
+            s.scrape_once();
+            let json = s.state().health_json(s.now_us());
+            Json::parse(&json)
+        }
+        (None, Some(addr)) => match http_get(addr, "/fleet/health", Duration::from_secs(2)) {
+            Ok(body) => Json::parse(&body),
+            Err(e) => {
+                eprintln!("sip-top: {addr}: {e}");
+                None
+            }
+        },
+        _ => None,
+    };
+    doc.as_ref()
+        .map(DashModel::from_health_json)
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sip-top: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    // Keep the dashboard's own process out of the picture: no sampled
+    // timers, no event noise on stderr below warnings.
+    sip_obs::set_timer_sample(0);
+    let color = args
+        .color
+        .unwrap_or_else(|| std::io::stdout().is_terminal());
+    let scraper = args.targets.map(|targets| {
+        let config = FleetConfig {
+            interval: args.interval,
+            ..FleetConfig::default()
+        };
+        FleetScraper::new(config, targets)
+    });
+    if args.once {
+        // Two quick rounds so qps (a delta between scrapes) is real.
+        if let Some(s) = &scraper {
+            s.scrape_once();
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        print!(
+            "{}",
+            frame(scraper.as_ref(), args.fleet.as_deref()).render(color)
+        );
+        return;
+    }
+    loop {
+        let model = frame(scraper.as_ref(), args.fleet.as_deref());
+        // Clear screen, home cursor, draw.
+        print!("\x1b[2J\x1b[H{}", model.render(color));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(args.interval);
+    }
+}

@@ -1,0 +1,371 @@
+//! The fleet health model: a per-replica state machine driven by scrape
+//! outcomes, and per-shard quorum states derived from the replica plan.
+//!
+//! Time is an explicit `now_us` parameter everywhere — the state machine
+//! never reads a clock, so tests drive it deterministically and the
+//! scrape loop injects its own monotonic epoch.
+//!
+//! The state semantics mirror the protocol's fault attribution (PR 8/9):
+//! *Down* means nothing is listening — the replica has crashed and its
+//! shard should fail over; *Degraded* means a process is there but
+//! misbehaving (stalls, garbage) — the scraper keeps what it last
+//! parsed; *Stale* means the misbehaviour has outlived
+//! [`HealthPolicy::stale_after_us`] and the cached numbers can no longer
+//! be trusted to describe the present.
+
+use crate::scrape::{FaultClass, ScrapeError};
+
+/// Observed state of one replica's ops surface.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Last scrape round-tripped and parsed completely.
+    Up,
+    /// Recent scrapes failed or half-failed, but the last good data is
+    /// younger than the staleness horizon.
+    Degraded,
+    /// No complete scrape within the staleness horizon (or never).
+    Stale,
+    /// The dial itself fails: nothing is listening at the target.
+    Down,
+}
+
+impl ReplicaState {
+    /// Stable lowercase label (metrics, JSON, dashboard).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicaState::Up => "up",
+            ReplicaState::Degraded => "degraded",
+            ReplicaState::Stale => "stale",
+            ReplicaState::Down => "down",
+        }
+    }
+
+    /// Gauge encoding for `sip_fleet_replica_health`: 3=Up, 2=Degraded,
+    /// 1=Stale, 0=Down — ordered so "bigger is healthier" holds in
+    /// dashboards.
+    pub fn gauge(self) -> i64 {
+        match self {
+            ReplicaState::Up => 3,
+            ReplicaState::Degraded => 2,
+            ReplicaState::Stale => 1,
+            ReplicaState::Down => 0,
+        }
+    }
+
+    /// Whether the replica is presumed able to serve queries. Down and
+    /// Stale are not: one is known-dead, the other unobservable — the
+    /// quorum model treats both as absent.
+    pub fn serving(self) -> bool {
+        matches!(self, ReplicaState::Up | ReplicaState::Degraded)
+    }
+}
+
+/// Thresholds for the replica state machine.
+#[derive(Copy, Clone, Debug)]
+pub struct HealthPolicy {
+    /// How long the last complete scrape may age before a failing replica
+    /// is demoted from Degraded to Stale.
+    pub stale_after_us: u64,
+    /// Consecutive unreachable dials before declaring Down. 1 is right
+    /// for a LAN fleet where a refused dial means the process is gone;
+    /// raise it on lossier networks.
+    pub down_after_misses: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            stale_after_us: 10_000_000, // 10 s
+            down_after_misses: 1,
+        }
+    }
+}
+
+/// What one scrape attempt (all retries exhausted) produced.
+#[derive(Clone, Debug)]
+pub enum ScrapeOutcome {
+    /// Everything fetched and parsed.
+    Full,
+    /// `/metrics` parsed but a secondary fetch (e.g. `/stats`) failed —
+    /// the replica answers, imperfectly.
+    Partial(ScrapeError),
+    /// Nothing usable came back.
+    Failed(ScrapeError),
+}
+
+/// Rolling health for one replica.
+#[derive(Clone, Debug)]
+pub struct ReplicaHealth {
+    state: ReplicaState,
+    /// `now_us` of the last `Full` outcome; `None` until the first one.
+    last_full_us: Option<u64>,
+    /// Consecutive unreachable-class failures.
+    unreachable_misses: u32,
+    /// The error behind the current non-Up state, for display.
+    last_error: Option<ScrapeError>,
+}
+
+impl Default for ReplicaHealth {
+    fn default() -> Self {
+        ReplicaHealth {
+            // Never scraped: explicitly unobservable, not optimistically Up.
+            state: ReplicaState::Stale,
+            last_full_us: None,
+            unreachable_misses: 0,
+            last_error: None,
+        }
+    }
+}
+
+impl ReplicaHealth {
+    /// Current state.
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// Microseconds since the last complete scrape, or `None` if there
+    /// has never been one.
+    pub fn staleness_us(&self, now_us: u64) -> Option<u64> {
+        self.last_full_us.map(|t| now_us.saturating_sub(t))
+    }
+
+    /// The error behind the current non-Up state.
+    pub fn last_error(&self) -> Option<&ScrapeError> {
+        self.last_error.as_ref()
+    }
+
+    /// Feeds one scrape outcome through the state machine and returns the
+    /// new state.
+    pub fn on_scrape(
+        &mut self,
+        outcome: &ScrapeOutcome,
+        now_us: u64,
+        policy: &HealthPolicy,
+    ) -> ReplicaState {
+        match outcome {
+            ScrapeOutcome::Full => {
+                self.state = ReplicaState::Up;
+                self.last_full_us = Some(now_us);
+                self.unreachable_misses = 0;
+                self.last_error = None;
+            }
+            ScrapeOutcome::Partial(err) => {
+                // Metrics landed, so the data plane is current even though
+                // the replica is misbehaving: refresh the staleness clock.
+                self.state = ReplicaState::Degraded;
+                self.last_full_us = Some(now_us);
+                self.unreachable_misses = 0;
+                self.last_error = Some(err.clone());
+            }
+            ScrapeOutcome::Failed(err) => {
+                if err.class() == FaultClass::Unreachable {
+                    self.unreachable_misses += 1;
+                } else {
+                    self.unreachable_misses = 0;
+                }
+                self.last_error = Some(err.clone());
+                self.state = if self.unreachable_misses >= policy.down_after_misses {
+                    ReplicaState::Down
+                } else {
+                    let aged_out = match self.last_full_us {
+                        None => true,
+                        Some(t) => now_us.saturating_sub(t) > policy.stale_after_us,
+                    };
+                    if aged_out {
+                        ReplicaState::Stale
+                    } else {
+                        ReplicaState::Degraded
+                    }
+                };
+            }
+        }
+        self.state
+    }
+}
+
+/// Quorum health of one shard, derived from its replicas.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Every replica is Up.
+    Full,
+    /// At least one replica is serving, but not all are Up — failover
+    /// capacity is reduced.
+    Degraded,
+    /// No replica is serving: queries against this shard will fail.
+    Unavailable,
+}
+
+impl ShardState {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardState::Full => "full",
+            ShardState::Degraded => "degraded",
+            ShardState::Unavailable => "unavailable",
+        }
+    }
+
+    /// Gauge encoding for `sip_fleet_shard_health`: 2=Full, 1=Degraded,
+    /// 0=Unavailable.
+    pub fn gauge(self) -> i64 {
+        match self {
+            ShardState::Full => 2,
+            ShardState::Degraded => 1,
+            ShardState::Unavailable => 0,
+        }
+    }
+
+    /// Folds replica states into the shard's quorum state.
+    pub fn from_replicas(states: impl IntoIterator<Item = ReplicaState>) -> ShardState {
+        let mut any = false;
+        let mut serving = 0usize;
+        let mut up = 0usize;
+        let mut total = 0usize;
+        for s in states {
+            any = true;
+            total += 1;
+            if s.serving() {
+                serving += 1;
+            }
+            if s == ReplicaState::Up {
+                up += 1;
+            }
+        }
+        if !any || serving == 0 {
+            ShardState::Unavailable
+        } else if up == total {
+            ShardState::Full
+        } else {
+            ShardState::Degraded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape::ScrapeError;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            stale_after_us: 1_000,
+            down_after_misses: 1,
+        }
+    }
+
+    fn garbage() -> ScrapeOutcome {
+        ScrapeOutcome::Failed(ScrapeError::Garbage { detail: "x".into() })
+    }
+
+    fn unreachable() -> ScrapeOutcome {
+        ScrapeOutcome::Failed(ScrapeError::Unreachable { detail: "x".into() })
+    }
+
+    #[test]
+    fn starts_stale_until_first_full_scrape() {
+        let h = ReplicaHealth::default();
+        assert_eq!(h.state(), ReplicaState::Stale);
+        assert_eq!(h.staleness_us(100), None);
+        let mut h = ReplicaHealth::default();
+        assert_eq!(
+            h.on_scrape(&ScrapeOutcome::Full, 50, &policy()),
+            ReplicaState::Up
+        );
+        assert_eq!(h.staleness_us(80), Some(30));
+    }
+
+    #[test]
+    fn unreachable_goes_down_immediately_at_default_threshold() {
+        let mut h = ReplicaHealth::default();
+        h.on_scrape(&ScrapeOutcome::Full, 0, &policy());
+        assert_eq!(
+            h.on_scrape(&unreachable(), 10, &policy()),
+            ReplicaState::Down
+        );
+        // Recovery: the process came back.
+        assert_eq!(
+            h.on_scrape(&ScrapeOutcome::Full, 20, &policy()),
+            ReplicaState::Up
+        );
+    }
+
+    #[test]
+    fn down_needs_consecutive_misses_when_configured() {
+        let p = HealthPolicy {
+            down_after_misses: 3,
+            ..policy()
+        };
+        let mut h = ReplicaHealth::default();
+        h.on_scrape(&ScrapeOutcome::Full, 0, &p);
+        assert_eq!(h.on_scrape(&unreachable(), 10, &p), ReplicaState::Degraded);
+        assert_eq!(h.on_scrape(&unreachable(), 20, &p), ReplicaState::Degraded);
+        assert_eq!(h.on_scrape(&unreachable(), 30, &p), ReplicaState::Down);
+        // A garbage answer in between resets the consecutive-dial count:
+        // something IS listening.
+        let mut h = ReplicaHealth::default();
+        h.on_scrape(&ScrapeOutcome::Full, 0, &p);
+        h.on_scrape(&unreachable(), 10, &p);
+        h.on_scrape(&unreachable(), 20, &p);
+        assert_eq!(h.on_scrape(&garbage(), 30, &p), ReplicaState::Degraded);
+        assert_eq!(h.on_scrape(&unreachable(), 40, &p), ReplicaState::Degraded);
+    }
+
+    #[test]
+    fn garbage_degrades_then_ages_to_stale() {
+        let mut h = ReplicaHealth::default();
+        h.on_scrape(&ScrapeOutcome::Full, 0, &policy());
+        // Within the staleness horizon: degraded, data still fresh-ish.
+        assert_eq!(
+            h.on_scrape(&garbage(), 500, &policy()),
+            ReplicaState::Degraded
+        );
+        // Past it: stale.
+        assert_eq!(
+            h.on_scrape(&garbage(), 1_600, &policy()),
+            ReplicaState::Stale
+        );
+        assert!(h.last_error().is_some());
+    }
+
+    #[test]
+    fn partial_keeps_the_staleness_clock_fresh() {
+        let mut h = ReplicaHealth::default();
+        h.on_scrape(&ScrapeOutcome::Full, 0, &policy());
+        let partial = ScrapeOutcome::Partial(ScrapeError::Http { status: 500 });
+        assert_eq!(
+            h.on_scrape(&partial, 900, &policy()),
+            ReplicaState::Degraded
+        );
+        // The partial refreshed last_full: a failure shortly after is
+        // still Degraded, not Stale.
+        assert_eq!(
+            h.on_scrape(&garbage(), 1_500, &policy()),
+            ReplicaState::Degraded
+        );
+    }
+
+    #[test]
+    fn shard_quorum_states() {
+        use ReplicaState::*;
+        assert_eq!(ShardState::from_replicas([Up, Up]), ShardState::Full);
+        assert_eq!(
+            ShardState::from_replicas([Up, Degraded]),
+            ShardState::Degraded
+        );
+        assert_eq!(ShardState::from_replicas([Up, Down]), ShardState::Degraded);
+        assert_eq!(
+            ShardState::from_replicas([Degraded, Degraded]),
+            ShardState::Degraded
+        );
+        assert_eq!(
+            ShardState::from_replicas([Down, Stale]),
+            ShardState::Unavailable
+        );
+        assert_eq!(ShardState::from_replicas([]), ShardState::Unavailable);
+        assert_eq!(ShardState::from_replicas([Up]), ShardState::Full);
+        // Ordering sanity for the gauges.
+        assert!(Up.gauge() > Degraded.gauge());
+        assert!(Degraded.gauge() > Stale.gauge());
+        assert!(Stale.gauge() > Down.gauge());
+    }
+}

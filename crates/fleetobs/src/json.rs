@@ -1,0 +1,312 @@
+//! A minimal recursive-descent JSON reader for scraped `/stats` bodies.
+//!
+//! The input comes from an untrusted process, so the parser is bounded:
+//! nesting past [`MAX_DEPTH`] or any syntax error returns `None` — a
+//! prover answering broken JSON is a *degraded* target, not a crash in
+//! the aggregator. Only what the fleet model needs is supported: no
+//! serialization, no number fidelity beyond `f64`.
+
+use std::collections::BTreeMap;
+
+/// Nesting cap; a hostile body of `[[[[…` stops here instead of
+/// overflowing the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, widened to `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is not preserved.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses `text` into a value, or `None` on any syntax error, trailing
+    /// garbage, or nesting past [`MAX_DEPTH`].
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Member `key` of an object, if this is an object and has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Walks a path of object keys.
+    pub fn path(&self, keys: &[&str]) -> Option<&Json> {
+        keys.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// This value as a number (numbers only — no coercion).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer, truncated.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, expected: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_obj(bytes, pos, depth),
+        b'[' => parse_arr(bytes, pos, depth),
+        b'"' => parse_str(bytes, pos).map(Json::Str),
+        b't' => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        b'n' => parse_lit(bytes, pos, b"null", Json::Null),
+        _ => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Json) -> Option<Json> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    eat(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).ok();
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes.get(*pos)?;
+                *pos += 1;
+                match esc {
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        // Keep the aggregator simple: decode BMP escapes,
+                        // map surrogates to U+FFFD rather than erroring.
+                        let hex = bytes.get(*pos..*pos + 4)?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => out.push(*other),
+                }
+            }
+            &b => {
+                *pos += 1;
+                out.push(b);
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    eat(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    eat(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        eat(bytes, pos, b':')?;
+        map.insert(key, parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_stats_shaped_document() {
+        let doc = r#"{
+            "counters": {"sip_server_frames_total": 12, "labelled{msg=\"ingest\"}": 3},
+            "histograms": {"t_us": {"count": 5, "sum": 900.5, "p50": 128.0, "buckets": [1, 2, 2]}},
+            "ops": {"metrics_addr": "127.0.0.1:4567"},
+            "nested": [1, -2.5, 1e3, true, false, null, "s\u0041"]
+        }"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(
+            v.path(&["counters", "sip_server_frames_total"])
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            v.path(&["histograms", "t_us", "sum"])
+                .and_then(Json::as_f64),
+            Some(900.5)
+        );
+        assert_eq!(
+            v.path(&["ops", "metrics_addr"]).and_then(Json::as_str),
+            Some("127.0.0.1:4567")
+        );
+        let arr = v.get("nested").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 7);
+        assert_eq!(arr[2], Json::Num(1000.0));
+        assert_eq!(arr[6], Json::Str("sA".into()));
+    }
+
+    #[test]
+    fn hostile_documents_return_none_never_panic() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "\"unterminated",
+            "12 34",
+            "{\"a\": 1} trailing",
+            "nul",
+            "\"\\u12\"",  // truncated unicode escape
+            "\u{0}\u{1}", // binary
+        ] {
+            assert!(Json::parse(bad).is_none(), "{bad:?}");
+        }
+        // Surrogate escapes degrade to U+FFFD rather than failing the doc.
+        assert_eq!(
+            Json::parse("\"\\uD800\"").unwrap(),
+            Json::Str("\u{FFFD}".into())
+        );
+    }
+
+    #[test]
+    fn depth_cap_stops_nesting_bombs() {
+        let bomb = "[".repeat(MAX_DEPTH * 4);
+        assert!(Json::parse(&bomb).is_none());
+        let deep_ok = format!("{}1{}", "[".repeat(10), "]".repeat(10));
+        assert!(Json::parse(&deep_ok).is_some());
+    }
+
+    #[test]
+    fn empty_containers_and_whitespace() {
+        assert_eq!(Json::parse(" { } ").unwrap(), Json::Obj(BTreeMap::new()));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse(" -0.5 ").unwrap(), Json::Num(-0.5));
+    }
+}

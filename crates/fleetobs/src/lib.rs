@@ -1,0 +1,57 @@
+//! `sip-fleetobs`: fleet-wide observability for the prover fleet — a
+//! scraper that polls every prover's ops port, a health model over the
+//! replica plan, SLO burn-rate alerting, and the `sip-top` dashboard.
+//!
+//! PR 6 gave each prover a per-process ops surface (`sip-obs`); PR 9
+//! replicated the fleet. This crate closes the loop at the fleet level,
+//! and the paper's trust model shapes every piece of it: **provers are
+//! untrusted**, so their telemetry is untrusted too. The scraper treats
+//! each target as potentially dead, stalled, or hostile — every fetch is
+//! bounded in bytes and time, every parse failure is a *typed* staleness
+//! fed to the health model, and nothing a scraped process says can panic
+//! the aggregator or poison another replica's series. (Telemetry informs
+//! operations; *correctness* still rests solely on the verifier's
+//! algebraic checks — a lying `/metrics` can at worst waste an
+//! operator's attention.)
+//!
+//! The pipeline, module by module:
+//!
+//! * [`scrape`] — bounded HTTP fetch + strict Prometheus text parser,
+//!   with [`ScrapeError`] classifying every failure (unreachable /
+//!   stalled / garbage) and mapping onto [`sip_core`]'s `Rejection` so
+//!   the fleet's [`RetryPolicy`](sip_core::channel::RetryPolicy) drives
+//!   redials with the same transient-only discipline as the verifier.
+//! * [`json`] — a bounded JSON reader for `/stats` bodies.
+//! * [`health`] — the per-replica Up/Degraded/Stale/Down state machine
+//!   and per-shard quorum states, all driven by injected time.
+//! * [`slo`] — declarative objectives reduced to bad-fractions over
+//!   sliding windows, with multi-window burn-rate alerting.
+//! * [`fleet`] — [`FleetScraper`]: the jittered scrape loop, series
+//!   merging keyed `{shard, replica, prover}`, and the fleet rollup.
+//! * [`ops`] — [`serve_fleet_ops`]: `/fleet/metrics`, `/fleet/health`,
+//!   `/fleet/slo` mounted over the standard `sip-obs` listener.
+//! * [`render`] — the [`DashModel`] both `sip-top` modes render.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod health;
+pub mod json;
+pub mod ops;
+pub mod render;
+pub mod scrape;
+pub mod slo;
+
+pub use fleet::{
+    scrape_target, FleetConfig, FleetLoopHandle, FleetScraper, FleetState, Rollup, ScrapeResult,
+    Target, TargetStatus,
+};
+pub use health::{HealthPolicy, ReplicaHealth, ReplicaState, ScrapeOutcome, ShardState};
+pub use json::Json;
+pub use ops::serve_fleet_ops;
+pub use render::{DashModel, DashRollup, DashRow, DashShard, DashSlo};
+pub use scrape::{
+    http_get, parse_prometheus, FaultClass, Sample, ScrapeError, MAX_SCRAPE_BODY_BYTES,
+};
+pub use slo::{SloKind, SloSpec, SloStatus, SloTracker};

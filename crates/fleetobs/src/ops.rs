@@ -1,0 +1,98 @@
+//! The aggregator's own ops surface: [`serve_fleet_ops`] mounts
+//! `/fleet/metrics`, `/fleet/health`, and `/fleet/slo` on top of the
+//! standard `sip-obs` listener, so one port serves both the aggregator's
+//! process metrics (`/metrics`) and the merged fleet view (`/fleet/*`).
+//!
+//! The routes only ever *read* the shared [`FleetState`](crate::FleetState) under its
+//! poison-safe lock — a hostile client hammering `/fleet/health` cannot
+//! perturb the scrape loop, and a panicked scrape round cannot wedge the
+//! ops surface.
+
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+use sip_obs::{serve_ops_with, OpsHandle};
+
+use crate::fleet::FleetScraper;
+
+/// Binds `addr` and serves the fleet view alongside the standard ops
+/// endpoints. The returned handle works like [`sip_obs::serve_ops`]'s:
+/// the bound address is on it, and `shutdown` joins the listener.
+pub fn serve_fleet_ops<A: ToSocketAddrs>(
+    addr: A,
+    scraper: &FleetScraper,
+) -> std::io::Result<OpsHandle> {
+    let scraper = scraper.clone();
+    serve_ops_with(
+        addr,
+        Arc::new(move |path| match path {
+            "/fleet/metrics" => Some((
+                "200 OK",
+                "text/plain; version=0.0.4",
+                scraper.state().render_fleet_metrics(),
+            )),
+            "/fleet/health" | "/fleet/health.json" => Some((
+                "200 OK",
+                "application/json",
+                scraper.state().health_json(scraper.now_us()),
+            )),
+            "/fleet/slo" | "/fleet/slo.json" => Some((
+                "200 OK",
+                "application/json",
+                scraper.state().slo_json(scraper.now_us()),
+            )),
+            "/fleet" | "/fleet/" => Some((
+                "200 OK",
+                "text/plain",
+                "sip fleet endpoints: /fleet/metrics (merged Prometheus text), \
+                 /fleet/health (JSON), /fleet/slo (JSON)\n"
+                    .into(),
+            )),
+            _ => None,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, Target};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes());
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn fleet_routes_serve_alongside_defaults() {
+        let scraper = FleetScraper::new(
+            FleetConfig::default(),
+            vec![Target {
+                shard: 0,
+                replica: 0,
+                addr: "127.0.0.1:1".into(), // never scraped in this test
+            }],
+        );
+        let handle = serve_fleet_ops("127.0.0.1:0", &scraper).unwrap();
+        let addr = handle.local_addr();
+        let health = get(addr, "/fleet/health");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        assert!(health.contains("\"shards\""), "{health}");
+        let slo = get(addr, "/fleet/slo");
+        assert!(slo.contains("\"slos\""), "{slo}");
+        let metrics = get(addr, "/fleet/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+        // The built-in endpoints still answer underneath.
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.0 200"));
+        assert!(get(addr, "/stats").contains("\"counters\""));
+        assert!(get(addr, "/fleet/nope").starts_with("HTTP/1.0 404"));
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,502 @@
+//! One scrape: a bounded HTTP/1.0 GET against a prover's ops port, and a
+//! strict parser for the Prometheus text it answers.
+//!
+//! The target is **untrusted** — it may be dead, stalled, compromised, or
+//! replaced by something hostile. Every failure mode therefore lands in a
+//! typed [`ScrapeError`] the health model can reason about, never a panic
+//! and never an unbounded read: bodies are capped at
+//! [`MAX_SCRAPE_BODY_BYTES`], sockets run under a deadline, and a
+//! response that fails to parse is *data about the target's health*, not
+//! an exception.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sip_core::error::{IoFault, Rejection};
+use sip_obs::HISTOGRAM_BUCKETS;
+
+/// Cap on one scraped response (headers + body). A prover's exposition is
+/// a few KiB; anything near this limit is hostile or broken.
+pub const MAX_SCRAPE_BODY_BYTES: usize = 4 << 20;
+
+/// Cap on parsed samples per exposition, against a hostile target that
+/// streams metric lines to balloon the aggregator's memory.
+pub const MAX_SAMPLES: usize = 100_000;
+
+/// How one scrape of one target failed — the typed staleness the health
+/// model consumes. Grouped into three fault classes by [`Self::class`]:
+/// *unreachable* (nothing listening — the process is gone), *stalled*
+/// (listening but not answering in time), and *garbage* (answering, but
+/// not with a metrics exposition).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScrapeError {
+    /// The dial failed outright: connection refused or the address does
+    /// not resolve. Nothing is listening — the strongest down signal.
+    Unreachable {
+        /// The underlying error's message.
+        detail: String,
+    },
+    /// Connected, but the target went silent past the IO deadline (or cut
+    /// the connection before a full header arrived).
+    Stalled {
+        /// What was being waited on when the deadline hit.
+        detail: String,
+    },
+    /// The target answered HTTP, but not `200`.
+    Http {
+        /// The status code it sent instead.
+        status: u16,
+    },
+    /// The response exceeded [`MAX_SCRAPE_BODY_BYTES`] and was abandoned.
+    Oversized {
+        /// The cap that was hit.
+        limit: usize,
+    },
+    /// The body arrived but failed to parse as what the endpoint is
+    /// supposed to emit.
+    Garbage {
+        /// First offence, excerpted.
+        detail: String,
+    },
+}
+
+/// The three fault classes the health state machine distinguishes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// No listener: the process (or its host) is gone.
+    Unreachable,
+    /// A listener that will not answer in time.
+    Stalled,
+    /// A listener answering the wrong thing.
+    Garbage,
+}
+
+impl ScrapeError {
+    /// Which fault class this error belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            ScrapeError::Unreachable { .. } => FaultClass::Unreachable,
+            ScrapeError::Stalled { .. } => FaultClass::Stalled,
+            ScrapeError::Http { .. }
+            | ScrapeError::Oversized { .. }
+            | ScrapeError::Garbage { .. } => FaultClass::Garbage,
+        }
+    }
+
+    /// Stable lowercase label for metrics (`sip_fleet_scrapes_total{outcome=…}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScrapeError::Unreachable { .. } => "unreachable",
+            ScrapeError::Stalled { .. } => "stalled",
+            ScrapeError::Http { .. } => "http",
+            ScrapeError::Oversized { .. } => "oversized",
+            ScrapeError::Garbage { .. } => "garbage",
+        }
+    }
+
+    /// The equivalent [`Rejection`], so the scrape loop can run under the
+    /// fleet's [`RetryPolicy`](sip_core::channel::RetryPolicy): dial and
+    /// deadline faults are transient (redial with backoff), garbage is
+    /// not — a process serving nonsense will serve nonsense again, and
+    /// hammering it buys nothing.
+    pub fn rejection(&self) -> Rejection {
+        match self {
+            ScrapeError::Unreachable { detail } => Rejection::Io {
+                fault: IoFault::Refused,
+                detail: detail.clone(),
+            },
+            ScrapeError::Stalled { detail } => Rejection::Io {
+                fault: IoFault::TimedOut,
+                detail: detail.clone(),
+            },
+            other => Rejection::MalformedAnswer {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Unreachable { detail } => write!(f, "unreachable: {detail}"),
+            ScrapeError::Stalled { detail } => write!(f, "stalled: {detail}"),
+            ScrapeError::Http { status } => write!(f, "http status {status}"),
+            ScrapeError::Oversized { limit } => write!(f, "response exceeded {limit} bytes"),
+            ScrapeError::Garbage { detail } => write!(f, "unparseable body: {detail}"),
+        }
+    }
+}
+
+/// Issues one bounded `GET path` against `addr` and returns the body.
+///
+/// HTTP/1.0, `Connection: close` semantics: the body ends when the peer
+/// closes, which is exactly what [`sip_obs::serve_ops`] speaks. Reads and
+/// writes run under `timeout`; the body is capped at
+/// [`MAX_SCRAPE_BODY_BYTES`].
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<String, ScrapeError> {
+    let sock_addr: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| ScrapeError::Unreachable {
+            detail: format!("{addr}: {e}"),
+        })?
+        .next()
+        .ok_or_else(|| ScrapeError::Unreachable {
+            detail: format!("{addr}: no address"),
+        })?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock_addr, timeout).map_err(|e| ScrapeError::Unreachable {
+            detail: format!("{addr}: {e}"),
+        })?;
+    let stalled = |what: &str| ScrapeError::Stalled {
+        detail: format!("{addr}: {what}"),
+    };
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|_| stalled("socket options"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: sip-fleetobs\r\n\r\n").as_bytes())
+        .map_err(|_| stalled("request write"))?;
+    let mut raw = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if raw.len() + n > MAX_SCRAPE_BODY_BYTES {
+                    return Err(ScrapeError::Oversized {
+                        limit: MAX_SCRAPE_BODY_BYTES,
+                    });
+                }
+                raw.extend_from_slice(&chunk[..n]);
+            }
+            Err(_) => {
+                // Timeout or reset mid-body. A complete header with a
+                // truncated body is still garbage-class (the peer *was*
+                // answering); no header at all is a stall.
+                if !raw.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return Err(stalled("response read"));
+                }
+                return Err(ScrapeError::Garbage {
+                    detail: format!("{addr}: body truncated by reset/timeout"),
+                });
+            }
+        }
+    }
+    let text = String::from_utf8(raw).map_err(|_| ScrapeError::Garbage {
+        detail: format!("{addr}: non-UTF-8 response"),
+    })?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        if text.is_empty() {
+            return Err(stalled("peer closed without answering"));
+        }
+        return Err(ScrapeError::Garbage {
+            detail: format!("{addr}: no header/body separator"),
+        });
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ScrapeError::Garbage {
+            detail: format!("{addr}: bad status line {status_line:?}"),
+        })?;
+    if status != 200 {
+        return Err(ScrapeError::Http { status });
+    }
+    Ok(body.to_string())
+}
+
+/// One parsed metric line: base name, label pairs, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms, includes the `_bucket`/`_sum`/`_count`
+    /// suffix exactly as exposed).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition **strictly**: every non-comment,
+/// non-blank line must be a well-formed sample, or the whole document is
+/// [`ScrapeError::Garbage`] — a half-parseable exposition from an
+/// untrusted process is not worth aggregating, and silently dropping
+/// lines would turn tampering into invisible gaps.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ScrapeError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if out.len() >= MAX_SAMPLES {
+            return Err(ScrapeError::Oversized { limit: MAX_SAMPLES });
+        }
+        out.push(parse_sample(line).ok_or_else(|| ScrapeError::Garbage {
+            detail: format!("bad metric line {:?}", &line[..line.len().min(80)]),
+        })?);
+    }
+    Ok(out)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (name_and_labels, value) = match line.rfind('}') {
+        Some(close) => (&line[..=close], line[close + 1..].trim()),
+        None => {
+            let sp = line.find(char::is_whitespace)?;
+            (&line[..sp], line[sp..].trim())
+        }
+    };
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().ok()?,
+    };
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if !valid_name(&name) {
+        return None;
+    }
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parses `k="v",k2="v2"` with `\\` and `\"` escapes in values.
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return None;
+        }
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '\\' => {
+                    let (_, esc) = chars.next()?;
+                    value.push(match esc {
+                        'n' => '\n',
+                        other => other,
+                    });
+                }
+                '"' => break i + 1,
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = &rest[after_quote..];
+        rest = match rest.strip_prefix(',') {
+            Some(r) => r.trim_start(),
+            None if rest.is_empty() => rest,
+            None => return None,
+        };
+    }
+    Some(labels)
+}
+
+/// Sums every sample named `name` (across all label sets).
+pub fn sum_by_name(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Reassembles a scraped histogram `base` into per-bucket (non-cumulative)
+/// counts aligned to [`sip_obs::HISTOGRAM_BUCKETS`]' log₂ layout, plus
+/// `(count, sum)`. Bucket series from different label sets (e.g. per-shard
+/// wait histograms) are merged by summing per `le` bound. Unknown or
+/// non-power-of-two bounds are folded into the covering log₂ bucket, so a
+/// foreign exposition degrades to a coarser estimate instead of an error.
+pub fn histogram_buckets(samples: &[Sample], base: &str) -> Option<(Vec<u64>, u64, f64)> {
+    let bucket_name = format!("{base}_bucket");
+    let mut cumulative: Vec<(f64, f64)> = Vec::new(); // (le, summed cumulative)
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let le = match s.label("le")? {
+            "+Inf" => f64::INFINITY,
+            v => v.parse().ok()?,
+        };
+        match cumulative.iter_mut().find(|(b, _)| *b == le) {
+            Some((_, c)) => *c += s.value,
+            None => cumulative.push((le, s.value)),
+        }
+    }
+    if cumulative.is_empty() {
+        return None;
+    }
+    cumulative.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    let mut prev = 0.0f64;
+    for (le, cum) in &cumulative {
+        let in_bucket = (cum - prev).max(0.0) as u64;
+        prev = *cum;
+        let idx = if le.is_infinite() || *le >= (1u64 << (HISTOGRAM_BUCKETS - 2)) as f64 {
+            HISTOGRAM_BUCKETS - 1
+        } else if *le <= 1.0 {
+            0
+        } else {
+            // Covering log₂ bucket: smallest i with 2^i ≥ le.
+            (le.log2().ceil() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        buckets[idx] += in_bucket;
+    }
+    let count = sum_by_name(samples, &format!("{base}_count")) as u64;
+    let sum = sum_by_name(samples, &format!("{base}_sum"));
+    Some((buckets, count, sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_obs_exposition_shape() {
+        let text = "\
+# HELP sip_server_frames_total Wire frames received across all sessions\n\
+# TYPE sip_server_frames_total counter\n\
+sip_server_frames_total 42\n\
+sip_server_msg_total{msg=\"ingest\"} 3\n\
+sip_server_msg_total{msg=\"a\\\"b\\\\c\"} 1\n\
+t_us_bucket{le=\"1\"} 2\n\
+t_us_bucket{le=\"+Inf\"} 5\n\
+t_us_sum 900\n\
+t_us_count 5\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples.len(), 7);
+        assert_eq!(sum_by_name(&samples, "sip_server_frames_total"), 42.0);
+        assert_eq!(sum_by_name(&samples, "sip_server_msg_total"), 4.0);
+        assert_eq!(samples[2].label("msg"), Some("a\"b\\c"));
+        let (buckets, count, sum) = histogram_buckets(&samples, "t_us").unwrap();
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(count, 5);
+        assert_eq!(sum, 900.0);
+    }
+
+    #[test]
+    fn garbage_lines_are_typed_errors_never_panics() {
+        for bad in [
+            "}{ not a metric",
+            "name{unterminated=\"v} 1",
+            "name{k=\"v\"} not_a_number",
+            "1leading_digit 2",
+            "name{k=v} 1",
+            "name 1 extra trailing", // parses? "1 extra trailing" not a number
+            "{\"json\": true}",
+            "\u{0}binary\u{1}",
+        ] {
+            let res = parse_prometheus(bad);
+            assert!(
+                matches!(res, Err(ScrapeError::Garbage { .. })),
+                "{bad:?} -> {res:?}"
+            );
+        }
+        // Comments, blanks, and ±Inf/NaN are all fine.
+        let ok = parse_prometheus("# ok\n\nx_total +Inf\ny_total NaN\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(ok[0].value.is_infinite());
+    }
+
+    #[test]
+    fn sample_cap_is_enforced() {
+        let mut huge = String::new();
+        for i in 0..(MAX_SAMPLES + 2) {
+            huge.push_str(&format!("m_{i} 1\n"));
+        }
+        assert!(matches!(
+            parse_prometheus(&huge),
+            Err(ScrapeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_classes_and_retry_mapping() {
+        let unreachable = ScrapeError::Unreachable { detail: "x".into() };
+        let stalled = ScrapeError::Stalled { detail: "x".into() };
+        let garbage = ScrapeError::Garbage { detail: "x".into() };
+        assert_eq!(unreachable.class(), FaultClass::Unreachable);
+        assert_eq!(stalled.class(), FaultClass::Stalled);
+        assert_eq!(garbage.class(), FaultClass::Garbage);
+        assert_eq!(
+            ScrapeError::Http { status: 500 }.class(),
+            FaultClass::Garbage
+        );
+        // Dial/deadline faults retry; garbage does not.
+        assert!(unreachable.rejection().is_transient());
+        assert!(stalled.rejection().is_transient());
+        assert!(!garbage.rejection().is_transient());
+    }
+
+    #[test]
+    fn http_get_against_dead_port_is_unreachable() {
+        // Bind-then-drop guarantees an unbound port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = http_get(
+            &format!("127.0.0.1:{port}"),
+            "/metrics",
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert_eq!(err.class(), FaultClass::Unreachable, "{err}");
+    }
+
+    #[test]
+    fn histogram_merge_across_label_sets() {
+        let text = "\
+w_us_bucket{shard=\"0\",le=\"2\"} 1\n\
+w_us_bucket{shard=\"0\",le=\"+Inf\"} 2\n\
+w_us_bucket{shard=\"1\",le=\"2\"} 3\n\
+w_us_bucket{shard=\"1\",le=\"+Inf\"} 3\n\
+w_us_count{shard=\"0\"} 2\n\
+w_us_count{shard=\"1\"} 3\n\
+w_us_sum{shard=\"0\"} 10\n\
+w_us_sum{shard=\"1\"} 12\n";
+        let samples = parse_prometheus(text).unwrap();
+        let (buckets, count, sum) = histogram_buckets(&samples, "w_us").unwrap();
+        assert_eq!(buckets[1], 4); // le=2 merged: 1 + 3
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1); // only shard 0 overflowed
+        assert_eq!(count, 5);
+        assert_eq!(sum, 22.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Declarative SLOs over the fleet series, with multi-window burn-rate
+//! alerting.
+//!
+//! Every objective reduces to a **bad-fraction over a window**: the
+//! tracker stores cumulative `(t_us, bad, total)` samples per round and
+//! differences them across two sliding windows. The *burn rate* is the
+//! observed bad-fraction divided by the error budget; an alert fires only
+//! when **both** the long and the short window exceed the threshold — the
+//! long window proves the problem is sustained, the short window proves
+//! it is still happening (so alerts resolve promptly once the cause is
+//! fixed). This is the standard multi-window multi-burn-rate scheme, with
+//! the windows scaled down from hours to seconds to match a scrape loop
+//! that ticks every second.
+
+use crate::health::ReplicaState;
+use sip_obs::{event, gauge_with, Level};
+
+/// What an objective measures.
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// Fraction of scraped replicas not serving (Down or Stale). `bad` =
+    /// non-serving replica-rounds, `total` = replica-rounds.
+    Availability,
+    /// Fraction of observations of histogram `histogram` above `max_us`.
+    /// Computed from the scraped cumulative bucket counts: `total` =
+    /// `_count`, `bad` = observations in buckets whose lower bound is ≥
+    /// `max_us` (rounded to the covering power of two).
+    LatencyAbove {
+        /// Histogram base name in the scraped exposition.
+        histogram: String,
+        /// Threshold in microseconds.
+        max_us: u64,
+    },
+    /// Generic ratio of two counters: `bad / total`.
+    Ratio {
+        /// Numerator counter name.
+        bad: String,
+        /// Denominator counter name.
+        total: String,
+    },
+}
+
+/// One declared objective.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Name, used in events, gauges (`slo` label), JSON, and the dashboard.
+    pub name: String,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Error budget: the acceptable bad-fraction (e.g. `0.001` = 99.9 %).
+    pub budget: f64,
+    /// Long (sustained) window.
+    pub long_window_us: u64,
+    /// Short (still-happening) window.
+    pub short_window_us: u64,
+    /// Fire when both windows burn at ≥ this multiple of budget.
+    pub burn_threshold: f64,
+}
+
+impl SloSpec {
+    /// The default fleet SLOs:
+    ///
+    /// * `availability` — 99.9 % of replica-rounds serving; burn ≥ 10×
+    ///   over 60 s/10 s windows fires. With budget 0.001, a single dead
+    ///   replica out of four burns at 250×, so the alert fires on the
+    ///   first short window that sees it — within one scrape interval.
+    /// * `frame-latency-p99` — ≤ 1 % of per-frame handling above ~64 ms.
+    /// * `rejections` — ≤ 0.1 % of frames rejected.
+    pub fn defaults() -> Vec<SloSpec> {
+        vec![
+            SloSpec {
+                name: "availability".into(),
+                kind: SloKind::Availability,
+                budget: 0.001,
+                long_window_us: 60_000_000,
+                short_window_us: 10_000_000,
+                burn_threshold: 10.0,
+            },
+            SloSpec {
+                name: "frame-latency-p99".into(),
+                kind: SloKind::LatencyAbove {
+                    histogram: "sip_server_handle_us".into(),
+                    max_us: 65_536,
+                },
+                budget: 0.01,
+                long_window_us: 300_000_000,
+                short_window_us: 30_000_000,
+                burn_threshold: 10.0,
+            },
+            SloSpec {
+                name: "rejections".into(),
+                kind: SloKind::Ratio {
+                    bad: "sip_server_rejections_total".into(),
+                    total: "sip_server_frames_total".into(),
+                },
+                budget: 0.001,
+                long_window_us: 300_000_000,
+                short_window_us: 30_000_000,
+                burn_threshold: 10.0,
+            },
+        ]
+    }
+}
+
+/// One cumulative observation: totals as of `t_us`.
+#[derive(Copy, Clone, Debug)]
+struct CumSample {
+    t_us: u64,
+    bad: f64,
+    total: f64,
+}
+
+/// Burn rates over the two windows, plus firing state.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SloStatus {
+    /// Burn over the long window (NaN-free; 0 when the window is empty).
+    pub burn_long: f64,
+    /// Burn over the short window.
+    pub burn_short: f64,
+    /// Whether the alert is currently firing.
+    pub firing: bool,
+}
+
+/// Sliding-window burn tracker for one [`SloSpec`].
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    /// The objective being tracked.
+    pub spec: SloSpec,
+    samples: Vec<CumSample>,
+    firing: bool,
+}
+
+impl SloTracker {
+    /// A tracker with no history.
+    pub fn new(spec: SloSpec) -> Self {
+        SloTracker {
+            spec,
+            samples: Vec::new(),
+            firing: false,
+        }
+    }
+
+    /// Records this round's **cumulative** `(bad, total)` and returns the
+    /// updated status, emitting events and gauges on transitions.
+    ///
+    /// Cumulative counters from scraped processes can move backwards when
+    /// a replica restarts; the differencing clamps at zero, so a restart
+    /// reads as "no bad events in the gap", never as a negative burn.
+    pub fn observe(&mut self, now_us: u64, bad: f64, total: f64) -> SloStatus {
+        let bad = if bad.is_finite() { bad } else { 0.0 };
+        let total = if total.is_finite() { total } else { 0.0 };
+        self.samples.push(CumSample {
+            t_us: now_us,
+            bad,
+            total,
+        });
+        // Keep one sample older than the long window as the subtrahend.
+        let horizon = now_us.saturating_sub(self.spec.long_window_us);
+        while self.samples.len() > 1 && self.samples[1].t_us <= horizon {
+            self.samples.remove(0);
+        }
+        let burn_long = self.burn(now_us, self.spec.long_window_us);
+        let burn_short = self.burn(now_us, self.spec.short_window_us);
+        let was_firing = self.firing;
+        self.firing =
+            burn_long >= self.spec.burn_threshold && burn_short >= self.spec.burn_threshold;
+        let status = SloStatus {
+            burn_long,
+            burn_short,
+            firing: self.firing,
+        };
+        self.publish(was_firing, status);
+        status
+    }
+
+    /// Bad-fraction over the trailing `window_us`, divided by budget.
+    fn burn(&self, now_us: u64, window_us: u64) -> f64 {
+        let newest = match self.samples.last() {
+            Some(s) => *s,
+            None => return 0.0,
+        };
+        let horizon = now_us.saturating_sub(window_us);
+        // Oldest sample still inside the window's reach: the last one at
+        // or before the horizon if any, else the first we have.
+        let oldest = self
+            .samples
+            .iter()
+            .rev()
+            .find(|s| s.t_us <= horizon)
+            .copied()
+            .unwrap_or(self.samples[0]);
+        let d_total = (newest.total - oldest.total).max(0.0);
+        let d_bad = (newest.bad - oldest.bad).max(0.0).min(d_total);
+        if d_total <= 0.0 || self.spec.budget <= 0.0 {
+            return 0.0;
+        }
+        (d_bad / d_total) / self.spec.budget
+    }
+
+    /// Current status without recording anything new.
+    pub fn status(&self, now_us: u64) -> SloStatus {
+        SloStatus {
+            burn_long: self.burn(now_us, self.spec.long_window_us),
+            burn_short: self.burn(now_us, self.spec.short_window_us),
+            firing: self.firing,
+        }
+    }
+
+    /// Pushes gauges every round and events on fire/resolve transitions.
+    fn publish(&self, was_firing: bool, status: SloStatus) {
+        let labels: &[(&str, &str)] = &[("slo", &self.spec.name)];
+        gauge_with("sip_fleet_slo_firing", labels).set(status.firing as i64);
+        // Milli-burns: integer gauges, so scale; 2500 = 2.5× budget.
+        gauge_with("sip_fleet_slo_burn", labels).set((status.burn_short.min(1e15) * 1000.0) as i64);
+        if status.firing && !was_firing {
+            // A short-window burn at 2× the alerting threshold means the
+            // budget is vanishing fast: escalate to Error.
+            let level = if status.burn_short >= 2.0 * self.spec.burn_threshold {
+                Level::Error
+            } else {
+                Level::Warn
+            };
+            event!(
+                level,
+                "sip.fleetobs.slo",
+                "slo burn alert firing",
+                "slo" => self.spec.name,
+                "burn_long" => format!("{:.1}", status.burn_long),
+                "burn_short" => format!("{:.1}", status.burn_short),
+                "threshold" => self.spec.burn_threshold,
+            );
+        } else if !status.firing && was_firing {
+            event!(
+                Level::Info,
+                "sip.fleetobs.slo",
+                "slo burn alert resolved",
+                "slo" => self.spec.name,
+                "burn_long" => format!("{:.1}", status.burn_long),
+                "burn_short" => format!("{:.1}", status.burn_short),
+            );
+        }
+    }
+}
+
+/// Counts `(bad, total)` replica-rounds for the availability SLO.
+pub fn availability_sample(states: impl IntoIterator<Item = ReplicaState>) -> (f64, f64) {
+    let mut bad = 0.0;
+    let mut total = 0.0;
+    for s in states {
+        total += 1.0;
+        if !s.serving() {
+            bad += 1.0;
+        }
+    }
+    (bad, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(budget: f64, threshold: f64) -> SloSpec {
+        SloSpec {
+            name: "t".into(),
+            kind: SloKind::Availability,
+            budget,
+            long_window_us: 60_000_000,
+            short_window_us: 10_000_000,
+            burn_threshold: threshold,
+        }
+    }
+
+    #[test]
+    fn steady_errors_fire_and_recovery_resolves() {
+        let mut t = SloTracker::new(spec(0.001, 10.0));
+        // 1 bad in 4 per second: bad-fraction 0.25, burn 250×.
+        let mut bad = 0.0;
+        let mut total = 0.0;
+        let mut fired_at = None;
+        for sec in 0..20u64 {
+            bad += 1.0;
+            total += 4.0;
+            let s = t.observe(sec * 1_000_000, bad, total);
+            if s.firing && fired_at.is_none() {
+                fired_at = Some(sec);
+            }
+        }
+        // One cumulative point has no window to difference; the second
+        // sample already sees 250× in both windows and fires.
+        assert_eq!(fired_at, Some(1));
+        // Now a clean stretch long enough to drain the short window.
+        let mut last = t.status(20_000_000);
+        assert!(last.firing);
+        for sec in 20..40u64 {
+            total += 4.0; // no new bad
+            last = t.observe(sec * 1_000_000, bad, total);
+        }
+        assert!(!last.firing, "short window should have drained: {last:?}");
+    }
+
+    #[test]
+    fn burn_below_threshold_never_fires() {
+        let mut t = SloTracker::new(spec(0.1, 10.0));
+        // bad fraction 0.25, budget 0.1 → burn 2.5 < 10.
+        let mut st = SloStatus {
+            burn_long: 0.0,
+            burn_short: 0.0,
+            firing: true,
+        };
+        for sec in 0..30u64 {
+            st = t.observe(sec * 1_000_000, (sec + 1) as f64, 4.0 * (sec + 1) as f64);
+        }
+        assert!(!st.firing);
+        assert!((st.burn_short - 2.5).abs() < 0.2, "{st:?}");
+    }
+
+    #[test]
+    fn counter_reset_reads_as_zero_not_negative() {
+        let mut t = SloTracker::new(spec(0.001, 10.0));
+        t.observe(0, 50.0, 1000.0);
+        // Replica restarted: cumulative counters fell.
+        let s = t.observe(1_000_000, 0.0, 10.0);
+        assert!(s.burn_long >= 0.0 && s.burn_short >= 0.0, "{s:?}");
+        assert!(!s.burn_long.is_nan());
+    }
+
+    #[test]
+    fn hostile_inputs_cannot_poison_the_tracker() {
+        let mut t = SloTracker::new(spec(0.001, 10.0));
+        for (bad, total) in [
+            (f64::NAN, 10.0),
+            (5.0, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::NAN),
+            (-7.0, -3.0),
+            (1e300, 1e300),
+        ] {
+            let s = t.observe(1_000, bad, total);
+            assert!(!s.burn_long.is_nan() && !s.burn_short.is_nan(), "{s:?}");
+            assert!(s.burn_long.is_finite() && s.burn_short.is_finite());
+        }
+        // Zero budget: defined (0), not a division blow-up.
+        let mut z = SloTracker::new(spec(0.0, 10.0));
+        let s = z.observe(0, 1.0, 2.0);
+        assert_eq!(s.burn_long, 0.0);
+    }
+
+    #[test]
+    fn window_pruning_keeps_one_subtrahend() {
+        let mut t = SloTracker::new(spec(0.001, 10.0));
+        for sec in 0..500u64 {
+            t.observe(sec * 1_000_000, 0.0, sec as f64);
+        }
+        // 60 s window at 1 sample/s: ~61 retained, not 500.
+        assert!(t.samples.len() <= 63, "{}", t.samples.len());
+        // Burn still computable over the full long window.
+        let s = t.status(499_000_000);
+        assert_eq!(s.burn_long, 0.0);
+    }
+
+    #[test]
+    fn availability_counts_non_serving() {
+        use ReplicaState::*;
+        let (bad, total) = availability_sample([Up, Degraded, Stale, Down]);
+        assert_eq!((bad, total), (2.0, 4.0));
+    }
+}

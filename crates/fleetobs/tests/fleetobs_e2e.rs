@@ -1,0 +1,540 @@
+//! Fleet observability end-to-end: a real 2-shard × 2-replica fleet of
+//! live servers, scraped over real sockets — plus the chaos battery the
+//! ISSUE demands (dead target, stalled socket, garbage body, oversized
+//! body, mid-scrape death), all landing as typed staleness and health
+//! transitions, never a panic.
+//!
+//! The metrics registry is process-global and every in-process server
+//! shares it, so these tests assert on *health topology* (which is
+//! per-target in the aggregator) and deltas, never absolute counter
+//! values. Tests that need exclusive SLO/event state take `FLEET_LOCK`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use sip_fleetobs::{
+    http_get, serve_fleet_ops, DashModel, FaultClass, FleetConfig, FleetScraper, HealthPolicy,
+    Json, ReplicaState, ScrapeOutcome, ShardState, Target,
+};
+use sip_server::{spawn, ServerConfig, ServerHandle};
+
+fn fleet_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Spawns a live 2×2 fleet (in-process servers, real TCP ops ports) and
+/// the shard-major target list for it.
+fn spawn_fleet_2x2() -> (Vec<ServerHandle>, Vec<Target>) {
+    let mut handles = Vec::new();
+    let mut targets = Vec::new();
+    for shard in 0..2u32 {
+        for replica in 0..2u32 {
+            let server = spawn::<sip_field::Fp61, _>(
+                "127.0.0.1:0",
+                ServerConfig {
+                    metrics_addr: Some("127.0.0.1:0".into()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("spawn server");
+            let ops = server.ops_addr().expect("ops listener");
+            targets.push(Target {
+                shard,
+                replica,
+                addr: ops.to_string(),
+            });
+            handles.push(server);
+        }
+    }
+    (handles, targets)
+}
+
+/// A quick scraper config: tight timeouts so chaos rounds stay fast.
+fn quick_config() -> FleetConfig {
+    let mut config = FleetConfig {
+        interval: Duration::from_millis(200),
+        policy: HealthPolicy {
+            stale_after_us: 2_000_000,
+            down_after_misses: 1,
+        },
+        ..FleetConfig::default()
+    };
+    config.retry.attempts = 2;
+    config.retry.base = Duration::from_millis(5);
+    config.retry.cap = Duration::from_millis(20);
+    config.retry.op_deadline = Duration::from_millis(400);
+    config
+}
+
+/// Streams a few updates through one server so the shared registry has
+/// real `sip_server_*` traffic series for the scraper to pick up.
+fn drive_load(addr: std::net::SocketAddr) {
+    let log_u = 4u32;
+    let mut client: sip_server::client::RawClient<sip_field::Fp61, _> =
+        sip_server::client::RawClient::connect(addr, log_u).unwrap();
+    for up in sip_streaming::workloads::paper_f2(1 << log_u, 42) {
+        client.send_update(up);
+    }
+    client.end_stream().unwrap();
+    client.bye().unwrap();
+}
+
+#[test]
+fn live_fleet_scrapes_up_and_serves_the_fleet_view() {
+    let _guard = fleet_lock();
+    let (handles, targets) = spawn_fleet_2x2();
+    drive_load(handles[0].local_addr());
+    let scraper = FleetScraper::new(quick_config(), targets.clone());
+    scraper.scrape_once();
+    std::thread::sleep(Duration::from_millis(120));
+    scraper.scrape_once();
+    {
+        let state = scraper.state();
+        assert_eq!(state.rounds(), 2);
+        for t in state.targets() {
+            assert_eq!(
+                t.health.state(),
+                ReplicaState::Up,
+                "{}/{} at {}: {:?}",
+                t.target.shard,
+                t.target.replica,
+                t.target.addr,
+                t.health.last_error()
+            );
+            assert!(!t.samples.is_empty());
+        }
+        assert!(state
+            .shard_states()
+            .iter()
+            .all(|(_, s)| *s == ShardState::Full));
+    }
+
+    // The fleet ops surface serves all three endpoints over real HTTP.
+    let ops = serve_fleet_ops("127.0.0.1:0", &scraper).unwrap();
+    let addr = ops.local_addr().to_string();
+    let health_body = http_get(&addr, "/fleet/health", Duration::from_secs(2)).unwrap();
+    let health = Json::parse(&health_body).expect("health is valid JSON");
+    let shards = health.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert_eq!(shard.get("state").and_then(Json::as_str), Some("full"));
+        let replicas = shard.get("replicas").and_then(Json::as_arr).unwrap();
+        assert_eq!(replicas.len(), 2);
+        for r in replicas {
+            assert_eq!(r.get("state").and_then(Json::as_str), Some("up"));
+        }
+    }
+    let slo_body = http_get(&addr, "/fleet/slo", Duration::from_secs(2)).unwrap();
+    assert!(Json::parse(&slo_body).is_some(), "{slo_body}");
+    let metrics = http_get(&addr, "/fleet/metrics", Duration::from_secs(2)).unwrap();
+    assert!(metrics.contains("sip_fleet_replica_health{"), "{metrics}");
+    assert!(
+        metrics.contains("sip_server_frames_total{shard=\"1\",replica=\"1\","),
+        "{metrics}"
+    );
+    // The merged exposition round-trips through our own strict parser.
+    assert!(sip_fleetobs::parse_prometheus(&metrics).is_ok());
+
+    ops.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_replica_flips_down_within_one_round_and_fires_the_slo() {
+    let _guard = fleet_lock();
+    let ring = Arc::new(sip_obs::RingSink::new(256));
+    sip_obs::add_sink(ring.clone());
+    let (mut handles, targets) = spawn_fleet_2x2();
+    let scraper = FleetScraper::new(quick_config(), targets.clone());
+    // Two healthy rounds to establish Up everywhere.
+    scraper.scrape_once();
+    std::thread::sleep(Duration::from_millis(60));
+    scraper.scrape_once();
+    assert!(scraper
+        .state()
+        .targets()
+        .iter()
+        .all(|t| t.health.state() == ReplicaState::Up));
+
+    // Kill shard 1 / replica 0 (slot 2) — its ops port closes with it.
+    handles.remove(2).shutdown();
+    ring.take();
+    scraper.scrape_once();
+    {
+        let state = scraper.state();
+        let dead = &state.targets()[2];
+        assert_eq!(dead.target.shard, 1);
+        assert_eq!(dead.health.state(), ReplicaState::Down, "{:?}", dead.health);
+        assert_eq!(
+            dead.health.last_error().unwrap().class(),
+            FaultClass::Unreachable
+        );
+        // The shard degrades; its sibling keeps serving.
+        let shard_states = state.shard_states();
+        assert_eq!(shard_states[1].1, ShardState::Degraded);
+        assert_eq!(shard_states[0].1, ShardState::Full);
+        // Availability SLO: 1 dead of 4 is a 250× burn — firing now.
+        let health = state.health_json(scraper.now_us());
+        assert!(
+            health.contains("\"name\": \"availability\", \"firing\": true"),
+            "{health}"
+        );
+    }
+    let events = ring.take();
+    let down = events
+        .iter()
+        .find(|e| e.message == "replica state changed" && e.field("to") == Some("down"))
+        .expect("down transition event");
+    assert_eq!(down.field("shard"), Some("1"));
+    assert_eq!(down.field("replica"), Some("0"));
+    assert_eq!(down.level, sip_obs::Level::Error);
+    let fired = events
+        .iter()
+        .find(|e| e.message == "slo burn alert firing")
+        .expect("availability alert event");
+    assert_eq!(fired.field("slo"), Some("availability"));
+
+    sip_obs::clear_sinks();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+/// A TCP listener that accepts and then never writes a byte.
+fn stalled_listener() -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        listener.set_nonblocking(true).unwrap();
+        while !thread_stop.load(Ordering::SeqCst) {
+            if let Ok((sock, _)) = listener.accept() {
+                held.push(sock); // hold it open, say nothing
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+    (addr, stop, thread)
+}
+
+/// A listener answering every request with `body` and closing.
+fn canned_listener(body: Vec<u8>) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        listener.set_nonblocking(true).unwrap();
+        while !thread_stop.load(Ordering::SeqCst) {
+            if let Ok((mut sock, _)) = listener.accept() {
+                let mut sink = [0u8; 512];
+                let _ = sock.set_read_timeout(Some(Duration::from_millis(100)));
+                let _ = sock.read(&mut sink);
+                let _ = sock.write_all(&body);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    (addr, stop, thread)
+}
+
+#[test]
+fn chaos_targets_degrade_to_typed_staleness_never_panic() {
+    let _guard = fleet_lock();
+    // Target 0: dead port (bind-then-drop).
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    // Target 1: accepts, never answers.
+    let (stall_addr, stall_stop, stall_thread) = stalled_listener();
+    // Target 2: answers HTTP 200 with a garbage body.
+    let (garbage_addr, garbage_stop, garbage_thread) = canned_listener(
+        b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n\r\n\x00\xff{{{not metrics}}}\n".to_vec(),
+    );
+    // Target 3: answers far more than the scraper will read.
+    let mut huge = b"HTTP/1.0 200 OK\r\n\r\n".to_vec();
+    huge.resize(sip_fleetobs::MAX_SCRAPE_BODY_BYTES + 4096, b'a');
+    let (huge_addr, huge_stop, huge_thread) = canned_listener(huge);
+
+    let targets = vec![
+        Target {
+            shard: 0,
+            replica: 0,
+            addr: dead_addr,
+        },
+        Target {
+            shard: 0,
+            replica: 1,
+            addr: stall_addr,
+        },
+        Target {
+            shard: 1,
+            replica: 0,
+            addr: garbage_addr,
+        },
+        Target {
+            shard: 1,
+            replica: 1,
+            addr: huge_addr,
+        },
+    ];
+    let scraper = FleetScraper::new(quick_config(), targets);
+    scraper.scrape_once();
+    {
+        let state = scraper.state();
+        let classes: Vec<_> = state
+            .targets()
+            .iter()
+            .map(|t| {
+                (
+                    t.health.state(),
+                    t.health.last_error().map(sip_fleetobs::ScrapeError::class),
+                )
+            })
+            .collect();
+        assert_eq!(
+            classes[0],
+            (ReplicaState::Down, Some(FaultClass::Unreachable)),
+            "dead port"
+        );
+        assert_eq!(
+            classes[1],
+            (ReplicaState::Stale, Some(FaultClass::Stalled)),
+            "stalled socket (never scraped: straight to stale)"
+        );
+        assert_eq!(
+            classes[2],
+            (ReplicaState::Stale, Some(FaultClass::Garbage)),
+            "garbage body"
+        );
+        assert_eq!(
+            classes[3],
+            (ReplicaState::Stale, Some(FaultClass::Garbage)),
+            "oversized body"
+        );
+        // Every shard is unavailable: nothing serves.
+        assert!(state
+            .shard_states()
+            .iter()
+            .all(|(_, s)| *s == ShardState::Unavailable));
+    }
+    // The fleet surface stays panic-free while everything burns.
+    let ops = serve_fleet_ops("127.0.0.1:0", &scraper).unwrap();
+    let addr = ops.local_addr().to_string();
+    let health = http_get(&addr, "/fleet/health", Duration::from_secs(2)).unwrap();
+    assert!(Json::parse(&health).is_some(), "{health}");
+    assert!(health.contains("\"state\": \"down\""), "{health}");
+
+    // Hostile clients against /fleet/* get bounded answers and the
+    // listener survives them.
+    let sock_addr: std::net::SocketAddr = addr.parse().unwrap();
+    for raw in [
+        b"\xff\xfe\x00garbage".to_vec(),
+        b"GET /fleet/health".to_vec(), // no HTTP version, no CRLF
+        vec![b'A'; 64 * 1024],
+        b"POST /fleet/health HTTP/1.0\r\n\r\n".to_vec(),
+    ] {
+        let mut s = TcpStream::connect(sock_addr).unwrap();
+        let _ = s.write_all(&raw);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        let _ = s
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .and_then(|()| s.read_to_string(&mut out).map(|_| ()));
+    }
+    let still = http_get(&addr, "/fleet/health", Duration::from_secs(2)).unwrap();
+    assert!(Json::parse(&still).is_some());
+
+    ops.shutdown();
+    stall_stop.store(true, Ordering::SeqCst);
+    garbage_stop.store(true, Ordering::SeqCst);
+    huge_stop.store(true, Ordering::SeqCst);
+    let _ = stall_thread.join();
+    let _ = garbage_thread.join();
+    let _ = huge_thread.join();
+}
+
+#[test]
+fn recovery_after_chaos_returns_to_up() {
+    let _guard = fleet_lock();
+    // One real server, scraped under an address that first points at a
+    // dead port, then at the live server — modelling a restart.
+    let server = spawn::<sip_field::Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let live = server.ops_addr().unwrap().to_string();
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut config = quick_config();
+    config.policy.down_after_misses = 1;
+    let scraper = FleetScraper::new(
+        config,
+        vec![Target {
+            shard: 0,
+            replica: 0,
+            addr: dead,
+        }],
+    );
+    scraper.scrape_once();
+    assert_eq!(
+        scraper.state().targets()[0].health.state(),
+        ReplicaState::Down
+    );
+    // "Restart": swap in the live address via a fresh scraper sharing no
+    // state — then verify a Down replica observed Up again recovers.
+    let result = sip_fleetobs::scrape_target(&live, &scraper.state().config.retry);
+    assert!(matches!(result.outcome, ScrapeOutcome::Full), "{result:?}");
+    {
+        let mut state = scraper.state();
+        state.ingest(0, result, 500, scraper.now_us());
+        state.finish_round(scraper.now_us());
+        assert_eq!(state.targets()[0].health.state(), ReplicaState::Up);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sip_top_once_renders_a_live_fleet() {
+    let _guard = fleet_lock();
+    let (handles, targets) = spawn_fleet_2x2();
+    let list = targets
+        .iter()
+        .map(|t| format!("{}/{}@{}", t.shard, t.replica, t.addr))
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sip-top"))
+        .args(["--targets", &list, "--once", "--no-color"])
+        .output()
+        .expect("run sip-top");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sip-top failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Every slot renders, and every live replica shows as up.
+    for slot in ["0/0", "0/1", "1/0", "1/1"] {
+        assert!(stdout.contains(slot), "missing {slot}:\n{stdout}");
+    }
+    assert_eq!(stdout.matches(" up ").count(), 4, "{stdout}");
+    assert!(stdout.contains("#0 full"), "{stdout}");
+    assert!(stdout.contains("#1 full"), "{stdout}");
+    assert!(stdout.contains("availability"), "{stdout}");
+    assert!(
+        !stdout.contains('\x1b'),
+        "--no-color must strip ANSI:\n{stdout}"
+    );
+
+    // --fleet mode renders the same view through a running aggregator.
+    let scraper = FleetScraper::new(quick_config(), targets.clone());
+    scraper.scrape_once();
+    let ops = serve_fleet_ops("127.0.0.1:0", &scraper).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_sip-top"))
+        .args([
+            "--fleet",
+            &ops.local_addr().to_string(),
+            "--once",
+            "--no-color",
+        ])
+        .output()
+        .expect("run sip-top --fleet");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for slot in ["0/0", "0/1", "1/0", "1/1"] {
+        assert!(stdout.contains(slot), "missing {slot}:\n{stdout}");
+    }
+    // The two modes draw from the same model: a DashModel built directly
+    // from the aggregator's health document matches what --fleet printed.
+    let health = http_get(
+        &ops.local_addr().to_string(),
+        "/fleet/health",
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let model = DashModel::from_health_json(&Json::parse(&health).unwrap());
+    assert_eq!(model.rows.len(), 4);
+
+    ops.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn sip_fleetobs_daemon_serves_and_dies_cleanly() {
+    let _guard = fleet_lock();
+    let (handles, targets) = spawn_fleet_2x2();
+    let list = targets
+        .iter()
+        .map(|t| format!("{}/{}@{}", t.shard, t.replica, t.addr))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sip-fleetobs"))
+        .args([
+            "--targets",
+            &list,
+            "--listen",
+            "127.0.0.1:0",
+            "--interval",
+            "150",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn sip-fleetobs");
+    // Parse the advertised fleet ops address off stdout.
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split("/fleet/health").next())
+        .expect("ops addr in banner")
+        .to_string();
+    // Give it a couple of scrape rounds, then read the fleet view.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let health = loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let body = http_get(&addr, "/fleet/health", Duration::from_secs(2)).unwrap();
+        let doc = Json::parse(&body).expect("daemon health parses");
+        let rounds = doc.get("rounds").and_then(Json::as_u64).unwrap_or(0);
+        if rounds >= 2 {
+            break doc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never completed two rounds: {body}"
+        );
+    };
+    let shards = health.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert_eq!(shard.get("state").and_then(Json::as_str), Some("full"));
+    }
+    child.kill().unwrap();
+    let _ = child.wait();
+    for h in handles {
+        h.shutdown();
+    }
+}

@@ -44,7 +44,8 @@ pub use metrics::{
     counter, counter_with, gauge, gauge_with, histogram, histogram_with, metric_key, registry,
     Counter, Gauge, GaugeGuard, Histogram, Registry, Timer, HISTOGRAM_BUCKETS,
 };
-pub use ops::{serve_ops, OpsHandle};
+pub use metrics::{help_for, quantile_from_buckets, METRIC_HELP};
+pub use ops::{advertised_ops_addr, serve_ops, serve_ops_with, OpsHandle, OpsResponse, OpsRoutes};
 pub use recorder::{FlightEntry, FlightRecorder};
 pub use trace::{SpanGuard, SpanRecord, TraceContext};
 
@@ -74,14 +75,24 @@ pub fn set_timer_sample(rate: u64) {
 
 /// The `/stats` and `Msg::StatsReply` body: the metrics registry snapshot
 /// ([`Registry::snapshot_json`]) with a `"tracing"` status block
-/// ([`trace::status_json`]) spliced in as one more top-level key.
+/// ([`trace::status_json`]) and an `"ops"` block (the actually-bound
+/// metrics port, so a scraper that learned of this prover in-protocol can
+/// enumerate its ops surface without racing on a fixed port) spliced in
+/// as two more top-level keys.
 pub fn stats_json() -> String {
     let mut out = registry().snapshot_json();
     // snapshot_json always ends with the object's closing brace; reopen
     // it to append the tracing block so the document stays one object.
     let tail = out.rfind('}').expect("snapshot is a JSON object");
     out.truncate(tail);
-    out.push_str(&format!(",\n  \"tracing\": {}\n}}\n", trace::status_json()));
+    let ops = match ops::advertised_ops_addr() {
+        Some(addr) => format!("{{\"metrics_addr\": \"{addr}\"}}"),
+        None => "{\"metrics_addr\": null}".to_string(),
+    };
+    out.push_str(&format!(
+        ",\n  \"ops\": {ops},\n  \"tracing\": {}\n}}\n",
+        trace::status_json()
+    ));
     out
 }
 
@@ -148,6 +159,7 @@ mod tests {
         assert!(json.contains("\"counters\""), "{json}");
         assert!(json.contains("\"tracing\": {"), "{json}");
         assert!(json.contains("\"spans_recorded\""), "{json}");
+        assert!(json.contains("\"ops\": {\"metrics_addr\": "), "{json}");
         // The splice reopens the outer object: braces must still balance.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

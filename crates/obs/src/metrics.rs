@@ -130,9 +130,67 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
-    fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+    /// A snapshot of the per-bucket counts (bucket `i` covers
+    /// `(2^(i-1), 2^i]`, the last bucket overflows to `+Inf`).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// distribution from the log₂ buckets — see [`quantile_from_buckets`]
+    /// for the estimator and its error bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// Estimates the `q`-quantile of a log₂-bucketed histogram by linear
+/// interpolation inside the bucket holding the target rank.
+///
+/// Bucket `i` covers `(2^(i-1), 2^i]` (bucket 0 is `[0, 1]`), so the
+/// estimate is exact at bucket boundaries and off by at most the bucket's
+/// width inside — a relative error bounded by 2×, which is plenty for
+/// dashboards and SLO gates over µs latencies. The overflow bucket has no
+/// upper bound; ranks landing there answer its lower bound (a conservative
+/// *under*-estimate, so an SLO on the result never fires spuriously).
+/// Shorter-than-standard slices are accepted (a scraped exposition may be
+/// truncated); an empty or all-zero histogram answers `0.0`.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based: ceil(q * total), at least 1.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cumulative + n >= rank {
+            // Clamp the exponent so a hostile, overlong bucket list cannot
+            // overflow the shift; everything at or past the overflow
+            // bucket answers its lower bound.
+            let i = i.min(HISTOGRAM_BUCKETS - 1);
+            let lo = if i == 0 {
+                0.0
+            } else {
+                (1u64 << (i - 1)) as f64
+            };
+            if i == HISTOGRAM_BUCKETS - 1 {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return lo;
+            }
+            let hi = (1u64 << i) as f64;
+            let into = (rank - cumulative) as f64 / n as f64;
+            return lo + into * (hi - lo);
+        }
+        cumulative += n;
+    }
+    // Unreachable with a consistent slice (total > 0 means some bucket
+    // crosses the rank), but a hostile scrape target is not consistent.
+    0.0
 }
 
 /// A started wall-clock measurement (a thin [`Instant`]), consumed by
@@ -302,14 +360,19 @@ impl Registry {
         let histograms = lock(&self.histograms).clone();
         for (i, (key, h)) in histograms.iter().enumerate() {
             let comma = if i > 0 { "," } else { "" };
+            let counts = h.bucket_counts();
             let _ = write!(
                 out,
-                "{comma}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                "{comma}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \
+                 \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"buckets\": [",
                 json_escape(key),
                 h.count(),
-                h.sum()
+                h.sum(),
+                quantile_from_buckets(&counts, 0.50),
+                quantile_from_buckets(&counts, 0.90),
+                quantile_from_buckets(&counts, 0.99),
             );
-            for (j, n) in h.bucket_counts().iter().enumerate() {
+            for (j, n) in counts.iter().enumerate() {
                 let comma = if j > 0 { ", " } else { "" };
                 let _ = write!(out, "{comma}{n}");
             }
@@ -318,6 +381,201 @@ impl Registry {
         out.push_str("\n  }\n}\n");
         out
     }
+}
+
+/// Every metric name this workspace exports, with its `# HELP` text.
+///
+/// This table is the **stability contract** for the scrape surface:
+/// `tests/metrics_golden.rs` (workspace root) asserts every name
+/// registered during a full serving session appears here, and the pinned
+/// unit test below asserts this list itself never changes silently — so
+/// renaming or dropping a metric is a conscious, reviewed choice, not a
+/// side effect of a refactor. Keep it sorted by name.
+pub const METRIC_HELP: &[(&str, &str)] = &[
+    (
+        "sip_client_oneshot_deferred_check_us",
+        "Client-side latency of the RLC-batched deferred round checks on a one-shot proof",
+    ),
+    (
+        "sip_client_oneshot_proof_words",
+        "Field words in each received one-shot proof body",
+    ),
+    (
+        "sip_client_oneshot_queries_total",
+        "One-shot queries driven by this client process",
+    ),
+    (
+        "sip_cluster_blame_total",
+        "Per-shard soundness indictments (Rejection::Blame) booked by the fleet verifier",
+    ),
+    (
+        "sip_cluster_failovers_total",
+        "Replica failovers after an I/O fault on the sampled replica",
+    ),
+    (
+        "sip_cluster_indictments_total",
+        "Replica-divergence indictments (cross-examined liar caught)",
+    ),
+    (
+        "sip_cluster_oneshot_deferred_check_us",
+        "Fleet-side latency of deferred checks across per-shard one-shot proofs",
+    ),
+    (
+        "sip_cluster_oneshot_proof_words",
+        "Field words in per-shard one-shot proof bodies",
+    ),
+    (
+        "sip_cluster_retries_total",
+        "Transient-fault redials by the fleet driver, labelled by shard and cause",
+    ),
+    (
+        "sip_cluster_shard_wait_us",
+        "Wall-clock the aggregating verifier spent waiting on each shard",
+    ),
+    ("sip_durable_load_us", "Snapshot decode+restore latency"),
+    ("sip_durable_loads_total", "Snapshots restored from disk"),
+    ("sip_durable_save_us", "Snapshot encode+fsync latency"),
+    ("sip_durable_saves_total", "Snapshots persisted to disk"),
+    (
+        "sip_durable_snapshot_bytes",
+        "Size of each persisted snapshot",
+    ),
+    (
+        "sip_fleet_replica_health",
+        "Scraped replica health (3=up 2=degraded 1=stale 0=down), labelled shard/replica/prover",
+    ),
+    (
+        "sip_fleet_replica_staleness_us",
+        "Age of each replica's last successful scrape",
+    ),
+    (
+        "sip_fleet_scrape_us",
+        "Latency of one full scrape of one target",
+    ),
+    (
+        "sip_fleet_scrapes_total",
+        "Scrape attempts by the fleet aggregator, labelled by outcome",
+    ),
+    (
+        "sip_fleet_shard_health",
+        "Per-shard quorum health (2=full 1=degraded 0=unavailable)",
+    ),
+    (
+        "sip_fleet_slo_burn",
+        "Current short-window burn rate of each SLO (milli-burns: 1000 = budget-rate burn)",
+    ),
+    (
+        "sip_fleet_slo_firing",
+        "Whether each declared SLO's multi-window burn-rate alert is firing (0/1)",
+    ),
+    (
+        "sip_fleet_targets",
+        "Scrape targets the fleet aggregator is polling",
+    ),
+    ("sip_fleet_up_replicas", "Replicas currently scraping as Up"),
+    (
+        "sip_fold_blocks_total",
+        "Fold-kernel blocks walked by the prover engine",
+    ),
+    (
+        "sip_fold_message_us",
+        "Latency of one round-message fold pass (sampled)",
+    ),
+    (
+        "sip_fold_messages_total",
+        "Round messages folded by the prover engine",
+    ),
+    (
+        "sip_ingest_batch_us",
+        "Latency of one multi-point ingest batch (sampled)",
+    ),
+    (
+        "sip_ingest_updates_total",
+        "Stream updates absorbed through the batched ingest path",
+    ),
+    (
+        "sip_registry_attach_total",
+        "Sessions attached to a published dataset",
+    ),
+    (
+        "sip_registry_checkpoint_total",
+        "Named checkpoints saved via Msg::SaveState",
+    ),
+    (
+        "sip_registry_load_errors",
+        "Snapshots skipped while reloading the data dir at startup",
+    ),
+    (
+        "sip_registry_publish_total",
+        "Datasets published into the server registry",
+    ),
+    (
+        "sip_registry_restore_total",
+        "Checkpoints thawed via Msg::Resume",
+    ),
+    (
+        "sip_server_active_sessions",
+        "Sessions currently being served",
+    ),
+    (
+        "sip_server_attached_sessions",
+        "Sessions currently attached to a published dataset",
+    ),
+    ("sip_server_decode_us", "Wire-frame decode latency"),
+    (
+        "sip_server_frames_total",
+        "Wire frames received across all sessions",
+    ),
+    ("sip_server_handle_us", "Per-frame handling latency"),
+    (
+        "sip_server_ingest_updates_total",
+        "Stream updates ingested by server sessions",
+    ),
+    (
+        "sip_server_last_cost_p_to_v_words",
+        "Prover-to-verifier words of the last completed session's CostReport",
+    ),
+    (
+        "sip_server_last_cost_rounds",
+        "Interaction rounds of the last completed session's CostReport",
+    ),
+    (
+        "sip_server_last_cost_total_words",
+        "Total words of the last completed session's CostReport",
+    ),
+    (
+        "sip_server_last_cost_v_to_p_words",
+        "Verifier-to-prover words of the last completed session's CostReport",
+    ),
+    (
+        "sip_server_last_cost_verifier_space_words",
+        "Verifier space words of the last completed session's CostReport",
+    ),
+    (
+        "sip_server_msg_total",
+        "Frames received, labelled by message kind",
+    ),
+    (
+        "sip_server_protocol_errors_total",
+        "Frames refused as protocol errors",
+    ),
+    (
+        "sip_server_rejections_total",
+        "Soundness rejections served to verifiers",
+    ),
+    (
+        "sip_server_wire_faults_total",
+        "Connections dropped on wire faults",
+    ),
+];
+
+/// The `# HELP` text for a base metric name, when it is part of the
+/// workspace's pinned scrape surface ([`METRIC_HELP`]).
+pub fn help_for(base: &str) -> Option<&'static str> {
+    METRIC_HELP
+        .binary_search_by(|(name, _)| name.cmp(&base))
+        .ok()
+        .map(|i| METRIC_HELP[i].1)
 }
 
 /// Splits a full key into `(base_name, label_body)` — the label body is the
@@ -329,11 +587,15 @@ fn split_key(key: &str) -> (&str, &str) {
     }
 }
 
-/// Emits one `# TYPE` header per base name (keys are sorted, so equal bases
-/// are adjacent).
+/// Emits one `# HELP` (when the name is in [`METRIC_HELP`]) and one
+/// `# TYPE` header per base name (keys are sorted, so equal bases are
+/// adjacent).
 fn type_line(out: &mut String, key: &str, kind: &str, last_base: &mut String) {
     let (base, _) = split_key(key);
     if base != last_base {
+        if let Some(help) = help_for(base) {
+            let _ = writeln!(out, "# HELP {base} {help}");
+        }
         let _ = writeln!(out, "# TYPE {base} {kind}");
         last_base.clear();
         last_base.push_str(base);
@@ -472,6 +734,106 @@ mod tests {
         assert!(text.contains("t_us_bucket{shard=\"0\",le=\"+Inf\"} 1"));
         assert!(text.contains("t_us_sum{shard=\"0\"} 5"));
         assert!(text.contains("t_us_count{shard=\"0\"} 1"));
+    }
+
+    #[test]
+    fn quantiles_on_pinned_distributions() {
+        // Uniform 1..=1024 fills each log₂ bucket to its width, so the
+        // interpolated estimate is *exact* at every rank that lands on a
+        // boundary-aligned fraction.
+        let reg = Registry::new();
+        let h = reg.histogram("t_q");
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.50), 512.0);
+        assert_eq!(h.quantile(0.99), 1014.0);
+        assert_eq!(h.quantile(1.0), 1024.0);
+        assert_eq!(h.quantile(0.0), 1.0); // rank clamps to the 1st obs
+
+        // A point mass at 100 lands in (64, 128]; the estimate stays
+        // inside the bucket (≤2× relative error by construction).
+        let p = reg.histogram("t_point");
+        for _ in 0..1000 {
+            p.observe(100);
+        }
+        assert_eq!(p.quantile(0.5), 96.0);
+        assert!(p.quantile(0.99) > 64.0 && p.quantile(0.99) <= 128.0);
+
+        // Bimodal 90×1 + 10×1000: the p50 sits in the first bucket, the
+        // p99 in 1000's bucket.
+        let b = reg.histogram("t_bimodal");
+        for _ in 0..90 {
+            b.observe(1);
+        }
+        for _ in 0..10 {
+            b.observe(1000);
+        }
+        assert!(b.quantile(0.5) <= 1.0);
+        let p99 = b.quantile(0.99);
+        assert!((972.8 - p99).abs() < 1e-9, "{p99}");
+
+        // Overflow bucket answers its lower bound; empty answers 0.
+        let o = reg.histogram("t_overflow");
+        o.observe(u64::MAX);
+        assert_eq!(o.quantile(0.99), (1u64 << 22) as f64);
+        assert_eq!(reg.histogram("t_empty").quantile(0.5), 0.0);
+
+        // Hostile bucket lists: overlong and truncated slices stay finite.
+        let long = vec![1u64; 4096];
+        assert!(quantile_from_buckets(&long, 0.99).is_finite());
+        assert!(quantile_from_buckets(&[0, 3], 0.5) <= 2.0);
+    }
+
+    #[test]
+    fn help_table_is_sorted_unique_and_resolvable() {
+        for pair in METRIC_HELP.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "METRIC_HELP must stay sorted and duplicate-free: {} vs {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        for (name, help) in METRIC_HELP {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} is not a Prometheus-safe base name"
+            );
+            assert!(!help.is_empty() && !help.contains('\n'));
+            assert_eq!(help_for(name), Some(*help));
+        }
+        assert_eq!(help_for("sip_not_a_metric"), None);
+    }
+
+    #[test]
+    fn prometheus_render_emits_help_for_pinned_names() {
+        let reg = Registry::new();
+        reg.counter("sip_server_frames_total").add(2);
+        reg.counter("t_unpinned_total").inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP sip_server_frames_total Wire frames received"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE sip_server_frames_total counter"));
+        // Unpinned names still render, just without HELP.
+        assert!(!text.contains("# HELP t_unpinned_total"));
+        assert!(text.contains("t_unpinned_total 1"));
+    }
+
+    #[test]
+    fn json_snapshot_carries_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_h");
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"p50\": 512.0"), "{json}");
+        assert!(json.contains("\"p90\": "), "{json}");
+        assert!(json.contains("\"p99\": 1014.0"), "{json}");
     }
 
     #[test]

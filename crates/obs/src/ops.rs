@@ -10,11 +10,38 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::metrics::registry;
+
+/// One routed answer: `(status line, content type, body)`.
+pub type OpsResponse = (&'static str, &'static str, String);
+
+/// Extra GET routes layered over the built-in ones. Consulted first for
+/// every request path; answering `None` falls through to the defaults
+/// (`/metrics`, `/stats`, `/trace`, `/`), so an extension listener (e.g.
+/// the fleet aggregator's `/fleet/*`) still serves its own process
+/// registry. Must never panic and never block — it runs on the listener
+/// thread under the same IO bounds as everything else here.
+pub type OpsRoutes = Arc<dyn Fn(&str) -> Option<OpsResponse> + Send + Sync>;
+
+static ADVERTISED: OnceLock<Mutex<Option<SocketAddr>>> = OnceLock::new();
+
+fn advertised_slot() -> &'static Mutex<Option<SocketAddr>> {
+    ADVERTISED.get_or_init(|| Mutex::new(None))
+}
+
+/// The bound address of this process's most recently started ops
+/// listener — the *actual* port, so `--metrics-addr 127.0.0.1:0` is
+/// discoverable by scrapers through `/stats` and `Msg::StatsReply`
+/// instead of racing on a fixed port.
+pub fn advertised_ops_addr() -> Option<SocketAddr> {
+    *advertised_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Cap on one ops request (method + path + headers). Anything longer is
 /// answered `400` from what was read.
@@ -49,9 +76,28 @@ impl OpsHandle {
 }
 
 /// Binds `addr` and serves the global registry until shut down.
+///
+/// The bound address (useful with port 0) is advertised process-wide
+/// ([`advertised_ops_addr`], spliced into `/stats`) and logged as an
+/// `Info` event, so nothing ever needs to race on a fixed port.
 pub fn serve_ops<A: ToSocketAddrs>(addr: A) -> std::io::Result<OpsHandle> {
+    serve_ops_with(addr, Arc::new(|_| None))
+}
+
+/// [`serve_ops`] with extra routes consulted before the built-in ones —
+/// how the fleet aggregator mounts `/fleet/*` next to its own `/metrics`.
+pub fn serve_ops_with<A: ToSocketAddrs>(addr: A, routes: OpsRoutes) -> std::io::Result<OpsHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    *advertised_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(addr);
+    crate::event!(
+        crate::Level::Info,
+        "sip.obs.ops",
+        "ops listener bound",
+        "addr" => addr,
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
@@ -65,7 +111,7 @@ pub fn serve_ops<A: ToSocketAddrs>(addr: A) -> std::io::Result<OpsHandle> {
                 // Handled inline: every request is bounded in bytes and
                 // time, so one connection delays the next scrape by at
                 // most the IO timeout — and never touches a session.
-                handle_request(stream);
+                handle_request(stream, &routes);
             }
         })?;
     Ok(OpsHandle {
@@ -77,7 +123,7 @@ pub fn serve_ops<A: ToSocketAddrs>(addr: A) -> std::io::Result<OpsHandle> {
 
 /// Reads one bounded request and answers it. All errors end the
 /// connection silently — there is nobody trustworthy to report them to.
-fn handle_request(mut stream: TcpStream) {
+fn handle_request(mut stream: TcpStream, routes: &OpsRoutes) {
     let _ = stream.set_read_timeout(Some(OPS_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(OPS_IO_TIMEOUT));
     let mut buf = Vec::with_capacity(512);
@@ -92,7 +138,7 @@ fn handle_request(mut stream: TcpStream) {
             Err(_) => break, // timeout or reset: respond to what we have
         }
     }
-    let (status, content_type, body) = route(&buf);
+    let (status, content_type, body) = route(&buf, routes);
     let response = format!(
         "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -103,7 +149,7 @@ fn handle_request(mut stream: TcpStream) {
 }
 
 /// Maps raw request bytes to `(status line, content type, body)`.
-fn route(request: &[u8]) -> (&'static str, &'static str, String) {
+fn route(request: &[u8], routes: &OpsRoutes) -> OpsResponse {
     // Only the request line matters; headers are read solely to drain the
     // socket politely. Parse defensively: the bytes are untrusted.
     let mut first_line = request.split(|&b| b == b'\n').next().unwrap_or(&[]);
@@ -126,6 +172,9 @@ fn route(request: &[u8]) -> (&'static str, &'static str, String) {
     }
     // Ignore any query string: scrapers sometimes append cache busters.
     let path = path.split('?').next().unwrap_or(path);
+    if let Some(answer) = routes(path) {
+        return answer;
+    }
     match path {
         "/metrics" => (
             "200 OK",
@@ -181,6 +230,26 @@ mod tests {
         assert!(trace.contains("\"traceEvents\""), "{trace}");
         assert!(get(addr, b"GET /nope HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 404"));
         assert!(get(addr, b"POST /metrics HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 405"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_layer_over_defaults_and_addr_is_advertised() {
+        let handle = serve_ops_with(
+            "127.0.0.1:0",
+            Arc::new(|path| match path {
+                "/fleet/health" => Some(("200 OK", "application/json", "{\"ok\":true}".into())),
+                _ => None,
+            }),
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+        assert_eq!(advertised_ops_addr(), Some(addr));
+        let fleet = get(addr, b"GET /fleet/health HTTP/1.0\r\n\r\n");
+        assert!(fleet.contains("{\"ok\":true}"), "{fleet}");
+        // Defaults still answer beneath the custom routes.
+        assert!(get(addr, b"GET /metrics HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 200"));
+        assert!(get(addr, b"GET /fleet/nope HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 404"));
         handle.shutdown();
     }
 

@@ -1,0 +1,184 @@
+//! Fleet observability against real `sip-prover` *processes*: a 2×2
+//! replicated fleet binds ephemeral ops ports (`--metrics-addr
+//! 127.0.0.1:0`), the aggregator's background scrape loop watches them,
+//! and one replica is SIGKILLed with no warning. Within one scrape
+//! interval its slot flips Down, its shard degrades, and the
+//! availability SLO burn alert fires as an `obs` event — discovered
+//! purely from the outside, by scraping, the way an operator would.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sip_fleetobs::{FleetConfig, FleetScraper, HealthPolicy, ReplicaState, ShardState, Target};
+
+const LOG_U: u32 = 8;
+const SHARDS: u32 = 2;
+const REPLICAS: u32 = 2;
+
+struct Prover {
+    child: Child,
+    ops_addr: String,
+}
+
+fn spawn_replica(shard: u32, replica: u32) -> Prover {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sip-prover"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--shard",
+            &shard.to_string(),
+            "--of",
+            &SHARDS.to_string(),
+            "--replica",
+            &replica.to_string(),
+            "--log-u",
+            &LOG_U.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("sip-prover spawns");
+    // The banner advertises the actually-bound ops port (satellite (c)):
+    // "sip-prover: metrics on http://ADDR/metrics (stats: /stats)".
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let ops_addr = loop {
+        let line = lines
+            .next()
+            .expect("prover exited before binding its ops port")
+            .expect("prover stdout readable");
+        if let Some(rest) = line.split("metrics on http://").nth(1) {
+            break rest
+                .split("/metrics")
+                .next()
+                .expect("banner has an address")
+                .to_string();
+        }
+    };
+    // Drain the rest of stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Prover { child, ops_addr }
+}
+
+/// Polls `check` against the scraper until it passes or `wait` elapses.
+fn wait_for(scraper: &FleetScraper, wait: Duration, check: impl Fn(&FleetScraper) -> bool) -> bool {
+    let deadline = Instant::now() + wait;
+    while Instant::now() < deadline {
+        if check(scraper) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    check(scraper)
+}
+
+#[test]
+fn sigkill_under_the_scrape_loop_flips_down_and_fires_the_availability_slo() {
+    let ring = Arc::new(sip_obs::RingSink::new(512));
+    sip_obs::add_sink(ring.clone());
+
+    let mut provers = Vec::new();
+    let mut targets = Vec::new();
+    for s in 0..SHARDS {
+        for r in 0..REPLICAS {
+            let p = spawn_replica(s, r);
+            targets.push(Target {
+                shard: s,
+                replica: r,
+                addr: p.ops_addr.clone(),
+            });
+            provers.push(p);
+        }
+    }
+
+    let interval = Duration::from_millis(250);
+    let mut config = FleetConfig {
+        interval,
+        policy: HealthPolicy {
+            stale_after_us: 5_000_000,
+            down_after_misses: 1,
+        },
+        ..FleetConfig::default()
+    };
+    config.retry.op_deadline = Duration::from_millis(500);
+    let scraper = FleetScraper::new(config, targets);
+    let loop_handle = scraper.start();
+
+    // The background loop alone brings every slot Up.
+    assert!(
+        wait_for(&scraper, Duration::from_secs(10), |s| {
+            let state = s.state();
+            state.rounds() >= 2
+                && state
+                    .targets()
+                    .iter()
+                    .all(|t| t.health.state() == ReplicaState::Up)
+        }),
+        "fleet never converged to all-Up: {:?}",
+        scraper
+            .state()
+            .targets()
+            .iter()
+            .map(|t| (t.target.addr.clone(), t.health.state()))
+            .collect::<Vec<_>>()
+    );
+
+    // SIGKILL shard 1 / replica 0 — no orderly shutdown, the ops port
+    // just stops answering. One scrape interval later the fleet view has
+    // it Down and the burn alert is firing.
+    ring.take();
+    let killed_round = scraper.state().rounds();
+    provers[2].child.kill().expect("SIGKILL");
+    let _ = provers[2].child.wait();
+    let flipped = wait_for(&scraper, interval * 8, |s| {
+        let state = s.state();
+        state.targets()[2].health.state() == ReplicaState::Down
+    });
+    let rounds_taken = scraper.state().rounds().saturating_sub(killed_round);
+    assert!(flipped, "killed replica never went Down");
+    // Down within one *observing* round: the first full round that dialed
+    // the dead port marked it (allow one in-flight round of slack).
+    assert!(
+        rounds_taken <= 3,
+        "took {rounds_taken} rounds to notice the kill"
+    );
+    {
+        let state = scraper.state();
+        let shard_states = state.shard_states();
+        assert_eq!(shard_states[1].1, ShardState::Degraded);
+        assert_eq!(shard_states[0].1, ShardState::Full);
+        let health = state.health_json(scraper.now_us());
+        assert!(
+            health.contains("\"name\": \"availability\", \"firing\": true"),
+            "{health}"
+        );
+    }
+    // And the alert + transition landed as events.
+    assert!(
+        wait_for(&scraper, Duration::from_secs(2), |_| {
+            let events = ring.events();
+            events
+                .iter()
+                .any(|e| e.message == "replica state changed" && e.field("to") == Some("down"))
+                && events.iter().any(|e| {
+                    e.message == "slo burn alert firing" && e.field("slo") == Some("availability")
+                })
+        }),
+        "missing down-transition or SLO-firing event: {:?}",
+        ring.events()
+            .iter()
+            .map(|e| e.message.clone())
+            .collect::<Vec<_>>()
+    );
+
+    loop_handle.shutdown();
+    sip_obs::clear_sinks();
+    for mut p in provers {
+        let _ = p.child.kill();
+        let _ = p.child.wait();
+    }
+}

@@ -46,6 +46,7 @@
 //! | [`durable`] | checkpoint/restore: canonical snapshots of every verifier digest |
 //! | [`server`] | the prover as a concurrent TCP service + the remote verifier client |
 //! | [`cluster`] | sharded prover fleet: stream router, aggregating verifier, per-shard blame |
+//! | [`fleetobs`] | fleet observability: the scraper/aggregator, health model, SLO burn alerts, `sip-top` |
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
 //! for the reproduction of the paper's experimental study (Figures 2–3).
@@ -54,6 +55,7 @@ pub use sip_cluster as cluster;
 pub use sip_core as core;
 pub use sip_durable as durable;
 pub use sip_field as field;
+pub use sip_fleetobs as fleetobs;
 pub use sip_gkr as gkr;
 pub use sip_kvstore as kvstore;
 pub use sip_lde as lde;

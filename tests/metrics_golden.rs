@@ -1,0 +1,105 @@
+//! Metric-name stability golden test: every metric the workspace
+//! registers during a full serving session (plus a fleet-scraper round)
+//! must appear in `obs::METRIC_HELP` — the pinned scrape-surface
+//! contract. Renaming a metric, or adding one without `# HELP` text, is
+//! a conscious reviewed change to that table, never a refactor side
+//! effect.
+//!
+//! Shares the process-global registry with the other root-level test
+//! binaries' rules: register plenty, assert on *names*, not values.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sip::core::sumcheck::f2::F2Verifier;
+use sip::field::Fp61;
+use sip::fleetobs::{FleetConfig, FleetScraper, Target};
+use sip::obs;
+use sip::server::client::RawClient;
+use sip::server::{spawn, ServerConfig};
+use sip::streaming::workloads;
+
+/// Strips a histogram-series suffix down to the registered base name.
+fn base_name(mut name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            // Only histogram families use these suffixes; plain counters
+            // ending in e.g. `_total` never collide with them.
+            name = stripped;
+            break;
+        }
+    }
+    name
+}
+
+#[test]
+fn every_registered_metric_is_in_the_help_table() {
+    // 1. A real session touches the server/ingest/registry/cost families.
+    let log_u = 4u32;
+    let server = spawn::<Fp61, _>(
+        "127.0.0.1:0",
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client: RawClient<Fp61, _> = RawClient::connect(server.local_addr(), log_u).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut verifier = F2Verifier::<Fp61>::new(log_u, &mut rng);
+    for up in workloads::paper_f2(1 << log_u, 11) {
+        verifier.update(up);
+        client.send_update(up);
+    }
+    client.end_stream().unwrap();
+    client.verify_f2(verifier).expect("honest prover accepted");
+    client.publish("golden-ds").unwrap();
+    client.bye().unwrap();
+
+    // 2. One scraper round registers the sip_fleet_* family.
+    let ops = server.ops_addr().unwrap().to_string();
+    let scraper = FleetScraper::new(
+        FleetConfig::default(),
+        vec![Target {
+            shard: 0,
+            replica: 0,
+            addr: ops,
+        }],
+    );
+    scraper.scrape_once();
+    server.shutdown();
+
+    // 3. Every base name the registry now renders must be pinned in
+    //    METRIC_HELP, and must therefore carry a # HELP line.
+    let text = obs::registry().render_prometheus();
+    let mut missing = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let name = line.split(['{', ' ']).next().unwrap_or("");
+        let base = base_name(name);
+        if obs::help_for(base).is_none() && !missing.contains(&base.to_string()) {
+            missing.push(base.to_string());
+        }
+        assert!(
+            text.contains(&format!("# HELP {base} ")) || obs::help_for(base).is_none(),
+            "{base} is pinned but renders without its # HELP line"
+        );
+    }
+    assert!(
+        missing.is_empty(),
+        "metrics registered outside the METRIC_HELP stability table \
+         (add them to crates/obs/src/metrics.rs METRIC_HELP): {missing:?}"
+    );
+
+    // 4. And the reverse direction cannot rot silently either: every
+    //    pinned name that did get registered in this session renders with
+    //    exactly one HELP line.
+    for (name, _) in obs::METRIC_HELP {
+        let help_lines = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("# HELP {name} ")))
+            .count();
+        assert!(help_lines <= 1, "{name} renders {help_lines} HELP lines");
+    }
+}
