@@ -285,12 +285,18 @@ impl FleetState {
         };
         counter_with("sip_fleet_scrapes_total", &[("outcome", outcome_label)]).inc();
         histogram("sip_fleet_scrape_us").observe(elapsed_us);
-        if let Some(samples) = result.samples {
+        if let Some(mut samples) = result.samples {
+            // ±Inf/NaN sample values are Prometheus-legal but poison here:
+            // they would ride into qps, saturate the rollup casts, and
+            // render as bare `inf` tokens in both JSON documents and the
+            // merged exposition. Finite-only past this point.
+            samples.retain(|s| s.value.is_finite());
             let frames = sum_by_name(&samples, "sip_server_frames_total");
             if let Some((prev_us, prev_frames)) = t.prev_frames {
                 let dt = now_us.saturating_sub(prev_us) as f64 / 1e6;
                 if dt > 0.0 {
-                    t.qps = ((frames - prev_frames) / dt).max(0.0);
+                    let qps = ((frames - prev_frames) / dt).max(0.0);
+                    t.qps = if qps.is_finite() { qps } else { 0.0 };
                 }
             }
             t.prev_frames = Some((now_us, frames));
@@ -456,7 +462,7 @@ impl FleetState {
                         ));
                     }
                 }
-                out.push_str(&format!("}} {}\n", s.value));
+                out.push_str(&format!("}} {}\n", prom_value(s.value)));
             }
         }
         out
@@ -504,10 +510,10 @@ impl FleetState {
                     t.target.replica,
                     json_escape(&t.target.addr),
                     t.health.state().label(),
-                    t.qps,
-                    p50,
-                    p99,
-                    t.frames() as u64,
+                    finite(t.qps),
+                    finite(p50),
+                    finite(p99),
+                    finite(t.frames()) as u64,
                 ));
             }
             out.push_str("\n    ]}");
@@ -516,12 +522,12 @@ impl FleetState {
         out.push_str(&format!(
             "\n  ],\n  \"rollup\": {{\"frames\": {}, \"rejections\": {}, \"indictments\": {}, \
              \"blame\": {}, \"retries\": {}, \"failovers\": {}}},\n  \"slos\": [",
-            r.frames as u64,
-            r.rejections as u64,
-            r.indictments as u64,
-            r.blame as u64,
-            r.retries as u64,
-            r.failovers as u64,
+            finite(r.frames) as u64,
+            finite(r.rejections) as u64,
+            finite(r.indictments) as u64,
+            finite(r.blame) as u64,
+            finite(r.retries) as u64,
+            finite(r.failovers) as u64,
         ));
         for (i, tr) in self.trackers.iter().enumerate() {
             if i > 0 {
@@ -533,8 +539,8 @@ impl FleetState {
                  \"burn_short\": {:.2}, \"threshold\": {:.1}, \"budget\": {}}}",
                 json_escape(&tr.spec.name),
                 s.firing,
-                s.burn_long.min(1e12),
-                s.burn_short.min(1e12),
+                finite(s.burn_long).min(1e12),
+                finite(s.burn_short).min(1e12),
                 tr.spec.burn_threshold,
                 tr.spec.budget,
             ));
@@ -556,14 +562,41 @@ impl FleetState {
                  \"burn_short\": {:.2}, \"threshold\": {:.1}, \"budget\": {}}}",
                 json_escape(&tr.spec.name),
                 s.firing,
-                s.burn_long.min(1e12),
-                s.burn_short.min(1e12),
+                finite(s.burn_long).min(1e12),
+                finite(s.burn_short).min(1e12),
                 tr.spec.burn_threshold,
                 tr.spec.budget,
             ));
         }
         out.push_str("\n  ]\n}\n");
         out
+    }
+}
+
+/// A sample value in Prometheus exposition form: `{}` Display would print
+/// `inf`, which neither Prometheus nor our own strict parser accepts.
+/// Stored samples are finite (non-finite values are dropped at ingest),
+/// so the non-finite arms are defence in depth.
+fn prom_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Clamps to a finite value for JSON embedding: `{:.1}` renders ±Inf/NaN
+/// as bare `inf`/`NaN` tokens, which are not JSON, and one such token
+/// breaks every consumer of the whole document.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
     }
 }
 
@@ -646,7 +679,29 @@ impl FleetScraper {
                     })
                 })
                 .collect();
-            handles.into_iter().filter_map(|h| h.join().ok()).collect()
+            handles
+                .into_iter()
+                .zip(&targets)
+                .map(|(h, (i, _))| {
+                    // A panicked scrape thread must not vanish: without an
+                    // outcome the slot's health would freeze at its last
+                    // state. Treat the panic as garbage-class so the state
+                    // machine degrades and the round still counts it.
+                    h.join().unwrap_or_else(|_| {
+                        (
+                            *i,
+                            ScrapeResult {
+                                outcome: ScrapeOutcome::Failed(ScrapeError::Garbage {
+                                    detail: "scrape thread panicked".into(),
+                                }),
+                                samples: None,
+                                stats: None,
+                            },
+                            0,
+                        )
+                    })
+                })
+                .collect()
         });
         let now = self.now_us();
         let mut state = self.state();
@@ -841,6 +896,43 @@ mod tests {
         assert!(!doc.get("slos").and_then(Json::as_arr).unwrap().is_empty());
         // slo_json is valid JSON too.
         assert!(Json::parse(&state.slo_json(1_500_000)).is_some());
+    }
+
+    #[test]
+    fn non_finite_samples_cannot_poison_json_or_the_merged_exposition() {
+        let mut state = FleetState::new(FleetConfig::default(), vec![target(0, 0)]);
+        let hostile = "sip_server_frames_total +Inf\n\
+                       evil_gauge NaN\n\
+                       worse_gauge -Inf\n\
+                       fine_total 3\n";
+        let scrape = || ScrapeResult {
+            outcome: ScrapeOutcome::Full,
+            samples: Some(parse_prometheus(hostile).unwrap()),
+            stats: None,
+        };
+        state.ingest(0, scrape(), 400, 1_000_000);
+        state.finish_round(1_000_000);
+        state.ingest(0, scrape(), 400, 2_000_000);
+        state.finish_round(2_000_000);
+        // The +Inf frame counter cannot drive qps to infinity…
+        assert!(state.targets()[0].qps.is_finite());
+        // …`/fleet/health` stays valid JSON…
+        let health = state.health_json(2_500_000);
+        assert!(Json::parse(&health).is_some(), "{health}");
+        // …and the merged exposition stays parseable: the non-finite
+        // samples are dropped, the finite one survives.
+        let merged = state.render_fleet_metrics();
+        assert!(parse_prometheus(&merged).is_ok(), "{merged}");
+        assert!(merged.contains("fine_total"), "{merged}");
+        assert!(!merged.contains("evil_gauge"), "{merged}");
+    }
+
+    #[test]
+    fn prom_value_renders_exposition_form() {
+        assert_eq!(prom_value(1.5), "1.5");
+        assert_eq!(prom_value(f64::INFINITY), "+Inf");
+        assert_eq!(prom_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_value(f64::NAN), "NaN");
     }
 
     #[test]

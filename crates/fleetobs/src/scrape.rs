@@ -248,10 +248,21 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ScrapeError> {
             return Err(ScrapeError::Oversized { limit: MAX_SAMPLES });
         }
         out.push(parse_sample(line).ok_or_else(|| ScrapeError::Garbage {
-            detail: format!("bad metric line {:?}", &line[..line.len().min(80)]),
+            detail: format!("bad metric line {:?}", excerpt(line, 80)),
         })?);
     }
     Ok(out)
+}
+
+/// At most `max` bytes of `line`, cut back to a char boundary — the line
+/// is hostile input, and slicing a multibyte char in half would panic the
+/// excerpting itself.
+fn excerpt(line: &str, max: usize) -> &str {
+    let mut n = line.len().min(max);
+    while !line.is_char_boundary(n) {
+        n -= 1;
+    }
+    &line[..n]
 }
 
 fn valid_name(name: &str) -> bool {
@@ -433,6 +444,23 @@ t_us_count 5\n";
         let ok = parse_prometheus("# ok\n\nx_total +Inf\ny_total NaN\n").unwrap();
         assert_eq!(ok.len(), 2);
         assert!(ok[0].value.is_infinite());
+    }
+
+    #[test]
+    fn multibyte_garbage_excerpt_cannot_panic() {
+        // A bad line whose 80th byte lands mid-char: the error excerpt
+        // must cut back to a boundary, not panic the scrape thread.
+        for pad in 77..=80 {
+            let line = format!("{}é λ ü not a metric", "x".repeat(pad));
+            let res = parse_prometheus(&line);
+            assert!(
+                matches!(res, Err(ScrapeError::Garbage { .. })),
+                "pad {pad}: {res:?}"
+            );
+        }
+        // And a short multibyte line is excerpted whole.
+        let err = parse_prometheus("é{ nope").unwrap_err();
+        assert!(err.to_string().contains('é'), "{err}");
     }
 
     #[test]

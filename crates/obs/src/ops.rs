@@ -37,6 +37,13 @@ fn advertised_slot() -> &'static Mutex<Option<SocketAddr>> {
 /// listener — the *actual* port, so `--metrics-addr 127.0.0.1:0` is
 /// discoverable by scrapers through `/stats` and `Msg::StatsReply`
 /// instead of racing on a fixed port.
+///
+/// This is a single process-wide slot with **last-wins** semantics: every
+/// [`serve_ops`]/[`serve_ops_with`] call overwrites it. A prover process
+/// runs exactly one ops listener, so last-wins is also only-wins there;
+/// anything hosting several listeners in one process (tests, the fleet
+/// aggregator colocated with a prover) must take the per-listener address
+/// from [`OpsHandle::local_addr`] instead of this global.
 pub fn advertised_ops_addr() -> Option<SocketAddr> {
     *advertised_slot()
         .lock()
